@@ -1,0 +1,1 @@
+bench/bu.ml: Array Dcache_syscalls Dcache_types Dcache_util Dcache_vfs Dcache_workloads Int64 List Printf

@@ -1,0 +1,1033 @@
+(* Benchmark harness: regenerates every figure and table of the paper's
+   evaluation (§6).  Run with no arguments for all experiments at quick
+   scale, `--full` for paper-scale parameters, or name experiment ids
+   (fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 tab1 tab2 tab3 tab4 ablation
+   bechamel) to run a subset.  See DESIGN.md for the experiment index. *)
+
+module W = Dcache_workloads
+module Kernel = Dcache_syscalls.Kernel
+module Proc = Dcache_syscalls.Proc
+module S = Dcache_syscalls.Syscalls
+module Systime = Dcache_syscalls.Systime
+module Config = Dcache_vfs.Config
+module Phases = Dcache_vfs.Phases
+module Signature = Dcache_sig.Signature
+module Siphash = Dcache_sig.Siphash
+module Prng = Dcache_util.Prng
+open Bu
+
+(* ------------------------------------------------------------------ *)
+(* Application suite shared by Fig. 1, Table 1 and Table 2.           *)
+(* ------------------------------------------------------------------ *)
+
+type app = {
+  app_name : string;
+  setup_each : unit -> unit;  (** untimed per-invocation preparation *)
+  run : unit -> unit;  (** the measured work *)
+  loops : int;  (** read-only apps loop to rise above host noise *)
+}
+
+let make_jobs () = if !quick then 4 else 12
+
+let build_apps (env : W.Env.t) =
+  let p = env.W.Env.proc in
+  let manifest =
+    W.Tree_gen.build p ~root:"/src" (W.Tree_gen.source_tree ~scale:(app_scale ()) ())
+  in
+  ignore (W.Tree_gen.build p ~root:"/usr" (W.Tree_gen.usr_tree ~scale:(app_scale ()) ()));
+  let menv = W.Apps.make_setup p ~root:"/src" ~headers:40 ~seed:11 in
+  W.Apps.git_setup p ~manifest;
+  let uniq = ref 0 in
+  let fresh prefix =
+    incr uniq;
+    Printf.sprintf "/%s%d" prefix !uniq
+  in
+  let rm_target = ref "" in
+  let nop = ignore in
+  [
+    {
+      app_name = "find -name";
+      loops = 5;
+      setup_each = nop;
+      run = (fun () -> ignore (W.Apps.find p ~root:"/src" ~pattern:"conf"));
+    };
+    {
+      app_name = "tar xzf";
+      loops = 1;
+      setup_each = nop;
+      run = (fun () -> ignore (W.Apps.tar_extract p ~manifest ~dst:(fresh "tar")));
+    };
+    {
+      app_name = "rm -r";
+      loops = 1;
+      setup_each =
+        (fun () ->
+          let dst = fresh "rmtree" in
+          rm_target := dst;
+          ignore (W.Apps.tar_extract p ~manifest ~dst));
+      run = (fun () -> ignore (W.Apps.rm_rf p ~root:!rm_target));
+    };
+    {
+      app_name = "make";
+      loops = 1;
+      setup_each = nop;
+      run = (fun () -> ignore (W.Apps.make p ~manifest ~env:menv ~headers_per_file:8 ~seed:3));
+    };
+    {
+      app_name = Printf.sprintf "make -j%d" (make_jobs ());
+      loops = 1;
+      setup_each = nop;
+      run =
+        (fun () ->
+          ignore
+            (W.Apps.make_parallel p ~manifest ~env:menv ~headers_per_file:8 ~seed:3
+               ~jobs:(make_jobs ())));
+    };
+    {
+      app_name = "du -s";
+      loops = 5;
+      setup_each = nop;
+      run = (fun () -> ignore (W.Apps.du p ~root:"/src"));
+    };
+    {
+      app_name = "updatedb -U usr";
+      loops = 5;
+      setup_each = nop;
+      run = (fun () -> ignore (W.Apps.updatedb p ~root:"/usr" ~output:(fresh "db")));
+    };
+    {
+      app_name = "git status";
+      loops = 5;
+      setup_each = nop;
+      run = (fun () -> ignore (W.Apps.git_status p ~manifest));
+    };
+    {
+      app_name = "git diff";
+      loops = 3;
+      setup_each = nop;
+      run = (fun () -> ignore (W.Apps.git_diff p ~manifest));
+    };
+  ]
+
+(* Measurements of the two kernels are interleaved per repetition so that
+   slow drift in the (noisy) host hits both kernels equally; each kernel
+   reports its median run. *)
+let run_app_tables ~cold env_base env_opt =
+  let apps_base = build_apps env_base in
+  let apps_opt = build_apps env_opt in
+  (* Cold runs are dominated by deterministic virtual device time; one
+     repetition is enough.  Warm runs are wall-clock and need medians. *)
+  let reps = if cold then 1 else if !quick then 5 else 7 in
+  let median runs =
+    let sorted =
+      List.sort (fun a b -> Int64.compare a.W.Runner.total_ns b.W.Runner.total_ns) runs
+    in
+    List.nth sorted (List.length sorted / 2)
+  in
+  List.map2
+    (fun app_b app_o ->
+      (* Paper protocol: run once and drop the first run (warm cache); for
+         the cold table, caches are dropped right before every measured
+         run. *)
+      let one env (app : app) =
+        app.setup_each ();
+        if cold then W.Env.drop_caches env;
+        let loops = if cold then 1 else app.loops in
+        let result =
+          W.Runner.run ~label:app.app_name env (fun () ->
+              for _ = 1 to loops do
+                app.run ()
+              done)
+        in
+        { result with
+          W.Runner.real_ns = Int64.div result.W.Runner.real_ns (Int64.of_int loops);
+          virt_ns = Int64.div result.W.Runner.virt_ns (Int64.of_int loops);
+          total_ns = Int64.div result.W.Runner.total_ns (Int64.of_int loops) }
+      in
+      app_b.setup_each ();
+      app_b.run ();
+      app_o.setup_each ();
+      app_o.run ();
+      let runs =
+        List.init reps (fun _ ->
+            let rb = one env_base app_b in
+            let ro = one env_opt app_o in
+            (rb, ro))
+      in
+      (app_b.app_name, median (List.map fst runs), median (List.map snd runs)))
+    apps_base apps_opt
+
+let path_stats (result : W.Runner.result) =
+  let get k = try List.assoc k result.W.Runner.counters with Not_found -> 0 in
+  let lookups = max 1 result.W.Runner.path_lookups in
+  ( float_of_int (get "path_bytes") /. float_of_int lookups,
+    float_of_int (get "path_comps") /. float_of_int lookups )
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: fraction of execution time in path-based system calls       *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  header
+    "Fig. 1 - Fraction of execution time in path-based syscalls (warm cache,\n\
+     unmodified kernel; paper instrument: ftrace, ours: built-in timers)";
+  let env = W.Env.disk Config.baseline in
+  let apps =
+    (* the parallel make accumulates syscall time across domains, which is
+       not comparable to wall time; Fig. 1 keeps the serial applications *)
+    List.filter (fun app -> not (String.length app.app_name > 5
+                                 && String.sub app.app_name 0 6 = "make -")) (build_apps env)
+  in
+  row "%-16s %10s %10s %12s %10s %8s\n" "app" "acc/stat%" "open%" "chmod/chown%" "unlink%"
+    "total%";
+  List.iter
+    (fun app ->
+      app.setup_each ();
+      app.run ();
+      (* warm *)
+      app.setup_each ();
+      Systime.enabled := true;
+      Systime.reset ();
+      let _, total_ns = Dcache_util.Clock.time_ns app.run in
+      Systime.enabled := false;
+      let totals = Systime.totals () in
+      let frac clazz =
+        let ns = List.assoc clazz (List.map (fun (c, ns, _) -> (c, ns)) totals) in
+        Int64.to_float ns /. Int64.to_float total_ns *. 100.0
+      in
+      let all = Int64.to_float (Systime.total_path_ns ()) /. Int64.to_float total_ns *. 100.0 in
+      row "%-16s %9.1f%% %9.1f%% %11.1f%% %9.1f%% %7.1f%%\n" app.app_name
+        (frac Systime.Access_stat) (frac Systime.Open) (frac Systime.Chmod_chown)
+        (frac Systime.Unlink) all)
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: the optimization trajectory (stands in for kernel versions) *)
+(* ------------------------------------------------------------------ *)
+
+let stat_8comp_latency config =
+  let env = W.Env.ram config in
+  let p = env.W.Env.proc in
+  W.Lmbench.setup p;
+  let pattern = List.find (fun q -> q.W.Lmbench.label = "8-comp") W.Lmbench.patterns in
+  W.Lmbench.measure_stat p pattern ~iters:(if !quick then 3000 else 20000)
+
+let fig2 () =
+  header
+    "Fig. 2 - stat latency for XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF.\n\
+     Substitution: the paper plots Linux releases 2010-2015; we plot the\n\
+     optimization ladder from the modeled 3.14 baseline to the full design.";
+  let ladder =
+    [
+      ("baseline (Linux 3.14 model)", Config.baseline);
+      ("+ direct lookup (DLHT+PCC+signatures)", { Config.baseline with Config.fastpath = true });
+      ( "+ symlink aliases",
+        { Config.baseline with Config.fastpath = true; symlink_aliases = true } );
+      ( "+ directory completeness",
+        {
+          Config.baseline with
+          Config.fastpath = true;
+          symlink_aliases = true;
+          dir_completeness = true;
+        } );
+      ("+ aggressive & deep negatives (full design)", Config.optimized);
+    ]
+  in
+  let base = ref 0.0 in
+  row "%-45s %12s %8s\n" "configuration" "stat (ns)" "vs base";
+  List.iter
+    (fun (name, config) ->
+      let ns = median_of_runs (fun () -> stat_8comp_latency config) in
+      if !base = 0.0 then base := ns;
+      row "%-45s %12.1f %+7.1f%%\n" name ns (pct_gain ~base:!base ns))
+    ladder;
+  subheader "paper 3.3 hash-function comparison (per-signature cost, 45-byte path)";
+  let path = "usr/include/gcc-x86_64-linux-gnu/sys/types.h" in
+  let key = Signature.create_key ~seed:7 () in
+  let sipkey = Siphash.key_of_seed 7 in
+  let multilinear = latency_ns ~iters:20000 (fun () -> ignore (Signature.hash_string key path)) in
+  let prf = latency_ns ~iters:20000 (fun () -> ignore (Siphash.hash256 sipkey path)) in
+  row "%-45s %12.1f ns\n" "2-universal multilinear (ours, 4 lanes)" multilinear;
+  row "%-45s %12.1f ns\n" "SipHash-2-4 PRF (4 lanes, software)" prf;
+  row "(the paper reached the same conclusion: the PRF costs too much to win)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: principal components of lookup latency                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  header
+    "Fig. 3 - Principal sources of path lookup latency (ns per lookup).\n\
+     Note: per-phase timers add overhead; compare shapes, not totals.";
+  let iters = if !quick then 2000 else 10000 in
+  let run_config label config =
+    let env = W.Env.ram config in
+    let p = env.W.Env.proc in
+    W.Lmbench.setup p;
+    List.iter
+      (fun (plabel, path) ->
+        ignore (S.stat p path);
+        (* warm *)
+        Phases.enabled := true;
+        Phases.reset ();
+        for _ = 1 to iters do
+          ignore (S.stat p path)
+        done;
+        Phases.enabled := false;
+        let totals = Phases.totals () in
+        let per phase = Int64.to_float (List.assoc phase totals) /. float_of_int iters in
+        row "%-10s %-18s %8.1f %10.1f %12.1f %10.1f %9.1f\n" label plabel (per Phases.Init)
+          (per Phases.Permission) (per Phases.Scan_hash) (per Phases.Table_lookup)
+          (per Phases.Finalize))
+      W.Lmbench.fig3_paths
+  in
+  row "%-10s %-18s %8s %10s %12s %10s %9s\n" "kernel" "path" "init" "permission" "scan+hash"
+    "tbl-lookup" "finalize";
+  run_config "unmod" Config.baseline;
+  run_config "opt" Config.optimized
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: stat/open latency per path pattern                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  header "Fig. 6 - stat and open latency by path pattern (ns; lower is better)";
+  let iters = if !quick then 2000 else 20000 in
+  let mk config =
+    let env = W.Env.ram config in
+    W.Lmbench.setup env.W.Env.proc;
+    env
+  in
+  let env_base = mk Config.baseline in
+  let env_opt = mk Config.optimized in
+  let env_miss = mk Config.optimized in
+  Dcache_core.Fastpath.set_simulate_pcc_miss (Kernel.fastpath env_miss.W.Env.kernel) true;
+  let env_lex = mk { Config.optimized with Config.dotdot = Config.Dotdot_lexical } in
+  let measure f env pattern = median_of_runs (fun () -> f env.W.Env.proc pattern ~iters) in
+  List.iter
+    (fun (syscall, f) ->
+      subheader (syscall ^ " latency (ns)");
+      row "%-10s %10s %10s %14s %12s\n" "pattern" "unmod" "opt" "opt-PCC-miss" "opt-lexical*";
+      List.iter
+        (fun pattern ->
+          let base = measure f env_base pattern in
+          let opt = measure f env_opt pattern in
+          let miss = measure f env_miss pattern in
+          let lex =
+            match pattern.W.Lmbench.label with
+            | "1-dotdot" | "4-dotdot" -> Printf.sprintf "%12.1f" (measure f env_lex pattern)
+            | _ -> "           -"
+          in
+          row "%-10s %10.1f %10.1f %14.1f %s\n" pattern.W.Lmbench.label base opt miss lex)
+        W.Lmbench.patterns)
+    [ ("stat", W.Lmbench.measure_stat); ("open", W.Lmbench.measure_open) ];
+  row "(* Plan 9 lexical dot-dot semantics, applicable to dot-dot patterns)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: chmod / rename latency vs cached subtree size               *)
+(* ------------------------------------------------------------------ *)
+
+let build_subtree p ~root ~depth ~files =
+  ok "mkdir root" (S.mkdir_p p root);
+  if depth = 0 then begin
+    for i = 1 to files do
+      ok "file" (S.write_file p (Printf.sprintf "%s/f%d" root i) "x")
+    done
+  end
+  else begin
+    let fanout = 4 in
+    let rec dirs_at prefix level acc =
+      if level = depth then prefix :: acc
+      else
+        List.fold_left
+          (fun acc i -> dirs_at (Printf.sprintf "%s/d%d" prefix i) (level + 1) acc)
+          acc
+          (List.init fanout (fun i -> i))
+    in
+    let leaves = dirs_at root 0 [] in
+    List.iter (fun d -> ok "mkdir" (S.mkdir_p p d)) leaves;
+    let leaves = Array.of_list leaves in
+    for i = 1 to files do
+      let dir = leaves.(i mod Array.length leaves) in
+      ok "file" (S.write_file p (Printf.sprintf "%s/f%d" dir i) "x")
+    done
+  end
+
+let fig7 () =
+  header
+    "Fig. 7 - chmod/rename latency on directories with cached descendants\n\
+     (us; the optimized kernel pays per-descendant invalidation, paper 3.2)";
+  let cases =
+    [ ("single file", 0, 1); ("depth=1, 10", 1, 10); ("depth=2, 100", 2, 100);
+      ("depth=3, 1000", 3, 1000) ]
+    @ if !quick then [] else [ ("depth=4, 10000", 4, 10000) ]
+  in
+  let measure config =
+    let env = W.Env.ram config in
+    let p = env.W.Env.proc in
+    List.map
+      (fun (label, depth, files) ->
+        let root = Printf.sprintf "/t%d_%d" depth files in
+        if depth = 0 && files = 1 then begin
+          ok "mkdir" (S.mkdir_p p root);
+          ok "single" (S.write_file p (root ^ "/only") "x")
+        end
+        else build_subtree p ~root ~depth ~files;
+        ignore (W.Apps.du p ~root);
+        (* warm every descendant *)
+        let chmod_ns =
+          let mode = ref 0o755 in
+          latency_ns ~iters:(if files >= 1000 then 20 else 200) (fun () ->
+              mode := (if !mode = 0o755 then 0o750 else 0o755);
+              ok "chmod" (S.chmod p root !mode))
+        in
+        let rename_ns =
+          let at_alt = ref false in
+          let alt = root ^ "alt" in
+          latency_ns ~iters:(if files >= 1000 then 20 else 200) (fun () ->
+              let src, dst = if !at_alt then (alt, root) else (root, alt) in
+              at_alt := not !at_alt;
+              ok "rename" (S.rename p src dst))
+        in
+        (label, chmod_ns /. 1000.0, rename_ns /. 1000.0))
+      cases
+  in
+  let base = measure Config.baseline in
+  let opt = measure Config.optimized in
+  row "%-18s %12s %12s %8s | %12s %12s %8s\n" "tree" "chmod-base" "chmod-opt" "slowdn"
+    "renam-base" "renam-opt" "slowdn";
+  List.iter2
+    (fun (label, cb, rb) (_, co, ro) ->
+      let slow a b = (b -. a) /. a *. 100.0 in
+      row "%-18s %10.2fus %10.2fus %+7.0f%% | %10.2fus %10.2fus %+7.0f%%\n" label cb co
+        (slow cb co) rb ro (slow rb ro))
+    base opt
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: lookup latency under concurrent threads                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  header
+    (Printf.sprintf
+       "Fig. 8 - stat/open latency vs concurrent threads (ns per op per thread).\n\
+        Substitution: this host exposes %d CPU core(s); domains timeshare, so\n\
+        this exercises the read-path synchronization, not HW parallelism."
+       (Domain.recommended_domain_count ()));
+  let iters = if !quick then 2000 else 10000 in
+  let threads = [ 1; 2; 4; 8; 12 ] in
+  let measure config do_open nthreads =
+    let env = W.Env.ram config in
+    let p = env.W.Env.proc in
+    W.Lmbench.setup p;
+    let path = "XXX/YYY/ZZZ/FFF" in
+    ignore (ok "warm" (S.stat p path));
+    let worker () =
+      let wp = Proc.fork p in
+      fun () ->
+        for _ = 1 to iters do
+          if do_open then begin
+            match S.openf wp path [ Proc.O_RDONLY ] with
+            | Ok fd -> ignore (S.close wp fd)
+            | Error _ -> ()
+          end
+          else ignore (S.stat wp path)
+        done
+    in
+    let bodies = List.init nthreads (fun _ -> worker ()) in
+    let t0 = Dcache_util.Clock.now_ns () in
+    let domains = List.map (fun body -> Domain.spawn body) bodies in
+    List.iter Domain.join domains;
+    let t1 = Dcache_util.Clock.now_ns () in
+    (* wall time divided by per-thread iterations and threads: per-op cost
+       normalized for timesharing *)
+    Int64.to_float (Int64.sub t1 t0) /. float_of_int (iters * nthreads)
+  in
+  row "%-8s %12s %12s %12s %12s\n" "threads" "stat-base" "stat-opt" "open-base" "open-opt";
+  List.iter
+    (fun n ->
+      row "%-8d %12.1f %12.1f %12.1f %12.1f\n" n
+        (measure Config.baseline false n)
+        (measure Config.optimized false n)
+        (measure Config.baseline true n)
+        (measure Config.optimized true n))
+    threads
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: readdir and mkstemp latency vs directory size               *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  header "Fig. 9 - readdir and mkstemp latency vs directory size (us)";
+  let sizes = [ 10; 100; 1000 ] @ if !quick then [] else [ 10000 ] in
+  let measure config =
+    (* Disk-backed fs: the readdir win comes from skipping on-disk dirent
+       re-parsing (paper 5.1). *)
+    let env = W.Env.disk config in
+    let p = env.W.Env.proc in
+    List.map
+      (fun size ->
+        let dir = Printf.sprintf "/dir%d" size in
+        W.Webserver.setup p ~dir ~files:size;
+        ignore (ok "warm" (S.readdir_path p dir));
+        let readdir_ns =
+          env_latency_ns env ~iters:(max 20 (2000 / size)) (fun () ->
+              ignore (ok "rd" (S.readdir_path p dir)))
+        in
+        let prng = Prng.create size in
+        let mkstemp_ns =
+          env_latency_ns env ~iters:100 (fun () ->
+              let fd, path = ok "mkstemp" (S.mkstemp ~prng p dir) in
+              ok "close" (S.close p fd);
+              ok "unlink" (S.unlink p path))
+        in
+        (size, readdir_ns /. 1000.0, mkstemp_ns /. 1000.0))
+      sizes
+  in
+  let base = measure Config.baseline in
+  let opt = measure Config.optimized in
+  row "%-8s %13s %13s %8s | %13s %13s %8s\n" "files" "readdir-base" "readdir-opt" "gain"
+    "mkstmp-base" "mkstmp-opt" "gain";
+  List.iter2
+    (fun (size, rb, mb) (_, ro, mo) ->
+      row "%-8d %11.2fus %11.2fus %+7.0f%% | %11.2fus %11.2fus %+7.0f%%\n" size rb ro
+        (pct_gain ~base:rb ro) mb mo (pct_gain ~base:mb mo))
+    base opt
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10: Dovecot maildir throughput                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  header "Fig. 10 - Dovecot IMAP model: mark/unmark throughput (ops/s)";
+  let sizes = [ 50; 100; 500; 1000 ] @ if !quick then [] else [ 2000; 3000 ] in
+  let ops = if !quick then 60 else 200 in
+  let measure config size =
+    let env = W.Env.disk config in
+    let p = env.W.Env.proc in
+    let mbox = W.Maildir.setup p ~root:(Printf.sprintf "/mail%d" size) ~messages:size ~seed:7 in
+    ignore (W.Maildir.run_ops p mbox ~ops:5 ~seed:1);
+    (* warm *)
+    median_of_runs (fun () ->
+        let result =
+          W.Runner.run env (fun () -> ignore (W.Maildir.run_ops p mbox ~ops ~seed:2))
+        in
+        float_of_int ops /. seconds result)
+  in
+  row "%-10s %14s %14s %8s\n" "mailbox" "base (ops/s)" "opt (ops/s)" "gain";
+  List.iter
+    (fun size ->
+      let base = measure Config.baseline size in
+      let opt = measure Config.optimized size in
+      row "%-10d %14.0f %14.0f %+7.1f%%\n" size base opt ((opt -. base) /. base *. 100.0))
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2: application execution time, warm and cold           *)
+(* ------------------------------------------------------------------ *)
+
+let app_table ~cold title =
+  header title;
+  let env_base = W.Env.disk Config.baseline in
+  let env_opt = W.Env.disk Config.optimized in
+  let rows = run_app_tables ~cold env_base env_opt in
+  row "%-16s %5s %4s | %12s %6s %6s | %12s %8s\n" "app" "l" "#" "unmod (s)" "hit%" "neg%"
+    "opt (s)" "gain";
+  List.iter
+    (fun (name, rb, ro) ->
+      let l, comps = path_stats rb in
+      row "%-16s %5.0f %4.1f | %12.4f %5.1f%% %5.1f%% | %12.4f %+7.2f%%\n" name l comps
+        (seconds rb)
+        (rb.W.Runner.hit_rate *. 100.0)
+        (rb.W.Runner.neg_rate *. 100.0)
+        (seconds ro) (W.Runner.gain ~baseline:rb ro))
+    rows
+
+let tab1 () =
+  app_table ~cold:false
+    "Table 1 - Application execution time, warm cache (disk-backed extfs,\n\
+     warm page cache; l = avg path bytes, # = avg components)"
+
+let tab2 () =
+  app_table ~cold:true
+    "Table 2 - Application execution time, cold cache (dcache and page cache\n\
+     dropped; simulated disk latency dominates, gains vanish as in the paper)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: Apache directory-listing throughput                        *)
+(* ------------------------------------------------------------------ *)
+
+let tab3 () =
+  header "Table 3 - Apache-style generated directory listings (requests/s)";
+  let sizes = [ 10; 100; 1000 ] @ if !quick then [] else [ 10000 ] in
+  let measure config size =
+    let env = W.Env.disk config in
+    let p = env.W.Env.proc in
+    let dir = Printf.sprintf "/www%d" size in
+    W.Webserver.setup p ~dir ~files:size;
+    ignore (W.Webserver.request p ~dir);
+    let iters = max 5 (2000 / size) in
+    let ns = env_latency_ns env ~iters (fun () -> ignore (W.Webserver.request p ~dir)) in
+    1e9 /. ns
+  in
+  row "%-10s %14s %14s %8s\n" "# files" "unmod (req/s)" "opt (req/s)" "gain";
+  List.iter
+    (fun size ->
+      let base = measure Config.baseline size in
+      let opt = measure Config.optimized size in
+      row "%-10d %14.0f %14.0f %+7.1f%%\n" size base opt ((opt -. base) /. base *. 100.0))
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: lines of code                                              *)
+(* ------------------------------------------------------------------ *)
+
+let count_loc dir =
+  let rec files d =
+    match Sys.readdir d with
+    | entries ->
+      Array.to_list entries
+      |> List.concat_map (fun e ->
+             let path = Filename.concat d e in
+             if Sys.is_directory path then files path
+             else if Filename.check_suffix e ".ml" || Filename.check_suffix e ".mli" then
+               [ path ]
+             else [])
+    | exception Sys_error _ -> []
+  in
+  List.fold_left
+    (fun acc path ->
+      let ic = open_in path in
+      let rec count n =
+        match input_line ic with _ -> count (n + 1) | exception End_of_file -> n
+      in
+      let n = count 0 in
+      close_in ic;
+      acc + n)
+    0 (files dir)
+
+let tab4 () =
+  header
+    "Table 4 - Lines of code (this reproduction; the paper counts its Linux\n\
+     patch the same way with sloccount)";
+  let root = if Sys.file_exists "lib" then "." else ".." in
+  let groups =
+    [
+      ("direct-lookup optimizations (lib/core, lib/sig)", [ "lib/core"; "lib/sig" ]);
+      ("VFS incl. dcache hooks (lib/vfs)", [ "lib/vfs" ]);
+      ("syscall layer (lib/syscalls)", [ "lib/syscalls" ]);
+      ("low-level file systems (lib/fs)", [ "lib/fs" ]);
+      ("storage substrate (lib/storage)", [ "lib/storage" ]);
+      ("security modules (lib/cred)", [ "lib/cred" ]);
+      ("support (lib/types, lib/util)", [ "lib/types"; "lib/util" ]);
+      ("workloads (lib/workloads)", [ "lib/workloads" ]);
+    ]
+  in
+  row "%-48s %10s\n" "component" "LoC";
+  let total = ref 0 in
+  List.iter
+    (fun (name, dirs) ->
+      let loc = List.fold_left (fun acc d -> acc + count_loc (Filename.concat root d)) 0 dirs in
+      total := !total + loc;
+      row "%-48s %10d\n" name loc)
+    groups;
+  row "%-48s %10d\n" "total library code" !total
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (paper 6.3, 6.5 and DESIGN.md design choices)             *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  header "Ablations";
+  subheader
+    "PCC capacity vs updatedb gain (paper 6.3: gain drops when the tree\n\
+     outgrows the PCC)";
+  let tree_scale = scale () *. 4.0 in
+  let run_updatedb config =
+    let env = W.Env.disk config in
+    let p = env.W.Env.proc in
+    ignore (W.Tree_gen.build p ~root:"/usr" (W.Tree_gen.usr_tree ~scale:tree_scale ()));
+    let uniq = ref 0 in
+    let go () =
+      incr uniq;
+      ignore (W.Apps.updatedb p ~root:"/usr" ~output:(Printf.sprintf "/db%d" !uniq))
+    in
+    go ();
+    (* warm *)
+    let t =
+      median_of_runs (fun () ->
+          seconds
+            (W.Runner.run env (fun () ->
+                 for _ = 1 to 5 do
+                   go ()
+                 done))
+          /. 5.0)
+    in
+    Kernel.reset_stats env.W.Env.kernel;
+    go ();
+    let lookups = max 1 (counter env "path_lookup") in
+    let fallbacks = counter env "fastpath_fallback" in
+    (t, 100.0 *. float_of_int fallbacks /. float_of_int lookups)
+  in
+  let base, _ = run_updatedb Config.baseline in
+  row "%-34s %10.4fs\n" "baseline" base;
+  List.iter
+    (fun entries ->
+      let t, fallback_pct =
+        run_updatedb
+          { Config.optimized with Config.pcc_entries = entries; pcc_max_entries = entries }
+      in
+      row "PCC %6d entries (%4d KB)        %10.4fs  gain %+5.1f%%  slowpath %4.1f%%\n"
+        entries (entries * 16 / 1024) t (pct_gain ~base t) fallback_pct)
+    [ 64; 256; 1024; 4096; 16384 ];
+  (let t, fallback_pct =
+     run_updatedb
+       { Config.optimized with Config.pcc_entries = 64; pcc_max_entries = 16384 }
+   in
+   row "PCC dynamic 64 -> 16384 (extension) %9.4fs  gain %+5.1f%%  slowpath %4.1f%%\n" t
+     (pct_gain ~base t) fallback_pct);
+
+  subheader "deep negative dentries (paper 6.1: without them, neg-d is much worse)";
+  let neg_d = List.find (fun q -> q.W.Lmbench.label = "neg-d") W.Lmbench.patterns in
+  let neg_f = List.find (fun q -> q.W.Lmbench.label = "neg-f") W.Lmbench.patterns in
+  let stat_pattern config pattern =
+    let env = W.Env.ram config in
+    W.Lmbench.setup env.W.Env.proc;
+    median_of_runs (fun () ->
+        W.Lmbench.measure_stat env.W.Env.proc pattern
+          ~iters:(if !quick then 2000 else 10000))
+  in
+  List.iter
+    (fun (label, config) ->
+      row "%-34s neg-f %8.1f ns   neg-d %8.1f ns\n" label (stat_pattern config neg_f)
+        (stat_pattern config neg_d))
+    [
+      ("baseline", Config.baseline);
+      ("optimized w/o deep negatives", { Config.optimized with Config.deep_negative = false });
+      ("optimized (full)", Config.optimized);
+    ];
+
+  subheader "directory completeness (readdir of a 1000-entry directory)";
+  let readdir_1000 config =
+    let env = W.Env.disk config in
+    let p = env.W.Env.proc in
+    W.Webserver.setup p ~dir:"/big" ~files:1000;
+    ignore (ok "warm" (S.readdir_path p "/big"));
+    env_latency_ns env ~iters:20 (fun () -> ignore (ok "rd" (S.readdir_path p "/big")))
+    /. 1000.0
+  in
+  List.iter
+    (fun (label, config) -> row "%-34s %10.2f us\n" label (readdir_1000 config))
+    [
+      ("baseline", Config.baseline);
+      ("optimized w/o completeness", { Config.optimized with Config.dir_completeness = false });
+      ("optimized (full)", Config.optimized);
+    ];
+
+  subheader
+    "completeness integration (paper 2.3/5.1): ours (in the dcache) vs a\n\
+     Solaris-DNLC-style separate listing cache (1000-entry directory, disk)";
+  let completeness_trial label config =
+    let env = W.Env.disk config in
+    let p = env.W.Env.proc in
+    W.Webserver.setup p ~dir:"/big" ~files:1000;
+    (* (a) repeated readdir *)
+    ignore (ok "warm" (S.readdir_path p "/big"));
+    let readdir_us =
+      env_latency_ns env ~iters:20 (fun () -> ignore (ok "rd" (S.readdir_path p "/big")))
+      /. 1000.0
+    in
+    (* (b) readdir-then-stat of every entry, from a dropped dcache *)
+    W.Env.drop_caches env;
+    let entries = ok "list" (S.readdir_path p "/big") in
+    let stat_us =
+      let v0 = Dcache_util.Vclock.elapsed_ns env.W.Env.vclock in
+      let t0 = Dcache_util.Clock.now_ns () in
+      List.iter
+        (fun (e : Dcache_fs.Fs_intf.dirent) ->
+          ignore (ok "stat" (S.stat p ("/big/" ^ e.Dcache_fs.Fs_intf.name))))
+        entries;
+      let t1 = Dcache_util.Clock.now_ns () in
+      let v1 = Dcache_util.Vclock.elapsed_ns env.W.Env.vclock in
+      Int64.to_float (Int64.add (Int64.sub t1 t0) (Int64.sub v1 v0))
+      /. float_of_int (List.length entries) /. 1000.0
+    in
+    (* (c) secure temp file creation *)
+    let prng = Prng.create 3 in
+    let mkstemp_us =
+      env_latency_ns env ~iters:100 (fun () ->
+          let fd, path = ok "mkstemp" (S.mkstemp ~prng p "/big") in
+          ok "close" (S.close p fd);
+          ok "unlink" (S.unlink p path))
+      /. 1000.0
+    in
+    row "%-36s readdir %9.1f us   stat-after %6.2f us   mkstemp %7.2f us\n" label
+      readdir_us stat_us mkstemp_us
+  in
+  completeness_trial "no completeness (baseline)" Config.baseline;
+  completeness_trial "separate cache (Solaris DNLC style)"
+    { Config.optimized with Config.dir_completeness = false; dnlc_style_completeness = true };
+  completeness_trial "integrated (this paper)" Config.optimized;
+
+  subheader "signature width vs 8-component stat latency (paper 3.3)";
+  List.iter
+    (fun bits ->
+      let ns =
+        median_of_runs (fun () ->
+            stat_8comp_latency { Config.optimized with Config.sig_bits = bits })
+      in
+      row "sig_bits = %-22d %10.1f ns\n" bits ns)
+    [ 64; 128; 236 ];
+
+  subheader "*at() family: single-component lookups from a dirfd (paper 6.1)";
+  let at_latency config =
+    let env = W.Env.ram config in
+    let p = env.W.Env.proc in
+    W.Lmbench.setup p;
+    let dirfd =
+      ok "open dir" (S.openf p "/XXX/YYY/ZZZ" [ Proc.O_RDONLY; Proc.O_DIRECTORY ])
+    in
+    ignore (ok "warm" (S.fstatat p dirfd "FFF" ()));
+    let fstatat_ns =
+      latency_ns ~iters:(if !quick then 3000 else 15000) (fun () ->
+          ignore (ok "fstatat" (S.fstatat p dirfd "FFF" ())))
+    in
+    let openat_ns =
+      latency_ns ~iters:(if !quick then 3000 else 15000) (fun () ->
+          let fd = ok "openat" (S.openat p dirfd "FFF" [ Proc.O_RDONLY ]) in
+          ok "close" (S.close p fd))
+    in
+    (fstatat_ns, openat_ns)
+  in
+  let fb, ob = at_latency Config.baseline in
+  let fo, oo = at_latency Config.optimized in
+  row "%-34s fstatat %8.1f ns   openat %8.1f ns\n" "baseline" fb ob;
+  row "%-34s fstatat %8.1f ns   openat %8.1f ns\n" "optimized" fo oo;
+  row "%-34s fstatat %+7.1f%%    openat %+7.1f%%\n" "gain" (pct_gain ~base:fb fo)
+    (pct_gain ~base:ob oo);
+
+  subheader
+    "network file systems (paper 4.3): stateless revalidation nullifies the\n\
+     fastpath; a stateful callback protocol keeps it (per-lookup latency\n\
+     including 120us-RTT RPC time)";
+  let netfs_latency protocol config =
+    let clock = Dcache_util.Vclock.create () in
+    let backing = Dcache_fs.Ramfs.create () in
+    let server = Dcache_fs.Netfs.server ~clock backing in
+    let kernel =
+      Kernel.create ~config ~root_fs:(Dcache_fs.Netfs.client ~protocol server) ()
+    in
+    let p = Proc.spawn kernel in
+    ok "tree" (S.mkdir_p p "/export/a/b");
+    ok "file" (S.write_file p "/export/a/b/file" "remote");
+    ignore (ok "warm" (S.stat p "/export/a/b/file"));
+    median_of_runs (fun () ->
+        let v0 = Dcache_util.Vclock.elapsed_ns clock in
+        let t0 = Dcache_util.Clock.now_ns () in
+        let iters = 500 in
+        for _ = 1 to iters do
+          ignore (ok "stat" (S.stat p "/export/a/b/file"))
+        done;
+        let t1 = Dcache_util.Clock.now_ns () in
+        let v1 = Dcache_util.Vclock.elapsed_ns clock in
+        Int64.to_float (Int64.add (Int64.sub t1 t0) (Int64.sub v1 v0)) /. float_of_int iters)
+  in
+  List.iter
+    (fun (label, protocol) ->
+      let base = netfs_latency protocol Config.baseline in
+      let opt = netfs_latency protocol Config.optimized in
+      row "%-34s unmod %10.1f ns   opt %10.1f ns   gain %+6.1f%%\n" label base opt
+        (pct_gain ~base opt))
+    [
+      ("stateless (NFS v2/3 model)", Dcache_fs.Netfs.Stateless);
+      ("stateful callbacks (AFS model)", Dcache_fs.Netfs.Stateful);
+    ];
+
+  subheader
+    "on-disk vs in-memory full-path hashing (paper 7): renaming a directory\n\
+     with N descendants costs O(N) disk rewrites on a DLFS-style store, vs\n\
+     O(N) memory work here and O(1) on the baseline (us, incl. virtual disk)";
+  let dlfs_rename descendants =
+    let clock = Dcache_util.Vclock.create () in
+    let cache =
+      Dcache_storage.Pagecache.create ~capacity_pages:16384
+        (Dcache_storage.Blockdev.create clock)
+    in
+    let t = Dcache_fs.Dlfs.mkfs_and_mount cache in
+    ok "top" (Dcache_fs.Dlfs.create t "/tree" Dcache_types.File_kind.Directory);
+    for i = 0 to descendants - 1 do
+      ok "rec" (Dcache_fs.Dlfs.create t (Printf.sprintf "/tree/f%d" i)
+                  Dcache_types.File_kind.Regular)
+    done;
+    median_of_runs (fun () ->
+        let v0 = Dcache_util.Vclock.elapsed_ns clock in
+        let t0 = Dcache_util.Clock.now_ns () in
+        ignore (ok "mv" (Dcache_fs.Dlfs.rename_dir t "/tree" "/moved"));
+        ignore (ok "mv back" (Dcache_fs.Dlfs.rename_dir t "/moved" "/tree"));
+        let t1 = Dcache_util.Clock.now_ns () in
+        let v1 = Dcache_util.Vclock.elapsed_ns clock in
+        Int64.to_float (Int64.add (Int64.sub t1 t0) (Int64.sub v1 v0)) /. 2.0 /. 1000.0)
+  in
+  let dcache_rename config descendants =
+    let env = W.Env.ram config in
+    let p = env.W.Env.proc in
+    ok "top" (S.mkdir_p p "/tree");
+    for i = 0 to descendants - 1 do
+      ok "f" (S.write_file p (Printf.sprintf "/tree/f%d" i) "x")
+    done;
+    ignore (W.Apps.du p ~root:"/tree");
+    (* cache all descendants *)
+    median_of_runs (fun () ->
+        let t0 = Dcache_util.Clock.now_ns () in
+        ok "mv" (S.rename p "/tree" "/moved");
+        ok "mv back" (S.rename p "/moved" "/tree");
+        let t1 = Dcache_util.Clock.now_ns () in
+        Int64.to_float (Int64.sub t1 t0) /. 2.0 /. 1000.0)
+  in
+  List.iter
+    (fun n ->
+      row "%6d descendants:  baseline %8.1f us   optimized (in-mem) %8.1f us   DLFS (on-disk) %10.1f us\n"
+        n
+        (dcache_rename Config.baseline n)
+        (dcache_rename Config.optimized n)
+        (dlfs_rename n))
+    [ 10; 100; 1000 ];
+
+  subheader "iBench-like trace replay (15% path lookups, 85% other syscalls)";
+  let trace_time config =
+    let env = W.Env.ram config in
+    let p = env.W.Env.proc in
+    let m = W.Tree_gen.build p ~root:"/src" (W.Tree_gen.source_tree ~scale:(scale ()) ()) in
+    (* read-only mix so the trace replays identically every repetition *)
+    let mix =
+      { W.Trace.ibench_like with W.Trace.open_write_w = 0; mutate_w = 0; other_w = 87 }
+    in
+    let trace =
+      W.Trace.generate ~manifest:m ~mix ~events:(if !quick then 30000 else 150000)
+        ~locality:0.6 ~seed:17
+    in
+    ignore (W.Trace.replay p trace);
+    (* warm *)
+    median_of_runs (fun () ->
+        let _, ns = Dcache_util.Clock.time_ns (fun () -> ignore (W.Trace.replay p trace)) in
+        Int64.to_float ns /. 1e6)
+  in
+  let base = trace_time Config.baseline in
+  let opt = trace_time Config.optimized in
+  row "%-34s unmod %8.2f ms   opt %8.2f ms   gain %+6.1f%%\n" "trace replay" base opt
+    (pct_gain ~base opt);
+
+  subheader "primary hash table occupancy (paper 6.5)";
+  (* the paper reports 58% empty / 34% single-entry buckets on its testbed *)
+  let env = W.Env.ram Config.optimized in
+  let p = env.W.Env.proc in
+  ignore (W.Tree_gen.build p ~root:"/src" (W.Tree_gen.source_tree ~scale:(scale ()) ()));
+  ignore (W.Apps.du p ~root:"/src");
+  let hist = Dcache_vfs.Dcache.bucket_occupancy (Kernel.dcache env.W.Env.kernel) in
+  let total = Array.fold_left ( + ) 0 hist in
+  Array.iteri
+    (fun len count ->
+      if count > 0 then
+        row "buckets with %s%d entries: %7d (%.1f%%)\n"
+          (if len = Array.length hist - 1 then ">=" else "")
+          len count
+          (float_of_int count /. float_of_int total *. 100.0))
+    hist;
+
+  subheader "dot-dot semantics (Linux vs Plan 9 lexical, paper 4.2)";
+  let dd1 = List.find (fun q -> q.W.Lmbench.label = "1-dotdot") W.Lmbench.patterns in
+  let dd4 = List.find (fun q -> q.W.Lmbench.label = "4-dotdot") W.Lmbench.patterns in
+  List.iter
+    (fun (label, config) ->
+      row "%-34s 1-dotdot %8.1f ns   4-dotdot %8.1f ns\n" label (stat_pattern config dd1)
+        (stat_pattern config dd4))
+    [
+      ("baseline", Config.baseline);
+      ("optimized, Linux dot-dot", Config.optimized);
+      ( "optimized, lexical dot-dot",
+        { Config.optimized with Config.dotdot = Config.Dotdot_lexical } );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  header "Bechamel microbenchmarks (OLS ns/run estimates, monotonic clock)";
+  let open Bechamel in
+  let make_env config =
+    let env = W.Env.ram config in
+    W.Lmbench.setup env.W.Env.proc;
+    env
+  in
+  let env_base = make_env Config.baseline in
+  let env_opt = make_env Config.optimized in
+  let stat_test name (env : W.Env.t) path =
+    (* [open Bechamel] shadows our [S] alias with Bechamel.S *)
+    let stat = Dcache_syscalls.Syscalls.stat in
+    Test.make ~name (Staged.stage (fun () -> ignore (stat env.W.Env.proc path)))
+  in
+  let test =
+    Test.make_grouped ~name:"stat"
+      [
+        stat_test "1comp/baseline" env_base "FFF";
+        stat_test "1comp/optimized" env_opt "FFF";
+        stat_test "8comp/baseline" env_base "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF";
+        stat_test "8comp/optimized" env_opt "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF";
+        stat_test "negative/baseline" env_base "XXX/YYY/ZZZ/NNN";
+        stat_test "negative/optimized" env_opt "XXX/YYY/ZZZ/NNN";
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) ols [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> row "%-28s %12.1f ns/run\n" name est
+      | Some _ | None -> row "%-28s %12s\n" name "n/a")
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig6", fig6); ("fig7", fig7);
+    ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("tab1", tab1); ("tab2", tab2);
+    ("tab3", tab3); ("tab4", tab4); ("ablation", ablation); ("bechamel", bechamel);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  if full then quick := false;
+  if List.mem "--list" args then begin
+    List.iter (fun (name, _) -> print_endline name) experiments;
+    exit 0
+  end;
+  let wanted =
+    List.filter (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--")) args
+  in
+  let to_run =
+    match wanted with
+    | [] -> experiments
+    | names ->
+      List.map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> (name, f)
+          | None ->
+            Printf.eprintf "unknown experiment %S (try --list)\n" name;
+            exit 1)
+        names
+  in
+  Printf.printf "dcache reproduction benchmarks - %s scale\n"
+    (if !quick then "quick (use --full for paper-scale parameters)" else "full");
+  List.iter (fun (_, f) -> f ()) to_run

@@ -1,0 +1,1 @@
+examples/lookup_anatomy.ml: Dcache_syscalls Dcache_vfs Dcache_workloads Int64 List Printf String

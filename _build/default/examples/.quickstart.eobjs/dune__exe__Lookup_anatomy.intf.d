@@ -1,0 +1,1 @@
+examples/lookup_anatomy.mli:

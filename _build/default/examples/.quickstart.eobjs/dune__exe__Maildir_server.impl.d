@@ -1,0 +1,1 @@
+examples/maildir_server.ml: Dcache_syscalls Dcache_types Dcache_vfs Dcache_workloads Int64 List Printf

@@ -1,0 +1,1 @@
+examples/maildir_server.mli:

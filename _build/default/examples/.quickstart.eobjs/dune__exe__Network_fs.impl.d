@@ -1,0 +1,1 @@
+examples/network_fs.ml: Dcache_fs Dcache_syscalls Dcache_types Dcache_util Dcache_vfs Int64 List Printf

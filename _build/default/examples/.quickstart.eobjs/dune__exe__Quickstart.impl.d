@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dcache_fs Dcache_syscalls Dcache_types Dcache_vfs List Printf

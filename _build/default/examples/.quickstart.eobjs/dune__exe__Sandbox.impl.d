@@ -1,0 +1,1 @@
+examples/sandbox.ml: Access Dcache_cred Dcache_fs Dcache_syscalls Dcache_types Dcache_vfs Errno List Printf

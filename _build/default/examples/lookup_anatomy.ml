@@ -1,0 +1,53 @@
+(* Anatomy of a path lookup: where the time goes on the baseline walk vs
+   the optimized fastpath (the paper's Fig. 3 view, live).
+
+   Run with: dune exec examples/lookup_anatomy.exe *)
+
+module Kernel = Dcache_syscalls.Kernel
+module Proc = Dcache_syscalls.Proc
+module S = Dcache_syscalls.Syscalls
+module Config = Dcache_vfs.Config
+module Phases = Dcache_vfs.Phases
+module Lmbench = Dcache_workloads.Lmbench
+module Env = Dcache_workloads.Env
+
+let profile label config path =
+  let env = Env.ram config in
+  let proc = env.Env.proc in
+  Lmbench.setup proc;
+  ignore (S.stat proc path);
+  (* warm: populate caches *)
+  let iters = 20000 in
+  Phases.enabled := true;
+  Phases.reset ();
+  for _ = 1 to iters do
+    ignore (S.stat proc path)
+  done;
+  Phases.enabled := false;
+  Printf.printf "%s  (path %s)\n" label path;
+  let totals = Phases.totals () in
+  let total =
+    List.fold_left (fun acc (_, ns) -> acc +. Int64.to_float ns) 0.0 totals
+  in
+  List.iter
+    (fun (phase, ns) ->
+      let per = Int64.to_float ns /. float_of_int iters in
+      let share = Int64.to_float ns /. total *. 100.0 in
+      let bar = String.make (int_of_float (share /. 2.5)) '#' in
+      Printf.printf "  %-24s %8.1f ns  %5.1f%% %s\n" (Phases.name phase) per share bar)
+    totals;
+  print_newline ()
+
+let () =
+  let path = "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF" in
+  print_endline "Where does a warm path lookup spend its time?\n";
+  profile "BASELINE: component-at-a-time walk — every phase repeats per component"
+    Config.baseline path;
+  profile
+    "OPTIMIZED: one signature + one DLHT probe + one PCC probe — only hashing stays linear"
+    Config.optimized path;
+  print_endline
+    "The optimized kernel collapses per-component permission checks and hash\n\
+     probes into constant-time memoized checks (paper sections 3.1-3.3); path\n\
+     scanning & hashing remains proportional to path length, exactly as the\n\
+     paper observes in Fig. 3."

@@ -1,0 +1,1 @@
+lib/core/dlht.ml: Array Dcache_sig Dcache_vfs List

@@ -1,0 +1,1 @@
+lib/core/dlht.mli: Dcache_sig Dcache_vfs

@@ -1,0 +1,1 @@
+lib/core/fastpath.ml: Dcache_fs Dcache_sig Dcache_types Dcache_util Dcache_vfs Dlht Errno File_kind List Pcc

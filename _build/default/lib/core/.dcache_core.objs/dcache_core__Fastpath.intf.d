@@ -1,0 +1,1 @@
+lib/core/fastpath.mli: Dcache_sig Dcache_types Dcache_vfs

@@ -1,0 +1,1 @@
+lib/core/pcc.ml: Array Dcache_cred Dcache_vfs Hashtbl

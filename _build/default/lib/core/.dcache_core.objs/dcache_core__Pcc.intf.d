@@ -1,0 +1,1 @@
+lib/core/pcc.mli: Dcache_cred Dcache_vfs

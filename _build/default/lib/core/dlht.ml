@@ -1,0 +1,56 @@
+open Dcache_vfs.Types
+module Signature = Dcache_sig.Signature
+
+type t = { buckets : dentry list array; ns : namespace; mutable count : int }
+type ns_ext += Dlht_ext of t
+
+let of_namespace ~buckets ns =
+  match ns.ns_ext with
+  | Some (Dlht_ext t) -> t
+  | Some _ | None ->
+    let t = { buckets = Array.make buckets []; ns; count = 0 } in
+    ns.ns_ext <- Some (Dlht_ext t);
+    t
+
+let bucket_of t signature = Signature.bucket signature land (Array.length t.buckets - 1)
+
+let remove_from t d =
+  match d.d_sig with
+  | None ->
+    (* Signature already cleared: fall back to scanning every bucket is far
+       too slow, but this situation cannot arise — membership is always
+       removed before the signature is cleared (Dcache.detach ordering). *)
+    ()
+  | Some signature ->
+    let idx = bucket_of t signature in
+    let before = t.buckets.(idx) in
+    let after = List.filter (fun other -> not (other == d)) before in
+    if List.length after < List.length before then t.count <- t.count - 1;
+    t.buckets.(idx) <- after
+
+let remove d =
+  match d.d_dlht_ns with
+  | None -> ()
+  | Some ns ->
+    (match ns.ns_ext with Some (Dlht_ext t) -> remove_from t d | Some _ | None -> ());
+    d.d_dlht_ns <- None
+
+let insert t ns d signature =
+  remove d;
+  let idx = bucket_of t signature in
+  t.buckets.(idx) <- d :: t.buckets.(idx);
+  t.count <- t.count + 1;
+  d.d_dlht_ns <- Some ns
+
+let find t ~key signature =
+  let idx = bucket_of t signature in
+  let rec scan = function
+    | [] -> None
+    | d :: rest -> (
+      match d.d_sig with
+      | Some s when Signature.equal key s signature -> Some d
+      | Some _ | None -> scan rest)
+  in
+  scan t.buckets.(idx)
+
+let population t = t.count

@@ -1,0 +1,33 @@
+(** Direct Lookup Hash Table (paper §3.1, Fig. 4).
+
+    A second, per-mount-namespace hash table that maps the {e signature of a
+    full canonical path} straight to a dentry, so a warm lookup is one probe
+    instead of a component-at-a-time walk.  Lazily populated after slowpath
+    walks; entries are shot down on renames, mount changes and evictions.
+
+    A dentry lives in at most one DLHT at a time — across namespaces and
+    mount aliases — favouring locality and keeping invalidation tractable
+    (§4.3).  The table is keyed by the low 16 bits of the signature; chains
+    compare the remaining 240 bits only (never the path string). *)
+
+open Dcache_vfs.Types
+module Signature = Dcache_sig.Signature
+
+type t
+
+val of_namespace : buckets:int -> namespace -> t
+(** The namespace's table, created on first use (stored in [ns_ext]). *)
+
+val insert : t -> namespace -> dentry -> Signature.t -> unit
+(** Publish [dentry] under [signature]; removes any previous membership
+    (other signature or other namespace) first and records the membership
+    on the dentry. *)
+
+val find : t -> key:Signature.key -> Signature.t -> dentry option
+(** Probe; compares signatures per the key's configured width. *)
+
+val remove : dentry -> unit
+(** Remove [dentry] from whichever DLHT holds it (no-op when none).  Safe to
+    call with the dentry's signature already current or about to change. *)
+
+val population : t -> int

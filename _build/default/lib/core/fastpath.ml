@@ -1,0 +1,395 @@
+open Dcache_types
+open Dcache_vfs.Types
+module Vfs = Dcache_vfs
+module Dcache = Vfs.Dcache
+module Walk = Vfs.Walk
+module Path = Vfs.Path
+module Config = Vfs.Config
+module Phases = Vfs.Phases
+module Signature = Dcache_sig.Signature
+module Counter = Dcache_util.Stats.Counter
+
+type t = {
+  dcache : Dcache.t;
+  key : Signature.key;
+  mutable simulate_pcc_miss : bool;
+}
+
+let create dcache =
+  let config = Dcache.config dcache in
+  let key =
+    Signature.create_key ~sig_bits:config.Config.sig_bits ~seed:config.Config.hash_seed ()
+  in
+  let t = { dcache; key; simulate_pcc_miss = false } in
+  (Dcache.hooks dcache).on_shootdown <- Dlht.remove;
+  t
+
+let dcache t = t.dcache
+let key t = t.key
+let set_simulate_pcc_miss t v = t.simulate_pcc_miss <- v
+let config t = Dcache.config t.dcache
+let counters t = Dcache.counters t.dcache
+
+(* --- canonical hash states (§3.1) ---
+
+   A dentry's hash state is the multilinear state after feeding its full
+   canonical path *in the mount tree of the namespace it was reached in*:
+   a mounted root inherits the state of its mountpoint.  States are computed
+   lazily and cached on the dentry; plain single-field writes make this safe
+   to run under the read lock (racing recomputations produce equal values). *)
+
+let rec ensure_hstate t (r : path_ref) =
+  let d = r.dentry in
+  match d.d_hstate with
+  | Some state -> state
+  | None ->
+    let state =
+      if d == r.mnt.mnt_root then begin
+        match r.mnt.mnt_mountpoint with
+        | None -> Signature.empty_state
+        | Some (pmnt, mountpoint) -> ensure_hstate t { mnt = pmnt; dentry = mountpoint }
+      end
+      else begin
+        match d.d_parent with
+        | None -> Signature.empty_state
+        | Some parent ->
+          let parent_state = ensure_hstate t { r with dentry = parent } in
+          Signature.feed_string t.key (Signature.feed_char t.key parent_state '/') d.d_name
+      end
+    in
+    d.d_hstate <- Some state;
+    if d.d_mnt = None then d.d_mnt <- Some r.mnt;
+    state
+
+(* --- the probe (§3.1, §4.2) --- *)
+
+exception Fall_back
+
+let real_of d = match d.d_alias with Some real -> real | None -> d
+
+let pcc_valid t pcc d =
+  (not t.simulate_pcc_miss) && Pcc.check pcc d
+
+(* Validate a DLHT hit against the PCC: the literal dentry covers the
+   literal prefix's permissions, the real dentry the translated one. *)
+let validate t pcc literal real =
+  if not (pcc_valid t pcc literal) then raise Fall_back;
+  if (not (real == literal)) && not (pcc_valid t pcc real) then raise Fall_back
+
+let dlht_of t ctx =
+  Dlht.of_namespace ~buckets:(config t).Config.dlht_buckets ctx.Walk.ns
+
+let pcc_of t ctx =
+  let cfg = config t in
+  Pcc.of_cred ~max_entries:cfg.Config.pcc_max_entries ctx.Walk.cred ctx.Walk.ns
+    ~entries:cfg.Config.pcc_entries
+
+(* One fastpath sub-lookup used by Linux dot-dot semantics (§4.2): resolve
+   the prefix walked so far to a (checked) directory. *)
+let probe_prefix t dlht pcc state =
+  let signature = Signature.finalize t.key state in
+  match Dlht.find dlht ~key:t.key signature with
+  | None -> raise Fall_back
+  | Some literal ->
+    let real = real_of literal in
+    validate t pcc literal real;
+    if not (dentry_is_dir real) then raise Fall_back;
+    (match real.d_mnt with Some mnt -> { mnt; dentry = real } | None -> raise Fall_back)
+
+let rec fast_dotdot ctx (cur : path_ref) =
+  if cur.dentry == ctx.Walk.root.dentry && cur.mnt == ctx.Walk.root.mnt then cur
+  else begin
+    match Vfs.Mount.follow_up cur with
+    | Some up -> fast_dotdot ctx up
+    | None -> (
+      match cur.dentry.d_parent with
+      | Some parent -> { cur with dentry = parent }
+      | None -> cur)
+  end
+
+let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
+  let cfg = config t in
+  let dlht = dlht_of t ctx in
+  let pcc = pcc_of t ctx in
+  let absolute = Path.is_absolute path in
+  let trailing_slash = Path.has_trailing_slash path in
+  let components =
+    Phases.timed Phases.Scan_hash (fun () ->
+        match Path.split path with
+        | Ok comps ->
+          if cfg.Config.dotdot = Config.Dotdot_lexical then Path.lexical_normalize comps
+          else comps
+        | Error e -> raise (Errno.Error e))
+  in
+  let base =
+    Phases.timed Phases.Init (fun () ->
+        let base = if absolute then ctx.Walk.root else start in
+        ensure_hstate t base)
+  in
+  (* Hash the canonical path, handling dot-dot per the configured
+     semantics; lexical mode has already removed them. *)
+  let state =
+    Phases.timed Phases.Scan_hash (fun () ->
+        List.fold_left
+          (fun state comp ->
+            match comp with
+            | Path.Cur -> state
+            | Path.Name name ->
+              Signature.feed_string t.key (Signature.feed_char t.key state '/') name
+            | Path.Up ->
+              (* Linux semantics: an extra fastpath lookup of the prefix to
+                 preserve permission checks, then resume from the parent's
+                 state (§4.2). *)
+              Counter.incr (counters t) "fastpath_dotdot_sublookup";
+              let prefix = probe_prefix t dlht pcc state in
+              let up = fast_dotdot ctx prefix in
+              ensure_hstate t up)
+          base components)
+  in
+  let signature = Signature.finalize t.key state in
+  let literal =
+    Phases.timed Phases.Table_lookup (fun () ->
+        match Dlht.find dlht ~key:t.key signature with
+        | Some d -> d
+        | None -> raise Fall_back)
+  in
+  Phases.timed Phases.Permission (fun () ->
+      let shallow_real = real_of literal in
+      validate t pcc literal shallow_real);
+  Phases.timed Phases.Finalize (fun () ->
+      (* A trailing symlink is followed by one DLHT probe per hop on its
+         cached target-path signature (§4.2): replacing any intermediate
+         link refreshes that link's own dentry, so the chain can never
+         serve a stale endpoint.  Symlink targets resolve against the
+         process root, so the shortcut only applies to non-chrooted
+         processes. *)
+      let at_ns_root =
+        ctx.Walk.root.mnt.mnt_mountpoint = None
+        && ctx.Walk.root.dentry == ctx.Walk.root.mnt.mnt_root
+      in
+      let rec chase d limit =
+        if limit = 0 then raise Fall_back
+        else begin
+          let is_symlink =
+            match dentry_kind d with
+            | Some File_kind.Symlink -> true
+            | Some _ | None -> false
+          in
+          if is_symlink && flags.Walk.follow_last then begin
+            match d.d_alias with
+            | Some real when not (real == d) ->
+              if not (pcc_valid t pcc real) then raise Fall_back;
+              chase real (limit - 1)
+            | Some _ | None -> (
+              if not at_ns_root then raise Fall_back;
+              match d.d_target_sig with
+              | None -> raise Fall_back
+              | Some target_sig -> (
+                match Dlht.find dlht ~key:t.key target_sig with
+                | None -> raise Fall_back
+                | Some next ->
+                  validate t pcc next (real_of next);
+                  chase next (limit - 1)))
+          end
+          else begin
+            match d.d_alias with
+            | Some real ->
+              if not (pcc_valid t pcc real) then raise Fall_back;
+              real
+            | None -> d
+          end
+        end
+      in
+      match literal.d_state with
+      | Negative errno ->
+        Counter.incr (counters t) "fastpath_negative_hit";
+        Error errno
+      | Positive _ | Partial _ -> (
+        let final = chase literal 8 in
+        match final.d_state with
+        | Negative errno ->
+          Counter.incr (counters t) "fastpath_negative_hit";
+          Error errno
+        | Partial _ -> raise Fall_back
+        | Positive _ ->
+          if (flags.Walk.must_dir || trailing_slash) && not (dentry_is_dir final) then
+            Error Errno.ENOTDIR
+          else begin
+            match final.d_mnt with
+            | None -> raise Fall_back
+            | Some mnt ->
+              final.d_last_used <- Dcache.new_tick t.dcache;
+              Ok { mnt; dentry = final }
+          end))
+
+(* --- population (§3.1, §3.2) --- *)
+
+(* Canonical signature of a symlink's target path: absolute targets resolve
+   from the namespace root, relative targets from the link's own directory.
+   Targets containing "." or ".." are left to the slowpath. *)
+let target_signature t (r : path_ref) d inode =
+  (* Only links whose body a previous (followed) resolution already read:
+     population must never trigger file system calls of its own. *)
+  match Vfs.Inode.cached_symlink_target inode with
+  | None -> None
+  | Some target -> (
+    match Path.split target with
+    | Error _ -> None
+    | Ok comps ->
+      let plain =
+        List.for_all (function Path.Name _ -> true | Path.Cur | Path.Up -> false) comps
+      in
+      if not plain then None
+      else begin
+        let base =
+          if Path.is_absolute target then ensure_hstate t (Vfs.Mount.root r.mnt.mnt_ns)
+          else begin
+            match d.d_parent with
+            | Some parent -> ensure_hstate t { r with dentry = parent }
+            | None -> Signature.empty_state
+          end
+        in
+        let state =
+          List.fold_left
+            (fun st comp ->
+              match comp with
+              | Path.Name name ->
+                Signature.feed_string t.key (Signature.feed_char t.key st '/') name
+              | Path.Cur | Path.Up -> st)
+            base comps
+        in
+        Some (Signature.finalize t.key state)
+      end)
+
+let populate t ctx ~visited ~absolute ~start =
+  match visited with
+  | [] -> ()
+  | _ :: _ ->
+    let ns = ctx.Walk.ns in
+    let dlht = dlht_of t ctx in
+    let pcc = pcc_of t ctx in
+    (* Directory-reference rule (§3.2): results of a relative walk may rely
+       on an open directory reference whose ancestors are no longer
+       searchable; only cache prefix checks when the starting directory's
+       own prefix check is still known-good. *)
+    let allow_pcc =
+      absolute || pcc_valid t pcc (real_of start.dentry)
+    in
+    List.iter
+      (fun (r : path_ref) ->
+        let d = r.dentry in
+        (* Dentries of a revalidating (stateless network) file system can
+           never be trusted without a server round trip, so they are not
+           published for direct lookup at all (§4.3). *)
+        if d.d_sb.sb_fs.Dcache_fs.Fs_intf.revalidate <> None then ()
+        else begin
+        (* Mount aliases (§4.3): a dentry is indexed under one path at a
+           time; reaching it under a different mount re-signatures it and
+           bumps its version in case the alias prefixes differ. *)
+        (match d.d_mnt with
+        | Some m when not (m == r.mnt) ->
+          Dlht.remove d;
+          d.d_hstate <- None;
+          d.d_sig <- None;
+          d.d_mnt <- Some r.mnt;
+          Dcache.bump_seq d;
+          Counter.incr (counters t) "mount_alias_resignature"
+        | Some _ | None -> ());
+        let state = ensure_hstate t r in
+        let signature =
+          match d.d_sig with
+          | Some s -> s
+          | None ->
+            let s = Signature.finalize t.key state in
+            d.d_sig <- Some s;
+            s
+        in
+        d.d_mnt <- Some r.mnt;
+        (* The dentries an alias redirects to must carry a mount and a PCC
+           entry too, or the probe could never finish on them. *)
+        let publish_target target =
+          if target.d_mnt = None then target.d_mnt <- Some r.mnt;
+          if allow_pcc && not t.simulate_pcc_miss then Pcc.insert pcc target
+        in
+        (match d.d_alias with Some real -> publish_target real | None -> ());
+        (* Symlink dentries carry the signature of their target path so the
+           probe can follow a trailing link (§4.2). *)
+        (match (d.d_target_sig, d.d_state) with
+        | None, Positive inode
+          when File_kind.equal (Vfs.Inode.kind inode) File_kind.Symlink ->
+          d.d_target_sig <- target_signature t r d inode
+        | _ -> ());
+        if not (d.d_dlht_ns == Some ns && d.d_sig = Some signature) then
+          Dlht.insert dlht ns d signature;
+        if allow_pcc && not t.simulate_pcc_miss then Pcc.insert pcc d
+        end)
+      visited;
+    Counter.add (counters t) "fastpath_populated" (List.length visited)
+
+(* --- the public lookup --- *)
+
+(* [within] runs on the resolved location while the lock protecting it is
+   still held (read side on a fastpath hit, write side on fallback), so
+   callers can pin dentries or check permissions without a race against
+   eviction. *)
+let lookup_with t ctx ?start ?(flags = Walk.default_flags) path ~within =
+  let cfg = config t in
+  let start = match start with Some s -> s | None -> ctx.Walk.cwd in
+  (* *at()-style lookups resolve relative to [start]; the slowpath reads the
+     origin from the context's cwd. *)
+  let ctx = { ctx with Walk.cwd = start } in
+  let absolute = Path.is_absolute path in
+  let finish (result : Walk.result_) =
+    match result.Walk.outcome with
+    | Ok r -> within r
+    | Error e -> Error e
+  in
+  if not cfg.Config.fastpath then begin
+    (* Baseline kernel: component-at-a-time only. *)
+    match Dcache.with_read t.dcache (fun () ->
+        match Walk.resolve_in_mode Walk.Rcu t.dcache ctx ~flags path with
+        | result -> finish result)
+    with
+    | result -> result
+    | exception Walk.Need_refwalk ->
+      Counter.incr (counters t) "walk_refwalk_fallback";
+      Dcache.with_write t.dcache (fun () ->
+          finish (Walk.resolve_in_mode Walk.Ref t.dcache ctx ~flags path))
+  end
+  else begin
+    let attempt =
+      Dcache.with_read t.dcache (fun () ->
+          match probe t ctx ~start ~flags path with
+          | Ok r ->
+            Counter.incr (counters t) "fastpath_hit";
+            Some (within r)
+          | Error e ->
+            Counter.incr (counters t) "fastpath_hit";
+            Some (Error e)
+          | exception Fall_back -> None
+          | exception Errno.Error e -> Some (Error e))
+    in
+    match attempt with
+    | Some outcome -> outcome
+    | None ->
+      Counter.incr (counters t) "fastpath_fallback";
+      Dcache.with_write t.dcache (fun () ->
+          let invalidation_before = Dcache.invalidation_counter t.dcache in
+          let result =
+            Walk.resolve_in_mode Walk.Ref t.dcache ctx
+              ~flags:{ flags with Walk.collect = true }
+              path
+          in
+          (* §3.2: results may only repopulate the DLHT/PCC if no shootdown
+             ran concurrently.  Under the coarse write lock this never
+             fires; the check documents (and preserves) the protocol. *)
+          if Dcache.invalidation_counter t.dcache = invalidation_before then
+            populate t ctx ~visited:result.Walk.visited ~absolute ~start;
+          finish result)
+  end
+
+let lookup t ctx ?start ?flags path =
+  let absolute = Path.is_absolute path in
+  match lookup_with t ctx ?start ?flags path ~within:(fun r -> Ok r) with
+  | Ok r -> { Walk.outcome = Ok r; visited = []; absolute }
+  | Error e -> { Walk.outcome = Error e; visited = []; absolute }

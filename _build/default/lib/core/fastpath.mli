@@ -1,0 +1,61 @@
+(** The optimized lookup fastpath (paper §3).
+
+    A lookup computes the signature of the full canonical path — resuming
+    the hash from the starting directory's stored state for relative paths —
+    probes the per-namespace {!Dlht} with it, and validates the result
+    against the per-credential {!Pcc}.  A hit resolves any path in a
+    constant number of hash-table operations; any miss (no DLHT entry, no
+    valid PCC entry, unresolvable trailing symlink, ...) falls back to the
+    ordinary component-at-a-time slowpath, whose successful prefix checks
+    repopulate the DLHT and PCC for next time.
+
+    Dot-dot components follow the configured semantics (§4.2): Linux mode
+    issues an extra fastpath sub-lookup per [..] to preserve permission
+    semantics; Plan 9 lexical mode pre-processes them away. *)
+
+open Dcache_vfs.Types
+module Walk = Dcache_vfs.Walk
+
+type t
+
+val create : Dcache_vfs.Dcache.t -> t
+(** Builds the fastpath state over a directory cache and installs the
+    shootdown hook that keeps the DLHT coherent with evictions and
+    invalidations.  The signature key is derived from the configuration's
+    [hash_seed] (a boot-time random value in a real kernel). *)
+
+val dcache : t -> Dcache_vfs.Dcache.t
+val key : t -> Dcache_sig.Signature.key
+
+val set_simulate_pcc_miss : t -> bool -> unit
+(** Force every probe to miss in the PCC (and skip PCC repopulation): the
+    paper's "fastpath miss + slowpath" worst case (Fig. 6). *)
+
+val lookup : t -> Walk.ctx -> ?start:path_ref -> ?flags:Walk.flags -> string -> Walk.result_
+(** Resolve a path: fastpath probe, then slowpath-with-population fallback.
+    [start] overrides the walk origin for relative paths (the *at() family);
+    default is the context's cwd.  Takes the dcache lock internally.
+    With the fastpath disabled in the configuration, this is the baseline
+    kernel's two-phase (Rcu then Ref) slowpath. *)
+
+val lookup_with :
+  t ->
+  Walk.ctx ->
+  ?start:path_ref ->
+  ?flags:Walk.flags ->
+  string ->
+  within:(path_ref -> ('a, Dcache_types.Errno.t) result) ->
+  ('a, Dcache_types.Errno.t) result
+(** Like {!lookup}, but runs [within] on the result while the protecting
+    lock is still held, so the caller can pin the dentry or evaluate
+    permissions without racing evictions. *)
+
+val populate : t -> Walk.ctx -> visited:path_ref list -> absolute:bool -> start:path_ref -> unit
+(** Publish a collected slowpath chain into the DLHT and PCC.  Must be
+    called with the write side held; respects the global invalidation
+    counter protocol (§3.2) and the directory-reference gating rule for
+    relative walks. *)
+
+val ensure_hstate : t -> path_ref -> Dcache_sig.Signature.state
+(** Resumable hash state of a location's canonical path, computing and
+    caching it (and its ancestors') on first use. *)

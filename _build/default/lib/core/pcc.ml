@@ -1,0 +1,153 @@
+open Dcache_vfs.Types
+module Cred = Dcache_cred.Cred
+
+(* Entries pack (dentry id, dentry seq) into one immediate int so that a
+   concurrent reader can never observe a half-updated pair.  31 bits of id
+   and 31 bits of seq leave the word well inside OCaml's 63-bit ints. *)
+let id_bits = 31
+let seq_mask = (1 lsl 31) - 1
+let pack id seq = ((id land ((1 lsl id_bits) - 1)) lsl 31) lor (seq land seq_mask)
+let packed_id e = (e lsr 31) land ((1 lsl id_bits) - 1)
+let packed_seq e = e land seq_mask
+
+let ways = 4
+
+type table = {
+  slots : int array;  (* 0 = empty *)
+  sets : int;
+  victims : int array;  (* per-set rotating replacement cursor *)
+}
+
+type t = {
+  mutable table : table;
+  max_entries : int;  (* dynamic-growth ceiling; = capacity when static *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable displaced : int;  (* replacement-victim evictions since last grow *)
+  mutable grow_count : int;
+}
+
+let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+let make_table entries =
+  let sets = entries / ways in
+  { slots = Array.make entries 0; sets; victims = Array.make sets 0 }
+
+let create ?max_entries ~entries () =
+  let entries = next_pow2 (max 16 entries) 16 in
+  let max_entries =
+    match max_entries with
+    | Some m -> next_pow2 (max entries m) entries
+    | None -> entries
+  in
+  { table = make_table entries; max_entries; hit_count = 0; miss_count = 0;
+    displaced = 0; grow_count = 0 }
+
+let capacity t = Array.length t.table.slots
+let grows t = t.grow_count
+
+let set_of table id =
+  let h = id * 0x2545F491 in
+  (h lxor (h lsr 13)) land (table.sets - 1)
+
+let check t d =
+  let table = t.table in
+  let id = d.d_id land ((1 lsl id_bits) - 1) in
+  let base = set_of table d.d_id * ways in
+  let rec scan i =
+    if i >= ways then begin
+      t.miss_count <- t.miss_count + 1;
+      false
+    end
+    else begin
+      let e = table.slots.(base + i) in
+      if e <> 0 && packed_id e = id then begin
+        if packed_seq e = d.d_seq land seq_mask then begin
+          t.hit_count <- t.hit_count + 1;
+          true
+        end
+        else begin
+          (* Stale version: the ancestor chain changed.  Drop the entry so
+             the paper's directory-reference rule can rely on "most recent
+             entry" semantics (§3.2). *)
+          table.slots.(base + i) <- 0;
+          t.miss_count <- t.miss_count + 1;
+          false
+        end
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+(* Dynamic resizing (the paper leaves the policy as future work, §6.3): when
+   capacity replacement is evicting entries faster than a quarter of the
+   cache per window, double the table — the working set has outgrown it.
+   Growth rehashes under the caller's write lock. *)
+let maybe_grow t =
+  let cap = Array.length t.table.slots in
+  if cap < t.max_entries && t.displaced > cap / 4 then begin
+    let old = t.table in
+    let bigger = make_table (cap * 2) in
+    Array.iter
+      (fun e ->
+        if e <> 0 then begin
+          let base = set_of bigger (packed_id e) * ways in
+          let rec place i =
+            if i < ways then begin
+              if bigger.slots.(base + i) = 0 then bigger.slots.(base + i) <- e
+              else place (i + 1)
+            end
+          in
+          place 0
+        end)
+      old.slots;
+    t.table <- bigger;
+    t.displaced <- 0;
+    t.grow_count <- t.grow_count + 1
+  end
+
+let insert t d =
+  let table = t.table in
+  let id = d.d_id land ((1 lsl id_bits) - 1) in
+  let set = set_of table d.d_id in
+  let base = set * ways in
+  let entry = pack id d.d_seq in
+  let rec place i =
+    if i >= ways then begin
+      let victim = table.victims.(set) land (ways - 1) in
+      table.victims.(set) <- table.victims.(set) + 1;
+      table.slots.(base + victim) <- entry;
+      t.displaced <- t.displaced + 1;
+      maybe_grow t
+    end
+    else begin
+      let e = table.slots.(base + i) in
+      if e = 0 || packed_id e = id then table.slots.(base + i) <- entry else place (i + 1)
+    end
+  in
+  place 0
+
+let invalidate_all t = Array.fill t.table.slots 0 (Array.length t.table.slots) 0
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+(* --- per-credential storage (§4.1) --- *)
+
+type Cred.slot += Pcc_slot of (int, t) Hashtbl.t
+
+let of_cred ?max_entries cred ns ~entries =
+  let table =
+    match Cred.find_slot cred (function Pcc_slot tbl -> Some tbl | _ -> None) with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 4 in
+      Cred.add_slot cred (Pcc_slot tbl);
+      tbl
+  in
+  match Hashtbl.find_opt table ns.ns_id with
+  | Some pcc -> pcc
+  | None ->
+    let pcc = create ?max_entries ~entries () in
+    Hashtbl.add table ns.ns_id pcc;
+    pcc

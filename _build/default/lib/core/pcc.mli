@@ -1,0 +1,50 @@
+(** Prefix Check Cache (paper §3.1, Fig. 5).
+
+    Memoizes the result of {e passed} prefix (search-permission) checks per
+    credential: an entry is a (dentry identity, dentry version) pair meaning
+    "a process with these credentials completed a permission-checked walk to
+    this dentry when its version counter was [seq]".  A probe hits only if
+    the dentry's current version still matches, so any chmod/chown/rename of
+    an ancestor (which bumps descendants' versions, §3.2) invalidates
+    entries implicitly, without touching each PCC.
+
+    Misses are {e not} cached: a miss means either "denied" or "not checked
+    recently" and simply forces the slowpath (§3.1).
+
+    The cache is a 4-way set-associative array of packed (id, seq) words
+    with per-set rotating replacement — an LRU approximation.  Packed
+    single-word entries make unsynchronized readers safe: a torn update can
+    only produce a mismatch, never a false hit. *)
+
+open Dcache_vfs.Types
+
+type t
+
+val create : ?max_entries:int -> entries:int -> unit -> t
+(** [entries] is rounded up to a power of two, minimum 16.  The paper's
+    64 KB PCC corresponds to 4096 entries.  When [max_entries] exceeds
+    [entries], the cache grows dynamically: the paper leaves the resize
+    policy as future work (§6.3); ours doubles the table whenever capacity
+    replacement has evicted more than a quarter of the cache since the
+    last growth. *)
+
+val capacity : t -> int
+val grows : t -> int
+(** Number of dynamic growth steps performed. *)
+
+val check : t -> dentry -> bool
+(** True iff a valid (current-version) entry for [dentry] is present;
+    refreshes its recency. *)
+
+val insert : t -> dentry -> unit
+(** Record a passed prefix check at the dentry's current version. *)
+
+val invalidate_all : t -> unit
+
+val of_cred : ?max_entries:int -> Dcache_cred.Cred.t -> namespace -> entries:int -> t
+(** The PCC shared by all processes holding this credential {e in this
+    mount namespace} (§4.1, §4.3); created on first use and stored in the
+    credential's security slot. *)
+
+val hits : t -> int
+val misses : t -> int

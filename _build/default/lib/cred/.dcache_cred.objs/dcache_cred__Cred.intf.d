@@ -1,0 +1,1 @@
+lib/cred/cred.mli:

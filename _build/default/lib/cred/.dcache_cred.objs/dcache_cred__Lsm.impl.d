@@ -1,0 +1,1 @@
+lib/cred/lsm.ml: Access Attr Cred Dcache_types File_kind List Mode

@@ -1,0 +1,1 @@
+lib/cred/lsm.mli: Cred Dcache_types

@@ -1,0 +1,1 @@
+lib/cred/maclabel.ml: Access Attr Cred Dcache_types List Lsm

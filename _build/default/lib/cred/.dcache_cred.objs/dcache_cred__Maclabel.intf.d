@@ -1,0 +1,1 @@
+lib/cred/maclabel.mli: Dcache_types Lsm

@@ -1,0 +1,78 @@
+type slot = ..
+
+type t = {
+  id : int;
+  uid : int;
+  gid : int;
+  groups : int list;
+  label : string option;
+  mutable slots : slot list;
+}
+
+let next_id = Atomic.make 1
+let fresh_id () = Atomic.fetch_and_add next_id 1
+
+let make ?(groups = []) ?label ~uid ~gid () =
+  { id = fresh_id (); uid; gid; groups = List.sort_uniq compare groups; label; slots = [] }
+
+let root () = make ~uid:0 ~gid:0 ()
+let id t = t.id
+let uid t = t.uid
+let gid t = t.gid
+let groups t = t.groups
+let label t = t.label
+let in_group t g = t.gid = g || List.mem g t.groups
+
+let equal_contents a b =
+  a.uid = b.uid && a.gid = b.gid && a.groups = b.groups && a.label = b.label
+
+module Builder = struct
+  type cred = t
+
+  type t = {
+    original : cred;
+    mutable b_uid : int;
+    mutable b_gid : int;
+    mutable b_groups : int list;
+    mutable b_label : string option;
+  }
+
+  let set_uid b uid = b.b_uid <- uid
+  let set_gid b gid = b.b_gid <- gid
+  let set_groups b groups = b.b_groups <- List.sort_uniq compare groups
+  let set_label b label = b.b_label <- label
+
+  let commit b =
+    let candidate =
+      {
+        id = 0;
+        uid = b.b_uid;
+        gid = b.b_gid;
+        groups = b.b_groups;
+        label = b.b_label;
+        slots = [];
+      }
+    in
+    (* The paper's commit_creds optimization: identical contents keep the old
+       cred object, so the attached PCC continues to be shared. *)
+    if equal_contents candidate b.original then b.original
+    else { candidate with id = fresh_id () }
+end
+
+let prepare t =
+  {
+    Builder.original = t;
+    b_uid = t.uid;
+    b_gid = t.gid;
+    b_groups = t.groups;
+    b_label = t.label;
+  }
+
+let find_slot t f =
+  let rec go = function
+    | [] -> None
+    | slot :: rest -> ( match f slot with Some _ as r -> r | None -> go rest)
+  in
+  go t.slots
+
+let add_slot t slot = t.slots <- slot :: t.slots

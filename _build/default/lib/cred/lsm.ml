@@ -1,0 +1,42 @@
+open Dcache_types
+
+type hooks = {
+  name : string;
+  inode_permission : Cred.t -> Attr.t -> Access.t -> bool;
+}
+
+type registry = { mutable modules : hooks list (* registration order *) }
+
+let create () = { modules = [] }
+let register registry hooks = registry.modules <- registry.modules @ [ hooks ]
+let names registry = List.map (fun h -> h.name) registry.modules
+
+let dac_permission cred (attr : Attr.t) mask =
+  let wants_exec = mask land Access.may_exec <> 0 in
+  if Cred.uid cred = 0 then
+    (* CAP_DAC_OVERRIDE: root bypasses rw checks; executing a regular file
+       still requires at least one x bit. *)
+    (not wants_exec)
+    || (not (File_kind.equal attr.kind File_kind.Regular))
+    || attr.mode land 0o111 <> 0
+  else begin
+    let class_bits =
+      if Cred.uid cred = attr.uid then Mode.owner_bits attr.mode
+      else if Cred.in_group cred attr.gid then Mode.group_bits attr.mode
+      else Mode.other_bits attr.mode
+    in
+    (* MAY_* masks and rwx class bits share the same encoding (r=4 w=2 x=1). *)
+    class_bits land mask = mask
+  end
+
+let permission registry cred attr mask =
+  dac_permission cred attr mask
+  && List.for_all (fun h -> h.inode_permission cred attr mask) registry.modules
+
+let counting hooks =
+  let calls = ref 0 in
+  let wrapped cred attr mask =
+    incr calls;
+    hooks.inode_permission cred attr mask
+  in
+  ({ hooks with inode_permission = wrapped }, fun () -> !calls)

@@ -1,0 +1,31 @@
+(** Linux Security Module framework (paper §4.1).
+
+    Security modules can override or restrict permission decisions beyond
+    POSIX discretionary access control.  The VFS calls {!permission} for
+    every inode access on the slowpath; the optimized dcache memoizes the
+    combined result in the per-credential prefix check cache, which is why
+    the framework keeps decisions a pure function of (cred, attr, mask). *)
+
+type hooks = {
+  name : string;
+  inode_permission : Cred.t -> Dcache_types.Attr.t -> Dcache_types.Access.t -> bool;
+      (** Restrictive hook: return [false] to deny an access DAC allowed. *)
+}
+
+type registry
+
+val create : unit -> registry
+val register : registry -> hooks -> unit
+val names : registry -> string list
+
+val dac_permission : Cred.t -> Dcache_types.Attr.t -> Dcache_types.Access.t -> bool
+(** POSIX discretionary check alone: owner/group/other rwx classes, with
+    root's DAC_OVERRIDE (exec still requires some x bit on regular files). *)
+
+val permission : registry -> Cred.t -> Dcache_types.Attr.t -> Dcache_types.Access.t -> bool
+(** DAC, then every registered module in registration order; all must
+    allow. *)
+
+val counting : hooks -> hooks * (unit -> int)
+(** [counting h] wraps [h] so calls are counted — used by tests and benches
+    to demonstrate that the PCC memoizes (expensive) LSM evaluations. *)

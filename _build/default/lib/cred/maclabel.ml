@@ -1,0 +1,14 @@
+open Dcache_types
+
+type rule = { domain : string; label : string; allow : Access.t }
+
+let hooks ~rules =
+  let inode_permission cred (attr : Attr.t) mask =
+    match (Cred.label cred, attr.label) with
+    | None, _ | _, None -> true
+    | Some domain, Some label ->
+      List.exists
+        (fun r -> r.domain = domain && r.label = label && Access.includes r.allow mask)
+        rules
+  in
+  { Lsm.name = "maclabel"; inode_permission }

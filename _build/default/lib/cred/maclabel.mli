@@ -1,0 +1,14 @@
+(** Label-based mandatory access control, an SELinux stand-in.
+
+    Inodes may carry a security label (via their [Attr.label] xattr) and
+    credentials carry a domain ([Cred.label]).  The policy is a list of
+    [(domain, label, allowed-mask)] triples; an access to a labeled inode is
+    allowed only if some triple covers it.  Unlabeled inodes and unconfined
+    credentials are always allowed, like SELinux permissive types.
+
+    Registering this module exercises the paper's claim that the PCC can
+    memoize arbitrary LSM decisions (§4.1). *)
+
+type rule = { domain : string; label : string; allow : Dcache_types.Access.t }
+
+val hooks : rules:rule list -> Lsm.hooks

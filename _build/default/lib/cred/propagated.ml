@@ -1,0 +1,48 @@
+type node = {
+  mutable mode : int;
+  mutable is_manual : bool;
+  children : (string, node) Hashtbl.t;
+}
+
+type t = { root_node : node; mutable count : int }
+
+let make_node mode is_manual = { mode; is_manual; children = Hashtbl.create 4 }
+let create ~root_mode = { root_node = make_node root_mode false; count = 1 }
+let root t = t.root_node
+
+let add t parent name =
+  let node = make_node parent.mode false in
+  Hashtbl.replace parent.children name node;
+  t.count <- t.count + 1;
+  node
+
+let add_manual t parent name ~mode =
+  let node = make_node mode true in
+  Hashtbl.replace parent.children name node;
+  t.count <- t.count + 1;
+  node
+
+let chmod _t node mode =
+  node.mode <- mode;
+  node.is_manual <- true;
+  (* The Windows heuristic: propagate to descendants except those whose
+     permissions were ever set by hand — and stop descending there, since
+     their subtrees inherited from the manual setting. *)
+  let rewritten = ref 1 in
+  let rec propagate parent =
+    Hashtbl.iter
+      (fun _ child ->
+        if not child.is_manual then begin
+          child.mode <- mode;
+          incr rewritten;
+          propagate child
+        end)
+      parent.children
+  in
+  propagate node;
+  !rewritten
+
+let effective_mode node = node.mode
+let manual node = node.is_manual
+let find _t parent name = Hashtbl.find_opt parent.children name
+let node_count t = t.count

@@ -1,0 +1,44 @@
+(** Windows-NT-style propagated hierarchical permissions (paper §2.3).
+
+    Windows enables direct (whole-path) lookup by storing each object's
+    {e effective} permissions on the object itself, propagated from the
+    parent at creation or modification time.  An access check then reads
+    one object — no prefix walk — but keeping the stored permissions
+    coherent with intent is the paper's "subtle manageability problem":
+    when a directory's permissions change, Windows propagates to children
+    {e except} those whose permissions were ever manually modified.
+
+    This standalone model exists to quantify and demonstrate that contrast
+    against the paper's approach (memoize prefix checks in memory, keep
+    POSIX semantics authoritative):
+
+    - {!effective_mode} is a single field read (like a PCC hit);
+    - {!chmod} costs O(subtree) persistent updates (vs the paper's
+      O(cached-subtree) in-memory invalidation);
+    - the heuristic leaves manually-modified children out of later
+      propagations — including the dangerous direction, where a child
+      stays world-accessible after its parent was locked down. *)
+
+type t
+type node
+
+val create : root_mode:int -> t
+val root : t -> node
+
+val add : t -> node -> string -> node
+(** Create a child inheriting the parent's effective mode. *)
+
+val add_manual : t -> node -> string -> mode:int -> node
+(** Create a child with explicitly chosen permissions (marked manual). *)
+
+val chmod : t -> node -> int -> int
+(** Change a node's permissions (marking it manual) and propagate to every
+    descendant {e not} marked manual; returns the number of objects
+    rewritten. *)
+
+val effective_mode : node -> int
+(** The stored effective permissions: one read, no ancestor consulted. *)
+
+val manual : node -> bool
+val find : t -> node -> string -> node option
+val node_count : t -> int

@@ -1,0 +1,1 @@
+lib/fs/dlfs.ml: Bytes Char Dcache_storage Dcache_types Errno File_kind List Mode Path_norm Result String

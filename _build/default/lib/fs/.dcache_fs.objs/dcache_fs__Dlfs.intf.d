@@ -1,0 +1,1 @@
+lib/fs/dlfs.mli: Dcache_storage Dcache_types

@@ -1,0 +1,1 @@
+lib/fs/extfs.ml: Array Attr Bytes Char Dcache_storage Dcache_types Errno File_kind Fs_intf Hashtbl List Mode Option String

@@ -1,0 +1,1 @@
+lib/fs/extfs.mli: Dcache_storage Dcache_types Fs_intf

@@ -1,0 +1,1 @@
+lib/fs/extfs_fsck.ml: Array Bytes Char Dcache_storage Dcache_types Errno Format Hashtbl List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/fs/extfs_fsck.mli: Dcache_storage Dcache_types Format

@@ -1,0 +1,1 @@
+lib/fs/fs_intf.ml: Attr Dcache_types Errno File_kind Mode Result

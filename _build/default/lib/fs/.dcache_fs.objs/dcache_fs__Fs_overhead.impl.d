@@ -1,0 +1,1 @@
+lib/fs/fs_overhead.ml: Dcache_util Fs_intf Int64 List

@@ -1,0 +1,1 @@
+lib/fs/fs_overhead.mli: Dcache_util Fs_intf

@@ -1,0 +1,1 @@
+lib/fs/netfs.ml: Attr Dcache_types Dcache_util Errno Fs_intf Hashtbl Int64 Option Result

@@ -1,0 +1,1 @@
+lib/fs/netfs.mli: Dcache_util Fs_intf

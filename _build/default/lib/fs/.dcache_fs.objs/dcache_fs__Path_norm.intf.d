@@ -1,0 +1,1 @@
+lib/fs/path_norm.mli:

@@ -1,0 +1,1 @@
+lib/fs/pseudofs.ml: Attr Dcache_types Errno File_kind Fs_intf Hashtbl List Mode Result String

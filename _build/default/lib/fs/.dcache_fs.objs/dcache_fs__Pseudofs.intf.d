@@ -1,0 +1,1 @@
+lib/fs/pseudofs.mli: Dcache_types Fs_intf

@@ -1,0 +1,1 @@
+lib/fs/ramfs.ml: Attr Bytes Dcache_types Errno File_kind Fs_intf Hashtbl List Mode Option Result String

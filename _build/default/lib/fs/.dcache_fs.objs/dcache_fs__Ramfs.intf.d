@@ -1,0 +1,1 @@
+lib/fs/ramfs.mli: Fs_intf

@@ -1,0 +1,336 @@
+open Dcache_types
+module Pagecache = Dcache_storage.Pagecache
+
+type t = {
+  cache : Pagecache.t;
+  block_size : int;
+  buckets : int;
+  heads_start : int;  (* first block of the bucket-head array *)
+  records_start : int;  (* first record block *)
+  mutable alloc_block : int;  (* bump allocator cursor *)
+  mutable alloc_off : int;
+  mutable records : int;
+}
+
+type entry = { path : string; kind : File_kind.t; mode : Mode.t; size : int }
+
+let magic = 0x444C4653 (* "DLFS" *)
+let header_len = 13
+let ( let* ) = Result.bind
+
+let get32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let set32 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set16 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+(* Record addresses pack (block, offset-in-block); 0 terminates chains
+   (block 0 is the superblock, so no record lives there). *)
+let addr_of ~block ~off = (block lsl 12) lor off
+let addr_block addr = addr lsr 12
+let addr_off addr = addr land 0xfff
+
+let kind_to_byte = function
+  | File_kind.Regular -> 1
+  | File_kind.Directory -> 2
+  | File_kind.Symlink -> 3
+  | File_kind.Chardev -> 4
+  | File_kind.Blockdev -> 5
+  | File_kind.Fifo -> 6
+  | File_kind.Socket -> 7
+
+let kind_of_byte = function
+  | 2 -> File_kind.Directory
+  | 3 -> File_kind.Symlink
+  | 4 -> File_kind.Chardev
+  | 5 -> File_kind.Blockdev
+  | 6 -> File_kind.Fifo
+  | 7 -> File_kind.Socket
+  | _ -> File_kind.Regular
+
+let path_hash path =
+  let h = ref 0xcbf29ce484222 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) path;
+  (!h lxor (!h lsr 27)) land max_int
+
+let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+let write_super t =
+  Pagecache.with_page_mut t.cache 0 (fun b ->
+      set32 b 0 magic;
+      set32 b 4 t.buckets;
+      set32 b 8 t.heads_start;
+      set32 b 12 t.records_start;
+      set32 b 16 t.alloc_block;
+      set32 b 20 t.alloc_off;
+      set32 b 24 t.records)
+
+(* --- bucket heads --- *)
+
+let heads_per_block t = t.block_size / 4
+
+let head_location t bucket =
+  (t.heads_start + (bucket / heads_per_block t), bucket mod heads_per_block t * 4)
+
+let read_head t bucket =
+  let block, off = head_location t bucket in
+  Pagecache.with_page t.cache block (fun b -> get32 b off)
+
+let write_head t bucket addr =
+  let block, off = head_location t bucket in
+  Pagecache.with_page_mut t.cache block (fun b -> set32 b off addr)
+
+(* --- records --- *)
+
+let read_record t addr =
+  Pagecache.with_page t.cache (addr_block addr) (fun b ->
+      let off = addr_off addr in
+      let next = get32 b off in
+      let kind = kind_of_byte (Char.code (Bytes.get b (off + 4))) in
+      let mode = get16 b (off + 5) in
+      let size = get32 b (off + 7) in
+      let pathlen = get16 b (off + 11) in
+      let path = Bytes.sub_string b (off + header_len) pathlen in
+      (next, { path; kind; mode; size }))
+
+let set_record_next t addr next =
+  Pagecache.with_page_mut t.cache (addr_block addr) (fun b -> set32 b (addr_off addr) next)
+
+let alloc_record t entry =
+  let need = header_len + String.length entry.path in
+  if need > t.block_size then invalid_arg "Dlfs: path too long";
+  if t.alloc_off + need > t.block_size then begin
+    t.alloc_block <- t.alloc_block + 1;
+    t.alloc_off <- 0
+  end;
+  let addr = addr_of ~block:t.alloc_block ~off:t.alloc_off in
+  Pagecache.with_page_mut t.cache t.alloc_block (fun b ->
+      let off = t.alloc_off in
+      set32 b off 0;
+      Bytes.set b (off + 4) (Char.chr (kind_to_byte entry.kind));
+      set16 b (off + 5) entry.mode;
+      set32 b (off + 7) entry.size;
+      set16 b (off + 11) (String.length entry.path);
+      Bytes.blit_string entry.path 0 b (off + header_len) (String.length entry.path));
+  t.alloc_off <- t.alloc_off + need;
+  addr
+
+(* --- chain operations --- *)
+
+let bucket_of t path = path_hash path land (t.buckets - 1)
+
+let find_in_chain t path =
+  let rec walk prev addr =
+    if addr = 0 then None
+    else begin
+      let next, entry = read_record t addr in
+      if String.equal entry.path path then Some (prev, addr, next, entry)
+      else walk (Some addr) next
+    end
+  in
+  walk None (read_head t (bucket_of t path))
+
+let insert_record t entry =
+  let bucket = bucket_of t entry.path in
+  let addr = alloc_record t entry in
+  set_record_next t addr (read_head t bucket);
+  write_head t bucket addr;
+  t.records <- t.records + 1;
+  write_super t
+
+let unlink_record t path =
+  match find_in_chain t path with
+  | None -> Error Errno.ENOENT
+  | Some (prev, _addr, next, entry) ->
+    (match prev with
+    | Some prev_addr -> set_record_next t prev_addr next
+    | None -> write_head t (bucket_of t entry.path) next);
+    t.records <- t.records - 1;
+    write_super t;
+    Ok entry
+
+(* --- public api --- *)
+
+let mkfs_and_mount ?(buckets = 4096) cache =
+  let block_size = Pagecache.block_size cache in
+  let buckets = next_pow2 (max 64 buckets) 64 in
+  let head_blocks = (buckets * 4 + block_size - 1) / block_size in
+  let t =
+    {
+      cache;
+      block_size;
+      buckets;
+      heads_start = 1;
+      records_start = 1 + head_blocks;
+      alloc_block = 1 + head_blocks;
+      alloc_off = 0;
+      records = 0;
+    }
+  in
+  let zero = Bytes.make block_size '\000' in
+  for blk = 0 to t.records_start - 1 do
+    Pagecache.write_page cache blk zero
+  done;
+  write_super t;
+  insert_record t { path = ""; kind = File_kind.Directory; mode = Mode.default_dir; size = 0 };
+  t
+
+let mount cache =
+  Pagecache.with_page cache 0 (fun b ->
+      if get32 b 0 <> magic then Error Errno.EINVAL
+      else
+        Ok
+          {
+            cache;
+            block_size = Pagecache.block_size cache;
+            buckets = get32 b 4;
+            heads_start = get32 b 8;
+            records_start = get32 b 12;
+            alloc_block = get32 b 16;
+            alloc_off = get32 b 20;
+            records = get32 b 24;
+          })
+
+let normalize path =
+  match Path_norm.normalize path with
+  | Some p -> Ok p
+  | None -> Error Errno.EINVAL
+
+let lookup t path =
+  let* path = normalize path in
+  match find_in_chain t path with
+  | Some (_, _, _, entry) -> Ok entry
+  | None -> Error Errno.ENOENT
+
+let parent_of path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path 0 i
+  | None -> ""
+
+let create t path kind =
+  let* path = normalize path in
+  if path = "" then Error Errno.EEXIST
+  else begin
+    match find_in_chain t path with
+    | Some _ -> Error Errno.EEXIST
+    | None -> (
+      match find_in_chain t (parent_of path) with
+      | Some (_, _, _, parent) when File_kind.equal parent.kind File_kind.Directory ->
+        insert_record t
+          { path; kind;
+            mode = (if File_kind.equal kind File_kind.Directory then Mode.default_dir
+                    else Mode.default_file);
+            size = 0 };
+        Ok ()
+      | Some _ -> Error Errno.ENOTDIR
+      | None -> Error Errno.ENOENT)
+  end
+
+(* Enumerate every live record (bucket-array scan). *)
+let fold_records t f acc =
+  let acc = ref acc in
+  for bucket = 0 to t.buckets - 1 do
+    let rec walk addr =
+      if addr <> 0 then begin
+        let next, entry = read_record t addr in
+        acc := f !acc entry;
+        walk next
+      end
+    in
+    walk (read_head t bucket)
+  done;
+  !acc
+
+let has_children t path =
+  let prefix = path ^ "/" in
+  fold_records t
+    (fun found entry ->
+      found
+      || String.length entry.path > String.length prefix
+         && String.sub entry.path 0 (String.length prefix) = prefix
+      || (parent_of entry.path = path && entry.path <> path))
+    false
+
+let remove t path =
+  let* path = normalize path in
+  if path = "" then Error Errno.EPERM
+  else begin
+    match find_in_chain t path with
+    | None -> Error Errno.ENOENT
+    | Some (_, _, _, entry) ->
+      if File_kind.equal entry.kind File_kind.Directory && has_children t path then
+        Error Errno.ENOTEMPTY
+      else Result.map (fun _ -> ()) (unlink_record t path)
+  end
+
+let rename_dir t old_path new_path =
+  let* old_path = normalize old_path in
+  let* new_path = normalize new_path in
+  if old_path = "" then Error Errno.EPERM
+  else begin
+    match find_in_chain t old_path with
+    | None -> Error Errno.ENOENT
+    | Some (_, _, _, entry) when not (File_kind.equal entry.kind File_kind.Directory) ->
+      Error Errno.ENOTDIR
+    | Some _ ->
+      if find_in_chain t new_path <> None then Error Errno.EEXIST
+      else begin
+        (* The DLFS problem in one loop: every descendant's record key is
+           a full path, so all of them are rewritten on disk. *)
+        let prefix = old_path ^ "/" in
+        let victims =
+          fold_records t
+            (fun acc e ->
+              if
+                String.equal e.path old_path
+                || String.length e.path >= String.length prefix
+                   && String.sub e.path 0 (String.length prefix) = prefix
+              then e :: acc
+              else acc)
+            []
+        in
+        let rewritten = ref 0 in
+        List.iter
+          (fun (e : entry) ->
+            ignore (unlink_record t e.path);
+            let suffix =
+              String.sub e.path (String.length old_path)
+                (String.length e.path - String.length old_path)
+            in
+            insert_record t { e with path = new_path ^ suffix };
+            incr rewritten)
+          victims;
+        Ok !rewritten
+      end
+  end
+
+let readdir t path =
+  let* path = normalize path in
+  match find_in_chain t path with
+  | None -> Error Errno.ENOENT
+  | Some (_, _, _, entry) when not (File_kind.equal entry.kind File_kind.Directory) ->
+    Error Errno.ENOTDIR
+  | Some _ ->
+    Ok
+      (fold_records t
+         (fun acc e -> if e.path <> "" && parent_of e.path = path then
+             (match String.rindex_opt e.path '/' with
+              | Some i -> String.sub e.path (i + 1) (String.length e.path - i - 1) :: acc
+              | None -> e.path :: acc)
+           else acc)
+         []
+      |> List.sort compare)
+
+let record_count t = t.records

@@ -1,0 +1,57 @@
+(** A DLFS-style on-disk full-path hash store (related work, paper §7).
+
+    The Direct Lookup File System (Lensing et al., SYSTOR'13) organizes the
+    {e disk} as a hash table keyed by path, so any file is found with one
+    I/O — the on-disk analogue of the paper's in-memory direct lookup.  The
+    paper's §7 argument is that hashing full paths {e in memory but not on
+    disk} keeps the speed while avoiding DLFS's usability problems, chiefly
+    that renaming a directory becomes a deep recursive re-hash of every
+    descendant's on-disk record.
+
+    This module implements the essential structure so the benchmark harness
+    can quantify that trade-off on the same simulated disk: an on-disk
+    bucket array plus chained path records (attributes inline), giving
+
+    - [lookup]: hash the path, read the bucket head, walk the (short) chain
+      — a constant number of block accesses;
+    - [rename_dir]: rewrite the record of {e every} descendant (each a
+      bucket-chain delete + insert), i.e. O(subtree) block writes.
+
+    Deliberately minimal (no hard links, no data blocks, prefix-scan
+    readdir): a comparator, not a fifth general-purpose file system. *)
+
+type t
+
+type entry = {
+  path : string;  (** canonical, no trailing slash; [""] is the root *)
+  kind : Dcache_types.File_kind.t;
+  mode : Dcache_types.Mode.t;
+  size : int;
+}
+
+val mkfs_and_mount : ?buckets:int -> Dcache_storage.Pagecache.t -> t
+(** Format and open a store ([buckets] defaults to 4096, rounded to a power
+    of two). *)
+
+val mount : Dcache_storage.Pagecache.t -> (t, Dcache_types.Errno.t) result
+
+val lookup : t -> string -> (entry, Dcache_types.Errno.t) result
+(** One hash + one chain walk; [ENOENT] when absent.  The parent chain is
+    not consulted (DLFS encodes permissions in closed form; we model only
+    the structural behaviour). *)
+
+val create : t -> string -> Dcache_types.File_kind.t -> (unit, Dcache_types.Errno.t) result
+(** [EEXIST] if present; [ENOENT] if the parent path is absent. *)
+
+val remove : t -> string -> (unit, Dcache_types.Errno.t) result
+(** Removes a file or an {e empty} directory. *)
+
+val rename_dir : t -> string -> string -> (int, Dcache_types.Errno.t) result
+(** Rename a directory: every descendant record is deleted and re-inserted
+    under the new prefix.  Returns the number of records rewritten. *)
+
+val readdir : t -> string -> (string list, Dcache_types.Errno.t) result
+(** Children names of a directory (full-store prefix scan; DLFS keeps
+    auxiliary structures for this, we don't pretend to). *)
+
+val record_count : t -> int

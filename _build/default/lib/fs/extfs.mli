@@ -1,0 +1,21 @@
+(** Disk-backed file system with an ext-style on-disk format.
+
+    Stands in for the paper's journaled ext4 volume: a superblock, inode and
+    block bitmaps, a fixed inode table, and data blocks holding packed
+    directory entries and file contents (12 direct pointers plus one
+    indirect block).  All accesses go through the {!Dcache_storage.Pagecache},
+    so a cold cache pays simulated seek and transfer latency and even a warm
+    miss pays the cost of re-parsing the on-disk metadata — exactly the
+    dcache-miss costs the paper's §5 optimizations avoid.
+
+    Directory entries are packed records [ino:4 | kind:1 | namelen:1 | name];
+    unlinked entries become tombstones ([ino = 0]).  Names are limited to 255
+    bytes, files to [12 + block_size/4] blocks. *)
+
+val mkfs : Dcache_storage.Pagecache.t -> unit
+(** Format the device.  Destroys existing contents. *)
+
+val mount : Dcache_storage.Pagecache.t -> (Fs_intf.t, Dcache_types.Errno.t) result
+(** Mount a formatted device; [Error EINVAL] if the superblock is bad. *)
+
+val mkfs_and_mount : Dcache_storage.Pagecache.t -> Fs_intf.t

@@ -1,0 +1,238 @@
+(* Deliberately independent of extfs.ml: the checker re-implements the
+   on-disk format from its specification so that a layout bug in either
+   implementation shows up as a disagreement. *)
+
+open Dcache_types
+module Pagecache = Dcache_storage.Pagecache
+
+type issue = { severity : [ `Error | `Warning ]; message : string }
+
+type report = {
+  issues : issue list;
+  inodes_used : int;
+  blocks_used : int;
+  files : int;
+  directories : int;
+  symlinks : int;
+}
+
+let errors report = List.filter (fun i -> i.severity = `Error) report.issues
+
+let magic = 0x45585453
+let inode_size = 128
+let direct_pointers = 12
+let dirent_header = 6
+
+let get32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+type geo = {
+  block_size : int;
+  block_count : int;
+  inode_count : int;
+  inode_bitmap_start : int;
+  block_bitmap_start : int;
+  itable_start : int;
+  data_start : int;
+}
+
+type dinode = {
+  kind : int;  (* raw kind byte; 0 = free *)
+  nlink : int;
+  size : int;
+  direct : int array;
+  indirect : int;
+}
+
+let read_geo cache =
+  Pagecache.with_page cache 0 (fun b ->
+      if get32 b 0 <> magic then Error Errno.EINVAL
+      else
+        Ok
+          {
+            block_size = Pagecache.block_size cache;
+            block_count = get32 b 4;
+            inode_count = get32 b 8;
+            inode_bitmap_start = get32 b 12;
+            block_bitmap_start = get32 b 20;
+            itable_start = get32 b 28;
+            data_start = get32 b 36;
+          })
+
+let bitmap_get cache geo ~start bit =
+  let bits_per_block = geo.block_size * 8 in
+  Pagecache.with_page cache (start + (bit / bits_per_block)) (fun b ->
+      let idx = bit mod bits_per_block in
+      Char.code (Bytes.get b (idx / 8)) land (1 lsl (idx mod 8)) <> 0)
+
+let read_dinode cache geo ino =
+  let index = ino - 1 in
+  let per_block = geo.block_size / inode_size in
+  let block = geo.itable_start + (index / per_block) in
+  let off = index mod per_block * inode_size in
+  Pagecache.with_page cache block (fun b ->
+      {
+        kind = Char.code (Bytes.get b off);
+        nlink = get32 b (off + 12);
+        size = get32 b (off + 16);
+        direct = Array.init direct_pointers (fun i -> get32 b (off + 24 + (i * 4)));
+        indirect = get32 b (off + 72);
+      })
+
+let inode_blocks cache geo d =
+  let direct = Array.to_list d.direct |> List.filter (fun b -> b <> 0) in
+  if d.indirect = 0 then direct
+  else begin
+    let pointers =
+      Pagecache.with_page cache d.indirect (fun b ->
+          List.init (geo.block_size / 4) (fun i -> get32 b (i * 4)))
+      |> List.filter (fun b -> b <> 0)
+    in
+    (d.indirect :: direct) @ pointers
+  end
+
+let dir_entries cache geo d =
+  let entries = ref [] in
+  Array.iter
+    (fun block ->
+      if block <> 0 then
+        Pagecache.with_page cache block (fun b ->
+            let rec go off =
+              if off + dirent_header <= geo.block_size then begin
+                let namelen = Char.code (Bytes.get b (off + 5)) in
+                if namelen > 0 && off + dirent_header + namelen <= geo.block_size then begin
+                  let ino = get32 b off in
+                  let kind = Char.code (Bytes.get b (off + 4)) in
+                  if ino <> 0 then begin
+                    let name = Bytes.sub_string b (off + dirent_header) namelen in
+                    entries := (name, ino, kind) :: !entries
+                  end;
+                  go (off + dirent_header + namelen)
+                end
+              end
+            in
+            go 0))
+    d.direct;
+  List.rev !entries
+
+let check cache =
+  match read_geo cache with
+  | Error _ as e -> Result.map (fun _ -> assert false) e
+  | Ok geo ->
+    let issues = ref [] in
+    let problem severity fmt =
+      Printf.ksprintf (fun message -> issues := { severity; message } :: !issues) fmt
+    in
+    (* Pass 1: scan the inode table, collecting used inodes and their block
+       references. *)
+    let used_inodes = Hashtbl.create 256 in
+    let block_refs = Hashtbl.create 1024 in
+    let files = ref 0 and directories = ref 0 and symlinks = ref 0 in
+    for ino = 1 to geo.inode_count do
+      let allocated = bitmap_get cache geo ~start:geo.inode_bitmap_start (ino - 1) in
+      let d = read_dinode cache geo ino in
+      if d.kind <> 0 && not allocated then
+        problem `Error "inode %d in use but not allocated in the bitmap" ino;
+      if d.kind = 0 && allocated then
+        problem `Warning "inode %d allocated in the bitmap but free in the table" ino;
+      if d.kind <> 0 then begin
+        Hashtbl.replace used_inodes ino d;
+        (match d.kind with
+        | 1 -> incr files
+        | 2 -> incr directories
+        | 3 -> incr symlinks
+        | 4 | 5 | 6 | 7 -> incr files
+        | k -> problem `Error "inode %d has invalid kind byte %d" ino k);
+        List.iter
+          (fun block ->
+            if block < geo.data_start || block >= geo.block_count then
+              problem `Error "inode %d references out-of-range block %d" ino block
+            else begin
+              (match Hashtbl.find_opt block_refs block with
+              | Some owner ->
+                problem `Error "block %d referenced by both inode %d and inode %d" block
+                  owner ino
+              | None -> ());
+              Hashtbl.replace block_refs block ino;
+              if not (bitmap_get cache geo ~start:geo.block_bitmap_start (block - geo.data_start))
+              then problem `Error "inode %d references unallocated block %d" ino block
+            end)
+          (inode_blocks cache geo d)
+      end
+    done;
+    (* Pass 2: walk the directory tree from the root, counting references
+       and checking entries. *)
+    let link_counts = Hashtbl.create 256 in
+    let bump ino = Hashtbl.replace link_counts ino (1 + Option.value (Hashtbl.find_opt link_counts ino) ~default:0) in
+    let reachable = Hashtbl.create 256 in
+    let rec walk ino =
+      if not (Hashtbl.mem reachable ino) then begin
+        Hashtbl.replace reachable ino ();
+        match Hashtbl.find_opt used_inodes ino with
+        | None -> problem `Error "reachable inode %d is not in use" ino
+        | Some d when d.kind = 2 ->
+          let subdirs = ref 0 in
+          List.iter
+            (fun (name, child_ino, ekind) ->
+              if String.length name = 0 || String.contains name '/' then
+                problem `Error "directory %d has malformed entry name %S" ino name;
+              (match Hashtbl.find_opt used_inodes child_ino with
+              | None -> problem `Error "entry %S in dir %d references free inode %d" name ino child_ino
+              | Some child ->
+                if child.kind <> ekind then
+                  problem `Error "entry %S in dir %d has kind %d but inode %d has kind %d"
+                    name ino ekind child_ino child.kind;
+                if child.kind = 2 then incr subdirs);
+              bump child_ino;
+              walk child_ino)
+            (dir_entries cache geo d);
+          (* nlink of a directory = 2 (itself + '.') + one '..' per subdir;
+             we model '.'/'..'-less dirents so expected = 2 + subdirs. *)
+          let expected = 2 + !subdirs in
+          if d.nlink <> expected then
+            problem `Error "directory inode %d has nlink %d, expected %d" ino d.nlink expected
+        | Some _ -> ()
+      end
+    in
+    bump 1;
+    bump 1;
+    (* the root's self references *)
+    walk 1;
+    (* Pass 3: link counts of non-directories, and orphans. *)
+    Hashtbl.iter
+      (fun ino (d : dinode) ->
+        if d.kind <> 2 then begin
+          let refs = Option.value (Hashtbl.find_opt link_counts ino) ~default:0 in
+          if Hashtbl.mem reachable ino && refs <> d.nlink then
+            problem `Error "inode %d has nlink %d but %d directory references" ino d.nlink refs;
+          if not (Hashtbl.mem reachable ino) then begin
+            if d.nlink = 0 then
+              problem `Warning "orphan inode %d (unlinked but pinned open)" ino
+            else problem `Error "unreachable inode %d with nlink %d" ino d.nlink
+          end
+        end
+        else if not (Hashtbl.mem reachable ino) then
+          problem `Error "unreachable directory inode %d" ino)
+      used_inodes;
+    Ok
+      {
+        issues = List.rev !issues;
+        inodes_used = Hashtbl.length used_inodes;
+        blocks_used = Hashtbl.length block_refs;
+        files = !files;
+        directories = !directories;
+        symlinks = !symlinks;
+      }
+
+let pp_report fmt report =
+  Format.fprintf fmt "inodes=%d blocks=%d files=%d dirs=%d symlinks=%d@."
+    report.inodes_used report.blocks_used report.files report.directories report.symlinks;
+  List.iter
+    (fun issue ->
+      Format.fprintf fmt "%s: %s@."
+        (match issue.severity with `Error -> "ERROR" | `Warning -> "warning")
+        issue.message)
+    report.issues

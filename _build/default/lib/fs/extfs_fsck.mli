@@ -1,0 +1,38 @@
+(** Consistency checker for {!Extfs} volumes.
+
+    Walks the on-disk structures directly (superblock, bitmaps, inode table,
+    directory blocks) and cross-checks them, like a miniature [e2fsck]:
+
+    - every directory entry references an allocated inode of the same kind;
+    - inode link counts match the number of referencing entries (plus [.]
+      and subdirectory [..] accounting for directories);
+    - every block referenced by an inode is marked allocated, and no block
+      is referenced twice;
+    - allocated inodes/blocks are reachable from the root (orphans from
+      unlinked-but-open files are reported, not failed);
+    - directory entry names are well-formed.
+
+    Used by property tests: any sequence of fs operations must leave the
+    volume fsck-clean after [sync]. *)
+
+type issue = {
+  severity : [ `Error | `Warning ];
+  message : string;
+}
+
+type report = {
+  issues : issue list;
+  inodes_used : int;
+  blocks_used : int;
+  files : int;
+  directories : int;
+  symlinks : int;
+}
+
+val errors : report -> issue list
+
+val check : Dcache_storage.Pagecache.t -> (report, Dcache_types.Errno.t) result
+(** Check a formatted volume through its page cache.  [Error EINVAL] if the
+    superblock is unreadable. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,77 @@
+(** Low-level file system interface.
+
+    This is the analog of Linux's [inode_operations]/[file_operations] as
+    seen from the VFS: file systems resolve names one component at a time
+    within a parent directory inode, and never see mount points, the dcache,
+    or path strings (paper §2.2-2.3).  Permission checks are the VFS's job;
+    implementations only enforce structural invariants (existence, emptiness,
+    link limits, space).
+
+    All operations identify inodes by inode number, so the same interface
+    works for memory-backed (ramfs, pseudofs) and disk-backed (extfs)
+    implementations. *)
+
+open Dcache_types
+
+type dirent = { name : string; ino : int; kind : File_kind.t }
+
+(** Attribute changes for [setattr]; [None] leaves a field untouched.
+    [set_label = Some None] clears the security label. *)
+type setattr = {
+  set_mode : Mode.t option;
+  set_uid : int option;
+  set_gid : int option;
+  set_size : int option;
+  set_label : string option option;
+}
+
+let no_setattr =
+  { set_mode = None; set_uid = None; set_gid = None; set_size = None; set_label = None }
+
+type t = {
+  fs_type : string;
+  root_ino : int;
+  negative_dentries : bool;
+      (** Whether the VFS should cache lookup failures as negative dentries.
+          Pseudo file systems (proc, sys, dev) opt out in baseline Linux
+          because a miss never costs disk I/O; the paper's aggressive
+          negative caching overrides this (§5.2). *)
+  lookup : int -> string -> (Attr.t, Errno.t) result;
+      (** [lookup dir name]: resolve one component in directory [dir].
+          [Error ENOENT] is the (cacheable) "definitely absent" answer. *)
+  getattr : int -> (Attr.t, Errno.t) result;
+  setattr : int -> setattr -> (Attr.t, Errno.t) result;
+  readdir : int -> (dirent list, Errno.t) result;
+      (** Full listing excluding ["."] and [".."], in storage order. *)
+  create :
+    int -> string -> File_kind.t -> Mode.t -> uid:int -> gid:int -> (Attr.t, Errno.t) result;
+  symlink : int -> string -> target:string -> uid:int -> gid:int -> (Attr.t, Errno.t) result;
+  link : int -> string -> int -> (Attr.t, Errno.t) result;
+      (** [link dir name ino]: new hard link to existing inode [ino]. *)
+  unlink : int -> string -> (unit, Errno.t) result;
+  rmdir : int -> string -> (unit, Errno.t) result;
+  rename : int -> string -> int -> string -> (unit, Errno.t) result;
+      (** [rename old_dir old_name new_dir new_name], within this fs;
+          overwrites a non-directory target, POSIX-style.  As in Linux, the
+          caller (the VFS, under its rename lock) is responsible for
+          rejecting a directory move into its own subtree. *)
+  readlink : int -> (string, Errno.t) result;
+  read : int -> off:int -> len:int -> (string, Errno.t) result;
+  write : int -> off:int -> string -> (int, Errno.t) result;
+  sync : unit -> unit;
+  pin_inode : int -> unit;
+      (** VFS holds a reference (an open file): keep the inode alive even at
+          link count zero — the iget side of Linux's iget/iput. *)
+  unpin_inode : int -> unit;
+      (** Drop a reference; an unpinned inode with no links is freed. *)
+  revalidate : (int -> (bool, Errno.t) result) option;
+      (** [None] for local file systems: cached dentries are trusted.
+          Network file systems with close-to-open consistency over a
+          stateless protocol (NFS v2/3) must revalidate every cached
+          component at the server — which, as the paper observes (§4.3),
+          forces the walk back to component-at-a-time RPCs and nullifies
+          the direct-lookup fastpath.  [Some check]: the walk calls [check
+          ino] on every cached hit; [Ok false] means the entry is stale. *)
+}
+
+let ( let* ) = Result.bind

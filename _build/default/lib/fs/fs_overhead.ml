@@ -1,0 +1,74 @@
+open Fs_intf
+
+type costs = {
+  lookup_ns : int;
+  getattr_ns : int;
+  readdir_base_ns : int;
+  readdir_entry_ns : int;
+  mutate_ns : int;
+  readlink_ns : int;
+}
+
+let default_costs =
+  {
+    lookup_ns = 800;
+    getattr_ns = 400;
+    readdir_base_ns = 600;
+    readdir_entry_ns = 40;
+    mutate_ns = 1200;
+    readlink_ns = 300;
+  }
+
+let wrap ?(costs = default_costs) ~clock fs =
+  let charge ns = Dcache_util.Vclock.charge clock (Int64.of_int ns) in
+  {
+    fs with
+    lookup =
+      (fun dir name ->
+        charge costs.lookup_ns;
+        fs.lookup dir name);
+    getattr =
+      (fun ino ->
+        charge costs.getattr_ns;
+        fs.getattr ino);
+    setattr =
+      (fun ino changes ->
+        charge costs.mutate_ns;
+        fs.setattr ino changes);
+    readdir =
+      (fun dir ->
+        charge costs.readdir_base_ns;
+        let result = fs.readdir dir in
+        (match result with
+        | Ok entries -> charge (costs.readdir_entry_ns * List.length entries)
+        | Error _ -> ());
+        result);
+    create =
+      (fun dir name kind mode ~uid ~gid ->
+        charge costs.mutate_ns;
+        fs.create dir name kind mode ~uid ~gid);
+    symlink =
+      (fun dir name ~target ~uid ~gid ->
+        charge costs.mutate_ns;
+        fs.symlink dir name ~target ~uid ~gid);
+    link =
+      (fun dir name ino ->
+        charge costs.mutate_ns;
+        fs.link dir name ino);
+    unlink =
+      (fun dir name ->
+        charge costs.mutate_ns;
+        fs.unlink dir name);
+    rmdir =
+      (fun dir name ->
+        charge costs.mutate_ns;
+        fs.rmdir dir name);
+    rename =
+      (fun od on nd nn ->
+        charge costs.mutate_ns;
+        fs.rename od on nd nn);
+    readlink =
+      (fun ino ->
+        charge costs.readlink_ns;
+        fs.readlink ino);
+  }

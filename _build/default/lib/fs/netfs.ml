@@ -1,0 +1,139 @@
+open Dcache_types
+open Fs_intf
+
+type protocol = Stateless | Stateful
+
+type callback = { mutable on_break : int -> unit }
+
+type server = {
+  backing : Fs_intf.t;
+  clock : Dcache_util.Vclock.t;
+  rpc_latency : int64;
+  generations : (int, int) Hashtbl.t;  (* per-inode change generation *)
+  mutable rpcs : int;
+  cb : callback;
+}
+
+let server ?(rpc_latency_ns = 120_000) ~clock backing =
+  {
+    backing;
+    clock;
+    rpc_latency = Int64.of_int rpc_latency_ns;
+    generations = Hashtbl.create 256;
+    rpcs = 0;
+    cb = { on_break = (fun _ -> ()) };
+  }
+
+let rpc_count t = t.rpcs
+let reset_rpc_count t = t.rpcs <- 0
+let callbacks t = t.cb
+
+let generation t ino = Option.value (Hashtbl.find_opt t.generations ino) ~default:0
+
+let bump_generation t ino = Hashtbl.replace t.generations ino (generation t ino + 1)
+
+let break_callback t ino =
+  bump_generation t ino;
+  t.cb.on_break ino
+
+(* One server round trip. *)
+let rpc t f =
+  t.rpcs <- t.rpcs + 1;
+  Dcache_util.Vclock.charge t.clock t.rpc_latency;
+  f t.backing
+
+let client ~protocol server =
+  let fs = server.backing in
+  (* What generation of each inode this client last saw; refreshed by any
+     RPC that returns the inode's attributes. *)
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let note_attr (attr : Attr.t) =
+    Hashtbl.replace seen attr.Attr.ino (generation server attr.Attr.ino);
+    attr
+  in
+  let mutated ino =
+    bump_generation server ino;
+    Hashtbl.replace seen ino (generation server ino)
+  in
+  let revalidate ino =
+    rpc server (fun backing ->
+        match backing.getattr ino with
+        | Error Errno.EIO -> Ok false (* the inode is gone on the server *)
+        | Error _ as e -> Result.map (fun _ -> false) e
+        | Ok _ ->
+          let current = generation server ino in
+          let fresh =
+            match Hashtbl.find_opt seen ino with
+            | Some g -> g = current
+            | None -> false
+          in
+          Hashtbl.replace seen ino current;
+          Ok fresh)
+  in
+  {
+    fs_type = (match protocol with Stateless -> "netfs-stateless" | Stateful -> "netfs-stateful");
+    root_ino = fs.root_ino;
+    (* A stateless client cannot trust cached absence either: negative
+       dentries are disabled so every miss re-asks the server. *)
+    negative_dentries = (protocol = Stateful);
+    lookup =
+      (fun dir name -> rpc server (fun b -> Result.map note_attr (b.lookup dir name)));
+    getattr = (fun ino -> rpc server (fun b -> Result.map note_attr (b.getattr ino)));
+    setattr =
+      (fun ino changes ->
+        rpc server (fun b ->
+            let result = b.setattr ino changes in
+            mutated ino;
+            Result.map note_attr result));
+    readdir = (fun dir -> rpc server (fun b -> b.readdir dir));
+    create =
+      (fun dir name kind mode ~uid ~gid ->
+        rpc server (fun b ->
+            let result = b.create dir name kind mode ~uid ~gid in
+            mutated dir;
+            Result.map note_attr result));
+    symlink =
+      (fun dir name ~target ~uid ~gid ->
+        rpc server (fun b ->
+            let result = b.symlink dir name ~target ~uid ~gid in
+            mutated dir;
+            Result.map note_attr result));
+    link =
+      (fun dir name ino ->
+        rpc server (fun b ->
+            let result = b.link dir name ino in
+            mutated dir;
+            mutated ino;
+            Result.map note_attr result));
+    unlink =
+      (fun dir name ->
+        rpc server (fun b ->
+            let result = b.unlink dir name in
+            mutated dir;
+            result));
+    rmdir =
+      (fun dir name ->
+        rpc server (fun b ->
+            let result = b.rmdir dir name in
+            mutated dir;
+            result));
+    rename =
+      (fun od on nd nn ->
+        rpc server (fun b ->
+            let result = b.rename od on nd nn in
+            mutated od;
+            mutated nd;
+            result));
+    readlink = (fun ino -> rpc server (fun b -> b.readlink ino));
+    read = (fun ino ~off ~len -> rpc server (fun b -> b.read ino ~off ~len));
+    write =
+      (fun ino ~off data ->
+        rpc server (fun b ->
+            let result = b.write ino ~off data in
+            mutated ino;
+            result));
+    sync = (fun () -> fs.sync ());
+    pin_inode = fs.pin_inode;
+    unpin_inode = fs.unpin_inode;
+    revalidate = (match protocol with Stateless -> Some revalidate | Stateful -> None);
+  }

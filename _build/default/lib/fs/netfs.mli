@@ -1,0 +1,52 @@
+(** Simulated network file system client/server (paper §4.3).
+
+    A server wraps any local {!Fs_intf.t}; clients forward every operation
+    as an RPC, charging round-trip latency to the shared virtual clock.
+    Two consistency protocols are modeled:
+
+    - {!Stateless} (NFS v2/3 close-to-open): the client cannot trust cached
+      dentries and must revalidate every component at the server.  The
+      client advertises a [revalidate] hook, which the VFS walk calls on
+      every cached hit — re-introducing one RPC per component and, exactly
+      as the paper observes, nullifying the direct-lookup fastpath (which
+      refuses to bypass a revalidating file system).
+
+    - {!Stateful} (AFS / NFSv4.1 callbacks): the server promises to notify
+      the client when cached state goes stale, so cached dentries are
+      trusted and the fastpath applies unchanged.  External (server-side)
+      mutations are delivered as callbacks; in this simulation the test or
+      benchmark triggers them explicitly with {!break_callback} after
+      mutating the server fs out-of-band.
+
+    Consistency model: all mutations by this client go through the client
+    (and are therefore coherent); out-of-band server mutations are visible
+    to a [Stateless] client on its next revalidation, and to a [Stateful]
+    client once the callback fires. *)
+
+type protocol = Stateless | Stateful
+
+type server
+
+val server : ?rpc_latency_ns:int -> clock:Dcache_util.Vclock.t -> Fs_intf.t -> server
+(** [rpc_latency_ns] defaults to 120_000 (a 120 µs LAN round trip). *)
+
+val rpc_count : server -> int
+(** Total RPCs served (for tests and benchmarks). *)
+
+val reset_rpc_count : server -> unit
+
+val client : protocol:protocol -> server -> Fs_intf.t
+
+val bump_generation : server -> int -> unit
+(** Mark inode [ino] changed on the server out-of-band: a [Stateless]
+    client's next revalidation of it fails, forcing a re-lookup. *)
+
+type callback = { mutable on_break : int -> unit }
+
+val callbacks : server -> callback
+(** The server-to-client callback channel; a [Stateful] integration points
+    [on_break] at its cache-invalidation routine. *)
+
+val break_callback : server -> int -> unit
+(** Fire the staleness callback for inode [ino] (also bumps its
+    generation). *)

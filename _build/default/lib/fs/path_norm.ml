@@ -1,0 +1,8 @@
+let normalize path =
+  if String.length path = 0 then None
+  else begin
+    let comps =
+      String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+    in
+    if List.exists (( = ) "..") comps then None else Some (String.concat "/" comps)
+  end

@@ -1,0 +1,7 @@
+(** Canonical path-string normalization for path-keyed stores. *)
+
+val normalize : string -> string option
+(** Collapse duplicate slashes and drop ["."] components; the result has a
+    leading-slash-free canonical form where the root is [""] and children
+    are ["a"], ["a/b"], ...  [None] if the path contains [".."] (the caller
+    must resolve those) or an empty input. *)

@@ -1,0 +1,161 @@
+open Dcache_types
+open Fs_intf
+
+type node =
+  | PDir of (string, int) Hashtbl.t
+  | PFile of (unit -> string)
+  | PSymlink of string
+
+type inode = { ino : int; mode : Mode.t; node : node }
+type t = {
+  inodes : (int, inode) Hashtbl.t;
+  mutable next_ino : int;
+  mutable fs_cache : Fs_intf.t option;
+}
+
+let kind_of_node = function
+  | PDir _ -> File_kind.Directory
+  | PFile _ -> File_kind.Regular
+  | PSymlink _ -> File_kind.Symlink
+
+let attr_of inode =
+  let kind = kind_of_node inode.node in
+  let size =
+    match inode.node with
+    | PDir children -> 4096 + Hashtbl.length children
+    | PFile gen -> String.length (gen ())
+    | PSymlink target -> String.length target
+  in
+  Attr.make ~mode:inode.mode ~nlink:1 ~size ~ino:inode.ino ~kind ()
+
+let get t ino =
+  match Hashtbl.find_opt t.inodes ino with Some i -> Ok i | None -> Error Errno.EIO
+
+let get_dir t ino =
+  let* inode = get t ino in
+  match inode.node with
+  | PDir children -> Ok children
+  | PFile _ | PSymlink _ -> Error Errno.ENOTDIR
+
+let alloc t node ~mode =
+  let ino = t.next_ino in
+  t.next_ino <- ino + 1;
+  let inode = { ino; mode; node } in
+  Hashtbl.add t.inodes ino inode;
+  inode
+
+let make_fs t =
+  let lookup dir name =
+    let* children = get_dir t dir in
+    match Hashtbl.find_opt children name with
+    | Some ino -> Result.map attr_of (get t ino)
+    | None -> Error Errno.ENOENT
+  in
+  let getattr ino = Result.map attr_of (get t ino) in
+  let readdir dir =
+    let* children = get_dir t dir in
+    let entries =
+      Hashtbl.fold
+        (fun name ino acc ->
+          match Hashtbl.find_opt t.inodes ino with
+          | Some inode -> { name; ino; kind = kind_of_node inode.node } :: acc
+          | None -> acc)
+        children []
+    in
+    Ok (List.sort (fun a b -> compare a.name b.name) entries)
+  in
+  let readlink ino =
+    let* inode = get t ino in
+    match inode.node with
+    | PSymlink target -> Ok target
+    | PDir _ | PFile _ -> Error Errno.EINVAL
+  in
+  let read ino ~off ~len =
+    let* inode = get t ino in
+    match inode.node with
+    | PDir _ -> Error Errno.EISDIR
+    | PSymlink _ -> Error Errno.EINVAL
+    | PFile gen ->
+      let content = gen () in
+      if off >= String.length content then Ok ""
+      else Ok (String.sub content off (min len (String.length content - off)))
+  in
+  let eperm2 _ _ = Error Errno.EPERM in
+  {
+    fs_type = "pseudofs";
+    root_ino = 1;
+    negative_dentries = false;
+    lookup;
+    getattr;
+    setattr = (fun _ _ -> Error Errno.EPERM);
+    readdir;
+    create = (fun _ _ _ _ ~uid:_ ~gid:_ -> Error Errno.EPERM);
+    symlink = (fun _ _ ~target:_ ~uid:_ ~gid:_ -> Error Errno.EPERM);
+    link = (fun _ _ _ -> Error Errno.EPERM);
+    unlink = eperm2;
+    rmdir = eperm2;
+    rename = (fun _ _ _ _ -> Error Errno.EPERM);
+    readlink;
+    read;
+    write = (fun _ ~off:_ _ -> Error Errno.EPERM);
+    sync = (fun () -> ());
+    pin_inode = (fun _ -> ());
+    unpin_inode = (fun _ -> ());
+    revalidate = None;
+  }
+
+let create () =
+  let t = { inodes = Hashtbl.create 64; next_ino = 1; fs_cache = None } in
+  let root = alloc t (PDir (Hashtbl.create 16)) ~mode:Mode.default_dir in
+  assert (root.ino = 1);
+  t
+
+let fs t =
+  match t.fs_cache with
+  | Some f -> f
+  | None ->
+    let f = make_fs t in
+    t.fs_cache <- Some f;
+    f
+
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+
+let resolve_parent t path =
+  match List.rev (split_path path) with
+  | [] -> Error Errno.EINVAL
+  | name :: rev_parents ->
+    let rec descend ino = function
+      | [] -> Ok ino
+      | comp :: rest -> (
+        let* children = get_dir t ino in
+        match Hashtbl.find_opt children comp with
+        | Some child -> descend child rest
+        | None -> Error Errno.ENOENT)
+    in
+    let* parent = descend 1 (List.rev rev_parents) in
+    Ok (parent, name)
+
+let add t path node ~mode =
+  let* parent, name = resolve_parent t path in
+  let* children = get_dir t parent in
+  if Hashtbl.mem children name then Error Errno.EEXIST
+  else begin
+    let inode = alloc t node ~mode in
+    Hashtbl.add children name inode.ino;
+    Ok ()
+  end
+
+let add_dir t path = add t path (PDir (Hashtbl.create 8)) ~mode:Mode.default_dir
+let add_file t path ~content = add t path (PFile content) ~mode:0o444
+let add_symlink t path ~target = add t path (PSymlink target) ~mode:Mode.rwxrwxrwx
+
+let remove t path =
+  let* parent, name = resolve_parent t path in
+  let* children = get_dir t parent in
+  match Hashtbl.find_opt children name with
+  | None -> Error Errno.ENOENT
+  | Some ino ->
+    Hashtbl.remove children name;
+    Hashtbl.remove t.inodes ino;
+    Ok ()

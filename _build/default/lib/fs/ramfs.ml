@@ -1,0 +1,294 @@
+open Dcache_types
+open Fs_intf
+
+type node =
+  | Dir of (string, int) Hashtbl.t
+  | File of file
+  | Symlink of string
+
+and file = { mutable data : bytes; mutable size : int }
+
+type inode = {
+  ino : int;
+  mutable mode : Mode.t;
+  mutable uid : int;
+  mutable gid : int;
+  mutable nlink : int;
+  mutable pins : int;  (* VFS references: open files keep orphans alive *)
+  mutable label : string option;
+  node : node;
+}
+
+type state = { inodes : (int, inode) Hashtbl.t; mutable next_ino : int }
+
+let kind_of_node = function
+  | Dir _ -> File_kind.Directory
+  | File _ -> File_kind.Regular
+  | Symlink _ -> File_kind.Symlink
+
+let size_of_node = function
+  | Dir children -> 4096 + (Hashtbl.length children * 32)
+  | File f -> f.size
+  | Symlink target -> String.length target
+
+let attr_of inode =
+  let kind = kind_of_node inode.node in
+  let size = size_of_node inode.node in
+  {
+    Attr.ino = inode.ino;
+    kind;
+    mode = inode.mode;
+    uid = inode.uid;
+    gid = inode.gid;
+    nlink = inode.nlink;
+    size;
+    label = inode.label;
+  }
+
+let get state ino =
+  match Hashtbl.find_opt state.inodes ino with
+  | Some inode -> Ok inode
+  | None -> Error Errno.EIO
+
+let get_dir state ino =
+  let* inode = get state ino in
+  match inode.node with
+  | Dir children -> Ok (inode, children)
+  | File _ | Symlink _ -> Error Errno.ENOTDIR
+
+let alloc state node ~mode ~uid ~gid =
+  let ino = state.next_ino in
+  state.next_ino <- ino + 1;
+  let nlink = match node with Dir _ -> 2 | File _ | Symlink _ -> 1 in
+  let inode = { ino; mode; uid; gid; nlink; pins = 0; label = None; node } in
+  Hashtbl.add state.inodes ino inode;
+  inode
+
+let max_name_len = 255
+
+let check_name name k = if String.length name > max_name_len then Error Errno.ENAMETOOLONG else k ()
+
+let create () =
+  let state = { inodes = Hashtbl.create 1024; next_ino = 1 } in
+  let root = alloc state (Dir (Hashtbl.create 16)) ~mode:Mode.default_dir ~uid:0 ~gid:0 in
+  let lookup dir name =
+    check_name name @@ fun () ->
+    let* _, children = get_dir state dir in
+    match Hashtbl.find_opt children name with
+    | Some ino -> Result.map attr_of (get state ino)
+    | None -> Error Errno.ENOENT
+  in
+  let getattr ino = Result.map attr_of (get state ino) in
+  let setattr ino changes =
+    let* inode = get state ino in
+    Option.iter (fun m -> inode.mode <- m) changes.set_mode;
+    Option.iter (fun u -> inode.uid <- u) changes.set_uid;
+    Option.iter (fun g -> inode.gid <- g) changes.set_gid;
+    Option.iter (fun l -> inode.label <- l) changes.set_label;
+    (match (changes.set_size, inode.node) with
+    | Some size, File f ->
+      if size <= Bytes.length f.data then f.size <- size
+      else begin
+        let bigger = Bytes.make size '\000' in
+        Bytes.blit f.data 0 bigger 0 f.size;
+        f.data <- bigger;
+        f.size <- size
+      end
+    | Some _, (Dir _ | Symlink _) | None, _ -> ());
+    Ok (attr_of inode)
+  in
+  let readdir dir =
+    let* _, children = get_dir state dir in
+    let entries =
+      Hashtbl.fold
+        (fun name ino acc ->
+          match Hashtbl.find_opt state.inodes ino with
+          | Some inode -> { name; ino; kind = kind_of_node inode.node } :: acc
+          | None -> acc)
+        children []
+    in
+    Ok (List.sort (fun a b -> compare a.name b.name) entries)
+  in
+  let add_child state dir name node ~mode ~uid ~gid =
+    check_name name @@ fun () ->
+    let* parent, children = get_dir state dir in
+    if Hashtbl.mem children name then Error Errno.EEXIST
+    else begin
+      let inode = alloc state node ~mode ~uid ~gid in
+      Hashtbl.add children name inode.ino;
+      (match node with Dir _ -> parent.nlink <- parent.nlink + 1 | File _ | Symlink _ -> ());
+      Ok (attr_of inode)
+    end
+  in
+  let create dir name kind mode ~uid ~gid =
+    match kind with
+    | File_kind.Directory -> add_child state dir name (Dir (Hashtbl.create 8)) ~mode ~uid ~gid
+    | File_kind.Regular | File_kind.Chardev | File_kind.Blockdev | File_kind.Fifo
+    | File_kind.Socket ->
+      add_child state dir name (File { data = Bytes.empty; size = 0 }) ~mode ~uid ~gid
+    | File_kind.Symlink -> Error Errno.EINVAL
+  in
+  let symlink dir name ~target ~uid ~gid =
+    add_child state dir name (Symlink target) ~mode:Mode.rwxrwxrwx ~uid ~gid
+  in
+  let link dir name ino =
+    let* _, children = get_dir state dir in
+    let* inode = get state ino in
+    match inode.node with
+    | Dir _ -> Error Errno.EPERM
+    | File _ | Symlink _ ->
+      if Hashtbl.mem children name then Error Errno.EEXIST
+      else begin
+        Hashtbl.add children name ino;
+        inode.nlink <- inode.nlink + 1;
+        Ok (attr_of inode)
+      end
+  in
+  let drop_link state inode =
+    inode.nlink <- inode.nlink - 1;
+    if inode.nlink = 0 && inode.pins = 0 then Hashtbl.remove state.inodes inode.ino
+  in
+  let pin_inode ino = match get state ino with Ok i -> i.pins <- i.pins + 1 | Error _ -> () in
+  let unpin_inode ino =
+    match get state ino with
+    | Ok i ->
+      i.pins <- max 0 (i.pins - 1);
+      if i.pins = 0 && i.nlink = 0 then Hashtbl.remove state.inodes ino
+    | Error _ -> ()
+  in
+  let unlink dir name =
+    let* _, children = get_dir state dir in
+    match Hashtbl.find_opt children name with
+    | None -> Error Errno.ENOENT
+    | Some ino -> (
+      let* inode = get state ino in
+      match inode.node with
+      | Dir _ -> Error Errno.EISDIR
+      | File _ | Symlink _ ->
+        Hashtbl.remove children name;
+        drop_link state inode;
+        Ok ())
+  in
+  let rmdir dir name =
+    let* parent, children = get_dir state dir in
+    match Hashtbl.find_opt children name with
+    | None -> Error Errno.ENOENT
+    | Some ino -> (
+      let* inode = get state ino in
+      match inode.node with
+      | File _ | Symlink _ -> Error Errno.ENOTDIR
+      | Dir grandchildren ->
+        if Hashtbl.length grandchildren > 0 then Error Errno.ENOTEMPTY
+        else begin
+          Hashtbl.remove children name;
+          parent.nlink <- parent.nlink - 1;
+          inode.nlink <- 0;
+          if inode.pins = 0 then Hashtbl.remove state.inodes ino;
+          Ok ()
+        end)
+  in
+  let rename old_dir old_name new_dir new_name =
+    let* old_parent, old_children = get_dir state old_dir in
+    let* new_parent, new_children = get_dir state new_dir in
+    match Hashtbl.find_opt old_children old_name with
+    | None -> Error Errno.ENOENT
+    | Some src_ino ->
+      let* src = get state src_ino in
+      let src_is_dir = match src.node with Dir _ -> true | File _ | Symlink _ -> false in
+      let replace_target () =
+        match Hashtbl.find_opt new_children new_name with
+        | None -> Ok ()
+        | Some dst_ino when dst_ino = src_ino -> Ok ()
+        | Some dst_ino -> (
+          let* dst = get state dst_ino in
+          match (src.node, dst.node) with
+          | Dir _, Dir dst_children ->
+            if Hashtbl.length dst_children > 0 then Error Errno.ENOTEMPTY
+            else begin
+              Hashtbl.remove new_children new_name;
+              new_parent.nlink <- new_parent.nlink - 1;
+              Hashtbl.remove state.inodes dst_ino;
+              Ok ()
+            end
+          | Dir _, (File _ | Symlink _) -> Error Errno.ENOTDIR
+          | (File _ | Symlink _), Dir _ -> Error Errno.EISDIR
+          | (File _ | Symlink _), (File _ | Symlink _) ->
+            Hashtbl.remove new_children new_name;
+            drop_link state dst;
+            Ok ())
+      in
+      let* () = replace_target () in
+      if Hashtbl.mem new_children new_name && Hashtbl.find new_children new_name = src_ino
+      then begin
+        (* Renaming onto a hard link of itself: POSIX says do nothing. *)
+        if not (old_dir = new_dir && old_name = new_name) then
+          Hashtbl.remove old_children old_name;
+        Ok ()
+      end
+      else begin
+        Hashtbl.remove old_children old_name;
+        Hashtbl.add new_children new_name src_ino;
+        if src_is_dir && old_dir <> new_dir then begin
+          old_parent.nlink <- old_parent.nlink - 1;
+          new_parent.nlink <- new_parent.nlink + 1
+        end;
+        Ok ()
+      end
+  in
+  let readlink ino =
+    let* inode = get state ino in
+    match inode.node with
+    | Symlink target -> Ok target
+    | Dir _ | File _ -> Error Errno.EINVAL
+  in
+  let read ino ~off ~len =
+    let* inode = get state ino in
+    match inode.node with
+    | Dir _ -> Error Errno.EISDIR
+    | Symlink _ -> Error Errno.EINVAL
+    | File f ->
+      if off >= f.size then Ok ""
+      else begin
+        let available = min len (f.size - off) in
+        Ok (Bytes.sub_string f.data off available)
+      end
+  in
+  let write ino ~off data =
+    let* inode = get state ino in
+    match inode.node with
+    | Dir _ -> Error Errno.EISDIR
+    | Symlink _ -> Error Errno.EINVAL
+    | File f ->
+      let needed = off + String.length data in
+      if needed > Bytes.length f.data then begin
+        let capacity = max needed (max 64 (Bytes.length f.data * 2)) in
+        let bigger = Bytes.make capacity '\000' in
+        Bytes.blit f.data 0 bigger 0 f.size;
+        f.data <- bigger
+      end;
+      Bytes.blit_string data 0 f.data off (String.length data);
+      f.size <- max f.size needed;
+      Ok (String.length data)
+  in
+  {
+    fs_type = "ramfs";
+    root_ino = root.ino;
+    negative_dentries = true;
+    lookup;
+    getattr;
+    setattr;
+    readdir;
+    create;
+    symlink;
+    link;
+    unlink;
+    rmdir;
+    rename;
+    readlink;
+    read;
+    write;
+    sync = (fun () -> ());
+    pin_inode;
+    unpin_inode;
+    revalidate = None;
+  }

@@ -1,0 +1,7 @@
+(** In-memory file system (like Linux tmpfs/ramfs).
+
+    No disk, no virtual-time charges: every operation is a memory operation.
+    Used as the default substrate for warm-cache experiments, where the paper
+    is measuring pure dcache behaviour. *)
+
+val create : unit -> Fs_intf.t

@@ -1,0 +1,1 @@
+lib/sig/signature.ml: Array Char Hashtbl Printf String Sys Unix

@@ -1,0 +1,1 @@
+lib/sig/siphash.ml: Char Int64 String

@@ -1,0 +1,1 @@
+lib/sig/siphash.mli:

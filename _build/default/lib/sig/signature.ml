@@ -1,0 +1,182 @@
+(* All arithmetic is on native (63-bit, untagged) ints: multiplication wraps
+   modulo 2^63, which preserves the multilinear construction's universality
+   for our purposes while keeping the per-byte loop allocation-free. *)
+
+type t = { a : int; b : int; c : int; d : int }
+
+type key = {
+  seed : int;
+  sig_bits : int;
+  (* Per-lane per-position key material, grown on demand; entry
+     [lane].(pos) is a pure function of (seed, lane, pos), so growth never
+     changes existing values. *)
+  mutable t0 : int array;
+  mutable t1 : int array;
+  mutable t2 : int array;
+  mutable t3 : int array;
+  (* Finalization (per-length) keys, one per lane, precomputed alongside. *)
+  mutable f0 : int array;
+  mutable f1 : int array;
+  mutable f2 : int array;
+  mutable f3 : int array;
+  mutable capacity : int;
+}
+
+type state = { pos : int; l0 : int; l1 : int; l2 : int; l3 : int }
+
+let lanes = 4
+let initial_capacity = 512
+let bucket_bits = 16
+let max_sig_bits = 47 + (3 * 63)
+
+let fmix z =
+  let z = (z lxor (z lsr 30)) * 0x1F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let key_material seed lane pos =
+  fmix (seed + (lane * 0x224BAED4963EE407) + ((pos + 1) * 0x1E3779B97F4A7C15))
+
+let table key lane =
+  match lane with 0 -> key.t0 | 1 -> key.t1 | 2 -> key.t2 | _ -> key.t3
+
+let fin_table key lane =
+  match lane with 0 -> key.f0 | 1 -> key.f1 | 2 -> key.f2 | _ -> key.f3
+
+let fill_tables key from_pos =
+  for lane = 0 to lanes - 1 do
+    let t = table key lane in
+    let f = fin_table key lane in
+    for pos = from_pos to key.capacity - 1 do
+      t.(pos) <- key_material key.seed lane pos;
+      (* The finalization term for a string of length [pos]. *)
+      f.(pos) <- key_material key.seed (lane + lanes) pos
+    done
+  done
+
+let create_key ?(sig_bits = max_sig_bits) ~seed () =
+  let sig_bits = max 1 (min max_sig_bits sig_bits) in
+  let seed = fmix seed in
+  let key =
+    {
+      seed;
+      sig_bits;
+      t0 = Array.make initial_capacity 0;
+      t1 = Array.make initial_capacity 0;
+      t2 = Array.make initial_capacity 0;
+      t3 = Array.make initial_capacity 0;
+      f0 = Array.make initial_capacity 0;
+      f1 = Array.make initial_capacity 0;
+      f2 = Array.make initial_capacity 0;
+      f3 = Array.make initial_capacity 0;
+      capacity = initial_capacity;
+    }
+  in
+  fill_tables key 0;
+  key
+
+let random_key () =
+  let seed =
+    Hashtbl.hash (Unix.gettimeofday (), Unix.getpid (), Sys.opaque_identity (ref ()))
+  in
+  create_key ~seed ()
+
+let sig_bits key = key.sig_bits
+
+let grow key needed =
+  let capacity = ref key.capacity in
+  while !capacity <= needed do
+    capacity := !capacity * 2
+  done;
+  let extend t =
+    let bigger = Array.make !capacity 0 in
+    Array.blit t 0 bigger 0 key.capacity;
+    bigger
+  in
+  key.t0 <- extend key.t0;
+  key.t1 <- extend key.t1;
+  key.t2 <- extend key.t2;
+  key.t3 <- extend key.t3;
+  key.f0 <- extend key.f0;
+  key.f1 <- extend key.f1;
+  key.f2 <- extend key.f2;
+  key.f3 <- extend key.f3;
+  let old = key.capacity in
+  key.capacity <- !capacity;
+  fill_tables key old
+
+let empty_state = { pos = 0; l0 = 0; l1 = 0; l2 = 0; l3 = 0 }
+
+let feed_string key state s =
+  let len = String.length s in
+  if len = 0 then state
+  else begin
+    if state.pos + len > key.capacity then grow key (state.pos + len);
+    let t0 = key.t0 and t1 = key.t1 and t2 = key.t2 and t3 = key.t3 in
+    let l0 = ref state.l0 and l1 = ref state.l1 and l2 = ref state.l2 and l3 = ref state.l3 in
+    let base = state.pos in
+    for i = 0 to len - 1 do
+      let byte = Char.code (String.unsafe_get s i) + 1 in
+      let pos = base + i in
+      l0 := !l0 + (Array.unsafe_get t0 pos * byte);
+      l1 := !l1 + (Array.unsafe_get t1 pos * byte);
+      l2 := !l2 + (Array.unsafe_get t2 pos * byte);
+      l3 := !l3 + (Array.unsafe_get t3 pos * byte)
+    done;
+    { pos = base + len; l0 = !l0; l1 = !l1; l2 = !l2; l3 = !l3 }
+  end
+
+let feed_char key state ch =
+  if state.pos >= key.capacity then grow key state.pos;
+  let byte = Char.code ch + 1 in
+  let pos = state.pos in
+  {
+    pos = pos + 1;
+    l0 = state.l0 + (key.t0.(pos) * byte);
+    l1 = state.l1 + (key.t1.(pos) * byte);
+    l2 = state.l2 + (key.t2.(pos) * byte);
+    l3 = state.l3 + (key.t3.(pos) * byte);
+  }
+
+let state_pos state = state.pos
+
+let finalize key state =
+  (* The per-length key term guarantees avalanche in the bucket bits even
+     for empty or one-byte paths. *)
+  if state.pos >= key.capacity then grow key state.pos;
+  let pos = state.pos in
+  {
+    a = fmix (state.l0 + Array.unsafe_get key.f0 pos);
+    b = fmix (state.l1 + Array.unsafe_get key.f1 pos);
+    c = fmix (state.l2 + Array.unsafe_get key.f2 pos);
+    d = fmix (state.l3 + Array.unsafe_get key.f3 pos);
+  }
+
+let hash_string key s = finalize key (feed_string key empty_state s)
+let bucket t = t.a land 0xFFFF
+
+(* The signature is laid out as: lane [a] bits 16..62 (47 bits), then lanes
+   [b], [c], [d] (63 bits each).  [equal] compares the first [sig_bits] of
+   that string, so a truncated key widens collision odds for tests while
+   production keys compare everything. *)
+let equal key x y =
+  let bits = key.sig_bits in
+  let mask_low n v = if n >= 63 then v else v land ((1 lsl n) - 1) in
+  let seg_equal consumed width xv yv =
+    let take = min width (max 0 (bits - consumed)) in
+    take = 0 || mask_low take xv = mask_low take yv
+  in
+  seg_equal 0 47 (x.a lsr bucket_bits) (y.a lsr bucket_bits)
+  && seg_equal 47 63 x.b y.b
+  && seg_equal 110 63 x.c y.c
+  && seg_equal 173 63 x.d y.d
+
+let to_hex t = Printf.sprintf "%016x%016x%016x%016x" t.a t.b t.c t.d
+
+let compare_full x y =
+  match compare x.a y.a with
+  | 0 -> (
+    match compare x.b y.b with
+    | 0 -> ( match compare x.c y.c with 0 -> compare x.d y.d | r -> r)
+    | r -> r)
+  | r -> r

@@ -1,0 +1,65 @@
+(** Path signatures (paper §3.3).
+
+    The optimized directory cache keys its Direct Lookup Hash Table by the
+    full canonical path.  Comparing multi-kilobyte path strings on every
+    probe would erode the algorithmic win, so paths are summarized by a
+    multilinear 2-universal hash over four independent lanes: the low
+    16 bits index the hash bucket and the remaining bits form the signature
+    compared on probes.  (The paper uses a 240-bit signature; our lanes are
+    the native 63-bit integers, giving a 236-bit signature — same design,
+    avoids boxed arithmetic.)
+
+    The hash is resumable: a dentry stores the intermediate [state] of its
+    canonical path, so a relative lookup under a cwd resumes hashing from
+    the cwd's state instead of re-hashing the prefix (§3.1).
+
+    The hash function is keyed with a boot-time random value, so collisions
+    cannot be precomputed offline (§3.3).  For tests, [create_key] accepts
+    [~sig_bits] to truncate the compared signature and force collisions,
+    exercising the safety fallback. *)
+
+type t
+(** A 4-lane digest: 16-bit bucket index + up to 236-bit signature. *)
+
+type key
+(** Hash-function key plus comparison configuration. *)
+
+type state = { pos : int; l0 : int; l1 : int; l2 : int; l3 : int }
+(** Intermediate multilinear state after feeding [pos] bytes.  Exposed as a
+    plain record so resuming allocates nothing beyond the record itself. *)
+
+val max_sig_bits : int
+
+val create_key : ?sig_bits:int -> seed:int -> unit -> key
+(** [create_key ~seed ()] derives the per-boot key material.  [sig_bits]
+    (default {!max_sig_bits}, clamped to [1, max_sig_bits]) narrows the
+    number of signature bits compared by {!equal}, for collision-injection
+    tests. *)
+
+val random_key : unit -> key
+(** A key seeded from the environment, as a real kernel would at boot. *)
+
+val sig_bits : key -> int
+val empty_state : state
+val feed_string : key -> state -> string -> state
+val feed_char : key -> state -> char -> state
+
+val state_pos : state -> int
+(** Number of bytes fed so far (the resume offset). *)
+
+val finalize : key -> state -> t
+(** Mix the lanes into the final digest; non-destructive. *)
+
+val hash_string : key -> string -> t
+
+val bucket : t -> int
+(** Low 16 bits: DLHT bucket index in [0, 65535]. *)
+
+val equal : key -> t -> t -> bool
+(** Signature comparison over the configured [sig_bits] (excluding the
+    bucket bits, mirroring the paper's index/signature split). *)
+
+val to_hex : t -> string
+
+val compare_full : t -> t -> int
+(** Total order over all lanes, for use in test containers. *)

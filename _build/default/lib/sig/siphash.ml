@@ -1,0 +1,81 @@
+type key = { k0 : int64; k1 : int64 }
+
+let fmix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let key_of_seed seed =
+  let s = Int64.of_int seed in
+  { k0 = fmix64 s; k1 = fmix64 (Int64.add s 0x9E3779B97F4A7C15L) }
+
+let rotl x b = Int64.logor (Int64.shift_left x b) (Int64.shift_right_logical x (64 - b))
+
+type st = { mutable v0 : int64; mutable v1 : int64; mutable v2 : int64; mutable v3 : int64 }
+
+let sipround st =
+  let open Int64 in
+  st.v0 <- add st.v0 st.v1;
+  st.v1 <- rotl st.v1 13;
+  st.v1 <- logxor st.v1 st.v0;
+  st.v0 <- rotl st.v0 32;
+  st.v2 <- add st.v2 st.v3;
+  st.v3 <- rotl st.v3 16;
+  st.v3 <- logxor st.v3 st.v2;
+  st.v0 <- add st.v0 st.v3;
+  st.v3 <- rotl st.v3 21;
+  st.v3 <- logxor st.v3 st.v0;
+  st.v2 <- add st.v2 st.v1;
+  st.v1 <- rotl st.v1 17;
+  st.v1 <- logxor st.v1 st.v2;
+  st.v2 <- rotl st.v2 32
+
+let load64_le s off len =
+  (* Little-endian load of up to 8 available bytes, zero padded. *)
+  let word = ref 0L in
+  for i = min 7 (len - 1) downto 0 do
+    word := Int64.logor (Int64.shift_left !word 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !word
+
+let hash key msg =
+  let open Int64 in
+  let st =
+    {
+      v0 = logxor key.k0 0x736f6d6570736575L;
+      v1 = logxor key.k1 0x646f72616e646f6dL;
+      v2 = logxor key.k0 0x6c7967656e657261L;
+      v3 = logxor key.k1 0x7465646279746573L;
+    }
+  in
+  let len = String.length msg in
+  let blocks = len / 8 in
+  for i = 0 to blocks - 1 do
+    let m = load64_le msg (i * 8) 8 in
+    st.v3 <- logxor st.v3 m;
+    sipround st;
+    sipround st;
+    st.v0 <- logxor st.v0 m
+  done;
+  let rem = len - (blocks * 8) in
+  let last =
+    let tail = if rem = 0 then 0L else load64_le msg (blocks * 8) rem in
+    logor tail (shift_left (of_int (len land 0xff)) 56)
+  in
+  st.v3 <- logxor st.v3 last;
+  sipround st;
+  sipround st;
+  st.v0 <- logxor st.v0 last;
+  st.v2 <- logxor st.v2 0xffL;
+  sipround st;
+  sipround st;
+  sipround st;
+  sipround st;
+  logxor (logxor st.v0 st.v1) (logxor st.v2 st.v3)
+
+let hash256 key msg =
+  let lane i =
+    hash { k0 = Int64.add key.k0 (Int64.of_int i); k1 = Int64.add key.k1 (Int64.of_int (i * 7)) } msg
+  in
+  (lane 0, lane 1, lane 2, lane 3)

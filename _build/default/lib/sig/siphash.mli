@@ -1,0 +1,16 @@
+(** SipHash-2-4, a software pseudorandom function.
+
+    The paper (§3.3) weighs 2-universal hashing against a PRF for signature
+    generation and finds hardware PRFs too slow to beat baseline Linux; we
+    include a software PRF so the benchmark harness can reproduce that
+    cost comparison (see the [fig2] bench output). *)
+
+type key = { k0 : int64; k1 : int64 }
+
+val key_of_seed : int -> key
+val hash : key -> string -> int64
+(** 64-bit SipHash-2-4 of the whole string. *)
+
+val hash256 : key -> string -> int64 * int64 * int64 * int64
+(** Four independently keyed SipHash lanes, the cheapest way to widen the
+    output to signature size. *)

@@ -1,0 +1,1 @@
+lib/storage/blockdev.ml: Bytes Dcache_util Hashtbl Int64 Printf

@@ -1,0 +1,1 @@
+lib/storage/blockdev.mli: Dcache_util

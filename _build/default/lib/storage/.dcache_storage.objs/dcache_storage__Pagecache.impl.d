@@ -1,0 +1,1 @@
+lib/storage/pagecache.ml: Blockdev Bytes Dcache_util Hashtbl Lazy

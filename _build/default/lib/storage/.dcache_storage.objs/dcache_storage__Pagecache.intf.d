@@ -1,0 +1,1 @@
+lib/storage/pagecache.mli: Blockdev

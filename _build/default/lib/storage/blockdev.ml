@@ -1,0 +1,73 @@
+type config = {
+  block_size : int;
+  block_count : int;
+  seek_ns : int64;
+  sequential_ns : int64;
+  transfer_ns : int64;
+}
+
+let default_config =
+  {
+    block_size = 4096;
+    block_count = 1 lsl 18;
+    seek_ns = 8_000_000L;
+    sequential_ns = 50_000L;
+    transfer_ns = 25_000L;
+  }
+
+type t = {
+  config : config;
+  clock : Dcache_util.Vclock.t;
+  (* Blocks are allocated lazily: a fresh device reads as zeroes. *)
+  store : (int, bytes) Hashtbl.t;
+  mutable last_block : int;
+  mutable read_count : int;
+  mutable write_count : int;
+}
+
+let create ?(config = default_config) clock =
+  {
+    config;
+    clock;
+    store = Hashtbl.create 1024;
+    last_block = -2;
+    read_count = 0;
+    write_count = 0;
+  }
+
+let block_size t = t.config.block_size
+let block_count t = t.config.block_count
+
+let charge_access t n =
+  let position_cost =
+    if n = t.last_block + 1 then t.config.sequential_ns else t.config.seek_ns
+  in
+  Dcache_util.Vclock.charge t.clock (Int64.add position_cost t.config.transfer_ns);
+  t.last_block <- n
+
+let check_bounds t n =
+  if n < 0 || n >= t.config.block_count then
+    invalid_arg (Printf.sprintf "Blockdev: block %d out of range" n)
+
+let read_block t n =
+  check_bounds t n;
+  charge_access t n;
+  t.read_count <- t.read_count + 1;
+  match Hashtbl.find_opt t.store n with
+  | Some data -> Bytes.copy data
+  | None -> Bytes.make t.config.block_size '\000'
+
+let write_block t n data =
+  check_bounds t n;
+  if Bytes.length data <> t.config.block_size then
+    invalid_arg "Blockdev.write_block: wrong block size";
+  charge_access t n;
+  t.write_count <- t.write_count + 1;
+  Hashtbl.replace t.store n (Bytes.copy data)
+
+let reads t = t.read_count
+let writes t = t.write_count
+
+let reset_stats t =
+  t.read_count <- 0;
+  t.write_count <- 0

@@ -1,0 +1,35 @@
+(** Simulated block device.
+
+    Stands in for the paper's 2 TB 7200 RPM ATA disk.  Every access charges a
+    virtual clock with a simple latency model (seek + rotational delay for
+    non-sequential access, plus per-block transfer time), so experiments that
+    miss the page cache become I/O-bound exactly as on real hardware, without
+    the simulator actually sleeping. *)
+
+type t
+
+type config = {
+  block_size : int;  (** bytes per block; the paper's ext4 uses 4096 *)
+  block_count : int;
+  seek_ns : int64;  (** average seek + rotational latency for a random access *)
+  sequential_ns : int64;  (** extra latency when the access is sequential *)
+  transfer_ns : int64;  (** per-block transfer time *)
+}
+
+val default_config : config
+(** 4 KB blocks, ~8 ms random access, ~25 us transfer: a 7200 RPM disk. *)
+
+val create : ?config:config -> Dcache_util.Vclock.t -> t
+val block_size : t -> int
+val block_count : t -> int
+
+val read_block : t -> int -> bytes
+(** [read_block t n] returns a copy of block [n], charging the clock. *)
+
+val write_block : t -> int -> bytes -> unit
+(** [write_block t n data] stores [data] (must be exactly [block_size]
+    bytes), charging the clock. *)
+
+val reads : t -> int
+val writes : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,91 @@
+module Dlist = Dcache_util.Dlist
+
+type page = { block : int; data : bytes; mutable dirty : bool; lru : page Dlist.node Lazy.t }
+
+type t = {
+  device : Blockdev.t;
+  capacity : int;
+  pages : (int, page) Hashtbl.t;
+  lru : page Dlist.t;  (* front = most recently used *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable writeback_count : int;
+}
+
+let create ?(capacity_pages = 4096) device =
+  assert (capacity_pages > 0);
+  {
+    device;
+    capacity = capacity_pages;
+    pages = Hashtbl.create 1024;
+    lru = Dlist.create ();
+    hit_count = 0;
+    miss_count = 0;
+    writeback_count = 0;
+  }
+
+let block_size t = Blockdev.block_size t.device
+
+let writeback t page =
+  if page.dirty then begin
+    Blockdev.write_block t.device page.block page.data;
+    page.dirty <- false;
+    t.writeback_count <- t.writeback_count + 1
+  end
+
+let evict_one t =
+  match Dlist.pop_back t.lru with
+  | None -> ()
+  | Some node ->
+    let page = Dlist.value node in
+    writeback t page;
+    Hashtbl.remove t.pages page.block
+
+let lookup t n =
+  match Hashtbl.find_opt t.pages n with
+  | Some page ->
+    t.hit_count <- t.hit_count + 1;
+    Dlist.move_to_front t.lru (Lazy.force page.lru);
+    page
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    if Hashtbl.length t.pages >= t.capacity then evict_one t;
+    let data = Blockdev.read_block t.device n in
+    let rec page = { block = n; data; dirty = false; lru = lazy (Dlist.node page) } in
+    Hashtbl.add t.pages n page;
+    Dlist.push_front t.lru (Lazy.force page.lru);
+    page
+
+let with_page t n f = f (lookup t n).data
+
+let with_page_mut t n f =
+  let page = lookup t n in
+  page.dirty <- true;
+  f page.data
+
+let read_page t n = Bytes.copy (lookup t n).data
+
+let write_page t n data =
+  if Bytes.length data <> block_size t then invalid_arg "Pagecache.write_page: wrong size";
+  let page = lookup t n in
+  Bytes.blit data 0 page.data 0 (Bytes.length data);
+  page.dirty <- true
+
+let flush t = Dlist.iter (fun page -> writeback t page) t.lru
+
+let drop_caches t =
+  flush t;
+  Hashtbl.reset t.pages;
+  while Dlist.pop_front t.lru <> None do
+    ()
+  done
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+let writebacks t = t.writeback_count
+let cached_pages t = Hashtbl.length t.pages
+
+let reset_stats t =
+  t.hit_count <- 0;
+  t.miss_count <- 0;
+  t.writeback_count <- 0

@@ -1,0 +1,1 @@
+lib/syscalls/kernel.mli: Dcache_core Dcache_cred Dcache_fs Dcache_types Dcache_util Dcache_vfs Hashtbl

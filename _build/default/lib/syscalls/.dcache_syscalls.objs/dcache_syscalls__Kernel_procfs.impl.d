@@ -1,0 +1,1 @@
+lib/syscalls/kernel_procfs.ml: Array Buffer Dcache_fs Dcache_vfs Kernel List Printf String

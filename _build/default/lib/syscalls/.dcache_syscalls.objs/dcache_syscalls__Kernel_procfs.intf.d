@@ -1,0 +1,1 @@
+lib/syscalls/kernel_procfs.mli: Dcache_fs Kernel

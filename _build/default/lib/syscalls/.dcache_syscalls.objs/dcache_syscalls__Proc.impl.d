@@ -1,0 +1,1 @@
+lib/syscalls/proc.ml: Dcache_cred Dcache_fs Dcache_types Dcache_vfs Hashtbl Kernel Lazy

@@ -1,0 +1,1 @@
+lib/syscalls/syscalls.ml: Access Array Attr Dcache_core Dcache_cred Dcache_fs Dcache_types Dcache_util Dcache_vfs Errno File_kind Hashtbl Kernel List Mode Option Proc Result String Systime

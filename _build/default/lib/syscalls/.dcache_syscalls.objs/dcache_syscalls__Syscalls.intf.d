@@ -1,0 +1,1 @@
+lib/syscalls/syscalls.mli: Dcache_fs Dcache_types Dcache_util Proc

@@ -1,0 +1,1 @@
+lib/syscalls/systime.ml: Array Dcache_util Int64 List

@@ -1,0 +1,65 @@
+open Dcache_vfs.Types
+module Vfs = Dcache_vfs
+module Dcache = Vfs.Dcache
+module Mount = Vfs.Mount
+module Lsm = Dcache_cred.Lsm
+module Fastpath = Dcache_core.Fastpath
+
+type t = {
+  dcache : Dcache.t;
+  fastpath : Fastpath.t;
+  registry : Lsm.registry;
+  init_ns : namespace;
+  (* fs instance -> superblock (by physical identity), so mounting the same
+     fs twice aliases the same dentries *)
+  mutable sb_keys : (Dcache_fs.Fs_intf.t * superblock) list;
+  (* Solaris-DNLC-style side cache of complete listings, keyed by dentry id
+     and guarded by the directory's mutation generation (comparison mode). *)
+  dnlc : (int, int * Dcache_fs.Fs_intf.dirent array) Hashtbl.t;
+}
+
+let make_superblock t fs =
+  let rec find = function
+    | [] -> None
+    | (other_fs, sb) :: rest -> if other_fs == fs then Some sb else find rest
+  in
+  match find t.sb_keys with
+  | Some sb -> Ok sb
+  | None -> (
+    match Dcache.make_superblock fs with
+    | Ok sb ->
+      t.sb_keys <- (fs, sb) :: t.sb_keys;
+      Ok sb
+    | Error _ as e -> e)
+
+let create ?(config = Vfs.Config.baseline) ?(lsms = []) ~root_fs () =
+  let dcache = Dcache.create config in
+  let fastpath = Fastpath.create dcache in
+  let registry = Lsm.create () in
+  List.iter (Lsm.register registry) lsms;
+  let init_ns = Mount.new_namespace () in
+  let t =
+    { dcache; fastpath; registry; init_ns; sb_keys = []; dnlc = Hashtbl.create 64 }
+  in
+  (match make_superblock t root_fs with
+  | Ok sb -> ignore (Mount.mount_rootfs init_ns sb)
+  | Error e -> invalid_arg ("Kernel.create: bad root fs: " ^ Dcache_types.Errno.to_string e));
+  t
+
+let config t = Dcache.config t.dcache
+let dcache t = t.dcache
+let fastpath t = t.fastpath
+let registry t = t.registry
+let init_ns t = t.init_ns
+let root t = Mount.root t.init_ns
+let counters t = Dcache.counters t.dcache
+let register_lsm t hooks = Lsm.register t.registry hooks
+
+let dnlc t = t.dnlc
+
+let drop_caches t =
+  Hashtbl.reset t.dnlc;
+  Dcache.with_write t.dcache (fun () -> Dcache.purge t.dcache)
+
+let stats_snapshot t = Dcache_util.Stats.Counter.to_assoc (Dcache.counters t.dcache)
+let reset_stats t = Dcache_util.Stats.Counter.reset (Dcache.counters t.dcache)

@@ -1,0 +1,41 @@
+(** The simulated kernel: directory cache + fastpath + LSMs + namespaces,
+    bundled behind one handle.  Two kernels with different configurations
+    (e.g. {!Dcache_vfs.Config.baseline} vs {!Dcache_vfs.Config.optimized})
+    over the same workload are the paper's unmodified-vs-optimized pairs. *)
+
+open Dcache_vfs.Types
+
+type t
+
+val create :
+  ?config:Dcache_vfs.Config.t ->
+  ?lsms:Dcache_cred.Lsm.hooks list ->
+  root_fs:Dcache_fs.Fs_intf.t ->
+  unit ->
+  t
+
+val config : t -> Dcache_vfs.Config.t
+val dcache : t -> Dcache_vfs.Dcache.t
+val fastpath : t -> Dcache_core.Fastpath.t
+val registry : t -> Dcache_cred.Lsm.registry
+val init_ns : t -> namespace
+val root : t -> path_ref
+val counters : t -> Dcache_util.Stats.Counter.t
+
+val register_lsm : t -> Dcache_cred.Lsm.hooks -> unit
+
+val make_superblock : t -> Dcache_fs.Fs_intf.t -> (superblock, Dcache_types.Errno.t) result
+(** Superblocks are cached per fs instance, so mounting the same pseudo fs
+    twice aliases the same dentries (§4.3). *)
+
+val dnlc : t -> (int, int * Dcache_fs.Fs_intf.dirent array) Hashtbl.t
+(** The Solaris-comparison side cache of complete directory listings
+    ((generation, entries) per dentry id); only consulted when
+    [dnlc_style_completeness] is set. *)
+
+val drop_caches : t -> unit
+(** Evict every unpinned dentry — the cold-cache experiment setup (Table 2).
+    The caller drops its page caches separately. *)
+
+val stats_snapshot : t -> (string * int) list
+val reset_stats : t -> unit

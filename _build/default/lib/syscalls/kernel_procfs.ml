@@ -1,0 +1,59 @@
+module Pseudofs = Dcache_fs.Pseudofs
+module Config = Dcache_vfs.Config
+module Dcache = Dcache_vfs.Dcache
+
+let render_stats kernel () =
+  Kernel.stats_snapshot kernel
+  |> List.map (fun (name, value) -> Printf.sprintf "%s %d" name value)
+  |> String.concat "\n"
+  |> fun body -> body ^ "\n"
+
+let render_summary kernel () =
+  let dcache = Kernel.dcache kernel in
+  let occupancy = Dcache.bucket_occupancy dcache in
+  let total = Array.fold_left ( + ) 0 occupancy in
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "dentries %d\n" (Dcache.dentry_count dcache);
+  Printf.bprintf buf "invalidation_counter %d\n" (Dcache.invalidation_counter dcache);
+  Array.iteri
+    (fun len count ->
+      Printf.bprintf buf "buckets_len_%s%d %d (%.1f%%)\n"
+        (if len = Array.length occupancy - 1 then "ge_" else "")
+        len count
+        (100.0 *. float_of_int count /. float_of_int (max 1 total)))
+    occupancy;
+  Buffer.contents buf
+
+let render_config kernel () =
+  let c = Kernel.config kernel in
+  String.concat "\n"
+    [
+      Printf.sprintf "fastpath %b" c.Config.fastpath;
+      Printf.sprintf "pcc_entries %d" c.Config.pcc_entries;
+      Printf.sprintf "pcc_max_entries %d" c.Config.pcc_max_entries;
+      Printf.sprintf "dlht_buckets %d" c.Config.dlht_buckets;
+      Printf.sprintf "sig_bits %d" c.Config.sig_bits;
+      Printf.sprintf "symlink_aliases %b" c.Config.symlink_aliases;
+      Printf.sprintf "dotdot %s"
+        (match c.Config.dotdot with
+        | Config.Dotdot_linux -> "linux"
+        | Config.Dotdot_lexical -> "lexical");
+      Printf.sprintf "dir_completeness %b" c.Config.dir_completeness;
+      Printf.sprintf "dnlc_style_completeness %b" c.Config.dnlc_style_completeness;
+      Printf.sprintf "aggressive_negative %b" c.Config.aggressive_negative;
+      Printf.sprintf "deep_negative %b" c.Config.deep_negative;
+      Printf.sprintf "dcache_buckets %d" c.Config.dcache_buckets;
+      Printf.sprintf "max_dentries %d" c.Config.max_dentries;
+      "";
+    ]
+
+let ok = function Ok v -> v | Error _ -> assert false
+
+let make kernel =
+  let p = Pseudofs.create () in
+  ok (Pseudofs.add_file p "/version" ~content:(fun () -> "dcache-sim (SOSP 2015 reproduction)\n"));
+  ok (Pseudofs.add_dir p "/dcache");
+  ok (Pseudofs.add_file p "/dcache/stats" ~content:(render_stats kernel));
+  ok (Pseudofs.add_file p "/dcache/summary" ~content:(render_summary kernel));
+  ok (Pseudofs.add_file p "/dcache/config" ~content:(render_config kernel));
+  Pseudofs.fs p

@@ -1,0 +1,12 @@
+(** A /proc-style introspection file system for the simulated kernel.
+
+    Mount it anywhere (conventionally [/proc]) to read live kernel state
+    through the ordinary file API — dogfooding the pseudo file system
+    substrate the paper's negative-dentry discussion covers (§5.2):
+
+    - [dcache/stats]    — all kernel counters, one [name value] per line
+    - [dcache/summary]  — dentry count and primary-table occupancy
+    - [dcache/config]   — the active directory-cache configuration
+    - [version]         — build banner *)
+
+val make : Kernel.t -> Dcache_fs.Fs_intf.t

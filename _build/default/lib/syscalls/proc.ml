@@ -1,0 +1,111 @@
+open Dcache_vfs.Types
+module Cred = Dcache_cred.Cred
+module Dcache = Dcache_vfs.Dcache
+
+type open_flag =
+  | O_RDONLY
+  | O_WRONLY
+  | O_RDWR
+  | O_CREAT
+  | O_EXCL
+  | O_TRUNC
+  | O_APPEND
+  | O_NOFOLLOW
+  | O_DIRECTORY
+
+type dir_stream = {
+  mutable entries : Dcache_fs.Fs_intf.dirent array option;
+  mutable index : int;
+  mutable eligible : bool;
+  mutable from_cache : bool;
+  mutable snapshot_gen : int;
+      (** the directory's mutation generation when [entries] was captured *)
+}
+
+type fd = {
+  fd_num : int;
+  fd_ref : path_ref;
+  fd_inode : Dcache_vfs.Inode.t;
+  fd_readable : bool;
+  fd_writable : bool;
+  fd_append : bool;
+  mutable fd_pos : int;
+  mutable fd_dir : dir_stream option;
+}
+
+type t = {
+  kernel : Kernel.t;
+  mutable cred : Cred.t;
+  mutable root : path_ref;
+  mutable cwd : path_ref;
+  mutable ns : namespace;
+  fds : (int, fd) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+(* One default root credential per kernel would need a kernel slot; a global
+   per-process-spawn credential would defeat PCC sharing.  Share one default
+   credential across all processes of the program instead. *)
+let default_cred = lazy (Cred.root ())
+
+let spawn ?cred kernel =
+  let cred = match cred with Some c -> c | None -> Lazy.force default_cred in
+  let root = Kernel.root kernel in
+  Dcache.dget root.dentry;
+  Dcache.dget root.dentry;
+  (* two pins: one for root, one for cwd *)
+  {
+    kernel;
+    cred;
+    root;
+    cwd = root;
+    ns = Kernel.init_ns kernel;
+    fds = Hashtbl.create 16;
+    next_fd = 3;
+  }
+
+let fork t =
+  Dcache.dget t.root.dentry;
+  Dcache.dget t.cwd.dentry;
+  {
+    kernel = t.kernel;
+    cred = t.cred;
+    root = t.root;
+    cwd = t.cwd;
+    ns = t.ns;
+    fds = Hashtbl.create 16;
+    next_fd = 3;
+  }
+
+let walk_ctx t =
+  {
+    Dcache_vfs.Walk.cred = t.cred;
+    root = t.root;
+    cwd = t.cwd;
+    ns = t.ns;
+    registry = Kernel.registry t.kernel;
+  }
+
+let set_cred t update =
+  let builder = Cred.prepare t.cred in
+  update builder;
+  t.cred <- Cred.Builder.commit builder
+
+let install_fd t ~fd =
+  let num = t.next_fd in
+  t.next_fd <- num + 1;
+  let fd = fd num in
+  Hashtbl.add t.fds num fd;
+  fd
+
+let find_fd t num =
+  match Hashtbl.find_opt t.fds num with
+  | Some fd -> Ok fd
+  | None -> Error Dcache_types.Errno.EBADF
+
+let remove_fd t num =
+  match Hashtbl.find_opt t.fds num with
+  | Some fd ->
+    Hashtbl.remove t.fds num;
+    Ok fd
+  | None -> Error Dcache_types.Errno.EBADF

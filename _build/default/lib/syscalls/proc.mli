@@ -1,0 +1,68 @@
+(** Processes: credentials, root/cwd directory references, a mount
+    namespace, and an open-file table. *)
+
+open Dcache_vfs.Types
+
+type open_flag =
+  | O_RDONLY
+  | O_WRONLY
+  | O_RDWR
+  | O_CREAT
+  | O_EXCL
+  | O_TRUNC
+  | O_APPEND
+  | O_NOFOLLOW
+  | O_DIRECTORY
+
+(** Directory-stream state for getdents: a snapshot of the listing, the
+    cursor, and whether the sequence is still eligible to mark the directory
+    complete (no intervening lseek, §5.1). *)
+type dir_stream = {
+  mutable entries : Dcache_fs.Fs_intf.dirent array option;
+  mutable index : int;
+  mutable eligible : bool;
+  mutable from_cache : bool;
+  mutable snapshot_gen : int;
+      (** the directory's mutation generation when [entries] was captured *)
+}
+
+type fd = {
+  fd_num : int;
+  fd_ref : path_ref;
+  fd_inode : Dcache_vfs.Inode.t;
+  fd_readable : bool;
+  fd_writable : bool;
+  fd_append : bool;
+  mutable fd_pos : int;
+  mutable fd_dir : dir_stream option;
+}
+
+type t = {
+  kernel : Kernel.t;
+  mutable cred : Dcache_cred.Cred.t;
+  mutable root : path_ref;
+  mutable cwd : path_ref;
+  mutable ns : namespace;
+  fds : (int, fd) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+val spawn : ?cred:Dcache_cred.Cred.t -> Kernel.t -> t
+(** A fresh process at the kernel's root with the given credentials
+    (default: a root credential shared per kernel). *)
+
+val fork : t -> t
+(** Clone cwd/root/namespace/credentials (sharing the credential object and
+    hence the PCC, like a shell forking children §4.1).  The file table is
+    not inherited. *)
+
+val walk_ctx : t -> Dcache_vfs.Walk.ctx
+
+val set_cred : t -> (Dcache_cred.Cred.Builder.t -> unit) -> unit
+(** Apply a credential change through the prepare/commit protocol; an
+    update that changes nothing keeps the original credential (and its
+    PCC) alive. *)
+
+val install_fd : t -> fd:(int -> fd) -> fd
+val find_fd : t -> int -> (fd, Dcache_types.Errno.t) result
+val remove_fd : t -> int -> (fd, Dcache_types.Errno.t) result

@@ -1,0 +1,1015 @@
+open Dcache_types
+open Dcache_vfs.Types
+module Vfs = Dcache_vfs
+module Dcache = Vfs.Dcache
+module Walk = Vfs.Walk
+module Mount = Vfs.Mount
+module Inode = Vfs.Inode
+module Config = Vfs.Config
+module Lsm = Dcache_cred.Lsm
+module Cred = Dcache_cred.Cred
+module Fastpath = Dcache_core.Fastpath
+module Fs = Dcache_fs.Fs_intf
+module Counter = Dcache_util.Stats.Counter
+
+type 'a r = ('a, Errno.t) result
+
+let ( let* ) = Result.bind
+let counters proc = Kernel.counters proc.Proc.kernel
+let dcache proc = Kernel.dcache proc.Proc.kernel
+let kconfig proc = Kernel.config proc.Proc.kernel
+let count proc name = Counter.incr (counters proc) name
+
+(* Per-lookup path statistics (reported in the paper's Table 1). *)
+let note_lookup proc path =
+  let c = counters proc in
+  Counter.incr c "path_lookup";
+  Counter.add c "path_bytes" (String.length path);
+  let comps = ref 0 in
+  let in_comp = ref false in
+  String.iter
+    (fun ch ->
+      if ch = '/' then in_comp := false
+      else if not !in_comp then begin
+        in_comp := true;
+        incr comps
+      end)
+    path;
+  Counter.add c "path_comps" !comps
+
+let permission proc inode mask =
+  if Lsm.permission (Kernel.registry proc.Proc.kernel) proc.Proc.cred (Inode.attr inode) mask
+  then Ok ()
+  else Error Errno.EACCES
+
+let positive_inode d =
+  match d.d_state with
+  | Positive inode -> Ok inode
+  | Partial _ -> Dcache.promote d
+  | Negative e -> Error e
+
+(* --- resolution helpers --- *)
+
+let lookup_flags ?(follow = true) ?(must_dir = false) () =
+  { Walk.follow_last = follow; must_dir; collect = false }
+
+(** Non-mutating resolution via the configured lookup machinery (fastpath
+    with fallback, or the baseline two-phase slowpath).  Takes locks
+    internally; must not be called with the dcache lock held. *)
+let resolve ?start ?flags proc path =
+  note_lookup proc path;
+  let flags = match flags with Some f -> f | None -> lookup_flags () in
+  let ctx = Proc.walk_ctx proc in
+  (Fastpath.lookup (Kernel.fastpath proc.Proc.kernel) ctx ?start ~flags path).Walk.outcome
+
+let resolve_with ?start ?flags proc path ~within =
+  note_lookup proc path;
+  let flags = match flags with Some f -> f | None -> lookup_flags () in
+  let ctx = Proc.walk_ctx proc in
+  Fastpath.lookup_with (Kernel.fastpath proc.Proc.kernel) ctx ?start ~flags path ~within
+
+(** Resolution for mutating operations: caller must hold the write lock.
+    Collects and publishes the prefix chain so that the optimized kernel's
+    subsequent lookups of these directories take the fastpath. *)
+let resolve_parent_locked ?start proc path =
+  note_lookup proc path;
+  let ctx = Proc.walk_ctx proc in
+  let ctx = match start with Some s -> { ctx with Walk.cwd = s } | None -> ctx in
+  let collect = (kconfig proc).Config.fastpath in
+  let* p = Walk.resolve_parent Walk.Ref (dcache proc) ctx ~collect path in
+  if collect then
+    Fastpath.populate (Kernel.fastpath proc.Proc.kernel) ctx ~visited:p.Walk.p_visited
+      ~absolute:p.Walk.p_absolute ~start:ctx.Walk.cwd;
+  Ok p
+
+let resolve_locked ?flags proc path =
+  note_lookup proc path;
+  let flags = match flags with Some f -> f | None -> lookup_flags () in
+  let ctx = Proc.walk_ctx proc in
+  (Walk.resolve_in_mode Walk.Ref (dcache proc) ctx ~flags path).Walk.outcome
+
+let with_write proc f = Dcache.with_write (dcache proc) f
+
+let parent_dir_inode (p : Walk.parent_result) = positive_inode p.Walk.parent.dentry
+
+let check_write_dir proc (p : Walk.parent_result) =
+  if p.Walk.parent.mnt.mnt_readonly then Error Errno.EROFS
+  else begin
+    let* dir_inode = parent_dir_inode p in
+    permission proc dir_inode (Access.union Access.may_write Access.may_exec)
+  end
+
+(* Instantiate a freshly created child in the dcache.  Creating a
+   non-directory over a cached negative dentry evicts any deep negative
+   children; a new directory is empty, so deep negatives below it stay
+   valid (§5.2). *)
+let instantiate proc (p : Walk.parent_result) (attr : Attr.t) =
+  let d = dcache proc in
+  let parent = p.Walk.parent.dentry in
+  let inode = Dcache.iget parent.d_sb attr in
+  Dcache.bump_dir_gen parent;
+  match p.Walk.child with
+  | Some child when dentry_is_negative child ->
+    if not (File_kind.equal attr.Attr.kind File_kind.Directory) then
+      Dcache.prune_children d child;
+    child.d_state <- Positive inode;
+    child.d_target_sig <- None;
+    child
+  | Some child ->
+    child.d_state <- Positive inode;
+    child.d_target_sig <- None;
+    child
+  | None -> (
+    match Dcache.add_child d parent p.Walk.last (Positive inode) with
+    | Ok child -> child
+    | Error _ -> assert false)
+
+let map_fs_result result = Result.map_error (fun e -> e) result
+
+(* --- metadata --- *)
+
+let do_stat ?(follow = true) ?start proc path =
+  let* ref_ = resolve ?start ~flags:(lookup_flags ~follow ()) proc path in
+  match ref_.dentry.d_state with
+  | Positive inode -> Ok (Inode.attr inode)
+  | Partial _ | Negative _ -> Error Errno.ENOENT
+
+let stat proc path =
+  Systime.timed Systime.Access_stat (fun () ->
+      count proc "sys_stat";
+      do_stat proc path)
+
+let lstat proc path =
+  Systime.timed Systime.Access_stat (fun () ->
+      count proc "sys_lstat";
+      do_stat ~follow:false proc path)
+
+let fstatat proc dirfd path ?(follow = true) () =
+  Systime.timed Systime.Access_stat (fun () ->
+      count proc "sys_fstatat";
+      let* fd = Proc.find_fd proc dirfd in
+      do_stat ~follow ~start:fd.Proc.fd_ref proc path)
+
+let fstat proc fdnum =
+  count proc "sys_fstat";
+  let* fd = Proc.find_fd proc fdnum in
+  Ok (Inode.attr fd.Proc.fd_inode)
+
+let access proc path mask =
+  Systime.timed Systime.Access_stat (fun () ->
+      count proc "sys_access";
+      resolve_with proc path ~within:(fun ref_ ->
+          let* inode = positive_inode ref_.dentry in
+          permission proc inode mask))
+
+let readlink proc path =
+  count proc "sys_readlink";
+  let* ref_ = resolve ~flags:(lookup_flags ~follow:false ()) proc path in
+  let* inode = positive_inode ref_.dentry in
+  if File_kind.equal (Inode.kind inode) File_kind.Symlink then Inode.symlink_target inode
+  else Error Errno.EINVAL
+
+(* --- open and file IO --- *)
+
+let flag_mem flag flags = List.mem flag flags
+
+let finish_open proc flags (ref_ : path_ref) =
+  let writable = flag_mem Proc.O_WRONLY flags || flag_mem Proc.O_RDWR flags in
+  let readable = not (flag_mem Proc.O_WRONLY flags) in
+  let want_dir = flag_mem Proc.O_DIRECTORY flags in
+  let* inode = positive_inode ref_.dentry in
+  let kind = Inode.kind inode in
+  let* () =
+    match kind with
+    | File_kind.Symlink -> Error Errno.ELOOP (* only reachable with O_NOFOLLOW *)
+    | File_kind.Directory -> if writable then Error Errno.EISDIR else Ok ()
+    | _ -> if want_dir then Error Errno.ENOTDIR else Ok ()
+  in
+  let* () = if readable then permission proc inode Access.may_read else Ok () in
+  let* () =
+    if writable then begin
+      if ref_.mnt.mnt_readonly then Error Errno.EROFS
+      else permission proc inode Access.may_write
+    end
+    else Ok ()
+  in
+  let* () =
+    if flag_mem Proc.O_TRUNC flags && writable && File_kind.equal kind File_kind.Regular
+    then Inode.setattr inode { Fs.no_setattr with Fs.set_size = Some 0 }
+    else Ok ()
+  in
+  Dcache.dget ref_.dentry;
+  (Inode.fs inode).Fs.pin_inode (Inode.ino inode);
+  let fd =
+    Proc.install_fd proc ~fd:(fun num ->
+        {
+          Proc.fd_num = num;
+          fd_ref = ref_;
+          fd_inode = inode;
+          fd_readable = readable;
+          fd_writable = writable;
+          fd_append = flag_mem Proc.O_APPEND flags;
+          fd_pos = 0;
+          fd_dir = None;
+        })
+  in
+  Ok fd.Proc.fd_num
+
+let rec do_open ?(mode = Mode.default_file) ?start proc path flags =
+  let follow = not (flag_mem Proc.O_NOFOLLOW flags) in
+  if not (flag_mem Proc.O_CREAT flags) then
+    resolve_with ?start proc path
+      ~flags:(lookup_flags ~follow ~must_dir:(flag_mem Proc.O_DIRECTORY flags) ())
+      ~within:(finish_open proc flags)
+  else begin
+    let result =
+      with_write proc (fun () ->
+          let* p = resolve_parent_locked proc path in
+          match p.Walk.child with
+          | Some child when dentry_is_positive child -> (
+            if flag_mem Proc.O_EXCL flags then Error Errno.EEXIST
+            else begin
+              match dentry_kind child with
+              | Some File_kind.Symlink when follow ->
+                (* Re-resolve the full path following the trailing link. *)
+                Ok `Follow_symlink
+              | _ ->
+                let target = Mount.traverse_mounts { p.Walk.parent with dentry = child } in
+                Result.map (fun fd -> `Opened fd) (finish_open proc flags target)
+            end)
+          | _ ->
+            let* () = check_write_dir proc p in
+            let* dir_inode = parent_dir_inode p in
+            let* attr =
+              map_fs_result
+                (p.Walk.parent.dentry.d_sb.sb_fs.Fs.create (Inode.ino dir_inode) p.Walk.last
+                   File_kind.Regular mode ~uid:(Cred.uid proc.Proc.cred)
+                   ~gid:(Cred.gid proc.Proc.cred))
+            in
+            count proc "files_created";
+            let child = instantiate proc p attr in
+            Result.map
+              (fun fd -> `Opened fd)
+              (finish_open proc flags { p.Walk.parent with dentry = child }))
+    in
+    match result with
+    | Ok (`Opened fd) -> Ok fd
+    | Ok `Follow_symlink -> do_open ~mode ?start proc path (List.filter (( <> ) Proc.O_CREAT) flags)
+    | Error _ as e -> e
+  end
+
+let openf ?mode proc path flags =
+  Systime.timed Systime.Open (fun () ->
+      count proc "sys_open";
+      do_open ?mode proc path flags)
+
+let openat ?mode proc dirfd path flags =
+  Systime.timed Systime.Open (fun () ->
+      count proc "sys_openat";
+      let* fd = Proc.find_fd proc dirfd in
+      do_open ?mode ~start:fd.Proc.fd_ref proc path flags)
+
+let close proc fdnum =
+  count proc "sys_close";
+  let* fd = Proc.remove_fd proc fdnum in
+  Dcache.dput fd.Proc.fd_ref.dentry;
+  let inode = fd.Proc.fd_inode in
+  (Inode.fs inode).Fs.unpin_inode (Inode.ino inode);
+  Ok ()
+
+let read proc fdnum len =
+  count proc "sys_read";
+  let* fd = Proc.find_fd proc fdnum in
+  if not fd.Proc.fd_readable then Error Errno.EBADF
+  else begin
+    let inode = fd.Proc.fd_inode in
+    let* data = (Inode.fs inode).Fs.read (Inode.ino inode) ~off:fd.Proc.fd_pos ~len in
+    fd.Proc.fd_pos <- fd.Proc.fd_pos + String.length data;
+    Ok data
+  end
+
+let pread proc fdnum ~off ~len =
+  count proc "sys_pread";
+  let* fd = Proc.find_fd proc fdnum in
+  if not fd.Proc.fd_readable then Error Errno.EBADF
+  else begin
+    let inode = fd.Proc.fd_inode in
+    (Inode.fs inode).Fs.read (Inode.ino inode) ~off ~len
+  end
+
+let do_write (fd : Proc.fd) ~off data =
+  if not fd.Proc.fd_writable then Error Errno.EBADF
+  else begin
+    let inode = fd.Proc.fd_inode in
+    let* written = (Inode.fs inode).Fs.write (Inode.ino inode) ~off data in
+    Inode.note_size inode (max (Inode.attr inode).Attr.size (off + written));
+    Ok written
+  end
+
+let write proc fdnum data =
+  count proc "sys_write";
+  let* fd = Proc.find_fd proc fdnum in
+  let off =
+    if fd.Proc.fd_append then (Inode.attr fd.Proc.fd_inode).Attr.size else fd.Proc.fd_pos
+  in
+  let* written = do_write fd ~off data in
+  fd.Proc.fd_pos <- off + written;
+  Ok written
+
+let pwrite proc fdnum ~off data =
+  count proc "sys_pwrite";
+  let* fd = Proc.find_fd proc fdnum in
+  do_write fd ~off data
+
+(* --- directory streams (§5.1) --- *)
+
+let dirent_of_child d =
+  match d.d_state with
+  | Negative _ -> None
+  | Partial { p_ino; p_kind } -> Some { Fs.name = d.d_name; ino = p_ino; kind = p_kind }
+  | Positive inode ->
+    let attr = Inode.attr inode in
+    Some { Fs.name = d.d_name; ino = attr.Attr.ino; kind = attr.Attr.kind }
+
+let getdents proc fdnum want =
+  count proc "sys_getdents";
+  let* fd = Proc.find_fd proc fdnum in
+  if not (Inode.is_dir fd.Proc.fd_inode) then Error Errno.ENOTDIR
+  else begin
+    with_write proc (fun () ->
+        let d = dcache proc in
+        let dir = fd.Proc.fd_ref.dentry in
+        let stream =
+          match fd.Proc.fd_dir with
+          | Some s -> s
+          | None ->
+            let s =
+              { Proc.entries = None; index = 0; eligible = true; from_cache = false;
+                snapshot_gen = 0 }
+            in
+            fd.Proc.fd_dir <- Some s;
+            s
+        in
+        let dnlc = Kernel.dnlc proc.Proc.kernel in
+        let dnlc_mode = (kconfig proc).Config.dnlc_style_completeness in
+        let* entries =
+          match stream.Proc.entries with
+          | Some entries -> Ok entries
+          | None ->
+            (* Capture the generation with the snapshot: completion later is
+               only valid if no mutation happened since this point. *)
+            stream.Proc.snapshot_gen <- dir.d_dir_gen;
+            let* entries =
+              if dnlc_mode then begin
+                (* Solaris-style separate listing cache: serves repeated
+                   readdirs, but feeds nothing back into the dcache. *)
+                match Hashtbl.find_opt dnlc dir.d_id with
+                | Some (gen, entries) when gen = dir.d_dir_gen ->
+                  count proc "readdir_from_dnlc";
+                  stream.Proc.from_cache <- true;
+                  Ok entries
+                | _ ->
+                  count proc "readdir_from_fs";
+                  stream.Proc.from_cache <- false;
+                  let inode = fd.Proc.fd_inode in
+                  let* listing = (Inode.fs inode).Fs.readdir (Inode.ino inode) in
+                  Ok (Array.of_list listing)
+              end
+              else if Dcache.is_complete d dir then begin
+                count proc "readdir_from_cache";
+                stream.Proc.from_cache <- true;
+                let acc = ref [] in
+                Dcache.iter_children dir (fun child ->
+                    match dirent_of_child child with
+                    | Some entry -> acc := entry :: !acc
+                    | None -> ());
+                Ok (Array.of_list (List.rev !acc))
+              end
+              else begin
+                count proc "readdir_from_fs";
+                stream.Proc.from_cache <- false;
+                let inode = fd.Proc.fd_inode in
+                let* listing = (Inode.fs inode).Fs.readdir (Inode.ino inode) in
+                Ok (Array.of_list listing)
+              end
+            in
+            stream.Proc.entries <- Some entries;
+            Ok entries
+        in
+        let n = Array.length entries in
+        let take = max 0 (min want (n - stream.Proc.index)) in
+        let chunk = Array.to_list (Array.sub entries stream.Proc.index take) in
+        stream.Proc.index <- stream.Proc.index + take;
+        (if
+           dnlc_mode && stream.Proc.index >= n && stream.Proc.eligible
+           && (not stream.Proc.from_cache)
+           && dir.d_dir_gen = stream.Proc.snapshot_gen
+         then Hashtbl.replace dnlc dir.d_id (stream.Proc.snapshot_gen, entries));
+        (* Sequence completed without a seek, from the fs, and the directory
+           did not change under us: cache the children and mark complete. *)
+        (if
+           stream.Proc.index >= n && stream.Proc.eligible
+           && (not stream.Proc.from_cache)
+           && (kconfig proc).Config.dir_completeness
+           && (not dnlc_mode)
+           && dir.d_dir_gen = stream.Proc.snapshot_gen
+         then begin
+           let safe = ref true in
+           Array.iter
+             (fun (entry : Fs.dirent) ->
+               match Dcache.lookup d dir entry.Fs.name with
+               | Some child -> if dentry_is_negative child then safe := false
+               | None ->
+                 ignore
+                   (Dcache.add_child d dir entry.Fs.name
+                      (Partial { p_ino = entry.Fs.ino; p_kind = entry.Fs.kind })))
+             entries;
+           if !safe then Dcache.set_complete d dir
+         end);
+        Ok chunk)
+  end
+
+let lseek proc fdnum off =
+  count proc "sys_lseek";
+  let* fd = Proc.find_fd proc fdnum in
+  if off < 0 then Error Errno.EINVAL
+  else begin
+    (match fd.Proc.fd_dir with
+    | Some stream ->
+      if off = 0 then begin
+        stream.Proc.entries <- None;
+        stream.Proc.index <- 0;
+        stream.Proc.eligible <- true;
+        stream.Proc.from_cache <- false
+      end
+      else begin
+        stream.Proc.index <- off;
+        stream.Proc.eligible <- false
+      end
+    | None -> ());
+    fd.Proc.fd_pos <- off;
+    Ok off
+  end
+
+let truncate proc path size =
+  count proc "sys_truncate";
+  if size < 0 then Error Errno.EINVAL
+  else
+    resolve_with proc path ~within:(fun ref_ ->
+        let* inode = positive_inode ref_.dentry in
+        if not (File_kind.equal (Inode.kind inode) File_kind.Regular) then
+          Error Errno.EINVAL
+        else if ref_.mnt.mnt_readonly then Error Errno.EROFS
+        else begin
+          let* () = permission proc inode Access.may_write in
+          Inode.setattr inode { Fs.no_setattr with Fs.set_size = Some size }
+        end)
+
+(* --- namespace mutations --- *)
+
+let mkdir ?(mode = Mode.default_dir) proc path =
+  count proc "sys_mkdir";
+  with_write proc (fun () ->
+      let* p = resolve_parent_locked proc path in
+      match p.Walk.child with
+      | Some child when dentry_is_positive child -> Error Errno.EEXIST
+      | _ ->
+        let* () = check_write_dir proc p in
+        let* dir_inode = parent_dir_inode p in
+        let* attr =
+          map_fs_result
+            (p.Walk.parent.dentry.d_sb.sb_fs.Fs.create (Inode.ino dir_inode) p.Walk.last
+               File_kind.Directory mode ~uid:(Cred.uid proc.Proc.cred)
+               ~gid:(Cred.gid proc.Proc.cred))
+        in
+        Inode.bump_nlink dir_inode 1;
+        let child = instantiate proc p attr in
+        (* A brand-new directory's (empty) listing is fully cached (§5.1). *)
+        Dcache.set_complete (dcache proc) child;
+        Ok ())
+
+let check_not_mountpoint proc (p : Walk.parent_result) child =
+  if Mount.is_mountpoint proc.Proc.ns p.Walk.parent.mnt child then Error Errno.EBUSY
+  else Ok ()
+
+let unlink proc path =
+  Systime.timed Systime.Unlink (fun () ->
+      count proc "sys_unlink";
+      with_write proc (fun () ->
+          let* p = resolve_parent_locked proc path in
+          match p.Walk.child with
+          | None -> Error Errno.ENOENT
+          | Some child -> (
+            match child.d_state with
+            | Negative e -> Error e
+            | Partial _ | Positive _ ->
+              if dentry_is_dir child then Error Errno.EISDIR
+              else begin
+                let* () = check_not_mountpoint proc p child in
+                let* () = check_write_dir proc p in
+                let* dir_inode = parent_dir_inode p in
+                let* child_inode = positive_inode child in
+                let* () =
+                  map_fs_result
+                    (p.Walk.parent.dentry.d_sb.sb_fs.Fs.unlink (Inode.ino dir_inode)
+                       p.Walk.last)
+                in
+                Dcache.bump_dir_gen p.Walk.parent.dentry;
+                Inode.bump_nlink child_inode (-1);
+                if (Inode.attr child_inode).Attr.nlink <= 0 then
+                  Dcache.iforget child.d_sb (Inode.ino child_inode);
+                Dcache.note_unlinked (dcache proc) child;
+                Ok ()
+              end)))
+
+let rmdir proc path =
+  count proc "sys_rmdir";
+  with_write proc (fun () ->
+      let* p = resolve_parent_locked proc path in
+      match p.Walk.child with
+      | None -> Error Errno.ENOENT
+      | Some child -> (
+        match child.d_state with
+        | Negative e -> Error e
+        | Partial _ | Positive _ ->
+          if not (dentry_is_dir child) then Error Errno.ENOTDIR
+          else begin
+            let* () = check_not_mountpoint proc p child in
+            let* () = check_write_dir proc p in
+            let* dir_inode = parent_dir_inode p in
+            let* () =
+              map_fs_result
+                (p.Walk.parent.dentry.d_sb.sb_fs.Fs.rmdir (Inode.ino dir_inode) p.Walk.last)
+            in
+            Dcache.bump_dir_gen p.Walk.parent.dentry;
+            Inode.bump_nlink dir_inode (-1);
+            (match dentry_inode child with
+            | Some child_inode -> Dcache.iforget child.d_sb (Inode.ino child_inode)
+            | None -> ());
+            Dcache.invalidate_structure (dcache proc) child |> ignore;
+            Dcache.note_unlinked (dcache proc) child;
+            Ok ()
+          end))
+
+let rec is_ancestor ~(of_ : dentry) candidate =
+  candidate == of_
+  || (match of_.d_parent with Some parent -> is_ancestor ~of_:parent candidate | None -> false)
+
+let rename proc old_path new_path =
+  count proc "sys_rename";
+  with_write proc (fun () ->
+      let d = dcache proc in
+      let* po = resolve_parent_locked proc old_path in
+      let* pn = resolve_parent_locked proc new_path in
+      match po.Walk.child with
+      | None -> Error Errno.ENOENT
+      | Some src when dentry_is_negative src -> Error Errno.ENOENT
+      | Some src ->
+        if not (po.Walk.parent.dentry.d_sb == pn.Walk.parent.dentry.d_sb) then
+          Error Errno.EXDEV
+        else begin
+          let* () = check_not_mountpoint proc po src in
+          let* () = check_write_dir proc po in
+          let* () = check_write_dir proc pn in
+          let* src_inode = positive_inode src in
+          let src_is_dir = Inode.is_dir src_inode in
+          if src_is_dir && is_ancestor ~of_:pn.Walk.parent.dentry src then Error Errno.EINVAL
+          else begin
+            let target = pn.Walk.child in
+            let target_same =
+              match target with
+              | Some tgt when dentry_is_positive tgt -> (
+                match dentry_inode tgt with
+                | Some tgt_inode -> Inode.ino tgt_inode = Inode.ino src_inode
+                                    && tgt.d_sb == src.d_sb
+                | None -> false)
+              | _ -> false
+            in
+            let same_dentry =
+              match target with Some tgt -> tgt == src | None -> false
+            in
+            if same_dentry then Ok () (* rename onto itself: POSIX no-op *)
+            else if target_same then Ok ()
+            else if src == po.Walk.parent.dentry then Error Errno.EINVAL
+            else begin
+              let* () =
+                match target with
+                | Some tgt when dentry_is_positive tgt ->
+                  check_not_mountpoint proc pn tgt
+                | _ -> Ok ()
+              in
+              let rename_lock = Dcache.rename_lock d in
+              Dcache_util.Seqcount.write_begin rename_lock;
+              (* Invalidate direct-lookup state under both the old and new
+                 paths before mutating (§3.2). *)
+              Dcache.invalidate_structure d src |> ignore;
+              (match target with
+              | Some tgt when dentry_is_positive tgt ->
+                Dcache.invalidate_structure d tgt |> ignore
+              | _ -> ());
+              let* old_dir = parent_dir_inode po in
+              let* new_dir = parent_dir_inode pn in
+              let result =
+                map_fs_result
+                  (src.d_sb.sb_fs.Fs.rename (Inode.ino old_dir) po.Walk.last
+                     (Inode.ino new_dir) pn.Walk.last)
+              in
+              match result with
+              | Error _ as e ->
+                Dcache_util.Seqcount.write_end rename_lock;
+                e
+              | Ok () ->
+                Dcache.bump_dir_gen po.Walk.parent.dentry;
+                Dcache.bump_dir_gen pn.Walk.parent.dentry;
+                (match target with
+                | Some tgt when dentry_is_positive tgt ->
+                  (match dentry_inode tgt with
+                  | Some tgt_inode ->
+                    Inode.bump_nlink tgt_inode (-1);
+                    if (Inode.attr tgt_inode).Attr.nlink <= 0 then
+                      Dcache.iforget tgt.d_sb (Inode.ino tgt_inode)
+                  | None -> ());
+                  Dcache.unhash d tgt
+                | Some tgt -> Dcache.unhash d tgt
+                | None -> ());
+                let old_name = po.Walk.last in
+                Dcache.d_move d src ~new_parent:pn.Walk.parent.dentry ~new_name:pn.Walk.last;
+                if src_is_dir && not (po.Walk.parent.dentry == pn.Walk.parent.dentry) then begin
+                  Inode.bump_nlink old_dir (-1);
+                  Inode.bump_nlink new_dir 1
+                end;
+                (* Keep the old name cached as a negative dentry (§5.2). *)
+                if (kconfig proc).Config.aggressive_negative then
+                  ignore
+                    (Dcache.add_child d po.Walk.parent.dentry old_name
+                       (Negative Errno.ENOENT));
+                Dcache_util.Seqcount.write_end rename_lock;
+                Ok ()
+            end
+          end
+        end)
+
+let link proc old_path new_path =
+  count proc "sys_link";
+  with_write proc (fun () ->
+      let* old_ref = resolve_locked ~flags:(lookup_flags ~follow:false ()) proc old_path in
+      let* old_inode = positive_inode old_ref.dentry in
+      if Inode.is_dir old_inode then Error Errno.EPERM
+      else begin
+        let* p = resolve_parent_locked proc new_path in
+        if not (p.Walk.parent.dentry.d_sb == old_ref.dentry.d_sb) then Error Errno.EXDEV
+        else begin
+          match p.Walk.child with
+          | Some child when dentry_is_positive child -> Error Errno.EEXIST
+          | _ ->
+            let* () = check_write_dir proc p in
+            let* dir_inode = parent_dir_inode p in
+            let* attr =
+              map_fs_result
+                (p.Walk.parent.dentry.d_sb.sb_fs.Fs.link (Inode.ino dir_inode) p.Walk.last
+                   (Inode.ino old_inode))
+            in
+            Inode.bump_nlink old_inode 1;
+            ignore (instantiate proc p { attr with Attr.nlink = (Inode.attr old_inode).Attr.nlink });
+            Ok ()
+        end
+      end)
+
+let symlink proc ~target path =
+  count proc "sys_symlink";
+  with_write proc (fun () ->
+      let* p = resolve_parent_locked proc path in
+      match p.Walk.child with
+      | Some child when dentry_is_positive child -> Error Errno.EEXIST
+      | _ ->
+        let* () = check_write_dir proc p in
+        let* dir_inode = parent_dir_inode p in
+        let* attr =
+          map_fs_result
+            (p.Walk.parent.dentry.d_sb.sb_fs.Fs.symlink (Inode.ino dir_inode) p.Walk.last
+               ~target ~uid:(Cred.uid proc.Proc.cred) ~gid:(Cred.gid proc.Proc.cred))
+        in
+        ignore (instantiate proc p attr);
+        Ok ())
+
+let mkstemp ?prng ?(prefix = "tmp") proc dir =
+  count proc "sys_mkstemp";
+  let prng =
+    match prng with Some p -> p | None -> Dcache_util.Prng.create (Hashtbl.hash dir)
+  in
+  let rec attempt tries =
+    if tries = 0 then Error Errno.EEXIST
+    else begin
+      let name = prefix ^ Dcache_util.Prng.string prng ~min_len:6 ~max_len:6 in
+      let path = Vfs.Path.join dir name in
+      match do_open proc path [ Proc.O_CREAT; Proc.O_EXCL; Proc.O_RDWR ] with
+      | Ok fd -> Ok (fd, path)
+      | Error Errno.EEXIST -> attempt (tries - 1)
+      | Error _ as e -> e
+    end
+  in
+  attempt 100
+
+(* --- attributes and security --- *)
+
+let owner_or_root proc (attr : Attr.t) =
+  if Cred.uid proc.Proc.cred = 0 || Cred.uid proc.Proc.cred = attr.Attr.uid then Ok ()
+  else Error Errno.EPERM
+
+(* chmod/chown of a directory invalidates every cached descendant's memoized
+   prefix check before the change lands (§3.2). *)
+let setattr_path proc path ~privileged changes =
+  with_write proc (fun () ->
+      let* ref_ = resolve_locked proc path in
+      let* inode = positive_inode ref_.dentry in
+      let* () =
+        if privileged then begin
+          if Cred.uid proc.Proc.cred = 0 then Ok () else Error Errno.EPERM
+        end
+        else owner_or_root proc (Inode.attr inode)
+      in
+      if ref_.mnt.mnt_readonly then Error Errno.EROFS
+      else begin
+        if Inode.is_dir inode then
+          Dcache.invalidate_permissions (dcache proc) ref_.dentry |> ignore;
+        Inode.setattr inode changes
+      end)
+
+let chmod proc path mode =
+  Systime.timed Systime.Chmod_chown (fun () ->
+      count proc "sys_chmod";
+      setattr_path proc path ~privileged:false { Fs.no_setattr with Fs.set_mode = Some mode })
+
+let chown proc path ~uid ~gid =
+  Systime.timed Systime.Chmod_chown (fun () ->
+      count proc "sys_chown";
+      setattr_path proc path ~privileged:true
+        { Fs.no_setattr with Fs.set_uid = Some uid; set_gid = Some gid })
+
+let set_label proc path label =
+  count proc "sys_set_label";
+  setattr_path proc path ~privileged:true { Fs.no_setattr with Fs.set_label = Some label }
+
+(* --- process state --- *)
+
+let chdir proc path =
+  count proc "sys_chdir";
+  resolve_with proc path ~flags:(lookup_flags ~must_dir:true ()) ~within:(fun ref_ ->
+      let* inode = positive_inode ref_.dentry in
+      let* () = permission proc inode Access.may_exec in
+      Dcache.dget ref_.dentry;
+      Ok ref_)
+  |> Result.map (fun ref_ ->
+         Dcache.dput proc.Proc.cwd.dentry;
+         proc.Proc.cwd <- ref_)
+
+let fchdir proc fdnum =
+  count proc "sys_fchdir";
+  let* fd = Proc.find_fd proc fdnum in
+  if not (Inode.is_dir fd.Proc.fd_inode) then Error Errno.ENOTDIR
+  else begin
+    Dcache.dget fd.Proc.fd_ref.dentry;
+    Dcache.dput proc.Proc.cwd.dentry;
+    proc.Proc.cwd <- fd.Proc.fd_ref;
+    Ok ()
+  end
+
+let chroot proc path =
+  count proc "sys_chroot";
+  if Cred.uid proc.Proc.cred <> 0 then Error Errno.EPERM
+  else
+    resolve_with proc path ~flags:(lookup_flags ~must_dir:true ()) ~within:(fun ref_ ->
+        let* inode = positive_inode ref_.dentry in
+        let* () = permission proc inode Access.may_exec in
+        Dcache.dget ref_.dentry;
+        Ok ref_)
+    |> Result.map (fun ref_ ->
+           Dcache.dput proc.Proc.root.dentry;
+           proc.Proc.root <- ref_)
+
+(* --- mounts --- *)
+
+let mount_fs ?(readonly = false) ?(nosuid = false) proc fs path =
+  count proc "sys_mount";
+  if Cred.uid proc.Proc.cred <> 0 then Error Errno.EPERM
+  else begin
+    with_write proc (fun () ->
+        let* at = resolve_locked ~flags:(lookup_flags ~must_dir:true ()) proc path in
+        let* sb = Kernel.make_superblock proc.Proc.kernel fs in
+        (* Mount changes remove covered entries from the DLHT (§3.2/§4.3). *)
+        Dcache.invalidate_structure (dcache proc) at.dentry |> ignore;
+        let* _mount =
+          Mount.attach proc.Proc.ns ~at ~root:(Dcache.sb_root sb) ~sb ~readonly ~nosuid
+        in
+        Ok ())
+  end
+
+let bind_mount ?(readonly = false) proc ~src ~dst =
+  count proc "sys_mount";
+  if Cred.uid proc.Proc.cred <> 0 then Error Errno.EPERM
+  else begin
+    with_write proc (fun () ->
+        let* src_ref = resolve_locked ~flags:(lookup_flags ~must_dir:true ()) proc src in
+        let* dst_ref = resolve_locked ~flags:(lookup_flags ~must_dir:true ()) proc dst in
+        Dcache.invalidate_structure (dcache proc) dst_ref.dentry |> ignore;
+        let* _mount =
+          Mount.attach proc.Proc.ns ~at:dst_ref ~root:src_ref.dentry
+            ~sb:src_ref.dentry.d_sb ~readonly ~nosuid:false
+        in
+        Ok ())
+  end
+
+let umount proc path =
+  count proc "sys_umount";
+  if Cred.uid proc.Proc.cred <> 0 then Error Errno.EPERM
+  else begin
+    with_write proc (fun () ->
+        let* ref_ = resolve_locked ~flags:(lookup_flags ~must_dir:true ()) proc path in
+        if not (ref_.dentry == ref_.mnt.mnt_root) then Error Errno.EINVAL
+        else begin
+          Dcache.invalidate_structure (dcache proc) ref_.mnt.mnt_root |> ignore;
+          (match ref_.mnt.mnt_mountpoint with
+          | Some (_, mountpoint) ->
+            Dcache.invalidate_structure (dcache proc) mountpoint |> ignore
+          | None -> ());
+          Mount.detach proc.Proc.ns ref_.mnt
+        end)
+  end
+
+let unshare_mount_ns proc =
+  count proc "sys_unshare";
+  Dcache.with_write (dcache proc) (fun () ->
+      let ns = Mount.clone_namespace proc.Proc.ns in
+      proc.Proc.ns <- ns;
+      let root = Mount.root ns in
+      Dcache.dget root.dentry;
+      Dcache.dget root.dentry;
+      Dcache.dput proc.Proc.root.dentry;
+      Dcache.dput proc.Proc.cwd.dentry;
+      proc.Proc.root <- root;
+      proc.Proc.cwd <- root;
+      Ok ())
+
+(* --- the *at() family: resolution relative to an open directory --- *)
+
+let with_dirfd proc dirfd k =
+  let* fd = Proc.find_fd proc dirfd in
+  if not (Inode.is_dir fd.Proc.fd_inode) then Error Errno.ENOTDIR
+  else k fd.Proc.fd_ref
+
+let mkdirat ?mode proc dirfd path =
+  count proc "sys_mkdirat";
+  with_dirfd proc dirfd (fun start ->
+      with_write proc (fun () ->
+          let* p = resolve_parent_locked ~start proc path in
+          match p.Walk.child with
+          | Some child when dentry_is_positive child -> Error Errno.EEXIST
+          | _ ->
+            let* () = check_write_dir proc p in
+            let* dir_inode = parent_dir_inode p in
+            let* attr =
+              map_fs_result
+                (p.Walk.parent.dentry.d_sb.sb_fs.Fs.create (Inode.ino dir_inode) p.Walk.last
+                   File_kind.Directory
+                   (Option.value mode ~default:Mode.default_dir)
+                   ~uid:(Cred.uid proc.Proc.cred) ~gid:(Cred.gid proc.Proc.cred))
+            in
+            Inode.bump_nlink dir_inode 1;
+            let child = instantiate proc p attr in
+            Dcache.set_complete (dcache proc) child;
+            Ok ()))
+
+let unlinkat proc dirfd path =
+  count proc "sys_unlinkat";
+  with_dirfd proc dirfd (fun start ->
+      with_write proc (fun () ->
+          let* p = resolve_parent_locked ~start proc path in
+          match p.Walk.child with
+          | None -> Error Errno.ENOENT
+          | Some child -> (
+            match child.d_state with
+            | Negative e -> Error e
+            | Partial _ | Positive _ ->
+              if dentry_is_dir child then Error Errno.EISDIR
+              else begin
+                let* () = check_not_mountpoint proc p child in
+                let* () = check_write_dir proc p in
+                let* dir_inode = parent_dir_inode p in
+                let* child_inode = positive_inode child in
+                let* () =
+                  map_fs_result
+                    (p.Walk.parent.dentry.d_sb.sb_fs.Fs.unlink (Inode.ino dir_inode)
+                       p.Walk.last)
+                in
+                Dcache.bump_dir_gen p.Walk.parent.dentry;
+                Inode.bump_nlink child_inode (-1);
+                if (Inode.attr child_inode).Attr.nlink <= 0 then
+                  Dcache.iforget child.d_sb (Inode.ino child_inode);
+                Dcache.note_unlinked (dcache proc) child;
+                Ok ()
+              end)))
+
+let symlinkat proc ~target dirfd path =
+  count proc "sys_symlinkat";
+  with_dirfd proc dirfd (fun start ->
+      with_write proc (fun () ->
+          let* p = resolve_parent_locked ~start proc path in
+          match p.Walk.child with
+          | Some child when dentry_is_positive child -> Error Errno.EEXIST
+          | _ ->
+            let* () = check_write_dir proc p in
+            let* dir_inode = parent_dir_inode p in
+            let* attr =
+              map_fs_result
+                (p.Walk.parent.dentry.d_sb.sb_fs.Fs.symlink (Inode.ino dir_inode)
+                   p.Walk.last ~target ~uid:(Cred.uid proc.Proc.cred)
+                   ~gid:(Cred.gid proc.Proc.cred))
+            in
+            ignore (instantiate proc p attr);
+            Ok ()))
+
+let readlinkat proc dirfd path =
+  count proc "sys_readlinkat";
+  with_dirfd proc dirfd (fun start ->
+      let* ref_ = resolve ~start ~flags:(lookup_flags ~follow:false ()) proc path in
+      let* inode = positive_inode ref_.dentry in
+      if File_kind.equal (Inode.kind inode) File_kind.Symlink then Inode.symlink_target inode
+      else Error Errno.EINVAL)
+
+let faccessat proc dirfd path mask =
+  Systime.timed Systime.Access_stat (fun () ->
+      count proc "sys_faccessat";
+      with_dirfd proc dirfd (fun start ->
+          resolve_with ~start proc path ~within:(fun ref_ ->
+              let* inode = positive_inode ref_.dentry in
+              permission proc inode mask)))
+
+let getcwd proc =
+  count proc "sys_getcwd";
+  let root = proc.Proc.root in
+  let cwd = proc.Proc.cwd in
+  if cwd.dentry.d_parent <> None && not cwd.dentry.d_hashed then
+    (* the working directory was removed *)
+    Error Errno.ENOENT
+  else begin
+    let rec build (r : path_ref) acc =
+      if r.dentry == root.dentry && r.mnt == root.mnt then Ok acc
+      else begin
+        match Mount.follow_up r with
+        | Some up -> build up acc
+        | None -> (
+          match r.dentry.d_parent with
+          | Some parent -> build { r with dentry = parent } (r.dentry.d_name :: acc)
+          | None -> Ok acc (* cwd outside the root (chrooted after chdir) *))
+      end
+    in
+    let* comps = build cwd [] in
+    Ok ("/" ^ String.concat "/" comps)
+  end
+
+let invalidate_path proc path =
+  count proc "sys_invalidate_path";
+  with_write proc (fun () ->
+      let* ref_ = resolve_locked ~flags:(lookup_flags ~follow:false ()) proc path in
+      Dcache.invalidate_structure (dcache proc) ref_.dentry |> ignore;
+      Dcache.unhash ~reclaim:true (dcache proc) ref_.dentry;
+      Ok ())
+
+(* --- convenience wrappers --- *)
+
+let read_file proc path =
+  let* fd = openf proc path [ Proc.O_RDONLY ] in
+  let* attr = fstat proc fd in
+  let* data = pread proc fd ~off:0 ~len:attr.Attr.size in
+  let* () = close proc fd in
+  Ok data
+
+let write_file proc path data =
+  let* fd = openf proc path [ Proc.O_CREAT; Proc.O_WRONLY; Proc.O_TRUNC ] in
+  let* _ = write proc fd data in
+  close proc fd
+
+let readdir_path proc path =
+  let* fd = openf proc path [ Proc.O_RDONLY; Proc.O_DIRECTORY ] in
+  let rec drain acc =
+    match getdents proc fd 128 with
+    | Ok [] -> Ok (List.rev acc)
+    | Ok chunk -> drain (List.rev_append chunk acc)
+    | Error _ as e -> e
+  in
+  let result = drain [] in
+  let* () = close proc fd in
+  result
+
+let mkdir_p proc path =
+  let components = String.split_on_char '/' path |> List.filter (fun c -> c <> "") in
+  let prefix = if Vfs.Path.is_absolute path then "/" else "" in
+  let rec go base = function
+    | [] -> Ok ()
+    | comp :: rest -> (
+      let current = if base = "" || base = "/" then base ^ comp else base ^ "/" ^ comp in
+      match mkdir proc current with
+      | Ok () | Error Errno.EEXIST -> go current rest
+      | Error _ as e -> e)
+  in
+  go prefix components

@@ -1,0 +1,107 @@
+(** The POSIX-ish system call surface over the simulated kernel.
+
+    Every path-based call resolves through the configured lookup machinery
+    (baseline slowpath or the optimized fastpath) and performs the same
+    dcache maintenance the paper's Linux prototype does: invalidation before
+    permission/structure changes (§3.2), negative-dentry conversion on
+    unlink/rename (§5.2), completeness tracking around mkdir and readdir
+    sequences (§5.1).
+
+    All calls return [('a, Errno.t) result]; no exceptions escape. *)
+
+type 'a r = ('a, Dcache_types.Errno.t) result
+
+(** {1 Metadata} *)
+
+val stat : Proc.t -> string -> Dcache_types.Attr.t r
+val lstat : Proc.t -> string -> Dcache_types.Attr.t r
+val fstatat : Proc.t -> int -> string -> ?follow:bool -> unit -> Dcache_types.Attr.t r
+val fstat : Proc.t -> int -> Dcache_types.Attr.t r
+val access : Proc.t -> string -> Dcache_types.Access.t -> unit r
+val readlink : Proc.t -> string -> string r
+
+(** {1 Files} *)
+
+val openf : ?mode:Dcache_types.Mode.t -> Proc.t -> string -> Proc.open_flag list -> int r
+val openat :
+  ?mode:Dcache_types.Mode.t -> Proc.t -> int -> string -> Proc.open_flag list -> int r
+val close : Proc.t -> int -> unit r
+val read : Proc.t -> int -> int -> string r
+val write : Proc.t -> int -> string -> int r
+val pread : Proc.t -> int -> off:int -> len:int -> string r
+val pwrite : Proc.t -> int -> off:int -> string -> int r
+
+val lseek : Proc.t -> int -> int -> int r
+(** Absolute positioning only ([SEEK_SET]).  On a directory fd, seeking to 0
+    rewinds the stream; any other offset repositions it and disqualifies the
+    in-flight sequence from marking the directory complete (§5.1). *)
+
+val getdents : Proc.t -> int -> int -> Dcache_fs.Fs_intf.dirent list r
+(** Up to [count] entries; [\[\]] means end of directory.  Served from the
+    directory cache when the directory is complete (§5.1). *)
+
+val truncate : Proc.t -> string -> int -> unit r
+
+(** {1 Namespace mutations} *)
+
+val mkdir : ?mode:Dcache_types.Mode.t -> Proc.t -> string -> unit r
+val rmdir : Proc.t -> string -> unit r
+val unlink : Proc.t -> string -> unit r
+val rename : Proc.t -> string -> string -> unit r
+val link : Proc.t -> string -> string -> unit r
+val symlink : Proc.t -> target:string -> string -> unit r
+
+val mkstemp :
+  ?prng:Dcache_util.Prng.t -> ?prefix:string -> Proc.t -> string -> (int * string) r
+(** Secure temporary-file creation in the given directory: random names
+    retried with [O_CREAT|O_EXCL] (§5.1's file-creation workload). *)
+
+(** {1 Attributes and security} *)
+
+val chmod : Proc.t -> string -> Dcache_types.Mode.t -> unit r
+val chown : Proc.t -> string -> uid:int -> gid:int -> unit r
+val set_label : Proc.t -> string -> string option -> unit r
+(** Set or clear the MAC security label (root only). *)
+
+(** {1 Process state} *)
+
+val chdir : Proc.t -> string -> unit r
+val fchdir : Proc.t -> int -> unit r
+val chroot : Proc.t -> string -> unit r
+
+(** {1 Mounts and namespaces} *)
+
+val mount_fs :
+  ?readonly:bool -> ?nosuid:bool -> Proc.t -> Dcache_fs.Fs_intf.t -> string -> unit r
+val bind_mount : ?readonly:bool -> Proc.t -> src:string -> dst:string -> unit r
+val umount : Proc.t -> string -> unit r
+val unshare_mount_ns : Proc.t -> unit r
+(** Give the process a private copy of its mount namespace; its root and
+    cwd are rebased to the new namespace's root. *)
+
+(** {1 The *at() family} *)
+
+val mkdirat : ?mode:Dcache_types.Mode.t -> Proc.t -> int -> string -> unit r
+val unlinkat : Proc.t -> int -> string -> unit r
+val symlinkat : Proc.t -> target:string -> int -> string -> unit r
+val readlinkat : Proc.t -> int -> string -> string r
+val faccessat : Proc.t -> int -> string -> Dcache_types.Access.t -> unit r
+
+val getcwd : Proc.t -> string r
+(** Reconstruct the working directory's path relative to the process root,
+    crossing mount boundaries; [ENOENT] if the directory was removed. *)
+
+val invalidate_path : Proc.t -> string -> unit r
+(** Evict a path's cached dentry subtree (without touching the file
+    system).  This is the client half of a stateful network file system's
+    staleness callback (paper §4.3): wire it to
+    {!Dcache_fs.Netfs.callbacks}. *)
+
+(** {1 Convenience} *)
+
+val read_file : Proc.t -> string -> string r
+val write_file : Proc.t -> string -> string -> unit r
+val readdir_path : Proc.t -> string -> Dcache_fs.Fs_intf.dirent list r
+(** open + getdents-until-empty + close. *)
+
+val mkdir_p : Proc.t -> string -> unit r

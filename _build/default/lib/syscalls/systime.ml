@@ -1,0 +1,46 @@
+(** Per-syscall-class time accounting (reproduces paper Fig. 1).
+
+    When enabled, each path-based syscall's wall time is accumulated under
+    its class; workloads compare the per-class totals against their total
+    run time to compute the fraction spent in path-based system calls. *)
+
+type clazz = Access_stat | Open | Chmod_chown | Unlink | Other_path
+
+let all = [ Access_stat; Open; Chmod_chown; Unlink; Other_path ]
+
+let name = function
+  | Access_stat -> "access/stat"
+  | Open -> "open"
+  | Chmod_chown -> "chmod/chown"
+  | Unlink -> "unlink"
+  | Other_path -> "other path-based"
+
+let index = function
+  | Access_stat -> 0
+  | Open -> 1
+  | Chmod_chown -> 2
+  | Unlink -> 3
+  | Other_path -> 4
+
+let enabled = ref false
+let acc = Array.make 5 0L
+let counts = Array.make 5 0
+
+let reset () =
+  Array.fill acc 0 5 0L;
+  Array.fill counts 0 5 0
+
+let timed clazz f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Dcache_util.Clock.now_ns () in
+    let result = f () in
+    let t1 = Dcache_util.Clock.now_ns () in
+    let i = index clazz in
+    acc.(i) <- Int64.add acc.(i) (Int64.sub t1 t0);
+    counts.(i) <- counts.(i) + 1;
+    result
+  end
+
+let totals () = List.map (fun c -> (c, acc.(index c), counts.(index c))) all
+let total_path_ns () = Array.fold_left Int64.add 0L acc

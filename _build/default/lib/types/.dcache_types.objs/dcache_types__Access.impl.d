@@ -1,0 +1,1 @@
+lib/types/access.ml: Printf

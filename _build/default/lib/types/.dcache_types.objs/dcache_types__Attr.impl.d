@@ -1,0 +1,1 @@
+lib/types/attr.ml: File_kind Format Mode

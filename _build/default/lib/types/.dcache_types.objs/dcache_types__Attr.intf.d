@@ -1,0 +1,1 @@
+lib/types/attr.mli: File_kind Format Mode

@@ -1,0 +1,1 @@
+lib/types/file_kind.mli:

@@ -1,0 +1,13 @@
+type t = int
+
+let may_exec = 1
+let may_write = 2
+let may_read = 4
+let union = ( lor )
+let includes mask want = mask land want = want
+
+let to_string mask =
+  Printf.sprintf "%c%c%c"
+    (if mask land may_read <> 0 then 'r' else '-')
+    (if mask land may_write <> 0 then 'w' else '-')
+    (if mask land may_exec <> 0 then 'x' else '-')

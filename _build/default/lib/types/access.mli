@@ -1,0 +1,14 @@
+(** Access-request masks passed to permission checks ([MAY_*] in Linux). *)
+
+type t = int
+
+(** execute, or search on a directory *)
+val may_exec : t
+val may_write : t
+val may_read : t
+
+val union : t -> t -> t
+val includes : t -> t -> bool
+(** [includes mask want] is true iff every bit of [want] is in [mask]. *)
+
+val to_string : t -> string

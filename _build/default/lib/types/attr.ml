@@ -1,0 +1,19 @@
+type t = {
+  ino : int;
+  kind : File_kind.t;
+  mode : Mode.t;
+  uid : int;
+  gid : int;
+  nlink : int;
+  size : int;
+  label : string option;
+}
+
+let make ?(mode = Mode.default_file) ?(uid = 0) ?(gid = 0) ?(nlink = 1) ?(size = 0) ?label
+    ~ino ~kind () =
+  { ino; kind; mode; uid; gid; nlink; size; label }
+
+let pp fmt t =
+  Format.fprintf fmt "{ino=%d; %s; %s; uid=%d; gid=%d; nlink=%d; size=%d%s}" t.ino
+    (File_kind.to_string t.kind) (Mode.to_string t.mode) t.uid t.gid t.nlink t.size
+    (match t.label with None -> "" | Some l -> "; label=" ^ l)

@@ -1,0 +1,19 @@
+(** Inode attribute snapshot exchanged between the low-level file systems,
+    the VFS, and the security modules. *)
+
+type t = {
+  ino : int;
+  kind : File_kind.t;
+  mode : Mode.t;
+  uid : int;
+  gid : int;
+  nlink : int;
+  size : int;
+  label : string option;  (** security label (xattr), consumed by MAC LSMs *)
+}
+
+val make :
+  ?mode:Mode.t -> ?uid:int -> ?gid:int -> ?nlink:int -> ?size:int -> ?label:string ->
+  ino:int -> kind:File_kind.t -> unit -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type t =
+  | EPERM
+  | ENOENT
+  | EIO
+  | EBADF
+  | EACCES
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | EMFILE
+  | ENOSPC
+  | EROFS
+  | EMLINK
+  | ERANGE
+  | ENAMETOOLONG
+  | ENOTEMPTY
+  | ELOOP
+  | ENOTSUP
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | EIO -> "EIO"
+  | EBADF -> "EBADF"
+  | EACCES -> "EACCES"
+  | EBUSY -> "EBUSY"
+  | EEXIST -> "EEXIST"
+  | EXDEV -> "EXDEV"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EINVAL -> "EINVAL"
+  | EMFILE -> "EMFILE"
+  | ENOSPC -> "ENOSPC"
+  | EROFS -> "EROFS"
+  | EMLINK -> "EMLINK"
+  | ERANGE -> "ERANGE"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ELOOP -> "ELOOP"
+  | ENOTSUP -> "ENOTSUP"
+
+let message = function
+  | EPERM -> "Operation not permitted"
+  | ENOENT -> "No such file or directory"
+  | EIO -> "Input/output error"
+  | EBADF -> "Bad file descriptor"
+  | EACCES -> "Permission denied"
+  | EBUSY -> "Device or resource busy"
+  | EEXIST -> "File exists"
+  | EXDEV -> "Invalid cross-device link"
+  | ENOTDIR -> "Not a directory"
+  | EISDIR -> "Is a directory"
+  | EINVAL -> "Invalid argument"
+  | EMFILE -> "Too many open files"
+  | ENOSPC -> "No space left on device"
+  | EROFS -> "Read-only file system"
+  | EMLINK -> "Too many links"
+  | ERANGE -> "Result too large"
+  | ENAMETOOLONG -> "File name too long"
+  | ENOTEMPTY -> "Directory not empty"
+  | ELOOP -> "Too many levels of symbolic links"
+  | ENOTSUP -> "Operation not supported"
+
+exception Error of t

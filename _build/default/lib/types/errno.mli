@@ -1,0 +1,30 @@
+(** POSIX error numbers used throughout the simulated kernel. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | EIO
+  | EBADF
+  | EACCES
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | EMFILE
+  | ENOSPC
+  | EROFS
+  | EMLINK
+  | ERANGE
+  | ENAMETOOLONG
+  | ENOTEMPTY
+  | ELOOP
+  | ENOTSUP
+
+val to_string : t -> string
+val message : t -> string
+
+exception Error of t
+(** Used only at module boundaries that prefer exceptions (e.g. test
+    helpers); kernel APIs return [('a, t) result]. *)

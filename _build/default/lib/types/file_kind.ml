@@ -1,0 +1,21 @@
+type t = Regular | Directory | Symlink | Chardev | Blockdev | Fifo | Socket
+
+let to_string = function
+  | Regular -> "regular"
+  | Directory -> "directory"
+  | Symlink -> "symlink"
+  | Chardev -> "chardev"
+  | Blockdev -> "blockdev"
+  | Fifo -> "fifo"
+  | Socket -> "socket"
+
+let to_char = function
+  | Regular -> '-'
+  | Directory -> 'd'
+  | Symlink -> 'l'
+  | Chardev -> 'c'
+  | Blockdev -> 'b'
+  | Fifo -> 'p'
+  | Socket -> 's'
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,9 @@
+(** File kinds, as reported in inode metadata and readdir entries. *)
+
+type t = Regular | Directory | Symlink | Chardev | Blockdev | Fifo | Socket
+
+val to_string : t -> string
+val to_char : t -> char
+(** One-letter tag as in [ls -l] ([-], [d], [l], ...). *)
+
+val equal : t -> t -> bool

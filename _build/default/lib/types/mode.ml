@@ -1,0 +1,20 @@
+type t = int
+
+let s_isuid = 0o4000
+let s_isgid = 0o2000
+let s_isvtx = 0o1000
+let rwxrwxrwx = 0o777
+let default_file = 0o644
+let default_dir = 0o755
+let owner_bits mode = (mode lsr 6) land 7
+let group_bits mode = (mode lsr 3) land 7
+let other_bits mode = mode land 7
+
+let to_string mode =
+  let triple bits =
+    Printf.sprintf "%c%c%c"
+      (if bits land 4 <> 0 then 'r' else '-')
+      (if bits land 2 <> 0 then 'w' else '-')
+      (if bits land 1 <> 0 then 'x' else '-')
+  in
+  triple (owner_bits mode) ^ triple (group_bits mode) ^ triple (other_bits mode)

@@ -1,0 +1,19 @@
+(** Permission-bit helpers for the Unix mode word (low 12 bits). *)
+
+type t = int
+
+val s_isuid : t
+val s_isgid : t
+val s_isvtx : t
+
+val rwxrwxrwx : t
+val default_file : t
+val default_dir : t
+
+val owner_bits : t -> int
+(** Shift the owner class rwx bits into the low 3 bits. *)
+
+val group_bits : t -> int
+val other_bits : t -> int
+val to_string : t -> string
+(** [rwxr-xr-x]-style rendering of the low 9 bits. *)

@@ -1,0 +1,1 @@
+lib/util/rwlock.ml: Atomic Domain Mutex Unix

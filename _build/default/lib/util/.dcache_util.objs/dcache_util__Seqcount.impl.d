@@ -1,0 +1,1 @@
+lib/util/seqcount.ml: Atomic

@@ -1,0 +1,1 @@
+lib/util/stats.ml: Array Buffer Float Hashtbl Int64 List Printf Stdlib String

@@ -1,0 +1,7 @@
+(** Wall-clock time helpers for measurement code. *)
+
+val now_ns : unit -> int64
+(** Monotonic-enough wall clock in nanoseconds (from [Unix.gettimeofday]). *)
+
+val time_ns : (unit -> 'a) -> 'a * int64
+(** [time_ns f] runs [f] and returns its result and elapsed nanoseconds. *)

@@ -1,0 +1,69 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let int g bound =
+  assert (bound > 0);
+  let x = Int64.to_int (next64 g) land max_int in
+  x mod bound
+
+let int_in g lo hi =
+  assert (hi >= lo);
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next64 g) 11) in
+  bound *. (x /. 9007199254740992.0)
+
+let bool g = Int64.logand (next64 g) 1L = 1L
+let choice g arr = arr.(int g (Array.length arr))
+
+let choice_list g l =
+  let n = List.length l in
+  List.nth l (int g n)
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+let string g ~min_len ~max_len =
+  let len = int_in g min_len max_len in
+  String.init len (fun _ -> alphabet.[int g (String.length alphabet)])
+
+let split g = create (Int64.to_int (next64 g) land max_int)

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through a [t] so that workloads,
+    tree generators and property tests are reproducible from a seed.  The
+    generator is xoshiro256** seeded via splitmix64, which is fast and has
+    good statistical quality for simulation purposes (not cryptographic). *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** [copy g] snapshots the generator state. *)
+
+val next64 : t -> int64
+(** [next64 g] returns the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val choice : t -> 'a array -> 'a
+(** [choice g arr] picks a uniform element. Requires [arr] non-empty. *)
+
+val choice_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val string : t -> min_len:int -> max_len:int -> string
+(** Random lowercase-alphanumeric string, for file names. *)
+
+val split : t -> t
+(** [split g] derives an independent generator (for parallel workers). *)

@@ -1,0 +1,74 @@
+(* State encoding: -1 = writer holds the lock; n >= 0 = n active readers.
+   Writers first win [writer_pending] among themselves via the mutex, then
+   spin waiting for readers to drain.  Readers back off while a writer is
+   pending so writers cannot starve. *)
+
+type t = {
+  state : int Atomic.t;
+  writer_pending : bool Atomic.t;
+  writers : Mutex.t;
+}
+
+let create () =
+  { state = Atomic.make 0; writer_pending = Atomic.make false; writers = Mutex.create () }
+
+(* Spin briefly, then yield the processor: on oversubscribed (or single-)
+   core hosts a pure spin burns the whole quantum waiting for a descheduled
+   lock holder. *)
+let backoff spins =
+  if spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.0000005
+
+let read_lock t =
+  let rec go spins =
+    if Atomic.get t.writer_pending then begin
+      backoff spins;
+      go (spins + 1)
+    end
+    else begin
+      let observed = Atomic.get t.state in
+      if observed >= 0 && Atomic.compare_and_set t.state observed (observed + 1) then ()
+      else begin
+        backoff spins;
+        go (spins + 1)
+      end
+    end
+  in
+  go 0
+
+let read_unlock t = ignore (Atomic.fetch_and_add t.state (-1))
+
+let write_lock t =
+  Mutex.lock t.writers;
+  Atomic.set t.writer_pending true;
+  let rec drain spins =
+    if not (Atomic.compare_and_set t.state 0 (-1)) then begin
+      backoff spins;
+      drain (spins + 1)
+    end
+  in
+  drain 0
+
+let write_unlock t =
+  Atomic.set t.state 0;
+  Atomic.set t.writer_pending false;
+  Mutex.unlock t.writers
+
+let with_read t f =
+  read_lock t;
+  match f () with
+  | result ->
+    read_unlock t;
+    result
+  | exception e ->
+    read_unlock t;
+    raise e
+
+let with_write t f =
+  write_lock t;
+  match f () with
+  | result ->
+    write_unlock t;
+    result
+  | exception e ->
+    write_unlock t;
+    raise e

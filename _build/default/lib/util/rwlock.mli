@@ -1,0 +1,16 @@
+(** Reader-writer lock with an atomic reader count.
+
+    The Linux dcache read path is RCU; we model the same read-mostly shape
+    with a lock whose read side is two atomic operations and never blocks
+    other readers, so lookup scalability (paper Fig. 8) is observable under
+    OCaml 5 domains. Writers exclude both readers and other writers. *)
+
+type t
+
+val create : unit -> t
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a

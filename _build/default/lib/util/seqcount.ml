@@ -1,0 +1,13 @@
+type t = int Atomic.t
+
+let create () : t = Atomic.make 0
+let read_begin t = Atomic.get t
+let read_validate t snap = snap land 1 = 0 && Atomic.get t = snap
+let write_begin t = ignore (Atomic.fetch_and_add t 1)
+let write_end t = ignore (Atomic.fetch_and_add t 1)
+
+let bump t =
+  write_begin t;
+  write_end t
+
+let raw t = Atomic.get t

@@ -1,0 +1,26 @@
+(** Sequence counters (Linux [seqcount_t]-style).
+
+    Writers bump the counter around a critical section; readers snapshot it
+    before and after and retry (or fall back) if it changed or was odd.
+    The optimized dcache uses these to detect concurrent renames/chmods
+    without read-side locking (paper §3.2). *)
+
+type t
+
+val create : unit -> t
+
+val read_begin : t -> int
+(** Snapshot for an optimistic read section. *)
+
+val read_validate : t -> int -> bool
+(** [read_validate t snap] is true iff no write ran since [snap] was taken
+    and [snap] itself was outside a write section. *)
+
+val write_begin : t -> unit
+val write_end : t -> unit
+
+val bump : t -> unit
+(** [bump t] is [write_begin; write_end]: invalidate all readers. *)
+
+val raw : t -> int
+(** Current raw value (for storing in cache entries). *)

@@ -1,0 +1,110 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  ci95 : float;
+}
+
+let mean samples =
+  let n = Array.length samples in
+  assert (n > 0);
+  Array.fold_left ( +. ) 0.0 samples /. float_of_int n
+
+let summarize samples =
+  let n = Array.length samples in
+  assert (n > 0);
+  let m = mean samples in
+  let var =
+    if n < 2 then 0.0
+    else begin
+      let acc = ref 0.0 in
+      Array.iter
+        (fun x ->
+          let d = x -. m in
+          acc := !acc +. (d *. d))
+        samples;
+      !acc /. float_of_int (n - 1)
+    end
+  in
+  let stddev = sqrt var in
+  let min = Array.fold_left Float.min samples.(0) samples in
+  let max = Array.fold_left Float.max samples.(0) samples in
+  (* 1.96 is the asymptotic z for 95%; fine for our sample counts. *)
+  let ci95 = if n < 2 then 0.0 else 1.96 *. stddev /. sqrt (float_of_int n) in
+  { n; mean = m; stddev; min; max; ci95 }
+
+let summarize_ns samples = summarize (Array.map Int64.to_float samples)
+
+let sorted_copy samples =
+  let copy = Array.copy samples in
+  Array.sort compare copy;
+  copy
+
+let median samples =
+  let s = sorted_copy samples in
+  let n = Array.length s in
+  assert (n > 0);
+  if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+let percentile samples p =
+  let s = sorted_copy samples in
+  let n = Array.length s in
+  assert (n > 0);
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+  s.(idx)
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+let histogram ?(buckets = 10) samples =
+  assert (Array.length samples > 0 && buckets > 0);
+  let lo = Array.fold_left Float.min samples.(0) samples in
+  let hi = Array.fold_left Float.max samples.(0) samples in
+  let counts = Array.make buckets 0 in
+  let width = if hi > lo then (hi -. lo) /. float_of_int buckets else 1.0 in
+  Array.iter
+    (fun x ->
+      let idx =
+        Stdlib.min (buckets - 1) (int_of_float ((x -. lo) /. width))
+      in
+      counts.(idx) <- counts.(idx) + 1)
+    samples;
+  { lo; hi; counts }
+
+let hist_to_string h =
+  let buf = Buffer.create 256 in
+  let buckets = Array.length h.counts in
+  let width = (h.hi -. h.lo) /. float_of_int buckets in
+  let peak = Array.fold_left Stdlib.max 1 h.counts in
+  Array.iteri
+    (fun i count ->
+      let lo = h.lo +. (float_of_int i *. width) in
+      let bar = String.make (count * 40 / peak) '#' in
+      Buffer.add_string buf (Printf.sprintf "%12.1f | %-40s %d\n" lo bar count))
+    h.counts;
+  Buffer.contents buf
+
+module Counter = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let cell t key =
+    match Hashtbl.find_opt t key with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add t key r;
+      r
+
+  let incr t key = Stdlib.incr (cell t key)
+  let add t key n = cell t key := !(cell t key) + n
+  let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+  let reset t = Hashtbl.reset t
+
+  let to_assoc t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+end

@@ -1,0 +1,40 @@
+(** Sample statistics and histograms for the benchmark harness. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  ci95 : float;  (** half-width of the 95% confidence interval of the mean *)
+}
+
+val summarize : float array -> summary
+(** [summarize samples] computes a summary; requires a non-empty array. *)
+
+val summarize_ns : int64 array -> summary
+(** Like {!summarize} on nanosecond samples. *)
+
+val mean : float array -> float
+val median : float array -> float
+val percentile : float array -> float -> float
+(** [percentile samples p] for [p] in [\[0,100\]] (nearest-rank, on a sorted
+    copy). *)
+
+type histogram
+
+val histogram : ?buckets:int -> float array -> histogram
+val hist_to_string : histogram -> string
+
+(** Online counter sets, used by the kernel instrumentation. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val reset : t -> unit
+  val to_assoc : t -> (string * int) list
+  (** Sorted by key. *)
+end

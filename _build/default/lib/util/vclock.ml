@@ -1,0 +1,6 @@
+type t = { mutable ns : int64 }
+
+let create () = { ns = 0L }
+let charge t delta = t.ns <- Int64.add t.ns delta
+let elapsed_ns t = t.ns
+let reset t = t.ns <- 0L

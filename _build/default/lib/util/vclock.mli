@@ -1,0 +1,16 @@
+(** Virtual nanosecond clock.
+
+    The simulator charges the cost of events we cannot measure natively
+    (disk seeks, block transfers) to a virtual clock instead of sleeping.
+    A workload's "execution time" is then real CPU time plus virtual time,
+    which reproduces the paper's cold-cache behaviour where disk latency
+    dominates and dcache optimizations disappear into the noise. *)
+
+type t
+
+val create : unit -> t
+val charge : t -> int64 -> unit
+(** [charge t ns] advances the clock by [ns] nanoseconds. *)
+
+val elapsed_ns : t -> int64
+val reset : t -> unit

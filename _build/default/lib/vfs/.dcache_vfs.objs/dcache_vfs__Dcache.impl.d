@@ -1,0 +1,1 @@
+lib/vfs/dcache.ml: Array Atomic Attr Char Config Dcache_fs Dcache_types Dcache_util Errno Hashtbl Inode List Printf Result String Types

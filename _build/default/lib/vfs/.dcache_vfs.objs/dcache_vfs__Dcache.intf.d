@@ -1,0 +1,1 @@
+lib/vfs/dcache.mli: Config Dcache_fs Dcache_types Dcache_util Inode Types

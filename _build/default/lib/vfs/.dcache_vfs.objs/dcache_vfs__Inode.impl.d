@@ -1,0 +1,1 @@
+lib/vfs/inode.ml: Attr Dcache_fs Dcache_types File_kind Result

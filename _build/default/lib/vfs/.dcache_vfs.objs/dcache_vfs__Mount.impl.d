@@ -1,0 +1,1 @@
+lib/vfs/mount.ml: Atomic Dcache Dcache_types Errno Hashtbl List Types

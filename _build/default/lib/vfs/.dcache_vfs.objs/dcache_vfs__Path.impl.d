@@ -1,0 +1,1 @@
+lib/vfs/path.ml: Dcache_types Errno List String

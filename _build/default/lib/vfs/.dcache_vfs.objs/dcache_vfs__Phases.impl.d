@@ -1,0 +1,1 @@
+lib/vfs/phases.ml: Array Dcache_util Int64 List

@@ -1,0 +1,1 @@
+lib/vfs/types.ml: Atomic Dcache_fs Dcache_sig Dcache_types Dcache_util Hashtbl Inode

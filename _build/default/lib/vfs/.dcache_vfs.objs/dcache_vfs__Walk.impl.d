@@ -1,0 +1,1 @@
+lib/vfs/walk.ml: Access Config Dcache Dcache_cred Dcache_fs Dcache_types Dcache_util Errno File_kind Inode List Mount Path Phases Types

@@ -1,0 +1,1 @@
+lib/vfs/walk.mli: Dcache Dcache_cred Dcache_types Inode Types

@@ -1,0 +1,63 @@
+(** Directory-cache configuration.
+
+    [baseline] models unmodified Linux 3.14; [optimized] enables every
+    optimization the paper proposes.  Individual flags exist so the benchmark
+    harness can ablate each design choice (paper §6, Fig. 2 series). *)
+
+type dotdot_semantics =
+  | Dotdot_linux  (** check permissions at every [..] (paper §4.2) *)
+  | Dotdot_lexical  (** Plan 9 lexical preprocessing of [..] *)
+
+type t = {
+  (* §3: hit latency *)
+  fastpath : bool;  (** direct lookup via DLHT + PCC *)
+  pcc_entries : int;  (** prefix-check-cache capacity (paper: 64 KB ~ 4096) *)
+  pcc_max_entries : int;
+      (** dynamic-PCC growth ceiling; equal to [pcc_entries] disables growth
+          (the paper's prototype is static; resizing is its future work) *)
+  dlht_buckets : int;  (** direct lookup hash table buckets (paper: 2^16) *)
+  sig_bits : int;  (** signature bits compared (paper: 240) *)
+  symlink_aliases : bool;  (** cache symlink resolutions as alias dentries (§4.2) *)
+  dotdot : dotdot_semantics;
+  (* §5: hit rate *)
+  dir_completeness : bool;  (** DIR_COMPLETE tracking + readdir from cache (§5.1) *)
+  dnlc_style_completeness : bool;
+      (** comparison mode (§2.3/§5.1): cache complete listings in a {e
+          separate} side table, as Solaris's DNLC does — repeated readdirs
+          are served, but lookups, stat-after-readdir and negative elision
+          see no benefit.  Mutually exclusive with [dir_completeness]. *)
+  aggressive_negative : bool;  (** negatives on rename/unlink + pseudo-fs (§5.2) *)
+  deep_negative : bool;  (** deep ENOENT/ENOTDIR dentries (§5.2) *)
+  (* substrate sizing *)
+  dcache_buckets : int;  (** primary hash table buckets (Linux default 262144) *)
+  max_dentries : int;  (** dcache capacity before LRU eviction *)
+  hash_seed : int;  (** boot-time signature key seed *)
+}
+
+let baseline =
+  {
+    fastpath = false;
+    pcc_entries = 4096;
+    pcc_max_entries = 4096;
+    dlht_buckets = 1 lsl 16;
+    sig_bits = 240;
+    symlink_aliases = false;
+    dotdot = Dotdot_linux;
+    dir_completeness = false;
+    dnlc_style_completeness = false;
+    aggressive_negative = false;
+    deep_negative = false;
+    dcache_buckets = 1 lsl 18;
+    max_dentries = 1 lsl 20;
+    hash_seed = 0x5eed;
+  }
+
+let optimized =
+  {
+    baseline with
+    fastpath = true;
+    symlink_aliases = true;
+    dir_completeness = true;
+    aggressive_negative = true;
+    deep_negative = true;
+  }

@@ -1,0 +1,502 @@
+open Dcache_types
+open Types
+module Dlist = Dcache_util.Dlist
+module Rwlock = Dcache_util.Rwlock
+module Seqcount = Dcache_util.Seqcount
+module Counter = Dcache_util.Stats.Counter
+module Fs_intf = Dcache_fs.Fs_intf
+
+type hooks = { mutable on_shootdown : dentry -> unit }
+
+type t = {
+  config : Config.t;
+  buckets : dentry list array;
+  mutable count : int;
+  clock : dentry Dlist.t;  (** reclaim list; front = recently inserted *)
+  mutable tick : int;
+  lock : Rwlock.t;
+  rename_lock : Seqcount.t;
+  mutable invalidation : int;
+  hooks : hooks;
+  counters : Counter.t;
+}
+
+(* Global generators.  Dentry ids model kernel virtual addresses (unique,
+   never reused while cached); the seq generator guarantees that a dentry
+   slot "reallocated" for a new path starts with a version number no stale
+   PCC entry can match (§3.1). *)
+let next_dentry_id = Atomic.make 1
+let next_sb_id = Atomic.make 1
+let next_seq = Atomic.make 1
+
+let create config =
+  {
+    config;
+    buckets = Array.make config.Config.dcache_buckets [];
+    count = 0;
+    clock = Dlist.create ();
+    tick = 0;
+    lock = Rwlock.create ();
+    rename_lock = Seqcount.create ();
+    invalidation = 0;
+    hooks = { on_shootdown = (fun _ -> ()) };
+    counters = Counter.create ();
+  }
+
+let config t = t.config
+let hooks t = t.hooks
+let counters t = t.counters
+let lock t = t.lock
+let rename_lock t = t.rename_lock
+let with_read t f = Rwlock.with_read t.lock f
+let with_write t f = Rwlock.with_write t.lock f
+let invalidation_counter t = t.invalidation
+let dentry_count t = t.count
+
+(* Occupancy histogram of the primary hash table (paper §6.5): index i =
+   buckets holding i entries; the last slot aggregates longer chains. *)
+let bucket_occupancy t =
+  let hist = Array.make 5 0 in
+  Array.iter
+    (fun bucket ->
+      let len = min (List.length bucket) (Array.length hist - 1) in
+      hist.(len) <- hist.(len) + 1)
+    t.buckets;
+  hist
+
+let new_tick t =
+  (* Racy increment: ticks only feed the reclaim heuristic. *)
+  let tick = t.tick + 1 in
+  t.tick <- tick;
+  tick
+
+(* FNV-1a over the name, mixed with the parent identity — the same shape as
+   Linux's (parent pointer, name) hash (§2.2, Fig. 4). *)
+let name_hash parent_id name =
+  let h = ref 0xbf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) name;
+  let h = !h lxor (parent_id * 0x1e3779b97f4a7c15) in
+  let h = h lxor (h lsr 29) in
+  h land max_int
+
+let bucket_index t parent_id name = name_hash parent_id name land (Array.length t.buckets - 1)
+
+(* --- inode cache --- *)
+
+let iget sb (attr : Attr.t) =
+  match Hashtbl.find_opt sb.sb_icache attr.ino with
+  | Some inode -> inode
+  | None ->
+    let inode = Inode.make ~fs:sb.sb_fs attr in
+    Hashtbl.add sb.sb_icache attr.ino inode;
+    inode
+
+(* Forget a dead inode so a recycled inode number cannot resurrect stale
+   attributes (the iput-side eviction of Linux's inode cache). *)
+let iforget sb ino = Hashtbl.remove sb.sb_icache ino
+
+let make_superblock fs =
+  match fs.Fs_intf.getattr fs.Fs_intf.root_ino with
+  | Error _ as e -> Result.map (fun _ -> assert false) e
+  | Ok attr ->
+    let sb =
+      {
+        sb_id = Atomic.fetch_and_add next_sb_id 1;
+        sb_fs = fs;
+        sb_icache = Hashtbl.create 256;
+        sb_root = None;
+      }
+    in
+    let inode = iget sb attr in
+    let root =
+      {
+        d_id = Atomic.fetch_and_add next_dentry_id 1;
+        d_name = "";
+        d_parent = None;
+        d_state = Positive inode;
+        d_sb = sb;
+        d_children = Dlist.create ();
+        d_sibling = None;
+        d_lru = None;
+        d_refcount = Atomic.make 1;
+        d_hashed = false;
+        d_last_used = 0;
+        d_complete = false;
+        d_dir_gen = 0;
+        d_seq = Atomic.fetch_and_add next_seq 1;
+        d_sig = None;
+        d_hstate = None;
+        d_dlht_ns = None;
+        d_mnt = None;
+        d_alias = None;
+        d_target_sig = None;
+      }
+    in
+    sb.sb_root <- Some root;
+    Ok sb
+
+let sb_root sb = match sb.sb_root with Some d -> d | None -> assert false
+
+(* --- primary hash table --- *)
+
+let lookup t parent name =
+  let idx = bucket_index t parent.d_id name in
+  let rec scan = function
+    | [] -> None
+    | d :: rest ->
+      if
+        (match d.d_parent with Some p -> p == parent | None -> false)
+        && String.equal d.d_name name
+      then Some d
+      else scan rest
+  in
+  match scan t.buckets.(idx) with
+  | Some d ->
+    d.d_last_used <- t.tick;
+    Counter.incr t.counters "dcache_hit";
+    Some d
+  | None -> None
+
+let hash_insert t d =
+  let parent_id = match d.d_parent with Some p -> p.d_id | None -> 0 in
+  let idx = bucket_index t parent_id d.d_name in
+  t.buckets.(idx) <- d :: t.buckets.(idx);
+  d.d_hashed <- true
+
+let hash_remove t d =
+  let parent_id = match d.d_parent with Some p -> p.d_id | None -> 0 in
+  let idx = bucket_index t parent_id d.d_name in
+  t.buckets.(idx) <- List.filter (fun other -> not (other == d)) t.buckets.(idx);
+  d.d_hashed <- false
+
+let iter_children d f = List.iter f (Dlist.to_list d.d_children)
+
+(* --- eviction ---
+
+   Clock-with-pins: dentries are evicted from the back of the reclaim list;
+   pinned dentries, dentries with cached children (the bottom-up invariant),
+   and recently used dentries get rotated to the front.  Evicting a child
+   clears the parent's DIR_COMPLETE flag (§5.1). *)
+
+(* [reclaim] distinguishes space reclamation (which breaks the parent's
+   DIR_COMPLETE invariant) from coherent removal tracking an fs mutation,
+   which preserves completeness (§5.1). *)
+let detach ?(reclaim = true) t d =
+  hash_remove t d;
+  (match (d.d_parent, d.d_sibling) with
+  | Some parent, Some node ->
+    Dlist.remove parent.d_children node;
+    if reclaim && parent.d_complete then begin
+      parent.d_complete <- false;
+      Counter.incr t.counters "completeness_lost"
+    end
+  | _ -> ());
+  d.d_sibling <- None;
+  (match d.d_lru with Some node -> Dlist.remove t.clock node | None -> ());
+  d.d_lru <- None;
+  t.hooks.on_shootdown d;
+  d.d_sig <- None;
+  d.d_hstate <- None;
+  d.d_alias <- None;
+  d.d_target_sig <- None;
+  t.count <- t.count - 1
+
+let evictable d =
+  Atomic.get d.d_refcount = 0 && Dlist.is_empty d.d_children && d.d_parent <> None
+
+let evict_some t want =
+  let evicted = ref 0 in
+  (* Enough attempts that every entry can consume its second chance and
+     still be revisited. *)
+  let attempts = ref ((2 * Dlist.length t.clock) + 1) in
+  while !evicted < want && !attempts > 0 do
+    decr attempts;
+    match Dlist.pop_back t.clock with
+    | None -> attempts := 0
+    | Some node ->
+      let d = Dlist.value node in
+      d.d_lru <- None;
+      if not (evictable d) then begin
+        Dlist.push_front t.clock node;
+        d.d_lru <- Some node
+      end
+      else if d.d_last_used > t.tick - (t.config.Config.max_dentries / 4) then begin
+        (* Second chance for recently used entries. *)
+        d.d_last_used <- d.d_last_used - (t.config.Config.max_dentries / 2);
+        Dlist.push_front t.clock node;
+        d.d_lru <- Some node
+      end
+      else begin
+        Dlist.push_back t.clock node;
+        d.d_lru <- Some node;
+        detach t d;
+        Counter.incr t.counters "dcache_evicted";
+        incr evicted
+      end
+  done;
+  !evicted
+
+(* Unconditional reclaim of every unpinned dentry (drop_caches): recency is
+   ignored, and passes repeat because evicting leaves exposes parents. *)
+let purge t =
+  let rec sweep () =
+    let evicted = ref 0 in
+    let attempts = ref (Dlist.length t.clock) in
+    while !attempts > 0 do
+      decr attempts;
+      match Dlist.pop_back t.clock with
+      | None -> attempts := 0
+      | Some node ->
+        let d = Dlist.value node in
+        Dlist.push_front t.clock node;
+        if evictable d then begin
+          detach t d;
+          Counter.incr t.counters "dcache_evicted";
+          incr evicted
+        end
+    done;
+    if !evicted > 0 then sweep ()
+  in
+  sweep ()
+
+let maybe_reclaim t =
+  if t.count > t.config.Config.max_dentries then
+    ignore (evict_some t (t.count - t.config.Config.max_dentries))
+
+(* --- allocation --- *)
+
+let alloc_child t parent name state =
+  let d =
+    {
+      d_id = Atomic.fetch_and_add next_dentry_id 1;
+      d_name = name;
+      d_parent = Some parent;
+      d_state = state;
+      d_sb = parent.d_sb;
+      d_children = Dlist.create ();
+      d_sibling = None;
+      d_lru = None;
+      d_refcount = Atomic.make 0;
+      d_hashed = false;
+      d_last_used = t.tick;
+      d_complete = false;
+      d_dir_gen = 0;
+      d_seq = Atomic.fetch_and_add next_seq 1;
+      d_sig = None;
+      d_hstate = None;
+      d_dlht_ns = None;
+      d_mnt = None;
+      d_alias = None;
+      d_target_sig = None;
+    }
+  in
+  let sibling = Dlist.node d in
+  Dlist.push_back parent.d_children sibling;
+  d.d_sibling <- Some sibling;
+  let lru = Dlist.node d in
+  Dlist.push_front t.clock lru;
+  d.d_lru <- Some lru;
+  hash_insert t d;
+  t.count <- t.count + 1;
+  maybe_reclaim t;
+  d
+
+let add_child t parent name state =
+  match lookup t parent name with
+  | Some _ -> Error Errno.EEXIST
+  | None -> Ok (alloc_child t parent name state)
+
+let dget d = ignore (Atomic.fetch_and_add d.d_refcount 1)
+
+let dput d =
+  let old = Atomic.fetch_and_add d.d_refcount (-1) in
+  assert (old > 0)
+
+(* --- fill (the dcache miss path) --- *)
+
+let should_cache_negatives t sb =
+  sb.sb_fs.Fs_intf.negative_dentries || t.config.Config.aggressive_negative
+
+let fill t parent name =
+  Counter.incr t.counters "dcache_miss";
+  let sb = parent.d_sb in
+  match dentry_inode parent with
+  | None -> Error Errno.ENOENT
+  | Some dir_inode -> (
+    match sb.sb_fs.Fs_intf.lookup (Inode.ino dir_inode) name with
+    | Ok attr ->
+      let inode = iget sb attr in
+      Ok (alloc_child t parent name (Positive inode))
+    | Error Errno.ENOENT ->
+      if should_cache_negatives t sb then begin
+        Counter.incr t.counters "negative_created";
+        Ok (alloc_child t parent name (Negative Errno.ENOENT))
+      end
+      else Error Errno.ENOENT
+    | Error _ as e -> Result.map (fun _ -> assert false) e)
+
+let promote d =
+  match d.d_state with
+  | Positive inode -> Ok inode
+  | Negative e -> Error e
+  | Partial { p_ino; _ } -> (
+    match d.d_sb.sb_fs.Fs_intf.getattr p_ino with
+    | Ok attr ->
+      let inode = iget d.d_sb attr in
+      d.d_state <- Positive inode;
+      Ok inode
+    | Error _ as e -> Result.map (fun _ -> assert false) e)
+
+(* --- invalidation (§3.2) --- *)
+
+let bump_seq d = d.d_seq <- Atomic.fetch_and_add next_seq 1
+
+let rec walk_subtree d f =
+  f d;
+  List.iter (fun child -> walk_subtree child f) (Dlist.to_list d.d_children)
+
+let invalidate_permissions t dir =
+  if not t.config.Config.fastpath then 0
+  else begin
+    let visited = ref 0 in
+    iter_children dir (fun child ->
+        walk_subtree child (fun d ->
+            incr visited;
+            bump_seq d));
+    t.invalidation <- t.invalidation + 1;
+    Counter.add t.counters "invalidate_permission_dentries" !visited;
+    !visited
+  end
+
+let shootdown t d =
+  bump_seq d;
+  t.hooks.on_shootdown d;
+  d.d_sig <- None;
+  d.d_hstate <- None;
+  d.d_target_sig <- None
+
+let invalidate_structure t dentry =
+  if not t.config.Config.fastpath then 0
+  else begin
+    let visited = ref 0 in
+    walk_subtree dentry (fun d ->
+        incr visited;
+        shootdown t d);
+    t.invalidation <- t.invalidation + 1;
+    Counter.add t.counters "invalidate_structure_dentries" !visited;
+    !visited
+  end
+
+(* --- unhash / negative conversion / rename --- *)
+
+let rec drop_children t d =
+  iter_children d (fun child ->
+      drop_children t child;
+      detach ~reclaim:false t child)
+
+let unhash ?(reclaim = false) t d =
+  drop_children t d;
+  if d.d_hashed then detach ~reclaim t d
+
+let make_negative t d errno =
+  assert (Dlist.is_empty d.d_children);
+  (* The canonical path and its prefix checks are unchanged: the dentry
+     keeps its signature, DLHT entry, and version, so the fastpath serves
+     the new negative result immediately (§5.2). *)
+  d.d_state <- Negative errno;
+  d.d_complete <- false;
+  d.d_alias <- None;
+  d.d_target_sig <- None;
+  Counter.incr t.counters "negative_created"
+
+let note_unlinked t d =
+  match d.d_parent with
+  | None -> ()
+  | Some parent ->
+    if Atomic.get d.d_refcount = 0 && Dlist.is_empty d.d_children then
+      make_negative t d Errno.ENOENT
+    else begin
+      let name = d.d_name in
+      unhash t d;
+      (* Aggressive negative caching (§5.2): the name itself stays cached as
+         a negative dentry even though the old dentry lives on unhashed. *)
+      if t.config.Config.aggressive_negative && parent.d_hashed then
+        ignore (alloc_child t parent name (Negative Errno.ENOENT))
+    end
+
+let d_move t d ~new_parent ~new_name =
+  hash_remove t d;
+  (* A rename is tracked coherently in the cache: completeness of both the
+     old and new parents survives (§5.1). *)
+  (match (d.d_parent, d.d_sibling) with
+  | Some parent, Some node ->
+    Dlist.remove parent.d_children node;
+    d.d_sibling <- None
+  | _ -> ());
+  d.d_parent <- Some new_parent;
+  d.d_name <- new_name;
+  let sibling = Dlist.node d in
+  Dlist.push_back new_parent.d_children sibling;
+  d.d_sibling <- Some sibling;
+  hash_insert t d
+
+(* --- self check ---
+
+   Structural invariants of the cache, used as a property-test oracle:
+   every cached dentry is on the reclaim list, hashed, reachable from its
+   parent's child list, findable through the primary hash table, and its
+   fast-dentry state is internally consistent. *)
+
+let self_check t =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  let seen = ref 0 in
+  Dlist.iter
+    (fun d ->
+      incr seen;
+      if not d.d_hashed then problem "dentry %d (%s) on reclaim list but unhashed" d.d_id d.d_name;
+      (match d.d_parent with
+      | None -> problem "dentry %d (%s) on reclaim list without a parent" d.d_id d.d_name
+      | Some parent ->
+        if not (parent.d_sb == d.d_sb) then
+          problem "dentry %d crosses superblocks to its parent" d.d_id;
+        if not (parent.d_hashed || parent.d_parent = None) then
+          problem "dentry %d (%s) cached under an unhashed parent" d.d_id d.d_name;
+        (match d.d_sibling with
+        | None -> problem "dentry %d (%s) missing from its parent's child list" d.d_id d.d_name
+        | Some node ->
+          if not (Dlist.value node == d) then problem "dentry %d sibling node mismatch" d.d_id);
+        (match lookup t parent d.d_name with
+        | Some found when found == d -> ()
+        | Some _ -> problem "hash table finds a different dentry for %d (%s)" d.d_id d.d_name
+        | None -> problem "dentry %d (%s) not findable in the hash table" d.d_id d.d_name));
+      if d.d_complete && not (dentry_is_dir d) then
+        problem "non-directory dentry %d marked DIR_COMPLETE" d.d_id;
+      if d.d_dlht_ns <> None && d.d_sig = None then
+        problem "dentry %d in a DLHT without a signature" d.d_id;
+      (match d.d_alias with
+      | Some real when real == d -> problem "dentry %d aliases itself" d.d_id
+      | _ -> ()))
+    t.clock;
+  if !seen <> t.count then
+    problem "reclaim list holds %d dentries but count is %d" !seen t.count;
+  let in_buckets = Array.fold_left (fun acc bucket -> acc + List.length bucket) 0 t.buckets in
+  (* roots are unhashed and not counted; every counted dentry is hashed *)
+  if in_buckets <> t.count then
+    problem "hash table holds %d entries but count is %d" in_buckets t.count;
+  List.rev !problems
+
+(* --- completeness (§5.1) --- *)
+
+let bump_dir_gen d = d.d_dir_gen <- d.d_dir_gen + 1
+
+let prune_children t d = drop_children t d
+
+let set_complete t d =
+  if t.config.Config.dir_completeness && dentry_is_dir d then begin
+    d.d_complete <- true;
+    Counter.incr t.counters "completeness_set"
+  end
+
+let clear_complete d = d.d_complete <- false
+let is_complete t d = t.config.Config.dir_completeness && d.d_complete

@@ -1,0 +1,152 @@
+(** The directory cache: dentry allocation, the primary hash table keyed by
+    (parent, name), the eviction clock, negative-dentry management, and the
+    coherence (invalidation) entry points used by the optimized fastpath.
+
+    Faithful to the Linux dcache structure (§2.2): every dentry is reachable
+    through (a) the primary hash table, (b) its parent's child list, and
+    (c) the reclaim list; the invariant that a cached dentry's ancestors are
+    all cached is maintained by only evicting childless dentries bottom-up.
+
+    Locking: callers bracket read-mostly work (walks, fastpath probes) with
+    {!with_read} and anything that can mutate the cache with {!with_write},
+    mirroring RCU-walk vs ref-walk in Linux. *)
+
+open Types
+
+(** Hook points installed by the optimized-dcache layer (the analog of the
+    paper's ~1000 LoC of hooks in dcache.c/namei.c, Table 4). *)
+type hooks = {
+  mutable on_shootdown : dentry -> unit;
+      (** dentry is leaving the cache or its canonical path changed: remove
+          any direct-lookup state (DLHT entry, signature). *)
+}
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+val hooks : t -> hooks
+val counters : t -> Dcache_util.Stats.Counter.t
+val lock : t -> Dcache_util.Rwlock.t
+val rename_lock : t -> Dcache_util.Seqcount.t
+
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a
+
+val invalidation_counter : t -> int
+(** Global shootdown sequence (§3.2): read before and after a slowpath walk;
+    direct-lookup state may be populated only if unchanged. *)
+
+val dentry_count : t -> int
+
+(** {1 Superblocks and roots} *)
+
+val make_superblock : Dcache_fs.Fs_intf.t -> (superblock, Dcache_types.Errno.t) result
+(** Wrap a low-level fs; reads its root inode and creates the root dentry. *)
+
+val sb_root : superblock -> dentry
+
+val iget : superblock -> Dcache_types.Attr.t -> Inode.t
+(** Inode-cache lookup/insert, so hard links share one in-memory inode. *)
+
+val iforget : superblock -> int -> unit
+(** Drop an inode whose last link is gone; inode numbers may be recycled by
+    the low-level fs, so stale cache entries must not survive. *)
+
+(** {1 Lookup and fill} *)
+
+val lookup : t -> dentry -> string -> dentry option
+(** Primary hash table probe; the per-component step of every walk. *)
+
+val fill : t -> dentry -> string -> (dentry, Dcache_types.Errno.t) result
+(** Cache miss: ask the low-level fs.  Returns the (hashed) child dentry —
+    possibly a fresh negative dentry — or [Error ENOENT] when the fs reports
+    absence but this fs opts out of negative caching, or another errno on
+    fs failure.  Caller must hold the write side. *)
+
+val promote : dentry -> (Inode.t, Dcache_types.Errno.t) result
+(** Materialize the inode of a [Partial] dentry (from readdir caching, §5.1)
+    with a single getattr; no directory scan. *)
+
+val add_child :
+  t -> dentry -> string -> dentry_state -> (dentry, Dcache_types.Errno.t) result
+(** Insert a child dentry with the given state; [Error EEXIST] if the name is
+    already cached.  Used for instantiating created files, readdir-derived
+    [Partial] children, and deep negative dentries. *)
+
+val dget : dentry -> unit
+val dput : dentry -> unit
+
+(** {1 Mutation-side maintenance} *)
+
+val unhash : ?reclaim:bool -> t -> dentry -> unit
+(** Remove from the hash table and parent's child list (e.g. an unlinked but
+    still-open file).  Recursively drops cached children.  [reclaim]
+    (default false) marks removals that are {e not} tracking a coherent fs
+    mutation — e.g. forced eviction by a network callback — which must also
+    break the parent's DIR_COMPLETE invariant (§5.1). *)
+
+val make_negative : t -> dentry -> Dcache_types.Errno.t -> unit
+(** Convert a (childless, unpinned) dentry in place to a negative dentry. *)
+
+val note_unlinked : t -> dentry -> unit
+(** Baseline-Linux behaviour after unlink: unused dentries become negative,
+    in-use dentries are unhashed.  With aggressive negative caching the name
+    always ends up as a cached negative (§5.2). *)
+
+val d_move : t -> dentry -> new_parent:dentry -> new_name:string -> unit
+(** Re-key a dentry after rename; the displaced target (if cached) is
+    unhashed by the caller. *)
+
+val set_complete : t -> dentry -> unit
+(** Mark a directory's cached children as the complete listing (§5.1);
+    no-op unless directory completeness is enabled. *)
+
+val clear_complete : dentry -> unit
+val is_complete : t -> dentry -> bool
+
+val bump_dir_gen : dentry -> unit
+(** Note a directory-content mutation; invalidates in-flight readdir
+    completion sequences (§5.1). *)
+
+val prune_children : t -> dentry -> unit
+(** Drop all cached children (recursively) but keep the dentry itself —
+    e.g. deep negative children after a non-directory is created over a
+    negative dentry (§5.2). *)
+
+val bump_seq : dentry -> unit
+(** Advance a dentry's version counter (from the global monotonic source),
+    invalidating every PCC entry referring to it. *)
+
+val invalidate_permissions : t -> dentry -> int
+(** Before chmod/chown of a directory: bump the version counter of every
+    cached descendant so stale PCC entries die (§3.2).  Returns the number
+    of dentries visited.  No-op (returning 0) when the fastpath is off. *)
+
+val invalidate_structure : t -> dentry -> int
+(** Before rename/mount changes: additionally evict direct-lookup state and
+    cached signatures of the dentry and all descendants. *)
+
+val purge : t -> unit
+(** Evict every unpinned dentry regardless of recency (the cold-cache
+    setup, Table 2). *)
+
+val evict_some : t -> int -> int
+(** [evict_some t n] tries to reclaim up to [n] dentries; returns the number
+    evicted.  Also invoked automatically when over capacity. *)
+
+val iter_children : dentry -> (dentry -> unit) -> unit
+(** Snapshot iteration over cached children. *)
+
+val bucket_occupancy : t -> int array
+(** Histogram of primary-table bucket chain lengths: slot [i] counts
+    buckets with [i] entries; the last slot aggregates longer chains
+    (paper §6.5). *)
+
+val self_check : t -> string list
+(** Verify the cache's structural invariants (reclaim-list/hash-table/child
+    -list agreement, bottom-up caching, fast-dentry consistency); returns
+    human-readable violations, [[]] when healthy.  O(cache size); a test
+    oracle, not a production call. *)
+
+val new_tick : t -> int

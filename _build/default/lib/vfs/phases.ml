@@ -1,0 +1,50 @@
+(** Per-phase lookup instrumentation (reproduces paper Fig. 3).
+
+    When enabled, the walk and fastpath code attribute elapsed wall time to
+    the paper's five principal components of a path lookup.  Disabled by
+    default because timestamping costs more than some phases themselves. *)
+
+type phase = Init | Permission | Scan_hash | Table_lookup | Finalize
+
+let all = [ Init; Permission; Scan_hash; Table_lookup; Finalize ]
+
+let name = function
+  | Init -> "initialization"
+  | Permission -> "permission check"
+  | Scan_hash -> "path scanning & hashing"
+  | Table_lookup -> "hash table lookup"
+  | Finalize -> "finalization"
+
+let index = function
+  | Init -> 0
+  | Permission -> 1
+  | Scan_hash -> 2
+  | Table_lookup -> 3
+  | Finalize -> 4
+
+let enabled = ref false
+let acc = Array.make 5 0L
+let counts = Array.make 5 0
+
+let reset () =
+  Array.fill acc 0 5 0L;
+  Array.fill counts 0 5 0
+
+let record phase ns =
+  let i = index phase in
+  acc.(i) <- Int64.add acc.(i) ns;
+  counts.(i) <- counts.(i) + 1
+
+(** [timed phase f] runs [f], charging its duration to [phase] when
+    instrumentation is enabled. *)
+let timed phase f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Dcache_util.Clock.now_ns () in
+    let result = f () in
+    let t1 = Dcache_util.Clock.now_ns () in
+    record phase (Int64.sub t1 t0);
+    result
+  end
+
+let totals () = List.map (fun p -> (p, acc.(index p))) all

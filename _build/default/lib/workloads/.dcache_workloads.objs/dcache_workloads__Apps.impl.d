@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Array Buffer Dcache_fs Dcache_syscalls Dcache_types Dcache_util Domain List Printf String Tree_gen

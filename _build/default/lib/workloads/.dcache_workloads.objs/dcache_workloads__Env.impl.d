@@ -1,0 +1,1 @@
+lib/workloads/env.ml: Dcache_fs Dcache_storage Dcache_syscalls Dcache_util

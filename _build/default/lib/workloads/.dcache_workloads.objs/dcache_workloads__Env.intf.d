@@ -1,0 +1,1 @@
+lib/workloads/env.mli: Dcache_cred Dcache_storage Dcache_syscalls Dcache_util Dcache_vfs

@@ -1,0 +1,1 @@
+lib/workloads/lmbench.ml: Dcache_syscalls Dcache_types Dcache_util Int64 Printf Result

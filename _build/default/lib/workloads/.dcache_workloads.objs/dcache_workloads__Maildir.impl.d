@@ -1,0 +1,1 @@
+lib/workloads/maildir.ml: Array Dcache_fs Dcache_syscalls Dcache_types Dcache_util List Printf String Tree_gen

@@ -1,0 +1,1 @@
+lib/workloads/maildir.mli: Dcache_syscalls

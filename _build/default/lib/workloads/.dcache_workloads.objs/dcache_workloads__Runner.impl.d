@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Dcache_syscalls Dcache_util Env Int64 List

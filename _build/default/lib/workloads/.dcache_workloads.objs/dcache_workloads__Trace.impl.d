@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Array Dcache_syscalls Dcache_types Dcache_util Printf Result Tree_gen

@@ -1,0 +1,1 @@
+lib/workloads/trace.mli: Dcache_syscalls Tree_gen

@@ -1,0 +1,1 @@
+lib/workloads/tree_gen.ml: Dcache_syscalls Dcache_types Dcache_util Hashtbl List Printf String

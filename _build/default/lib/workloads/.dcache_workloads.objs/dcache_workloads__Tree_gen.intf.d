@@ -1,0 +1,1 @@
+lib/workloads/tree_gen.mli: Dcache_syscalls

@@ -1,0 +1,1 @@
+lib/workloads/webserver.ml: Buffer Dcache_fs Dcache_syscalls Dcache_types List Printf

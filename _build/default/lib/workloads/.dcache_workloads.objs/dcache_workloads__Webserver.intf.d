@@ -1,0 +1,1 @@
+lib/workloads/webserver.mli: Dcache_syscalls

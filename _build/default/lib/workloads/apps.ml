@@ -1,0 +1,252 @@
+module S = Dcache_syscalls.Syscalls
+module Proc = Dcache_syscalls.Proc
+module Prng = Dcache_util.Prng
+module Fs = Dcache_fs.Fs_intf
+module File_kind = Dcache_types.File_kind
+
+type counts = { examined : int; matched : int; bytes : int }
+
+let contains ~pattern name =
+  let n = String.length name and p = String.length pattern in
+  if p = 0 then true
+  else begin
+    let rec at i = i + p <= n && (String.sub name i p = pattern || at (i + 1)) in
+    at 0
+  end
+
+let ok what = function
+  | Ok v -> v
+  | Error e ->
+    failwith (Printf.sprintf "Apps.%s: %s" what (Dcache_types.Errno.to_string e))
+
+let drain_dir proc fd =
+  let rec go acc =
+    match ok "getdents" (S.getdents proc fd 64) with
+    | [] -> List.rev acc
+    | chunk -> go (List.rev_append chunk acc)
+  in
+  go []
+
+(* Depth-first walk in the style of fts/nftw: a dirfd per level, getdents,
+   fstatat per entry, openat to descend — all single-component *at calls. *)
+let walk_at proc ~root f =
+  let rec visit fd =
+    let entries = drain_dir proc fd in
+    List.iter
+      (fun (e : Fs.dirent) ->
+        let attr = ok "fstatat" (S.fstatat proc fd e.Fs.name ~follow:false ()) in
+        f e attr;
+        if File_kind.equal attr.Dcache_types.Attr.kind File_kind.Directory then begin
+          let child = ok "openat" (S.openat proc fd e.Fs.name [ Proc.O_RDONLY; Proc.O_DIRECTORY ]) in
+          visit child;
+          ok "close" (S.close proc child)
+        end)
+      entries
+  in
+  let fd = ok "open root" (S.openf proc root [ Proc.O_RDONLY; Proc.O_DIRECTORY ]) in
+  visit fd;
+  ok "close root" (S.close proc fd)
+
+let find proc ~root ~pattern =
+  let examined = ref 0 and matched = ref 0 in
+  walk_at proc ~root (fun e _attr ->
+      incr examined;
+      if contains ~pattern e.Fs.name then incr matched);
+  { examined = !examined; matched = !matched; bytes = 0 }
+
+let du proc ~root =
+  let examined = ref 0 and bytes = ref 0 in
+  walk_at proc ~root (fun _e attr ->
+      incr examined;
+      bytes := !bytes + attr.Dcache_types.Attr.size);
+  { examined = !examined; matched = 0; bytes = !bytes }
+
+let updatedb proc ~root ~output =
+  let buf = Buffer.create 4096 in
+  let examined = ref 0 in
+  let rec visit fd prefix =
+    let entries = drain_dir proc fd in
+    List.iter
+      (fun (e : Fs.dirent) ->
+        incr examined;
+        let path = prefix ^ "/" ^ e.Fs.name in
+        Buffer.add_string buf path;
+        Buffer.add_char buf '\n';
+        let attr = ok "fstatat" (S.fstatat proc fd e.Fs.name ~follow:false ()) in
+        if File_kind.equal attr.Dcache_types.Attr.kind File_kind.Directory then begin
+          let child =
+            ok "openat" (S.openat proc fd e.Fs.name [ Proc.O_RDONLY; Proc.O_DIRECTORY ])
+          in
+          visit child path;
+          ok "close" (S.close proc child)
+        end)
+      entries
+  in
+  let fd = ok "open root" (S.openf proc root [ Proc.O_RDONLY; Proc.O_DIRECTORY ]) in
+  visit fd root;
+  ok "close" (S.close proc fd);
+  ok "write db" (S.write_file proc output (Buffer.contents buf));
+  { examined = !examined; matched = 0; bytes = Buffer.length buf }
+
+let relocate ~src_root ~dst path =
+  let suffix =
+    let n = String.length src_root in
+    if String.length path >= n && String.sub path 0 n = src_root then
+      String.sub path n (String.length path - n)
+    else path
+  in
+  dst ^ suffix
+
+let tar_extract proc ~(manifest : Tree_gen.manifest) ~dst =
+  let examined = ref 0 and bytes = ref 0 in
+  ok "mkdir_p dst" (S.mkdir_p proc dst);
+  let content = String.make manifest.Tree_gen.spec.Tree_gen.file_size 'y' in
+  List.iter
+    (fun dir ->
+      incr examined;
+      ok "mkdir" (S.mkdir_p proc (relocate ~src_root:manifest.Tree_gen.root ~dst dir)))
+    manifest.Tree_gen.dirs;
+  List.iter
+    (fun file ->
+      incr examined;
+      bytes := !bytes + String.length content;
+      ok "extract" (S.write_file proc (relocate ~src_root:manifest.Tree_gen.root ~dst file) content))
+    manifest.Tree_gen.files;
+  List.iter
+    (fun link ->
+      incr examined;
+      ok "symlink"
+        (S.symlink proc ~target:"." (relocate ~src_root:manifest.Tree_gen.root ~dst link)))
+    manifest.Tree_gen.symlinks;
+  { examined = !examined; matched = 0; bytes = !bytes }
+
+let rm_rf proc ~root =
+  let examined = ref 0 in
+  let rec visit dir =
+    let entries = ok "readdir" (S.readdir_path proc dir) in
+    List.iter
+      (fun (e : Fs.dirent) ->
+        incr examined;
+        let path = dir ^ "/" ^ e.Fs.name in
+        match e.Fs.kind with
+        | File_kind.Directory ->
+          visit path;
+          ok "rmdir" (S.rmdir proc path)
+        | _ -> ok "unlink" (S.unlink proc path))
+      entries
+  in
+  visit root;
+  ok "rmdir root" (S.rmdir proc root);
+  { examined = !examined; matched = 0; bytes = 0 }
+
+(* --- make --- *)
+
+type make_env = {
+  headers : string list;
+  include_dir : string;
+  missing_dirs : string list;
+  obj_dir : string;
+}
+
+let make_setup proc ~root ~headers ~seed =
+  let prng = Prng.create seed in
+  let include_dir = root ^ "/include" in
+  let missing_dirs = [ root ^ "/arch/include"; root ^ "/generated/include" ] in
+  let obj_dir = root ^ "/obj" in
+  ok "mkdir include" (S.mkdir_p proc include_dir);
+  (* The missing include dirs exist but are empty: searches miss. *)
+  List.iter (fun d -> ok "mkdir missing" (S.mkdir_p proc d)) missing_dirs;
+  ok "mkdir obj" (S.mkdir_p proc obj_dir);
+  let names =
+    List.init headers (fun i ->
+        Printf.sprintf "%s_%d.h" (Prng.string prng ~min_len:3 ~max_len:8) i)
+  in
+  List.iter
+    (fun name ->
+      ok "write header" (S.write_file proc (include_dir ^ "/" ^ name) "#define X 1\n"))
+    names;
+  { headers = names; include_dir; missing_dirs; obj_dir }
+
+let obj_name file =
+  String.map (fun c -> if c = '/' then '_' else c) file ^ ".o"
+
+let compile proc env prng headers_per_file headers_arr file =
+  (* stat + read the source *)
+  let _ = ok "stat src" (S.stat proc file) in
+  let _ = ok "read src" (S.read_file proc file) in
+  (* search each included header along the include path: the first
+     directories never have it (negative dentries), the real one does *)
+  for _ = 1 to headers_per_file do
+    let header = headers_arr.(Prng.int prng (Array.length headers_arr)) in
+    List.iter
+      (fun dir ->
+        match S.stat proc (dir ^ "/" ^ header) with
+        | Ok _ | Error _ -> ())
+      env.missing_dirs;
+    let _ = ok "stat header" (S.stat proc (env.include_dir ^ "/" ^ header)) in
+    ()
+  done;
+  (* write the object file *)
+  ok "write obj" (S.write_file proc (env.obj_dir ^ "/" ^ obj_name file) "OBJ")
+
+let make proc ~(manifest : Tree_gen.manifest) ~env ~headers_per_file ~seed =
+  let prng = Prng.create seed in
+  let headers_arr = Array.of_list env.headers in
+  List.iter (compile proc env prng headers_per_file headers_arr) manifest.Tree_gen.files;
+  { examined = List.length manifest.Tree_gen.files; matched = 0; bytes = 0 }
+
+let make_parallel proc ~(manifest : Tree_gen.manifest) ~env ~headers_per_file ~seed ~jobs =
+  let files = Array.of_list manifest.Tree_gen.files in
+  let n = Array.length files in
+  let jobs = max 1 (min jobs n) in
+  let chunk j =
+    let per = (n + jobs - 1) / jobs in
+    let lo = j * per in
+    let hi = min n (lo + per) in
+    Array.to_list (Array.sub files lo (max 0 (hi - lo)))
+  in
+  let worker j () =
+    let p = Proc.fork proc in
+    let prng = Prng.create (seed + j) in
+    let headers_arr = Array.of_list env.headers in
+    List.iter (compile p env prng headers_per_file headers_arr) (chunk j)
+  in
+  let domains = List.init jobs (fun j -> Domain.spawn (worker j)) in
+  List.iter Domain.join domains;
+  { examined = n; matched = 0; bytes = 0 }
+
+(* --- git --- *)
+
+let index_path (manifest : Tree_gen.manifest) = manifest.Tree_gen.root ^ "/.git/index"
+
+let git_setup proc ~(manifest : Tree_gen.manifest) =
+  ok "mkdir .git" (S.mkdir_p proc (manifest.Tree_gen.root ^ "/.git"));
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf f;
+      Buffer.add_char buf '\n')
+    manifest.Tree_gen.files;
+  ok "write index" (S.write_file proc (index_path manifest) (Buffer.contents buf))
+
+let git_status proc ~(manifest : Tree_gen.manifest) =
+  let index = ok "read index" (S.read_file proc (index_path manifest)) in
+  let files = String.split_on_char '\n' index |> List.filter (fun l -> l <> "") in
+  let examined = ref 0 in
+  List.iter
+    (fun file ->
+      incr examined;
+      ignore (ok "lstat" (S.lstat proc file)))
+    files;
+  { examined = !examined; matched = 0; bytes = String.length index }
+
+let git_diff proc ~(manifest : Tree_gen.manifest) =
+  let status = git_status proc ~manifest in
+  let bytes = ref status.bytes in
+  let i = ref 0 in
+  List.iter
+    (fun file ->
+      incr i;
+      if !i mod 10 = 0 then bytes := !bytes + String.length (ok "read" (S.read_file proc file)))
+    manifest.Tree_gen.files;
+  { status with bytes = !bytes }

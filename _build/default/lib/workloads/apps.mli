@@ -1,0 +1,68 @@
+(** Models of the command-line applications benchmarked in the paper
+    (Tables 1 and 2): each issues the same shape of syscall traffic as the
+    real tool.  [find], [du] and [updatedb] use the *at() family with
+    single-component names (as the paper observes); the others use full
+    paths of 3-4 components. *)
+
+type counts = { examined : int; matched : int; bytes : int }
+
+val find : Dcache_syscalls.Proc.t -> root:string -> pattern:string -> counts
+(** Depth-first openat/getdents/fstatat walk counting name matches. *)
+
+val du : Dcache_syscalls.Proc.t -> root:string -> counts
+(** Recursive size accounting (like [du -s]). *)
+
+val updatedb :
+  Dcache_syscalls.Proc.t -> root:string -> output:string -> counts
+(** Walk [root] collecting canonical paths, write the database file. *)
+
+val tar_extract :
+  Dcache_syscalls.Proc.t -> manifest:Tree_gen.manifest -> dst:string -> counts
+(** Recreate the manifest tree under [dst]: mkdir + create + write, full
+    paths (like unpacking a tarball). *)
+
+val rm_rf : Dcache_syscalls.Proc.t -> root:string -> counts
+(** Recursive removal with full-path unlink/rmdir. *)
+
+(** [make] setup: an include directory plus per-source header dependencies;
+    some lookups intentionally miss along the include search path, giving
+    the negative-dentry traffic the paper observes (~20%). *)
+type make_env = {
+  headers : string list;  (** header names that exist under [include_dir] *)
+  include_dir : string;
+  missing_dirs : string list;  (** searched first, never contain headers *)
+  obj_dir : string;
+}
+
+val make_setup :
+  Dcache_syscalls.Proc.t -> root:string -> headers:int -> seed:int -> make_env
+
+val make :
+  Dcache_syscalls.Proc.t ->
+  manifest:Tree_gen.manifest ->
+  env:make_env ->
+  headers_per_file:int ->
+  seed:int ->
+  counts
+(** Compile every manifest file: stat + read source, search its headers
+    along [missing_dirs @ include_dir], write an object file. *)
+
+val make_parallel :
+  Dcache_syscalls.Proc.t ->
+  manifest:Tree_gen.manifest ->
+  env:make_env ->
+  headers_per_file:int ->
+  seed:int ->
+  jobs:int ->
+  counts
+(** [make -jN]: the file list is chunked across [jobs] domains, each with a
+    forked process sharing the credential (and hence the PCC). *)
+
+val git_status : Dcache_syscalls.Proc.t -> manifest:Tree_gen.manifest -> counts
+(** Read the index file, then lstat every tracked file. *)
+
+val git_diff : Dcache_syscalls.Proc.t -> manifest:Tree_gen.manifest -> counts
+(** [git_status] plus reading a subset of files for content comparison. *)
+
+val git_setup : Dcache_syscalls.Proc.t -> manifest:Tree_gen.manifest -> unit
+(** Write the .git/index stand-in listing all tracked files. *)

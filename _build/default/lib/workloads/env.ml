@@ -1,0 +1,38 @@
+module Kernel = Dcache_syscalls.Kernel
+module Proc = Dcache_syscalls.Proc
+module Vclock = Dcache_util.Vclock
+module Blockdev = Dcache_storage.Blockdev
+module Pagecache = Dcache_storage.Pagecache
+
+type t = {
+  kernel : Kernel.t;
+  proc : Proc.t;
+  vclock : Vclock.t;
+  pagecache : Pagecache.t option;
+}
+
+let ram ?(lsms = []) config =
+  let fs = Dcache_fs.Ramfs.create () in
+  let kernel = Kernel.create ~config ~lsms ~root_fs:fs () in
+  { kernel; proc = Proc.spawn kernel; vclock = Vclock.create (); pagecache = None }
+
+let disk ?(lsms = []) ?(device_config = Blockdev.default_config) ?(cache_pages = 8192)
+    config =
+  let vclock = Vclock.create () in
+  let device = Blockdev.create ~config:device_config vclock in
+  let cache = Pagecache.create ~capacity_pages:cache_pages device in
+  let fs = Dcache_fs.Extfs.mkfs_and_mount cache in
+  (* Charge deterministic virtual time per low-level fs call: the real
+     kernel-side cost of leaving the VFS (see Fs_overhead). *)
+  let fs = Dcache_fs.Fs_overhead.wrap ~clock:vclock fs in
+  let kernel = Kernel.create ~config ~lsms ~root_fs:fs () in
+  { kernel; proc = Proc.spawn kernel; vclock; pagecache = Some cache }
+
+let drop_caches t =
+  Kernel.drop_caches t.kernel;
+  match t.pagecache with Some cache -> Pagecache.drop_caches cache | None -> ()
+
+let reset_measurement t =
+  Kernel.reset_stats t.kernel;
+  Vclock.reset t.vclock;
+  match t.pagecache with Some cache -> Pagecache.reset_stats cache | None -> ()

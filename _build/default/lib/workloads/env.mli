@@ -1,0 +1,26 @@
+(** Benchmark environments: a kernel + root process over either a memory
+    file system (warm-cache experiments) or the simulated disk (cold-cache
+    experiments, Table 2). *)
+
+type t = {
+  kernel : Dcache_syscalls.Kernel.t;
+  proc : Dcache_syscalls.Proc.t;
+  vclock : Dcache_util.Vclock.t;
+      (** accumulates simulated device latency; zero for ram environments *)
+  pagecache : Dcache_storage.Pagecache.t option;
+}
+
+val ram : ?lsms:Dcache_cred.Lsm.hooks list -> Dcache_vfs.Config.t -> t
+
+val disk :
+  ?lsms:Dcache_cred.Lsm.hooks list ->
+  ?device_config:Dcache_storage.Blockdev.config ->
+  ?cache_pages:int ->
+  Dcache_vfs.Config.t ->
+  t
+
+val drop_caches : t -> unit
+(** Evict the dcache and the page cache: the cold-cache state. *)
+
+val reset_measurement : t -> unit
+(** Zero counters and the virtual clock before a measured run. *)

@@ -1,0 +1,93 @@
+module S = Dcache_syscalls.Syscalls
+module Proc = Dcache_syscalls.Proc
+module Errno = Dcache_types.Errno
+
+type pattern = { label : string; path : string; expect_errno : Errno.t option }
+
+let patterns =
+  [
+    { label = "default"; path = "/usr/include/gcc-x86_64-linux-gnu/sys/types.h";
+      expect_errno = None };
+    { label = "1-comp"; path = "FFF"; expect_errno = None };
+    { label = "2-comp"; path = "XXX/FFF"; expect_errno = None };
+    { label = "4-comp"; path = "XXX/YYY/ZZZ/FFF"; expect_errno = None };
+    { label = "8-comp"; path = "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF"; expect_errno = None };
+    { label = "link-f"; path = "XXX/YYY/ZZZ/LLL"; expect_errno = None };
+    { label = "link-d"; path = "LLL/YYY/ZZZ/FFF"; expect_errno = None };
+    { label = "neg-f"; path = "XXX/YYY/ZZZ/NNN"; expect_errno = Some Errno.ENOENT };
+    { label = "neg-d"; path = "NNN/XXX/YYY/FFF"; expect_errno = Some Errno.ENOENT };
+    { label = "1-dotdot"; path = "XXX/../FFF"; expect_errno = None };
+    { label = "4-dotdot"; path = "XXX/YYY/../../AAA/BBB/../../FFF"; expect_errno = None };
+  ]
+
+let fig3_paths =
+  [
+    ("Path1 (1 comp)", "FFF");
+    ("Path2 (2 comp)", "XXX/FFF");
+    ("Path3 (4 comp)", "XXX/YYY/ZZZ/FFF");
+    ("Path4 (8 comp)", "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF");
+  ]
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "Lmbench.%s: %s" what (Errno.to_string e))
+
+let setup proc =
+  (* The 8-component chain, with an FFF regular file at every level. *)
+  let chain = [ "XXX"; "YYY"; "ZZZ"; "AAA"; "BBB"; "CCC"; "DDD" ] in
+  let rec build prefix = function
+    | [] -> ()
+    | dir :: rest ->
+      let path = prefix ^ "/" ^ dir in
+      ok "mkdir" (S.mkdir_p proc path);
+      ok "FFF" (S.write_file proc (path ^ "/FFF") "data");
+      build path rest
+  in
+  ok "root FFF" (S.write_file proc "/FFF" "data");
+  build "" chain;
+  (* Directories used by 4-dotdot at the root. *)
+  ok "AAA/BBB" (S.mkdir_p proc "/AAA/BBB");
+  (* link-f: a symlink to a file in the same directory. *)
+  ok "link-f" (S.symlink proc ~target:"/XXX/YYY/ZZZ/FFF" "/XXX/YYY/ZZZ/LLL");
+  (* link-d: /LLL -> /XXX, so LLL/YYY/ZZZ/FFF traverses a symlinked dir. *)
+  ok "link-d" (S.symlink proc ~target:"/XXX" "/LLL");
+  (* The "default" absolute path from the paper. *)
+  ok "usr" (S.mkdir_p proc "/usr/include/gcc-x86_64-linux-gnu/sys");
+  ok "types.h" (S.write_file proc "/usr/include/gcc-x86_64-linux-gnu/sys/types.h" "types");
+  (* Benchmarks run with cwd = / so the relative patterns match the paper. *)
+  ok "chdir /" (S.chdir proc "/")
+
+let check_expect label expect result =
+  match (expect, result) with
+  | None, Ok _ -> ()
+  | Some e, Error got when got = e -> ()
+  | None, Error got ->
+    failwith (Printf.sprintf "Lmbench %s: unexpected %s" label (Errno.to_string got))
+  | Some e, Ok _ ->
+    failwith (Printf.sprintf "Lmbench %s: expected %s, got success" label (Errno.to_string e))
+  | Some e, Error got ->
+    failwith
+      (Printf.sprintf "Lmbench %s: expected %s, got %s" label (Errno.to_string e)
+         (Errno.to_string got))
+
+let measure pattern ~iters f =
+  (* Warm the caches, validating the expected outcome. *)
+  check_expect pattern.label pattern.expect_errno (f ());
+  let t0 = Dcache_util.Clock.now_ns () in
+  for _ = 2 to iters do
+    ignore (f ())
+  done;
+  check_expect pattern.label pattern.expect_errno (f ());
+  let t1 = Dcache_util.Clock.now_ns () in
+  Int64.to_float (Int64.sub t1 t0) /. float_of_int iters
+
+let measure_stat proc pattern ~iters =
+  measure pattern ~iters (fun () -> Result.map (fun _ -> ()) (S.stat proc pattern.path))
+
+let measure_open proc pattern ~iters =
+  measure pattern ~iters (fun () ->
+      match S.openf proc pattern.path [ Proc.O_RDONLY ] with
+      | Ok fd ->
+        ignore (S.close proc fd);
+        Ok ()
+      | Error _ as e -> Result.map (fun _ -> ()) e)

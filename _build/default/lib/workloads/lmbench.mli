@@ -1,0 +1,29 @@
+(** LMBench-style path-lookup microbenchmarks: the fixed path patterns of
+    the paper's Figures 3 and 6 and the measurement loops that exercise
+    them. *)
+
+type pattern = {
+  label : string;
+  path : string;
+  expect_errno : Dcache_types.Errno.t option;
+      (** [Some e]: the lookup is supposed to fail with [e] (neg-f, neg-d) *)
+}
+
+val patterns : pattern list
+(** default, 1/2/4/8-component, link-f, link-d, neg-f, neg-d, 1-dotdot,
+    4-dotdot — exactly the Fig. 6 legend. *)
+
+val fig3_paths : (string * string) list
+(** The four paths of Fig. 3 (1, 2, 4, 8 components). *)
+
+val setup : Dcache_syscalls.Proc.t -> unit
+(** Create the directory chain XXX/YYY/ZZZ/AAA/BBB/CCC/DDD with an FFF file
+    at every level, the LLL symlinks, the AAA/BBB chain used by 4-dotdot,
+    and the /usr/include default path. *)
+
+val measure_stat : Dcache_syscalls.Proc.t -> pattern -> iters:int -> float
+(** Mean stat latency in nanoseconds over [iters] calls (after one warmup);
+    raises [Failure] if the outcome does not match [expect_errno]. *)
+
+val measure_open : Dcache_syscalls.Proc.t -> pattern -> iters:int -> float
+(** Mean open+close latency in nanoseconds. *)

@@ -1,0 +1,70 @@
+module S = Dcache_syscalls.Syscalls
+module Prng = Dcache_util.Prng
+module Fs = Dcache_fs.Fs_intf
+
+type mailbox = { dir : string; mutable names : string array; mutable next_uid : int }
+
+let ok what = function
+  | Ok v -> v
+  | Error e ->
+    failwith (Printf.sprintf "Maildir.%s: %s" what (Dcache_types.Errno.to_string e))
+
+let setup proc ~root ~messages ~seed =
+  let names = Tree_gen.build_maildir proc ~root ~messages ~seed in
+  { dir = root; names = Array.of_list names; next_uid = 2_000_000 }
+
+let message_count mbox = Array.length mbox.names
+
+let split_flags name =
+  match String.index_opt name ',' with
+  | Some i -> (String.sub name 0 (i + 1), String.sub name (i + 1) (String.length name - i - 1))
+  | None -> (name ^ ":2,", "")
+
+let toggle_flag prng name =
+  let base, flags = split_flags name in
+  let flag = if Prng.bool prng then 'S' else 'F' in
+  let flags =
+    if String.contains flags flag then String.concat "" (List.filter_map (fun c ->
+        if c = flag then None else Some (String.make 1 c))
+        (List.init (String.length flags) (String.get flags)))
+    else String.make 1 flag ^ flags
+  in
+  base ^ flags
+
+let reread proc mbox =
+  let entries = ok "readdir" (S.readdir_path proc (mbox.dir ^ "/cur")) in
+  List.length entries
+
+let run_ops proc mbox ~ops ~seed =
+  let prng = Prng.create seed in
+  let scanned = ref 0 in
+  for _ = 1 to ops do
+    let i = Prng.int prng (Array.length mbox.names) in
+    let old_name = mbox.names.(i) in
+    let new_name = toggle_flag prng old_name in
+    if new_name <> old_name then begin
+      ok "rename"
+        (S.rename proc (mbox.dir ^ "/cur/" ^ old_name) (mbox.dir ^ "/cur/" ^ new_name));
+      mbox.names.(i) <- new_name
+    end;
+    scanned := !scanned + reread proc mbox
+  done;
+  !scanned
+
+let deliver proc mbox ~n =
+  let fresh =
+    List.init n (fun i ->
+        let uid = mbox.next_uid + i in
+        Printf.sprintf "%d.%06d.host:2," uid (uid * 7 mod 1000000))
+  in
+  mbox.next_uid <- mbox.next_uid + n;
+  List.iter
+    (fun name ->
+      ok "deliver" (S.write_file proc (mbox.dir ^ "/new/" ^ name) "Subject: new\n\nbody\n"))
+    fresh;
+  List.iter
+    (fun name ->
+      ok "move" (S.rename proc (mbox.dir ^ "/new/" ^ name) (mbox.dir ^ "/cur/" ^ name)))
+    fresh;
+  mbox.names <- Array.append mbox.names (Array.of_list fresh);
+  ignore (reread proc mbox)

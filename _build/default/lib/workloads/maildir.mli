@@ -1,0 +1,21 @@
+(** Dovecot-style maildir IMAP server model (paper §5.1, Fig. 10).
+
+    Marking a message as seen/flagged renames its file (the flags live in
+    the file name) and then re-reads the mailbox directory to sync the mail
+    list — the readdir-heavy pattern directory completeness caching
+    accelerates. *)
+
+type mailbox
+
+val setup :
+  Dcache_syscalls.Proc.t -> root:string -> messages:int -> seed:int -> mailbox
+
+val message_count : mailbox -> int
+
+val run_ops : Dcache_syscalls.Proc.t -> mailbox -> ops:int -> seed:int -> int
+(** Perform [ops] random mark/unmark operations (rename + full directory
+    re-read each); returns the number of directory entries scanned. *)
+
+val deliver : Dcache_syscalls.Proc.t -> mailbox -> n:int -> unit
+(** A delivery agent writing [n] new messages into [new/], then the server
+    moving them to [cur/] — exercises create + rename + re-read. *)

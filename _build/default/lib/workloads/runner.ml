@@ -1,0 +1,46 @@
+module Kernel = Dcache_syscalls.Kernel
+module Counter = Dcache_util.Stats.Counter
+
+type result = {
+  label : string;
+  real_ns : int64;
+  virt_ns : int64;
+  total_ns : int64;
+  path_lookups : int;
+  hit_rate : float;
+  neg_rate : float;
+  counters : (string * int) list;
+}
+
+let run ?(label = "workload") env f =
+  Env.reset_measurement env;
+  let _, real_ns = Dcache_util.Clock.time_ns f in
+  let virt_ns = Dcache_util.Vclock.elapsed_ns env.Env.vclock in
+  let counters = Kernel.stats_snapshot env.Env.kernel in
+  let get key = try List.assoc key counters with Not_found -> 0 in
+  let hits = get "dcache_hit" in
+  let misses = get "dcache_miss" in
+  let lookups = get "path_lookup" in
+  let negatives =
+    get "walk_negative_hit" + get "fastpath_negative_hit" + get "complete_dir_negative"
+  in
+  {
+    label;
+    real_ns;
+    virt_ns;
+    total_ns = Int64.add real_ns virt_ns;
+    path_lookups = lookups;
+    hit_rate =
+      (if hits + misses = 0 then 1.0
+       else float_of_int hits /. float_of_int (hits + misses));
+    neg_rate =
+      (if lookups = 0 then 0.0 else float_of_int negatives /. float_of_int lookups);
+    counters;
+  }
+
+let seconds r = Int64.to_float r.total_ns /. 1e9
+
+let gain ~baseline r =
+  let b = Int64.to_float baseline.total_ns in
+  let v = Int64.to_float r.total_ns in
+  if b = 0.0 then 0.0 else (b -. v) /. b *. 100.0

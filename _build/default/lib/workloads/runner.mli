@@ -1,0 +1,21 @@
+(** Measured workload execution: wall time + simulated device time, and the
+    path-lookup statistics the paper reports per application (Table 1/2). *)
+
+type result = {
+  label : string;
+  real_ns : int64;  (** measured wall-clock time *)
+  virt_ns : int64;  (** simulated device latency accrued (cold-cache runs) *)
+  total_ns : int64;  (** real + virtual: the reported execution time *)
+  path_lookups : int;
+  hit_rate : float;  (** component-level dcache hit rate *)
+  neg_rate : float;  (** share of lookups answered by negative dentries *)
+  counters : (string * int) list;
+}
+
+val run : ?label:string -> Env.t -> (unit -> unit) -> result
+(** Reset measurement state, run the workload, and collect the result. *)
+
+val seconds : result -> float
+val gain : baseline:result -> result -> float
+(** Relative improvement of [result] over [baseline] in percent (positive =
+    faster). *)

@@ -1,0 +1,135 @@
+module S = Dcache_syscalls.Syscalls
+module Proc = Dcache_syscalls.Proc
+module Prng = Dcache_util.Prng
+
+type event =
+  | T_stat of string
+  | T_lstat of string
+  | T_access of string
+  | T_open_read of string
+  | T_open_write of string
+  | T_readdir of string
+  | T_unlink of string
+  | T_rename of string * string
+  | T_mkdir of string
+  | T_getpid
+
+type t = { events : event array; lookups : int }
+
+type mix = {
+  stat_w : int;
+  open_read_w : int;
+  open_write_w : int;
+  readdir_w : int;
+  mutate_w : int;
+  other_w : int;
+}
+
+let ibench_like =
+  { stat_w = 6; open_read_w = 5; open_write_w = 2; readdir_w = 1; mutate_w = 1; other_w = 85 }
+
+let metadata_heavy =
+  { stat_w = 50; open_read_w = 20; open_write_w = 5; readdir_w = 15; mutate_w = 5; other_w = 5 }
+
+let is_lookup = function
+  | T_stat _ | T_lstat _ | T_access _ | T_open_read _ | T_open_write _ | T_readdir _
+  | T_unlink _ | T_rename _ | T_mkdir _ -> true
+  | T_getpid -> false
+
+let generate ~(manifest : Tree_gen.manifest) ~mix ~events ~locality ~seed =
+  let prng = Prng.create seed in
+  let files = Array.of_list manifest.Tree_gen.files in
+  let dirs = Array.of_list manifest.Tree_gen.dirs in
+  assert (Array.length files > 0 && Array.length dirs > 0);
+  (* Recently-touched window for temporal locality. *)
+  let window = Array.make 32 files.(0) in
+  let window_used = ref 0 in
+  let touch path =
+    window.(!window_used mod Array.length window) <- path;
+    incr window_used
+  in
+  let pick_file () =
+    if !window_used > 0 && Prng.float prng 1.0 < locality then
+      window.(Prng.int prng (min !window_used (Array.length window)))
+    else begin
+      let path = Prng.choice prng files in
+      touch path;
+      path
+    end
+  in
+  let pick_dir () = Prng.choice prng dirs in
+  let fresh = ref 0 in
+  let fresh_path () =
+    incr fresh;
+    Printf.sprintf "%s/trace%d" (pick_dir ()) !fresh
+  in
+  let total_weight =
+    mix.stat_w + mix.open_read_w + mix.open_write_w + mix.readdir_w + mix.mutate_w
+    + mix.other_w
+  in
+  let gen_event () =
+    let roll = Prng.int prng total_weight in
+    let rec pick roll = function
+      | [] -> T_getpid
+      | (w, make) :: rest -> if roll < w then make () else pick (roll - w) rest
+    in
+    pick roll
+      [
+        ( mix.stat_w,
+          fun () ->
+            match Prng.int prng 4 with
+            | 0 -> T_lstat (pick_file ())
+            | 1 -> T_access (pick_file ())
+            | _ -> T_stat (pick_file ()) );
+        (mix.open_read_w, fun () -> T_open_read (pick_file ()));
+        (mix.open_write_w, fun () -> T_open_write (fresh_path ()));
+        (mix.readdir_w, fun () -> T_readdir (pick_dir ()));
+        ( mix.mutate_w,
+          fun () ->
+            match Prng.int prng 3 with
+            | 0 -> T_mkdir (fresh_path ())
+            | 1 -> T_unlink (pick_file ())
+            | _ -> T_rename (pick_file (), fresh_path ()) );
+        (mix.other_w, fun () -> T_getpid);
+      ]
+  in
+  let events = Array.init events (fun _ -> gen_event ()) in
+  let lookups = Array.fold_left (fun acc e -> if is_lookup e then acc + 1 else acc) 0 events in
+  { events; lookups }
+
+type outcome = { ok : int; errors : int; lookup_events : int }
+
+let replay proc trace =
+  let ok = ref 0 and errors = ref 0 in
+  let note = function Ok _ -> incr ok | Error _ -> incr errors in
+  (* The filler "syscall": comparable to getpid, a couple of memory ops. *)
+  let filler = ref 0 in
+  Array.iter
+    (fun event ->
+      match event with
+      | T_stat path -> note (S.stat proc path)
+      | T_lstat path -> note (S.lstat proc path)
+      | T_access path -> note (S.access proc path Dcache_types.Access.may_read)
+      | T_open_read path ->
+        note
+          (match S.openf proc path [ Proc.O_RDONLY ] with
+          | Ok fd ->
+            let r = S.read proc fd 64 in
+            ignore (S.close proc fd);
+            Result.map (fun _ -> ()) r
+          | Error _ as e -> Result.map (fun _ -> ()) e)
+      | T_open_write path ->
+        note
+          (match S.openf proc path [ Proc.O_CREAT; Proc.O_WRONLY ] with
+          | Ok fd ->
+            let r = S.write proc fd "trace" in
+            ignore (S.close proc fd);
+            Result.map (fun _ -> ()) r
+          | Error _ as e -> Result.map (fun _ -> ()) e)
+      | T_readdir path -> note (S.readdir_path proc path)
+      | T_unlink path -> note (S.unlink proc path)
+      | T_rename (a, b) -> note (S.rename proc a b)
+      | T_mkdir path -> note (S.mkdir proc path)
+      | T_getpid -> filler := !filler + 1)
+    trace.events;
+  { ok = !ok; errors = !errors; lookup_events = trace.lookups }

@@ -1,0 +1,46 @@
+(** Synthetic system-call traces in the spirit of the iBench suite the
+    paper cites (§1: 10-20% of all system calls perform a path lookup).
+
+    A trace is generated once from a built tree with tunable locality and
+    operation mix, then replayed deterministically against any kernel —
+    useful for comparing cache designs on identical workloads. *)
+
+type event =
+  | T_stat of string
+  | T_lstat of string
+  | T_access of string
+  | T_open_read of string  (** open, read a little, close *)
+  | T_open_write of string  (** open(O_CREAT), write a little, close *)
+  | T_readdir of string
+  | T_unlink of string
+  | T_rename of string * string
+  | T_mkdir of string
+  | T_getpid  (** a non-path syscall: pure overhead filler *)
+
+type t = { events : event array; lookups : int }
+
+type mix = {
+  stat_w : int;
+  open_read_w : int;
+  open_write_w : int;
+  readdir_w : int;
+  mutate_w : int;  (** unlink/rename/mkdir combined *)
+  other_w : int;  (** non-path syscalls *)
+}
+
+val ibench_like : mix
+(** ~15% of events perform a path lookup, as in the paper's iBench quote. *)
+
+val metadata_heavy : mix
+
+val generate :
+  manifest:Tree_gen.manifest -> mix:mix -> events:int -> locality:float -> seed:int -> t
+(** [locality] in [0,1]: probability that an event reuses one of the 32 most
+    recently touched paths instead of a fresh uniform pick. *)
+
+type outcome = { ok : int; errors : int; lookup_events : int }
+
+val replay : Dcache_syscalls.Proc.t -> t -> outcome
+(** Replay the trace; per-event errors (e.g. a stat after an unlink of the
+    same generated path) are counted, not fatal — identical traces must
+    produce identical outcomes on any correct kernel. *)

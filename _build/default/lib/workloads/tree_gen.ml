@@ -1,0 +1,115 @@
+module S = Dcache_syscalls.Syscalls
+module Proc = Dcache_syscalls.Proc
+module Prng = Dcache_util.Prng
+
+type spec = {
+  depth : int;
+  fanout : int;
+  files_per_dir : int;
+  file_size : int;
+  symlink_ratio : float;
+  name_min : int;
+  name_max : int;
+  seed : int;
+}
+
+let source_tree ?(scale = 1.0) () =
+  let s x = max 1 (int_of_float (float_of_int x *. scale)) in
+  {
+    depth = 4;
+    fanout = 3;
+    files_per_dir = s 8;
+    file_size = 2048;
+    symlink_ratio = 0.02;
+    name_min = 4;
+    name_max = 12;
+    seed = 0xC0DE;
+  }
+
+let usr_tree ?(scale = 1.0) () =
+  let s x = max 1 (int_of_float (float_of_int x *. scale)) in
+  {
+    depth = 3;
+    fanout = 5;
+    files_per_dir = s 10;
+    file_size = 512;
+    symlink_ratio = 0.08;
+    name_min = 3;
+    name_max = 10;
+    seed = 0x05E;
+  }
+
+type manifest = {
+  root : string;
+  dirs : string list;
+  files : string list;
+  symlinks : string list;
+  spec : spec;
+}
+
+let ok what = function
+  | Ok v -> v
+  | Error e ->
+    failwith (Printf.sprintf "Tree_gen: %s failed: %s" what (Dcache_types.Errno.to_string e))
+
+let build proc ~root spec =
+  let prng = Prng.create spec.seed in
+  let dirs = ref [] in
+  let files = ref [] in
+  let symlinks = ref [] in
+  ok "mkdir_p root" (S.mkdir_p proc root);
+  dirs := [ root ];
+  let content = String.make spec.file_size 'x' in
+  let fresh_name used =
+    let rec go tries =
+      let name = Prng.string prng ~min_len:spec.name_min ~max_len:spec.name_max in
+      if Hashtbl.mem used name && tries < 50 then go (tries + 1)
+      else begin
+        Hashtbl.replace used name ();
+        name
+      end
+    in
+    go 0
+  in
+  let rec fill dir depth =
+    let used = Hashtbl.create 16 in
+    for _ = 1 to spec.files_per_dir do
+      let name = fresh_name used in
+      let path = dir ^ "/" ^ name in
+      if Prng.float prng 1.0 < spec.symlink_ratio && !files <> [] then begin
+        let target = Prng.choice_list prng !files in
+        ok "symlink" (S.symlink proc ~target path);
+        symlinks := path :: !symlinks
+      end
+      else begin
+        ok "write_file" (S.write_file proc path content);
+        files := path :: !files
+      end
+    done;
+    if depth < spec.depth then begin
+      for _ = 1 to spec.fanout do
+        let name = fresh_name used in
+        let path = dir ^ "/" ^ name in
+        ok "mkdir" (S.mkdir proc path);
+        dirs := path :: !dirs;
+        fill path (depth + 1)
+      done
+    end
+  in
+  fill root 1;
+  { root; dirs = List.rev !dirs; files = List.rev !files; symlinks = List.rev !symlinks; spec }
+
+let flags_chars = [| ""; "S"; "RS"; "F"; "FS"; "R" |]
+
+let build_maildir proc ~root ~messages ~seed =
+  let prng = Prng.create seed in
+  List.iter (fun sub -> ok "mkdir_p" (S.mkdir_p proc (root ^ "/" ^ sub))) [ "cur"; "new"; "tmp" ];
+  let names = ref [] in
+  for i = 1 to messages do
+    let flags = Prng.choice prng flags_chars in
+    let name = Printf.sprintf "%d.%06d.host:2,%s" (1000000 + i) (Prng.int prng 1000000) flags in
+    let path = root ^ "/cur/" ^ name in
+    ok "write mail" (S.write_file proc path (Printf.sprintf "Subject: message %d\n\nbody\n" i));
+    names := name :: !names
+  done;
+  List.rev !names

@@ -1,0 +1,40 @@
+(** Synthetic file tree generators.
+
+    Deterministic (seeded) stand-ins for the paper's test corpora: a Linux
+    source tree (for find/tar/rm/make/du/git), a /usr tree from a fresh
+    debootstrap (for updatedb), and maildir mailboxes (for Dovecot). *)
+
+type spec = {
+  depth : int;  (** directory nesting below the root *)
+  fanout : int;  (** subdirectories per directory *)
+  files_per_dir : int;
+  file_size : int;  (** bytes per regular file *)
+  symlink_ratio : float;  (** fraction of files that are symlinks to peers *)
+  name_min : int;
+  name_max : int;
+  seed : int;
+}
+
+val source_tree : ?scale:float -> unit -> spec
+(** Linux-source-like shape (deep, many small files); [scale] multiplies the
+    file counts (1.0 ~ 3500 files). *)
+
+val usr_tree : ?scale:float -> unit -> spec
+(** Wider and shallower, like a fresh /usr. *)
+
+type manifest = {
+  root : string;
+  dirs : string list;  (** all directories, parents before children *)
+  files : string list;  (** regular files *)
+  symlinks : string list;
+  spec : spec;
+}
+
+val build : Dcache_syscalls.Proc.t -> root:string -> spec -> manifest
+(** Create the tree through the syscall layer.  Raises [Failure] on any
+    syscall error (generation bugs should be loud). *)
+
+val build_maildir :
+  Dcache_syscalls.Proc.t -> root:string -> messages:int -> seed:int -> string list
+(** A maildir mailbox: [root/cur] with [messages] message files whose names
+    encode flags (["<id>.host:2,<flags>"]); returns the file names. *)

@@ -1,0 +1,27 @@
+module S = Dcache_syscalls.Syscalls
+module Fs = Dcache_fs.Fs_intf
+
+let ok what = function
+  | Ok v -> v
+  | Error e ->
+    failwith (Printf.sprintf "Webserver.%s: %s" what (Dcache_types.Errno.to_string e))
+
+let setup proc ~dir ~files =
+  ok "mkdir" (S.mkdir_p proc dir);
+  for i = 1 to files do
+    ok "file" (S.write_file proc (Printf.sprintf "%s/doc%05d.html" dir i) "<html/>")
+  done
+
+let request proc ~dir =
+  let entries = ok "readdir" (S.readdir_path proc dir) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<html><body><ul>\n";
+  List.iter
+    (fun (e : Fs.dirent) ->
+      let attr = ok "stat" (S.stat proc (dir ^ "/" ^ e.Fs.name)) in
+      Buffer.add_string buf
+        (Printf.sprintf "<li><a href=\"%s\">%s</a> (%d bytes)</li>\n" e.Fs.name e.Fs.name
+           attr.Dcache_types.Attr.size))
+    entries;
+  Buffer.add_string buf "</ul></body></html>\n";
+  Buffer.length buf

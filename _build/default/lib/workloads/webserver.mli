@@ -1,0 +1,8 @@
+(** Apache-style directory-listing server model (paper Table 3): every
+    request lists a directory (readdir + stat per entry) and renders an
+    HTML index page; nothing is cached at the server level. *)
+
+val setup : Dcache_syscalls.Proc.t -> dir:string -> files:int -> unit
+
+val request : Dcache_syscalls.Proc.t -> dir:string -> int
+(** Serve one listing request; returns the generated page size in bytes. *)

@@ -1,0 +1,1 @@
+test/kit.ml: Alcotest Dcache_cred Dcache_fs Dcache_syscalls Dcache_types Dcache_vfs Errno Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+test/t_concurrency.ml: Alcotest Atomic Config Dcache_types Dcache_vfs Domain Kit List Printf Proc S String

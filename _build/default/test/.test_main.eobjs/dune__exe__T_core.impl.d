@@ -1,0 +1,1 @@
+test/t_core.ml: Alcotest Attr Config Dcache_core Dcache_cred Dcache_fs Dcache_types Dcache_vfs Errno File_kind Kernel Kit List Printf Proc S

@@ -1,0 +1,1 @@
+test/t_cred.ml: Access Alcotest Attr Config Dcache_cred Dcache_syscalls Dcache_types Errno File_kind Kit S

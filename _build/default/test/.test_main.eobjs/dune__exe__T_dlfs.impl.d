@@ -1,0 +1,1 @@
+test/t_dlfs.ml: Alcotest Dcache_fs Dcache_storage Dcache_types Dcache_util Errno File_kind Fmt List Printf String

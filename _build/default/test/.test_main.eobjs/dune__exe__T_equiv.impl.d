@@ -1,0 +1,1 @@
+test/t_equiv.ml: Access Array Attr Dcache_cred Dcache_fs Dcache_syscalls Dcache_types Dcache_vfs Errno File_kind List Printf QCheck QCheck_alcotest Result String

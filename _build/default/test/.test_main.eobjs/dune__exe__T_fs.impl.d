@@ -1,0 +1,1 @@
+test/t_fs.ml: Alcotest Array Attr Buffer Bytes Char Dcache_fs Dcache_storage Dcache_types Dcache_util Errno File_kind Fmt List Mode Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/t_netfs.ml: Alcotest Attr Config Dcache_fs Dcache_types Dcache_util Errno File_kind Int64 Kernel Kit Proc S

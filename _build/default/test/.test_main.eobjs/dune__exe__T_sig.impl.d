@@ -1,0 +1,1 @@
+test/t_sig.ml: Alcotest Char Dcache_sig Hashtbl List Printf QCheck QCheck_alcotest String

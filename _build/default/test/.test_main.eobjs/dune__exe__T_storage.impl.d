@@ -1,0 +1,1 @@
+test/t_storage.ml: Alcotest Array Bytes Char Dcache_storage Dcache_util Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/t_syscalls.ml: Access Alcotest Attr Config Cred Dcache_cred Dcache_fs Dcache_syscalls Dcache_types Dcache_util Errno Hashtbl Kit List Printf Proc S String

@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Atomic Dcache_util Dlist Domain List Prng QCheck QCheck_alcotest Rwlock Seqcount Stats String Sys Vclock

@@ -1,0 +1,1 @@
+test/t_vfs.ml: Alcotest Attr Dcache_fs Dcache_storage Dcache_types Dcache_util Dcache_vfs Errno File_kind Kernel Kit List Proc S String

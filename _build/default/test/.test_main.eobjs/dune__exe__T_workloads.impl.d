@@ -1,0 +1,1 @@
+test/t_workloads.ml: Alcotest Config Dcache_fs Dcache_types Dcache_workloads Kit List S

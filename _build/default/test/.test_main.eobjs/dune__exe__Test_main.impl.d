@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_concurrency T_core T_cred T_dlfs T_equiv T_fs T_netfs T_sig T_storage T_syscalls T_util T_vfs T_workloads

@@ -1,0 +1,85 @@
+(* Shared helpers for kernel-level tests. *)
+
+open Dcache_types
+module Kernel = Dcache_syscalls.Kernel
+module Proc = Dcache_syscalls.Proc
+module S = Dcache_syscalls.Syscalls
+module Config = Dcache_vfs.Config
+module Cred = Dcache_cred.Cred
+
+let errno = Alcotest.testable (Fmt.of_to_string Errno.to_string) ( = )
+
+let get what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected %s" what (Errno.to_string e)
+
+let expect_err expected what = function
+  | Ok _ -> Alcotest.failf "%s: expected %s, got success" what (Errno.to_string expected)
+  | Error e -> Alcotest.check errno what expected e
+
+let ram_kernel ?(config = Config.baseline) ?(lsms = []) () =
+  let fs = Dcache_fs.Ramfs.create () in
+  let kernel = Kernel.create ~config ~lsms ~root_fs:fs () in
+  (kernel, Proc.spawn kernel)
+
+let both_configs f =
+  f "baseline" Config.baseline;
+  f "optimized" Config.optimized
+
+(* A test that must hold on both kernels. *)
+let tc_both name body =
+  [
+    Alcotest.test_case (name ^ " [baseline]") `Quick (fun () -> body Config.baseline);
+    Alcotest.test_case (name ^ " [optimized]") `Quick (fun () -> body Config.optimized);
+  ]
+
+let counter kernel key =
+  try List.assoc key (Kernel.stats_snapshot kernel) with Not_found -> 0
+
+let alice () = Cred.make ~uid:1000 ~gid:1000 ()
+let bob () = Cred.make ~uid:1001 ~gid:1001 ()
+
+(* Wrap a low-level fs, counting calls per operation — used to prove that
+   cache optimizations actually elide fs work. *)
+let counting_fs fs =
+  let counts = Hashtbl.create 8 in
+  let bump name =
+    let r =
+      match Hashtbl.find_opt counts name with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.add counts name r;
+        r
+    in
+    incr r
+  in
+  let get name = match Hashtbl.find_opt counts name with Some r -> !r | None -> 0 in
+  let open Dcache_fs.Fs_intf in
+  let wrapped =
+    {
+      fs with
+      lookup =
+        (fun dir name ->
+          bump "lookup";
+          fs.lookup dir name);
+      getattr =
+        (fun ino ->
+          bump "getattr";
+          fs.getattr ino);
+      readdir =
+        (fun dir ->
+          bump "readdir";
+          fs.readdir dir);
+      create =
+        (fun dir name kind mode ~uid ~gid ->
+          bump "create";
+          fs.create dir name kind mode ~uid ~gid);
+    }
+  in
+  (wrapped, get)
+
+let contains_substring haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec at i = i + m <= n && (String.sub haystack i m = needle || at (i + 1)) in
+  m = 0 || at 0

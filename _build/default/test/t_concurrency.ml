@@ -1,0 +1,103 @@
+(* Multicore behaviour: parallel lookups racing cache-mutating operations
+   must never crash or return results inconsistent with the final state. *)
+
+open Kit
+module Dcache = Dcache_vfs.Dcache
+
+let test_parallel_stats_consistent config () =
+  let _kernel, p = ram_kernel ~config () in
+  get "tree" (S.mkdir_p p "/par/deep/dir");
+  for i = 0 to 19 do
+    get "f" (S.write_file p (Printf.sprintf "/par/deep/dir/f%d" i) (string_of_int i))
+  done;
+  let errors = Atomic.make 0 in
+  let workers =
+    List.init 6 (fun w ->
+        Domain.spawn (fun () ->
+            let wp = Proc.fork p in
+            for round = 0 to 300 do
+              let i = (round + w) mod 20 in
+              match S.stat wp (Printf.sprintf "/par/deep/dir/f%d" i) with
+              | Ok attr ->
+                if attr.Dcache_types.Attr.size <> String.length (string_of_int i) then
+                  Atomic.incr errors
+              | Error _ -> Atomic.incr errors
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no wrong results" 0 (Atomic.get errors)
+
+let test_readers_race_renames config () =
+  let kernel, p = ram_kernel ~config () in
+  get "tree" (S.mkdir_p p "/race/dir");
+  get "f" (S.write_file p "/race/dir/stable" "S");
+  get "g" (S.write_file p "/race/one" "1");
+  let stop = Atomic.make false in
+  let errors = Atomic.make 0 in
+  let readers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let rp = Proc.fork p in
+            while not (Atomic.get stop) do
+              (* [stable] never moves: it must always resolve correctly. *)
+              (match S.read_file rp "/race/dir/stable" with
+              | Ok "S" -> ()
+              | Ok _ -> Atomic.incr errors
+              | Error _ -> Atomic.incr errors);
+              (* [one]/[two] flip concurrently: either result is fine, a
+                 crash or wrong content is not. *)
+              (match S.read_file rp "/race/one" with
+              | Ok "1" | Error Dcache_types.Errno.ENOENT -> ()
+              | Ok _ -> Atomic.incr errors
+              | Error _ -> Atomic.incr errors)
+            done))
+  in
+  let mutator =
+    Domain.spawn (fun () ->
+        let mp = Proc.fork p in
+        for i = 0 to 500 do
+          let src, dst = if i mod 2 = 0 then ("/race/one", "/race/two") else ("/race/two", "/race/one") in
+          (match S.rename mp src dst with Ok () | Error _ -> ());
+          (match S.chmod mp "/race/dir" (if i mod 2 = 0 then 0o755 else 0o700) with
+          | Ok () | Error _ -> ())
+        done)
+  in
+  Domain.join mutator;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Alcotest.(check int) "no inconsistent reads" 0 (Atomic.get errors);
+  ignore kernel
+
+let test_parallel_pcc_same_cred () =
+  (* Many domains sharing one credential hammer the same PCC. *)
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "tree" (S.mkdir_p p "/shared/d");
+  get "f" (S.write_file p "/shared/d/f" "x");
+  let cred = alice () in
+  get "mode" (S.chmod p "/shared" 0o755);
+  let errors = Atomic.make 0 in
+  let workers =
+    List.init 8 (fun _ ->
+        Domain.spawn (fun () ->
+            let wp = Proc.spawn ~cred kernel in
+            for _ = 0 to 500 do
+              match S.stat wp "/shared/d/f" with
+              | Ok _ -> ()
+              | Error _ -> Atomic.incr errors
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no spurious failures" 0 (Atomic.get errors)
+
+let suite =
+  [
+    Alcotest.test_case "parallel stats [baseline]" `Slow
+      (test_parallel_stats_consistent Config.baseline);
+    Alcotest.test_case "parallel stats [optimized]" `Slow
+      (test_parallel_stats_consistent Config.optimized);
+    Alcotest.test_case "readers race renames [baseline]" `Slow
+      (test_readers_race_renames Config.baseline);
+    Alcotest.test_case "readers race renames [optimized]" `Slow
+      (test_readers_race_renames Config.optimized);
+    Alcotest.test_case "parallel PCC same cred" `Slow test_parallel_pcc_same_cred;
+  ]

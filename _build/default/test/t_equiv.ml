@@ -1,0 +1,225 @@
+(* Observational equivalence: random syscall sequences must behave
+   identically on the baseline and the optimized kernel.  This is the
+   paper's core compatibility claim — every optimization is transparent to
+   applications (§1, §4.4). *)
+
+open Dcache_types
+module Kernel = Dcache_syscalls.Kernel
+module Proc = Dcache_syscalls.Proc
+module S = Dcache_syscalls.Syscalls
+module Config = Dcache_vfs.Config
+module Cred = Dcache_cred.Cred
+
+(* Small vocabularies keep collisions (same path reused across ops) likely. *)
+let names = [| "a"; "b"; "c"; "dd"; "ee" |]
+
+type op =
+  | Mkdir of string
+  | Create of string * string
+  | Unlink of string
+  | Rmdir of string
+  | Rename of string * string
+  | Symlink of string * string
+  | Link of string * string
+  | Stat of string
+  | Lstat of string
+  | Read of string
+  | Readdir of string
+  | Chmod of string * int
+  | Chdir of string
+  | Getcwd
+  | Access of string
+  | Truncate of string * int
+  | AsUser of op
+
+let rec pp_op = function
+  | Mkdir p -> "mkdir " ^ p
+  | Create (p, data) -> Printf.sprintf "create %s %S" p data
+  | Unlink p -> "unlink " ^ p
+  | Rmdir p -> "rmdir " ^ p
+  | Rename (a, b) -> Printf.sprintf "rename %s %s" a b
+  | Symlink (t, p) -> Printf.sprintf "symlink %s -> %s" p t
+  | Link (a, b) -> Printf.sprintf "link %s %s" a b
+  | Stat p -> "stat " ^ p
+  | Lstat p -> "lstat " ^ p
+  | Read p -> "read " ^ p
+  | Readdir p -> "readdir " ^ p
+  | Chmod (p, m) -> Printf.sprintf "chmod %s %o" p m
+  | Chdir p -> "chdir " ^ p
+  | Getcwd -> "getcwd"
+  | Access p -> "access " ^ p
+  | Truncate (p, n) -> Printf.sprintf "truncate %s %d" p n
+  | AsUser op -> "as-user " ^ pp_op op
+
+let path_gen =
+  QCheck.Gen.(
+    let* depth = int_range 1 4 in
+    let* comps = list_size (return depth) (oneofl (Array.to_list names)) in
+    let* absolute = bool in
+    let* dotdot = frequency [ (9, return false); (1, return true) ] in
+    let comps = if dotdot && depth > 1 then List.mapi (fun i c -> if i = 1 then ".." else c) comps else comps in
+    return ((if absolute then "/" else "") ^ String.concat "/" comps))
+
+let op_gen =
+  QCheck.Gen.(
+    let base =
+      [
+        (3, map (fun p -> Mkdir p) path_gen);
+        (4, map2 (fun p d -> Create (p, d)) path_gen (oneofl [ "x"; "data"; "0123456789" ]));
+        (2, map (fun p -> Unlink p) path_gen);
+        (1, map (fun p -> Rmdir p) path_gen);
+        (2, map2 (fun a b -> Rename (a, b)) path_gen path_gen);
+        (1, map2 (fun t p -> Symlink (t, p)) path_gen path_gen);
+        (1, map2 (fun a b -> Link (a, b)) path_gen path_gen);
+        (6, map (fun p -> Stat p) path_gen);
+        (2, map (fun p -> Lstat p) path_gen);
+        (2, map (fun p -> Read p) path_gen);
+        (2, map (fun p -> Readdir p) path_gen);
+        (1, map2 (fun p m -> Chmod (p, m)) path_gen (oneofl [ 0o755; 0o700; 0o000; 0o644 ]));
+        (1, map (fun p -> Chdir p) path_gen);
+        (1, return Getcwd);
+        (2, map (fun p -> Access p) path_gen);
+        (1, map2 (fun p n -> Truncate (p, n)) path_gen (oneofl [ 0; 3; 100 ]));
+      ]
+    in
+    frequency ((2, map (fun op -> AsUser op) (frequency base)) :: base))
+
+let ops_arbitrary =
+  QCheck.make ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 1 60) op_gen)
+
+(* Observations are normalized results: errno name, or a digest of the
+   successful result.  Inode numbers are included — both kernels drive an
+   identical ramfs, so even inos must agree. *)
+let obs_of_attr (a : Attr.t) =
+  Printf.sprintf "ino=%d kind=%c mode=%o size=%d nlink=%d" a.Attr.ino
+    (File_kind.to_char a.Attr.kind) a.Attr.mode a.Attr.size a.Attr.nlink
+
+let obs name = function
+  | Ok v -> name ^ ":ok:" ^ v
+  | Error e -> name ^ ":" ^ Errno.to_string e
+
+let run_op root_p user_p op =
+  let rec go p = function
+    | AsUser op -> go user_p op
+    | Mkdir path -> obs "mkdir" (Result.map (fun () -> "") (S.mkdir p path))
+    | Create (path, data) -> obs "create" (Result.map (fun () -> "") (S.write_file p path data))
+    | Unlink path -> obs "unlink" (Result.map (fun () -> "") (S.unlink p path))
+    | Rmdir path -> obs "rmdir" (Result.map (fun () -> "") (S.rmdir p path))
+    | Rename (a, b) -> obs "rename" (Result.map (fun () -> "") (S.rename p a b))
+    | Symlink (t, path) -> obs "symlink" (Result.map (fun () -> "") (S.symlink p ~target:t path))
+    | Link (a, b) -> obs "link" (Result.map (fun () -> "") (S.link p a b))
+    | Stat path -> obs "stat" (Result.map obs_of_attr (S.stat p path))
+    | Lstat path -> obs "lstat" (Result.map obs_of_attr (S.lstat p path))
+    | Read path -> obs "read" (S.read_file p path)
+    | Readdir path ->
+      obs "readdir"
+        (Result.map
+           (fun entries ->
+             entries
+             |> List.map (fun e ->
+                    Printf.sprintf "%s/%d/%c" e.Dcache_fs.Fs_intf.name e.Dcache_fs.Fs_intf.ino
+                      (File_kind.to_char e.Dcache_fs.Fs_intf.kind))
+             |> List.sort compare |> String.concat ",")
+           (S.readdir_path p path))
+    | Chmod (path, mode) -> obs "chmod" (Result.map (fun () -> "") (S.chmod p path mode))
+    | Chdir path -> obs "chdir" (Result.map (fun () -> "") (S.chdir p path))
+    | Getcwd -> obs "getcwd" (S.getcwd p)
+    | Access path -> obs "access" (Result.map (fun () -> "") (S.access p path Access.may_read))
+    | Truncate (path, n) -> obs "truncate" (Result.map (fun () -> "") (S.truncate p path n))
+  in
+  go root_p op
+
+let run_trace config ops =
+  let fs = Dcache_fs.Ramfs.create () in
+  let kernel = Kernel.create ~config ~root_fs:fs () in
+  let root_p = Proc.spawn kernel in
+  let user_p = Proc.spawn ~cred:(Cred.make ~uid:1000 ~gid:1000 ()) kernel in
+  List.map (fun op -> run_op root_p user_p op) ops
+
+let equivalence_test extra_label config_b =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "baseline == %s on random syscall traces" extra_label)
+    ~count:150 ops_arbitrary
+    (fun ops ->
+      let base = run_trace Config.baseline ops in
+      let opt = run_trace config_b ops in
+      if base <> opt then begin
+        let rec first_diff i = function
+          | [], [] -> ()
+          | a :: rest_a, b :: rest_b ->
+            if a <> b then
+              QCheck.Test.fail_reportf "op %d (%s):\n  baseline: %s\n  optimized: %s" i
+                (pp_op (List.nth ops i)) a b
+            else first_diff (i + 1) (rest_a, rest_b)
+          | _ -> QCheck.Test.fail_reportf "trace length mismatch"
+        in
+        first_diff 0 (base, opt)
+      end;
+      true)
+
+(* Re-running the same trace twice on one optimized kernel must agree with a
+   fresh kernel on the second run's reads: cached state never goes stale. *)
+let idempotence_test =
+  QCheck.Test.make ~name:"optimized kernel: warm rerun of reads is stable" ~count:75
+    ops_arbitrary
+    (fun ops ->
+      let fs = Dcache_fs.Ramfs.create () in
+      let kernel = Kernel.create ~config:Config.optimized ~root_fs:fs () in
+      let root_p = Proc.spawn kernel in
+      let user_p = Proc.spawn ~cred:(Cred.make ~uid:1000 ~gid:1000 ()) kernel in
+      ignore (List.map (fun op -> run_op root_p user_p op) ops);
+      (* Now query state twice; the second (all-cached) pass must agree. *)
+      let queries =
+        List.filter_map
+          (function
+            | Stat _ | Lstat _ | Read _ | Readdir _ -> None
+            | Mkdir p | Create (p, _) | Unlink p | Rmdir p | Rename (_, p)
+            | Symlink (_, p) | Link (_, p) | Chmod (p, _) | Truncate (p, _) ->
+              Some [ Stat p; Lstat p; Read p; Readdir p ]
+            | Chdir _ | Getcwd | Access _ | AsUser _ -> None)
+          ops
+        |> List.concat
+      in
+      let pass () = List.map (fun op -> run_op root_p user_p op) queries in
+      let cold = pass () in
+      let warm = pass () in
+      cold = warm)
+
+(* Structural invariants hold after any operation sequence, on every
+   configuration, including under eviction pressure. *)
+let invariants_test name config =
+  QCheck.Test.make ~name ~count:100 ops_arbitrary (fun ops ->
+      let fs = Dcache_fs.Ramfs.create () in
+      let kernel = Kernel.create ~config ~root_fs:fs () in
+      let root_p = Proc.spawn kernel in
+      let user_p = Proc.spawn ~cred:(Cred.make ~uid:1000 ~gid:1000 ()) kernel in
+      ignore (List.map (fun op -> run_op root_p user_p op) ops);
+      match Dcache_vfs.Dcache.self_check (Kernel.dcache kernel) with
+      | [] -> true
+      | problems ->
+        QCheck.Test.fail_reportf "invariants violated:\n%s" (String.concat "\n" problems))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest (equivalence_test "optimized" Config.optimized);
+    QCheck_alcotest.to_alcotest
+      (equivalence_test "optimized(lexical-dotdot disabled ablations)"
+         {
+           Config.optimized with
+           Config.dir_completeness = false;
+           deep_negative = false;
+           symlink_aliases = false;
+         });
+    QCheck_alcotest.to_alcotest
+      (equivalence_test "fastpath-only" { Config.baseline with Config.fastpath = true });
+    QCheck_alcotest.to_alcotest
+      (equivalence_test "tiny-cache eviction"
+         { Config.optimized with Config.max_dentries = 16 });
+    QCheck_alcotest.to_alcotest idempotence_test;
+    QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [baseline]" Config.baseline);
+    QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [optimized]" Config.optimized);
+    QCheck_alcotest.to_alcotest
+      (invariants_test "dcache invariants [tiny cache]"
+         { Config.optimized with Config.max_dentries = 12 });
+  ]

@@ -1,0 +1,124 @@
+(* Network file system semantics (paper §4.3): stateless clients revalidate
+   every cached component (nullifying direct lookup); stateful clients trust
+   the cache and rely on callbacks. *)
+
+open Dcache_types
+open Kit
+module Netfs = Dcache_fs.Netfs
+module Vclock = Dcache_util.Vclock
+
+let make ~protocol config =
+  let clock = Vclock.create () in
+  let backing = Dcache_fs.Ramfs.create () in
+  let server = Netfs.server ~rpc_latency_ns:1000 ~clock backing in
+  let kernel = Kernel.create ~config ~root_fs:(Netfs.client ~protocol server) () in
+  (kernel, Proc.spawn kernel, server, backing, clock)
+
+let populate p =
+  get "tree" (S.mkdir_p p "/export/data");
+  get "file" (S.write_file p "/export/data/file" "remote contents")
+
+let test_basic_ops protocol config () =
+  let _, p, server, _, _ = make ~protocol config in
+  populate p;
+  Alcotest.(check string) "read over the wire" "remote contents"
+    (get "read" (S.read_file p "/export/data/file"));
+  get "rename" (S.rename p "/export/data/file" "/export/data/moved");
+  expect_err Errno.ENOENT "old gone" (S.stat p "/export/data/file");
+  ignore (get "new" (S.stat p "/export/data/moved"));
+  Alcotest.(check bool) "rpcs happened" true (Netfs.rpc_count server > 0)
+
+let test_stateless_revalidates_every_hit () =
+  let kernel, p, server, _, _ = make ~protocol:Netfs.Stateless Config.optimized in
+  populate p;
+  ignore (get "warm" (S.stat p "/export/data/file"));
+  Netfs.reset_rpc_count server;
+  Kernel.reset_stats kernel;
+  for _ = 1 to 10 do
+    ignore (get "hot" (S.stat p "/export/data/file"))
+  done;
+  (* Three cached components, each revalidated per lookup: >= 30 RPCs. *)
+  Alcotest.(check bool) "per-component RPCs" true (Netfs.rpc_count server >= 30);
+  (* And the fastpath never engages (§4.3). *)
+  Alcotest.(check int) "no direct lookups" 0 (counter kernel "fastpath_hit")
+
+let test_stateful_trusts_cache () =
+  let kernel, p, server, _, _ = make ~protocol:Netfs.Stateful Config.optimized in
+  populate p;
+  ignore (get "warm" (S.stat p "/export/data/file"));
+  Netfs.reset_rpc_count server;
+  Kernel.reset_stats kernel;
+  for _ = 1 to 10 do
+    ignore (get "hot" (S.stat p "/export/data/file"))
+  done;
+  Alcotest.(check int) "zero RPCs when warm" 0 (Netfs.rpc_count server);
+  Alcotest.(check int) "all on the fastpath" 10 (counter kernel "fastpath_hit")
+
+let test_stateless_sees_external_changes () =
+  let _, p, server, backing, _ = make ~protocol:Netfs.Stateless Config.baseline in
+  populate p;
+  Alcotest.(check string) "before" "remote contents"
+    (get "read" (S.read_file p "/export/data/file"));
+  (* Another client rewrites the file directly on the server. *)
+  let attr = get "server lookup" (backing.Dcache_fs.Fs_intf.getattr 1) in
+  ignore attr;
+  let dir =
+    get "lookup export" (backing.Dcache_fs.Fs_intf.lookup backing.Dcache_fs.Fs_intf.root_ino "export")
+  in
+  let data = get "lookup data" (backing.Dcache_fs.Fs_intf.lookup dir.Attr.ino "data") in
+  get "server unlink" (backing.Dcache_fs.Fs_intf.unlink data.Attr.ino "file");
+  ignore (get "server create"
+      (backing.Dcache_fs.Fs_intf.create data.Attr.ino "file" File_kind.Regular 0o644 ~uid:0 ~gid:0));
+  Netfs.bump_generation server data.Attr.ino;
+  (* Revalidation notices the stale dentry and refetches. *)
+  let fresh = get "after" (S.stat p "/export/data/file") in
+  Alcotest.(check int) "sees the replacement (new size)" 0 fresh.Attr.size
+
+let test_stateful_callback_invalidates () =
+  let _, p, server, backing, _ = make ~protocol:Netfs.Stateful Config.optimized in
+  populate p;
+  ignore (get "warm" (S.stat p "/export/data/file"));
+  (* Wire the callback channel to the kernel's invalidation.  A directory
+     callback must drop the directory's cached subtree (including its
+     completeness): its contents changed on the server. *)
+  (Netfs.callbacks server).Netfs.on_break <-
+    (fun _ino -> get "cb" (S.invalidate_path p "/export/data"));
+  (* External replacement + callback. *)
+  let dir =
+    get "lookup export" (backing.Dcache_fs.Fs_intf.lookup backing.Dcache_fs.Fs_intf.root_ino "export")
+  in
+  let data = get "lookup data" (backing.Dcache_fs.Fs_intf.lookup dir.Attr.ino "data") in
+  get "server unlink" (backing.Dcache_fs.Fs_intf.unlink data.Attr.ino "file");
+  ignore (get "server create"
+      (backing.Dcache_fs.Fs_intf.create data.Attr.ino "bigger" File_kind.Regular 0o644 ~uid:0 ~gid:0));
+  Netfs.break_callback server data.Attr.ino;
+  (* The stale path is gone; the new name is visible. *)
+  expect_err Errno.ENOENT "old invalidated" (S.stat p "/export/data/file");
+  ignore (get "new visible" (S.stat p "/export/data/bigger"))
+
+let test_rpc_latency_charged () =
+  let _, p, server, _, clock = make ~protocol:Netfs.Stateless Config.baseline in
+  populate p;
+  let v0 = Vclock.elapsed_ns clock in
+  ignore (get "stat" (S.stat p "/export/data/file"));
+  let delta = Int64.sub (Vclock.elapsed_ns clock) v0 in
+  ignore server;
+  Alcotest.(check bool) "virtual RPC time accrued" true (delta >= 1000L)
+
+let suite =
+  [
+    Alcotest.test_case "stateless basic ops [baseline]" `Quick
+      (test_basic_ops Netfs.Stateless Config.baseline);
+    Alcotest.test_case "stateless basic ops [optimized]" `Quick
+      (test_basic_ops Netfs.Stateless Config.optimized);
+    Alcotest.test_case "stateful basic ops [optimized]" `Quick
+      (test_basic_ops Netfs.Stateful Config.optimized);
+    Alcotest.test_case "stateless revalidates every hit" `Quick
+      test_stateless_revalidates_every_hit;
+    Alcotest.test_case "stateful trusts the cache" `Quick test_stateful_trusts_cache;
+    Alcotest.test_case "stateless sees external changes" `Quick
+      test_stateless_sees_external_changes;
+    Alcotest.test_case "stateful callback invalidates" `Quick
+      test_stateful_callback_invalidates;
+    Alcotest.test_case "rpc latency charged" `Quick test_rpc_latency_charged;
+  ]

@@ -1,0 +1,214 @@
+(* Tests for dcache_util: PRNG, intrusive lists, stats, locks, clocks. *)
+
+open Dcache_util
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next64 a) (Prng.next64 b)
+  done
+
+let test_prng_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done;
+  for _ = 1 to 1_000 do
+    let x = Prng.int_in g (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (x >= -5 && x <= 5);
+    let f = Prng.float g 2.0 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_prng_string () =
+  let g = Prng.create 3 in
+  for _ = 1 to 200 do
+    let s = Prng.string g ~min_len:2 ~max_len:9 in
+    Alcotest.(check bool) "len" true (String.length s >= 2 && String.length s <= 9)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 99 in
+  let h = Prng.split g in
+  let a = Prng.next64 g and b = Prng.next64 h in
+  Alcotest.(check bool) "diverge" true (a <> b)
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create 5 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_dlist_push_pop () =
+  let l = Dlist.create () in
+  let n1 = Dlist.node 1 and n2 = Dlist.node 2 and n3 = Dlist.node 3 in
+  Dlist.push_back l n1;
+  Dlist.push_back l n2;
+  Dlist.push_front l n3;
+  Alcotest.(check (list int)) "order" [ 3; 1; 2 ] (Dlist.to_list l);
+  Alcotest.(check int) "length" 3 (Dlist.length l);
+  (match Dlist.pop_front l with
+  | Some n -> Alcotest.(check int) "front" 3 (Dlist.value n)
+  | None -> Alcotest.fail "empty");
+  (match Dlist.pop_back l with
+  | Some n -> Alcotest.(check int) "back" 2 (Dlist.value n)
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "length after" 1 (Dlist.length l)
+
+let test_dlist_remove_middle () =
+  let l = Dlist.create () in
+  let nodes = List.init 5 Dlist.node in
+  List.iter (Dlist.push_back l) nodes;
+  Dlist.remove l (List.nth nodes 2);
+  Alcotest.(check (list int)) "removed middle" [ 0; 1; 3; 4 ] (Dlist.to_list l);
+  Alcotest.(check bool) "unlinked" false (Dlist.linked (List.nth nodes 2));
+  (* removing a detached node is a no-op *)
+  Dlist.remove l (List.nth nodes 2);
+  Alcotest.(check int) "len" 4 (Dlist.length l)
+
+let test_dlist_move_to_front () =
+  let l = Dlist.create () in
+  let nodes = List.init 4 Dlist.node in
+  List.iter (Dlist.push_back l) nodes;
+  Dlist.move_to_front l (List.nth nodes 3);
+  Alcotest.(check (list int)) "moved" [ 3; 0; 1; 2 ] (Dlist.to_list l);
+  let fresh = Dlist.node 9 in
+  Dlist.move_to_front l fresh;
+  Alcotest.(check (list int)) "inserted" [ 9; 3; 0; 1; 2 ] (Dlist.to_list l)
+
+let test_dlist_iter_remove_current () =
+  let l = Dlist.create () in
+  let nodes = List.init 6 Dlist.node in
+  List.iter (Dlist.push_back l) nodes;
+  (* Remove even values while iterating. *)
+  Dlist.iter (fun v -> if v mod 2 = 0 then Dlist.remove l (List.nth nodes v)) l;
+  Alcotest.(check (list int)) "odds left" [ 1; 3; 5 ] (Dlist.to_list l)
+
+let dlist_model_test =
+  QCheck.Test.make ~name:"dlist behaves like a deque model" ~count:300
+    QCheck.(list (pair bool small_nat))
+    (fun ops ->
+      let l = Dlist.create () in
+      let model = ref [] in
+      List.iter
+        (fun (front, v) ->
+          let n = Dlist.node v in
+          if front then begin
+            Dlist.push_front l n;
+            model := v :: !model
+          end
+          else begin
+            Dlist.push_back l n;
+            model := !model @ [ v ]
+          end)
+        ops;
+      Dlist.to_list l = !model && Dlist.length l = List.length !model)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.max;
+  Alcotest.(check int) "n" 5 s.Stats.n;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) s.Stats.stddev
+
+let test_stats_median_percentile () =
+  Alcotest.(check (float 1e-9)) "odd median" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "even median" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  let samples = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile samples 50.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Stats.percentile samples 99.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile samples 100.0)
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "a";
+  Stats.Counter.incr c "a";
+  Stats.Counter.add c "b" 5;
+  Alcotest.(check int) "a" 2 (Stats.Counter.get c "a");
+  Alcotest.(check int) "b" 5 (Stats.Counter.get c "b");
+  Alcotest.(check int) "missing" 0 (Stats.Counter.get c "zzz");
+  Alcotest.(check (list (pair string int))) "assoc" [ ("a", 2); ("b", 5) ]
+    (Stats.Counter.to_assoc c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.get c "a")
+
+let test_vclock () =
+  let v = Vclock.create () in
+  Vclock.charge v 100L;
+  Vclock.charge v 50L;
+  Alcotest.(check int64) "sum" 150L (Vclock.elapsed_ns v);
+  Vclock.reset v;
+  Alcotest.(check int64) "reset" 0L (Vclock.elapsed_ns v)
+
+let test_seqcount () =
+  let s = Seqcount.create () in
+  let snap = Seqcount.read_begin s in
+  Alcotest.(check bool) "valid" true (Seqcount.read_validate s snap);
+  Seqcount.bump s;
+  Alcotest.(check bool) "invalid after bump" false (Seqcount.read_validate s snap);
+  Seqcount.write_begin s;
+  let mid = Seqcount.read_begin s in
+  Alcotest.(check bool) "odd snapshot invalid" false (Seqcount.read_validate s mid);
+  Seqcount.write_end s
+
+let test_rwlock_mutual_exclusion () =
+  let lock = Rwlock.create () in
+  let counter = ref 0 in
+  let writers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Rwlock.with_write lock (fun () ->
+                  let v = !counter in
+                  counter := v + 1)
+            done))
+  in
+  List.iter Domain.join writers;
+  Alcotest.(check int) "no lost updates" 4000 !counter
+
+let test_rwlock_readers_concurrent () =
+  let lock = Rwlock.create () in
+  let running = Atomic.make 0 in
+  let peak = Atomic.make 0 in
+  let readers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 200 do
+              Rwlock.with_read lock (fun () ->
+                  let n = 1 + Atomic.fetch_and_add running 1 in
+                  let rec bump () =
+                    let p = Atomic.get peak in
+                    if n > p && not (Atomic.compare_and_set peak p n) then bump ()
+                  in
+                  bump ();
+                  ignore (Sys.opaque_identity (ref 0));
+                  ignore (Atomic.fetch_and_add running (-1)))
+            done))
+  in
+  List.iter Domain.join readers;
+  Alcotest.(check bool) "readers overlapped" true (Atomic.get peak >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng string lengths" `Quick test_prng_string;
+    Alcotest.test_case "prng split independent" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng shuffle permutation" `Quick test_prng_shuffle_permutation;
+    Alcotest.test_case "dlist push/pop" `Quick test_dlist_push_pop;
+    Alcotest.test_case "dlist remove middle" `Quick test_dlist_remove_middle;
+    Alcotest.test_case "dlist move_to_front" `Quick test_dlist_move_to_front;
+    Alcotest.test_case "dlist iter removing" `Quick test_dlist_iter_remove_current;
+    QCheck_alcotest.to_alcotest dlist_model_test;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats median/percentile" `Quick test_stats_median_percentile;
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "vclock" `Quick test_vclock;
+    Alcotest.test_case "seqcount" `Quick test_seqcount;
+    Alcotest.test_case "rwlock writers exclude" `Quick test_rwlock_mutual_exclusion;
+    Alcotest.test_case "rwlock readers concurrent" `Quick test_rwlock_readers_concurrent;
+  ]

@@ -1,0 +1,192 @@
+(* Workload generators: determinism, cross-kernel agreement, and the
+   supporting environments. *)
+
+open Kit
+module W = Dcache_workloads
+module Fs = Dcache_fs.Fs_intf
+
+let test_tree_gen_deterministic () =
+  let build () =
+    let _, p = ram_kernel () in
+    W.Tree_gen.build p ~root:"/src" (W.Tree_gen.source_tree ~scale:0.3 ())
+  in
+  let a = build () and b = build () in
+  Alcotest.(check (list string)) "same files" a.W.Tree_gen.files b.W.Tree_gen.files;
+  Alcotest.(check (list string)) "same dirs" a.W.Tree_gen.dirs b.W.Tree_gen.dirs;
+  Alcotest.(check bool) "non-trivial" true (List.length a.W.Tree_gen.files > 50)
+
+let with_both_kernels f =
+  let run config =
+    let env = W.Env.ram config in
+    let m = W.Tree_gen.build env.W.Env.proc ~root:"/src" (W.Tree_gen.source_tree ~scale:0.3 ()) in
+    f env m
+  in
+  (run Config.baseline, run Config.optimized)
+
+let test_find_agrees () =
+  let a, b = with_both_kernels (fun env m ->
+      ignore m;
+      W.Apps.find env.W.Env.proc ~root:"/src" ~pattern:"a")
+  in
+  Alcotest.(check int) "examined" a.W.Apps.examined b.W.Apps.examined;
+  Alcotest.(check int) "matched" a.W.Apps.matched b.W.Apps.matched;
+  Alcotest.(check bool) "non-empty" true (a.W.Apps.examined > 0)
+
+let test_du_agrees () =
+  let a, b = with_both_kernels (fun env _ -> W.Apps.du env.W.Env.proc ~root:"/src") in
+  Alcotest.(check int) "bytes" a.W.Apps.bytes b.W.Apps.bytes
+
+let test_updatedb_agrees () =
+  let a, b =
+    with_both_kernels (fun env _ ->
+        W.Apps.updatedb env.W.Env.proc ~root:"/src" ~output:"/db.txt")
+  in
+  Alcotest.(check int) "entries" a.W.Apps.examined b.W.Apps.examined;
+  Alcotest.(check int) "db size" a.W.Apps.bytes b.W.Apps.bytes
+
+let test_tar_then_rm_roundtrip () =
+  let env = W.Env.ram Config.optimized in
+  let p = env.W.Env.proc in
+  let m = W.Tree_gen.build p ~root:"/src" (W.Tree_gen.source_tree ~scale:0.2 ()) in
+  let extracted = W.Apps.tar_extract p ~manifest:m ~dst:"/dst" in
+  Alcotest.(check int) "all entries extracted"
+    (List.length m.W.Tree_gen.dirs + List.length m.W.Tree_gen.files
+    + List.length m.W.Tree_gen.symlinks)
+    extracted.W.Apps.examined;
+  let du_src = W.Apps.du p ~root:"/src" in
+  let du_dst = W.Apps.du p ~root:"/dst" in
+  Alcotest.(check int) "same entry count" du_src.W.Apps.examined du_dst.W.Apps.examined;
+  let removed = W.Apps.rm_rf p ~root:"/dst" in
+  Alcotest.(check int) "all removed" du_dst.W.Apps.examined removed.W.Apps.examined;
+  Kit.expect_err Dcache_types.Errno.ENOENT "gone" (S.stat p "/dst")
+
+let test_make_produces_objects_and_negatives () =
+  let env = W.Env.ram Config.baseline in
+  let p = env.W.Env.proc in
+  let m = W.Tree_gen.build p ~root:"/src" (W.Tree_gen.source_tree ~scale:0.2 ()) in
+  let menv = W.Apps.make_setup p ~root:"/src" ~headers:20 ~seed:5 in
+  W.Env.reset_measurement env;
+  let c = W.Apps.make p ~manifest:m ~env:menv ~headers_per_file:6 ~seed:9 in
+  Alcotest.(check int) "compiled all" (List.length m.W.Tree_gen.files) c.W.Apps.examined;
+  (* Every compile searched empty include dirs first: negative traffic. *)
+  Alcotest.(check bool) "negative lookups happened" true
+    (counter env.W.Env.kernel "walk_negative_hit" + counter env.W.Env.kernel "negative_created" > 0);
+  let objs = get "objs" (S.readdir_path p "/src/obj") in
+  Alcotest.(check int) "object files" (List.length m.W.Tree_gen.files) (List.length objs)
+
+let test_make_parallel_matches_serial () =
+  let run jobs =
+    let env = W.Env.ram Config.optimized in
+    let p = env.W.Env.proc in
+    let m = W.Tree_gen.build p ~root:"/src" (W.Tree_gen.source_tree ~scale:0.2 ()) in
+    let menv = W.Apps.make_setup p ~root:"/src" ~headers:10 ~seed:5 in
+    (if jobs = 1 then ignore (W.Apps.make p ~manifest:m ~env:menv ~headers_per_file:4 ~seed:9)
+     else ignore (W.Apps.make_parallel p ~manifest:m ~env:menv ~headers_per_file:4 ~seed:9 ~jobs));
+    List.length (get "objs" (S.readdir_path p "/src/obj"))
+  in
+  Alcotest.(check int) "same object count" (run 1) (run 4)
+
+let test_git_status_and_diff () =
+  let env = W.Env.ram Config.optimized in
+  let p = env.W.Env.proc in
+  let m = W.Tree_gen.build p ~root:"/src" (W.Tree_gen.source_tree ~scale:0.2 ()) in
+  W.Apps.git_setup p ~manifest:m;
+  let st = W.Apps.git_status p ~manifest:m in
+  Alcotest.(check int) "tracks all files" (List.length m.W.Tree_gen.files) st.W.Apps.examined;
+  let diff = W.Apps.git_diff p ~manifest:m in
+  Alcotest.(check bool) "diff read some content" true (diff.W.Apps.bytes >= st.W.Apps.bytes)
+
+let test_maildir_ops () =
+  let env = W.Env.ram Config.optimized in
+  let p = env.W.Env.proc in
+  let mbox = W.Maildir.setup p ~root:"/mail/inbox" ~messages:50 ~seed:3 in
+  Alcotest.(check int) "messages" 50 (W.Maildir.message_count mbox);
+  let scanned = W.Maildir.run_ops p mbox ~ops:20 ~seed:4 in
+  Alcotest.(check int) "every op rescans the mailbox" (20 * 50) scanned;
+  W.Maildir.deliver p mbox ~n:5;
+  Alcotest.(check int) "delivered" 55 (W.Maildir.message_count mbox);
+  let listing = get "cur" (S.readdir_path p "/mail/inbox/cur") in
+  Alcotest.(check int) "cur/ contents" 55 (List.length listing)
+
+let test_webserver_request () =
+  let env = W.Env.ram Config.optimized in
+  let p = env.W.Env.proc in
+  W.Webserver.setup p ~dir:"/www" ~files:25;
+  let size1 = W.Webserver.request p ~dir:"/www" in
+  let size2 = W.Webserver.request p ~dir:"/www" in
+  Alcotest.(check int) "deterministic page" size1 size2;
+  Alcotest.(check bool) "lists all files" true (size1 > 25 * 20)
+
+let test_lmbench_patterns_all_resolve () =
+  List.iter
+    (fun config ->
+      let env = W.Env.ram config in
+      let p = env.W.Env.proc in
+      W.Lmbench.setup p;
+      List.iter
+        (fun pattern ->
+          (* measure_ validates expected outcomes internally. *)
+          ignore (W.Lmbench.measure_stat p pattern ~iters:3);
+          ignore (W.Lmbench.measure_open p pattern ~iters:3))
+        W.Lmbench.patterns)
+    [ Config.baseline; Config.optimized ]
+
+let test_disk_env_cold_cache_costs_io () =
+  let env = W.Env.disk Config.optimized in
+  let p = env.W.Env.proc in
+  ignore (W.Tree_gen.build p ~root:"/t" (W.Tree_gen.source_tree ~scale:0.1 ()));
+  (* Warm: no device time. *)
+  let warm = W.Runner.run env (fun () -> ignore (W.Apps.du p ~root:"/t")) in
+  Alcotest.(check int64) "warm run has no disk time" 0L warm.W.Runner.virt_ns;
+  (* Cold: dropped caches force reads with simulated seek latency. *)
+  W.Env.drop_caches env;
+  let cold = W.Runner.run env (fun () -> ignore (W.Apps.du p ~root:"/t")) in
+  Alcotest.(check bool) "cold run pays for the disk" true (cold.W.Runner.virt_ns > 1_000_000L)
+
+let test_trace_deterministic_and_equivalent () =
+  let build config =
+    let env = W.Env.ram config in
+    let p = env.W.Env.proc in
+    let m = W.Tree_gen.build p ~root:"/src" (W.Tree_gen.source_tree ~scale:0.3 ()) in
+    (p, m)
+  in
+  let p1, m1 = build Config.baseline in
+  let p2, m2 = build Config.optimized in
+  let t1 = W.Trace.generate ~manifest:m1 ~mix:W.Trace.metadata_heavy ~events:2000 ~locality:0.5 ~seed:9 in
+  let t2 = W.Trace.generate ~manifest:m2 ~mix:W.Trace.metadata_heavy ~events:2000 ~locality:0.5 ~seed:9 in
+  Alcotest.(check bool) "same trace from same seed" true (t1.W.Trace.events = t2.W.Trace.events);
+  let o1 = W.Trace.replay p1 t1 in
+  let o2 = W.Trace.replay p2 t2 in
+  Alcotest.(check int) "same successes" o1.W.Trace.ok o2.W.Trace.ok;
+  Alcotest.(check int) "same errors" o1.W.Trace.errors o2.W.Trace.errors;
+  Alcotest.(check bool) "some mutations failed benignly or succeeded" true
+    (o1.W.Trace.ok > 0)
+
+let test_trace_lookup_fraction () =
+  let env = W.Env.ram Config.baseline in
+  let p = env.W.Env.proc in
+  let m = W.Tree_gen.build p ~root:"/src" (W.Tree_gen.source_tree ~scale:0.2 ()) in
+  let t = W.Trace.generate ~manifest:m ~mix:W.Trace.ibench_like ~events:5000 ~locality:0.3 ~seed:4 in
+  let frac = float_of_int t.W.Trace.lookups /. 5000.0 in
+  (* the paper's iBench observation: 10-20% of syscalls do a path lookup *)
+  Alcotest.(check bool) "10-20% lookups" true (frac > 0.08 && frac < 0.25)
+
+let suite =
+  [
+    Alcotest.test_case "tree_gen deterministic" `Quick test_tree_gen_deterministic;
+    Alcotest.test_case "find agrees across kernels" `Quick test_find_agrees;
+    Alcotest.test_case "du agrees across kernels" `Quick test_du_agrees;
+    Alcotest.test_case "updatedb agrees across kernels" `Quick test_updatedb_agrees;
+    Alcotest.test_case "tar extract / rm -r roundtrip" `Quick test_tar_then_rm_roundtrip;
+    Alcotest.test_case "make produces objects + negatives" `Quick
+      test_make_produces_objects_and_negatives;
+    Alcotest.test_case "make -j matches serial" `Slow test_make_parallel_matches_serial;
+    Alcotest.test_case "git status/diff" `Quick test_git_status_and_diff;
+    Alcotest.test_case "maildir operations" `Quick test_maildir_ops;
+    Alcotest.test_case "webserver request" `Quick test_webserver_request;
+    Alcotest.test_case "lmbench patterns resolve" `Quick test_lmbench_patterns_all_resolve;
+    Alcotest.test_case "disk env: cold cache pays IO" `Quick test_disk_env_cold_cache_costs_io;
+    Alcotest.test_case "trace: deterministic + kernel-equivalent" `Quick
+      test_trace_deterministic_and_equivalent;
+    Alcotest.test_case "trace: ibench lookup fraction" `Quick test_trace_lookup_fraction;
+  ]
