@@ -2,7 +2,7 @@
    evaluation (§6).  Run with no arguments for all experiments at quick
    scale, `--full` for paper-scale parameters, or name experiment ids
    (fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 tab1 tab2 tab3 tab4 ablation
-   bechamel) to run a subset.  See DESIGN.md for the experiment index. *)
+   bechamel alloc) to run a subset.  See DESIGN.md for the experiment index. *)
 
 module W = Dcache_workloads
 module Kernel = Dcache_syscalls.Kernel
@@ -994,6 +994,90 @@ let bechamel () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* GC-aware allocation measurement                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Top-level so the probe loop passes a statically-allocated closure. *)
+let alloc_within _mnt _dentry = Ok ()
+
+let alloc () =
+  header "Allocation per lookup (Gc.minor_words delta over warm loops)";
+  let iters = if !quick then 20_000 else 100_000 in
+  let make_env config =
+    let env = W.Env.ram config in
+    W.Lmbench.setup env.W.Env.proc;
+    env
+  in
+  let env_base = make_env Config.baseline in
+  let env_opt = make_env Config.optimized in
+  let line label words ns = row "%-44s %9.2f words/op %9.1f ns/op\n" label words ns in
+  let syscall_line label (env : W.Env.t) path =
+    let p = env.W.Env.proc in
+    let f () = ignore (S.stat p path) in
+    f ();
+    (* warm the caches before either measurement *)
+    line label (Stats.minor_words_per_op ~iters f) (latency_ns f)
+  in
+  subheader "stat() - syscall layer, warm caches";
+  List.iter
+    (fun (label, env) ->
+      syscall_line (label ^ " 1comp") env "FFF";
+      syscall_line (label ^ " 8comp") env "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF";
+      syscall_line (label ^ " negative") env "XXX/YYY/ZZZ/NNN")
+    [ ("baseline", env_base); ("optimized", env_opt) ];
+
+  subheader "fastpath probe - Fastpath.lookup_into, warm DLHT hit (expect 0 words)";
+  let fp = Kernel.fastpath env_opt.W.Env.kernel in
+  (* The ctx is built once: per-call construction is the caller's cost, not
+     the probe's (Proc.walk_ctx allocates a record). *)
+  let ctx = Proc.walk_ctx env_opt.W.Env.proc in
+  List.iter
+    (fun (label, path) ->
+      let f () =
+        ignore (Dcache_core.Fastpath.lookup_into fp ctx path ~within:alloc_within)
+      in
+      f ();
+      line label (Stats.minor_words_per_op ~iters f) (latency_ns f))
+    [
+      ("probe 1comp", "FFF");
+      ("probe 8comp", "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF");
+      ("probe negative", "XXX/YYY/ZZZ/NNN");
+    ];
+
+  subheader "path hashing - in-place scanner vs Path.split + feed_string";
+  let key = Signature.create_key ~seed:Config.optimized.Config.hash_seed () in
+  let ms = Signature.mstate () in
+  let buf = Signature.buf () in
+  let path = "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF" in
+  let inplace () =
+    Signature.mstate_reset ms;
+    ignore
+      (Signature.hash_path_into key ms ~max_name:Dcache_vfs.Path.max_name path ~pos:0);
+    Signature.finalize_into key ms buf
+  in
+  let listed () =
+    match Dcache_vfs.Path.split path with
+    | Error _ -> ()
+    | Ok comps ->
+      let state =
+        List.fold_left
+          (fun st comp ->
+            match comp with
+            | Dcache_vfs.Path.Cur | Dcache_vfs.Path.Up -> st
+            | Dcache_vfs.Path.Name name ->
+              Signature.feed_string key (Signature.feed_char key st '/') name)
+          Signature.empty_state comps
+      in
+      ignore (Signature.finalize key state)
+  in
+  inplace ();
+  listed ();
+  line "in-place hash_path_into (8 comps)" (Stats.minor_words_per_op ~iters inplace)
+    (latency_ns inplace);
+  line "Path.split + feed_string (8 comps)" (Stats.minor_words_per_op ~iters listed)
+    (latency_ns listed)
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1002,6 +1086,7 @@ let experiments =
     ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("tab1", tab1); ("tab2", tab2);
     ("tab3", tab3); ("tab4", tab4); ("ablation", ablation); ("bechamel", bechamel);
+    ("alloc", alloc);
   ]
 
 let () =

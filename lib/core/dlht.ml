@@ -1,32 +1,68 @@
 open Dcache_vfs.Types
 module Signature = Dcache_sig.Signature
 
-type t = { buckets : dentry list array; ns : namespace; mutable count : int }
+(* Buckets are intrusive singly-headed doubly-linked chains threaded through
+   the dentries themselves ([d_dlht_next] / [d_dlht_prev]): insert and remove
+   are O(1) pointer splices with no per-entry cons cells, so table churn
+   (renames, mount-alias re-signatures, evictions) never allocates.  The
+   chain fields can live on the dentry because a dentry is in at most one
+   DLHT at a time (§4.3).
+
+   Invariant relied on by head removal: while a dentry is in the table its
+   [d_sig] holds the signature it was inserted under (membership is removed
+   before the signature changes — Dcache.detach/shootdown ordering), so the
+   owning bucket is always recomputable. *)
+
+type t = {
+  buckets : dentry option array;
+  mask : int;  (** [Array.length buckets - 1]; length is a power of two *)
+  ns : namespace;
+  mutable count : int;
+}
+
 type ns_ext += Dlht_ext of t
 
 let of_namespace ~buckets ns =
   match ns.ns_ext with
   | Some (Dlht_ext t) -> t
   | Some _ | None ->
-    let t = { buckets = Array.make buckets []; ns; count = 0 } in
+    if buckets <= 0 || buckets land (buckets - 1) <> 0 then
+      invalid_arg "Dlht.of_namespace: bucket count must be a positive power of two";
+    let t = { buckets = Array.make buckets None; mask = buckets - 1; ns; count = 0 } in
     ns.ns_ext <- Some (Dlht_ext t);
     t
 
-let bucket_of t signature = Signature.bucket signature land (Array.length t.buckets - 1)
+let bucket_of t signature = Signature.bucket signature land t.mask
 
 let remove_from t d =
-  match d.d_sig with
-  | None ->
-    (* Signature already cleared: fall back to scanning every bucket is far
-       too slow, but this situation cannot arise — membership is always
-       removed before the signature is cleared (Dcache.detach ordering). *)
-    ()
-  | Some signature ->
-    let idx = bucket_of t signature in
-    let before = t.buckets.(idx) in
-    let after = List.filter (fun other -> not (other == d)) before in
-    if List.length after < List.length before then t.count <- t.count - 1;
-    t.buckets.(idx) <- after
+  let next = d.d_dlht_next in
+  let prev = d.d_dlht_prev in
+  (match prev with
+  | Some p -> p.d_dlht_next <- next
+  | None -> (
+    (* Head of its bucket: recompute the slot from the signature (stable
+       while the dentry is in the table; see invariant above). *)
+    match d.d_sig with
+    | Some signature -> t.buckets.(bucket_of t signature) <- next
+    | None ->
+      (* Defensive only — the detach ordering makes this unreachable.  Find
+         the slot by identity so [count] stays exact even if the invariant
+         is ever broken. *)
+      let n = Array.length t.buckets in
+      let i = ref 0 in
+      let found = ref false in
+      while (not !found) && !i < n do
+        (match t.buckets.(!i) with
+        | Some h when h == d ->
+          t.buckets.(!i) <- next;
+          found := true
+        | _ -> ());
+        incr i
+      done));
+  (match next with Some n -> n.d_dlht_prev <- prev | None -> ());
+  d.d_dlht_next <- None;
+  d.d_dlht_prev <- None;
+  t.count <- t.count - 1
 
 let remove d =
   match d.d_dlht_ns with
@@ -38,19 +74,100 @@ let remove d =
 let insert t ns d signature =
   remove d;
   let idx = bucket_of t signature in
-  t.buckets.(idx) <- d :: t.buckets.(idx);
+  let head = t.buckets.(idx) in
+  let cell = Some d in
+  d.d_dlht_next <- head;
+  d.d_dlht_prev <- None;
+  (match head with Some h -> h.d_dlht_prev <- cell | None -> ());
+  t.buckets.(idx) <- cell;
   t.count <- t.count + 1;
   d.d_dlht_ns <- Some ns
 
-let find t ~key signature =
-  let idx = bucket_of t signature in
-  let rec scan = function
-    | [] -> None
-    | d :: rest -> (
-      match d.d_sig with
-      | Some s when Signature.equal key s signature -> Some d
-      | Some _ | None -> scan rest)
-  in
-  scan t.buckets.(idx)
+(* Both probes return the chain cell that already holds the match ([Some d as
+   cell]) instead of rebuilding it, so a hit allocates nothing.  The chain
+   scanners are top-level (not local closures over [key]/[signature]): a
+   capturing local function would allocate its closure on every probe. *)
+
+let rec scan_chain key signature cell =
+  match cell with
+  | None -> None
+  | Some d as found -> (
+    match d.d_sig with
+    | Some s when Signature.equal key s signature -> found
+    | Some _ | None -> scan_chain key signature d.d_dlht_next)
+
+let find t ~key signature = scan_chain key signature t.buckets.(bucket_of t signature)
+
+let rec scan_chain_buf key b cell =
+  match cell with
+  | None -> None
+  | Some d as found -> (
+    match d.d_sig with
+    | Some s when Signature.equal_buf key b s -> found
+    | Some _ | None -> scan_chain_buf key b d.d_dlht_next)
+
+let find_buf t ~key b = scan_chain_buf key b t.buckets.(Signature.buf_bucket b land t.mask)
 
 let population t = t.count
+
+type occupancy = {
+  occ_entries : int;
+  occ_buckets : int;
+  occ_used : int;
+  occ_longest : int;
+}
+
+let rec chain_length acc = function
+  | None -> acc
+  | Some d -> chain_length (acc + 1) d.d_dlht_next
+
+let occupancy t =
+  let entries = ref 0 and used = ref 0 and longest = ref 0 in
+  Array.iter
+    (fun head ->
+      let len = chain_length 0 head in
+      if len > 0 then begin
+        incr used;
+        entries := !entries + len;
+        if len > !longest then longest := len
+      end)
+    t.buckets;
+  {
+    occ_entries = !entries;
+    occ_buckets = Array.length t.buckets;
+    occ_used = !used;
+    occ_longest = !longest;
+  }
+
+let self_check t =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let entries = ref 0 in
+  Array.iteri
+    (fun idx head ->
+      (match head with
+      | Some h when h.d_dlht_prev <> None ->
+        note "bucket %d: head %s has a predecessor" idx h.d_name
+      | _ -> ());
+      let rec walk prev = function
+        | None -> ()
+        | Some d ->
+          incr entries;
+          (match (prev, d.d_dlht_prev) with
+          | None, _ -> ()
+          | Some p, Some q when q == p -> ()
+          | Some _, _ -> note "bucket %d: %s has a broken prev link" idx d.d_name);
+          (match d.d_dlht_ns with
+          | Some ns when ns == t.ns -> ()
+          | _ -> note "bucket %d: %s is chained but not marked as a member" idx d.d_name);
+          (match d.d_sig with
+          | Some s when bucket_of t s = idx -> ()
+          | Some _ -> note "bucket %d: %s is chained in the wrong bucket" idx d.d_name
+          | None -> note "bucket %d: %s is chained with no signature" idx d.d_name);
+          walk (Some d) d.d_dlht_next
+      in
+      walk None head)
+    t.buckets;
+  if !entries <> t.count then
+    note "population: counted %d chained entries but count = %d" !entries t.count;
+  List.rev !problems

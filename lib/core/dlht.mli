@@ -8,7 +8,11 @@
     A dentry lives in at most one DLHT at a time — across namespaces and
     mount aliases — favouring locality and keeping invalidation tractable
     (§4.3).  The table is keyed by the low 16 bits of the signature; chains
-    compare the remaining 240 bits only (never the path string). *)
+    compare the remaining 240 bits only (never the path string).
+
+    Buckets are intrusive: the chain links live on the dentry itself
+    ([d_dlht_next]/[d_dlht_prev]), so insert and remove are O(1) pointer
+    splices and probes allocate nothing. *)
 
 open Dcache_vfs.Types
 module Signature = Dcache_sig.Signature
@@ -16,7 +20,9 @@ module Signature = Dcache_sig.Signature
 type t
 
 val of_namespace : buckets:int -> namespace -> t
-(** The namespace's table, created on first use (stored in [ns_ext]). *)
+(** The namespace's table, created on first use (stored in [ns_ext]).
+    @raise Invalid_argument if [buckets] is not a positive power of two
+    (the bucket index is computed by masking the signature's low bits). *)
 
 val insert : t -> namespace -> dentry -> Signature.t -> unit
 (** Publish [dentry] under [signature]; removes any previous membership
@@ -24,10 +30,32 @@ val insert : t -> namespace -> dentry -> Signature.t -> unit
     on the dentry. *)
 
 val find : t -> key:Signature.key -> Signature.t -> dentry option
-(** Probe; compares signatures per the key's configured width. *)
+(** Probe; compares signatures per the key's configured width.  A hit
+    returns the chain cell already holding the dentry — no allocation. *)
+
+val find_buf : t -> key:Signature.key -> Signature.buf -> dentry option
+(** Like {!find}, keyed by an in-place digest buffer (fastpath probes). *)
 
 val remove : dentry -> unit
-(** Remove [dentry] from whichever DLHT holds it (no-op when none).  Safe to
-    call with the dentry's signature already current or about to change. *)
+(** Remove [dentry] from whichever DLHT holds it (no-op when none).  O(1)
+    splice; must be called while the dentry's signature still matches the
+    one it was inserted under (the dcache's detach ordering guarantees
+    this). *)
 
 val population : t -> int
+(** Exact number of entries currently in the table. *)
+
+type occupancy = {
+  occ_entries : int;  (** chained entries (= {!population} when healthy) *)
+  occ_buckets : int;
+  occ_used : int;  (** buckets with at least one entry *)
+  occ_longest : int;  (** longest chain *)
+}
+
+val occupancy : t -> occupancy
+(** Walk every bucket and summarize load; diagnostics / bench reporting. *)
+
+val self_check : t -> string list
+(** Structural invariant check over the intrusive chains (prev/next
+    consistency, membership marks, bucket placement, exact count); empty
+    when healthy.  For tests. *)

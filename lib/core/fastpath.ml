@@ -8,11 +8,23 @@ module Config = Vfs.Config
 module Phases = Vfs.Phases
 module Signature = Dcache_sig.Signature
 module Counter = Dcache_util.Stats.Counter
+module Rwlock = Dcache_util.Rwlock
 
 type t = {
   dcache : Dcache.t;
   key : Signature.key;
   mutable simulate_pcc_miss : bool;
+  (* Preallocated [Some max] for [Pcc.of_cred]: passing [~max_entries:n] to
+     an optional parameter would box a fresh [Some] on every probe. *)
+  pcc_max : int option;
+  (* Counter cells resolved once at creation: the probe bumps statistics
+     with a single store instead of a per-lookup hash-table lookup.  Cells
+     survive [Kernel.reset_stats] (Counter.reset zeroes in place). *)
+  c_hit : int ref;
+  c_fallback : int ref;
+  c_neg : int ref;
+  c_dotdot : int ref;
+  c_refwalk : int ref;
 }
 
 let create dcache =
@@ -20,7 +32,20 @@ let create dcache =
   let key =
     Signature.create_key ~sig_bits:config.Config.sig_bits ~seed:config.Config.hash_seed ()
   in
-  let t = { dcache; key; simulate_pcc_miss = false } in
+  let counters = Dcache.counters dcache in
+  let t =
+    {
+      dcache;
+      key;
+      simulate_pcc_miss = false;
+      pcc_max = Some config.Config.pcc_max_entries;
+      c_hit = Counter.cell counters "fastpath_hit";
+      c_fallback = Counter.cell counters "fastpath_fallback";
+      c_neg = Counter.cell counters "fastpath_negative_hit";
+      c_dotdot = Counter.cell counters "fastpath_dotdot_sublookup";
+      c_refwalk = Counter.cell counters "walk_refwalk_fallback";
+    }
+  in
   (Dcache.hooks dcache).on_shootdown <- Dlht.remove;
   t
 
@@ -81,8 +106,54 @@ let dlht_of t ctx =
 
 let pcc_of t ctx =
   let cfg = config t in
-  Pcc.of_cred ~max_entries:cfg.Config.pcc_max_entries ctx.Walk.cred ctx.Walk.ns
+  Pcc.of_cred ?max_entries:t.pcc_max ctx.Walk.cred ctx.Walk.ns
     ~entries:cfg.Config.pcc_entries
+
+(* A trailing symlink is followed by one DLHT probe per hop on its cached
+   target-path signature (§4.2): replacing any intermediate link refreshes
+   that link's own dentry, so the chain can never serve a stale endpoint.
+   Symlink targets resolve against the process root, so the shortcut only
+   applies to non-chrooted processes ([at_ns_root]).
+
+   Top-level (not a closure inside the probe): the warm path calls this once
+   per lookup and must not allocate an environment for it. *)
+let rec chase t dlht pcc ~follow_last ~at_ns_root d limit =
+  if limit = 0 then raise Fall_back
+  else begin
+    let is_symlink =
+      match d.d_state with
+      | Positive inode -> File_kind.equal (Vfs.Inode.kind inode) File_kind.Symlink
+      | Partial { p_kind; _ } -> File_kind.equal p_kind File_kind.Symlink
+      | Negative _ -> false
+    in
+    if is_symlink && follow_last then begin
+      match d.d_alias with
+      | Some real when not (real == d) ->
+        if not (pcc_valid t pcc real) then raise Fall_back;
+        chase t dlht pcc ~follow_last ~at_ns_root real (limit - 1)
+      | Some _ | None -> (
+        if not at_ns_root then raise Fall_back;
+        match d.d_target_sig with
+        | None -> raise Fall_back
+        | Some target_sig -> (
+          match Dlht.find dlht ~key:t.key target_sig with
+          | None -> raise Fall_back
+          | Some next ->
+            validate t pcc next (real_of next);
+            chase t dlht pcc ~follow_last ~at_ns_root next (limit - 1)))
+    end
+    else begin
+      match d.d_alias with
+      | Some real ->
+        if not (pcc_valid t pcc real) then raise Fall_back;
+        real
+      | None -> d
+    end
+  end
+
+let at_ns_root ctx =
+  ctx.Walk.root.mnt.mnt_mountpoint = None
+  && ctx.Walk.root.dentry == ctx.Walk.root.mnt.mnt_root
 
 (* One fastpath sub-lookup used by Linux dot-dot semantics (§4.2): resolve
    the prefix walked so far to a (checked) directory. *)
@@ -106,6 +177,12 @@ let rec fast_dotdot ctx (cur : path_ref) =
       | Some parent -> { cur with dentry = parent }
       | None -> cur)
   end
+
+(* --- list-based probe (lexical dot-dot mode) ---
+
+   Plan 9 lexical semantics rewrite the component list before hashing, so
+   this mode keeps the [Path.split]-based walk; only the (default) Linux
+   mode gets the in-place scanner below. *)
 
 let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
   let cfg = config t in
@@ -140,7 +217,7 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
               (* Linux semantics: an extra fastpath lookup of the prefix to
                  preserve permission checks, then resume from the parent's
                  state (§4.2). *)
-              Counter.incr (counters t) "fastpath_dotdot_sublookup";
+              incr t.c_dotdot;
               let prefix = probe_prefix t dlht pcc state in
               let up = fast_dotdot ctx prefix in
               ensure_hstate t up)
@@ -157,58 +234,18 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
       let shallow_real = real_of literal in
       validate t pcc literal shallow_real);
   Phases.timed Phases.Finalize (fun () ->
-      (* A trailing symlink is followed by one DLHT probe per hop on its
-         cached target-path signature (§4.2): replacing any intermediate
-         link refreshes that link's own dentry, so the chain can never
-         serve a stale endpoint.  Symlink targets resolve against the
-         process root, so the shortcut only applies to non-chrooted
-         processes. *)
-      let at_ns_root =
-        ctx.Walk.root.mnt.mnt_mountpoint = None
-        && ctx.Walk.root.dentry == ctx.Walk.root.mnt.mnt_root
-      in
-      let rec chase d limit =
-        if limit = 0 then raise Fall_back
-        else begin
-          let is_symlink =
-            match dentry_kind d with
-            | Some File_kind.Symlink -> true
-            | Some _ | None -> false
-          in
-          if is_symlink && flags.Walk.follow_last then begin
-            match d.d_alias with
-            | Some real when not (real == d) ->
-              if not (pcc_valid t pcc real) then raise Fall_back;
-              chase real (limit - 1)
-            | Some _ | None -> (
-              if not at_ns_root then raise Fall_back;
-              match d.d_target_sig with
-              | None -> raise Fall_back
-              | Some target_sig -> (
-                match Dlht.find dlht ~key:t.key target_sig with
-                | None -> raise Fall_back
-                | Some next ->
-                  validate t pcc next (real_of next);
-                  chase next (limit - 1)))
-          end
-          else begin
-            match d.d_alias with
-            | Some real ->
-              if not (pcc_valid t pcc real) then raise Fall_back;
-              real
-            | None -> d
-          end
-        end
-      in
+      let at_root = at_ns_root ctx in
       match literal.d_state with
       | Negative errno ->
-        Counter.incr (counters t) "fastpath_negative_hit";
+        incr t.c_neg;
         Error errno
       | Positive _ | Partial _ -> (
-        let final = chase literal 8 in
+        let final =
+          chase t dlht pcc ~follow_last:flags.Walk.follow_last ~at_ns_root:at_root literal 8
+        in
         match final.d_state with
         | Negative errno ->
-          Counter.incr (counters t) "fastpath_negative_hit";
+          incr t.c_neg;
           Error errno
         | Partial _ -> raise Fall_back
         | Positive _ ->
@@ -221,6 +258,122 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
               final.d_last_used <- Dcache.new_tick t.dcache;
               Ok { mnt; dentry = final }
           end))
+
+(* --- in-place probe (allocation-free warm path) ---
+
+   The default (Linux dot-dot) mode scans the raw path string component by
+   component, feeding bytes straight into a preallocated per-domain hash
+   state — no [Path.split] list, no intermediate state records, no closures.
+   A warm DLHT hit on a plain path performs zero minor-heap allocation
+   (asserted by test and measured by the [alloc] benchmark). *)
+
+type scratch = { ms : Signature.mstate; sbuf : Signature.buf }
+
+(* Per-domain because fig8-style benchmarks probe concurrently from several
+   domains under the read lock. *)
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { ms = Signature.mstate (); sbuf = Signature.buf () })
+
+(* Raw-string mirror of [Path.split]'s validation, so the scanner never
+   discovers a limit violation halfway through a probe: 0 ok, 1 empty path
+   (ENOENT), 2 length limit (ENAMETOOLONG).  Tail recursion over ints — no
+   refs, no closures (no flambda to unbox them). *)
+let rec component_end s len j =
+  if j < len && String.unsafe_get s j <> '/' then component_end s len (j + 1) else j
+
+let rec validate_components path len i =
+  if i >= len then 0
+  else begin
+    let j = component_end path len i in
+    if j - i > Path.max_name then 2 else validate_components path len (j + 1)
+  end
+
+let validate_raw path =
+  let len = String.length path in
+  if len = 0 then 1 else if len > Path.max_path then 2 else validate_components path len 0
+
+(* Dot-dot sub-probe against the running in-place state.  Allocates a
+   [path_ref] for the prefix hop: paths with ".." are not part of the
+   zero-allocation guarantee (they were never constant-time either). *)
+let probe_prefix_buf t dlht pcc sc =
+  Signature.finalize_into t.key sc.ms sc.sbuf;
+  match Dlht.find_buf dlht ~key:t.key sc.sbuf with
+  | None -> raise Fall_back
+  | Some literal ->
+    let real = real_of literal in
+    validate t pcc literal real;
+    if not (dentry_is_dir real) then raise Fall_back;
+    (match real.d_mnt with Some mnt -> { mnt; dentry = real } | None -> raise Fall_back)
+
+(* Scan-and-hash driver for the in-place probe.  On a ".." (Linux
+   semantics): sub-probe the prefix walked so far, step up, resume hashing
+   from the parent's cached state (§4.2).  Top-level recursion, not a loop
+   over refs, for the usual no-flambda reason. *)
+let rec scan_and_hash t ctx dlht pcc sc path pos =
+  let rc = Signature.hash_path_into t.key sc.ms ~max_name:Path.max_name path ~pos in
+  if rc = Signature.scan_done then ()
+  else if rc = Signature.scan_toolong then raise Fall_back (* pre-validated; defensive *)
+  else begin
+    incr t.c_dotdot;
+    let prefix = probe_prefix_buf t dlht pcc sc in
+    let up = fast_dotdot ctx prefix in
+    Signature.mstate_resume sc.ms (ensure_hstate t up);
+    scan_and_hash t ctx dlht pcc sc path rc
+  end
+
+let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within =
+  let dlht = dlht_of t ctx in
+  let pcc = pcc_of t ctx in
+  let absolute = Path.is_absolute path in
+  let trailing_slash = Path.has_trailing_slash path in
+  let t0 = Phases.stamp () in
+  let base = if absolute then ctx.Walk.root else start in
+  Signature.mstate_resume sc.ms (ensure_hstate t base);
+  Phases.record_span Phases.Init t0;
+  let t1 = Phases.stamp () in
+  scan_and_hash t ctx dlht pcc sc path 0;
+  Signature.finalize_into t.key sc.ms sc.sbuf;
+  Phases.record_span Phases.Scan_hash t1;
+  let t2 = Phases.stamp () in
+  let literal =
+    match Dlht.find_buf dlht ~key:t.key sc.sbuf with
+    | Some d -> d
+    | None -> raise Fall_back
+  in
+  Phases.record_span Phases.Table_lookup t2;
+  let t3 = Phases.stamp () in
+  let shallow_real = real_of literal in
+  validate t pcc literal shallow_real;
+  Phases.record_span Phases.Permission t3;
+  let t4 = Phases.stamp () in
+  let at_root = at_ns_root ctx in
+  let result =
+    match literal.d_state with
+    | Negative errno ->
+      incr t.c_neg;
+      Errno.to_error errno
+    | Positive _ | Partial _ -> (
+      let final =
+        chase t dlht pcc ~follow_last:flags.Walk.follow_last ~at_ns_root:at_root literal 8
+      in
+      match final.d_state with
+      | Negative errno ->
+        incr t.c_neg;
+        Errno.to_error errno
+      | Partial _ -> raise Fall_back
+      | Positive _ ->
+        if (flags.Walk.must_dir || trailing_slash) && not (dentry_is_dir final) then
+          Errno.to_error Errno.ENOTDIR
+        else begin
+          match final.d_mnt with
+          | None -> raise Fall_back
+          | Some mnt ->
+            final.d_last_used <- Dcache.new_tick t.dcache;
+            within mnt final
+        end)
+  in
+  Phases.record_span Phases.Finalize t4;
+  result
 
 (* --- population (§3.1, §3.2) --- *)
 
@@ -328,68 +481,100 @@ let populate t ctx ~visited ~absolute ~start =
 
 (* --- the public lookup --- *)
 
-(* [within] runs on the resolved location while the lock protecting it is
-   still held (read side on a fastpath hit, write side on fallback), so
-   callers can pin dentries or check permissions without a race against
-   eviction. *)
-let lookup_with t ctx ?start ?(flags = Walk.default_flags) path ~within =
+(* Slowpath fallback: resolve with collection under the write lock and
+   repopulate the DLHT/PCC.  §3.2: results may only repopulate if no
+   shootdown ran concurrently; under the coarse write lock the counter check
+   never fires, but it documents (and preserves) the protocol. *)
+let fallback t ctx ~flags ~absolute ~start path ~within =
+  incr t.c_fallback;
+  Dcache.with_write t.dcache (fun () ->
+      let invalidation_before = Dcache.invalidation_counter t.dcache in
+      let result =
+        Walk.resolve_in_mode Walk.Ref t.dcache ctx
+          ~flags:{ flags with Walk.collect = true }
+          path
+      in
+      if Dcache.invalidation_counter t.dcache = invalidation_before then
+        populate t ctx ~visited:result.Walk.visited ~absolute ~start;
+      match result.Walk.outcome with
+      | Ok r -> within r.mnt r.dentry
+      | Error e -> Error e)
+
+(* [within] runs on the resolved (mount, dentry) while the lock protecting
+   it is still held (read side on a fastpath hit, write side on fallback),
+   so callers can pin dentries or check permissions without a race against
+   eviction.  This is the allocation-free entry point: on the default
+   configuration a warm DLHT hit builds no [path_ref], no closure and no
+   option — the only allocation is whatever [within] itself does. *)
+let lookup_into t ctx ?start ?(flags = Walk.default_flags) path ~within =
   let cfg = config t in
   let start = match start with Some s -> s | None -> ctx.Walk.cwd in
-  (* *at()-style lookups resolve relative to [start]; the slowpath reads the
-     origin from the context's cwd. *)
-  let ctx = { ctx with Walk.cwd = start } in
   let absolute = Path.is_absolute path in
-  let finish (result : Walk.result_) =
-    match result.Walk.outcome with
-    | Ok r -> within r
-    | Error e -> Error e
-  in
   if not cfg.Config.fastpath then begin
-    (* Baseline kernel: component-at-a-time only. *)
-    match Dcache.with_read t.dcache (fun () ->
-        match Walk.resolve_in_mode Walk.Rcu t.dcache ctx ~flags path with
-        | result -> finish result)
+    (* Baseline kernel: component-at-a-time only.  *at()-style lookups
+       resolve relative to [start]; the slowpath reads the origin from the
+       context's cwd. *)
+    let ctx = { ctx with Walk.cwd = start } in
+    match
+      Dcache.with_read t.dcache (fun () ->
+          match (Walk.resolve_in_mode Walk.Rcu t.dcache ctx ~flags path).Walk.outcome with
+          | Ok r -> within r.mnt r.dentry
+          | Error e -> Error e)
     with
     | result -> result
     | exception Walk.Need_refwalk ->
-      Counter.incr (counters t) "walk_refwalk_fallback";
+      incr t.c_refwalk;
       Dcache.with_write t.dcache (fun () ->
-          finish (Walk.resolve_in_mode Walk.Ref t.dcache ctx ~flags path))
+          match (Walk.resolve_in_mode Walk.Ref t.dcache ctx ~flags path).Walk.outcome with
+          | Ok r -> within r.mnt r.dentry
+          | Error e -> Error e)
   end
-  else begin
+  else if cfg.Config.dotdot = Config.Dotdot_lexical then begin
+    (* Lexical mode keeps the list-based probe (it must normalize the
+       component list before hashing); allocation discipline only targets
+       the default mode. *)
     let attempt =
       Dcache.with_read t.dcache (fun () ->
           match probe t ctx ~start ~flags path with
           | Ok r ->
-            Counter.incr (counters t) "fastpath_hit";
-            Some (within r)
+            incr t.c_hit;
+            Some (within r.mnt r.dentry)
           | Error e ->
-            Counter.incr (counters t) "fastpath_hit";
+            incr t.c_hit;
             Some (Error e)
           | exception Fall_back -> None
           | exception Errno.Error e -> Some (Error e))
     in
     match attempt with
     | Some outcome -> outcome
-    | None ->
-      Counter.incr (counters t) "fastpath_fallback";
-      Dcache.with_write t.dcache (fun () ->
-          let invalidation_before = Dcache.invalidation_counter t.dcache in
-          let result =
-            Walk.resolve_in_mode Walk.Ref t.dcache ctx
-              ~flags:{ flags with Walk.collect = true }
-              path
-          in
-          (* §3.2: results may only repopulate the DLHT/PCC if no shootdown
-             ran concurrently.  Under the coarse write lock this never
-             fires; the check documents (and preserves) the protocol. *)
-          if Dcache.invalidation_counter t.dcache = invalidation_before then
-            populate t ctx ~visited:result.Walk.visited ~absolute ~start;
-          finish result)
+    | None -> fallback t { ctx with Walk.cwd = start } ~flags ~absolute ~start path ~within
   end
+  else begin
+    match validate_raw path with
+    | 1 -> Errno.to_error Errno.ENOENT
+    | 2 -> Errno.to_error Errno.ENAMETOOLONG
+    | _ -> (
+      let sc = Domain.DLS.get scratch_key in
+      let lock = Dcache.lock t.dcache in
+      Rwlock.read_lock lock;
+      match probe_into t ctx ~start ~flags sc path ~within with
+      | result ->
+        Rwlock.read_unlock lock;
+        incr t.c_hit;
+        result
+      | exception Fall_back ->
+        Rwlock.read_unlock lock;
+        fallback t { ctx with Walk.cwd = start } ~flags ~absolute ~start path ~within
+      | exception e ->
+        Rwlock.read_unlock lock;
+        raise e)
+  end
+
+let lookup_with t ctx ?start ?flags path ~within =
+  lookup_into t ctx ?start ?flags path ~within:(fun mnt dentry -> within { mnt; dentry })
 
 let lookup t ctx ?start ?flags path =
   let absolute = Path.is_absolute path in
-  match lookup_with t ctx ?start ?flags path ~within:(fun r -> Ok r) with
+  match lookup_into t ctx ?start ?flags path ~within:(fun mnt dentry -> Ok { mnt; dentry }) with
   | Ok r -> { Walk.outcome = Ok r; visited = []; absolute }
   | Error e -> { Walk.outcome = Error e; visited = []; absolute }

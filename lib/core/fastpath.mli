@@ -48,7 +48,25 @@ val lookup_with :
   ('a, Dcache_types.Errno.t) result
 (** Like {!lookup}, but runs [within] on the result while the protecting
     lock is still held, so the caller can pin the dentry or evaluate
-    permissions without racing evictions. *)
+    permissions without racing evictions.  Thin wrapper over
+    {!lookup_into} that boxes the location into a [path_ref]. *)
+
+val lookup_into :
+  t ->
+  Walk.ctx ->
+  ?start:path_ref ->
+  ?flags:Walk.flags ->
+  string ->
+  within:(mount -> dentry -> ('a, Dcache_types.Errno.t) result) ->
+  ('a, Dcache_types.Errno.t) result
+(** The allocation-free lookup: like {!lookup_with} but hands the resolved
+    location to [within] as separate arguments instead of building a
+    [path_ref].  On the default configuration (fastpath on, Linux dot-dot
+    semantics) a warm DLHT hit over a plain path — no ".." components —
+    performs {e zero} minor-heap allocation beyond what [within] itself
+    does: the path is hashed in place from the raw string into per-domain
+    scratch state, the bucket chain is walked intrusively, and counters and
+    phase accounting are single stores. *)
 
 val populate : t -> Walk.ctx -> visited:path_ref list -> absolute:bool -> start:path_ref -> unit
 (** Publish a collected slowpath chain into the DLHT and PCC.  Must be

@@ -50,35 +50,38 @@ let set_of table id =
   let h = id * 0x2545F491 in
   (h lxor (h lsr 13)) land (table.sets - 1)
 
+(* The set scan is a top-level recursion: [check] runs (twice, for literal
+   and real dentries) on every fastpath probe, and a capturing local [rec]
+   would allocate a closure per call. *)
+let rec check_scan t table id seq base i =
+  if i >= ways then begin
+    t.miss_count <- t.miss_count + 1;
+    false
+  end
+  else begin
+    let e = table.slots.(base + i) in
+    if e <> 0 && packed_id e = id then begin
+      if packed_seq e = seq then begin
+        t.hit_count <- t.hit_count + 1;
+        true
+      end
+      else begin
+        (* Stale version: the ancestor chain changed.  Drop the entry so
+           the paper's directory-reference rule can rely on "most recent
+           entry" semantics (§3.2). *)
+        table.slots.(base + i) <- 0;
+        t.miss_count <- t.miss_count + 1;
+        false
+      end
+    end
+    else check_scan t table id seq base (i + 1)
+  end
+
 let check t d =
   let table = t.table in
   let id = d.d_id land ((1 lsl id_bits) - 1) in
   let base = set_of table d.d_id * ways in
-  let rec scan i =
-    if i >= ways then begin
-      t.miss_count <- t.miss_count + 1;
-      false
-    end
-    else begin
-      let e = table.slots.(base + i) in
-      if e <> 0 && packed_id e = id then begin
-        if packed_seq e = d.d_seq land seq_mask then begin
-          t.hit_count <- t.hit_count + 1;
-          true
-        end
-        else begin
-          (* Stale version: the ancestor chain changed.  Drop the entry so
-             the paper's directory-reference rule can rely on "most recent
-             entry" semantics (§3.2). *)
-          table.slots.(base + i) <- 0;
-          t.miss_count <- t.miss_count + 1;
-          false
-        end
-      end
-      else scan (i + 1)
-    end
-  in
-  scan 0
+  check_scan t table id (d.d_seq land seq_mask) base 0
 
 (* Dynamic resizing (the paper leaves the policy as future work, §6.3): when
    capacity replacement is evicting entries faster than a quarter of the
@@ -136,18 +139,28 @@ let misses t = t.miss_count
 
 type Cred.slot += Pcc_slot of (int, t) Hashtbl.t
 
+(* [of_cred] runs on every fastpath lookup, so the warm path must not
+   allocate: the slot list is scanned by a top-level matcher (no closure, no
+   [Some] wrapper) and the per-namespace table is probed with [Hashtbl.find]
+   plus an exception branch rather than [find_opt].  Only the first lookup by
+   a fresh credential (attach slot, create cache) allocates. *)
+let rec slot_table = function
+  | [] -> raise Not_found
+  | Pcc_slot tbl :: _ -> tbl
+  | _ :: rest -> slot_table rest
+
 let of_cred ?max_entries cred ns ~entries =
   let table =
-    match Cred.find_slot cred (function Pcc_slot tbl -> Some tbl | _ -> None) with
-    | Some tbl -> tbl
-    | None ->
+    match slot_table (Cred.slots cred) with
+    | tbl -> tbl
+    | exception Not_found ->
       let tbl = Hashtbl.create 4 in
       Cred.add_slot cred (Pcc_slot tbl);
       tbl
   in
-  match Hashtbl.find_opt table ns.ns_id with
-  | Some pcc -> pcc
-  | None ->
+  match Hashtbl.find table ns.ns_id with
+  | pcc -> pcc
+  | exception Not_found ->
     let pcc = create ?max_entries ~entries () in
     Hashtbl.add table ns.ns_id pcc;
     pcc

@@ -68,6 +68,8 @@ let prepare t =
     b_label = t.label;
   }
 
+let slots t = t.slots
+
 let find_slot t f =
   let rec go = function
     | [] -> None

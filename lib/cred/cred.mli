@@ -53,4 +53,8 @@ val prepare : t -> Builder.t
 val find_slot : t -> (slot -> 'a option) -> 'a option
 (** [find_slot t f] returns the first slot for which [f] is [Some _]. *)
 
+val slots : t -> slot list
+(** The raw slot list, for subsystems that scan it with their own top-level
+    matcher instead of paying {!find_slot}'s [Some] wrapper per probe. *)
+
 val add_slot : t -> slot -> unit

@@ -158,18 +158,142 @@ let bucket t = t.a land 0xFFFF
 (* The signature is laid out as: lane [a] bits 16..62 (47 bits), then lanes
    [b], [c], [d] (63 bits each).  [equal] compares the first [sig_bits] of
    that string, so a truncated key widens collision odds for tests while
-   production keys compare everything. *)
-let equal key x y =
-  let bits = key.sig_bits in
-  let mask_low n v = if n >= 63 then v else v land ((1 lsl n) - 1) in
-  let seg_equal consumed width xv yv =
-    let take = min width (max 0 (bits - consumed)) in
-    take = 0 || mask_low take xv = mask_low take yv
-  in
-  seg_equal 0 47 (x.a lsr bucket_bits) (y.a lsr bucket_bits)
-  && seg_equal 47 63 x.b y.b
-  && seg_equal 110 63 x.c y.c
-  && seg_equal 173 63 x.d y.d
+   production keys compare everything.
+
+   The helpers are top-level [@inline] functions taking [bits] explicitly —
+   local closures here would put two allocations on every DLHT chain
+   comparison, i.e. on every warm probe. *)
+let[@inline] mask_low n v = if n >= 63 then v else v land ((1 lsl n) - 1)
+
+let[@inline] seg_equal bits consumed width xv yv =
+  let take = min width (max 0 (bits - consumed)) in
+  take = 0 || mask_low take xv = mask_low take yv
+
+let[@inline] equal_lanes bits xa xb xc xd y =
+  seg_equal bits 0 47 (xa lsr bucket_bits) (y.a lsr bucket_bits)
+  && seg_equal bits 47 63 xb y.b
+  && seg_equal bits 110 63 xc y.c
+  && seg_equal bits 173 63 xd y.d
+
+let equal key x y = equal_lanes key.sig_bits x.a x.b x.c x.d y
+
+(* --- in-place (allocation-free) hashing --------------------------------
+
+   The pure [state]/[t] API above allocates a fresh record per feed and per
+   finalize; fine for the slowpath and for states cached on dentries, but a
+   warm fastpath probe must not pay a GC tax.  The mutable mirror below
+   threads one preallocated [mstate] (the running multilinear state) and one
+   [buf] (the finalized digest) through the whole probe, so a warm hit
+   performs zero minor-heap allocation. *)
+
+type mstate = {
+  mutable mpos : int;
+  mutable m0 : int;
+  mutable m1 : int;
+  mutable m2 : int;
+  mutable m3 : int;
+}
+
+let mstate () = { mpos = 0; m0 = 0; m1 = 0; m2 = 0; m3 = 0 }
+
+let mstate_reset ms =
+  ms.mpos <- 0;
+  ms.m0 <- 0;
+  ms.m1 <- 0;
+  ms.m2 <- 0;
+  ms.m3 <- 0
+
+let mstate_resume ms (s : state) =
+  ms.mpos <- s.pos;
+  ms.m0 <- s.l0;
+  ms.m1 <- s.l1;
+  ms.m2 <- s.l2;
+  ms.m3 <- s.l3
+
+let mstate_snapshot ms = { pos = ms.mpos; l0 = ms.m0; l1 = ms.m1; l2 = ms.m2; l3 = ms.m3 }
+let mstate_pos ms = ms.mpos
+
+let[@inline] feed_char_into key ms ch =
+  if ms.mpos >= key.capacity then grow key ms.mpos;
+  let byte = Char.code ch + 1 in
+  let pos = ms.mpos in
+  ms.m0 <- ms.m0 + (Array.unsafe_get key.t0 pos * byte);
+  ms.m1 <- ms.m1 + (Array.unsafe_get key.t1 pos * byte);
+  ms.m2 <- ms.m2 + (Array.unsafe_get key.t2 pos * byte);
+  ms.m3 <- ms.m3 + (Array.unsafe_get key.t3 pos * byte);
+  ms.mpos <- pos + 1
+
+(* Lane sums accumulate through the mutable fields, not local [ref]s: the
+   compiler (no flambda here) would box each ref on the minor heap, and this
+   loop runs on the allocation-free probe.  Components are short (≤ 255
+   bytes), so the extra field traffic is noise. *)
+let feed_bytes_into key ms s ~pos ~len =
+  if len > 0 then begin
+    if ms.mpos + len > key.capacity then grow key (ms.mpos + len);
+    let base = ms.mpos in
+    for i = 0 to len - 1 do
+      let byte = Char.code (String.unsafe_get s (pos + i)) + 1 in
+      let p = base + i in
+      ms.m0 <- ms.m0 + (Array.unsafe_get key.t0 p * byte);
+      ms.m1 <- ms.m1 + (Array.unsafe_get key.t1 p * byte);
+      ms.m2 <- ms.m2 + (Array.unsafe_get key.t2 p * byte);
+      ms.m3 <- ms.m3 + (Array.unsafe_get key.t3 p * byte)
+    done;
+    ms.mpos <- base + len
+  end
+
+(* In-place scanner over a raw path string: feeds ['/' ^ name] for every
+   real component, skipping empty ones (leading, doubled and trailing
+   slashes) and ["."] — exactly the canonicalization the list-based probe
+   applies to [Path.split] output, without materializing the list.
+
+   Returns [scan_done] when the path is exhausted, [scan_toolong] when a
+   component exceeds [max_name], or the cursor just past a [".."] component
+   so the caller can run its dot-dot semantics and resume with [~pos]. *)
+
+let scan_done = -1
+let scan_toolong = -2
+
+(* Cursor movement is tail recursion over int arguments — a [ref]-and-while
+   formulation would cost minor-heap boxes per call without flambda. *)
+let rec skip_slashes s len i =
+  if i < len && String.unsafe_get s i = '/' then skip_slashes s len (i + 1) else i
+
+let rec component_end s len j =
+  if j < len && String.unsafe_get s j <> '/' then component_end s len (j + 1) else j
+
+let rec hash_path_into key ms ~max_name s ~pos =
+  let len = String.length s in
+  let i = skip_slashes s len pos in
+  if i >= len then scan_done
+  else begin
+    let j = component_end s len i in
+    let clen = j - i in
+    if clen = 1 && String.unsafe_get s i = '.' then hash_path_into key ms ~max_name s ~pos:j
+    else if clen = 2 && String.unsafe_get s i = '.' && String.unsafe_get s (i + 1) = '.' then j
+    else if clen > max_name then scan_toolong
+    else begin
+      feed_char_into key ms '/';
+      feed_bytes_into key ms s ~pos:i ~len:clen;
+      hash_path_into key ms ~max_name s ~pos:j
+    end
+  end
+
+type buf = { mutable ba : int; mutable bb : int; mutable bc : int; mutable bd : int }
+
+let buf () = { ba = 0; bb = 0; bc = 0; bd = 0 }
+
+let finalize_into key ms b =
+  if ms.mpos >= key.capacity then grow key ms.mpos;
+  let pos = ms.mpos in
+  b.ba <- fmix (ms.m0 + Array.unsafe_get key.f0 pos);
+  b.bb <- fmix (ms.m1 + Array.unsafe_get key.f1 pos);
+  b.bc <- fmix (ms.m2 + Array.unsafe_get key.f2 pos);
+  b.bd <- fmix (ms.m3 + Array.unsafe_get key.f3 pos)
+
+let buf_bucket b = b.ba land 0xFFFF
+let equal_buf key b y = equal_lanes key.sig_bits b.ba b.bb b.bc b.bd y
+let of_buf b = { a = b.ba; b = b.bb; c = b.bc; d = b.bd }
 
 let to_hex t = Printf.sprintf "%016x%016x%016x%016x" t.a t.b t.c t.d
 

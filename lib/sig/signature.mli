@@ -63,3 +63,54 @@ val to_hex : t -> string
 
 val compare_full : t -> t -> int
 (** Total order over all lanes, for use in test containers. *)
+
+(** {1 In-place hashing (allocation-free fastpath)}
+
+    Mutable mirrors of [state] and [t].  A probe preallocates one {!mstate}
+    and one {!buf} (per domain) and reuses them for every lookup, so feeding
+    bytes, finalizing and comparing against stored signatures allocate
+    nothing on the minor heap.  The pure API above remains the source of
+    truth for the slowpath and for states cached on dentries. *)
+
+type mstate
+(** Mutable running multilinear state. *)
+
+val mstate : unit -> mstate
+val mstate_reset : mstate -> unit
+
+val mstate_resume : mstate -> state -> unit
+(** Load a cached pure state (e.g. a cwd dentry's resume point). *)
+
+val mstate_snapshot : mstate -> state
+(** Allocating escape hatch: capture the current running state as a pure
+    [state] (used when a probe must hand off to slowpath machinery). *)
+
+val mstate_pos : mstate -> int
+val feed_char_into : key -> mstate -> char -> unit
+val feed_bytes_into : key -> mstate -> string -> pos:int -> len:int -> unit
+
+val scan_done : int
+val scan_toolong : int
+
+val hash_path_into : key -> mstate -> max_name:int -> string -> pos:int -> int
+(** [hash_path_into key ms ~max_name s ~pos] scans the raw path string [s]
+    from byte offset [pos], feeding ["/" ^ name] into [ms] for every real
+    component while skipping empty components (leading / doubled / trailing
+    slashes) and ["."] — the same canonicalization the list-based walk
+    applies to [Path.split] output, with no intermediate list.  Returns
+    {!scan_done} when the string is exhausted, {!scan_toolong} if a
+    component exceeds [max_name], or the cursor just past a [".."]
+    component so the caller can apply its dot-dot semantics and resume. *)
+
+type buf
+(** Mutable finalized digest (the in-place counterpart of [t]). *)
+
+val buf : unit -> buf
+
+val finalize_into : key -> mstate -> buf -> unit
+(** Non-destructive on the [mstate]; overwrites the [buf]. *)
+
+val buf_bucket : buf -> int
+val equal_buf : key -> buf -> t -> bool
+val of_buf : buf -> t
+(** Allocating: freeze the buffer into an immutable [t] (slowpath only). *)

@@ -65,3 +65,28 @@ let message = function
   | ENOTSUP -> "Operation not supported"
 
 exception Error of t
+
+(* Every arm applies a constant constructor to a constant argument, so the
+   [Error _] results are built once at module init; hot paths that fail with
+   a known errno fetch the shared value instead of allocating. *)
+let to_error : t -> ('a, t) result = function
+  | EPERM -> Error EPERM
+  | ENOENT -> Error ENOENT
+  | EIO -> Error EIO
+  | EBADF -> Error EBADF
+  | EACCES -> Error EACCES
+  | EBUSY -> Error EBUSY
+  | EEXIST -> Error EEXIST
+  | EXDEV -> Error EXDEV
+  | ENOTDIR -> Error ENOTDIR
+  | EISDIR -> Error EISDIR
+  | EINVAL -> Error EINVAL
+  | EMFILE -> Error EMFILE
+  | ENOSPC -> Error ENOSPC
+  | EROFS -> Error EROFS
+  | EMLINK -> Error EMLINK
+  | ERANGE -> Error ERANGE
+  | ENAMETOOLONG -> Error ENAMETOOLONG
+  | ENOTEMPTY -> Error ENOTEMPTY
+  | ELOOP -> Error ELOOP
+  | ENOTSUP -> Error ENOTSUP

@@ -28,3 +28,7 @@ val message : t -> string
 exception Error of t
 (** Used only at module boundaries that prefer exceptions (e.g. test
     helpers); kernel APIs return [('a, t) result]. *)
+
+val to_error : t -> ('a, t) result
+(** [to_error e] is [Error e] fetched from a statically-allocated table —
+    zero minor-heap allocation, for error returns on hot paths. *)

@@ -1,5 +1,12 @@
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
+(* Native-int variant for hot-path phase stamps: 63 bits of nanoseconds
+   (~292 years) never overflow, and int arithmetic keeps the accumulating
+   side free of Int64 boxing.  (The clock read itself still boxes the float
+   returned by [gettimeofday]; phase instrumentation is therefore only
+   allocation-free while disabled.) *)
+let now_int_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
 let time_ns f =
   let t0 = now_ns () in
   let result = f () in

@@ -3,5 +3,8 @@
 val now_ns : unit -> int64
 (** Monotonic-enough wall clock in nanoseconds (from [Unix.gettimeofday]). *)
 
+val now_int_ns : unit -> int
+(** {!now_ns} as a native int (no [Int64] boxing on the consumer side). *)
+
 val time_ns : (unit -> 'a) -> 'a * int64
 (** [time_ns f] runs [f] and returns its result and elapsed nanoseconds. *)

@@ -18,22 +18,24 @@ let create () =
 let backoff spins =
   if spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.0000005
 
-let read_lock t =
-  let rec go spins =
-    if Atomic.get t.writer_pending then begin
-      backoff spins;
-      go (spins + 1)
-    end
+(* Top-level, not a local [rec] capturing [t]: without flambda a capturing
+   local function allocates its closure on every [read_lock], and the lookup
+   fastpath takes this lock once per operation. *)
+let rec read_acquire t spins =
+  if Atomic.get t.writer_pending then begin
+    backoff spins;
+    read_acquire t (spins + 1)
+  end
+  else begin
+    let observed = Atomic.get t.state in
+    if observed >= 0 && Atomic.compare_and_set t.state observed (observed + 1) then ()
     else begin
-      let observed = Atomic.get t.state in
-      if observed >= 0 && Atomic.compare_and_set t.state observed (observed + 1) then ()
-      else begin
-        backoff spins;
-        go (spins + 1)
-      end
+      backoff spins;
+      read_acquire t (spins + 1)
     end
-  in
-  go 0
+  end
+
+let read_lock t = read_acquire t 0
 
 let read_unlock t = ignore (Atomic.fetch_and_add t.state (-1))
 

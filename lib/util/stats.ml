@@ -39,7 +39,10 @@ let summarize_ns samples = summarize (Array.map Int64.to_float samples)
 
 let sorted_copy samples =
   let copy = Array.copy samples in
-  Array.sort compare copy;
+  (* [Float.compare], not polymorphic [compare]: every percentile/median in
+     every benchmark report sorts through here, and the polymorphic version
+     dispatches on the runtime representation per element. *)
+  Array.sort Float.compare copy;
   copy
 
 let median samples =
@@ -73,6 +76,24 @@ let histogram ?(buckets = 10) samples =
     samples;
   { lo; hi; counts }
 
+(* --- GC-aware measurement (words of minor-heap allocation per op) ---
+
+   [Gc.minor_words] counts every word ever allocated in the minor heap
+   (including values later promoted), so a delta across a loop divided by
+   the iteration count is the average allocation cost of one operation —
+   the number the fastpath's memory discipline drives to zero. *)
+
+let minor_words_per_op ~iters f =
+  assert (iters > 0);
+  f ();
+  (* warm: first call may build caches/scratch *)
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let w1 = Gc.minor_words () in
+  (w1 -. w0) /. float_of_int iters
+
 let hist_to_string h =
   let buf = Buffer.create 256 in
   let buckets = Array.length h.counts in
@@ -102,7 +123,11 @@ module Counter = struct
   let incr t key = Stdlib.incr (cell t key)
   let add t key n = cell t key := !(cell t key) + n
   let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
-  let reset t = Hashtbl.reset t
+
+  (* Zero in place rather than [Hashtbl.reset]: hot paths hold on to cells
+     obtained from [cell] so each increment is a single store with no table
+     lookup, and those cells must survive a stats reset. *)
+  let reset t = Hashtbl.iter (fun _ r -> r := 0) t
 
   let to_assoc t =
     Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []

@@ -26,15 +26,30 @@ type histogram
 val histogram : ?buckets:int -> float array -> histogram
 val hist_to_string : histogram -> string
 
+val minor_words_per_op : iters:int -> (unit -> unit) -> float
+(** [minor_words_per_op ~iters f] runs [f] once to warm, then measures the
+    {!Gc.minor_words} delta over [iters] further calls and reports the mean
+    words of minor-heap allocation per call.  0.0 means the operation is
+    allocation-free. *)
+
 (** Online counter sets, used by the kernel instrumentation. *)
 module Counter : sig
   type t
 
   val create : unit -> t
+
+  val cell : t -> string -> int ref
+  (** The counter's underlying cell, created on first use.  Hot paths cache
+      the cell once and bump it with [Stdlib.incr] — one store, no hashing,
+      no allocation.  Cells stay live across {!reset}. *)
+
   val incr : t -> string -> unit
   val add : t -> string -> int -> unit
   val get : t -> string -> int
+
   val reset : t -> unit
+  (** Zeroes every counter in place (cached cells remain valid). *)
+
   val to_assoc : t -> (string * int) list
   (** Sorted by key. *)
 end

@@ -127,6 +127,8 @@ let make_superblock fs =
         d_sig = None;
         d_hstate = None;
         d_dlht_ns = None;
+        d_dlht_next = None;
+        d_dlht_prev = None;
         d_mnt = None;
         d_alias = None;
         d_target_sig = None;
@@ -285,6 +287,8 @@ let alloc_child t parent name state =
       d_sig = None;
       d_hstate = None;
       d_dlht_ns = None;
+      d_dlht_next = None;
+      d_dlht_prev = None;
       d_mnt = None;
       d_alias = None;
       d_target_sig = None;

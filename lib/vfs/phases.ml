@@ -23,28 +23,50 @@ let index = function
   | Finalize -> 4
 
 let enabled = ref false
-let acc = Array.make 5 0L
+
+(* Native-int nanosecond accumulators: the fastpath stamps spans straight
+   into this array, and int arithmetic keeps even the enabled case free of
+   Int64 boxing on the recording side. *)
+let acc = Array.make 5 0
 let counts = Array.make 5 0
 
 let reset () =
-  Array.fill acc 0 5 0L;
+  Array.fill acc 0 5 0;
   Array.fill counts 0 5 0
 
 let record phase ns =
   let i = index phase in
-  acc.(i) <- Int64.add acc.(i) ns;
+  acc.(i) <- acc.(i) + ns;
   counts.(i) <- counts.(i) + 1
 
+(** {2 Direct stamping (fastpath)}
+
+    [timed] wraps the phase in a closure, which the probe path cannot afford
+    (each closure captures its environment and allocates).  The fastpath
+    instead takes raw stamps and charges the span explicitly:
+    {[
+      let t0 = Phases.stamp () in
+      ... phase body ...
+      Phases.record_span Phases.Scan_hash t0
+    ]}
+    When instrumentation is disabled, [stamp] returns 0 without reading the
+    clock and [record_span] is a single branch. *)
+
+let[@inline] stamp () = if !enabled then Dcache_util.Clock.now_int_ns () else 0
+
+let[@inline] record_span phase t0 =
+  if !enabled then record phase (Dcache_util.Clock.now_int_ns () - t0)
+
 (** [timed phase f] runs [f], charging its duration to [phase] when
-    instrumentation is enabled. *)
+    instrumentation is enabled.  Convenient for the slowpath walk, where the
+    closure cost is noise. *)
 let timed phase f =
   if not !enabled then f ()
   else begin
-    let t0 = Dcache_util.Clock.now_ns () in
+    let t0 = Dcache_util.Clock.now_int_ns () in
     let result = f () in
-    let t1 = Dcache_util.Clock.now_ns () in
-    record phase (Int64.sub t1 t0);
+    record phase (Dcache_util.Clock.now_int_ns () - t0);
     result
   end
 
-let totals () = List.map (fun p -> (p, acc.(index p))) all
+let totals () = List.map (fun p -> (p, Int64.of_int acc.(index p))) all

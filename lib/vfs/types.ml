@@ -46,6 +46,12 @@ type dentry = {
   mutable d_sig : Signature.t option;  (** signature of the canonical path *)
   mutable d_hstate : Signature.state option;  (** resumable hash state *)
   mutable d_dlht_ns : namespace option;  (** the (single) DLHT holding us *)
+  mutable d_dlht_next : dentry option;  (** intrusive DLHT bucket chain *)
+  mutable d_dlht_prev : dentry option;
+      (** chain predecessor; [None] when we head the bucket.  Intrusive links
+          make DLHT insert/remove O(1) pointer splices with no per-entry cons
+          cells, at the cost of the single-table invariant already implied by
+          [d_dlht_ns]. *)
   mutable d_mnt : mount option;  (** mount we were most recently reached under *)
   mutable d_alias : dentry option;  (** symlink-alias redirect target (§4.2) *)
   mutable d_target_sig : Signature.t option;
@@ -101,10 +107,14 @@ let dentry_kind d =
   | Partial { p_kind; _ } -> Some p_kind
   | Negative _ -> None
 
+(* Matches [d_state] directly rather than going through [dentry_kind]'s
+   [Some] wrapper: this predicate runs per component on the lookup fastpath,
+   which must not allocate. *)
 let dentry_is_dir d =
-  match dentry_kind d with
-  | Some k -> Dcache_types.File_kind.equal k Dcache_types.File_kind.Directory
-  | None -> false
+  match d.d_state with
+  | Positive inode -> Dcache_types.File_kind.equal (Inode.kind inode) Dcache_types.File_kind.Directory
+  | Partial { p_kind; _ } -> Dcache_types.File_kind.equal p_kind Dcache_types.File_kind.Directory
+  | Negative _ -> false
 
 (** Canonical path of a dentry within its superblock (diagnostics only; the
     kernel proper never builds path strings this way). *)

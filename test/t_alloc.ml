@@ -1,0 +1,320 @@
+(* Allocation-discipline and DLHT-churn tests: the warm fastpath must not
+   touch the minor heap (the optimization is worthless if every lookup pays
+   a GC tax), the in-place path hasher must agree with the pure
+   [Path.split]-based one, and intrusive bucket churn must keep the table
+   structurally exact. *)
+
+open Dcache_types
+open Kit
+module Fastpath = Dcache_core.Fastpath
+module Dlht = Dcache_core.Dlht
+module Signature = Dcache_sig.Signature
+module Path = Dcache_vfs.Path
+module Proc = Dcache_syscalls.Proc
+
+(* Top-level so the measured loop doesn't even pay for a closure. *)
+let within_unit _mnt _dentry = Ok ()
+
+(* [Gc.minor_words] itself allocates its boxed float result, and that box is
+   charged to the *next* reading.  Calibrate by taking two back-to-back
+   readings: their difference is exactly the allocation cost of one call,
+   which we subtract from the measured window. *)
+let measure_minor_words iters f =
+  f ();
+  f ();
+  (* warm *)
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  let self = b -. a in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let c = Gc.minor_words () in
+  c -. b -. self
+
+let probe_ok fp ctx path =
+  match Fastpath.lookup_into fp ctx path ~within:within_unit with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected %s on %s" (Errno.to_string e) path
+
+let probe_enoent fp ctx path =
+  match Fastpath.lookup_into fp ctx path ~within:within_unit with
+  | Ok () -> Alcotest.failf "unexpected success on %s" path
+  | Error Errno.ENOENT -> ()
+  | Error e -> Alcotest.failf "unexpected %s on %s" (Errno.to_string e) path
+
+let test_warm_hit_zero_alloc () =
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "tree" (S.mkdir_p p "/a/b/c");
+  get "file" (S.write_file p "/a/b/c/target" "payload");
+  let fp = Kernel.fastpath kernel in
+  let ctx = Proc.walk_ctx p in
+  let hits_before () = counter kernel "fastpath_hit" in
+  probe_ok fp ctx "/a/b/c/target";
+  (* warmed: from here on every probe must be a DLHT hit *)
+  let h0 = hits_before () in
+  let iters = 10_000 in
+  let words = measure_minor_words iters (fun () -> probe_ok fp ctx "/a/b/c/target") in
+  Alcotest.(check int) "all probes were fastpath hits" (iters + 2) (hits_before () - h0);
+  Alcotest.(check (float 0.0)) "zero minor-heap words over 10k warm hits" 0.0 words
+
+let test_warm_negative_hit_zero_alloc () =
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "tree" (S.mkdir_p p "/a/b");
+  ignore (S.stat p "/a/b/nothing");
+  (* cache the negative *)
+  let fp = Kernel.fastpath kernel in
+  let ctx = Proc.walk_ctx p in
+  probe_enoent fp ctx "/a/b/nothing";
+  let neg0 = counter kernel "fastpath_negative_hit" in
+  let words =
+    measure_minor_words 10_000 (fun () -> probe_enoent fp ctx "/a/b/nothing")
+  in
+  Alcotest.(check bool) "served from the negative cache" true
+    (counter kernel "fastpath_negative_hit" > neg0);
+  Alcotest.(check (float 0.0)) "zero minor-heap words over warm negative hits" 0.0 words
+
+(* --- in-place hasher vs. the pure split-based hasher --- *)
+
+let reference_signature key comps =
+  let state =
+    List.fold_left
+      (fun st comp ->
+        match comp with
+        | Path.Cur | Path.Up -> st
+        | Path.Name name -> Signature.feed_string key (Signature.feed_char key st '/') name)
+      Signature.empty_state comps
+  in
+  Signature.finalize key state
+
+let inplace_signature key ~max_name path =
+  let ms = Signature.mstate () in
+  let b = Signature.buf () in
+  let rc = Signature.hash_path_into key ms ~max_name path ~pos:0 in
+  Alcotest.(check int) (Printf.sprintf "scan of %S completes" path) Signature.scan_done rc;
+  Signature.finalize_into key ms b;
+  Signature.of_buf b
+
+let check_equivalent key path =
+  match Path.split path with
+  | Error e -> Alcotest.failf "reference split of %S failed: %s" path (Errno.to_string e)
+  | Ok comps ->
+    let reference = reference_signature key comps in
+    let inplace = inplace_signature key ~max_name:Path.max_name path in
+    Alcotest.(check int)
+      (Printf.sprintf "in-place hash of %S matches split+feed_string" path)
+      0
+      (Signature.compare_full reference inplace)
+
+let test_inplace_hasher_equivalence () =
+  let key = Signature.create_key ~seed:42 () in
+  List.iter (check_equivalent key)
+    [
+      "/";
+      "/a";
+      "a";
+      "/a/b/c";
+      "a/b/c";
+      "//a//b//c";
+      "/a/b/c/";
+      "a/b/";
+      ".";
+      "/.";
+      "./a/./b/.";
+      "/a/./b";
+      "a//b///c////d";
+      "/...";
+      (* "..." is a regular name, not a dot-dot *)
+      "/..a/b..";
+      "/" ^ String.make 255 'n';
+      (* longest legal component *)
+    ]
+
+let test_inplace_hasher_resume_mid_path () =
+  (* Resuming from a non-empty state (the cwd case) must agree with feeding
+     the whole canonical path at once. *)
+  let key = Signature.create_key ~seed:43 () in
+  let whole = inplace_signature key ~max_name:Path.max_name "/home/user/project/file" in
+  let prefix_state =
+    List.fold_left
+      (fun st name -> Signature.feed_string key (Signature.feed_char key st '/') name)
+      Signature.empty_state [ "home"; "user" ]
+  in
+  let ms = Signature.mstate () in
+  let b = Signature.buf () in
+  Signature.mstate_resume ms prefix_state;
+  let rc = Signature.hash_path_into key ms ~max_name:Path.max_name "project/file" ~pos:0 in
+  Alcotest.(check int) "resumed scan completes" Signature.scan_done rc;
+  Signature.finalize_into key ms b;
+  Alcotest.(check int) "resumed hash agrees" 0
+    (Signature.compare_full whole (Signature.of_buf b))
+
+let test_inplace_hasher_dotdot_cursor () =
+  let key = Signature.create_key ~seed:7 () in
+  let ms = Signature.mstate () in
+  let b = Signature.buf () in
+  let path = "a/../b" in
+  let rc = Signature.hash_path_into key ms ~max_name:Path.max_name path ~pos:0 in
+  Alcotest.(check int) "stops just past the dot-dot" 4 rc;
+  Signature.finalize_into key ms b;
+  Alcotest.(check int) "prefix state covers only \"a\"" 0
+    (Signature.compare_full
+       (reference_signature key [ Path.Name "a" ])
+       (Signature.of_buf b));
+  (* The caller re-seeds the state (here: from scratch, as if the walk
+     stepped up to the root) and resumes at the returned cursor. *)
+  Signature.mstate_reset ms;
+  let rc2 = Signature.hash_path_into key ms ~max_name:Path.max_name path ~pos:rc in
+  Alcotest.(check int) "rest of the path completes" Signature.scan_done rc2;
+  Signature.finalize_into key ms b;
+  Alcotest.(check int) "suffix hash is \"/b\"" 0
+    (Signature.compare_full
+       (reference_signature key [ Path.Name "b" ])
+       (Signature.of_buf b))
+
+let test_inplace_hasher_grow () =
+  (* A fresh key starts with 512 positions of key material; a long component
+     must grow it mid-feed and still agree with the pure hasher (which grows
+     through the same tables). *)
+  let key = Signature.create_key ~seed:9 () in
+  let long = String.make 600 'x' in
+  let path = "/" ^ long ^ "/" ^ String.make 700 'y' in
+  let reference =
+    reference_signature key [ Path.Name long; Path.Name (String.make 700 'y') ]
+  in
+  let inplace = inplace_signature key ~max_name:4096 path in
+  Alcotest.(check int) "growth preserves equivalence" 0
+    (Signature.compare_full reference inplace)
+
+let test_inplace_hasher_toolong () =
+  let key = Signature.create_key ~seed:11 () in
+  let ms = Signature.mstate () in
+  let path = "/ok/" ^ String.make (Path.max_name + 1) 'z' in
+  let rc = Signature.hash_path_into key ms ~max_name:Path.max_name path ~pos:0 in
+  Alcotest.(check int) "component over max_name is rejected" Signature.scan_toolong rc;
+  (* parity with the list-based validation *)
+  (match Path.split path with
+  | Error Errno.ENAMETOOLONG -> ()
+  | Error e -> Alcotest.failf "split: unexpected %s" (Errno.to_string e)
+  | Ok _ -> Alcotest.fail "split accepted an over-long component")
+
+(* --- intrusive DLHT churn --- *)
+
+let dlht_of kernel (p : Proc.t) =
+  Dlht.of_namespace ~buckets:(Kernel.config kernel).Config.dlht_buckets p.Proc.ns
+
+let check_healthy what dlht =
+  Alcotest.(check (list string)) (what ^ ": self_check clean") [] (Dlht.self_check dlht);
+  let occ = Dlht.occupancy dlht in
+  Alcotest.(check int)
+    (what ^ ": occupancy agrees with population")
+    (Dlht.population dlht) occ.Dlht.occ_entries
+
+let test_dlht_churn () =
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "dir" (S.mkdir_p p "/dir");
+  let name i = Printf.sprintf "/dir/f%d" i in
+  let renamed i = Printf.sprintf "/dir/g%d" i in
+  for i = 1 to 50 do
+    get "create" (S.write_file p (name i) "x")
+  done;
+  for i = 1 to 50 do
+    ignore (get "warm" (S.stat p (name i)))
+  done;
+  let dlht = dlht_of kernel p in
+  Alcotest.(check bool) "warm walk populated the table" true (Dlht.population dlht >= 50);
+  check_healthy "after warm" dlht;
+  (* Unlink half: aggressive negative caching (§5.2) flips each dentry to a
+     negative entry in place — the DLHT entry survives, population must not
+     drift, and the ENOENT re-stats are served by the fastpath. *)
+  let pop_before = Dlht.population dlht in
+  for i = 1 to 25 do
+    get "unlink" (S.unlink p (name i))
+  done;
+  check_healthy "after unlink churn" dlht;
+  Alcotest.(check int) "unlink keeps negative entries resident" pop_before
+    (Dlht.population dlht);
+  let neg_before = counter kernel "fastpath_negative_hit" in
+  for i = 1 to 25 do
+    expect_err Errno.ENOENT "unlinked name misses" (S.stat p (name i))
+  done;
+  Alcotest.(check int) "ENOENT re-stats are fastpath negative hits"
+    (neg_before + 25)
+    (counter kernel "fastpath_negative_hit");
+  for i = 1 to 25 do
+    get "recreate" (S.write_file p (name i) "y")
+  done;
+  for i = 1 to 50 do
+    ignore (get "re-warm" (S.stat p (name i)))
+  done;
+  check_healthy "after recreate" dlht;
+  (* Rename churn: every rename shoots down the old path's entry. *)
+  for i = 1 to 50 do
+    get "rename" (S.rename p (name i) (renamed i))
+  done;
+  for i = 1 to 50 do
+    ignore (get "warm renamed" (S.stat p (renamed i)))
+  done;
+  for i = 1 to 50 do
+    expect_err Errno.ENOENT "old name gone" (S.stat p (name i))
+  done;
+  check_healthy "after rename churn" dlht;
+  Kernel.drop_caches kernel;
+  check_healthy "after drop_caches" dlht
+
+let test_dlht_mount_alias_churn () =
+  (* Re-signaturing under a different mount alias removes and re-inserts the
+     dentry with a different signature; the chain splices must stay exact
+     while two aliases fight over the same dentries. *)
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "tree" (S.mkdir_p p "/a/b");
+  get "file" (S.write_file p "/a/b/t" "x");
+  get "bp1" (S.mkdir_p p "/m1");
+  get "bp2" (S.mkdir_p p "/m2");
+  get "bind1" (S.bind_mount p ~src:"/a/b" ~dst:"/m1");
+  get "bind2" (S.bind_mount p ~src:"/a/b" ~dst:"/m2");
+  let dlht = dlht_of kernel p in
+  for _ = 1 to 5 do
+    ignore (get "via m1" (S.stat p "/m1/t"));
+    ignore (get "via m2" (S.stat p "/m2/t"));
+    ignore (get "direct" (S.stat p "/a/b/t"))
+  done;
+  Alcotest.(check bool) "aliases forced re-signatures" true
+    (counter kernel "mount_alias_resignature" > 0);
+  check_healthy "after alias ping-pong" dlht
+
+let test_dlht_bucket_validation () =
+  (* Baseline kernels never create a DLHT, so the namespace is free for a
+     direct module-level check. *)
+  let _kernel, p = ram_kernel ~config:Config.baseline () in
+  Alcotest.check_raises "non-power-of-two rejected"
+    (Invalid_argument "Dlht.of_namespace: bucket count must be a positive power of two")
+    (fun () -> ignore (Dlht.of_namespace ~buckets:1000 p.Proc.ns));
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Dlht.of_namespace: bucket count must be a positive power of two")
+    (fun () -> ignore (Dlht.of_namespace ~buckets:0 p.Proc.ns));
+  let dlht = Dlht.of_namespace ~buckets:64 p.Proc.ns in
+  Alcotest.(check int) "fresh table is empty" 0 (Dlht.population dlht);
+  let occ = Dlht.occupancy dlht in
+  Alcotest.(check int) "64 buckets" 64 occ.Dlht.occ_buckets
+
+let suite =
+  [
+    Alcotest.test_case "warm fastpath hit allocates zero minor words" `Quick
+      test_warm_hit_zero_alloc;
+    Alcotest.test_case "warm negative hit allocates zero minor words" `Quick
+      test_warm_negative_hit_zero_alloc;
+    Alcotest.test_case "in-place hasher matches split+feed_string" `Quick
+      test_inplace_hasher_equivalence;
+    Alcotest.test_case "in-place hasher resumes from cached state" `Quick
+      test_inplace_hasher_resume_mid_path;
+    Alcotest.test_case "in-place hasher dot-dot cursor protocol" `Quick
+      test_inplace_hasher_dotdot_cursor;
+    Alcotest.test_case "in-place hasher grows key material" `Quick test_inplace_hasher_grow;
+    Alcotest.test_case "in-place hasher rejects over-long components" `Quick
+      test_inplace_hasher_toolong;
+    Alcotest.test_case "DLHT churn keeps chains exact" `Quick test_dlht_churn;
+    Alcotest.test_case "DLHT mount-alias re-signature churn" `Quick
+      test_dlht_mount_alias_churn;
+    Alcotest.test_case "DLHT bucket-count validation" `Quick test_dlht_bucket_validation;
+  ]

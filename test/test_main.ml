@@ -8,6 +8,7 @@ let () =
       ("cred", T_cred.suite @ T_cred.propagated_suite);
       ("vfs", T_vfs.suite @ T_vfs.path_suite);
       ("core", T_core.suite @ T_core.extra_suite @ T_core.chroot_suite @ T_core.dnlc_suite @ T_core.dlht_suite @ T_core.chunked_mutation_suite);
+      ("alloc", T_alloc.suite);
       ("syscalls", T_syscalls.suite @ T_syscalls.at_family_suite @ T_syscalls.procfs_suite);
       ("netfs", T_netfs.suite);
       ("dlfs", T_dlfs.suite);
