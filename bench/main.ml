@@ -2,7 +2,8 @@
    evaluation (§6).  Run with no arguments for all experiments at quick
    scale, `--full` for paper-scale parameters, or name experiment ids
    (fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 tab1 tab2 tab3 tab4 ablation
-   bechamel alloc) to run a subset.  See DESIGN.md for the experiment index. *)
+   bechamel alloc faults) to run a subset.  See DESIGN.md for the experiment
+   index. *)
 
 module W = Dcache_workloads
 module Kernel = Dcache_syscalls.Kernel
@@ -1078,6 +1079,128 @@ let alloc () =
     (latency_ns listed)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: hook overhead and degraded-mode behaviour          *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Dcache_util.Fault
+
+let faults () =
+  header "Fault injection: disabled hooks are free, armed faults degrade honestly";
+  let line label words ns = row "%-44s %9.2f words/op %9.1f ns/op\n" label words ns in
+
+  subheader
+    "disabled-hook overhead - warm fastpath probe over the simulated disk\n\
+     (attaching an injector with every site Off must not change ns/op and\n\
+     must keep the probe at 0 words/op)";
+  let words_iters = if !quick then 20_000 else 100_000 in
+  let probe_line label (env : W.Env.t) =
+    let fp = Kernel.fastpath env.W.Env.kernel in
+    let ctx = Proc.walk_ctx env.W.Env.proc in
+    let f () =
+      ignore
+        (Dcache_core.Fastpath.lookup_into fp ctx "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF"
+           ~within:alloc_within)
+    in
+    f ();
+    line label (Stats.minor_words_per_op ~iters:words_iters f) (latency_ns f)
+  in
+  let env_plain = W.Env.disk Config.optimized in
+  W.Lmbench.setup env_plain.W.Env.proc;
+  probe_line "fastpath probe, no injector" env_plain;
+  let inj = Fault.create ~seed:42 () in
+  let env_hooked = W.Env.disk ~faults:inj Config.optimized in
+  W.Lmbench.setup env_hooked.W.Env.proc;
+  probe_line "fastpath probe, injector attached (Off)" env_hooked;
+  let idle_site = Fault.site inj "blockdev.read_eio" in
+  let fire () = ignore (Fault.fire idle_site) in
+  fire ();
+  line "raw disarmed Fault.fire"
+    (Stats.minor_words_per_op ~iters:words_iters fire)
+    (latency_ns fire);
+
+  subheader
+    "warm lookup latency vs RPC loss rate (stat of /export/a/b/file, real +\n\
+     virtual ns/op; each drop costs the 1ms client timeout plus exponential\n\
+     backoff, and a give-up surfaces EIO instead of a stale answer)";
+  let net_latency protocol rate =
+    let clock = Dcache_util.Vclock.create () in
+    let backing = Dcache_fs.Ramfs.create () in
+    let inj = Fault.create ~seed:7 () in
+    let server = Dcache_fs.Netfs.server ~faults:inj ~clock backing in
+    let kernel =
+      Kernel.create ~config:Config.optimized
+        ~root_fs:(Dcache_fs.Netfs.client ~protocol server) ()
+    in
+    let p = Proc.spawn kernel in
+    ok "tree" (S.mkdir_p p "/export/a/b");
+    ok "file" (S.write_file p "/export/a/b/file" "remote");
+    ignore (S.stat p "/export/a/b/file");
+    let drop = Fault.site inj "netfs.drop" in
+    if rate > 0.0 then Fault.arm drop (Fault.Probability rate);
+    Dcache_fs.Netfs.reset_rpc_stats server;
+    let iters = if !quick then 400 else 2000 in
+    let eio = ref 0 in
+    let v0 = Dcache_util.Vclock.elapsed_ns clock in
+    let t0 = Dcache_util.Clock.now_ns () in
+    for _ = 1 to iters do
+      match S.stat p "/export/a/b/file" with Ok _ -> () | Error _ -> incr eio
+    done;
+    let t1 = Dcache_util.Clock.now_ns () in
+    let v1 = Dcache_util.Vclock.elapsed_ns clock in
+    let ns =
+      Int64.to_float (Int64.add (Int64.sub t1 t0) (Int64.sub v1 v0))
+      /. float_of_int iters
+    in
+    (ns, !eio, Dcache_fs.Netfs.rpc_stats server)
+  in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun (label, protocol) ->
+          let ns, eio, st = net_latency protocol rate in
+          let drops = st.Dcache_fs.Netfs.rs_drops in
+          let retries = st.Dcache_fs.Netfs.rs_retries in
+          let giveups = st.Dcache_fs.Netfs.rs_giveups in
+          row
+            "loss %4.1f%%  %-26s %12.1f ns/op   drops %5d  retries %5d  giveups %3d (EIO stats %d)\n"
+            (rate *. 100.0) label ns drops retries giveups eio)
+        [
+          ("stateless (NFS v2/3)", Dcache_fs.Netfs.Stateless);
+          ("stateful (AFS model)", Dcache_fs.Netfs.Stateful);
+        ])
+    [ 0.0; 0.01; 0.05; 0.1 ];
+
+  subheader
+    "transient disk EIO - degraded mode: a 5% read-EIO campaign over\n\
+     cold-cache lookups must propagate errors without polluting the cache";
+  let inj = Fault.create ~seed:9 () in
+  let env = W.Env.disk ~faults:inj Config.optimized in
+  W.Lmbench.setup env.W.Env.proc;
+  W.Env.reset_measurement env;
+  let site = Fault.site inj "blockdev.read_eio" in
+  Fault.arm site (Fault.Probability 0.05);
+  let p = env.W.Env.proc in
+  let rounds = if !quick then 40 else 200 in
+  let eio = ref 0 and okc = ref 0 in
+  for _ = 1 to rounds do
+    W.Env.drop_caches env;
+    match S.stat p "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF" with
+    | Ok _ -> incr okc
+    | Error _ -> incr eio
+  done;
+  Fault.disarm site;
+  let rep = Kernel.scrub env.W.Env.kernel in
+  row "%-44s %d ok, %d EIO over %d cold lookups\n" "lookup outcomes" !okc !eio rounds;
+  row "%-44s %d injected / %d arrivals\n" "blockdev.read_eio site"
+    (Fault.injected site) (Fault.arrivals site);
+  row "%-44s %d (paths exist; EIO must not cache absence)\n" "negative dentries created"
+    (counter env "negative_created");
+  row "%-44s %d fallbacks declined to populate\n" "fastpath_eio_no_populate"
+    (counter env "fastpath_eio_no_populate");
+  row "%-44s dcache %d, dlht %d quarantined (expect 0)\n" "post-campaign scrub"
+    rep.Kernel.dcache_quarantined rep.Kernel.dlht_quarantined
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1086,7 +1209,7 @@ let experiments =
     ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("tab1", tab1); ("tab2", tab2);
     ("tab3", tab3); ("tab4", tab4); ("ablation", ablation); ("bechamel", bechamel);
-    ("alloc", alloc);
+    ("alloc", alloc); ("faults", faults);
   ]
 
 let () =

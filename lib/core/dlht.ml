@@ -22,6 +22,9 @@ type t = {
 
 type ns_ext += Dlht_ext of t
 
+let of_namespace_opt ns =
+  match ns.ns_ext with Some (Dlht_ext t) -> Some t | Some _ | None -> None
+
 let of_namespace ~buckets ns =
   match ns.ns_ext with
   | Some (Dlht_ext t) -> t
@@ -171,3 +174,76 @@ let self_check t =
   if !entries <> t.count then
     note "population: counted %d chained entries but count = %d" !entries t.count;
   List.rev !problems
+
+(* --- scrub ---
+
+   Where [self_check] reports inconsistencies, [scrub] removes them: an
+   entry whose chain links, membership mark or signature disagree with the
+   table must not be served (a probe could return a dentry for the wrong
+   path), so it is quarantined — spliced out and stripped of membership.
+   The dentry itself stays cached; the slowpath re-resolves and, if the
+   dentry is healthy, republishes it. *)
+
+type scrub_report = {
+  scrub_scanned : int;
+  scrub_quarantined : int;
+  scrub_problems : string list;
+}
+
+(* Splice [d] out of bucket [idx] by identity: the quarantined entry's
+   signature and prev link are exactly what we cannot trust, so re-walk the
+   chain from the head instead of using [remove_from]. *)
+let unchain t idx d =
+  let rec fix prev cell =
+    match cell with
+    | None -> ()
+    | Some x when x == d -> (
+      let next = d.d_dlht_next in
+      (match prev with
+      | None -> t.buckets.(idx) <- next
+      | Some p -> p.d_dlht_next <- next);
+      match next with Some n -> n.d_dlht_prev <- prev | None -> ())
+    | Some x -> fix (Some x) x.d_dlht_next
+  in
+  fix None t.buckets.(idx);
+  d.d_dlht_next <- None;
+  d.d_dlht_prev <- None;
+  d.d_dlht_ns <- None;
+  t.count <- t.count - 1
+
+let scrub t =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let scanned = ref 0 in
+  let bad = ref [] in
+  Array.iteri
+    (fun idx head ->
+      let rec walk prev = function
+        | None -> ()
+        | Some d ->
+          incr scanned;
+          let prev_ok =
+            match (prev, d.d_dlht_prev) with
+            | None, None -> true
+            | Some p, Some q -> q == p
+            | None, Some _ | Some _, None -> false
+          in
+          let member_ok = match d.d_dlht_ns with Some ns -> ns == t.ns | None -> false in
+          let sig_ok = match d.d_sig with Some s -> bucket_of t s = idx | None -> false in
+          if not (prev_ok && member_ok && sig_ok) then begin
+            note "bucket %d: quarantined %s (%s)" idx d.d_name
+              (if not sig_ok then "signature/bucket mismatch"
+               else if not member_ok then "membership mark"
+               else "broken prev link");
+            bad := (idx, d) :: !bad
+          end;
+          walk (Some d) d.d_dlht_next
+      in
+      walk None head)
+    t.buckets;
+  List.iter (fun (idx, d) -> unchain t idx d) !bad;
+  {
+    scrub_scanned = !scanned;
+    scrub_quarantined = List.length !bad;
+    scrub_problems = List.rev !problems;
+  }

@@ -24,6 +24,9 @@ val of_namespace : buckets:int -> namespace -> t
     @raise Invalid_argument if [buckets] is not a positive power of two
     (the bucket index is computed by masking the signature's low bits). *)
 
+val of_namespace_opt : namespace -> t option
+(** The namespace's table if one has been created; never creates. *)
+
 val insert : t -> namespace -> dentry -> Signature.t -> unit
 (** Publish [dentry] under [signature]; removes any previous membership
     (other signature or other namespace) first and records the membership
@@ -59,3 +62,17 @@ val self_check : t -> string list
 (** Structural invariant check over the intrusive chains (prev/next
     consistency, membership marks, bucket placement, exact count); empty
     when healthy.  For tests. *)
+
+type scrub_report = {
+  scrub_scanned : int;  (** chained entries examined *)
+  scrub_quarantined : int;  (** entries spliced out *)
+  scrub_problems : string list;  (** one line per quarantined entry *)
+}
+
+val scrub : t -> scrub_report
+(** Integrity pass that {e repairs}: every chained entry whose links,
+    membership mark or signature disagree with the table is quarantined —
+    removed from its bucket and stripped of DLHT membership — instead of
+    being left to answer probes for the wrong path.  The dentry itself
+    stays in the dcache; a later slowpath walk republishes it if healthy.
+    Call under the dcache write lock. *)

@@ -494,8 +494,15 @@ let fallback t ctx ~flags ~absolute ~start path ~within =
           ~flags:{ flags with Walk.collect = true }
           path
       in
-      if Dcache.invalidation_counter t.dcache = invalidation_before then
-        populate t ctx ~visited:result.Walk.visited ~absolute ~start;
+      (* §3.2 extended to I/O failures: a walk that died on a transient
+         EIO says nothing trustworthy about the tree — the visited prefix
+         may describe state the device no longer backs — so publish
+         nothing and let a later, healthy walk repopulate. *)
+      (match result.Walk.outcome with
+      | Error Errno.EIO -> Counter.incr (Dcache.counters t.dcache) "fastpath_eio_no_populate"
+      | Ok _ | Error _ ->
+        if Dcache.invalidation_counter t.dcache = invalidation_before then
+          populate t ctx ~visited:result.Walk.visited ~absolute ~start);
       match result.Walk.outcome with
       | Ok r -> within r.mnt r.dentry
       | Error e -> Error e)

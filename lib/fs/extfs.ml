@@ -826,12 +826,54 @@ let make_fs st =
     revalidate = None;
   }
 
+(* Storage faults surface as [Errno.Error] exceptions raised inside the
+   page cache; convert them into [Error] results at the interface boundary
+   so the VFS sees an honest errno instead of an exception unwinding
+   through a half-finished walk.  [sync]/[pin]/[unpin] have no result
+   channel: a failure there leaves its pages dirty (retried by the next
+   flush) and is swallowed, exactly the silent outcome a dying disk gives
+   the kernel — fsck or a scrub finds the damage later. *)
+let shield (fs : Fs_intf.t) =
+  let open Fs_intf in
+  {
+    fs with
+    lookup = (fun dir name -> try fs.lookup dir name with Errno.Error e -> Error e);
+    getattr = (fun ino -> try fs.getattr ino with Errno.Error e -> Error e);
+    setattr = (fun ino changes -> try fs.setattr ino changes with Errno.Error e -> Error e);
+    readdir = (fun dir -> try fs.readdir dir with Errno.Error e -> Error e);
+    create =
+      (fun dir name kind mode ~uid ~gid ->
+        try fs.create dir name kind mode ~uid ~gid with Errno.Error e -> Error e);
+    symlink =
+      (fun dir name ~target ~uid ~gid ->
+        try fs.symlink dir name ~target ~uid ~gid with Errno.Error e -> Error e);
+    link = (fun dir name ino -> try fs.link dir name ino with Errno.Error e -> Error e);
+    unlink = (fun dir name -> try fs.unlink dir name with Errno.Error e -> Error e);
+    rmdir = (fun dir name -> try fs.rmdir dir name with Errno.Error e -> Error e);
+    rename =
+      (fun old_dir old_name new_dir new_name ->
+        try fs.rename old_dir old_name new_dir new_name with Errno.Error e -> Error e);
+    readlink = (fun ino -> try fs.readlink ino with Errno.Error e -> Error e);
+    read = (fun ino ~off ~len -> try fs.read ino ~off ~len with Errno.Error e -> Error e);
+    write = (fun ino ~off data -> try fs.write ino ~off data with Errno.Error e -> Error e);
+    sync = (fun () -> try fs.sync () with Errno.Error _ -> ());
+    pin_inode = (fun ino -> try fs.pin_inode ino with Errno.Error _ -> ());
+    unpin_inode = (fun ino -> try fs.unpin_inode ino with Errno.Error _ -> ());
+  }
+
 let mount cache =
-  let* geo = read_geometry cache in
-  Ok (make_fs { cache; geo; pins = Hashtbl.create 16; inode_hint = 0; block_hint = 0 })
+  match
+    let* geo = read_geometry cache in
+    Ok (shield (make_fs { cache; geo; pins = Hashtbl.create 16; inode_hint = 0; block_hint = 0 }))
+  with
+  | result -> result
+  | exception Errno.Error e -> Error e
 
 let mkfs_and_mount cache =
   mkfs cache;
   match mount cache with
   | Ok fs -> fs
-  | Error _ -> assert false
+  | Error e ->
+    (* Only reachable when a fault was injected between format and mount:
+       propagate the device error rather than dying on an assert. *)
+    raise (Errno.Error e)

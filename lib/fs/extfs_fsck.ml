@@ -118,7 +118,7 @@ let dir_entries cache geo d =
     d.direct;
   List.rev !entries
 
-let check cache =
+let check_exn cache =
   match read_geo cache with
   | Error _ as e -> Result.map (fun _ -> assert false) e
   | Ok geo ->
@@ -226,6 +226,9 @@ let check cache =
         directories = !directories;
         symlinks = !symlinks;
       }
+
+(* A device that errors mid-check must fail the check, not the checker. *)
+let check cache = try check_exn cache with Errno.Error e -> Error e
 
 let pp_report fmt report =
   Format.fprintf fmt "inodes=%d blocks=%d files=%d dirs=%d symlinks=%d@."

@@ -1,9 +1,24 @@
 open Dcache_types
 open Fs_intf
+module Fault = Dcache_util.Fault
+module Vclock = Dcache_util.Vclock
 
 type protocol = Stateless | Stateful
 
 type callback = { mutable on_break : int -> unit }
+
+(* Per-server fault sites: a fired "netfs.drop" loses one exchange (the
+   client sees a timeout), a fired "netfs.delay" adds [delay_ns] to an
+   otherwise successful round trip. *)
+type faults = { drop : Fault.site; delay : Fault.site; delay_ns : int64 }
+
+type rpc_stats = {
+  mutable rs_drops : int;  (** exchanges lost to the drop site *)
+  mutable rs_delays : int;
+  mutable rs_retries : int;  (** client retransmissions *)
+  mutable rs_giveups : int;  (** logical ops failed EIO after max retries *)
+  mutable rs_drc_hits : int;  (** duplicates answered from the reply cache *)
+}
 
 type server = {
   backing : Fs_intf.t;
@@ -12,9 +27,21 @@ type server = {
   generations : (int, int) Hashtbl.t;  (* per-inode change generation *)
   mutable rpcs : int;
   cb : callback;
+  faults : faults option;
+  stats : rpc_stats;
 }
 
-let server ?(rpc_latency_ns = 120_000) ~clock backing =
+let server ?(rpc_latency_ns = 120_000) ?faults ?(delay_ns = 2_000_000) ~clock backing =
+  let faults =
+    Option.map
+      (fun injector ->
+        {
+          drop = Fault.site injector "netfs.drop";
+          delay = Fault.site injector "netfs.delay";
+          delay_ns = Int64.of_int delay_ns;
+        })
+      faults
+  in
   {
     backing;
     clock;
@@ -22,10 +49,22 @@ let server ?(rpc_latency_ns = 120_000) ~clock backing =
     generations = Hashtbl.create 256;
     rpcs = 0;
     cb = { on_break = (fun _ -> ()) };
+    faults;
+    stats = { rs_drops = 0; rs_delays = 0; rs_retries = 0; rs_giveups = 0; rs_drc_hits = 0 };
   }
 
 let rpc_count t = t.rpcs
 let reset_rpc_count t = t.rpcs <- 0
+let rpc_stats t = t.stats
+
+let reset_rpc_stats t =
+  let s = t.stats in
+  s.rs_drops <- 0;
+  s.rs_delays <- 0;
+  s.rs_retries <- 0;
+  s.rs_giveups <- 0;
+  s.rs_drc_hits <- 0
+
 let callbacks t = t.cb
 
 let generation t ino = Option.value (Hashtbl.find_opt t.generations ino) ~default:0
@@ -36,13 +75,74 @@ let break_callback t ino =
   bump_generation t ino;
   t.cb.on_break ino
 
-(* One server round trip. *)
-let rpc t f =
-  t.rpcs <- t.rpcs + 1;
-  Dcache_util.Vclock.charge t.clock t.rpc_latency;
-  f t.backing
+type retry_policy = {
+  timeout_ns : int;  (** how long the client waits before retransmitting *)
+  max_retries : int;  (** retransmissions before giving up with [EIO] *)
+  backoff_base_ns : int;  (** first retry delay; doubles per retry *)
+  backoff_max_ns : int;  (** cap on the exponential backoff *)
+}
 
-let client ~protocol server =
+let default_retry =
+  { timeout_ns = 1_000_000; max_retries = 4; backoff_base_ns = 500_000; backoff_max_ns = 8_000_000 }
+
+(* One logical RPC: at-least-once retransmission with idempotency-aware
+   duplicate suppression.
+
+   A dropped exchange is modelled pessimally for each class of request.
+   For an idempotent one the request itself is lost (the server never
+   executes); for a mutating one the server executes and the *reply* is
+   lost — the case a duplicate-reply cache exists for.  The retransmission
+   carries the same transaction id, so the server answers a recognized
+   duplicate from the recorded reply instead of re-executing ([rs_drc_hits]);
+   without that, a retried [create] would bounce with [EEXIST] and a retried
+   [rename] could apply twice.  [reply = Some r] below {e is} the DRC entry
+   for the op in flight — entries are dropped once the reply gets through,
+   which is the usual "singleton slot per channel" NFS server behaviour.
+
+   Every lost exchange burns the full client timeout on the virtual clock,
+   then an exponentially backed-off pause before the resend; after
+   [max_retries] resends the op fails with [EIO] — the cache above must
+   treat that as "unknown", never as "absent". *)
+let rpc t policy ~idempotent f =
+  let rec go attempt ~reply =
+    t.rpcs <- t.rpcs + 1;
+    let dropped = match t.faults with Some fl -> Fault.fire fl.drop | None -> false in
+    let reply =
+      if dropped && idempotent then reply
+      else
+        match reply with
+        | Some _ ->
+          t.stats.rs_drc_hits <- t.stats.rs_drc_hits + 1;
+          reply
+        | None -> Some (f t.backing)
+    in
+    if dropped then begin
+      t.stats.rs_drops <- t.stats.rs_drops + 1;
+      Vclock.charge t.clock (Int64.of_int policy.timeout_ns);
+      if attempt >= policy.max_retries then begin
+        t.stats.rs_giveups <- t.stats.rs_giveups + 1;
+        Errno.to_error Errno.EIO
+      end
+      else begin
+        t.stats.rs_retries <- t.stats.rs_retries + 1;
+        let backoff = min policy.backoff_max_ns (policy.backoff_base_ns lsl attempt) in
+        Vclock.charge t.clock (Int64.of_int backoff);
+        go (attempt + 1) ~reply
+      end
+    end
+    else begin
+      (match t.faults with
+      | Some fl when Fault.fire fl.delay ->
+        t.stats.rs_delays <- t.stats.rs_delays + 1;
+        Vclock.charge t.clock fl.delay_ns
+      | _ -> ());
+      Vclock.charge t.clock t.rpc_latency;
+      match reply with Some r -> r | None -> assert false
+    end
+  in
+  go 0 ~reply:None
+
+let client ~protocol ?(retry = default_retry) server =
   let fs = server.backing in
   (* What generation of each inode this client last saw; refreshed by any
      RPC that returns the inode's attributes. *)
@@ -56,7 +156,7 @@ let client ~protocol server =
     Hashtbl.replace seen ino (generation server ino)
   in
   let revalidate ino =
-    rpc server (fun backing ->
+    rpc server retry ~idempotent:true (fun backing ->
         match backing.getattr ino with
         | Error Errno.EIO -> Ok false (* the inode is gone on the server *)
         | Error _ as e -> Result.map (fun _ -> false) e
@@ -77,58 +177,58 @@ let client ~protocol server =
        dentries are disabled so every miss re-asks the server. *)
     negative_dentries = (protocol = Stateful);
     lookup =
-      (fun dir name -> rpc server (fun b -> Result.map note_attr (b.lookup dir name)));
-    getattr = (fun ino -> rpc server (fun b -> Result.map note_attr (b.getattr ino)));
+      (fun dir name -> rpc server retry ~idempotent:true (fun b -> Result.map note_attr (b.lookup dir name)));
+    getattr = (fun ino -> rpc server retry ~idempotent:true (fun b -> Result.map note_attr (b.getattr ino)));
     setattr =
       (fun ino changes ->
-        rpc server (fun b ->
+        rpc server retry ~idempotent:false (fun b ->
             let result = b.setattr ino changes in
             mutated ino;
             Result.map note_attr result));
-    readdir = (fun dir -> rpc server (fun b -> b.readdir dir));
+    readdir = (fun dir -> rpc server retry ~idempotent:true (fun b -> b.readdir dir));
     create =
       (fun dir name kind mode ~uid ~gid ->
-        rpc server (fun b ->
+        rpc server retry ~idempotent:false (fun b ->
             let result = b.create dir name kind mode ~uid ~gid in
             mutated dir;
             Result.map note_attr result));
     symlink =
       (fun dir name ~target ~uid ~gid ->
-        rpc server (fun b ->
+        rpc server retry ~idempotent:false (fun b ->
             let result = b.symlink dir name ~target ~uid ~gid in
             mutated dir;
             Result.map note_attr result));
     link =
       (fun dir name ino ->
-        rpc server (fun b ->
+        rpc server retry ~idempotent:false (fun b ->
             let result = b.link dir name ino in
             mutated dir;
             mutated ino;
             Result.map note_attr result));
     unlink =
       (fun dir name ->
-        rpc server (fun b ->
+        rpc server retry ~idempotent:false (fun b ->
             let result = b.unlink dir name in
             mutated dir;
             result));
     rmdir =
       (fun dir name ->
-        rpc server (fun b ->
+        rpc server retry ~idempotent:false (fun b ->
             let result = b.rmdir dir name in
             mutated dir;
             result));
     rename =
       (fun od on nd nn ->
-        rpc server (fun b ->
+        rpc server retry ~idempotent:false (fun b ->
             let result = b.rename od on nd nn in
             mutated od;
             mutated nd;
             result));
-    readlink = (fun ino -> rpc server (fun b -> b.readlink ino));
-    read = (fun ino ~off ~len -> rpc server (fun b -> b.read ino ~off ~len));
+    readlink = (fun ino -> rpc server retry ~idempotent:true (fun b -> b.readlink ino));
+    read = (fun ino ~off ~len -> rpc server retry ~idempotent:true (fun b -> b.read ino ~off ~len));
     write =
       (fun ino ~off data ->
-        rpc server (fun b ->
+        rpc server retry ~idempotent:false (fun b ->
             let result = b.write ino ~off data in
             mutated ino;
             result));

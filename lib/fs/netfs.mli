@@ -27,15 +27,56 @@ type protocol = Stateless | Stateful
 
 type server
 
-val server : ?rpc_latency_ns:int -> clock:Dcache_util.Vclock.t -> Fs_intf.t -> server
-(** [rpc_latency_ns] defaults to 120_000 (a 120 µs LAN round trip). *)
+val server :
+  ?rpc_latency_ns:int ->
+  ?faults:Dcache_util.Fault.t ->
+  ?delay_ns:int ->
+  clock:Dcache_util.Vclock.t ->
+  Fs_intf.t ->
+  server
+(** [rpc_latency_ns] defaults to 120_000 (a 120 µs LAN round trip).
+
+    [faults] attaches the link to a fault injector with two sites:
+    ["netfs.drop"] loses one request/reply exchange (the client observes a
+    timeout and retransmits, see {!retry_policy}), ["netfs.delay"] adds
+    [delay_ns] (default 2 ms) to an otherwise successful round trip. *)
 
 val rpc_count : server -> int
-(** Total RPCs served (for tests and benchmarks). *)
+(** Total RPCs served, including retransmissions (for tests and
+    benchmarks). *)
 
 val reset_rpc_count : server -> unit
 
-val client : protocol:protocol -> server -> Fs_intf.t
+type retry_policy = {
+  timeout_ns : int;  (** client wait before a retransmission *)
+  max_retries : int;  (** retransmissions before giving up with [EIO] *)
+  backoff_base_ns : int;  (** first retry delay; doubles per retry *)
+  backoff_max_ns : int;  (** cap on the exponential backoff *)
+}
+
+val default_retry : retry_policy
+(** 1 ms timeout, 4 retries, 0.5 ms backoff doubling up to 8 ms. *)
+
+type rpc_stats = {
+  mutable rs_drops : int;  (** exchanges lost to the drop site *)
+  mutable rs_delays : int;
+  mutable rs_retries : int;  (** client retransmissions *)
+  mutable rs_giveups : int;  (** logical ops failed [EIO] after max retries *)
+  mutable rs_drc_hits : int;  (** duplicates answered from the reply cache *)
+}
+
+val rpc_stats : server -> rpc_stats
+val reset_rpc_stats : server -> unit
+
+val client : protocol:protocol -> ?retry:retry_policy -> server -> Fs_intf.t
+(** Every lost exchange costs the client its full [timeout_ns] on the
+    virtual clock plus an exponentially backed-off pause before the resend.
+    Retransmission is idempotency-aware: mutating requests that executed
+    but lost their reply are answered from a duplicate-reply cache instead
+    of re-executing (so a retried [create] does not return [EEXIST] and a
+    retried [rename] cannot apply twice).  After [max_retries] resends the
+    operation fails with [Error EIO] — which the VFS above treats as
+    "unknown", never caching it as absence. *)
 
 val bump_generation : server -> int -> unit
 (** Mark inode [ino] changed on the server out-of-band: a [Stateless]

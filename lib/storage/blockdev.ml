@@ -1,3 +1,7 @@
+module Fault = Dcache_util.Fault
+module Prng = Dcache_util.Prng
+module Errno = Dcache_types.Errno
+
 type config = {
   block_size : int;
   block_count : int;
@@ -15,6 +19,18 @@ let default_config =
     transfer_ns = 25_000L;
   }
 
+(* Fault sites of one device.  [corrupt] supplies the payload randomness of
+   the corruption modes (which bit flips, where a torn write tears), kept
+   separate from the schedule PRNGs so arming one mode never shifts
+   another's choices. *)
+type faults = {
+  read_fail : Fault.site;
+  write_fail : Fault.site;
+  torn_write : Fault.site;
+  read_bitflip : Fault.site;
+  corrupt : Prng.t;
+}
+
 type t = {
   config : config;
   clock : Dcache_util.Vclock.t;
@@ -23,9 +39,21 @@ type t = {
   mutable last_block : int;
   mutable read_count : int;
   mutable write_count : int;
+  faults : faults option;
+  mutable read_errors : int;
+  mutable write_errors : int;
 }
 
-let create ?(config = default_config) clock =
+let attach_faults injector =
+  {
+    read_fail = Fault.site injector "blockdev.read_eio";
+    write_fail = Fault.site injector "blockdev.write_eio";
+    torn_write = Fault.site injector "blockdev.torn_write";
+    read_bitflip = Fault.site injector "blockdev.read_bitflip";
+    corrupt = Prng.create (Fault.seed injector lxor 0x626c6b);
+  }
+
+let create ?(config = default_config) ?faults clock =
   {
     config;
     clock;
@@ -33,6 +61,9 @@ let create ?(config = default_config) clock =
     last_block = -2;
     read_count = 0;
     write_count = 0;
+    faults = Option.map attach_faults faults;
+    read_errors = 0;
+    write_errors = 0;
   }
 
 let block_size t = t.config.block_size
@@ -53,9 +84,29 @@ let read_block t n =
   check_bounds t n;
   charge_access t n;
   t.read_count <- t.read_count + 1;
-  match Hashtbl.find_opt t.store n with
-  | Some data -> Bytes.copy data
-  | None -> Bytes.make t.config.block_size '\000'
+  match t.faults with
+  | None -> (
+    match Hashtbl.find_opt t.store n with
+    | Some data -> Bytes.copy data
+    | None -> Bytes.make t.config.block_size '\000')
+  | Some f ->
+    if Fault.fire f.read_fail then begin
+      t.read_errors <- t.read_errors + 1;
+      raise (Errno.Error Errno.EIO)
+    end;
+    let data =
+      match Hashtbl.find_opt t.store n with
+      | Some data -> Bytes.copy data
+      | None -> Bytes.make t.config.block_size '\000'
+    in
+    if Fault.fire f.read_bitflip then begin
+      (* Transient corruption (a bad transfer, not bad media): the flip
+         lives only in this copy, so a re-read may see clean data. *)
+      let bit = Prng.int f.corrupt (t.config.block_size * 8) in
+      let byte = bit / 8 in
+      Bytes.set data byte (Char.chr (Char.code (Bytes.get data byte) lxor (1 lsl (bit mod 8))))
+    end;
+    data
 
 let write_block t n data =
   check_bounds t n;
@@ -63,11 +114,46 @@ let write_block t n data =
     invalid_arg "Blockdev.write_block: wrong block size";
   charge_access t n;
   t.write_count <- t.write_count + 1;
-  Hashtbl.replace t.store n (Bytes.copy data)
+  match t.faults with
+  | None -> Hashtbl.replace t.store n (Bytes.copy data)
+  | Some f ->
+    if Fault.fire f.write_fail then begin
+      t.write_errors <- t.write_errors + 1;
+      raise (Errno.Error Errno.EIO)
+    end;
+    if Fault.fire f.torn_write then begin
+      (* Power failed mid-write: a sector-aligned prefix of the new data
+         lands, the tail keeps the old contents, and nobody is told.  The
+         damage is only discoverable later (fsck, checksums). *)
+      let sectors = t.config.block_size / 512 in
+      let keep = 512 * Prng.int f.corrupt sectors in
+      let merged =
+        match Hashtbl.find_opt t.store n with
+        | Some old -> Bytes.copy old
+        | None -> Bytes.make t.config.block_size '\000'
+      in
+      Bytes.blit data 0 merged 0 keep;
+      Hashtbl.replace t.store n merged
+    end
+    else Hashtbl.replace t.store n (Bytes.copy data)
+
+let read_block_result t n =
+  match read_block t n with
+  | data -> Ok data
+  | exception Errno.Error e -> Error e
+
+let write_block_result t n data =
+  match write_block t n data with
+  | () -> Ok ()
+  | exception Errno.Error e -> Error e
 
 let reads t = t.read_count
 let writes t = t.write_count
+let read_errors t = t.read_errors
+let write_errors t = t.write_errors
 
 let reset_stats t =
   t.read_count <- 0;
-  t.write_count <- 0
+  t.write_count <- 0;
+  t.read_errors <- 0;
+  t.write_errors <- 0

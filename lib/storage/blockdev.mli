@@ -4,7 +4,19 @@
     virtual clock with a simple latency model (seek + rotational delay for
     non-sequential access, plus per-block transfer time), so experiments that
     miss the page cache become I/O-bound exactly as on real hardware, without
-    the simulator actually sleeping. *)
+    the simulator actually sleeping.
+
+    A device built with [~faults] registers four sites against the injector:
+
+    - ["blockdev.read_eio"] / ["blockdev.write_eio"]: the access fails with
+      [Errno.Error EIO] (media error);
+    - ["blockdev.torn_write"]: the write silently persists only a
+      sector-aligned prefix of the new data (power loss mid-write);
+    - ["blockdev.read_bitflip"]: one random bit of the returned copy is
+      flipped (a bad transfer — transient, a re-read may be clean).
+
+    With all sites disarmed the extra cost per access is one integer bump
+    per site and no allocation. *)
 
 type t
 
@@ -19,17 +31,33 @@ type config = {
 val default_config : config
 (** 4 KB blocks, ~8 ms random access, ~25 us transfer: a 7200 RPM disk. *)
 
-val create : ?config:config -> Dcache_util.Vclock.t -> t
+val create : ?config:config -> ?faults:Dcache_util.Fault.t -> Dcache_util.Vclock.t -> t
+(** [faults] attaches the device to a fault injector (sites above). *)
+
 val block_size : t -> int
 val block_count : t -> int
 
 val read_block : t -> int -> bytes
-(** [read_block t n] returns a copy of block [n], charging the clock. *)
+(** [read_block t n] returns a copy of block [n], charging the clock.
+    @raise Dcache_types.Errno.Error [EIO] when an armed read fault fires. *)
 
 val write_block : t -> int -> bytes -> unit
 (** [write_block t n data] stores [data] (must be exactly [block_size]
-    bytes), charging the clock. *)
+    bytes), charging the clock.
+    @raise Dcache_types.Errno.Error [EIO] when an armed write fault fires. *)
+
+val read_block_result : t -> int -> (bytes, Dcache_types.Errno.t) result
+(** {!read_block} with the injected failure as a result instead of an
+    exception. *)
+
+val write_block_result : t -> int -> bytes -> (unit, Dcache_types.Errno.t) result
 
 val reads : t -> int
 val writes : t -> int
+
+val read_errors : t -> int
+(** Injected read failures observed so far (torn writes and bit flips are
+    silent; see {!Dcache_util.Fault.injected} on their sites). *)
+
+val write_errors : t -> int
 val reset_stats : t -> unit

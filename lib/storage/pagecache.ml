@@ -1,4 +1,5 @@
 module Dlist = Dcache_util.Dlist
+module Fault = Dcache_util.Fault
 
 type page = { block : int; data : bytes; mutable dirty : bool; lru : page Dlist.node Lazy.t }
 
@@ -56,7 +57,28 @@ let lookup t n =
     Dlist.push_front t.lru (Lazy.force page.lru);
     page
 
-let with_page t n f = f (lookup t n).data
+(* FNV-1a over the page, for the debug-mode mutation check.  Cheap enough
+   to run twice per access when enabled, and any accidental store through a
+   read-only view changes it with overwhelming probability. *)
+let page_sum data =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Bytes.length data - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get data i)) * 0x01000193 land 0x3FFFFFFFFFFFFFF
+  done;
+  !h
+
+let with_page t n f =
+  let page = lookup t n in
+  if !Fault.checks_enabled then begin
+    let before = page_sum page.data in
+    let result = f page.data in
+    if page_sum page.data <> before then
+      failwith
+        (Printf.sprintf
+           "Pagecache.with_page: callback mutated block %d (use with_page_mut)" n);
+    result
+  end
+  else f page.data
 
 let with_page_mut t n f =
   let page = lookup t n in
@@ -79,6 +101,18 @@ let drop_caches t =
   while Dlist.pop_front t.lru <> None do
     ()
   done
+
+(* Power loss: every cached page vanishes, dirty ones without writeback.
+   The device is left holding exactly what was flushed (or evicted) before
+   the crash — the state Extfs_fsck judges recovery from. *)
+let crash t =
+  let lost = ref 0 in
+  Dlist.iter (fun page -> if page.dirty then incr lost) t.lru;
+  Hashtbl.reset t.pages;
+  while Dlist.pop_front t.lru <> None do
+    ()
+  done;
+  !lost
 
 let hits t = t.hit_count
 let misses t = t.miss_count

@@ -13,7 +13,9 @@ val block_size : t -> int
 
 val with_page : t -> int -> (bytes -> 'a) -> 'a
 (** [with_page t n f] runs [f] on the cached page for block [n] (reading it
-    in on a miss).  [f] must not retain or mutate the page. *)
+    in on a miss).  [f] must not retain or mutate the page; when
+    {!Dcache_util.Fault.checks_enabled} is set a checksum taken around [f]
+    turns a mutation into an immediate [Failure]. *)
 
 val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
 (** Like {!with_page} but the page is marked dirty; [f] may mutate it. *)
@@ -29,6 +31,12 @@ val flush : t -> unit
 
 val drop_caches : t -> unit
 (** Flush, then discard every cached page: the next access hits the disk. *)
+
+val crash : t -> int
+(** Simulated power loss: discard every cached page {e without} writing
+    dirty ones back, leaving the device holding only what was flushed or
+    evicted beforehand.  Returns the number of dirty pages lost.  Mount a
+    fresh cache over the device to model the reboot. *)
 
 val hits : t -> int
 val misses : t -> int

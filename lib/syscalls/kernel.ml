@@ -61,5 +61,31 @@ let drop_caches t =
   Hashtbl.reset t.dnlc;
   Dcache.with_write t.dcache (fun () -> Dcache.purge t.dcache)
 
+type scrub_report = {
+  dcache_quarantined : int;
+  dlht_quarantined : int;
+  scrub_problems : string list;
+}
+
+(* Degraded-mode integrity pass: quarantine (rather than serve) any cache
+   state a fault campaign managed to corrupt.  Dcache first — detaching a
+   broken dentry also shoots down its DLHT entry — then a table-local pass
+   over the DLHT chains. *)
+let scrub t =
+  Dcache.with_write t.dcache (fun () ->
+      let d = Dcache.scrub t.dcache in
+      let dlht_quarantined, dlht_problems =
+        match Dcache_core.Dlht.of_namespace_opt t.init_ns with
+        | None -> (0, [])
+        | Some table ->
+          let r = Dcache_core.Dlht.scrub table in
+          (r.Dcache_core.Dlht.scrub_quarantined, r.Dcache_core.Dlht.scrub_problems)
+      in
+      {
+        dcache_quarantined = d.Dcache.scrub_quarantined;
+        dlht_quarantined;
+        scrub_problems = d.Dcache.scrub_problems @ dlht_problems;
+      })
+
 let stats_snapshot t = Dcache_util.Stats.Counter.to_assoc (Dcache.counters t.dcache)
 let reset_stats t = Dcache_util.Stats.Counter.reset (Dcache.counters t.dcache)

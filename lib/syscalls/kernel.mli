@@ -37,5 +37,18 @@ val drop_caches : t -> unit
 (** Evict every unpinned dentry — the cold-cache experiment setup (Table 2).
     The caller drops its page caches separately. *)
 
+type scrub_report = {
+  dcache_quarantined : int;
+  dlht_quarantined : int;
+  scrub_problems : string list;
+}
+
+val scrub : t -> scrub_report
+(** Degraded-mode integrity pass (under the write lock): run
+    {!Dcache_vfs.Dcache.scrub} then {!Dcache_core.Dlht.scrub} on the init
+    namespace's table, quarantining inconsistent entries instead of serving
+    them.  Cheap no-op on a healthy cache; tests and the [faults] bench run
+    it after fault campaigns. *)
+
 val stats_snapshot : t -> (string * int) list
 val reset_stats : t -> unit

@@ -1,0 +1,104 @@
+(* Central fault-injection registry.
+
+   Every layer that can fail registers named sites ("blockdev.read_eio",
+   "netfs.drop", ...) against an injector and asks [fire] at the point the
+   failure would be observed.  Schedules are driven by the deterministic
+   PRNG, so a fault campaign replays exactly from its seed.
+
+   The disabled path is deliberately allocation-free: a disarmed [fire] is
+   one integer bump and a constructor match, so production-shaped code can
+   keep its fault hooks compiled in without perturbing the warm-fastpath
+   zero-allocation guarantee (asserted in test/t_alloc.ml and t_fault.ml). *)
+
+type schedule =
+  | Off
+  | Always
+  | Nth of int
+  | Probability of float
+  | Window of { first : int; last : int }
+
+type site = {
+  s_name : string;
+  s_prng : Prng.t;
+  mutable s_schedule : schedule;
+  mutable s_armed_at : int;  (* [s_arrivals] when the schedule was armed *)
+  mutable s_arrivals : int;
+  mutable s_injected : int;
+}
+
+type t = {
+  seed : int;
+  by_name : (string, site) Hashtbl.t;
+  mutable order : site list;  (* reverse registration order *)
+}
+
+exception Crash of string
+
+let checks_enabled = ref false
+
+let create ?(seed = 1) () = { seed; by_name = Hashtbl.create 16; order = [] }
+
+let seed t = t.seed
+
+let site t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some s -> s
+  | None ->
+    (* Derive the per-site stream from (injector seed, site name) so adding
+       or reordering sites never perturbs another site's schedule. *)
+    let s =
+      {
+        s_name = name;
+        s_prng = Prng.create ((t.seed lxor (Hashtbl.hash name * 0x9e3779b9)) land max_int);
+        s_schedule = Off;
+        s_armed_at = 0;
+        s_arrivals = 0;
+        s_injected = 0;
+      }
+    in
+    Hashtbl.add t.by_name name s;
+    t.order <- s :: t.order;
+    s
+
+let sites t = List.rev t.order
+let name s = s.s_name
+let arrivals s = s.s_arrivals
+let injected s = s.s_injected
+
+let arm s schedule =
+  (match schedule with
+  | Nth n when n <= 0 -> invalid_arg "Fault.arm: Nth wants a positive ordinal"
+  | Probability p when not (p >= 0.0 && p <= 1.0) ->
+    invalid_arg "Fault.arm: Probability wants p in [0, 1]"
+  | Window { first; last } when first <= 0 || last < first ->
+    invalid_arg "Fault.arm: Window wants 1 <= first <= last"
+  | _ -> ());
+  s.s_schedule <- schedule;
+  s.s_armed_at <- s.s_arrivals
+
+let disarm s = s.s_schedule <- Off
+
+let hit s =
+  s.s_injected <- s.s_injected + 1;
+  true
+
+let fire s =
+  s.s_arrivals <- s.s_arrivals + 1;
+  match s.s_schedule with
+  | Off -> false
+  | Always -> hit s
+  | Nth n ->
+    (* One-shot: the nth arrival after arming fails, then the site disarms. *)
+    if s.s_arrivals - s.s_armed_at = n then begin
+      s.s_schedule <- Off;
+      hit s
+    end
+    else false
+  | Probability p -> if Prng.float s.s_prng 1.0 < p then hit s else false
+  | Window { first; last } ->
+    let k = s.s_arrivals - s.s_armed_at in
+    if k >= first && k <= last then hit s else false
+
+let crash_point s = if fire s then raise (Crash s.s_name)
+
+let prng s = s.s_prng

@@ -1,0 +1,72 @@
+(** Central fault-injection registry.
+
+    An injector [t] owns a set of named fault {e sites} — points in the
+    storage and network stacks where a failure can be observed
+    ("blockdev.read_eio", "netfs.drop", ...).  Each site carries a
+    deterministic schedule driven by the injector's PRNG seed, so a fault
+    campaign replays bit-for-bit from its seed.
+
+    Layers are built with their sites compiled in unconditionally; a
+    disarmed {!fire} costs one integer increment and a match, and allocates
+    nothing, preserving the warm-fastpath zero-allocation guarantee. *)
+
+type t
+type site
+
+type schedule =
+  | Off  (** never fires *)
+  | Always
+  | Nth of int
+      (** the [n]th arrival after arming fails, once; the site then
+          disarms (a one-shot crash point) *)
+  | Probability of float  (** each arrival fails independently with rate p *)
+  | Window of { first : int; last : int }
+      (** arrivals numbered [first..last] (1-based, counted from arming)
+          all fail: a bounded outage *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh injector; [seed] (default 1) drives every probabilistic site. *)
+
+val seed : t -> int
+
+val site : t -> string -> site
+(** [site t name] finds or registers the named site (initially [Off]).
+    The site's PRNG stream depends only on the injector seed and the name,
+    never on registration order. *)
+
+val arm : site -> schedule -> unit
+(** Install a schedule; arrival counting for [Nth]/[Window] restarts here.
+    @raise Invalid_argument on a malformed schedule. *)
+
+val disarm : site -> unit
+
+val fire : site -> bool
+(** [fire s] records an arrival and reports whether the fault injects this
+    time.  Allocation-free when the site is [Off]. *)
+
+exception Crash of string  (** carries the site name *)
+
+val crash_point : site -> unit
+(** Like {!fire} but raises {!Crash} on injection — for sites modelling
+    whole-machine power loss rather than an erroring operation. *)
+
+val name : site -> string
+
+val arrivals : site -> int
+(** Operations that passed this site since creation (armed or not). *)
+
+val injected : site -> int
+(** Faults actually injected. *)
+
+val sites : t -> site list
+(** All registered sites, in registration order (for reporting). *)
+
+val prng : site -> Prng.t
+(** The site's private random stream — used by corruption modes (bit
+    flips, torn lengths) so payload randomness is as reproducible as the
+    schedule. *)
+
+val checks_enabled : bool ref
+(** Global debug-checks flag: expensive integrity assertions (for example
+    the {!Dcache_storage.Pagecache.with_page} mutation check) run only
+    when set.  Default [false]. *)

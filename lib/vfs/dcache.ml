@@ -490,6 +490,68 @@ let self_check t =
     problem "hash table holds %d entries but count is %d" in_buckets t.count;
   List.rev !problems
 
+(* --- scrub ---
+
+   The repairing counterpart of [self_check]: a dentry whose hash-table,
+   child-list or reclaim-list state is inconsistent cannot be trusted to
+   answer lookups, so it is quarantined — force-detached together with its
+   (equally unreachable) cached children.  Detaching runs the shootdown
+   hook, so any direct-lookup state the broken dentry still held dies with
+   it; the next walk re-resolves from the file system. *)
+
+type scrub_report = {
+  scrub_scanned : int;
+  scrub_quarantined : int;
+  scrub_problems : string list;
+}
+
+let scrub t =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  let scanned = ref 0 in
+  let bad = ref [] in
+  Dlist.iter
+    (fun d ->
+      incr scanned;
+      let broken =
+        if not d.d_hashed then Some "on the reclaim list but unhashed"
+        else
+          match d.d_parent with
+          | None -> Some "no parent"
+          | Some parent -> (
+            match d.d_sibling with
+            | None -> Some "missing from its parent's child list"
+            | Some node when not (Dlist.value node == d) -> Some "sibling node mismatch"
+            | Some _ -> (
+              match lookup t parent d.d_name with
+              | Some found when found == d -> None
+              | Some _ -> Some "shadowed in the hash table"
+              | None -> Some "not findable in the hash table"))
+      in
+      match broken with
+      | None -> ()
+      | Some why ->
+        note "quarantined dentry %d (%s): %s" d.d_id d.d_name why;
+        bad := d :: !bad)
+    t.clock;
+  let quarantined = ref 0 in
+  List.iter
+    (fun d ->
+      (* A quarantined parent takes its children down in [drop_children];
+         skip entries already detached that way ([d_lru] cleared). *)
+      if d.d_lru <> None then begin
+        drop_children t d;
+        detach ~reclaim:true t d;
+        incr quarantined;
+        Counter.incr t.counters "dcache_quarantined"
+      end)
+    !bad;
+  {
+    scrub_scanned = !scanned;
+    scrub_quarantined = !quarantined;
+    scrub_problems = List.rev !problems;
+  }
+
 (* --- completeness (§5.1) --- *)
 
 let bump_dir_gen d = d.d_dir_gen <- d.d_dir_gen + 1

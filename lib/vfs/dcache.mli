@@ -149,4 +149,17 @@ val self_check : t -> string list
     human-readable violations, [[]] when healthy.  O(cache size); a test
     oracle, not a production call. *)
 
+type scrub_report = {
+  scrub_scanned : int;  (** dentries examined *)
+  scrub_quarantined : int;  (** inconsistent dentries force-detached *)
+  scrub_problems : string list;  (** one line per quarantined dentry *)
+}
+
+val scrub : t -> scrub_report
+(** Repairing integrity pass: dentries whose hash-table / child-list /
+    reclaim-list state is inconsistent are quarantined (force-detached,
+    children included, firing the shootdown hook so stale direct-lookup
+    state dies too) instead of left to answer lookups.  The next walk
+    re-resolves them from the file system.  Caller holds the write side. *)
+
 val new_tick : t -> int

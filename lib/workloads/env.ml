@@ -17,9 +17,9 @@ let ram ?(lsms = []) config =
   { kernel; proc = Proc.spawn kernel; vclock = Vclock.create (); pagecache = None }
 
 let disk ?(lsms = []) ?(device_config = Blockdev.default_config) ?(cache_pages = 8192)
-    config =
+    ?faults config =
   let vclock = Vclock.create () in
-  let device = Blockdev.create ~config:device_config vclock in
+  let device = Blockdev.create ~config:device_config ?faults vclock in
   let cache = Pagecache.create ~capacity_pages:cache_pages device in
   let fs = Dcache_fs.Extfs.mkfs_and_mount cache in
   (* Charge deterministic virtual time per low-level fs call: the real

@@ -16,8 +16,11 @@ val disk :
   ?lsms:Dcache_cred.Lsm.hooks list ->
   ?device_config:Dcache_storage.Blockdev.config ->
   ?cache_pages:int ->
+  ?faults:Dcache_util.Fault.t ->
   Dcache_vfs.Config.t ->
   t
+(** [faults] attaches the simulated disk to a fault injector (see
+    {!Dcache_storage.Blockdev}); disarmed sites cost nothing. *)
 
 val drop_caches : t -> unit
 (** Evict the dcache and the page cache: the cold-cache state. *)

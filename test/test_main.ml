@@ -11,6 +11,7 @@ let () =
       ("alloc", T_alloc.suite);
       ("syscalls", T_syscalls.suite @ T_syscalls.at_family_suite @ T_syscalls.procfs_suite);
       ("netfs", T_netfs.suite);
+      ("fault", T_fault.suite);
       ("dlfs", T_dlfs.suite);
       ("equivalence", T_equiv.suite);
       ("concurrency", T_concurrency.suite);
