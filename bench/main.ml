@@ -1201,6 +1201,82 @@ let faults () =
     rep.Kernel.dcache_quarantined rep.Kernel.dlht_quarantined
 
 (* ------------------------------------------------------------------ *)
+(* Tracing & metrics: probe-site overhead and the observability surface *)
+(* ------------------------------------------------------------------ *)
+
+module Utrace = Dcache_util.Trace
+
+let trace () =
+  header "Tracing & metrics (compiled in always; disarmed must cost ~a branch)";
+  let words_iters = if !quick then 20_000 else 100_000 in
+  let line label words ns = row "%-46s %9.2f words/op %9.1f ns/op\n" label words ns in
+
+  subheader "warm 8-component fastpath probe under each tracing mode";
+  let env = W.Env.ram Config.optimized in
+  W.Lmbench.setup env.W.Env.proc;
+  let fp = Kernel.fastpath env.W.Env.kernel in
+  let ctx = Proc.walk_ctx env.W.Env.proc in
+  let f () =
+    ignore
+      (Dcache_core.Fastpath.lookup_into fp ctx "XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF"
+         ~within:alloc_within)
+  in
+  f ();
+  Utrace.reset ();
+  Utrace.disarm ();
+  let measure label =
+    line label (Stats.minor_words_per_op ~iters:words_iters f) (latency_ns f)
+  in
+  measure "probe, tracing disarmed (the default)";
+  Utrace.armed := true;
+  measure "probe, event ring armed (seq timestamps)";
+  Utrace.timing := true;
+  measure "probe, ring + latency histograms (2 clock reads)";
+  Utrace.real_clock := true;
+  measure "probe, ring w/ real-clock stamps (boxes Int64)";
+  Utrace.real_clock := false;
+  Utrace.timing := false;
+  let stamp () = Utrace.stamp Utrace.ev_fast_hit 7 in
+  stamp ();
+  line "raw armed Trace.stamp"
+    (Stats.minor_words_per_op ~iters:words_iters stamp)
+    (latency_ns stamp);
+  Utrace.disarm ();
+
+  subheader
+    "observability surface after a maildir-style workload (timing armed:\n\
+     deliveries, warm re-stats, negative probes, one rename + one chmod)";
+  Utrace.reset ();
+  Utrace.arm ();
+  let env = W.Env.ram Config.optimized in
+  let p = env.W.Env.proc in
+  ok "tree" (S.mkdir_p p "/mail/cur");
+  for i = 1 to 50 do
+    ok "deliver" (S.write_file p (Printf.sprintf "/mail/cur/m%d" i) "x")
+  done;
+  for _ = 1 to 20 do
+    for i = 1 to 50 do
+      ignore (S.stat p (Printf.sprintf "/mail/cur/m%d" i))
+    done
+  done;
+  for _ = 1 to 200 do
+    ignore (S.stat p "/mail/cur/absent")
+  done;
+  ok "rename" (S.rename p "/mail/cur/m1" "/mail/cur/m1.read");
+  ok "chmod" (S.chmod p "/mail/cur" 0o700);
+  for i = 2 to 50 do
+    ignore (S.stat p (Printf.sprintf "/mail/cur/m%d" i))
+  done;
+  Utrace.disarm ();
+  print_string (Utrace.histograms_to_string ());
+  print_string (Utrace.causes_to_string ());
+  row "ring: recorded %d, dropped %d (capacity %d)\n" (Utrace.recorded ())
+    (Utrace.dropped ()) (Utrace.capacity ());
+  row "dump_chrome: %d bytes of trace_event JSON\n"
+    (String.length (Utrace.dump_chrome ()));
+  Utrace.reset ()
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1209,7 +1285,7 @@ let experiments =
     ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("tab1", tab1); ("tab2", tab2);
     ("tab3", tab3); ("tab4", tab4); ("ablation", ablation); ("bechamel", bechamel);
-    ("alloc", alloc); ("faults", faults);
+    ("alloc", alloc); ("faults", faults); ("trace", trace);
   ]
 
 let () =

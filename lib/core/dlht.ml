@@ -1,5 +1,6 @@
 open Dcache_vfs.Types
 module Signature = Dcache_sig.Signature
+module Trace = Dcache_util.Trace
 
 (* Buckets are intrusive singly-headed doubly-linked chains threaded through
    the dentries themselves ([d_dlht_next] / [d_dlht_prev]): insert and remove
@@ -72,7 +73,8 @@ let remove d =
   | None -> ()
   | Some ns ->
     (match ns.ns_ext with Some (Dlht_ext t) -> remove_from t d | Some _ | None -> ());
-    d.d_dlht_ns <- None
+    d.d_dlht_ns <- None;
+    Trace.stamp Trace.ev_dlht_remove d.d_id
 
 let insert t ns d signature =
   remove d;
@@ -84,7 +86,8 @@ let insert t ns d signature =
   (match head with Some h -> h.d_dlht_prev <- cell | None -> ());
   t.buckets.(idx) <- cell;
   t.count <- t.count + 1;
-  d.d_dlht_ns <- Some ns
+  d.d_dlht_ns <- Some ns;
+  Trace.stamp Trace.ev_dlht_insert d.d_id
 
 (* Both probes return the chain cell that already holds the match ([Some d as
    cell]) instead of rebuilding it, so a hit allocates nothing.  The chain
@@ -241,7 +244,12 @@ let scrub t =
       in
       walk None head)
     t.buckets;
-  List.iter (fun (idx, d) -> unchain t idx d) !bad;
+  List.iter
+    (fun (idx, d) ->
+      unchain t idx d;
+      Trace.bump_cause Trace.cause_quarantined;
+      Trace.stamp Trace.ev_quarantine d.d_id)
+    !bad;
   {
     scrub_scanned = !scanned;
     scrub_quarantined = List.length !bad;

@@ -9,6 +9,8 @@ module Phases = Vfs.Phases
 module Signature = Dcache_sig.Signature
 module Counter = Dcache_util.Stats.Counter
 module Rwlock = Dcache_util.Rwlock
+module Trace = Dcache_util.Trace
+module Clock = Dcache_util.Clock
 
 type t = {
   dcache : Dcache.t;
@@ -228,7 +230,9 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
     Phases.timed Phases.Table_lookup (fun () ->
         match Dlht.find dlht ~key:t.key signature with
         | Some d -> d
-        | None -> raise Fall_back)
+        | None ->
+          Trace.bump_cause Trace.cause_cold;
+          raise Fall_back)
   in
   Phases.timed Phases.Permission (fun () ->
       let shallow_real = real_of literal in
@@ -238,6 +242,7 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
       match literal.d_state with
       | Negative errno ->
         incr t.c_neg;
+        Trace.stamp Trace.ev_fast_neg 0;
         Error errno
       | Positive _ | Partial _ -> (
         let final =
@@ -246,6 +251,7 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
         match final.d_state with
         | Negative errno ->
           incr t.c_neg;
+          Trace.stamp Trace.ev_fast_neg 0;
           Error errno
         | Partial _ -> raise Fall_back
         | Positive _ ->
@@ -338,7 +344,9 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within =
   let literal =
     match Dlht.find_buf dlht ~key:t.key sc.sbuf with
     | Some d -> d
-    | None -> raise Fall_back
+    | None ->
+      Trace.bump_cause Trace.cause_cold;
+      raise Fall_back
   in
   Phases.record_span Phases.Table_lookup t2;
   let t3 = Phases.stamp () in
@@ -351,6 +359,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within =
     match literal.d_state with
     | Negative errno ->
       incr t.c_neg;
+      Trace.stamp Trace.ev_fast_neg 0;
       Errno.to_error errno
     | Positive _ | Partial _ -> (
       let final =
@@ -359,6 +368,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within =
       match final.d_state with
       | Negative errno ->
         incr t.c_neg;
+        Trace.stamp Trace.ev_fast_neg 0;
         Errno.to_error errno
       | Partial _ -> raise Fall_back
       | Positive _ ->
@@ -487,6 +497,7 @@ let populate t ctx ~visited ~absolute ~start =
    never fires, but it documents (and preserves) the protocol. *)
 let fallback t ctx ~flags ~absolute ~start path ~within =
   incr t.c_fallback;
+  Trace.stamp Trace.ev_fallback 0;
   Dcache.with_write t.dcache (fun () ->
       let invalidation_before = Dcache.invalidation_counter t.dcache in
       let result =
@@ -513,7 +524,7 @@ let fallback t ctx ~flags ~absolute ~start path ~within =
    eviction.  This is the allocation-free entry point: on the default
    configuration a warm DLHT hit builds no [path_ref], no closure and no
    option — the only allocation is whatever [within] itself does. *)
-let lookup_into t ctx ?start ?(flags = Walk.default_flags) path ~within =
+let lookup_into_raw t ctx ?start ?(flags = Walk.default_flags) path ~within =
   let cfg = config t in
   let start = match start with Some s -> s | None -> ctx.Walk.cwd in
   let absolute = Path.is_absolute path in
@@ -531,6 +542,8 @@ let lookup_into t ctx ?start ?(flags = Walk.default_flags) path ~within =
     | result -> result
     | exception Walk.Need_refwalk ->
       incr t.c_refwalk;
+      Trace.bump_cause Trace.cause_seqcount_retry;
+      Trace.stamp Trace.ev_refwalk 0;
       Dcache.with_write t.dcache (fun () ->
           match (Walk.resolve_in_mode Walk.Ref t.dcache ctx ~flags path).Walk.outcome with
           | Ok r -> within r.mnt r.dentry
@@ -545,9 +558,11 @@ let lookup_into t ctx ?start ?(flags = Walk.default_flags) path ~within =
           match probe t ctx ~start ~flags path with
           | Ok r ->
             incr t.c_hit;
+            Trace.stamp Trace.ev_fast_hit 0;
             Some (within r.mnt r.dentry)
           | Error e ->
             incr t.c_hit;
+            Trace.stamp Trace.ev_fast_hit 0;
             Some (Error e)
           | exception Fall_back -> None
           | exception Errno.Error e -> Some (Error e))
@@ -568,6 +583,7 @@ let lookup_into t ctx ?start ?(flags = Walk.default_flags) path ~within =
       | result ->
         Rwlock.read_unlock lock;
         incr t.c_hit;
+        Trace.stamp Trace.ev_fast_hit 0;
         result
       | exception Fall_back ->
         Rwlock.read_unlock lock;
@@ -575,6 +591,35 @@ let lookup_into t ctx ?start ?(flags = Walk.default_flags) path ~within =
       | exception e ->
         Rwlock.read_unlock lock;
         raise e)
+  end
+
+(* Latency attribution (Trace timing mode): every public lookup is timed
+   with the monotonic ns clock and recorded into the histogram of its
+   outcome class.  Classification works backwards from what is observable
+   after the fact: an EIO is its own class (I/O failure, never cached); any
+   other error is a negative; a success on a fastpath-less configuration is
+   the slowpath; a success that bumped the fallback counter went
+   probe-miss-then-slowpath; the rest are fastpath hits (including hits
+   served through the lexical probe).  Disarmed, the wrapper is one
+   load-and-branch — the warm path stays allocation-free. *)
+let lookup_into t ctx ?start ?flags path ~within =
+  if not !Trace.timing then lookup_into_raw t ctx ?start ?flags path ~within
+  else begin
+    let fallbacks_before = !(t.c_fallback) in
+    let t0 = Clock.monotonic_ns () in
+    let result = lookup_into_raw t ctx ?start ?flags path ~within in
+    let dt = Clock.monotonic_ns () - t0 in
+    let cls =
+      match result with
+      | Error Errno.EIO -> Trace.cls_eio
+      | Error _ -> Trace.cls_negative
+      | Ok _ ->
+        if not (config t).Config.fastpath then Trace.cls_slowpath
+        else if !(t.c_fallback) > fallbacks_before then Trace.cls_fallback
+        else Trace.cls_fast
+    in
+    Trace.record_latency cls dt;
+    result
   end
 
 let lookup_with t ctx ?start ?flags path ~within =

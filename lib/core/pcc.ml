@@ -1,5 +1,6 @@
 open Dcache_vfs.Types
 module Cred = Dcache_cred.Cred
+module Trace = Dcache_util.Trace
 
 (* Entries pack (dentry id, dentry seq) into one immediate int so that a
    concurrent reader can never observe a half-updated pair.  31 bits of id
@@ -71,6 +72,8 @@ let rec check_scan t table id seq base i =
            entry" semantics (§3.2). *)
         table.slots.(base + i) <- 0;
         t.miss_count <- t.miss_count + 1;
+        Trace.bump_cause Trace.cause_seqcount_retry;
+        Trace.stamp Trace.ev_pcc_stale id;
         false
       end
     end
@@ -111,6 +114,7 @@ let maybe_grow t =
   end
 
 let insert t d =
+  Trace.stamp Trace.ev_pcc_insert d.d_id;
   let table = t.table in
   let id = d.d_id land ((1 lsl id_bits) - 1) in
   let set = set_of table d.d_id in

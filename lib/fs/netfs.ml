@@ -2,6 +2,7 @@ open Dcache_types
 open Fs_intf
 module Fault = Dcache_util.Fault
 module Vclock = Dcache_util.Vclock
+module Trace = Dcache_util.Trace
 
 type protocol = Stateless | Stateful
 
@@ -113,18 +114,22 @@ let rpc t policy ~idempotent f =
         match reply with
         | Some _ ->
           t.stats.rs_drc_hits <- t.stats.rs_drc_hits + 1;
+          Trace.stamp Trace.ev_rpc_drc_hit attempt;
           reply
         | None -> Some (f t.backing)
     in
     if dropped then begin
       t.stats.rs_drops <- t.stats.rs_drops + 1;
+      Trace.stamp Trace.ev_rpc_drop attempt;
       Vclock.charge t.clock (Int64.of_int policy.timeout_ns);
       if attempt >= policy.max_retries then begin
         t.stats.rs_giveups <- t.stats.rs_giveups + 1;
+        Trace.stamp Trace.ev_rpc_giveup attempt;
         Errno.to_error Errno.EIO
       end
       else begin
         t.stats.rs_retries <- t.stats.rs_retries + 1;
+        Trace.stamp Trace.ev_rpc_retry attempt;
         let backoff = min policy.backoff_max_ns (policy.backoff_base_ns lsl attempt) in
         Vclock.charge t.clock (Int64.of_int backoff);
         go (attempt + 1) ~reply

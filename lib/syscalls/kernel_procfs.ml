@@ -1,6 +1,9 @@
 module Pseudofs = Dcache_fs.Pseudofs
+module Netfs = Dcache_fs.Netfs
 module Config = Dcache_vfs.Config
 module Dcache = Dcache_vfs.Dcache
+module Fault = Dcache_util.Fault
+module Trace = Dcache_util.Trace
 
 let render_stats kernel () =
   Kernel.stats_snapshot kernel
@@ -47,13 +50,62 @@ let render_config kernel () =
       "";
     ]
 
+(* --- observability files (PR 3) ---
+
+   Every render closure reads live Trace / Fault / Netfs state at open
+   time, so repeated reads see the current figures; formats are one
+   [key value...] record per line so the t_procfs parser (and awk) can
+   consume them. *)
+
+let render_histograms () = Trace.histograms_to_string ()
+let render_causes () = Trace.causes_to_string ()
+let render_trace () = Trace.ring_to_string ()
+
+let render_faults faults () =
+  match faults with
+  | None -> "no injector attached\n"
+  | Some f ->
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf "seed %d\n" (Fault.seed f);
+    let sites = Fault.sites f in
+    Printf.bprintf buf "sites %d\n" (List.length sites);
+    List.iter
+      (fun s ->
+        Printf.bprintf buf "site %s schedule %s arrivals %d injected %d\n"
+          (Fault.name s) (Fault.schedule_name s) (Fault.arrivals s)
+          (Fault.injected s))
+      sites;
+    Buffer.contents buf
+
+let render_netfs_rpc netfs () =
+  match netfs with
+  | None -> "no netfs server attached\n"
+  | Some srv ->
+    let s = Netfs.rpc_stats srv in
+    String.concat "\n"
+      [
+        Printf.sprintf "rpcs %d" (Netfs.rpc_count srv);
+        Printf.sprintf "drops %d" s.Netfs.rs_drops;
+        Printf.sprintf "delays %d" s.Netfs.rs_delays;
+        Printf.sprintf "retries %d" s.Netfs.rs_retries;
+        Printf.sprintf "giveups %d" s.Netfs.rs_giveups;
+        Printf.sprintf "drc_hits %d" s.Netfs.rs_drc_hits;
+        "";
+      ]
+
 let ok = function Ok v -> v | Error _ -> assert false
 
-let make kernel =
+let make ?faults ?netfs kernel =
   let p = Pseudofs.create () in
   ok (Pseudofs.add_file p "/version" ~content:(fun () -> "dcache-sim (SOSP 2015 reproduction)\n"));
   ok (Pseudofs.add_dir p "/dcache");
   ok (Pseudofs.add_file p "/dcache/stats" ~content:(render_stats kernel));
   ok (Pseudofs.add_file p "/dcache/summary" ~content:(render_summary kernel));
   ok (Pseudofs.add_file p "/dcache/config" ~content:(render_config kernel));
+  ok (Pseudofs.add_file p "/dcache/histograms" ~content:render_histograms);
+  ok (Pseudofs.add_file p "/dcache/causes" ~content:render_causes);
+  ok (Pseudofs.add_file p "/dcache/trace" ~content:render_trace);
+  ok (Pseudofs.add_file p "/faults" ~content:(render_faults faults));
+  ok (Pseudofs.add_dir p "/netfs");
+  ok (Pseudofs.add_file p "/netfs/rpc" ~content:(render_netfs_rpc netfs));
   Pseudofs.fs p

@@ -65,6 +65,14 @@ let name s = s.s_name
 let arrivals s = s.s_arrivals
 let injected s = s.s_injected
 
+let schedule_name s =
+  match s.s_schedule with
+  | Off -> "off"
+  | Always -> "always"
+  | Nth n -> Printf.sprintf "nth:%d" n
+  | Probability p -> Printf.sprintf "p:%.3f" p
+  | Window { first; last } -> Printf.sprintf "window:%d-%d" first last
+
 let arm s schedule =
   (match schedule with
   | Nth n when n <= 0 -> invalid_arg "Fault.arm: Nth wants a positive ordinal"
@@ -80,6 +88,7 @@ let disarm s = s.s_schedule <- Off
 
 let hit s =
   s.s_injected <- s.s_injected + 1;
+  Trace.stamp Trace.ev_fault_fire s.s_arrivals;
   true
 
 let fire s =

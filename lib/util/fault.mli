@@ -52,6 +52,10 @@ val crash_point : site -> unit
 
 val name : site -> string
 
+val schedule_name : site -> string
+(** The active schedule, rendered ("off", "always", "nth:3", "p:0.050",
+    "window:2-5") — for /proc reporting. *)
+
 val arrivals : site -> int
 (** Operations that passed this site since creation (armed or not). *)
 

@@ -17,9 +17,14 @@ val summarize_ns : int64 array -> summary
 
 val mean : float array -> float
 val median : float array -> float
+
 val percentile : float array -> float -> float
 (** [percentile samples p] for [p] in [\[0,100\]] (nearest-rank, on a sorted
-    copy). *)
+    copy).  [p = 0] is the minimum, [p = 100] the maximum.
+    @raise Invalid_argument when [p] is outside [\[0, 100\]]. *)
+
+val summary_to_string : summary -> string
+(** One-line [n=… mean=… stddev=… min=… max=… ci95=…] rendering. *)
 
 type histogram
 
@@ -31,6 +36,40 @@ val minor_words_per_op : iters:int -> (unit -> unit) -> float
     {!Gc.minor_words} delta over [iters] further calls and reports the mean
     words of minor-heap allocation per call.  0.0 means the operation is
     allocation-free. *)
+
+(** Log2-bucketed integer histograms (HDR-style): preallocated int arrays,
+    so {!Lhist.record} never allocates — usable from armed fastpath
+    instrumentation.  Bucket 0 holds value 0; bucket [i > 0] holds
+    [\[2^(i-1), 2^i)]. *)
+module Lhist : sig
+  type t
+
+  val create : unit -> t
+
+  val record : t -> int -> unit
+  (** Count one sample (negatives clamp to 0).  Allocation-free. *)
+
+  val count : t -> int
+  val min_value : t -> int
+  val max_value : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> int
+  (** Nearest-rank over the buckets; reports the covering bucket's midpoint
+      clamped into [\[min_value, max_value\]].  [p = 0] and [p = 100] report
+      the exact minimum and maximum.  0 on an empty histogram.
+      @raise Invalid_argument when [p] is outside [\[0, 100\]]. *)
+
+  val reset : t -> unit
+
+  val nbuckets : int
+  val bucket_count : t -> int -> int
+  val bucket_lo : int -> int
+  (** Inclusive lower bound of bucket [i]. *)
+
+  val to_string : t -> string
+  (** One-line [n … min … p50 … p90 … p99 … max … mean …] rendering. *)
+end
 
 (** Online counter sets, used by the kernel instrumentation. *)
 module Counter : sig

@@ -1,0 +1,226 @@
+(* Kernel-wide tracing & metrics (ftrace-shaped, sized for the simulator).
+
+   Three always-compiled-in, disarmed-by-default facilities:
+
+   - an event ring: three parallel preallocated int arrays (timestamp,
+     event id, argument) behind a power-of-two mask.  An armed [stamp] is
+     four int stores and an increment — no allocation, so the ring can stay
+     armed across a zero-allocation fastpath run.  Disarmed it is a single
+     load-and-branch.  Timestamps are the stamp's own sequence number by
+     default (a total order is what trace analysis needs); flipping
+     [real_clock] stamps [Clock.monotonic_ns] instead, which buys real
+     nanoseconds at the cost of a boxed Int64 per stamp.
+
+   - per-outcome-class latency histograms ({!Stats.Lhist}): armed by
+     [timing], recorded by the fastpath entry around every lookup.  The
+     histogram write itself never allocates; the clock read does (see
+     Clock), which is why [timing] is a separate switch from [armed].
+
+   - cause-attributed counters: why did a lookup miss or an entry die?
+     Always on — each is bumped off the warm path (miss, invalidation and
+     scrub paths only) with a single array store.
+
+   Everything here is global state, like the subsystems it observes cutting
+   across kernel instances; [reset ()] between experiments. *)
+
+(* --- event taxonomy --- *)
+
+let ev_fast_hit = 0
+let ev_fast_neg = 1
+let ev_fallback = 2
+let ev_slowpath = 3
+let ev_dlht_insert = 4
+let ev_dlht_remove = 5
+let ev_pcc_insert = 6
+let ev_pcc_stale = 7
+let ev_inval_rename = 8
+let ev_inval_chmod = 9
+let ev_quarantine = 10
+let ev_complete_neg = 11
+let ev_refwalk = 12
+let ev_rpc_drop = 13
+let ev_rpc_retry = 14
+let ev_rpc_giveup = 15
+let ev_rpc_drc_hit = 16
+let ev_fault_fire = 17
+let n_events = 18
+
+let event_names =
+  [|
+    "fastpath_hit";
+    "fastpath_negative";
+    "fastpath_fallback";
+    "slowpath_walk";
+    "dlht_insert";
+    "dlht_remove";
+    "pcc_insert";
+    "pcc_stale_drop";
+    "invalidate_rename";
+    "invalidate_chmod";
+    "quarantine";
+    "complete_dir_negative";
+    "refwalk_retry";
+    "rpc_drop";
+    "rpc_retry";
+    "rpc_giveup";
+    "rpc_drc_hit";
+    "fault_fire";
+  |]
+
+let event_name ev = if ev >= 0 && ev < n_events then event_names.(ev) else "unknown"
+
+(* --- the event ring --- *)
+
+let default_capacity = 8192
+let armed = ref false
+let real_clock = ref false
+let timing = ref false
+let ts_buf = ref (Array.make default_capacity 0)
+let ev_buf = ref (Array.make default_capacity 0)
+let arg_buf = ref (Array.make default_capacity 0)
+let mask = ref (default_capacity - 1)
+let seq = ref 0
+
+let capacity () = Array.length !ev_buf
+
+let configure ~capacity =
+  if capacity <= 0 || capacity land (capacity - 1) <> 0 then
+    invalid_arg "Trace.configure: capacity must be a positive power of two";
+  ts_buf := Array.make capacity 0;
+  ev_buf := Array.make capacity 0;
+  arg_buf := Array.make capacity 0;
+  mask := capacity - 1;
+  seq := 0
+
+let[@inline] stamp ev arg =
+  if !armed then begin
+    let s = !seq in
+    let i = s land !mask in
+    (!ts_buf).(i) <- (if !real_clock then Clock.monotonic_ns () else s);
+    (!ev_buf).(i) <- ev;
+    (!arg_buf).(i) <- arg;
+    seq := s + 1
+  end
+
+let recorded () = !seq
+let dropped () = Stdlib.max 0 (!seq - capacity ())
+
+(* Oldest-first over whatever the ring still holds; [f seq ts ev arg]. *)
+let iter_events f =
+  let cap = capacity () in
+  let total = !seq in
+  let count = Stdlib.min total cap in
+  let start = total - count in
+  for k = 0 to count - 1 do
+    let i = (start + k) land !mask in
+    f (start + k) (!ts_buf).(i) (!ev_buf).(i) (!arg_buf).(i)
+  done
+
+(* --- cause-attributed counters --- *)
+
+let cause_cold = 0
+let cause_inval_rename = 1
+let cause_inval_chmod = 2
+let cause_seqcount_retry = 3
+let cause_dir_incomplete = 4
+let cause_quarantined = 5
+let n_causes = 6
+
+let cause_names =
+  [|
+    "cold";
+    "invalidated_by_rename";
+    "invalidated_by_chmod";
+    "seqcount_retry";
+    "dir_incomplete";
+    "quarantined";
+  |]
+
+let causes = Array.make n_causes 0
+
+let[@inline] bump_cause c = causes.(c) <- causes.(c) + 1
+let cause_count c = causes.(c)
+let cause_name c = cause_names.(c)
+
+let causes_to_string () =
+  let buf = Buffer.create 128 in
+  for c = 0 to n_causes - 1 do
+    Buffer.add_string buf (Printf.sprintf "%s %d\n" cause_names.(c) causes.(c))
+  done;
+  Buffer.contents buf
+
+(* --- per-outcome-class latency histograms --- *)
+
+let cls_fast = 0
+let cls_fallback = 1
+let cls_slowpath = 2
+let cls_negative = 3
+let cls_eio = 4
+let n_classes = 5
+
+let class_names = [| "fastpath_hit"; "fallback_hit"; "slowpath"; "negative"; "eio" |]
+let class_name c = class_names.(c)
+
+let lat = Array.init n_classes (fun _ -> Stats.Lhist.create ())
+let latency c = lat.(c)
+let[@inline] record_latency c ns = Stats.Lhist.record lat.(c) ns
+
+let histograms_to_string () =
+  let buf = Buffer.create 512 in
+  for c = 0 to n_classes - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "class %s %s\n" class_names.(c) (Stats.Lhist.to_string lat.(c)))
+  done;
+  Buffer.contents buf
+
+(* --- arming / reset --- *)
+
+let arm () =
+  armed := true;
+  timing := true
+
+let disarm () =
+  armed := false;
+  timing := false
+
+let reset () =
+  seq := 0;
+  Array.fill causes 0 n_causes 0;
+  Array.iter Stats.Lhist.reset lat
+
+(* --- rendering --- *)
+
+let ring_to_string ?(limit = 64) () =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "armed %b\n" !armed;
+  Printf.bprintf buf "timing %b\n" !timing;
+  Printf.bprintf buf "real_clock %b\n" !real_clock;
+  Printf.bprintf buf "capacity %d\n" (capacity ());
+  Printf.bprintf buf "recorded %d\n" (recorded ());
+  Printf.bprintf buf "dropped %d\n" (dropped ());
+  let total = recorded () in
+  let skip = Stdlib.max 0 (Stdlib.min total (capacity ()) - limit) in
+  let shown = ref 0 in
+  iter_events (fun s ts ev arg ->
+      incr shown;
+      if !shown > skip then
+        Printf.bprintf buf "%d %d %s %d\n" s ts (event_name ev) arg);
+  Buffer.contents buf
+
+(* Chrome trace_event JSON (the "JSON Array Format" with a traceEvents
+   wrapper), loadable in chrome://tracing and Perfetto.  Every ring entry
+   becomes a global instant event; [ts] is the raw stamp (sequence number,
+   or ns when [real_clock] was set — the viewer's timescale label reads µs
+   either way, which only affects the axis captions).  Event names are
+   drawn from [event_names] and contain no characters needing escapes. *)
+let dump_chrome () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  let first = ref true in
+  iter_events (fun s ts ev arg ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"name\":\"%s\",\"cat\":\"dcache\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":1,\"ts\":%d,\"args\":{\"seq\":%d,\"arg\":%d}}"
+        (event_name ev) ts s arg);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

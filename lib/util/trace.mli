@@ -1,0 +1,150 @@
+(** Kernel-wide tracing & metrics: event ring, per-outcome-class latency
+    histograms, cause-attributed counters.
+
+    Everything is compiled in unconditionally and disarmed by default.
+    The overhead discipline, proven by [test/t_alloc.ml] and the [trace]
+    benchmark:
+
+    - disarmed, every probe-site hook is one load-and-branch and allocates
+      nothing — the warm fastpath keeps its zero-allocation guarantee;
+    - an {e armed} ring {!stamp} is still allocation-free (the ring is
+      three preallocated int arrays; the default timestamp is the stamp's
+      own sequence number);
+    - only [timing] mode pays for clock reads (two {!Clock.monotonic_ns}
+      calls per lookup — ~100-150 ns, and allocation-free only as long as
+      the compiler inlines the clock stub), which is why it is a separate
+      switch.
+
+    State is global (the subsystems it observes span kernel instances);
+    call {!reset} between experiments. *)
+
+(** {2 Switches} *)
+
+val armed : bool ref
+(** Gates the event ring.  {!arm}/{!disarm} flip it together with
+    [timing]; set directly for ring-only capture. *)
+
+val timing : bool ref
+(** Gates latency-histogram recording (and its clock reads) in the
+    fastpath entry. *)
+
+val real_clock : bool ref
+(** When set, ring stamps record {!Clock.monotonic_ns} instead of the
+    sequence number — real timestamps at the cost of a clock read per
+    stamp.  Default [false]. *)
+
+val arm : unit -> unit
+(** [armed := true; timing := true]. *)
+
+val disarm : unit -> unit
+
+val reset : unit -> unit
+(** Empty the ring, zero the cause counters, reset the histograms.  Leaves
+    the switches alone. *)
+
+(** {2 The event ring} *)
+
+val stamp : int -> int -> unit
+(** [stamp ev arg] appends an event when armed; disarmed it is a branch.
+    Never allocates ([real_clock] adds a clock read per stamp; see
+    {!Clock.monotonic_ns} for its allocation caveat). *)
+
+val configure : capacity:int -> unit
+(** Replace the ring (default capacity 8192 events); empties it.
+    @raise Invalid_argument unless [capacity] is a positive power of 2. *)
+
+val capacity : unit -> int
+
+val recorded : unit -> int
+(** Total stamps since the last {!reset}/{!configure} (may exceed
+    {!capacity}; the ring keeps the newest). *)
+
+val dropped : unit -> int
+(** Stamps the ring has overwritten: [max 0 (recorded - capacity)]. *)
+
+val iter_events : (int -> int -> int -> int -> unit) -> unit
+(** [iter_events f] calls [f seq ts ev arg] oldest-first over the retained
+    events. *)
+
+val ring_to_string : ?limit:int -> unit -> string
+(** Header ([armed]/[timing]/[capacity]/[recorded]/[dropped]) plus the
+    newest [limit] (default 64) events, one [seq ts name arg] per line. *)
+
+val dump_chrome : unit -> string
+(** The retained ring as Chrome [trace_event] JSON (instant events),
+    loadable in chrome://tracing / Perfetto. *)
+
+(** {2 Event ids} *)
+
+val ev_fast_hit : int
+val ev_fast_neg : int
+val ev_fallback : int
+val ev_slowpath : int
+val ev_dlht_insert : int
+val ev_dlht_remove : int
+val ev_pcc_insert : int
+val ev_pcc_stale : int
+val ev_inval_rename : int
+val ev_inval_chmod : int
+val ev_quarantine : int
+val ev_complete_neg : int
+val ev_refwalk : int
+val ev_rpc_drop : int
+val ev_rpc_retry : int
+val ev_rpc_giveup : int
+val ev_rpc_drc_hit : int
+val ev_fault_fire : int
+val n_events : int
+val event_name : int -> string
+
+(** {2 Cause-attributed counters}
+
+    Why a lookup missed or a cache entry died.  Always on: each bump is a
+    single array store on a path that is already off the warm fastpath
+    (miss, invalidation, scrub). *)
+
+val cause_cold : int
+(** DLHT probe found no entry for the signature. *)
+
+val cause_inval_rename : int
+(** Dentry shot down by a structural change (rename / alias retarget);
+    counted per dentry at invalidation time. *)
+
+val cause_inval_chmod : int
+(** Dentry's PCC protection bumped by a permission change; counted per
+    dentry at invalidation time. *)
+
+val cause_seqcount_retry : int
+(** A stale-seq PCC entry was dropped, or an Rcu-mode walk restarted in
+    Ref mode — the simulator's analogs of seqlock retries. *)
+
+val cause_dir_incomplete : int
+(** A dcache miss had to consult the file system because the directory's
+    cached listing is not complete (§5.1). *)
+
+val cause_quarantined : int
+(** Entry removed by a scrub pass (DLHT or dcache). *)
+
+val n_causes : int
+val bump_cause : int -> unit
+val cause_count : int -> int
+val cause_name : int -> string
+val causes_to_string : unit -> string
+(** One [name value] per line. *)
+
+(** {2 Per-outcome-class latency histograms} *)
+
+val cls_fast : int
+val cls_fallback : int
+val cls_slowpath : int
+val cls_negative : int
+val cls_eio : int
+val n_classes : int
+val class_name : int -> string
+
+val latency : int -> Stats.Lhist.t
+val record_latency : int -> int -> unit
+(** [record_latency cls ns]: allocation-free histogram store. *)
+
+val histograms_to_string : unit -> string
+(** One [class name n … p50 … p90 … p99 … max … mean …] line per class. *)

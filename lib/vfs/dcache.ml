@@ -4,6 +4,7 @@ module Dlist = Dcache_util.Dlist
 module Rwlock = Dcache_util.Rwlock
 module Seqcount = Dcache_util.Seqcount
 module Counter = Dcache_util.Stats.Counter
+module Trace = Dcache_util.Trace
 module Fs_intf = Dcache_fs.Fs_intf
 
 type hooks = { mutable on_shootdown : dentry -> unit }
@@ -366,8 +367,10 @@ let invalidate_permissions t dir =
     iter_children dir (fun child ->
         walk_subtree child (fun d ->
             incr visited;
-            bump_seq d));
+            bump_seq d;
+            Trace.bump_cause Trace.cause_inval_chmod));
     t.invalidation <- t.invalidation + 1;
+    Trace.stamp Trace.ev_inval_chmod !visited;
     Counter.add t.counters "invalidate_permission_dentries" !visited;
     !visited
   end
@@ -385,8 +388,10 @@ let invalidate_structure t dentry =
     let visited = ref 0 in
     walk_subtree dentry (fun d ->
         incr visited;
-        shootdown t d);
+        shootdown t d;
+        Trace.bump_cause Trace.cause_inval_rename);
     t.invalidation <- t.invalidation + 1;
+    Trace.stamp Trace.ev_inval_rename !visited;
     Counter.add t.counters "invalidate_structure_dentries" !visited;
     !visited
   end
@@ -543,6 +548,8 @@ let scrub t =
         drop_children t d;
         detach ~reclaim:true t d;
         incr quarantined;
+        Trace.bump_cause Trace.cause_quarantined;
+        Trace.stamp Trace.ev_quarantine d.d_id;
         Counter.incr t.counters "dcache_quarantined"
       end)
     !bad;

@@ -2,6 +2,7 @@ open Dcache_types
 open Types
 module Lsm = Dcache_cred.Lsm
 module Counter = Dcache_util.Stats.Counter
+module Trace = Dcache_util.Trace
 
 type ctx = {
   cred : Dcache_cred.Cred.t;
@@ -139,6 +140,7 @@ let step mode t (cur : path_ref) name =
          the file system (§5.1).  In Rcu mode skip caching the negative; the
          answer is still correct. *)
       Counter.incr (Dcache.counters t) "complete_dir_negative";
+      Trace.stamp Trace.ev_complete_neg 0;
       if mode = Rcu then None
       else begin
         match Dcache.add_child t cur.dentry name (Negative Errno.ENOENT) with
@@ -148,6 +150,9 @@ let step mode t (cur : path_ref) name =
     end
     else begin
       if mode = Rcu then raise Need_refwalk;
+      (* Counted in Ref mode only, or the Rcu attempt and its Ref replay
+         would attribute the same miss twice. *)
+      Trace.bump_cause Trace.cause_dir_incomplete;
       match Dcache.fill t cur.dentry name with
       | Ok child -> Some child
       | Error Errno.ENOENT -> None (* fs without negative caching *)
@@ -215,6 +220,7 @@ let walk_internal mode t ctx ~flags ~stop_at_parent path =
   let config = Dcache.config t in
   let counters = Dcache.counters t in
   Counter.incr counters "walk_slowpath";
+  Trace.stamp Trace.ev_slowpath 0;
   let visited = ref [] in
   let push r = if flags.collect then visited := r :: !visited in
   let absolute = Path.is_absolute path in
@@ -360,6 +366,8 @@ let resolve t ctx ?(flags = default_flags) path =
   | result -> result
   | exception Need_refwalk ->
     Counter.incr (Dcache.counters t) "walk_refwalk_fallback";
+    Trace.bump_cause Trace.cause_seqcount_retry;
+    Trace.stamp Trace.ev_refwalk 0;
     Dcache.with_write t (fun () -> resolve_in_mode Ref t ctx ~flags path)
 
 let resolve_parent mode t ctx ?(collect = false) path =

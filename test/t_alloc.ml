@@ -11,6 +11,7 @@ module Dlht = Dcache_core.Dlht
 module Signature = Dcache_sig.Signature
 module Path = Dcache_vfs.Path
 module Proc = Dcache_syscalls.Proc
+module Trace = Dcache_util.Trace
 
 (* Top-level so the measured loop doesn't even pay for a closure. *)
 let within_unit _mnt _dentry = Ok ()
@@ -44,6 +45,11 @@ let probe_enoent fp ctx path =
   | Error e -> Alcotest.failf "unexpected %s on %s" (Errno.to_string e) path
 
 let test_warm_hit_zero_alloc () =
+  (* Tracing hooks are compiled into every probe site; this asserts the
+     disarmed half of the overhead discipline — the stamps are present but
+     must cost nothing. *)
+  Alcotest.(check bool) "tracing ring disarmed" false !Trace.armed;
+  Alcotest.(check bool) "tracing timing disarmed" false !Trace.timing;
   let kernel, p = ram_kernel ~config:Config.optimized () in
   get "tree" (S.mkdir_p p "/a/b/c");
   get "file" (S.write_file p "/a/b/c/target" "payload");
@@ -73,6 +79,52 @@ let test_warm_negative_hit_zero_alloc () =
   Alcotest.(check bool) "served from the negative cache" true
     (counter kernel "fastpath_negative_hit" > neg0);
   Alcotest.(check (float 0.0)) "zero minor-heap words over warm negative hits" 0.0 words
+
+(* --- armed-tracing allocation discipline ---
+
+   The ring is three preallocated int arrays and the default timestamp is
+   the stamp's own sequence number, so even an *armed* stamp must not touch
+   the minor heap — and a warm fastpath hit with the ring armed must stay
+   at zero words too.  (Only [timing] mode allocates: the monotonic clock
+   read boxes an Int64; that mode is exercised by the bench, not here.) *)
+
+let test_armed_ring_stamp_zero_alloc () =
+  Trace.reset ();
+  Trace.armed := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.armed := false;
+      Trace.reset ())
+    (fun () ->
+      let iters = 10_000 in
+      let words =
+        measure_minor_words iters (fun () -> Trace.stamp Trace.ev_fast_hit 7)
+      in
+      Alcotest.(check bool) "stamps landed in the ring" true
+        (Trace.recorded () >= iters);
+      Alcotest.(check (float 0.0)) "armed ring stamp allocates zero words" 0.0 words)
+
+let test_warm_hit_armed_ring_zero_alloc () =
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "tree" (S.mkdir_p p "/a/b/c");
+  get "file" (S.write_file p "/a/b/c/target" "payload");
+  let fp = Kernel.fastpath kernel in
+  let ctx = Proc.walk_ctx p in
+  probe_ok fp ctx "/a/b/c/target";
+  Trace.reset ();
+  Trace.armed := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.armed := false;
+      Trace.reset ())
+    (fun () ->
+      let iters = 10_000 in
+      let words =
+        measure_minor_words iters (fun () -> probe_ok fp ctx "/a/b/c/target")
+      in
+      Alcotest.(check bool) "hits were stamped" true (Trace.recorded () >= iters);
+      Alcotest.(check (float 0.0)) "warm hit with armed ring allocates zero words" 0.0
+        words)
 
 (* --- in-place hasher vs. the pure split-based hasher --- *)
 
@@ -304,6 +356,10 @@ let suite =
       test_warm_hit_zero_alloc;
     Alcotest.test_case "warm negative hit allocates zero minor words" `Quick
       test_warm_negative_hit_zero_alloc;
+    Alcotest.test_case "armed trace ring stamp allocates zero minor words" `Quick
+      test_armed_ring_stamp_zero_alloc;
+    Alcotest.test_case "warm hit with armed ring allocates zero minor words" `Quick
+      test_warm_hit_armed_ring_zero_alloc;
     Alcotest.test_case "in-place hasher matches split+feed_string" `Quick
       test_inplace_hasher_equivalence;
     Alcotest.test_case "in-place hasher resumes from cached state" `Quick

@@ -1,0 +1,365 @@
+(* The /proc observability surface (PR 3): run a scripted workload with
+   tracing armed, then read every file back through the ordinary file API
+   and check the figures parse and agree with the OCaml-level state
+   (Kernel.stats_snapshot, Trace, Fault, Netfs.rpc_stats).
+
+   Counters keep moving while we read them — resolving "/proc/..." itself
+   bumps lookup statistics — so cross-checks are monotonic (parsed value <=
+   a snapshot taken afterwards), except for subsystems a procfs read cannot
+   touch (fault sites, netfs RPCs), which must match exactly. *)
+
+open Dcache_types
+open Kit
+module Kernel_procfs = Dcache_syscalls.Kernel_procfs
+module Netfs = Dcache_fs.Netfs
+module Fault = Dcache_util.Fault
+module Trace = Dcache_util.Trace
+module Vclock = Dcache_util.Vclock
+
+(* --- tiny line-format parsers --- *)
+
+let lines s = List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+
+(* "key value" integer lines; anything else is skipped. *)
+let kv_lines s =
+  List.filter_map
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ k; v ] -> (
+        match int_of_string_opt v with Some n -> Some (k, n) | None -> None)
+      | _ -> None)
+    (lines s)
+
+let assoc_or_fail what k l =
+  match List.assoc_opt k l with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: no %S line" what k
+
+(* Pull the "class <name> ..." histogram line and read an int field out of
+   its "key value key value ..." tail. *)
+let hist_line body cls =
+  let prefix = "class " ^ cls ^ " " in
+  let plen = String.length prefix in
+  match
+    List.find_opt
+      (fun l -> String.length l >= plen && String.sub l 0 plen = prefix)
+      (lines body)
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "no histogram line for class %s" cls
+
+let hist_field line key =
+  let rec go = function
+    | k :: v :: _ when k = key -> int_of_string v
+    | _ :: rest -> go rest
+    | [] -> Alcotest.failf "field %s missing in %S" key line
+  in
+  go (String.split_on_char ' ' line)
+
+(* --- a minimal JSON recognizer (no JSON library in the image) --- *)
+
+exception Bad_json
+
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c = if peek () = c then incr pos else raise Bad_json in
+  let literal w = String.iter expect w in
+  let string_ () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then raise Bad_json
+      else begin
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          pos := !pos + 2;
+          go ()
+        | _ ->
+          incr pos;
+          go ()
+      end
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    if peek () = '-' then incr pos;
+    while
+      match peek () with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then raise Bad_json
+  in
+  let rec value () =
+    ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> string_ ()
+    | 't' -> literal "true"
+    | 'f' -> literal "false"
+    | 'n' -> literal "null"
+    | _ -> number ()
+  and obj () =
+    expect '{';
+    ws ();
+    if peek () = '}' then incr pos
+    else begin
+      let rec members () =
+        ws ();
+        string_ ();
+        ws ();
+        expect ':';
+        value ();
+        ws ();
+        if peek () = ',' then begin
+          incr pos;
+          members ()
+        end
+        else expect '}'
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    ws ();
+    if peek () = ']' then incr pos
+    else begin
+      let rec elems () =
+        value ();
+        ws ();
+        if peek () = ',' then begin
+          incr pos;
+          elems ()
+        end
+        else expect ']'
+      in
+      elems ()
+    end
+  in
+  match
+    value ();
+    ws ()
+  with
+  | () -> !pos = n
+  | exception Bad_json -> false
+
+let read p path = get ("read " ^ path) (S.read_file p path)
+
+(* --- the scripted workload + full surface read-back --- *)
+
+let test_proc_observability_surface () =
+  Trace.reset ();
+  Trace.arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disarm ();
+      Trace.reset ())
+    (fun () ->
+      let faults = Fault.create ~seed:5 () in
+      let kernel, p = ram_kernel ~config:Config.optimized () in
+      (* A netfs mount so /proc/netfs/rpc has something to report. *)
+      let vclock = Vclock.create () in
+      let server = Netfs.server ~faults ~clock:vclock (Dcache_fs.Ramfs.create ()) in
+      let client = Netfs.client ~protocol:Netfs.Stateful server in
+      get "mkdir /net" (S.mkdir_p p "/net");
+      get "mount net" (S.mount_fs p client "/net");
+      get "mkdir /proc" (S.mkdir_p p "/proc");
+      get "mount proc"
+        (S.mount_fs p (Kernel_procfs.make ~faults ~netfs:server kernel) "/proc");
+      (* Maildir-ish workload: deliver, warm re-stats, negatives, rename and
+         chmod churn — every outcome class and cause the surface reports. *)
+      get "tree" (S.mkdir_p p "/mail/cur");
+      for i = 1 to 20 do
+        get "deliver" (S.write_file p (Printf.sprintf "/mail/cur/msg%d" i) "x")
+      done;
+      for _ = 1 to 5 do
+        for i = 1 to 20 do
+          ignore (get "warm stat" (S.stat p (Printf.sprintf "/mail/cur/msg%d" i)))
+        done
+      done;
+      for _ = 1 to 10 do
+        expect_err Errno.ENOENT "absent" (S.stat p "/mail/cur/absent")
+      done;
+      get "rename" (S.rename p "/mail/cur/msg1" "/mail/cur/msg1.read");
+      get "chmod" (S.chmod p "/mail/cur" 0o700);
+      ignore (get "re-stat renamed" (S.stat p "/mail/cur/msg1.read"));
+      (* Netfs traffic with one forced drop: the first RPC after arming is
+         lost, the client times out and retries. *)
+      get "netfs write" (S.write_file p "/net/f" "hello");
+      Fault.arm (Fault.site faults "netfs.drop") (Fault.Nth 1);
+      get "netfs write 2" (S.write_file p "/net/g" "world");
+      ignore (get "netfs stat" (S.stat p "/net/g"));
+
+      (* /proc/dcache/stats: parses, live, and every figure is bounded by a
+         later Kernel snapshot. *)
+      let stats = kv_lines (read p "/proc/dcache/stats") in
+      Alcotest.(check bool) "stats report fastpath hits" true
+        (assoc_or_fail "stats" "fastpath_hit" stats > 0);
+      let snapshot = Kernel.stats_snapshot kernel in
+      List.iter
+        (fun (k, v) ->
+          let now = match List.assoc_opt k snapshot with Some n -> n | None -> 0 in
+          if v < 0 || v > now then
+            Alcotest.failf "counter %s: procfs read %d, later snapshot %d" k v now)
+        stats;
+
+      (* /proc/dcache/histograms: the three classes this workload exercises
+         are non-empty with ordered, positive percentiles. *)
+      let hist = read p "/proc/dcache/histograms" in
+      List.iter
+        (fun cls ->
+          let line = hist_line hist cls in
+          let n = hist_field line "n" in
+          let p50 = hist_field line "p50" in
+          let p90 = hist_field line "p90" in
+          let p99 = hist_field line "p99" in
+          let vmax = hist_field line "max" in
+          Alcotest.(check bool) (cls ^ " populated") true (n > 0);
+          Alcotest.(check bool) (cls ^ " p50 positive") true (p50 > 0);
+          Alcotest.(check bool)
+            (cls ^ " percentiles ordered") true
+            (p50 <= p90 && p90 <= p99 && p99 <= vmax))
+        [ "fastpath_hit"; "fallback_hit"; "negative" ];
+      Alcotest.(check int) "no EIO was recorded" 0
+        (hist_field (hist_line hist "eio") "n");
+      (* Histogram counts never exceed the corresponding kernel counters
+         (each timed outcome bumped its counter too). *)
+      let snapshot = Kernel.stats_snapshot kernel in
+      Alcotest.(check bool) "fast-hit histogram bounded by counter" true
+        (hist_field (hist_line hist "fastpath_hit") "n"
+        <= assoc_or_fail "snapshot" "fastpath_hit" snapshot);
+      Alcotest.(check bool) "fallback histogram bounded by counter" true
+        (hist_field (hist_line hist "fallback_hit") "n"
+        <= assoc_or_fail "snapshot" "fastpath_fallback" snapshot);
+
+      (* /proc/dcache/causes: the churn above must attribute misses. *)
+      let causes = kv_lines (read p "/proc/dcache/causes") in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("cause " ^ k ^ " seen") true
+            (assoc_or_fail "causes" k causes > 0))
+        [ "cold"; "invalidated_by_rename"; "invalidated_by_chmod" ];
+      List.iteri
+        (fun c k ->
+          let v = assoc_or_fail "causes" k causes in
+          Alcotest.(check bool) ("cause " ^ k ^ " bounded") true
+            (v >= 0 && v <= Trace.cause_count c))
+        (List.init Trace.n_causes Trace.cause_name);
+
+      (* /proc/dcache/trace: armed, non-empty, and every event line names a
+         known event. *)
+      let trace_body = read p "/proc/dcache/trace" in
+      Alcotest.(check bool) "ring reports armed" true
+        (contains_substring trace_body "armed true");
+      Alcotest.(check bool) "ring recorded events" true
+        (assoc_or_fail "trace" "recorded" (kv_lines trace_body) > 0);
+      let known = List.init Trace.n_events Trace.event_name in
+      let event_lines =
+        List.filter_map
+          (fun line ->
+            match String.split_on_char ' ' line with
+            | [ s; ts; name; arg ]
+              when int_of_string_opt s <> None
+                   && int_of_string_opt ts <> None
+                   && int_of_string_opt arg <> None ->
+              Some name
+            | _ -> None)
+          (lines trace_body)
+      in
+      Alcotest.(check bool) "trace shows event lines" true (event_lines <> []);
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) ("known event " ^ name) true (List.mem name known))
+        event_lines;
+
+      (* /proc/faults: the armed-then-fired drop site, figures exact. *)
+      let faults_body = read p "/proc/faults" in
+      Alcotest.(check bool) "injector seed" true
+        (contains_substring faults_body "seed 5");
+      let drop = Fault.site faults "netfs.drop" in
+      Alcotest.(check bool) "drop site line" true
+        (contains_substring faults_body
+           (Printf.sprintf "site netfs.drop schedule off arrivals %d injected %d"
+              (Fault.arrivals drop) (Fault.injected drop)));
+      Alcotest.(check bool) "the drop fired" true (Fault.injected drop >= 1);
+
+      (* /proc/netfs/rpc: exact agreement with the server's stats (a procfs
+         read cannot generate RPCs). *)
+      let rpc = kv_lines (read p "/proc/netfs/rpc") in
+      let s = Netfs.rpc_stats server in
+      Alcotest.(check int) "rpcs" (Netfs.rpc_count server)
+        (assoc_or_fail "rpc" "rpcs" rpc);
+      Alcotest.(check int) "drops" s.Netfs.rs_drops (assoc_or_fail "rpc" "drops" rpc);
+      Alcotest.(check int) "retries" s.Netfs.rs_retries
+        (assoc_or_fail "rpc" "retries" rpc);
+      Alcotest.(check int) "giveups" s.Netfs.rs_giveups
+        (assoc_or_fail "rpc" "giveups" rpc);
+      Alcotest.(check int) "drc_hits" s.Netfs.rs_drc_hits
+        (assoc_or_fail "rpc" "drc_hits" rpc);
+      Alcotest.(check bool) "traffic flowed" true
+        (assoc_or_fail "rpc" "rpcs" rpc > 0);
+      Alcotest.(check bool) "the drop cost a retry" true
+        (s.Netfs.rs_drops >= 1 && s.Netfs.rs_retries >= 1))
+
+let test_chrome_dump_is_valid_json () =
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disarm ();
+      Trace.reset ())
+    (fun () ->
+      Alcotest.(check bool) "empty ring dumps valid JSON" true
+        (json_valid (Trace.dump_chrome ()));
+      Trace.armed := true;
+      let kernel, p = ram_kernel ~config:Config.optimized () in
+      ignore kernel;
+      get "tree" (S.mkdir_p p "/x/y");
+      get "file" (S.write_file p "/x/y/f" "1");
+      for _ = 1 to 5 do
+        ignore (get "stat" (S.stat p "/x/y/f"))
+      done;
+      Trace.armed := false;
+      let js = Trace.dump_chrome () in
+      Alcotest.(check bool) "workload ring dumps valid JSON" true (json_valid js);
+      Alcotest.(check bool) "has a traceEvents array" true
+        (contains_substring js "\"traceEvents\":[");
+      Alcotest.(check bool) "contains stamped events" true
+        (contains_substring js "\"name\":\"fastpath_hit\""))
+
+let test_procfs_without_attachments () =
+  (* The optional subsystems default off; the files still exist and say so
+     (and old Kernel_procfs.make callers keep working). *)
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "mkdir /proc" (S.mkdir_p p "/proc");
+  get "mount proc" (S.mount_fs p (Kernel_procfs.make kernel) "/proc");
+  Alcotest.(check bool) "faults placeholder" true
+    (contains_substring (read p "/proc/faults") "no injector attached");
+  Alcotest.(check bool) "netfs placeholder" true
+    (contains_substring (read p "/proc/netfs/rpc") "no netfs server attached");
+  (* Disarmed tracing still renders a complete, parseable surface. *)
+  let hist = read p "/proc/dcache/histograms" in
+  Alcotest.(check bool) "histogram lines render disarmed" true
+    (hist_line hist "slowpath" <> "");
+  Alcotest.(check bool) "trace header renders disarmed" true
+    (contains_substring (read p "/proc/dcache/trace") "armed false")
+
+let suite =
+  [
+    Alcotest.test_case "scripted workload: full /proc surface read-back" `Quick
+      test_proc_observability_surface;
+    Alcotest.test_case "Trace.dump_chrome emits valid JSON" `Quick
+      test_chrome_dump_is_valid_json;
+    Alcotest.test_case "procfs without faults/netfs attachments" `Quick
+      test_procfs_without_attachments;
+  ]

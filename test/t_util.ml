@@ -123,6 +123,135 @@ let test_stats_median_percentile () =
   Alcotest.(check (float 1e-9)) "p99" 99.0 (Stats.percentile samples 99.0);
   Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile samples 100.0)
 
+let test_stats_percentile_edges () =
+  let samples = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p0 is the minimum" 1.0 (Stats.percentile samples 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is the maximum" 100.0 (Stats.percentile samples 100.0);
+  Alcotest.(check (float 1e-9)) "singleton p0" 7.0 (Stats.percentile [| 7.0 |] 0.0);
+  Alcotest.(check (float 1e-9)) "singleton p100" 7.0 (Stats.percentile [| 7.0 |] 100.0);
+  Alcotest.(check (float 1e-9)) "tiny p still reports the minimum" 1.0
+    (Stats.percentile samples 0.5);
+  let out_of_range = Invalid_argument "Stats.percentile: p outside [0, 100]" in
+  Alcotest.check_raises "p < 0 rejected" out_of_range (fun () ->
+      ignore (Stats.percentile samples (-1.0)));
+  Alcotest.check_raises "p > 100 rejected" out_of_range (fun () ->
+      ignore (Stats.percentile samples 100.1))
+
+let test_stats_summary_to_string () =
+  let s = Stats.summary_to_string (Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |]) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (Kit.contains_substring s needle))
+    [ "n=5"; "mean=3.0"; "stddev="; "min=1.0"; "max=5.0"; "ci95=" ]
+
+let test_lhist_basic () =
+  let h = Stats.Lhist.create () in
+  Alcotest.(check int) "empty count" 0 (Stats.Lhist.count h);
+  Alcotest.(check int) "empty percentile" 0 (Stats.Lhist.percentile h 99.0);
+  for v = 1 to 1000 do
+    Stats.Lhist.record h v
+  done;
+  Alcotest.(check int) "count" 1000 (Stats.Lhist.count h);
+  Alcotest.(check int) "min" 1 (Stats.Lhist.min_value h);
+  Alcotest.(check int) "max" 1000 (Stats.Lhist.max_value h);
+  Alcotest.(check (float 1e-9)) "mean is exact (sum is tracked)" 500.5 (Stats.Lhist.mean h);
+  Alcotest.(check int) "p0 = min" 1 (Stats.Lhist.percentile h 0.0);
+  Alcotest.(check int) "p100 = max" 1000 (Stats.Lhist.percentile h 100.0);
+  let p50 = Stats.Lhist.percentile h 50.0 in
+  let p99 = Stats.Lhist.percentile h 99.0 in
+  (* Uniform 1..1000: rank 500 lands in bucket [256, 512), rank 990 in
+     [512, 1024) — bucket-midpoint resolution, ordered and in range. *)
+  Alcotest.(check bool) "p50 within the covering bucket" true (p50 >= 256 && p50 < 512);
+  Alcotest.(check bool) "p99 within the covering bucket" true (p99 >= 512 && p99 <= 1000);
+  Alcotest.(check bool) "percentiles are ordered" true (p50 <= p99)
+
+let test_lhist_buckets_and_reset () =
+  Alcotest.(check int) "bucket_lo 0" 0 (Stats.Lhist.bucket_lo 0);
+  Alcotest.(check int) "bucket_lo 1" 1 (Stats.Lhist.bucket_lo 1);
+  Alcotest.(check int) "bucket_lo 4" 8 (Stats.Lhist.bucket_lo 4);
+  let h = Stats.Lhist.create () in
+  List.iter (Stats.Lhist.record h) [ 0; -3; 1; 2; 3; 4; 7; 8 ];
+  Alcotest.(check int) "zeros and clamped negatives in bucket 0" 2
+    (Stats.Lhist.bucket_count h 0);
+  Alcotest.(check int) "[1,2) bucket" 1 (Stats.Lhist.bucket_count h 1);
+  Alcotest.(check int) "[2,4) bucket" 2 (Stats.Lhist.bucket_count h 2);
+  Alcotest.(check int) "[4,8) bucket" 2 (Stats.Lhist.bucket_count h 3);
+  Alcotest.(check int) "[8,16) bucket" 1 (Stats.Lhist.bucket_count h 4);
+  Alcotest.(check int) "negative clamps the minimum to 0" 0 (Stats.Lhist.min_value h);
+  Stats.Lhist.reset h;
+  Alcotest.(check int) "reset count" 0 (Stats.Lhist.count h);
+  Alcotest.(check int) "reset max" 0 (Stats.Lhist.max_value h);
+  Alcotest.(check int) "reset buckets" 0 (Stats.Lhist.bucket_count h 1)
+
+let test_lhist_record_no_alloc () =
+  let h = Stats.Lhist.create () in
+  let words =
+    Stats.minor_words_per_op ~iters:10_000 (fun () -> Stats.Lhist.record h 777)
+  in
+  Alcotest.(check (float 0.0)) "Lhist.record allocates nothing" 0.0 words
+
+let test_trace_ring_wraparound () =
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disarm ();
+      Trace.configure ~capacity:8192;
+      Trace.reset ())
+    (fun () ->
+      Trace.configure ~capacity:8;
+      Trace.armed := true;
+      for i = 1 to 12 do
+        Trace.stamp Trace.ev_fast_hit i
+      done;
+      Trace.armed := false;
+      Alcotest.(check int) "recorded counts every stamp" 12 (Trace.recorded ());
+      Alcotest.(check int) "overwritten stamps reported" 4 (Trace.dropped ());
+      let seen = ref [] in
+      Trace.iter_events (fun s ts ev arg -> seen := (s, ts, ev, arg) :: !seen);
+      let seen = List.rev !seen in
+      Alcotest.(check int) "ring retains capacity events" 8 (List.length seen);
+      List.iteri
+        (fun k (s, ts, ev, arg) ->
+          Alcotest.(check int) "oldest-first sequence" (4 + k) s;
+          Alcotest.(check int) "logical timestamp = sequence" (4 + k) ts;
+          Alcotest.(check string) "event name" "fastpath_hit" (Trace.event_name ev);
+          Alcotest.(check int) "argument survives" (5 + k) arg)
+        seen;
+      let rendered = Trace.ring_to_string () in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (needle ^ " in render") true
+            (Kit.contains_substring rendered needle))
+        [ "recorded 12"; "dropped 4"; "capacity 8"; "fastpath_hit" ];
+      Alcotest.check_raises "capacity must be a power of two"
+        (Invalid_argument "Trace.configure: capacity must be a positive power of two")
+        (fun () -> Trace.configure ~capacity:100))
+
+let test_trace_causes_and_latency () =
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () -> Trace.reset ())
+    (fun () ->
+      Trace.bump_cause Trace.cause_cold;
+      Trace.bump_cause Trace.cause_cold;
+      Trace.bump_cause Trace.cause_inval_rename;
+      Alcotest.(check int) "cold" 2 (Trace.cause_count Trace.cause_cold);
+      Alcotest.(check int) "rename" 1 (Trace.cause_count Trace.cause_inval_rename);
+      let rendered = Trace.causes_to_string () in
+      Alcotest.(check bool) "cold line" true
+        (Kit.contains_substring rendered "cold 2");
+      Alcotest.(check bool) "every cause named" true
+        (Kit.contains_substring rendered "dir_incomplete 0");
+      Trace.record_latency Trace.cls_fast 500;
+      Trace.record_latency Trace.cls_fast 700;
+      Alcotest.(check int) "latency recorded" 2
+        (Dcache_util.Stats.Lhist.count (Trace.latency Trace.cls_fast));
+      let h = Trace.histograms_to_string () in
+      Alcotest.(check bool) "class line present" true
+        (Kit.contains_substring h "class fastpath_hit n 2");
+      Alcotest.(check bool) "empty classes still listed" true
+        (Kit.contains_substring h "class eio n 0"))
+
 let test_counter () =
   let c = Stats.Counter.create () in
   Stats.Counter.incr c "a";
@@ -206,6 +335,14 @@ let suite =
     QCheck_alcotest.to_alcotest dlist_model_test;
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats median/percentile" `Quick test_stats_median_percentile;
+    Alcotest.test_case "stats percentile p0/p100 edges" `Quick test_stats_percentile_edges;
+    Alcotest.test_case "stats summary_to_string" `Quick test_stats_summary_to_string;
+    Alcotest.test_case "lhist basic percentiles" `Quick test_lhist_basic;
+    Alcotest.test_case "lhist buckets and reset" `Quick test_lhist_buckets_and_reset;
+    Alcotest.test_case "lhist record allocates nothing" `Quick test_lhist_record_no_alloc;
+    Alcotest.test_case "trace ring wraparound" `Quick test_trace_ring_wraparound;
+    Alcotest.test_case "trace causes and latency classes" `Quick
+      test_trace_causes_and_latency;
     Alcotest.test_case "counter" `Quick test_counter;
     Alcotest.test_case "vclock" `Quick test_vclock;
     Alcotest.test_case "seqcount" `Quick test_seqcount;

@@ -10,6 +10,7 @@ let () =
       ("core", T_core.suite @ T_core.extra_suite @ T_core.chroot_suite @ T_core.dnlc_suite @ T_core.dlht_suite @ T_core.chunked_mutation_suite);
       ("alloc", T_alloc.suite);
       ("syscalls", T_syscalls.suite @ T_syscalls.at_family_suite @ T_syscalls.procfs_suite);
+      ("procfs", T_procfs.suite);
       ("netfs", T_netfs.suite);
       ("fault", T_fault.suite);
       ("dlfs", T_dlfs.suite);
