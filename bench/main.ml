@@ -2,8 +2,8 @@
    evaluation (§6).  Run with no arguments for all experiments at quick
    scale, `--full` for paper-scale parameters, or name experiment ids
    (fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 tab1 tab2 tab3 tab4 ablation
-   bechamel alloc faults) to run a subset.  See DESIGN.md for the experiment
-   index. *)
+   bechamel alloc faults trace scale) to run a subset.  See DESIGN.md for
+   the experiment index. *)
 
 module W = Dcache_workloads
 module Kernel = Dcache_syscalls.Kernel
@@ -1277,6 +1277,119 @@ let trace () =
   Utrace.reset ()
 
 (* ------------------------------------------------------------------ *)
+(* Scale: warm-hit cost vs cached-tree size across DLHT resizes        *)
+(* ------------------------------------------------------------------ *)
+
+let scale_bench () =
+  header
+    "Scale - warm fastpath hit vs cached-tree size.  The DLHT starts at\n\
+     256 buckets and doubles incrementally as the tree grows; flat ns/op\n\
+     across sizes shows the auto-resize keeps chains short where a\n\
+     fixed-size table would degrade with load factor.";
+  let exps = if !quick then [ 14; 16 ] else [ 14; 16; 18; 20 ] in
+  let samples = 256 in
+  let run_size exp =
+    let n = 1 lsl exp in
+    let config =
+      {
+        Config.optimized with
+        Config.dlht_buckets = 256;
+        (* tiny on purpose: every size crosses resize boundaries *)
+        max_dentries = 1 lsl 22;
+        (* no LRU eviction even at 2^20 files *)
+      }
+    in
+    let env = W.Env.ram config in
+    let p = env.W.Env.proc in
+    (* Fixed-width components: the probed path is the same byte length at
+       every size, so ns/op differences are table effects, not hashing
+       cost. *)
+    let path i = Printf.sprintf "/scale/d%04x/f%05x" (i lsr 8) i in
+    ok "root" (S.mkdir_p p "/scale");
+    for d = 0 to (n - 1) lsr 8 do
+      ok "dir" (S.mkdir_p p (Printf.sprintf "/scale/d%04x" d))
+    done;
+    for i = 0 to n - 1 do
+      ok "file" (S.write_file p (path i) "x")
+    done;
+    (* Creation walks don't publish to the DLHT; a stat of every file does,
+       so the table really holds [n] entries, not just the probed sample. *)
+    for i = 0 to n - 1 do
+      ignore (ok "warm" (S.stat p (path i)))
+    done;
+    let fp = Kernel.fastpath env.W.Env.kernel in
+    let ctx = Proc.walk_ctx p in
+    let paths = Array.init samples (fun s -> path (s * (n / samples))) in
+    Array.iter (fun q -> ignore (ok "warm" (S.stat p q))) paths;
+    let idx = ref 0 in
+    let f () =
+      let i = !idx in
+      idx := (i + 1) land (samples - 1);
+      ignore (Dcache_core.Fastpath.lookup_into fp ctx paths.(i) ~within:alloc_within)
+    in
+    f ();
+    let words =
+      Stats.minor_words_per_op ~iters:(if !quick then 20_000 else 100_000) f
+    in
+    let ns = latency_ns ~iters:(if !quick then 5_000 else 20_000) f in
+    let dlht =
+      match Dcache_core.Dlht.of_namespace_opt p.Proc.ns with
+      | Some t -> t
+      | None -> failwith "scale: no DLHT attached"
+    in
+    let occ = Dcache_core.Dlht.occupancy dlht in
+    let module D = Dcache_core.Dlht in
+    let mean_chain =
+      float_of_int occ.D.occ_entries /. float_of_int (max 1 occ.D.occ_used)
+    in
+    (n, ns, words, occ.D.occ_buckets, occ.D.occ_longest, mean_chain, D.resizes dlht,
+     D.population dlht)
+  in
+  let results = List.map run_size exps in
+  row "%-10s %10s %10s %9s %7s %7s %8s %11s\n" "dentries" "ns/op" "words/op" "buckets"
+    "maxchn" "meanchn" "resizes" "population";
+  List.iter
+    (fun (n, ns, words, buckets, longest, mean, resizes, population) ->
+      row "%-10d %10.1f %10.2f %9d %7d %7.2f %8d %11d\n" n ns words buckets longest mean
+        resizes population)
+    results;
+  (match (results, List.rev results) with
+  | (n0, ns0, _, _, _, _, _, _) :: _, (n1, ns1, _, _, _, _, _, _) :: _ when n0 <> n1 ->
+    row "ns/op at %d is %.2fx ns/op at %d (acceptance bound: 1.5x)\n" n1 (ns1 /. ns0) n0
+  | _ -> ());
+  (* Machine-readable evidence for CI / the paper repo. *)
+  let json =
+    let entries =
+      List.map
+        (fun (n, ns, words, buckets, longest, mean, resizes, population) ->
+          Printf.sprintf
+            "    {\"dentries\": %d, \"ns_per_op\": %.2f, \"words_per_op\": %.3f, \
+             \"buckets\": %d, \"longest_chain\": %d, \"mean_chain\": %.3f, \
+             \"resizes\": %d, \"population\": %d}"
+            n ns words buckets longest mean resizes population)
+        results
+    in
+    let ratio =
+      match (results, List.rev results) with
+      | (_, ns0, _, _, _, _, _, _) :: _, (_, ns1, _, _, _, _, _, _) :: _ when ns0 > 0.0 ->
+        ns1 /. ns0
+      | _ -> 1.0
+    in
+    Printf.sprintf
+      "{\n  \"experiment\": \"scale\",\n  \"mode\": \"%s\",\n  \"initial_buckets\": 256,\n\
+      \  \"grow_load\": %d,\n  \"samples_per_size\": %d,\n  \"sizes\": [\n%s\n  ],\n\
+      \  \"ns_ratio_largest_over_smallest\": %.3f\n}\n"
+      (if !quick then "quick" else "full")
+      Config.optimized.Config.dlht_grow_load samples
+      (String.concat ",\n" entries)
+      ratio
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc json;
+  close_out oc;
+  row "wrote BENCH_scale.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1285,7 +1398,7 @@ let experiments =
     ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("tab1", tab1); ("tab2", tab2);
     ("tab3", tab3); ("tab4", tab4); ("ablation", ablation); ("bechamel", bechamel);
-    ("alloc", alloc); ("faults", faults); ("trace", trace);
+    ("alloc", alloc); ("faults", faults); ("trace", trace); ("scale", scale_bench);
   ]
 
 let () =

@@ -12,57 +12,219 @@ module Trace = Dcache_util.Trace
    Invariant relied on by head removal: while a dentry is in the table its
    [d_sig] holds the signature it was inserted under (membership is removed
    before the signature changes — Dcache.detach/shootdown ordering), so the
-   owning bucket is always recomputable. *)
+   owning bucket is always recomputable.
+
+   --- incremental resize ---
+
+   The table doubles when [count / buckets] crosses [grow_load], without a
+   stop-the-world rehash: the current bucket array is demoted to [old], a
+   fresh, twice-as-large array becomes [tbl], and every subsequent mutation
+   migrates [migrate_quantum] old buckets by re-splicing their chains into
+   [tbl] (the signature is stable while chained, so the new slot is just a
+   re-mask).  Inserts always go to [tbl]; probes check [tbl] first, then
+   [old].  Between two doublings at load factor L, at least L * buckets
+   inserts must happen while only [buckets] old buckets need migration, so
+   with [migrate_quantum] >= 1 a resize always completes before the next
+   one can start — [old] is None again by then, which [maybe_grow] requires.
+
+   Lockless readers: all mutation (including migration) runs under the
+   dcache write lock, which brackets the dcache-wide write sequence.  An
+   optimistic probe that overlaps any write section fails its seqcount
+   validation and retries under the read lock, so probes never need the
+   old/new split to be atomic — they only need racy chain walks to be
+   crash-free (single-field reads of immediate ints and pointers) and
+   finite, which the scan fuel guarantees even across transiently
+   inconsistent splices. *)
+
+type table = { buckets : dentry option array; mask : int }
 
 type t = {
-  buckets : dentry option array;
-  mask : int;  (** [Array.length buckets - 1]; length is a power of two *)
+  mutable tbl : table;  (** current table; inserts and first probes land here *)
+  mutable old : table option;  (** pre-resize table still being drained *)
+  mutable migrate_idx : int;  (** next [old] bucket to migrate *)
+  grow_load : int;  (** entries per bucket before doubling; 0 = fixed size *)
+  mutable resize_count : int;
+  mutable sigless_scans : int;
+      (** times [remove] had to fall back to a whole-table identity scan *)
   ns : namespace;
   mutable count : int;
 }
 
 type ns_ext += Dlht_ext of t
 
+(* A racy (lockless) chain walk can observe transiently inconsistent links
+   while a writer splices; the fuel bound turns a would-be infinite walk
+   into a miss, which the caller's seqcount validation then converts into a
+   locked retry.  Far above any legitimate chain length (load factor is
+   bounded by [grow_load] once resize is on, and even the fixed-size table
+   needs 2^12 entries per bucket to get near it). *)
+let scan_fuel = 4096
+
+(* Old buckets migrated per mutation; >= 1 guarantees completion between
+   doublings (see above), 4 keeps the drain an order of magnitude ahead. *)
+let migrate_quantum = 4
+
+let max_buckets = 1 lsl 22
+
+let make_table buckets = { buckets = Array.make buckets None; mask = buckets - 1 }
+
 let of_namespace_opt ns =
   match ns.ns_ext with Some (Dlht_ext t) -> Some t | Some _ | None -> None
 
-let of_namespace ~buckets ns =
+let of_namespace_exn ns =
+  match ns.ns_ext with Some (Dlht_ext t) -> t | Some _ | None -> raise Not_found
+
+let of_namespace ~buckets ~grow_load ns =
   match ns.ns_ext with
   | Some (Dlht_ext t) -> t
   | Some _ | None ->
     if buckets <= 0 || buckets land (buckets - 1) <> 0 then
       invalid_arg "Dlht.of_namespace: bucket count must be a positive power of two";
-    let t = { buckets = Array.make buckets None; mask = buckets - 1; ns; count = 0 } in
+    let t =
+      {
+        tbl = make_table buckets;
+        old = None;
+        migrate_idx = 0;
+        grow_load;
+        resize_count = 0;
+        sigless_scans = 0;
+        ns;
+        count = 0;
+      }
+    in
     ns.ns_ext <- Some (Dlht_ext t);
     t
 
-let bucket_of t signature = Signature.bucket signature land t.mask
+let bucket_in tbl signature = Signature.bucket signature land tbl.mask
+
+let resizing t = t.old <> None
+let resizes t = t.resize_count
+let sigless_scans t = t.sigless_scans
+
+(* Splice [d] in as the head of [tbl]'s bucket for [signature]. *)
+let splice tbl d signature =
+  let idx = bucket_in tbl signature in
+  let head = tbl.buckets.(idx) in
+  let cell = Some d in
+  d.d_dlht_next <- head;
+  d.d_dlht_prev <- None;
+  (match head with Some h -> h.d_dlht_prev <- cell | None -> ());
+  tbl.buckets.(idx) <- cell
+
+(* Migrate up to [n] old buckets into the current table.  Caller holds the
+   dcache write lock (like every mutator here). *)
+let migrate_some t n =
+  match t.old with
+  | None -> ()
+  | Some old ->
+    let total = Array.length old.buckets in
+    let stop = Stdlib.min total (t.migrate_idx + n) in
+    let i = ref t.migrate_idx in
+    while !i < stop do
+      let rec drain cell =
+        match cell with
+        | None -> ()
+        | Some d ->
+          let next = d.d_dlht_next in
+          (match d.d_sig with
+          | Some signature -> splice t.tbl d signature
+          | None ->
+            (* Chained with no signature: cannot be re-placed, and a probe
+               could never have matched it anyway.  Quarantine, as scrub
+               would. *)
+            d.d_dlht_next <- None;
+            d.d_dlht_prev <- None;
+            d.d_dlht_ns <- None;
+            t.count <- t.count - 1;
+            Trace.bump_cause Trace.cause_quarantined;
+            Trace.stamp Trace.ev_quarantine d.d_id);
+          drain next
+      in
+      drain old.buckets.(!i);
+      old.buckets.(!i) <- None;
+      incr i
+    done;
+    t.migrate_idx <- stop;
+    if stop = total then begin
+      t.old <- None;
+      Trace.stamp Trace.ev_dlht_resize_end (Array.length t.tbl.buckets)
+    end
+
+let settle t = migrate_some t max_int
+
+let maybe_grow t =
+  match t.old with
+  | Some _ -> ()
+  | None ->
+    let buckets = Array.length t.tbl.buckets in
+    if t.grow_load > 0 && buckets < max_buckets && t.count > buckets * t.grow_load
+    then begin
+      t.old <- Some t.tbl;
+      t.migrate_idx <- 0;
+      t.resize_count <- t.resize_count + 1;
+      t.tbl <- make_table (buckets * 2);
+      Trace.stamp Trace.ev_dlht_resize_begin (buckets * 2)
+    end
+
+(* Clear [d] from the head slot it owns, consulting both tables and
+   verifying head identity before writing (never blindly overwrite a slot a
+   stale signature merely points at).  Returns false when neither table's
+   candidate slot is headed by [d]. *)
+let clear_head t d next =
+  match d.d_sig with
+  | None -> false
+  | Some signature -> (
+    let tbl = t.tbl in
+    let idx = bucket_in tbl signature in
+    match tbl.buckets.(idx) with
+    | Some h when h == d ->
+      tbl.buckets.(idx) <- next;
+      true
+    | _ -> (
+      match t.old with
+      | None -> false
+      | Some old -> (
+        let oidx = bucket_in old signature in
+        match old.buckets.(oidx) with
+        | Some h when h == d ->
+          old.buckets.(oidx) <- next;
+          true
+        | _ -> false)))
+
+(* Defensive only — the detach ordering makes this unreachable.  Find the
+   slot by identity so [count] stays exact even if the invariant is ever
+   broken, and make the degradation loud: it is an O(buckets) scan on what
+   should be an O(1) splice. *)
+let scan_out_head t d next =
+  t.sigless_scans <- t.sigless_scans + 1;
+  Trace.stamp Trace.ev_dlht_sigless_scan d.d_id;
+  let clear_in tbl =
+    let n = Array.length tbl.buckets in
+    let i = ref 0 in
+    let found = ref false in
+    while (not !found) && !i < n do
+      (match tbl.buckets.(!i) with
+      | Some h when h == d ->
+        tbl.buckets.(!i) <- next;
+        found := true
+      | _ -> ());
+      incr i
+    done;
+    !found
+  in
+  if not (clear_in t.tbl) then
+    match t.old with Some old -> ignore (clear_in old) | None -> ()
 
 let remove_from t d =
+  migrate_some t migrate_quantum;
   let next = d.d_dlht_next in
   let prev = d.d_dlht_prev in
   (match prev with
   | Some p -> p.d_dlht_next <- next
-  | None -> (
+  | None ->
     (* Head of its bucket: recompute the slot from the signature (stable
        while the dentry is in the table; see invariant above). *)
-    match d.d_sig with
-    | Some signature -> t.buckets.(bucket_of t signature) <- next
-    | None ->
-      (* Defensive only — the detach ordering makes this unreachable.  Find
-         the slot by identity so [count] stays exact even if the invariant
-         is ever broken. *)
-      let n = Array.length t.buckets in
-      let i = ref 0 in
-      let found = ref false in
-      while (not !found) && !i < n do
-        (match t.buckets.(!i) with
-        | Some h when h == d ->
-          t.buckets.(!i) <- next;
-          found := true
-        | _ -> ());
-        incr i
-      done));
+    if not (clear_head t d next) then scan_out_head t d next);
   (match next with Some n -> n.d_dlht_prev <- prev | None -> ());
   d.d_dlht_next <- None;
   d.d_dlht_prev <- None;
@@ -78,41 +240,62 @@ let remove d =
 
 let insert t ns d signature =
   remove d;
-  let idx = bucket_of t signature in
-  let head = t.buckets.(idx) in
-  let cell = Some d in
-  d.d_dlht_next <- head;
-  d.d_dlht_prev <- None;
-  (match head with Some h -> h.d_dlht_prev <- cell | None -> ());
-  t.buckets.(idx) <- cell;
+  migrate_some t migrate_quantum;
+  splice t.tbl d signature;
   t.count <- t.count + 1;
   d.d_dlht_ns <- Some ns;
+  maybe_grow t;
   Trace.stamp Trace.ev_dlht_insert d.d_id
 
 (* Both probes return the chain cell that already holds the match ([Some d as
    cell]) instead of rebuilding it, so a hit allocates nothing.  The chain
    scanners are top-level (not local closures over [key]/[signature]): a
-   capturing local function would allocate its closure on every probe. *)
+   capturing local function would allocate its closure on every probe.
+   During a resize the probe checks the current table first, then the
+   pre-resize one; a miss in both on a lockless probe is re-checked by the
+   caller's seqcount validation before it is believed. *)
 
-let rec scan_chain key signature cell =
-  match cell with
-  | None -> None
-  | Some d as found -> (
-    match d.d_sig with
-    | Some s when Signature.equal key s signature -> found
-    | Some _ | None -> scan_chain key signature d.d_dlht_next)
+let rec scan_chain key signature cell fuel =
+  if fuel = 0 then None
+  else begin
+    match cell with
+    | None -> None
+    | Some d as found -> (
+      match d.d_sig with
+      | Some s when Signature.equal key s signature -> found
+      | Some _ | None -> scan_chain key signature d.d_dlht_next (fuel - 1))
+  end
 
-let find t ~key signature = scan_chain key signature t.buckets.(bucket_of t signature)
+let find t ~key signature =
+  let tbl = t.tbl in
+  match scan_chain key signature tbl.buckets.(bucket_in tbl signature) scan_fuel with
+  | Some _ as hit -> hit
+  | None -> (
+    match t.old with
+    | None -> None
+    | Some old ->
+      scan_chain key signature old.buckets.(bucket_in old signature) scan_fuel)
 
-let rec scan_chain_buf key b cell =
-  match cell with
-  | None -> None
-  | Some d as found -> (
-    match d.d_sig with
-    | Some s when Signature.equal_buf key b s -> found
-    | Some _ | None -> scan_chain_buf key b d.d_dlht_next)
+let rec scan_chain_buf key b cell fuel =
+  if fuel = 0 then None
+  else begin
+    match cell with
+    | None -> None
+    | Some d as found -> (
+      match d.d_sig with
+      | Some s when Signature.equal_buf key b s -> found
+      | Some _ | None -> scan_chain_buf key b d.d_dlht_next (fuel - 1))
+  end
 
-let find_buf t ~key b = scan_chain_buf key b t.buckets.(Signature.buf_bucket b land t.mask)
+let find_buf t ~key b =
+  let tbl = t.tbl in
+  match scan_chain_buf key b tbl.buckets.(Signature.buf_bucket b land tbl.mask) scan_fuel with
+  | Some _ as hit -> hit
+  | None -> (
+    match t.old with
+    | None -> None
+    | Some old ->
+      scan_chain_buf key b old.buckets.(Signature.buf_bucket b land old.mask) scan_fuel)
 
 let population t = t.count
 
@@ -121,6 +304,7 @@ type occupancy = {
   occ_buckets : int;
   occ_used : int;
   occ_longest : int;
+  occ_old_pending : int;
 }
 
 let rec chain_length acc = function
@@ -129,51 +313,70 @@ let rec chain_length acc = function
 
 let occupancy t =
   let entries = ref 0 and used = ref 0 and longest = ref 0 in
-  Array.iter
-    (fun head ->
-      let len = chain_length 0 head in
-      if len > 0 then begin
-        incr used;
-        entries := !entries + len;
-        if len > !longest then longest := len
-      end)
-    t.buckets;
+  let sweep tbl =
+    Array.iter
+      (fun head ->
+        let len = chain_length 0 head in
+        if len > 0 then begin
+          incr used;
+          entries := !entries + len;
+          if len > !longest then longest := len
+        end)
+      tbl.buckets
+  in
+  sweep t.tbl;
+  let in_new = !entries in
+  (match t.old with Some old -> sweep old | None -> ());
   {
     occ_entries = !entries;
-    occ_buckets = Array.length t.buckets;
+    occ_buckets = Array.length t.tbl.buckets;
     occ_used = !used;
     occ_longest = !longest;
+    occ_old_pending = !entries - in_new;
   }
 
 let self_check t =
   let problems = ref [] in
   let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   let entries = ref 0 in
-  Array.iteri
-    (fun idx head ->
-      (match head with
-      | Some h when h.d_dlht_prev <> None ->
-        note "bucket %d: head %s has a predecessor" idx h.d_name
-      | _ -> ());
-      let rec walk prev = function
-        | None -> ()
-        | Some d ->
-          incr entries;
-          (match (prev, d.d_dlht_prev) with
-          | None, _ -> ()
-          | Some p, Some q when q == p -> ()
-          | Some _, _ -> note "bucket %d: %s has a broken prev link" idx d.d_name);
-          (match d.d_dlht_ns with
-          | Some ns when ns == t.ns -> ()
-          | _ -> note "bucket %d: %s is chained but not marked as a member" idx d.d_name);
-          (match d.d_sig with
-          | Some s when bucket_of t s = idx -> ()
-          | Some _ -> note "bucket %d: %s is chained in the wrong bucket" idx d.d_name
-          | None -> note "bucket %d: %s is chained with no signature" idx d.d_name);
-          walk (Some d) d.d_dlht_next
-      in
-      walk None head)
-    t.buckets;
+  let check_table label tbl =
+    Array.iteri
+      (fun idx head ->
+        (match head with
+        | Some h when h.d_dlht_prev <> None ->
+          note "%s bucket %d: head %s has a predecessor" label idx h.d_name
+        | _ -> ());
+        let rec walk prev = function
+          | None -> ()
+          | Some d ->
+            incr entries;
+            (match (prev, d.d_dlht_prev) with
+            | None, _ -> ()
+            | Some p, Some q when q == p -> ()
+            | Some _, _ -> note "%s bucket %d: %s has a broken prev link" label idx d.d_name);
+            (match d.d_dlht_ns with
+            | Some ns when ns == t.ns -> ()
+            | _ -> note "%s bucket %d: %s is chained but not marked as a member" label idx d.d_name);
+            (match d.d_sig with
+            | Some s when bucket_in tbl s = idx -> ()
+            | Some _ -> note "%s bucket %d: %s is chained in the wrong bucket" label idx d.d_name
+            | None -> note "%s bucket %d: %s is chained with no signature" label idx d.d_name);
+            walk (Some d) d.d_dlht_next
+        in
+        walk None head)
+      tbl.buckets
+  in
+  check_table "tbl" t.tbl;
+  (match t.old with
+  | None -> ()
+  | Some old ->
+    check_table "old" old;
+    (* Buckets the migration cursor has passed must be empty. *)
+    for i = 0 to Stdlib.min t.migrate_idx (Array.length old.buckets) - 1 do
+      match old.buckets.(i) with
+      | Some d -> note "old bucket %d: %s left behind the migration cursor" i d.d_name
+      | None -> ()
+    done);
   if !entries <> t.count then
     note "population: counted %d chained entries but count = %d" !entries t.count;
   List.rev !problems
@@ -193,22 +396,22 @@ type scrub_report = {
   scrub_problems : string list;
 }
 
-(* Splice [d] out of bucket [idx] by identity: the quarantined entry's
-   signature and prev link are exactly what we cannot trust, so re-walk the
-   chain from the head instead of using [remove_from]. *)
-let unchain t idx d =
+(* Splice [d] out of bucket [idx] of [tbl] by identity: the quarantined
+   entry's signature and prev link are exactly what we cannot trust, so
+   re-walk the chain from the head instead of using [remove_from]. *)
+let unchain t tbl idx d =
   let rec fix prev cell =
     match cell with
     | None -> ()
     | Some x when x == d -> (
       let next = d.d_dlht_next in
       (match prev with
-      | None -> t.buckets.(idx) <- next
+      | None -> tbl.buckets.(idx) <- next
       | Some p -> p.d_dlht_next <- next);
       match next with Some n -> n.d_dlht_prev <- prev | None -> ())
     | Some x -> fix (Some x) x.d_dlht_next
   in
-  fix None t.buckets.(idx);
+  fix None tbl.buckets.(idx);
   d.d_dlht_next <- None;
   d.d_dlht_prev <- None;
   d.d_dlht_ns <- None;
@@ -219,34 +422,38 @@ let scrub t =
   let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   let scanned = ref 0 in
   let bad = ref [] in
-  Array.iteri
-    (fun idx head ->
-      let rec walk prev = function
-        | None -> ()
-        | Some d ->
-          incr scanned;
-          let prev_ok =
-            match (prev, d.d_dlht_prev) with
-            | None, None -> true
-            | Some p, Some q -> q == p
-            | None, Some _ | Some _, None -> false
-          in
-          let member_ok = match d.d_dlht_ns with Some ns -> ns == t.ns | None -> false in
-          let sig_ok = match d.d_sig with Some s -> bucket_of t s = idx | None -> false in
-          if not (prev_ok && member_ok && sig_ok) then begin
-            note "bucket %d: quarantined %s (%s)" idx d.d_name
-              (if not sig_ok then "signature/bucket mismatch"
-               else if not member_ok then "membership mark"
-               else "broken prev link");
-            bad := (idx, d) :: !bad
-          end;
-          walk (Some d) d.d_dlht_next
-      in
-      walk None head)
-    t.buckets;
+  let scan_table tbl =
+    Array.iteri
+      (fun idx head ->
+        let rec walk prev = function
+          | None -> ()
+          | Some d ->
+            incr scanned;
+            let prev_ok =
+              match (prev, d.d_dlht_prev) with
+              | None, None -> true
+              | Some p, Some q -> q == p
+              | None, Some _ | Some _, None -> false
+            in
+            let member_ok = match d.d_dlht_ns with Some ns -> ns == t.ns | None -> false in
+            let sig_ok = match d.d_sig with Some s -> bucket_in tbl s = idx | None -> false in
+            if not (prev_ok && member_ok && sig_ok) then begin
+              note "bucket %d: quarantined %s (%s)" idx d.d_name
+                (if not sig_ok then "signature/bucket mismatch"
+                 else if not member_ok then "membership mark"
+                 else "broken prev link");
+              bad := (tbl, idx, d) :: !bad
+            end;
+            walk (Some d) d.d_dlht_next
+        in
+        walk None head)
+      tbl.buckets
+  in
+  scan_table t.tbl;
+  (match t.old with Some old -> scan_table old | None -> ());
   List.iter
-    (fun (idx, d) ->
-      unchain t idx d;
+    (fun (tbl, idx, d) ->
+      unchain t tbl idx d;
       Trace.bump_cause Trace.cause_quarantined;
       Trace.stamp Trace.ev_quarantine d.d_id)
     !bad;

@@ -7,30 +7,47 @@
 
     A dentry lives in at most one DLHT at a time — across namespaces and
     mount aliases — favouring locality and keeping invalidation tractable
-    (§4.3).  The table is keyed by the low 16 bits of the signature; chains
-    compare the remaining 240 bits only (never the path string).
+    (§4.3).  The table is keyed by the signature's 22-bit bucket index
+    masked to the current size; chains compare the 236 signature bits only
+    (never the path string).
 
     Buckets are intrusive: the chain links live on the dentry itself
     ([d_dlht_next]/[d_dlht_prev]), so insert and remove are O(1) pointer
-    splices and probes allocate nothing. *)
+    splices and probes allocate nothing.
+
+    The table resizes {e incrementally}: when the load factor crosses
+    [grow_load] the bucket array doubles, and subsequent mutations migrate a
+    few pre-resize buckets each by re-splicing their intrusive chains — no
+    stop-the-world rehash.  Probes check the current table, then the
+    pre-resize one while it drains.  All mutation (migration included) runs
+    under the dcache write lock; lockless fastpath probes are validated
+    against the dcache write sequence by the caller. *)
 
 open Dcache_vfs.Types
 module Signature = Dcache_sig.Signature
 
 type t
 
-val of_namespace : buckets:int -> namespace -> t
+val of_namespace : buckets:int -> grow_load:int -> namespace -> t
 (** The namespace's table, created on first use (stored in [ns_ext]).
+    [grow_load] is the entries-per-bucket threshold past which the table
+    doubles; 0 keeps it fixed-size.
     @raise Invalid_argument if [buckets] is not a positive power of two
     (the bucket index is computed by masking the signature's low bits). *)
 
 val of_namespace_opt : namespace -> t option
 (** The namespace's table if one has been created; never creates. *)
 
+val of_namespace_exn : namespace -> t
+(** Like {!of_namespace_opt} but raises [Not_found] instead of boxing an
+    option — the allocation-free variant the lockless fastpath uses (it
+    must neither allocate nor create, since creation is a mutation).  *)
+
 val insert : t -> namespace -> dentry -> Signature.t -> unit
 (** Publish [dentry] under [signature]; removes any previous membership
     (other signature or other namespace) first and records the membership
-    on the dentry. *)
+    on the dentry.  Advances any in-flight incremental resize and may start
+    one. *)
 
 val find : t -> key:Signature.key -> Signature.t -> dentry option
 (** Probe; compares signatures per the key's configured width.  A hit
@@ -43,16 +60,32 @@ val remove : dentry -> unit
 (** Remove [dentry] from whichever DLHT holds it (no-op when none).  O(1)
     splice; must be called while the dentry's signature still matches the
     one it was inserted under (the dcache's detach ordering guarantees
-    this). *)
+    this).  If the invariant is ever broken the removal degrades to a
+    whole-table identity scan — counted by {!sigless_scans} and stamped as
+    [ev_dlht_sigless_scan] so the degradation is never silent. *)
 
 val population : t -> int
 (** Exact number of entries currently in the table. *)
 
+val resizing : t -> bool
+(** An incremental resize is in flight (pre-resize buckets still drain). *)
+
+val resizes : t -> int
+(** Doublings since creation. *)
+
+val sigless_scans : t -> int
+(** Times {!remove} fell back to the defensive whole-table scan. *)
+
+val settle : t -> unit
+(** Complete any in-flight migration now.  Call under the dcache write
+    lock; tests and benchmarks use it for deterministic occupancy. *)
+
 type occupancy = {
   occ_entries : int;  (** chained entries (= {!population} when healthy) *)
-  occ_buckets : int;
-  occ_used : int;  (** buckets with at least one entry *)
-  occ_longest : int;  (** longest chain *)
+  occ_buckets : int;  (** current (post-resize) bucket count *)
+  occ_used : int;  (** buckets with at least one entry, both tables *)
+  occ_longest : int;  (** longest chain, both tables *)
+  occ_old_pending : int;  (** entries still awaiting migration *)
 }
 
 val occupancy : t -> occupancy
@@ -60,8 +93,8 @@ val occupancy : t -> occupancy
 
 val self_check : t -> string list
 (** Structural invariant check over the intrusive chains (prev/next
-    consistency, membership marks, bucket placement, exact count); empty
-    when healthy.  For tests. *)
+    consistency, membership marks, bucket placement, exact count, migration
+    cursor); empty when healthy.  For tests. *)
 
 type scrub_report = {
   scrub_scanned : int;  (** chained entries examined *)

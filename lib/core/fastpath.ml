@@ -9,6 +9,7 @@ module Phases = Vfs.Phases
 module Signature = Dcache_sig.Signature
 module Counter = Dcache_util.Stats.Counter
 module Rwlock = Dcache_util.Rwlock
+module Seqcount = Dcache_util.Seqcount
 module Trace = Dcache_util.Trace
 module Clock = Dcache_util.Clock
 
@@ -27,6 +28,8 @@ type t = {
   c_neg : int ref;
   c_dotdot : int ref;
   c_refwalk : int ref;
+  c_lockless_retry : int ref;
+  c_locked_probe : int ref;
 }
 
 let create dcache =
@@ -46,6 +49,8 @@ let create dcache =
       c_neg = Counter.cell counters "fastpath_negative_hit";
       c_dotdot = Counter.cell counters "fastpath_dotdot_sublookup";
       c_refwalk = Counter.cell counters "walk_refwalk_fallback";
+      c_lockless_retry = Counter.cell counters "fastpath_lockless_retry";
+      c_locked_probe = Counter.cell counters "fastpath_locked_probe";
     }
   in
   (Dcache.hooks dcache).on_shootdown <- Dlht.remove;
@@ -92,6 +97,11 @@ let rec ensure_hstate t (r : path_ref) =
 
 exception Fall_back
 
+(* The optimistic (lockless) probe observed a dcache write sequence change:
+   everything it read is suspect, retry under the read lock (RCU-walk →
+   ref-walk, §3.2).  Constant constructor — raising it allocates nothing. *)
+exception Seq_retry
+
 let real_of d = match d.d_alias with Some real -> real | None -> d
 
 let pcc_valid t pcc d =
@@ -104,12 +114,53 @@ let validate t pcc literal real =
   if (not (real == literal)) && not (pcc_valid t pcc real) then raise Fall_back
 
 let dlht_of t ctx =
-  Dlht.of_namespace ~buckets:(config t).Config.dlht_buckets ctx.Walk.ns
+  let cfg = config t in
+  Dlht.of_namespace ~buckets:cfg.Config.dlht_buckets ~grow_load:cfg.Config.dlht_grow_load
+    ctx.Walk.ns
 
 let pcc_of t ctx =
   let cfg = config t in
   Pcc.of_cred ?max_entries:t.pcc_max ctx.Walk.cred ctx.Walk.ns
     ~entries:cfg.Config.pcc_entries
+
+(* --- lockless-probe discipline ---
+
+   A probe with [vsnap >= 0] runs without the read lock, validated against
+   the dcache write sequence it snapshotted.  Such a probe must be purely
+   optimistic: it may read anything (racy single-field reads of immediates
+   and pointers cannot tear in OCaml) but must not create subsystem state —
+   creation is a mutation, and mutations belong under the lock.  So the
+   lockless variants of the accessors below refuse to create (retrying
+   under the lock instead, where the creating versions run), and cached
+   hash states are consumed but never computed ([hstate_of]): a state
+   derived from a concurrently-mutated ancestor chain could be garbage, and
+   caching garbage would outlive the retry. *)
+
+let[@inline] commit_check t vsnap =
+  if vsnap >= 0 && not (Seqcount.read_validate (Dcache.write_seq t.dcache) vsnap) then
+    raise Seq_retry
+
+let dlht_for t ctx vsnap =
+  if vsnap < 0 then dlht_of t ctx
+  else begin
+    match Dlht.of_namespace_exn ctx.Walk.ns with
+    | dlht -> dlht
+    | exception Not_found -> raise Seq_retry
+  end
+
+let pcc_for t ctx vsnap =
+  if vsnap < 0 then pcc_of t ctx
+  else begin
+    match Pcc.of_cred_exn ctx.Walk.cred ctx.Walk.ns with
+    | pcc -> pcc
+    | exception Not_found -> raise Seq_retry
+  end
+
+let hstate_of t vsnap (r : path_ref) =
+  if vsnap < 0 then ensure_hstate t r
+  else begin
+    match r.dentry.d_hstate with Some state -> state | None -> raise Seq_retry
+  end
 
 (* A trailing symlink is followed by one DLHT probe per hop on its cached
    target-path signature (§4.2): replacing any intermediate link refreshes
@@ -315,7 +366,7 @@ let probe_prefix_buf t dlht pcc sc =
    semantics): sub-probe the prefix walked so far, step up, resume hashing
    from the parent's cached state (§4.2).  Top-level recursion, not a loop
    over refs, for the usual no-flambda reason. *)
-let rec scan_and_hash t ctx dlht pcc sc path pos =
+let rec scan_and_hash t ctx dlht pcc sc path pos vsnap =
   let rc = Signature.hash_path_into t.key sc.ms ~max_name:Path.max_name path ~pos in
   if rc = Signature.scan_done then ()
   else if rc = Signature.scan_toolong then raise Fall_back (* pre-validated; defensive *)
@@ -323,21 +374,26 @@ let rec scan_and_hash t ctx dlht pcc sc path pos =
     incr t.c_dotdot;
     let prefix = probe_prefix_buf t dlht pcc sc in
     let up = fast_dotdot ctx prefix in
-    Signature.mstate_resume sc.ms (ensure_hstate t up);
-    scan_and_hash t ctx dlht pcc sc path rc
+    Signature.mstate_resume sc.ms (hstate_of t vsnap up);
+    scan_and_hash t ctx dlht pcc sc path rc vsnap
   end
 
-let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within =
-  let dlht = dlht_of t ctx in
-  let pcc = pcc_of t ctx in
+(* [vsnap >= 0]: optimistic mode — no lock held, [vsnap] is the write-
+   sequence snapshot to validate against at every commit point (just before
+   an error, a success, or [within] — which has caller side effects and
+   must run at most once on state that provably raced no writer).
+   [vsnap < 0]: the read lock is held, no validation needed. *)
+let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~vsnap =
+  let dlht = dlht_for t ctx vsnap in
+  let pcc = pcc_for t ctx vsnap in
   let absolute = Path.is_absolute path in
   let trailing_slash = Path.has_trailing_slash path in
   let t0 = Phases.stamp () in
   let base = if absolute then ctx.Walk.root else start in
-  Signature.mstate_resume sc.ms (ensure_hstate t base);
+  Signature.mstate_resume sc.ms (hstate_of t vsnap base);
   Phases.record_span Phases.Init t0;
   let t1 = Phases.stamp () in
-  scan_and_hash t ctx dlht pcc sc path 0;
+  scan_and_hash t ctx dlht pcc sc path 0 vsnap;
   Signature.finalize_into t.key sc.ms sc.sbuf;
   Phases.record_span Phases.Scan_hash t1;
   let t2 = Phases.stamp () in
@@ -345,6 +401,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within =
     match Dlht.find_buf dlht ~key:t.key sc.sbuf with
     | Some d -> d
     | None ->
+      commit_check t vsnap;
       Trace.bump_cause Trace.cause_cold;
       raise Fall_back
   in
@@ -358,6 +415,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within =
   let result =
     match literal.d_state with
     | Negative errno ->
+      commit_check t vsnap;
       incr t.c_neg;
       Trace.stamp Trace.ev_fast_neg 0;
       Errno.to_error errno
@@ -367,17 +425,21 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within =
       in
       match final.d_state with
       | Negative errno ->
+        commit_check t vsnap;
         incr t.c_neg;
         Trace.stamp Trace.ev_fast_neg 0;
         Errno.to_error errno
       | Partial _ -> raise Fall_back
       | Positive _ ->
-        if (flags.Walk.must_dir || trailing_slash) && not (dentry_is_dir final) then
+        if (flags.Walk.must_dir || trailing_slash) && not (dentry_is_dir final) then begin
+          commit_check t vsnap;
           Errno.to_error Errno.ENOTDIR
+        end
         else begin
           match final.d_mnt with
           | None -> raise Fall_back
           | Some mnt ->
+            commit_check t vsnap;
             final.d_last_used <- Dcache.new_tick t.dcache;
             within mnt final
         end)
@@ -518,12 +580,45 @@ let fallback t ctx ~flags ~absolute ~start path ~within =
       | Ok r -> within r.mnt r.dentry
       | Error e -> Error e)
 
-(* [within] runs on the resolved (mount, dentry) while the lock protecting
-   it is still held (read side on a fastpath hit, write side on fallback),
-   so callers can pin dentries or check permissions without a race against
-   eviction.  This is the allocation-free entry point: on the default
-   configuration a warm DLHT hit builds no [path_ref], no closure and no
-   option — the only allocation is whatever [within] itself does. *)
+(* Second tier of the retry discipline: the optimistic probe failed its
+   seqcount validation, so probe again under the read lock, where writers
+   are excluded and no validation is needed.  Top-level (not a local
+   closure in [lookup_into_raw]): the warm path must not allocate an
+   environment for a function it calls only on retry. *)
+let probe_locked t ctx ~start ~flags sc path ~within =
+  incr t.c_locked_probe;
+  let lock = Dcache.lock t.dcache in
+  Rwlock.read_lock lock;
+  match probe_into t ctx ~start ~flags sc path ~within ~vsnap:(-1) with
+  | result ->
+    Rwlock.read_unlock lock;
+    incr t.c_hit;
+    Trace.stamp Trace.ev_fast_hit 0;
+    result
+  | exception Fall_back ->
+    Rwlock.read_unlock lock;
+    fallback t { ctx with Walk.cwd = start } ~flags ~absolute:(Path.is_absolute path) ~start
+      path ~within
+  | exception e ->
+    Rwlock.read_unlock lock;
+    raise e
+
+(* Attribute a lockless retry: if the namespace's DLHT is mid-resize, the
+   write section we raced was (at least plausibly) the migration. *)
+let note_lockless_retry t ctx =
+  incr t.c_lockless_retry;
+  Trace.stamp Trace.ev_lockless_retry 0;
+  match Dlht.of_namespace_opt ctx.Walk.ns with
+  | Some dlht when Dlht.resizing dlht -> Trace.bump_cause Trace.cause_resize_retry
+  | Some _ | None -> Trace.bump_cause Trace.cause_seqcount_retry
+
+(* [within] runs on the resolved (mount, dentry) while the lookup is still
+   protected (lockless-validated or read-locked on a fastpath hit, write
+   side on fallback), so callers can pin dentries or check permissions
+   without a race against eviction.  This is the allocation-free entry
+   point: on the default configuration a warm DLHT hit builds no
+   [path_ref], no closure and no option — the only allocation is whatever
+   [within] itself does. *)
 let lookup_into_raw t ctx ?start ?(flags = Walk.default_flags) path ~within =
   let cfg = config t in
   let start = match start with Some s -> s | None -> ctx.Walk.cwd in
@@ -576,21 +671,36 @@ let lookup_into_raw t ctx ?start ?(flags = Walk.default_flags) path ~within =
     | 1 -> Errno.to_error Errno.ENOENT
     | 2 -> Errno.to_error Errno.ENAMETOOLONG
     | _ -> (
+      (* Three-tier retry discipline (§3.2, mirroring RCU-walk → ref-walk):
+         1. optimistic probe, no lock, validated against the dcache write
+            sequence at its commit point;
+         2. on validation failure (or a writer already in its section),
+            the same probe under the read lock;
+         3. on a genuine miss, the slowpath fallback under the write lock.
+         A lockless [Fall_back] is only believed — i.e. only triggers the
+         expensive slowpath — if the probe's reads were valid; otherwise it
+         is retried locked first. *)
       let sc = Domain.DLS.get scratch_key in
-      let lock = Dcache.lock t.dcache in
-      Rwlock.read_lock lock;
-      match probe_into t ctx ~start ~flags sc path ~within with
-      | result ->
-        Rwlock.read_unlock lock;
-        incr t.c_hit;
-        Trace.stamp Trace.ev_fast_hit 0;
-        result
-      | exception Fall_back ->
-        Rwlock.read_unlock lock;
-        fallback t { ctx with Walk.cwd = start } ~flags ~absolute ~start path ~within
-      | exception e ->
-        Rwlock.read_unlock lock;
-        raise e)
+      let seq = Dcache.write_seq t.dcache in
+      let snap = Seqcount.read_begin seq in
+      if snap land 1 <> 0 then probe_locked t ctx ~start ~flags sc path ~within
+      else begin
+        match probe_into t ctx ~start ~flags sc path ~within ~vsnap:snap with
+        | result ->
+          incr t.c_hit;
+          Trace.stamp Trace.ev_fast_hit 0;
+          result
+        | exception Seq_retry ->
+          note_lockless_retry t ctx;
+          probe_locked t ctx ~start ~flags sc path ~within
+        | exception Fall_back ->
+          if Seqcount.read_validate seq snap then
+            fallback t { ctx with Walk.cwd = start } ~flags ~absolute ~start path ~within
+          else begin
+            note_lockless_retry t ctx;
+            probe_locked t ctx ~start ~flags sc path ~within
+          end
+      end)
   end
 
 (* Latency attribution (Trace timing mode): every public lookup is timed

@@ -34,9 +34,12 @@ val set_simulate_pcc_miss : t -> bool -> unit
 val lookup : t -> Walk.ctx -> ?start:path_ref -> ?flags:Walk.flags -> string -> Walk.result_
 (** Resolve a path: fastpath probe, then slowpath-with-population fallback.
     [start] overrides the walk origin for relative paths (the *at() family);
-    default is the context's cwd.  Takes the dcache lock internally.
-    With the fastpath disabled in the configuration, this is the baseline
-    kernel's two-phase (Rcu then Ref) slowpath. *)
+    default is the context's cwd.  The warm probe is {e lockless}: it runs
+    without the dcache lock, validated against the dcache-wide write
+    sequence, and retries under the read lock when a concurrent write
+    section invalidated it (RCU-walk → ref-walk, §3.2); only the fallback
+    takes the write lock.  With the fastpath disabled in the configuration,
+    this is the baseline kernel's two-phase (Rcu then Ref) slowpath. *)
 
 val lookup_with :
   t ->
@@ -63,10 +66,15 @@ val lookup_into :
     location to [within] as separate arguments instead of building a
     [path_ref].  On the default configuration (fastpath on, Linux dot-dot
     semantics) a warm DLHT hit over a plain path — no ".." components —
-    performs {e zero} minor-heap allocation beyond what [within] itself
-    does: the path is hashed in place from the raw string into per-domain
-    scratch state, the bucket chain is walked intrusively, and counters and
-    phase accounting are single stores. *)
+    performs {e zero} minor-heap allocation and {e zero} rwlock
+    acquisitions beyond what [within] itself does: the path is hashed in
+    place from the raw string into per-domain scratch state, the bucket
+    chain is walked intrusively, the probe is validated by one seqcount
+    read, and counters and phase accounting are single stores.  [within]
+    runs after validation but outside any lock on this tier, so its effects
+    (pinning, permission evaluation) must tolerate being linearized just
+    before any concurrent mutation — the same contract an open racing an
+    unlink already has. *)
 
 val populate : t -> Walk.ctx -> visited:path_ref list -> absolute:bool -> start:path_ref -> unit
 (** Publish a collected slowpath chain into the DLHT and PCC.  Must be

@@ -153,6 +153,15 @@ let rec slot_table = function
   | Pcc_slot tbl :: _ -> tbl
   | _ :: rest -> slot_table rest
 
+(* Non-creating variant for the lockless fastpath: creation mutates the
+   credential's slot list and the per-cred Hashtbl, which only the locked
+   paths may do.  Raises [Not_found] (caught by the probe, which retries
+   under the read lock) instead of boxing an option, so the warm lockless
+   hit stays allocation-free.  Racing a concurrent creator under the write
+   lock is safe: [Cred.add_slot] publishes an immutable cons and a Hashtbl
+   lookup that loses the race merely misses. *)
+let of_cred_exn cred ns = Hashtbl.find (slot_table (Cred.slots cred)) ns.ns_id
+
 let of_cred ?max_entries cred ns ~entries =
   let table =
     match slot_table (Cred.slots cred) with

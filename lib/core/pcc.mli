@@ -46,5 +46,11 @@ val of_cred : ?max_entries:int -> Dcache_cred.Cred.t -> namespace -> entries:int
     mount namespace} (§4.1, §4.3); created on first use and stored in the
     credential's security slot. *)
 
+val of_cred_exn : Dcache_cred.Cred.t -> namespace -> t
+(** Like {!of_cred} but never creates and never allocates; raises
+    [Not_found] when this credential has no PCC for the namespace yet.
+    The lockless fastpath uses it because creation is a mutation that
+    belongs under the lock. *)
+
 val hits : t -> int
 val misses : t -> int

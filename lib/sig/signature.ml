@@ -27,6 +27,14 @@ type state = { pos : int; l0 : int; l1 : int; l2 : int; l3 : int }
 let lanes = 4
 let initial_capacity = 512
 let bucket_bits = 16
+
+(* The bucket index is wider than the 16 bits excluded from signature
+   comparison: an incrementally-resized DLHT can reach 2^22 buckets, and a
+   16-bit index would stop spreading past 2^16 (chains grow with the table
+   while half the buckets stay empty).  Bits 16..21 serve both as index and
+   compared-signature bits, which is harmless — bucket placement is derived
+   from the signature, never a substitute for comparing it. *)
+let bucket_index_mask = (1 lsl 22) - 1
 let max_sig_bits = 47 + (3 * 63)
 
 let fmix z =
@@ -153,7 +161,7 @@ let finalize key state =
   }
 
 let hash_string key s = finalize key (feed_string key empty_state s)
-let bucket t = t.a land 0xFFFF
+let bucket t = t.a land bucket_index_mask
 
 (* The signature is laid out as: lane [a] bits 16..62 (47 bits), then lanes
    [b], [c], [d] (63 bits each).  [equal] compares the first [sig_bits] of
@@ -291,7 +299,7 @@ let finalize_into key ms b =
   b.bc <- fmix (ms.m2 + Array.unsafe_get key.f2 pos);
   b.bd <- fmix (ms.m3 + Array.unsafe_get key.f3 pos)
 
-let buf_bucket b = b.ba land 0xFFFF
+let buf_bucket b = b.ba land bucket_index_mask
 let equal_buf key b y = equal_lanes key.sig_bits b.ba b.bb b.bc b.bd y
 let of_buf b = { a = b.ba; b = b.bb; c = b.bc; d = b.bd }
 

@@ -4,7 +4,7 @@
     full canonical path.  Comparing multi-kilobyte path strings on every
     probe would erode the algorithmic win, so paths are summarized by a
     multilinear 2-universal hash over four independent lanes: the low
-    16 bits index the hash bucket and the remaining bits form the signature
+    22 bits index the hash bucket and the bits above 16 form the signature
     compared on probes.  (The paper uses a 240-bit signature; our lanes are
     the native 63-bit integers, giving a 236-bit signature — same design,
     avoids boxed arithmetic.)
@@ -19,7 +19,7 @@
     exercising the safety fallback. *)
 
 type t
-(** A 4-lane digest: 16-bit bucket index + up to 236-bit signature. *)
+(** A 4-lane digest: 22-bit bucket index + up to 236-bit signature. *)
 
 type key
 (** Hash-function key plus comparison configuration. *)
@@ -53,7 +53,11 @@ val finalize : key -> state -> t
 val hash_string : key -> string -> t
 
 val bucket : t -> int
-(** Low 16 bits: DLHT bucket index in [0, 65535]. *)
+(** Low 22 bits: DLHT bucket index in [0, 2^22).  Tables mask it down to
+    their current size; 22 bits covers the resize ceiling, so doublings
+    keep spreading entries instead of stalling at 2^16 used buckets.
+    Bits 16..21 double as compared-signature bits, which is harmless (the
+    index is derived from the signature, not a substitute for it). *)
 
 val equal : key -> t -> t -> bool
 (** Signature comparison over the configured [sig_bits] (excluding the

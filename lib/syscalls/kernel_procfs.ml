@@ -5,11 +5,39 @@ module Dcache = Dcache_vfs.Dcache
 module Fault = Dcache_util.Fault
 module Trace = Dcache_util.Trace
 
+(* DLHT load figures (init namespace) appended to dcache/stats.  These are
+   gauges, not monotonic counters — population and chain lengths go up and
+   down with churn — except [dlht_resizes] and [dlht_sigless_scans], which
+   only grow.  t_procfs knows the [dlht_] prefix and cross-checks them
+   against [Dlht.occupancy] instead of the counter snapshot. *)
+let render_dlht kernel =
+  match Dcache_core.Dlht.of_namespace_opt (Kernel.init_ns kernel) with
+  | None -> "dlht_attached 0\n"
+  | Some t ->
+    let module Dlht = Dcache_core.Dlht in
+    let occ = Dlht.occupancy t in
+    String.concat "\n"
+      [
+        "dlht_attached 1";
+        Printf.sprintf "dlht_population %d" (Dlht.population t);
+        Printf.sprintf "dlht_buckets %d" occ.Dlht.occ_buckets;
+        Printf.sprintf "dlht_used_buckets %d" occ.Dlht.occ_used;
+        Printf.sprintf "dlht_longest_chain %d" occ.Dlht.occ_longest;
+        Printf.sprintf "dlht_old_pending %d" occ.Dlht.occ_old_pending;
+        Printf.sprintf "dlht_resizing %d" (if Dlht.resizing t then 1 else 0);
+        Printf.sprintf "dlht_resizes %d" (Dlht.resizes t);
+        Printf.sprintf "dlht_sigless_scans %d" (Dlht.sigless_scans t);
+        "";
+      ]
+
+(* The gauges go first: the counter tail may be truncated by a byte or two
+   when the reading syscalls themselves grow a counter between the size
+   (getattr) and content (read) generations of the pseudo-file. *)
 let render_stats kernel () =
   Kernel.stats_snapshot kernel
   |> List.map (fun (name, value) -> Printf.sprintf "%s %d" name value)
   |> String.concat "\n"
-  |> fun body -> body ^ "\n"
+  |> fun body -> render_dlht kernel ^ body ^ "\n"
 
 let render_summary kernel () =
   let dcache = Kernel.dcache kernel in

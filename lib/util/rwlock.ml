@@ -12,6 +12,21 @@ type t = {
 let create () =
   { state = Atomic.make 0; writer_pending = Atomic.make false; writers = Mutex.create () }
 
+(* Acquisition accounting, used by test/t_alloc.ml to prove the lockless
+   warm fastpath takes zero rwlock acquisitions.  Module-global (across all
+   locks) so the hot path pays one non-atomic increment and no per-lock
+   indirection; plain unsynchronized stores make the counts exact in
+   single-domain tests and approximate under parallelism — they are a test
+   oracle and a diagnostic, not a statistic to report. *)
+let read_acquisitions = ref 0
+let write_acquisitions = ref 0
+
+let acquisition_counts () = (!read_acquisitions, !write_acquisitions)
+
+let reset_acquisition_counts () =
+  read_acquisitions := 0;
+  write_acquisitions := 0
+
 (* Spin briefly, then yield the processor: on oversubscribed (or single-)
    core hosts a pure spin burns the whole quantum waiting for a descheduled
    lock holder. *)
@@ -35,11 +50,14 @@ let rec read_acquire t spins =
     end
   end
 
-let read_lock t = read_acquire t 0
+let read_lock t =
+  incr read_acquisitions;
+  read_acquire t 0
 
 let read_unlock t = ignore (Atomic.fetch_and_add t.state (-1))
 
 let write_lock t =
+  incr write_acquisitions;
   Mutex.lock t.writers;
   Atomic.set t.writer_pending true;
   let rec drain spins =

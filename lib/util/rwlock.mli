@@ -14,3 +14,11 @@ val write_lock : t -> unit
 val write_unlock : t -> unit
 val with_read : t -> (unit -> 'a) -> 'a
 val with_write : t -> (unit -> 'a) -> 'a
+
+val acquisition_counts : unit -> int * int
+(** [(reads, writes)] acquired since the last reset, across {e all} locks.
+    The counters are plain unsynchronized increments: exact on a single
+    domain, approximate under parallelism.  Test oracle for the lockless
+    fastpath's "zero rwlock acquisitions" guarantee. *)
+
+val reset_acquisition_counts : unit -> unit

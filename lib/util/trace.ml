@@ -43,7 +43,11 @@ let ev_rpc_retry = 14
 let ev_rpc_giveup = 15
 let ev_rpc_drc_hit = 16
 let ev_fault_fire = 17
-let n_events = 18
+let ev_dlht_resize_begin = 18
+let ev_dlht_resize_end = 19
+let ev_lockless_retry = 20
+let ev_dlht_sigless_scan = 21
+let n_events = 22
 
 let event_names =
   [|
@@ -65,6 +69,10 @@ let event_names =
     "rpc_giveup";
     "rpc_drc_hit";
     "fault_fire";
+    "dlht_resize_begin";
+    "dlht_resize_end";
+    "fastpath_lockless_retry";
+    "dlht_sigless_scan";
   |]
 
 let event_name ev = if ev >= 0 && ev < n_events then event_names.(ev) else "unknown"
@@ -124,7 +132,8 @@ let cause_inval_chmod = 2
 let cause_seqcount_retry = 3
 let cause_dir_incomplete = 4
 let cause_quarantined = 5
-let n_causes = 6
+let cause_resize_retry = 6
+let n_causes = 7
 
 let cause_names =
   [|
@@ -134,6 +143,7 @@ let cause_names =
     "seqcount_retry";
     "dir_incomplete";
     "quarantined";
+    "seqcount_retry_resize";
   |]
 
 let causes = Array.make n_causes 0

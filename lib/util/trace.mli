@@ -94,6 +94,23 @@ val ev_rpc_retry : int
 val ev_rpc_giveup : int
 val ev_rpc_drc_hit : int
 val ev_fault_fire : int
+
+val ev_dlht_resize_begin : int
+(** DLHT incremental resize started; arg = new bucket count. *)
+
+val ev_dlht_resize_end : int
+(** Last old bucket migrated; arg = bucket count of the (now only) table. *)
+
+val ev_lockless_retry : int
+(** An optimistic (lockless) fastpath probe failed seqcount validation and
+    was retried under the read lock. *)
+
+val ev_dlht_sigless_scan : int
+(** [Dlht.remove] could not locate the bucket head from the dentry's
+    signature and fell back to a whole-table identity scan; arg = dentry
+    id.  Defensive path — loud because it means the detach ordering
+    invariant was broken somewhere. *)
+
 val n_events : int
 val event_name : int -> string
 
@@ -124,6 +141,11 @@ val cause_dir_incomplete : int
 
 val cause_quarantined : int
 (** Entry removed by a scrub pass (DLHT or dcache). *)
+
+val cause_resize_retry : int
+(** A lockless fastpath probe retried under the read lock while a DLHT
+    incremental resize was in flight — the writer that invalidated the
+    optimistic read section was (at least in part) the table migration. *)
 
 val n_causes : int
 val bump_cause : int -> unit

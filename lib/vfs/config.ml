@@ -16,6 +16,10 @@ type t = {
       (** dynamic-PCC growth ceiling; equal to [pcc_entries] disables growth
           (the paper's prototype is static; resizing is its future work) *)
   dlht_buckets : int;  (** direct lookup hash table buckets (paper: 2^16) *)
+  dlht_grow_load : int;
+      (** entries per bucket before the DLHT doubles (incremental, a few
+          buckets migrated per mutation); 0 keeps the paper's fixed-size
+          prototype table *)
   sig_bits : int;  (** signature bits compared (paper: 240) *)
   symlink_aliases : bool;  (** cache symlink resolutions as alias dentries (§4.2) *)
   dotdot : dotdot_semantics;
@@ -40,6 +44,7 @@ let baseline =
     pcc_entries = 4096;
     pcc_max_entries = 4096;
     dlht_buckets = 1 lsl 16;
+    dlht_grow_load = 2;
     sig_bits = 240;
     symlink_aliases = false;
     dotdot = Dotdot_linux;

@@ -17,6 +17,12 @@ type t = {
   mutable tick : int;
   lock : Rwlock.t;
   rename_lock : Seqcount.t;
+  write_seq : Seqcount.t;
+      (** dcache-wide write sequence for the lockless fastpath (§3.2):
+          every write section ([with_write]) bumps it, so an optimistic
+          reader that snapshots it even and revalidates it unchanged has
+          provably raced no mutation — DLHT splices and resize migration
+          included, since all of them run under the write lock. *)
   mutable invalidation : int;
   hooks : hooks;
   counters : Counter.t;
@@ -39,6 +45,7 @@ let create config =
     tick = 0;
     lock = Rwlock.create ();
     rename_lock = Seqcount.create ();
+    write_seq = Seqcount.create ();
     invalidation = 0;
     hooks = { on_shootdown = (fun _ -> ()) };
     counters = Counter.create ();
@@ -49,8 +56,24 @@ let hooks t = t.hooks
 let counters t = t.counters
 let lock t = t.lock
 let rename_lock t = t.rename_lock
+let write_seq t = t.write_seq
 let with_read t f = Rwlock.with_read t.lock f
-let with_write t f = Rwlock.with_write t.lock f
+
+(* The write sequence is bumped strictly inside the write lock, so it is
+   never incremented concurrently and readers see it odd exactly while a
+   write section is open. *)
+let with_write t f =
+  Rwlock.write_lock t.lock;
+  Seqcount.write_begin t.write_seq;
+  match f () with
+  | result ->
+    Seqcount.write_end t.write_seq;
+    Rwlock.write_unlock t.lock;
+    result
+  | exception e ->
+    Seqcount.write_end t.write_seq;
+    Rwlock.write_unlock t.lock;
+    raise e
 let invalidation_counter t = t.invalidation
 let dentry_count t = t.count
 

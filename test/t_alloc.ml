@@ -12,6 +12,8 @@ module Signature = Dcache_sig.Signature
 module Path = Dcache_vfs.Path
 module Proc = Dcache_syscalls.Proc
 module Trace = Dcache_util.Trace
+module Rwlock = Dcache_util.Rwlock
+module Dcache = Dcache_vfs.Dcache
 
 (* Top-level so the measured loop doesn't even pay for a closure. *)
 let within_unit _mnt _dentry = Ok ()
@@ -60,9 +62,15 @@ let test_warm_hit_zero_alloc () =
   (* warmed: from here on every probe must be a DLHT hit *)
   let h0 = hits_before () in
   let iters = 10_000 in
+  Rwlock.reset_acquisition_counts ();
   let words = measure_minor_words iters (fun () -> probe_ok fp ctx "/a/b/c/target") in
+  let reads, writes = Rwlock.acquisition_counts () in
   Alcotest.(check int) "all probes were fastpath hits" (iters + 2) (hits_before () - h0);
-  Alcotest.(check (float 0.0)) "zero minor-heap words over 10k warm hits" 0.0 words
+  Alcotest.(check (float 0.0)) "zero minor-heap words over 10k warm hits" 0.0 words;
+  (* The lockless tier: a warm hit must not fall back to the read-locked
+     probe, let alone the write-locked slowpath. *)
+  Alcotest.(check (pair int int)) "zero rwlock acquisitions over 10k warm hits" (0, 0)
+    (reads, writes)
 
 let test_warm_negative_hit_zero_alloc () =
   let kernel, p = ram_kernel ~config:Config.optimized () in
@@ -73,12 +81,16 @@ let test_warm_negative_hit_zero_alloc () =
   let ctx = Proc.walk_ctx p in
   probe_enoent fp ctx "/a/b/nothing";
   let neg0 = counter kernel "fastpath_negative_hit" in
+  Rwlock.reset_acquisition_counts ();
   let words =
     measure_minor_words 10_000 (fun () -> probe_enoent fp ctx "/a/b/nothing")
   in
+  let locks = Rwlock.acquisition_counts () in
   Alcotest.(check bool) "served from the negative cache" true
     (counter kernel "fastpath_negative_hit" > neg0);
-  Alcotest.(check (float 0.0)) "zero minor-heap words over warm negative hits" 0.0 words
+  Alcotest.(check (float 0.0)) "zero minor-heap words over warm negative hits" 0.0 words;
+  Alcotest.(check (pair int int)) "zero rwlock acquisitions over warm negative hits" (0, 0)
+    locks
 
 (* --- armed-tracing allocation discipline ---
 
@@ -253,7 +265,9 @@ let test_inplace_hasher_toolong () =
 (* --- intrusive DLHT churn --- *)
 
 let dlht_of kernel (p : Proc.t) =
-  Dlht.of_namespace ~buckets:(Kernel.config kernel).Config.dlht_buckets p.Proc.ns
+  let cfg = Kernel.config kernel in
+  Dlht.of_namespace ~buckets:cfg.Config.dlht_buckets ~grow_load:cfg.Config.dlht_grow_load
+    p.Proc.ns
 
 let check_healthy what dlht =
   Alcotest.(check (list string)) (what ^ ": self_check clean") [] (Dlht.self_check dlht);
@@ -341,14 +355,89 @@ let test_dlht_bucket_validation () =
   let _kernel, p = ram_kernel ~config:Config.baseline () in
   Alcotest.check_raises "non-power-of-two rejected"
     (Invalid_argument "Dlht.of_namespace: bucket count must be a positive power of two")
-    (fun () -> ignore (Dlht.of_namespace ~buckets:1000 p.Proc.ns));
+    (fun () -> ignore (Dlht.of_namespace ~buckets:1000 ~grow_load:0 p.Proc.ns));
   Alcotest.check_raises "zero rejected"
     (Invalid_argument "Dlht.of_namespace: bucket count must be a positive power of two")
-    (fun () -> ignore (Dlht.of_namespace ~buckets:0 p.Proc.ns));
-  let dlht = Dlht.of_namespace ~buckets:64 p.Proc.ns in
+    (fun () -> ignore (Dlht.of_namespace ~buckets:0 ~grow_load:0 p.Proc.ns));
+  let dlht = Dlht.of_namespace ~buckets:64 ~grow_load:0 p.Proc.ns in
   Alcotest.(check int) "fresh table is empty" 0 (Dlht.population dlht);
   let occ = Dlht.occupancy dlht in
   Alcotest.(check int) "64 buckets" 64 occ.Dlht.occ_buckets
+
+(* --- incremental auto-resize --- *)
+
+let test_dlht_incremental_resize () =
+  (* Start tiny so the doublings are forced by an ordinary workload, then
+     check the table grew without ever losing an entry: every warm re-stat
+     must still be a fastpath hit, across and after the migrations. *)
+  let config = { Config.optimized with Config.dlht_buckets = 16 } in
+  let kernel, p = ram_kernel ~config () in
+  get "dir" (S.mkdir_p p "/dir");
+  let n = 300 in
+  for i = 1 to n do
+    get "create" (S.write_file p (Printf.sprintf "/dir/f%d" i) "x")
+  done;
+  for i = 1 to n do
+    ignore (get "warm" (S.stat p (Printf.sprintf "/dir/f%d" i)))
+  done;
+  let dlht = dlht_of kernel p in
+  Alcotest.(check bool) "table grew" true (Dlht.resizes dlht > 0);
+  let occ = Dlht.occupancy dlht in
+  Alcotest.(check bool) "bucket array doubled away from 16" true (occ.Dlht.occ_buckets > 16);
+  (* grow_load bounds the load factor, so the longest chain stays short even
+     though we crossed several doublings. *)
+  Alcotest.(check bool) "chains stay bounded" true (occ.Dlht.occ_longest <= 16);
+  check_healthy "mid-resize" dlht;
+  let h0 = counter kernel "fastpath_hit" in
+  for i = 1 to n do
+    ignore (get "re-stat" (S.stat p (Printf.sprintf "/dir/f%d" i)))
+  done;
+  Alcotest.(check int) "every re-stat hit the fastpath across migrations" n
+    (counter kernel "fastpath_hit" - h0);
+  (* Drain any in-flight migration and make sure nothing was stranded in
+     the pre-resize table. *)
+  Dcache.with_write (Kernel.dcache kernel) (fun () -> Dlht.settle dlht);
+  Alcotest.(check bool) "settled" false (Dlht.resizing dlht);
+  let occ = Dlht.occupancy dlht in
+  Alcotest.(check int) "no entries pending migration" 0 occ.Dlht.occ_old_pending;
+  check_healthy "after settle" dlht;
+  let h1 = counter kernel "fastpath_hit" in
+  for i = 1 to n do
+    ignore (get "settled re-stat" (S.stat p (Printf.sprintf "/dir/f%d" i)))
+  done;
+  Alcotest.(check int) "every re-stat hits after settle" n
+    (counter kernel "fastpath_hit" - h1)
+
+let test_dlht_sigless_scan_recovery () =
+  (* Break the remove invariant on purpose — a chained dentry whose
+     signature was cleared out from under the table — and check the
+     defensive whole-table scan repairs the bucket and is counted. *)
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "tree" (S.mkdir_p p "/a/b");
+  get "file" (S.write_file p "/a/b/t" "x");
+  ignore (get "warm" (S.stat p "/a/b/t"));
+  let fp = Kernel.fastpath kernel in
+  let ctx = Proc.walk_ctx p in
+  let d =
+    match Fastpath.lookup_into fp ctx "/a/b/t" ~within:(fun _mnt d -> Ok d) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "lookup: %s" (Errno.to_string e)
+  in
+  let dlht = dlht_of kernel p in
+  Alcotest.(check bool) "dentry is chained" true
+    (d.Dcache_vfs.Types.d_dlht_ns <> None);
+  let pop = Dlht.population dlht in
+  Alcotest.(check int) "no scans yet" 0 (Dlht.sigless_scans dlht);
+  Dcache.with_write (Kernel.dcache kernel) (fun () ->
+      d.Dcache_vfs.Types.d_sig <- None;
+      Dlht.remove d);
+  Alcotest.(check int) "degraded removal was counted" 1 (Dlht.sigless_scans dlht);
+  Alcotest.(check int) "entry left the table" (pop - 1) (Dlht.population dlht);
+  check_healthy "after sigless removal" dlht;
+  (* The next walk re-signatures and republishes; the table heals. *)
+  ignore (get "re-stat" (S.stat p "/a/b/t"));
+  Alcotest.(check int) "republished" pop (Dlht.population dlht);
+  check_healthy "after republication" dlht
 
 let suite =
   [
@@ -373,4 +462,8 @@ let suite =
     Alcotest.test_case "DLHT mount-alias re-signature churn" `Quick
       test_dlht_mount_alias_churn;
     Alcotest.test_case "DLHT bucket-count validation" `Quick test_dlht_bucket_validation;
+    Alcotest.test_case "DLHT incremental resize under workload" `Quick
+      test_dlht_incremental_resize;
+    Alcotest.test_case "DLHT sigless removal degrades loudly and heals" `Quick
+      test_dlht_sigless_scan_recovery;
   ]

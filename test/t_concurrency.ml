@@ -3,6 +3,8 @@
 
 open Kit
 module Dcache = Dcache_vfs.Dcache
+module Dlht = Dcache_core.Dlht
+module Prng = Dcache_util.Prng
 
 let test_parallel_stats_consistent config () =
   let _kernel, p = ram_kernel ~config () in
@@ -89,6 +91,75 @@ let test_parallel_pcc_same_cred () =
   List.iter Domain.join workers;
   Alcotest.(check int) "no spurious failures" 0 (Atomic.get errors)
 
+let test_churn_across_resize seed () =
+  (* Lockless readers race a seeded create/rename/unlink storm sized to push
+     the DLHT through at least one doubling, so probes keep landing while
+     buckets migrate between the tables.  Stable names must always resolve
+     with the right content; churned names may come and go but must never
+     crash or return wrong data; afterwards the table must be structurally
+     exact. *)
+  let config = { Config.optimized with Config.dlht_buckets = 64 } in
+  let kernel, p = ram_kernel ~config () in
+  get "tree" (S.mkdir_p p "/churn/dir");
+  let stable = Array.init 32 (fun i -> Printf.sprintf "/churn/dir/stable%d" i) in
+  Array.iter (fun f -> get "stable" (S.write_file p f "S")) stable;
+  Array.iter (fun f -> ignore (get "warm" (S.stat p f))) stable;
+  let stop = Atomic.make false in
+  let stable_errors = Atomic.make 0 in
+  let churn_errors = Atomic.make 0 in
+  let readers =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            let rp = Proc.fork p in
+            let i = ref w in
+            while not (Atomic.get stop) do
+              (match S.read_file rp stable.(!i mod Array.length stable) with
+              | Ok "S" -> ()
+              | Ok _ | Error _ -> Atomic.incr stable_errors);
+              (* Churned names race their own creation/removal: any errno is
+                 acceptable, and [""] can be observed between a re-create's
+                 truncate and write; other content is wrong. *)
+              (match S.read_file rp (Printf.sprintf "/churn/dir/c%d" (!i mod 512)) with
+              | Ok "x" | Ok "" | Error _ -> ()
+              | Ok _ -> Atomic.incr churn_errors);
+              incr i
+            done))
+  in
+  let g = Prng.create seed in
+  let name n = Printf.sprintf "/churn/dir/c%d" n in
+  for _ = 1 to 2000 do
+    match Prng.int g 4 with
+    | 0 | 1 -> (
+      match S.write_file p (name (Prng.int g 512)) "x" with Ok () | Error _ -> ())
+    | 2 -> ( match S.unlink p (name (Prng.int g 512)) with Ok () | Error _ -> ())
+    | _ -> (
+      match S.rename p (name (Prng.int g 512)) (name (Prng.int g 512)) with
+      | Ok () | Error _ -> ())
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Alcotest.(check int) "stable names always consistent" 0 (Atomic.get stable_errors);
+  Alcotest.(check int) "churned names never wrong" 0 (Atomic.get churn_errors);
+  let dlht =
+    match Dlht.of_namespace_opt p.Proc.ns with
+    | Some t -> t
+    | None -> Alcotest.fail "no DLHT attached"
+  in
+  Alcotest.(check bool) "the churn crossed a resize boundary" true (Dlht.resizes dlht > 0);
+  Dcache.with_write (Kernel.dcache kernel) (fun () -> Dlht.settle dlht);
+  Alcotest.(check (list string)) "table self-check clean" [] (Dlht.self_check dlht);
+  let occ = Dlht.occupancy dlht in
+  Alcotest.(check int) "occupancy agrees with population" (Dlht.population dlht)
+    occ.Dlht.occ_entries;
+  Alcotest.(check int) "migration fully drained" 0 occ.Dlht.occ_old_pending;
+  Array.iter
+    (fun f ->
+      match S.read_file p f with
+      | Ok "S" -> ()
+      | Ok c -> Alcotest.failf "%s corrupted: %S" f c
+      | Error e -> Alcotest.failf "%s lost: %s" f (Dcache_types.Errno.to_string e))
+    stable
+
 let suite =
   [
     Alcotest.test_case "parallel stats [baseline]" `Slow
@@ -100,4 +171,9 @@ let suite =
     Alcotest.test_case "readers race renames [optimized]" `Slow
       (test_readers_race_renames Config.optimized);
     Alcotest.test_case "parallel PCC same cred" `Slow test_parallel_pcc_same_cred;
+    Alcotest.test_case "churn across resize [seed 1]" `Slow (test_churn_across_resize 1);
+    Alcotest.test_case "churn across resize [seed 1337]" `Slow
+      (test_churn_across_resize 1337);
+    Alcotest.test_case "churn across resize [seed 9001]" `Slow
+      (test_churn_across_resize 9001);
   ]

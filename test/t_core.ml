@@ -641,7 +641,8 @@ let test_dlht_membership_unit () =
   let find_in ns =
     let dlht =
       Dcache_core.Dlht.of_namespace
-        ~buckets:(Kernel.config kernel).Config.dlht_buckets ns
+        ~buckets:(Kernel.config kernel).Config.dlht_buckets
+        ~grow_load:(Kernel.config kernel).Config.dlht_grow_load ns
     in
     let key = Dcache_core.Fastpath.key (Kernel.fastpath kernel) in
     (* recover the signature by re-resolving through the child; simpler:

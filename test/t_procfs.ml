@@ -201,18 +201,43 @@ let test_proc_observability_surface () =
       get "netfs write 2" (S.write_file p "/net/g" "world");
       ignore (get "netfs stat" (S.stat p "/net/g"));
 
-      (* /proc/dcache/stats: parses, live, and every figure is bounded by a
-         later Kernel snapshot. *)
+      (* /proc/dcache/stats: parses, live, and every counter figure is
+         bounded by a later Kernel snapshot.  [dlht_] lines are load gauges,
+         not counters: cross-check those against Dlht.occupancy instead. *)
       let stats = kv_lines (read p "/proc/dcache/stats") in
+      let dlht =
+        Option.get (Dcache_core.Dlht.of_namespace_opt (Kernel.init_ns kernel))
+      in
+      let occ = Dcache_core.Dlht.occupancy dlht in
       Alcotest.(check bool) "stats report fastpath hits" true
         (assoc_or_fail "stats" "fastpath_hit" stats > 0);
+      let is_dlht k = String.length k >= 5 && String.sub k 0 5 = "dlht_" in
       let snapshot = Kernel.stats_snapshot kernel in
       List.iter
         (fun (k, v) ->
-          let now = match List.assoc_opt k snapshot with Some n -> n | None -> 0 in
-          if v < 0 || v > now then
-            Alcotest.failf "counter %s: procfs read %d, later snapshot %d" k v now)
+          if not (is_dlht k) then begin
+            let now = match List.assoc_opt k snapshot with Some n -> n | None -> 0 in
+            if v < 0 || v > now then
+              Alcotest.failf "counter %s: procfs read %d, later snapshot %d" k v now
+          end)
         stats;
+      (* The DLHT gauges agree with the table read directly (the stats read
+         itself populates /proc dentries, so gauges may only have grown by
+         the time of the direct read). *)
+      Alcotest.(check int) "dlht attached" 1 (assoc_or_fail "stats" "dlht_attached" stats);
+      Alcotest.(check bool) "dlht population live and bounded" true
+        (let v = assoc_or_fail "stats" "dlht_population" stats in
+         v > 0 && v <= Dcache_core.Dlht.population dlht);
+      Alcotest.(check int) "dlht bucket count" occ.Dcache_core.Dlht.occ_buckets
+        (assoc_or_fail "stats" "dlht_buckets" stats);
+      Alcotest.(check bool) "dlht longest chain live and bounded" true
+        (let v = assoc_or_fail "stats" "dlht_longest_chain" stats in
+         v >= 1 && v <= occ.Dcache_core.Dlht.occ_longest);
+      Alcotest.(check int) "dlht resizes agree"
+        (Dcache_core.Dlht.resizes dlht)
+        (assoc_or_fail "stats" "dlht_resizes" stats);
+      Alcotest.(check int) "no sigless scans in a healthy run" 0
+        (assoc_or_fail "stats" "dlht_sigless_scans" stats);
 
       (* /proc/dcache/histograms: the three classes this workload exercises
          are non-empty with ordered, positive percentiles. *)
