@@ -1390,6 +1390,172 @@ let scale_bench () =
   row "wrote BENCH_scale.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Deepmiss: cold misses on deep paths — prefix-resumed slowpath (§3.5) *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweep chain depth 4 → 32 and compare the optimized kernel against the
+   same kernel with [prefix_resume] ablated: on a cold DLHT miss with warm
+   ancestors, the resumed slowpath should execute O(suffix) walk components
+   (counter-verified against [walk_components]) and resolve in a fraction
+   of the from-root time that grows with depth.  A cold-tree control (drop
+   all caches before every lookup) shows the shortcut costs nothing when
+   there is no ancestor to resume from, and a negative-fast-fail pass
+   measures the no-walk ENOENT verdict against the ablated walk. *)
+
+let deepmiss () =
+  header
+    "Deepmiss - cold miss on a deep path, ancestors warm.  The resumed\n\
+     slowpath restarts from the longest cached ancestor and walks only\n\
+     the uncached suffix; the ablation (prefix_resume=false) re-walks\n\
+     every component from the root.";
+  let depths = [ 4; 8; 16; 24; 32 ] in
+  let leaves = if !quick then 256 else 1024 in
+  let rounds = if !quick then 3 else 5 in
+  let cold_iters = if !quick then 24 else 64 in
+  let chain_path depth =
+    "/" ^ String.concat "/" (List.init depth (Printf.sprintf "c%02d"))
+  in
+  let run_config ~resume depth =
+    let config = { Config.optimized with Config.prefix_resume = resume } in
+    let env = W.Env.ram config in
+    let p = env.W.Env.proc in
+    let deep = chain_path depth in
+    ok "chain" (S.mkdir_p p deep);
+    let leaf i = Printf.sprintf "%s/f%04d" deep i in
+    for i = 0 to leaves - 1 do
+      ok "leaf" (S.write_file p (leaf i) "x")
+    done;
+    (* Warm-ancestor pass: purge, re-warm only the directory chain, then
+       stat every leaf exactly once — each is a cold DLHT miss whose every
+       ancestor is cached.  [walk_components] counts the slowpath work. *)
+    let pass () =
+      W.Env.drop_caches env;
+      ignore (ok "warm chain" (S.stat p deep));
+      let comp0 = counter env "walk_components" in
+      let t0 = Dcache_util.Clock.now_ns () in
+      for i = 0 to leaves - 1 do
+        ignore (ok "miss" (S.stat p (leaf i)))
+      done;
+      let t1 = Dcache_util.Clock.now_ns () in
+      ( Int64.to_float (Int64.sub t1 t0) /. float_of_int leaves,
+        float_of_int (counter env "walk_components" - comp0) /. float_of_int leaves )
+    in
+    ignore (pass ());
+    let samples = Array.init rounds (fun _ -> pass ()) in
+    let miss_ns = Stats.median (Array.map fst samples) in
+    let comps = Stats.median (Array.map snd samples) in
+    let resumes = counter env "fastpath_prefix_resume" in
+    (* Cold-tree control: nothing cached at all, so there is no ancestor to
+       resume from and both kernels pay the same from-root walk. *)
+    let cold_acc = ref 0L in
+    for i = 0 to cold_iters - 1 do
+      W.Env.drop_caches env;
+      let t0 = Dcache_util.Clock.now_ns () in
+      ignore (ok "cold" (S.stat p (leaf (i land (leaves - 1)))));
+      let t1 = Dcache_util.Clock.now_ns () in
+      cold_acc := Int64.add !cold_acc (Int64.sub t1 t0)
+    done;
+    let cold_ns = Int64.to_float !cold_acc /. float_of_int cold_iters in
+    (* Negative fast-fail: the deep dir becomes DIR_COMPLETE via readdir;
+       probing fresh absent names then fails from the cached prefix alone
+       (no walk, no write lock) where the ablation walks from the root. *)
+    W.Env.drop_caches env;
+    ignore (ok "warm chain" (S.stat p deep));
+    ignore (ok "readdir" (S.readdir_path p deep));
+    let neg0 = counter env "fastpath_prefix_negfail" in
+    let t0 = Dcache_util.Clock.now_ns () in
+    for i = 0 to leaves - 1 do
+      match S.stat p (Printf.sprintf "%s/none%04d" deep i) with
+      | Error Dcache_types.Errno.ENOENT -> ()
+      | Ok _ -> failwith "deepmiss: absent name resolved"
+      | Error e -> failwith ("deepmiss: " ^ Dcache_types.Errno.to_string e)
+    done;
+    let t1 = Dcache_util.Clock.now_ns () in
+    let neg_ns = Int64.to_float (Int64.sub t1 t0) /. float_of_int leaves in
+    let negfails = counter env "fastpath_prefix_negfail" - neg0 in
+    (* Warm-hit figures on a leaf of this chain: the snapshot recording
+       rides on every probe, so this guards the scale bench's warm-hit
+       ns/op and words/op (BENCH_scale.json) against regression. *)
+    for i = 0 to leaves - 1 do
+      ignore (ok "rewarm" (S.stat p (leaf i)))
+    done;
+    let fp = Kernel.fastpath env.W.Env.kernel in
+    let ctx = Proc.walk_ctx p in
+    let warm_path = leaf 0 in
+    let f () = ignore (Dcache_core.Fastpath.lookup_into fp ctx warm_path ~within:alloc_within) in
+    f ();
+    let warm_words = Stats.minor_words_per_op ~iters:(if !quick then 20_000 else 100_000) f in
+    let warm_ns = latency_ns ~iters:(if !quick then 5_000 else 20_000) f in
+    (miss_ns, comps, resumes, cold_ns, neg_ns, negfails, warm_ns, warm_words)
+  in
+  row "%-6s %12s %12s %9s %12s %12s %10s %9s\n" "depth" "miss ns/op" "comps/op"
+    "resumes" "cold ns/op" "negfail ns" "warm ns" "warm wds";
+  let results =
+    List.map
+      (fun depth ->
+        let (r_ns, r_comps, r_resumes, r_cold, r_neg, r_negfails, r_wns, r_wwords) =
+          run_config ~resume:true depth
+        in
+        let (f_ns, f_comps, _, f_cold, f_neg, _, f_wns, f_wwords) =
+          run_config ~resume:false depth
+        in
+        row "%-6d %12.1f %12.2f %9d %12.1f %12.1f %10.1f %9.2f  resumed\n" depth r_ns
+          r_comps r_resumes r_cold r_neg r_wns r_wwords;
+        row "%-6s %12.1f %12.2f %9s %12.1f %12.1f %10.1f %9.2f  from-root\n" "" f_ns
+          f_comps "-" f_cold f_neg f_wns f_wwords;
+        (depth, (r_ns, r_comps, r_resumes, r_cold, r_neg, r_negfails, r_wns, r_wwords),
+         (f_ns, f_comps, f_cold, f_neg, f_wns, f_wwords)))
+      depths
+  in
+  (* Acceptance: at depth >= 16 the resumed miss executes slowpath work
+     proportional to the uncached suffix (~1 component, against depth+1
+     from the root) and resolves in at most half the from-root time. *)
+  List.iter
+    (fun (depth, (r_ns, r_comps, r_resumes, _, _, r_negfails, _, _), (f_ns, f_comps, _, _, _, _)) ->
+      if depth >= 16 then begin
+        row
+          "depth %d: resumed/from-root time %.2fx (bound 0.50), components %.2f vs %.2f\n"
+          depth (r_ns /. f_ns) r_comps f_comps;
+        if r_ns > 0.5 *. f_ns then
+          row "  WARNING: resumed miss exceeded 50%% of the from-root time\n";
+        if r_comps > 2.0 then
+          row "  WARNING: resumed miss walked %.2f components (expected ~1)\n" r_comps;
+        if r_resumes = 0 then row "  WARNING: no prefix resumes recorded\n";
+        if r_negfails = 0 then row "  WARNING: no negative fast-fails recorded\n"
+      end)
+    results;
+  let json =
+    let entries =
+      List.map
+        (fun (depth, (r_ns, r_comps, r_resumes, r_cold, r_neg, r_negfails, r_wns, r_wwords),
+              (f_ns, f_comps, f_cold, f_neg, f_wns, f_wwords)) ->
+          Printf.sprintf
+            "    {\"depth\": %d,\n\
+            \     \"resumed\": {\"miss_ns\": %.2f, \"components_per_op\": %.3f, \
+             \"resumes\": %d, \"cold_tree_ns\": %.2f, \"negfail_ns\": %.2f, \
+             \"negfails\": %d, \"warm_hit_ns\": %.2f, \"warm_hit_words\": %.3f},\n\
+            \     \"from_root\": {\"miss_ns\": %.2f, \"components_per_op\": %.3f, \
+             \"cold_tree_ns\": %.2f, \"negfail_ns\": %.2f, \"warm_hit_ns\": %.2f, \
+             \"warm_hit_words\": %.3f},\n\
+            \     \"miss_time_ratio\": %.3f}"
+            depth r_ns r_comps r_resumes r_cold r_neg r_negfails r_wns r_wwords f_ns
+            f_comps f_cold f_neg f_wns f_wwords
+            (if f_ns > 0.0 then r_ns /. f_ns else 1.0))
+        results
+    in
+    Printf.sprintf
+      "{\n  \"experiment\": \"deepmiss\",\n  \"mode\": \"%s\",\n  \"leaves\": %d,\n\
+      \  \"depths\": [\n%s\n  ]\n}\n"
+      (if !quick then "quick" else "full")
+      leaves
+      (String.concat ",\n" entries)
+  in
+  let oc = open_out "BENCH_deepmiss.json" in
+  output_string oc json;
+  close_out oc;
+  row "wrote BENCH_deepmiss.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1399,6 +1565,7 @@ let experiments =
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("tab1", tab1); ("tab2", tab2);
     ("tab3", tab3); ("tab4", tab4); ("ablation", ablation); ("bechamel", bechamel);
     ("alloc", alloc); ("faults", faults); ("trace", trace); ("scale", scale_bench);
+    ("deepmiss", deepmiss);
   ]
 
 let () =

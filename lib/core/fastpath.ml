@@ -30,6 +30,9 @@ type t = {
   c_refwalk : int ref;
   c_lockless_retry : int ref;
   c_locked_probe : int ref;
+  c_prefix_resume : int ref;
+  c_prefix_negfail : int ref;
+  c_prefix_stale : int ref;
 }
 
 let create dcache =
@@ -51,6 +54,9 @@ let create dcache =
       c_refwalk = Counter.cell counters "walk_refwalk_fallback";
       c_lockless_retry = Counter.cell counters "fastpath_lockless_retry";
       c_locked_probe = Counter.cell counters "fastpath_locked_probe";
+      c_prefix_resume = Counter.cell counters "fastpath_prefix_resume";
+      c_prefix_negfail = Counter.cell counters "fastpath_prefix_negfail";
+      c_prefix_stale = Counter.cell counters "fastpath_prefix_stale";
     }
   in
   (Dcache.hooks dcache).on_shootdown <- Dlht.remove;
@@ -324,12 +330,44 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
    A warm DLHT hit on a plain path performs zero minor-heap allocation
    (asserted by test and measured by the [alloc] benchmark). *)
 
-type scratch = { ms : Signature.mstate; sbuf : Signature.buf }
+type scratch = {
+  ms : Signature.mstate;
+  sbuf : Signature.buf;
+  (* Prefix-resume state (§3.5).  [snaps] records a hash-state snapshot at
+     every component boundary the probe feeds — six int stores per
+     component, preallocated once per domain, so the warm hit stays
+     allocation-free.  On a miss the snapshots are re-finalized into
+     [pbuf] ([sbuf] still holds the full-path digest) for the
+     deepest-first ancestor scan.  The three mutable fields carry the
+     probe's verdict to the write-locked fallback: which path the
+     snapshots describe (physical identity — never read as a string), the
+     global invalidation counter observed before any cached state was
+     consumed, and the deepest viable ancestor slot (-1: none). *)
+  snaps : Signature.snaps;
+  pbuf : Signature.buf;
+  mutable snap_path : string;
+  mutable snap_inval : int;
+  mutable resume_slot : int;
+  (* Errno carried by a [Neg_fail] verdict — stashed here so the exception
+     itself can stay constant (raising allocates nothing: the fast-fail may
+     fire on every probe of a repeatedly missed name). *)
+  mutable neg_errno : Errno.t;
+}
 
 (* Per-domain because fig8-style benchmarks probe concurrently from several
    domains under the read lock. *)
 let scratch_key =
-  Domain.DLS.new_key (fun () -> { ms = Signature.mstate (); sbuf = Signature.buf () })
+  Domain.DLS.new_key (fun () ->
+      {
+        ms = Signature.mstate ();
+        sbuf = Signature.buf ();
+        snaps = Signature.snaps ~slots:((Path.max_path / 2) + 2);
+        pbuf = Signature.buf ();
+        snap_path = "";
+        snap_inval = -1;
+        resume_slot = -1;
+        neg_errno = Errno.ENOENT;
+      })
 
 (* Raw-string mirror of [Path.split]'s validation, so the scanner never
    discovers a limit violation halfway through a probe: 0 ok, 1 empty path
@@ -337,6 +375,9 @@ let scratch_key =
    refs, no closures (no flambda to unbox them). *)
 let rec component_end s len j =
   if j < len && String.unsafe_get s j <> '/' then component_end s len (j + 1) else j
+
+let rec skip_slashes s len i =
+  if i < len && String.unsafe_get s i = '/' then skip_slashes s len (i + 1) else i
 
 let rec validate_components path len i =
   if i >= len then 0
@@ -362,12 +403,125 @@ let probe_prefix_buf t dlht pcc sc =
     if not (dentry_is_dir real) then raise Fall_back;
     (match real.d_mnt with Some mnt -> { mnt; dentry = real } | None -> raise Fall_back)
 
+(* --- prefix-resumed miss handling (§3.5) ---
+
+   The in-place scanner records a hash-state snapshot at every component
+   boundary, so when the full-path probe misses we can ask, deepest-first,
+   whether any proper ancestor prefix is already cached — and either answer
+   the lookup from the prefix alone (negative fast-fail) or mark the
+   ancestor as the point to resume the slowpath walk from, instead of
+   re-walking from the root. *)
+
+(* Negative fast-fail verdict.  Constant constructor — the errno travels in
+   [sc.neg_errno] — so raising allocates nothing: a repeatedly probed absent
+   name takes this path on every lookup (no negative dentry is populated by
+   a fast-fail) and must stay at zero words per op like any other warm
+   verdict. *)
+exception Neg_fail
+
+(* PCC validation for prefix candidates: [Pcc.probe] is the read-only
+   variant — no hit/miss accounting, no stale-entry drop — safe on the
+   lockless tier and statistics-neutral for a scan that expects misses. *)
+let pcc_probe t pcc d = (not t.simulate_pcc_miss) && Pcc.probe pcc d
+
+(* First real component of [path] at or after [pos], skipping slashes and
+   ["."], as a packed [(start lsl 13) lor end] span ([max_path] = 4096 fits
+   in 13 bits) — no [String.sub], no option: the fast-fail scan addresses
+   the name in place.  [-1] at end of string or on a [".."] — those the
+   walk must handle itself. *)
+let rec next_component_span path pos =
+  let len = String.length path in
+  let i = skip_slashes path len pos in
+  if i >= len then -1
+  else begin
+    let j = component_end path len i in
+    if j - i = 1 && String.unsafe_get path i = '.' then next_component_span path j
+    else if j - i = 2 && String.unsafe_get path i = '.' && String.unsafe_get path (i + 1) = '.'
+    then -1
+    else (i lsl 13) lor j
+  end
+
+(* Deepest-first scan over the recorded boundary snapshots, run at the
+   probe's final-miss site (lockless or read-locked).  The first cached
+   ancestor found decides:
+
+   - a cached negative: the whole path fails with its errno — return it
+     without the write lock or a walk, exactly as a from-root walk would
+     fail at that component (fast-fail is only trusted after the same
+     seqcount validation as any other lockless verdict);
+   - a DIR_COMPLETE positive directory whose next suffix component is not
+     in the dcache: definitive ENOENT (§5.1), same no-lock fast-fail;
+   - any other PCC-valid positive directory: the resume candidate — its
+     slot is left in [sc.resume_slot] for [fallback] to re-validate under
+     the write lock, and the probe falls back.
+
+   Candidates that fail PCC validation, are not directories, or carry no
+   mount are skipped in favor of shallower ancestors: a shallower resume
+   is still correct (the walk rediscovers whatever made the deeper prefix
+   unusable — including EACCES on a revoked interior directory, which is
+   re-checked per component by the resumed walk itself). *)
+(* Top-level recursion (not an inner [let rec] — a closure over seven
+   captured variables costs ~10 minor words per miss without flambda; the
+   fast-fail verdict must stay at zero). *)
+let rec prefix_scan t dlht pcc sc path ~vsnap k =
+  if k >= 0 then begin
+    let sn = sc.snaps in
+    Signature.finalize_snap_into t.key sn k sc.pbuf;
+    match Dlht.find_buf dlht ~key:t.key sc.pbuf with
+    | None -> prefix_scan t dlht pcc sc path ~vsnap (k - 1)
+    | Some literal ->
+      let real = real_of literal in
+      if not (pcc_probe t pcc literal && ((real == literal) || pcc_probe t pcc real))
+      then prefix_scan t dlht pcc sc path ~vsnap (k - 1)
+      else begin
+        match literal.d_state with
+        | Negative errno ->
+          commit_check t vsnap;
+          incr t.c_prefix_negfail;
+          Trace.stamp Trace.ev_prefix_negfail (k + 1);
+          sc.neg_errno <- errno;
+          raise_notrace Neg_fail
+        | Positive _ | Partial _ ->
+          if dentry_is_dir real && (match real.d_mnt with Some _ -> true | None -> false)
+          then begin
+            (if Dcache.is_complete t.dcache real then begin
+               let span = next_component_span path (Signature.snaps_cursor sn k) in
+               if span >= 0 then begin
+                 let pos = span lsr 13 in
+                 let len = (span land 0x1fff) - pos in
+                 if not (Dcache.contains_child t.dcache real path ~pos ~len) then begin
+                   commit_check t vsnap;
+                   incr t.c_prefix_negfail;
+                   Trace.stamp Trace.ev_prefix_negfail (k + 1);
+                   sc.neg_errno <- Errno.ENOENT;
+                   raise_notrace Neg_fail
+                 end
+               end
+             end);
+            sc.resume_slot <- k
+          end
+          else prefix_scan t dlht pcc sc path ~vsnap (k - 1)
+      end
+  end
+
+let prefix_miss t dlht pcc sc path ~vsnap =
+  if (config t).Config.prefix_resume then
+    (* Slot [n-1] is the full path — the probe that just missed. *)
+    prefix_scan t dlht pcc sc path ~vsnap (Signature.snaps_count sc.snaps - 2);
+  raise Fall_back
+
 (* Scan-and-hash driver for the in-place probe.  On a ".." (Linux
    semantics): sub-probe the prefix walked so far, step up, resume hashing
    from the parent's cached state (§4.2).  Top-level recursion, not a loop
-   over refs, for the usual no-flambda reason. *)
+   over refs, for the usual no-flambda reason.  Every fed component leaves
+   a boundary snapshot in [sc.snaps] for the miss handler — including
+   across ".." hops: post-resume states are still canonical-prefix states
+   and their cursors still delimit the remaining suffix, so resuming from
+   any recorded slot replays exactly what a from-scratch walk would do. *)
 let rec scan_and_hash t ctx dlht pcc sc path pos vsnap =
-  let rc = Signature.hash_path_into t.key sc.ms ~max_name:Path.max_name path ~pos in
+  let rc =
+    Signature.hash_path_into_rec t.key sc.ms sc.snaps ~max_name:Path.max_name path ~pos
+  in
   if rc = Signature.scan_done then ()
   else if rc = Signature.scan_toolong then raise Fall_back (* pre-validated; defensive *)
   else begin
@@ -390,6 +544,14 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
   let trailing_slash = Path.has_trailing_slash path in
   let t0 = Phases.stamp () in
   let base = if absolute then ctx.Walk.root else start in
+  (* Prefix-resume bookkeeping: the invalidation counter must be read
+     before any cached state (hash states, table entries) is consumed, so
+     that an unchanged counter at resume time proves the snapshots raced no
+     shootdown (§3.2, §3.5).  Plain int/pointer stores — no allocation. *)
+  sc.snap_path <- path;
+  sc.snap_inval <- Dcache.invalidation_counter t.dcache;
+  sc.resume_slot <- -1;
+  Signature.snaps_reset sc.snaps;
   Signature.mstate_resume sc.ms (hstate_of t vsnap base);
   Phases.record_span Phases.Init t0;
   let t1 = Phases.stamp () in
@@ -403,7 +565,10 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
     | None ->
       commit_check t vsnap;
       Trace.bump_cause Trace.cause_cold;
-      raise Fall_back
+      (* Genuine miss: scan the boundary snapshots for the longest cached
+         ancestor — fast-fail from the prefix or mark the resume point —
+         then fall back (§3.5).  Never returns. *)
+      prefix_miss t dlht pcc sc path ~vsnap
   in
   Phases.record_span Phases.Table_lookup t2;
   let t3 = Phases.stamp () in
@@ -553,19 +718,95 @@ let populate t ctx ~visited ~absolute ~start =
 
 (* --- the public lookup --- *)
 
+(* Re-derive and re-validate the probe's resume candidate under the write
+   lock (§3.5).  The lockless scan only *suggested* a slot; everything it
+   read is re-checked here where it is authoritative: the ancestor must
+   still be in the DLHT under the snapshot's signature, PCC-valid for this
+   cred, a positive directory with a mount — and, before any of that is
+   even consulted, the global invalidation counter must equal the value
+   snapshotted before the probe consumed any cached state.  A rename or
+   chmod between snapshot and resume bumps that counter (§3.2), forcing
+   the from-scratch walk; a revoked search permission *above* the ancestor
+   bumps the ancestor's seq, so the PCC re-check fails; a revoked
+   permission on the ancestor itself (or below) is re-checked per
+   component by the resumed walk.  Revocation can therefore never be
+   walked past. *)
+let resume_plan t ctx sc path =
+  if (not (config t).Config.prefix_resume)
+     || sc.resume_slot < 0
+     || not (sc.snap_path == path)
+  then None
+  else if Dcache.invalidation_counter t.dcache <> sc.snap_inval then begin
+    incr t.c_prefix_stale;
+    None
+  end
+  else begin
+    let k = sc.resume_slot in
+    Signature.finalize_snap_into t.key sc.snaps k sc.pbuf;
+    let dlht = dlht_of t ctx in
+    let pcc = pcc_of t ctx in
+    match Dlht.find_buf dlht ~key:t.key sc.pbuf with
+    | None ->
+      incr t.c_prefix_stale;
+      None
+    | Some literal -> (
+      let real = real_of literal in
+      if
+        not
+          (pcc_valid t pcc literal
+          && ((real == literal) || pcc_valid t pcc real)
+          && dentry_is_dir real)
+      then begin
+        incr t.c_prefix_stale;
+        None
+      end
+      else begin
+        match real.d_mnt with
+        | None ->
+          incr t.c_prefix_stale;
+          None
+        | Some mnt ->
+          let ancestor = Vfs.Mount.traverse_mounts { mnt; dentry = real } in
+          let cursor = Signature.snaps_cursor sc.snaps k in
+          let suffix = String.sub path cursor (String.length path - cursor) in
+          Some (ancestor, k + 1, suffix)
+      end)
+  end
+
 (* Slowpath fallback: resolve with collection under the write lock and
-   repopulate the DLHT/PCC.  §3.2: results may only repopulate if no
-   shootdown ran concurrently; under the coarse write lock the counter check
-   never fires, but it documents (and preserves) the protocol. *)
-let fallback t ctx ~flags ~absolute ~start path ~within =
+   repopulate the DLHT/PCC.  When the probe left a validated resume
+   candidate, only the uncached suffix is walked — from the longest cached
+   ancestor — so a deep miss costs O(suffix), not O(depth) (§3.5).  §3.2:
+   results may only repopulate if no shootdown ran concurrently; under the
+   coarse write lock the counter check never fires, but it documents (and
+   preserves) the protocol. *)
+let fallback t ctx ~flags ~absolute ~start ?sc path ~within =
   incr t.c_fallback;
   Trace.stamp Trace.ev_fallback 0;
   Dcache.with_write t.dcache (fun () ->
+      let plan = match sc with Some sc -> resume_plan t ctx sc path | None -> None in
       let invalidation_before = Dcache.invalidation_counter t.dcache in
-      let result =
-        Walk.resolve_in_mode Walk.Ref t.dcache ctx
-          ~flags:{ flags with Walk.collect = true }
-          path
+      let result, pop_start, pop_absolute =
+        match plan with
+        | Some (ancestor, depth, suffix) ->
+          incr t.c_prefix_resume;
+          Trace.stamp Trace.ev_prefix_resume depth;
+          Trace.record_resume_depth depth;
+          (* The resumed walk still collects, so the suffix prefixes are
+             published and the next miss lands one component deeper. *)
+          let r =
+            Walk.resolve_resumed t.dcache ctx
+              ~flags:{ flags with Walk.collect = true }
+              ~start_at:ancestor suffix
+          in
+          (r, ancestor, false)
+        | None ->
+          let r =
+            Walk.resolve_in_mode Walk.Ref t.dcache ctx
+              ~flags:{ flags with Walk.collect = true }
+              path
+          in
+          (r, start, absolute)
       in
       (* §3.2 extended to I/O failures: a walk that died on a transient
          EIO says nothing trustworthy about the tree — the visited prefix
@@ -575,7 +816,8 @@ let fallback t ctx ~flags ~absolute ~start path ~within =
       | Error Errno.EIO -> Counter.incr (Dcache.counters t.dcache) "fastpath_eio_no_populate"
       | Ok _ | Error _ ->
         if Dcache.invalidation_counter t.dcache = invalidation_before then
-          populate t ctx ~visited:result.Walk.visited ~absolute ~start);
+          populate t ctx ~visited:result.Walk.visited ~absolute:pop_absolute
+            ~start:pop_start);
       match result.Walk.outcome with
       | Ok r -> within r.mnt r.dentry
       | Error e -> Error e)
@@ -598,7 +840,12 @@ let probe_locked t ctx ~start ~flags sc path ~within =
   | exception Fall_back ->
     Rwlock.read_unlock lock;
     fallback t { ctx with Walk.cwd = start } ~flags ~absolute:(Path.is_absolute path) ~start
-      path ~within
+      ~sc path ~within
+  | exception Neg_fail ->
+    (* Prefix fast-fail (§3.5): answered from a cached ancestor, no walk,
+       no write lock. *)
+    Rwlock.read_unlock lock;
+    Errno.to_error sc.neg_errno
   | exception e ->
     Rwlock.read_unlock lock;
     raise e
@@ -693,9 +940,14 @@ let lookup_into_raw t ctx ?start ?(flags = Walk.default_flags) path ~within =
         | exception Seq_retry ->
           note_lockless_retry t ctx;
           probe_locked t ctx ~start ~flags sc path ~within
+        | exception Neg_fail ->
+          (* Prefix fast-fail (§3.5): the verdict passed its seqcount
+             validation inside the probe, so it is as good as a hit —
+             answered without a lock or a walk. *)
+          Errno.to_error sc.neg_errno
         | exception Fall_back ->
           if Seqcount.read_validate seq snap then
-            fallback t { ctx with Walk.cwd = start } ~flags ~absolute ~start path ~within
+            fallback t { ctx with Walk.cwd = start } ~flags ~absolute ~start ~sc path ~within
           else begin
             note_lockless_retry t ctx;
             probe_locked t ctx ~start ~flags sc path ~within

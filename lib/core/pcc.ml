@@ -86,6 +86,25 @@ let check t d =
   let base = set_of table d.d_id * ways in
   check_scan t table id (d.d_seq land seq_mask) base 0
 
+(* Read-only prefix validation (§3.5): like [check], but perturbs nothing —
+   no hit/miss accounting and no stale-entry drop.  The prefix-resume scan
+   probes several ancestors per miss, most of which are expected to be
+   absent, so counting them would skew the hit-rate figures; and it may run
+   on the lockless tier, where dropping an entry is a mutation that belongs
+   under the lock.  Top-level recursion for the usual no-closure reason. *)
+let rec probe_scan table id seq base i =
+  if i >= ways then false
+  else begin
+    let e = table.slots.(base + i) in
+    if e <> 0 && packed_id e = id then packed_seq e = seq
+    else probe_scan table id seq base (i + 1)
+  end
+
+let probe t d =
+  let table = t.table in
+  let id = d.d_id land ((1 lsl id_bits) - 1) in
+  probe_scan table id (d.d_seq land seq_mask) (set_of table d.d_id * ways) 0
+
 (* Dynamic resizing (the paper leaves the policy as future work, §6.3): when
    capacity replacement is evicting entries faster than a quarter of the
    cache per window, double the table — the working set has outgrown it.

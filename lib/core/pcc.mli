@@ -36,6 +36,12 @@ val check : t -> dentry -> bool
 (** True iff a valid (current-version) entry for [dentry] is present;
     refreshes its recency. *)
 
+val probe : t -> dentry -> bool
+(** Read-only variant of {!check} for prefix validation (§3.5): same
+    answer, but no hit/miss accounting and no stale-entry eviction, so it
+    is safe on the lockless tier and does not skew statistics when a miss
+    scan probes many absent ancestors.  Allocation-free. *)
+
 val insert : t -> dentry -> unit
 (** Record a passed prefix check at the dentry's current version. *)
 

@@ -287,6 +287,81 @@ let rec hash_path_into key ms ~max_name s ~pos =
     end
   end
 
+(* --- component-boundary snapshots (prefix-resumed slowpath) -------------
+
+   A probe that may miss wants to know, afterwards, what the running state
+   was at every component boundary it hashed: the longest cached ancestor
+   of a missing path is found by re-finalizing those intermediate states
+   and probing the table deepest-first.  [snaps] is a preallocated flat
+   store — recording one boundary is six unchecked int stores — so the warm
+   path can record unconditionally and stay allocation-free.  Lane values
+   are stored raw (pos, l0..l3), not finalized: finalization is deferred to
+   the rare miss, and only for the slots actually probed. *)
+
+type snaps = {
+  snap_cap : int;
+  snap_cursors : int array;  (* byte offset in the raw path just past component i *)
+  snap_states : int array;  (* [snap_words] ints per boundary: pos, l0..l3 *)
+  mutable snap_n : int;
+  mutable snap_overflowed : bool;
+}
+
+let snap_words = 5
+
+let snaps ~slots =
+  let cap = if slots < 1 then 1 else slots in
+  {
+    snap_cap = cap;
+    snap_cursors = Array.make cap 0;
+    snap_states = Array.make (cap * snap_words) 0;
+    snap_n = 0;
+    snap_overflowed = false;
+  }
+
+let snaps_reset sn =
+  sn.snap_n <- 0;
+  sn.snap_overflowed <- false
+
+let snaps_count sn = sn.snap_n
+let snaps_overflowed sn = sn.snap_overflowed
+let snaps_cursor sn i = sn.snap_cursors.(i)
+
+(* Overflow (more components than slots) simply stops recording: every slot
+   already stored is still a valid prefix state, so callers may keep using
+   them — they just cannot resume deeper than the capacity. *)
+let[@inline] record_snap sn ms cursor =
+  if sn.snap_n >= sn.snap_cap then sn.snap_overflowed <- true
+  else begin
+    let base = sn.snap_n * snap_words in
+    let st = sn.snap_states in
+    Array.unsafe_set sn.snap_cursors sn.snap_n cursor;
+    Array.unsafe_set st base ms.mpos;
+    Array.unsafe_set st (base + 1) ms.m0;
+    Array.unsafe_set st (base + 2) ms.m1;
+    Array.unsafe_set st (base + 3) ms.m2;
+    Array.unsafe_set st (base + 4) ms.m3;
+    sn.snap_n <- sn.snap_n + 1
+  end
+
+(* [hash_path_into] with a boundary snapshot after every fed component. *)
+let rec hash_path_into_rec key ms sn ~max_name s ~pos =
+  let len = String.length s in
+  let i = skip_slashes s len pos in
+  if i >= len then scan_done
+  else begin
+    let j = component_end s len i in
+    let clen = j - i in
+    if clen = 1 && String.unsafe_get s i = '.' then hash_path_into_rec key ms sn ~max_name s ~pos:j
+    else if clen = 2 && String.unsafe_get s i = '.' && String.unsafe_get s (i + 1) = '.' then j
+    else if clen > max_name then scan_toolong
+    else begin
+      feed_char_into key ms '/';
+      feed_bytes_into key ms s ~pos:i ~len:clen;
+      record_snap sn ms j;
+      hash_path_into_rec key ms sn ~max_name s ~pos:j
+    end
+  end
+
 type buf = { mutable ba : int; mutable bb : int; mutable bc : int; mutable bd : int }
 
 let buf () = { ba = 0; bb = 0; bc = 0; bd = 0 }
@@ -298,6 +373,19 @@ let finalize_into key ms b =
   b.bb <- fmix (ms.m1 + Array.unsafe_get key.f1 pos);
   b.bc <- fmix (ms.m2 + Array.unsafe_get key.f2 pos);
   b.bd <- fmix (ms.m3 + Array.unsafe_get key.f3 pos)
+
+(* Finalize the recorded boundary state in slot [i] into [b] — the
+   non-allocating counterpart of [finalize] for snapshot lanes, used by the
+   deepest-first ancestor scan on a miss. *)
+let finalize_snap_into key sn i b =
+  let base = i * snap_words in
+  let st = sn.snap_states in
+  let pos = st.(base) in
+  if pos >= key.capacity then grow key pos;
+  b.ba <- fmix (st.(base + 1) + Array.unsafe_get key.f0 pos);
+  b.bb <- fmix (st.(base + 2) + Array.unsafe_get key.f1 pos);
+  b.bc <- fmix (st.(base + 3) + Array.unsafe_get key.f2 pos);
+  b.bd <- fmix (st.(base + 4) + Array.unsafe_get key.f3 pos)
 
 let buf_bucket b = b.ba land bucket_index_mask
 let equal_buf key b y = equal_lanes key.sig_bits b.ba b.bb b.bc b.bd y

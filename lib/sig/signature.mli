@@ -106,10 +106,50 @@ val hash_path_into : key -> mstate -> max_name:int -> string -> pos:int -> int
     component exceeds [max_name], or the cursor just past a [".."]
     component so the caller can apply its dot-dot semantics and resume. *)
 
+(** {1 Component-boundary snapshots (prefix-resumed slowpath)}
+
+    A preallocated store of intermediate hash states, one per component
+    boundary fed by {!hash_path_into_rec}.  On a table miss the caller
+    re-finalizes the recorded slots deepest-first ({!finalize_snap_into})
+    to look for the longest cached ancestor prefix — without re-hashing
+    and without allocating. *)
+
+type snaps
+(** Flat int-array snapshot store; created once, reused for every probe. *)
+
+val snaps : slots:int -> snaps
+(** [snaps ~slots] preallocates room for [slots] boundaries.  Size it to
+    the maximum possible component count (e.g. [max_path / 2 + 2]) so
+    steady state never overflows. *)
+
+val snaps_reset : snaps -> unit
+(** Forget all recorded boundaries (two int stores; call per probe). *)
+
+val snaps_count : snaps -> int
+(** Number of boundaries recorded since the last reset.  Slot [n - 1] is
+    the state after the final fed component (i.e. the full path). *)
+
+val snaps_cursor : snaps -> int -> int
+(** Byte offset in the raw path just past the component of slot [i]: the
+    remaining suffix of the scanned path starts there. *)
+
+val snaps_overflowed : snaps -> bool
+(** True when more boundaries were fed than [slots]; recorded slots remain
+    valid, deeper ones were dropped. *)
+
+val hash_path_into_rec : key -> mstate -> snaps -> max_name:int -> string -> pos:int -> int
+(** Exactly {!hash_path_into}, additionally recording a boundary snapshot
+    into [snaps] after every fed component.  Allocation-free. *)
+
 type buf
 (** Mutable finalized digest (the in-place counterpart of [t]). *)
 
 val buf : unit -> buf
+
+val finalize_snap_into : key -> snaps -> int -> buf -> unit
+(** Finalize the boundary state recorded in slot [i] into the buffer — the
+    prefix signature covering the first [i + 1] fed components.  Does not
+    disturb any [mstate].  Allocation-free. *)
 
 val finalize_into : key -> mstate -> buf -> unit
 (** Non-destructive on the [mstate]; overwrites the [buf]. *)

@@ -46,6 +46,13 @@ let render_summary kernel () =
   let buf = Buffer.create 256 in
   Printf.bprintf buf "dentries %d\n" (Dcache.dentry_count dcache);
   Printf.bprintf buf "invalidation_counter %d\n" (Dcache.invalidation_counter dcache);
+  (* Prefix-resume depth gauges (§3.5): how many components each resumed
+     walk skipped.  The full distribution lives in dcache/histograms
+     ("class resume_depth"); these are the headline figures. *)
+  let rd = Trace.resume_depth in
+  Printf.bprintf buf "resume_depth_n %d\n" (Dcache_util.Stats.Lhist.count rd);
+  Printf.bprintf buf "resume_depth_max %d\n" (Dcache_util.Stats.Lhist.max_value rd);
+  Printf.bprintf buf "resume_depth_mean %.1f\n" (Dcache_util.Stats.Lhist.mean rd);
   Array.iteri
     (fun len count ->
       Printf.bprintf buf "buckets_len_%s%d %d (%.1f%%)\n"
@@ -69,6 +76,7 @@ let render_config kernel () =
         (match c.Config.dotdot with
         | Config.Dotdot_linux -> "linux"
         | Config.Dotdot_lexical -> "lexical");
+      Printf.sprintf "prefix_resume %b" c.Config.prefix_resume;
       Printf.sprintf "dir_completeness %b" c.Config.dir_completeness;
       Printf.sprintf "dnlc_style_completeness %b" c.Config.dnlc_style_completeness;
       Printf.sprintf "aggressive_negative %b" c.Config.aggressive_negative;

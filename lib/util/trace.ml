@@ -47,7 +47,9 @@ let ev_dlht_resize_begin = 18
 let ev_dlht_resize_end = 19
 let ev_lockless_retry = 20
 let ev_dlht_sigless_scan = 21
-let n_events = 22
+let ev_prefix_resume = 22
+let ev_prefix_negfail = 23
+let n_events = 24
 
 let event_names =
   [|
@@ -73,6 +75,8 @@ let event_names =
     "dlht_resize_end";
     "fastpath_lockless_retry";
     "dlht_sigless_scan";
+    "prefix_resume";
+    "prefix_negfail";
   |]
 
 let event_name ev = if ev >= 0 && ev < n_events then event_names.(ev) else "unknown"
@@ -175,12 +179,20 @@ let lat = Array.init n_classes (fun _ -> Stats.Lhist.create ())
 let latency c = lat.(c)
 let[@inline] record_latency c ns = Stats.Lhist.record lat.(c) ns
 
+(* Resume-depth histogram (§3.5): how many already-cached components each
+   prefix-resumed miss skipped.  Not a latency class — depths, not ns — but
+   the same preallocated log2 store, so recording is fastpath-safe. *)
+let resume_depth = Stats.Lhist.create ()
+let[@inline] record_resume_depth depth = Stats.Lhist.record resume_depth depth
+
 let histograms_to_string () =
   let buf = Buffer.create 512 in
   for c = 0 to n_classes - 1 do
     Buffer.add_string buf
       (Printf.sprintf "class %s %s\n" class_names.(c) (Stats.Lhist.to_string lat.(c)))
   done;
+  Buffer.add_string buf
+    (Printf.sprintf "class resume_depth %s\n" (Stats.Lhist.to_string resume_depth));
   Buffer.contents buf
 
 (* --- arming / reset --- *)
@@ -196,7 +208,8 @@ let disarm () =
 let reset () =
   seq := 0;
   Array.fill causes 0 n_causes 0;
-  Array.iter Stats.Lhist.reset lat
+  Array.iter Stats.Lhist.reset lat;
+  Stats.Lhist.reset resume_depth
 
 (* --- rendering --- *)
 

@@ -111,6 +111,16 @@ val ev_dlht_sigless_scan : int
     id.  Defensive path — loud because it means the detach ordering
     invariant was broken somewhere. *)
 
+val ev_prefix_resume : int
+(** A missed lookup resumed the slowpath from a cached ancestor (§3.5);
+    arg = number of already-cached components skipped (the resume depth). *)
+
+val ev_prefix_negfail : int
+(** A missed lookup was answered negatively from its prefix alone — a
+    cached negative ancestor, or a DIR_COMPLETE deepest ancestor lacking
+    the next component — with no write lock and no walk; arg = depth of
+    the deciding ancestor. *)
+
 val n_events : int
 val event_name : int -> string
 
@@ -169,4 +179,14 @@ val record_latency : int -> int -> unit
 (** [record_latency cls ns]: allocation-free histogram store. *)
 
 val histograms_to_string : unit -> string
-(** One [class name n … p50 … p90 … p99 … max … mean …] line per class. *)
+(** One [class name n … p50 … p90 … p99 … max … mean …] line per latency
+    class, plus the [resume_depth] histogram in the same format. *)
+
+(** {2 Resume-depth histogram (§3.5)} *)
+
+val resume_depth : Stats.Lhist.t
+(** Components skipped per prefix-resumed miss (depths, not nanoseconds);
+    reset by {!reset} alongside the latency histograms. *)
+
+val record_resume_depth : int -> unit
+(** Allocation-free histogram store. *)

@@ -21,6 +21,11 @@ type t = {
           buckets migrated per mutation); 0 keeps the paper's fixed-size
           prototype table *)
   sig_bits : int;  (** signature bits compared (paper: 240) *)
+  prefix_resume : bool;
+      (** on a DLHT miss, resume the slowpath from the longest cached,
+          PCC-validated ancestor prefix instead of walking from the
+          root/cwd (§3.5); includes negative fast-fail on cached-negative
+          or DIR_COMPLETE ancestors *)
   symlink_aliases : bool;  (** cache symlink resolutions as alias dentries (§4.2) *)
   dotdot : dotdot_semantics;
   (* §5: hit rate *)
@@ -46,6 +51,7 @@ let baseline =
     dlht_buckets = 1 lsl 16;
     dlht_grow_load = 2;
     sig_bits = 240;
+    prefix_resume = false;
     symlink_aliases = false;
     dotdot = Dotdot_linux;
     dir_completeness = false;
@@ -61,6 +67,7 @@ let optimized =
   {
     baseline with
     fastpath = true;
+    prefix_resume = true;
     symlink_aliases = true;
     dir_completeness = true;
     aggressive_negative = true;

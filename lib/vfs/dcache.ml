@@ -183,6 +183,41 @@ let lookup t parent name =
     Some d
   | None -> None
 
+(* Substring variant of [lookup] for the lockless prefix fast-fail scan
+   (§3.5): purely read-only — no LRU tick, no hit accounting — and
+   allocation-free (the name is addressed in place in the caller's path
+   string; top-level recursions instead of refs/closures), so the verdict
+   stays at zero words even when it fires on every probe of a repeatedly
+   missed name. *)
+let rec fnv_sub path pos stop h =
+  if pos >= stop then h
+  else fnv_sub path (pos + 1) stop ((h lxor Char.code (String.unsafe_get path pos)) * 0x100000001b3)
+
+let name_hash_sub parent_id path ~pos ~len =
+  let h = fnv_sub path pos (pos + len) 0xbf29ce484222325 in
+  let h = h lxor (parent_id * 0x1e3779b97f4a7c15) in
+  let h = h lxor (h lsr 29) in
+  h land max_int
+
+let rec name_eq_sub name path pos i len =
+  i >= len
+  || (String.unsafe_get name i = String.unsafe_get path (pos + i)
+      && name_eq_sub name path pos (i + 1) len)
+
+let rec child_scan parent path pos len = function
+  | [] -> false
+  | d :: rest ->
+    if
+      (match d.d_parent with Some p -> p == parent | None -> false)
+      && String.length d.d_name = len
+      && name_eq_sub d.d_name path pos 0 len
+    then true
+    else child_scan parent path pos len rest
+
+let contains_child t parent path ~pos ~len =
+  let idx = name_hash_sub parent.d_id path ~pos ~len land (Array.length t.buckets - 1) in
+  child_scan parent path pos len t.buckets.(idx)
+
 let hash_insert t d =
   let parent_id = match d.d_parent with Some p -> p.d_id | None -> 0 in
   let idx = bucket_index t parent_id d.d_name in

@@ -65,6 +65,11 @@ val iforget : superblock -> int -> unit
 val lookup : t -> dentry -> string -> dentry option
 (** Primary hash table probe; the per-component step of every walk. *)
 
+val contains_child : t -> dentry -> string -> pos:int -> len:int -> bool
+(** Does [parent] have a hashed child named [path\[pos, pos+len)]?
+    Read-only substring probe for the §3.5 prefix fast-fail: no LRU tick,
+    no hit accounting, no allocation — safe on the lockless tier. *)
+
 val fill : t -> dentry -> string -> (dentry, Dcache_types.Errno.t) result
 (** Cache miss: ask the low-level fs.  Returns the (hashed) child dentry —
     possibly a fresh negative dentry — or [Error ENOENT] when the fs reports

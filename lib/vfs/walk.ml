@@ -216,21 +216,28 @@ let split_components config path =
     else comps
   | Error e -> raise (Walk_error e)
 
-let walk_internal mode t ctx ~flags ~stop_at_parent path =
+let walk_internal mode t ctx ~flags ~stop_at_parent ?start_at path =
   let config = Dcache.config t in
   let counters = Dcache.counters t in
   Counter.incr counters "walk_slowpath";
   Trace.stamp Trace.ev_slowpath 0;
   let visited = ref [] in
   let push r = if flags.collect then visited := r :: !visited in
-  let absolute = Path.is_absolute path in
+  (* A resumed walk is never "absolute", whatever its suffix text looks
+     like: it starts at an interior directory reference, so population must
+     apply the directory-reference rule against that start, not the root. *)
+  let absolute =
+    match start_at with Some _ -> false | None -> Path.is_absolute path
+  in
   let trailing_slash = Path.has_trailing_slash path in
   let items =
     Phases.timed Phases.Scan_hash (fun () -> items_of (split_components config path))
   in
   let start =
     Phases.timed Phases.Init (fun () ->
-        if absolute then Mount.traverse_mounts ctx.root else ctx.cwd)
+        match start_at with
+        | Some r -> r
+        | None -> if absolute then Mount.traverse_mounts ctx.root else ctx.cwd)
   in
   (* [alias] is the current literal dentry when the walk has passed through
      a symlink; [None] when literal = real. *)
@@ -256,6 +263,9 @@ let walk_internal mode t ctx ~flags ~stop_at_parent path =
         if stop_at_parent && no_more_components rest then `Parent (cur, name)
         else handle_name cur alias depth name rest)
   and handle_name (cur : path_ref) alias depth name rest =
+    (* Per-component accounting: lets the deepmiss benchmark verify that a
+       prefix-resumed miss walks only the uncached suffix. *)
+    Counter.incr counters "walk_components";
     let is_last = no_more_components rest in
     match step mode t cur name with
     | None ->
@@ -360,6 +370,22 @@ let resolve_in_mode mode t ctx ?(flags = default_flags) path =
     | `Resolved r -> r
     | `ParentOf _ -> assert false
   with Walk_error e -> { outcome = Error e; visited = []; absolute = Path.is_absolute path }
+
+(* Prefix-resumed entry (§3.5): resolve [suffix] starting at [start_at] —
+   the deepest DLHT-cached, PCC-validated ancestor of a missed path —
+   instead of the root or cwd.  Ref mode only: the caller holds the write
+   lock and has re-validated the ancestor under it (DLHT membership, PCC
+   coverage, positive directory, invalidation counter) before trusting the
+   shortcut.  The visited chain covers only the suffix components, and
+   [absolute] is false, so the caller's population applies the
+   directory-reference rule against [start_at]. *)
+let resolve_resumed t ctx ?(flags = default_flags) ~start_at suffix =
+  Counter.incr (Dcache.counters t) "walk_resumed";
+  try
+    match walk_internal Ref t ctx ~flags ~stop_at_parent:false ~start_at suffix with
+    | `Resolved r -> r
+    | `ParentOf _ -> assert false
+  with Walk_error e -> { outcome = Error e; visited = []; absolute = false }
 
 let resolve t ctx ?(flags = default_flags) path =
   match Dcache.with_read t (fun () -> resolve_in_mode Rcu t ctx ~flags path) with

@@ -55,6 +55,17 @@ val resolve_in_mode : mode -> Dcache.t -> ctx -> ?flags:flags -> string -> resul
     mutation aborts the walk with outcome [Error EAGAIN]-like retry: the
     exception is mapped to [Need_refwalk]. *)
 
+val resolve_resumed :
+  Dcache.t -> ctx -> ?flags:flags -> start_at:path_ref -> string -> result_
+(** Prefix-resumed slowpath entry (§3.5): resolve the remaining [suffix]
+    of a missed path starting at [start_at], the longest cached ancestor,
+    instead of the root/cwd.  Runs in {!Ref} mode — the caller must hold
+    the write lock and must already have re-validated [start_at] under it
+    (cached, PCC-covered, positive directory, mount-traversed).  The
+    result's [visited] covers only the suffix components walked, and
+    [absolute] is [false] regardless of the suffix text, so population
+    applies the directory-reference rule against [start_at]. *)
+
 exception Need_refwalk
 (** Raised (only) from [resolve_in_mode Rcu] when the walk cannot proceed
     without mutating the cache. *)

@@ -138,6 +138,96 @@ let test_warm_hit_armed_ring_zero_alloc () =
       Alcotest.(check (float 0.0)) "warm hit with armed ring allocates zero words" 0.0
         words)
 
+(* --- prefix-resume snapshot discipline (§3.5) --- *)
+
+let test_snapshot_recording_zero_alloc () =
+  (* The recording hasher is the warm path now — every probe feeds through
+     it — so boundary snapshots must cost six int stores per component and
+     nothing on the minor heap, including re-finalizing a snapshot into a
+     preallocated buf (the miss scan's probe step). *)
+  let key = Signature.create_key ~seed:5 () in
+  let ms = Signature.mstate () in
+  let sn = Signature.snaps ~slots:64 in
+  let b = Signature.buf () in
+  let path = "/usr/share/doc/package/readme" in
+  let words =
+    measure_minor_words 10_000 (fun () ->
+        Signature.mstate_reset ms;
+        Signature.snaps_reset sn;
+        let rc = Signature.hash_path_into_rec key ms sn ~max_name:Path.max_name path ~pos:0 in
+        if rc <> Signature.scan_done then Alcotest.fail "scan did not complete";
+        Signature.finalize_into key ms b;
+        Signature.finalize_snap_into key sn 1 b)
+  in
+  Alcotest.(check int) "one snapshot per boundary" 5 (Signature.snaps_count sn);
+  Alcotest.(check bool) "no overflow" false (Signature.snaps_overflowed sn);
+  Alcotest.(check (float 0.0)) "snapshot recording allocates zero words" 0.0 words
+
+let test_prefix_resume_scratch_reuse () =
+  (* A prefix-resumed miss allocates real work — the suffix string, the
+     visited chain, the new dentry — but must NOT allocate snapshot state:
+     the per-domain scratch arrays are reused.  A fresh [snaps] for
+     max_path would be ~12k words per lookup; assert each resumed miss
+     stays far below that. *)
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  let deep = "/d0/d1/d2/d3/d4/d5/d6/d7/d8/d9/d10/d11/d12/d13/d14/d15" in
+  get "chain" (S.mkdir_p p deep);
+  let iters = 1_000 in
+  let leaf i = Printf.sprintf "%s/f%d" deep i in
+  for i = 0 to iters + 2 do
+    get "leaf" (S.write_file p (leaf i) "x")
+  done;
+  (* Everything is warm from creation: purge, then re-warm only the
+     ancestor chain, so each leaf stat below is a cold DLHT miss with all
+     sixteen ancestors cached — the resumed-slowpath case. *)
+  Kernel.drop_caches kernel;
+  ignore (get "re-warm chain" (S.stat p deep));
+  let fp = Kernel.fastpath kernel in
+  let ctx = Proc.walk_ctx p in
+  let resumes0 = counter kernel "fastpath_prefix_resume" in
+  let i = ref 0 in
+  let words =
+    measure_minor_words iters (fun () ->
+        probe_ok fp ctx (leaf !i);
+        incr i)
+  in
+  let resumes = counter kernel "fastpath_prefix_resume" - resumes0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "misses were prefix-resumed (%d)" resumes)
+    true
+    (resumes >= iters);
+  let per_op = words /. float_of_int iters in
+  Alcotest.(check bool)
+    (Printf.sprintf "resumed miss reuses snapshot scratch (%.0f words/op)" per_op)
+    true (per_op < 3000.0)
+
+let test_prefix_negfail_zero_alloc () =
+  (* A DIR_COMPLETE fast-fail populates no negative dentry, so a repeatedly
+     probed absent name takes the verdict path on *every* lookup — it must
+     obey the same zero-allocation discipline as a warm hit (top-level scan
+     recursion, constant verdict exception, in-place substring child
+     probe). *)
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "tree" (S.mkdir_p p "/a/b/c");
+  get "file" (S.write_file p "/a/b/c/target" "payload");
+  ignore (get "readdir" (S.readdir_path p "/a/b/c"));
+  (* dir now DIR_COMPLETE *)
+  let fp = Kernel.fastpath kernel in
+  let ctx = Proc.walk_ctx p in
+  probe_enoent fp ctx "/a/b/c/ghost";
+  let n0 = counter kernel "fastpath_prefix_negfail" in
+  let iters = 10_000 in
+  Rwlock.reset_acquisition_counts ();
+  let words =
+    measure_minor_words iters (fun () -> probe_enoent fp ctx "/a/b/c/ghost")
+  in
+  let locks = Rwlock.acquisition_counts () in
+  Alcotest.(check int) "every probe was a prefix fast-fail" (iters + 2)
+    (counter kernel "fastpath_prefix_negfail" - n0);
+  Alcotest.(check (float 0.0)) "zero minor-heap words over prefix fast-fails" 0.0 words;
+  Alcotest.(check (pair int int)) "zero rwlock acquisitions over prefix fast-fails" (0, 0)
+    locks
+
 (* --- in-place hasher vs. the pure split-based hasher --- *)
 
 let reference_signature key comps =
@@ -449,6 +539,12 @@ let suite =
       test_armed_ring_stamp_zero_alloc;
     Alcotest.test_case "warm hit with armed ring allocates zero minor words" `Quick
       test_warm_hit_armed_ring_zero_alloc;
+    Alcotest.test_case "snapshot recording allocates zero minor words" `Quick
+      test_snapshot_recording_zero_alloc;
+    Alcotest.test_case "prefix-resumed miss reuses snapshot scratch" `Quick
+      test_prefix_resume_scratch_reuse;
+    Alcotest.test_case "prefix negative fast-fail allocates zero minor words" `Quick
+      test_prefix_negfail_zero_alloc;
     Alcotest.test_case "in-place hasher matches split+feed_string" `Quick
       test_inplace_hasher_equivalence;
     Alcotest.test_case "in-place hasher resumes from cached state" `Quick

@@ -200,6 +200,156 @@ let invariants_test name config =
       | problems ->
         QCheck.Test.fail_reportf "invariants violated:\n%s" (String.concat "\n" problems))
 
+(* --- prefix-resume equivalence (§3.5) ---
+
+   Deterministic deep-path churn: a 16-deep directory chain whose ancestors
+   get warmed, then cold leaf lookups interleaved with renames, permission
+   churn (including full search-permission revocation on an interior
+   directory, observed by the unprivileged user) and unlinks.  The
+   optimized kernel serves the cold misses through the prefix-resumed
+   slowpath — the longest-cached-ancestor shortcut — while the baseline
+   walks every path from the root; all observations must agree, and the
+   optimized run must actually have taken resumes (else the test is
+   vacuous). *)
+
+let chain_names =
+  [| "alpha"; "beta"; "gamma"; "delta"; "eps"; "zeta"; "eta"; "theta";
+     "iota"; "kappa"; "lambda"; "mu"; "nu"; "xi"; "omicron"; "pi" |]
+
+let prefix_path k = "/" ^ String.concat "/" (Array.to_list (Array.sub chain_names 0 k))
+
+let deep_churn_ops seed =
+  let rng = Random.State.make [| seed |] in
+  let depth = Array.length chain_names in
+  let mk = List.init depth (fun i -> Mkdir (prefix_path (i + 1))) in
+  let body = ref [] in
+  let emit op = body := op :: !body in
+  emit (Stat (prefix_path depth));
+  for i = 0 to 119 do
+    let r = Random.State.int rng 100 in
+    let k = 2 + Random.State.int rng (depth - 2) in
+    if r < 35 then begin
+      (* Cold leaf under the warm chain: the optimized side resumes from
+         the deepest cached ancestor. *)
+      let leaf = prefix_path depth ^ Printf.sprintf "/f%d" i in
+      emit (Create (leaf, "x"));
+      emit (Stat leaf)
+    end
+    else if r < 50 then
+      (* Absent name under a cached interior dir: negative fast-fail
+         territory once the dir is DIR_COMPLETE. *)
+      emit (Stat (prefix_path k ^ "/nope" ^ string_of_int (i land 3)))
+    else if r < 62 then begin
+      (* Rename an interior directory away and back: any snapshot taken
+         across the rename must be refused (§3.2 invalidation counter). *)
+      let p = prefix_path k in
+      let tmp = prefix_path (k - 1) ^ "/tmp" in
+      emit (Rename (p, tmp));
+      emit (Stat (prefix_path depth));
+      emit (Rename (tmp, p));
+      emit (Stat (prefix_path depth ^ "/f" ^ string_of_int (i / 2)))
+    end
+    else if r < 74 then begin
+      (* Permission churn on an interior directory of the resumed prefix,
+         including full revocation: the user's lookups below it must fail
+         with EACCES on both kernels — resume may never skip the check. *)
+      let p = prefix_path k in
+      let mode = [| 0o755; 0o700; 0o000 |].(Random.State.int rng 3) in
+      emit (Chmod (p, mode));
+      emit (AsUser (Stat (prefix_path depth)));
+      emit (AsUser (Stat (prefix_path depth ^ "/fz" ^ string_of_int i)));
+      emit (Chmod (p, 0o755))
+    end
+    else if r < 86 then begin
+      let leaf = prefix_path depth ^ Printf.sprintf "/f%d" (Random.State.int rng (i + 1)) in
+      emit (Unlink leaf);
+      emit (Stat leaf)
+    end
+    else begin
+      emit (Readdir (prefix_path k));
+      emit (Stat (prefix_path k ^ "/" ^ chain_names.(k)))
+    end
+  done;
+  mk @ List.rev !body
+
+let run_trace_counting config ops =
+  let fs = Dcache_fs.Ramfs.create () in
+  let kernel = Kernel.create ~config ~root_fs:fs () in
+  let root_p = Proc.spawn kernel in
+  let user_p = Proc.spawn ~cred:(Cred.make ~uid:1000 ~gid:1000 ()) kernel in
+  let observations = List.map (fun op -> run_op root_p user_p op) ops in
+  (observations, kernel)
+
+let counter kernel key =
+  try List.assoc key (Kernel.stats_snapshot kernel) with Not_found -> 0
+
+let prefix_resume_churn_test seed =
+  Alcotest.test_case (Printf.sprintf "prefix-resume deep churn [seed %d]" seed) `Quick
+    (fun () ->
+      let ops = deep_churn_ops seed in
+      let base, _ = run_trace_counting Config.baseline ops in
+      let opt, kernel = run_trace_counting Config.optimized ops in
+      let rec first_diff i ops_left = function
+        | [], [] -> ()
+        | a :: rest_a, b :: rest_b ->
+          let op, ops_rest =
+            match ops_left with o :: r -> (pp_op o, r) | [] -> ("?", [])
+          in
+          if a <> b then
+            Alcotest.failf "op %d (%s):\n  baseline: %s\n  optimized: %s" i op a b
+          else first_diff (i + 1) ops_rest (rest_a, rest_b)
+        | _ -> Alcotest.fail "trace length mismatch"
+      in
+      first_diff 0 ops (base, opt);
+      Alcotest.(check bool) "prefix resumes exercised" true
+        (counter kernel "fastpath_prefix_resume" > 0))
+
+(* Focused revocation scenario: the user warms a deep prefix (populating
+   their PCC down the chain), root revokes search permission on an interior
+   directory, then the user cold-misses on a leaf that was never cached.
+   The snapshot scan would offer a deep resume ancestor below the revoked
+   directory; trusting it would yield ENOENT (the suffix walk never
+   re-crosses the revoked dir).  Correctness demands EACCES — the chmod
+   bumps every descendant's version, killing the PCC entries the resume
+   validation depends on, and forcing the from-root walk. *)
+let revocation_test =
+  Alcotest.test_case "revoked interior search perm blocks prefix resume" `Quick
+    (fun () ->
+      List.iter
+        (fun config ->
+          let fs = Dcache_fs.Ramfs.create () in
+          let kernel = Kernel.create ~config ~root_fs:fs () in
+          let root_p = Proc.spawn kernel in
+          let user_p = Proc.spawn ~cred:(Cred.make ~uid:1000 ~gid:1000 ()) kernel in
+          let deep = prefix_path 8 in
+          List.iteri
+            (fun i _ ->
+              match S.mkdir root_p (prefix_path (i + 1)) with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "mkdir: %s" (Errno.to_string e))
+            (List.init 8 (fun i -> i));
+          (match S.write_file root_p (deep ^ "/warm") "x" with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "create: %s" (Errno.to_string e));
+          (* Warm the chain as the user: PCC entries for every prefix. *)
+          (match S.stat user_p (deep ^ "/warm") with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "warm stat: %s" (Errno.to_string e));
+          (* Root creates a leaf the user has never looked up, then revokes
+             search permission two levels deep. *)
+          (match S.write_file root_p (deep ^ "/cold") "y" with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "cold create: %s" (Errno.to_string e));
+          (match S.chmod root_p (prefix_path 2) 0o000 with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "chmod: %s" (Errno.to_string e));
+          (match S.stat user_p (deep ^ "/cold") with
+          | Error Errno.EACCES -> ()
+          | Ok _ -> Alcotest.fail "revoked prefix resolved for the user"
+          | Error e ->
+            Alcotest.failf "expected EACCES, got %s" (Errno.to_string e)))
+        [ Config.baseline; Config.optimized ])
+
 let suite =
   [
     QCheck_alcotest.to_alcotest (equivalence_test "optimized" Config.optimized);
@@ -217,6 +367,10 @@ let suite =
       (equivalence_test "tiny-cache eviction"
          { Config.optimized with Config.max_dentries = 16 });
     QCheck_alcotest.to_alcotest idempotence_test;
+    prefix_resume_churn_test 1;
+    prefix_resume_churn_test 1337;
+    prefix_resume_churn_test 9001;
+    revocation_test;
     QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [baseline]" Config.baseline);
     QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [optimized]" Config.optimized);
     QCheck_alcotest.to_alcotest

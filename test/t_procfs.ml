@@ -337,6 +337,101 @@ let test_proc_observability_surface () =
       Alcotest.(check bool) "the drop cost a retry" true
         (s.Netfs.rs_drops >= 1 && s.Netfs.rs_retries >= 1))
 
+(* --- prefix-resume observability (§3.5) ---
+
+   Drive the three §3.5 outcome classes — resumed cold misses, a
+   negative-ancestor fast-fail, DIR_COMPLETE fast-fails — then read the new
+   counters, the resume-depth histogram and the summary gauges back through
+   /proc and cross-check them against the kernel-side figures.  The Chrome
+   dump must stay valid JSON with the new event kinds present. *)
+
+let test_prefix_resume_surface () =
+  Trace.reset ();
+  Trace.arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disarm ();
+      Trace.reset ())
+    (fun () ->
+      let kernel, p = ram_kernel ~config:Config.optimized () in
+      get "mkdir /proc" (S.mkdir_p p "/proc");
+      get "mount proc" (S.mount_fs p (Kernel_procfs.make kernel) "/proc");
+      let deep = "/p0/p1/p2/p3/p4/p5/p6/p7/p8/p9/p10/p11" in
+      get "chain" (S.mkdir_p p deep);
+      for i = 1 to 30 do
+        get "leaf" (S.write_file p (Printf.sprintf "%s/m%d" deep i) "x")
+      done;
+      (* Purge, re-warm only the chain: the leaf stats below are cold DLHT
+         misses with twelve cached ancestors — prefix-resumed walks. *)
+      Kernel.drop_caches kernel;
+      ignore (get "warm chain" (S.stat p deep));
+      for i = 1 to 30 do
+        ignore (get "cold leaf" (S.stat p (Printf.sprintf "%s/m%d" deep i)))
+      done;
+      (* A walked negative under the deep dir, then a path *below* it: the
+         second lookup fast-fails from the cached negative ancestor. *)
+      expect_err Errno.ENOENT "ghost" (S.stat p (deep ^ "/ghost"));
+      expect_err Errno.ENOENT "below ghost" (S.stat p (deep ^ "/ghost/a/b"));
+      (* DIR_COMPLETE fast-fail: complete the dir, then probe fresh absent
+         names (no negative dentry exists — the verdict comes from
+         completeness of the deepest cached ancestor). *)
+      ignore (get "readdir" (S.readdir_path p deep));
+      for i = 1 to 10 do
+        expect_err Errno.ENOENT "absent" (S.stat p (Printf.sprintf "%s/none%d" deep i))
+      done;
+
+      let stats = kv_lines (read p "/proc/dcache/stats") in
+      let resumes = assoc_or_fail "stats" "fastpath_prefix_resume" stats in
+      let negfails = assoc_or_fail "stats" "fastpath_prefix_negfail" stats in
+      Alcotest.(check bool) "resumes reported" true (resumes >= 30);
+      Alcotest.(check bool) "negative fast-fails reported" true (negfails >= 11);
+      let snapshot = Kernel.stats_snapshot kernel in
+      let snap k = match List.assoc_opt k snapshot with Some v -> v | None -> 0 in
+      Alcotest.(check bool) "resume counter bounded by snapshot" true
+        (resumes <= snap "fastpath_prefix_resume");
+      Alcotest.(check bool) "negfail counter bounded by snapshot" true
+        (negfails <= snap "fastpath_prefix_negfail");
+      (* Every resumed fallback ran exactly one resumed walk. *)
+      Alcotest.(check int) "walk_resumed agrees with the resume counter"
+        (snap "fastpath_prefix_resume") (snap "walk_resumed");
+
+      (* Resume-depth histogram: populated, bounded by the chain depth, and
+         never more samples than resumes.  The /proc reads themselves keep
+         resuming (their dentries go cold too), so figures read later may
+         only have grown — compare against fresh kernel-side state. *)
+      let hist = read p "/proc/dcache/histograms" in
+      let line = hist_line hist "resume_depth" in
+      let n = hist_field line "n" in
+      Alcotest.(check bool) "resume depths recorded" true (n > 0);
+      let resumes_now =
+        match List.assoc_opt "fastpath_prefix_resume" (Kernel.stats_snapshot kernel) with
+        | Some v -> v
+        | None -> 0
+      in
+      Alcotest.(check bool) "one depth sample per resume" true (n <= resumes_now);
+      Alcotest.(check bool) "depth bounded by the chain" true
+        (hist_field line "max" <= 12);
+      Alcotest.(check bool) "depth positive" true (hist_field line "min" >= 1);
+      Alcotest.(check bool) "histogram bounded by Trace state" true
+        (n <= Dcache_util.Stats.Lhist.count Trace.resume_depth);
+
+      (* Summary gauges and the config line. *)
+      let summary = kv_lines (read p "/proc/dcache/summary") in
+      Alcotest.(check bool) "summary resume_depth_n gauge live" true
+        (assoc_or_fail "summary" "resume_depth_n" summary >= n);
+      Alcotest.(check bool) "summary resume_depth_max gauge" true
+        (assoc_or_fail "summary" "resume_depth_max" summary <= 12);
+      Alcotest.(check bool) "config reports prefix_resume" true
+        (contains_substring (read p "/proc/dcache/config") "prefix_resume true");
+
+      (* The Chrome dump stays valid JSON and carries the new kinds. *)
+      let js = Trace.dump_chrome () in
+      Alcotest.(check bool) "chrome dump valid with new events" true (json_valid js);
+      Alcotest.(check bool) "dump names prefix_resume" true
+        (contains_substring js "\"name\":\"prefix_resume\"");
+      Alcotest.(check bool) "dump names prefix_negfail" true
+        (contains_substring js "\"name\":\"prefix_negfail\""))
+
 let test_chrome_dump_is_valid_json () =
   Trace.reset ();
   Fun.protect
@@ -383,6 +478,8 @@ let suite =
   [
     Alcotest.test_case "scripted workload: full /proc surface read-back" `Quick
       test_proc_observability_surface;
+    Alcotest.test_case "prefix-resume counters and histogram via /proc" `Quick
+      test_prefix_resume_surface;
     Alcotest.test_case "Trace.dump_chrome emits valid JSON" `Quick
       test_chrome_dump_is_valid_json;
     Alcotest.test_case "procfs without faults/netfs attachments" `Quick
