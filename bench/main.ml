@@ -1556,6 +1556,173 @@ let deepmiss () =
   row "wrote BENCH_deepmiss.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Churn: multi-writer mutation throughput — sharded path (§3.6)       *)
+(* ------------------------------------------------------------------ *)
+
+(* N writer domains churn create → cross-directory rename → unlink cycles,
+   each through its own directory pair so their stripes never collide,
+   while two reader domains measure warm-hit ns/op and words/op on an
+   untouched directory mid-churn.  The same run repeats with
+   [dcache_stripes = 0] — every mutation back through the global write
+   lock — to measure what sharding buys: per-op, a sharded section is a
+   lockless parent probe plus a stripe bracket instead of a write-locked
+   walk, and across writers the stripe table removes the global-lock
+   convoy. *)
+
+let churn () =
+  header
+    "Churn - multi-writer create/rename/unlink throughput.  sharded runs\n\
+     use the stripe table (dcache_stripes=128); global runs force every\n\
+     mutation through the single write lock (dcache_stripes=0).  Readers\n\
+     measure warm lockless hits on an unrelated directory mid-churn.";
+  let names_per_writer = 16 in
+  let ops_per_writer = if !quick then 10_000 else 30_000 in
+  let reader_iters = if !quick then 10_000 else 50_000 in
+  let cores = Domain.recommended_domain_count () in
+  row "host cores: %d%s\n" cores
+    (if cores < 8 then
+       "  (writer domains timeshare: the ratio below measures lock\n\
+       \   discipline and reader interference, not parallel scaling)"
+     else "");
+  let run ~stripes ~writers =
+    let config = { Config.optimized with Config.dcache_stripes = stripes } in
+    let env = W.Env.ram config in
+    let p = env.W.Env.proc in
+    ok "stable" (S.mkdir_p p "/stable");
+    let stable = Array.init 8 (fun i -> Printf.sprintf "/stable/f%d" i) in
+    Array.iter (fun f -> ok "stable file" (S.write_file p f "S")) stable;
+    Array.iter (fun f -> ignore (ok "warm" (S.stat p f))) stable;
+    let name w k phase =
+      Printf.sprintf "/churn/%c%d/n%d" (if phase = 2 then 'b' else 'a') w k
+    in
+    for w = 0 to writers - 1 do
+      ok "dirs" (S.mkdir_p p (Printf.sprintf "/churn/a%d" w));
+      ok "dirs" (S.mkdir_p p (Printf.sprintf "/churn/b%d" w));
+      (* Warm-up lap: cached negatives at both cycle endpoints keep every
+         steady-state op on the sharded path. *)
+      for k = 0 to names_per_writer - 1 do
+        ok "warm create" (S.write_file p (name w k 0) "x");
+        ok "warm rename" (S.rename p (name w k 1) (name w k 2));
+        ok "warm unlink" (S.unlink p (name w k 2))
+      done
+    done;
+    let fp = Kernel.fastpath env.W.Env.kernel in
+    let reader_results = Array.make 2 (0.0, 0.0) in
+    let stop = Atomic.make false in
+    (* Readers run for the whole churn window — the mixed-load point of the
+       sharded design: their warm hits never take a lock, so in sharded
+       mode they cost the writers nothing, where in global mode every
+       mutation invalidates the lockless probe and the resulting read-lock
+       fallbacks contend with the write lock.  ns/op and words/op are
+       measured over each reader's first [reader_iters] probes. *)
+    let readers =
+      List.init 2 (fun r ->
+          Domain.spawn (fun () ->
+              let rp = Proc.fork p in
+              let ctx = Proc.walk_ctx rp in
+              let i = ref 0 in
+              let f () =
+                ignore
+                  (Dcache_core.Fastpath.lookup_into fp ctx stable.(!i land 7)
+                     ~within:alloc_within);
+                incr i
+              in
+              for _ = 1 to 64 do
+                f ()
+              done;
+              let words = Stats.minor_words_per_op ~iters:reader_iters f in
+              let t0 = Dcache_util.Clock.now_ns () in
+              for _ = 1 to reader_iters do
+                f ()
+              done;
+              let t1 = Dcache_util.Clock.now_ns () in
+              reader_results.(r) <-
+                (Int64.to_float (Int64.sub t1 t0) /. float_of_int reader_iters, words);
+              while not (Atomic.get stop) do
+                f ()
+              done))
+    in
+    (* The clock brackets spawn-to-join of the writers (readers are already
+       live), so ops/s is honest even when domains timeshare few cores. *)
+    let t0 = Dcache_util.Clock.now_ns () in
+    let writer_domains =
+      List.init writers (fun w ->
+          Domain.spawn (fun () ->
+              let wp = Proc.fork p in
+              let phase = Array.make names_per_writer 0 in
+              for i = 0 to ops_per_writer - 1 do
+                let k = i land (names_per_writer - 1) in
+                (match phase.(k) with
+                | 0 -> (
+                  (* touch: the create is the measured mutation *)
+                  match S.openf wp (name w k 0) [ Proc.O_CREAT; Proc.O_WRONLY ] with
+                  | Ok fd -> ignore (S.close wp fd)
+                  | Error _ -> ())
+                | 1 -> ignore (S.rename wp (name w k 1) (name w k 2))
+                | _ -> ignore (S.unlink wp (name w k 2)));
+                phase.(k) <- (phase.(k) + 1) mod 3
+              done))
+    in
+    List.iter Domain.join writer_domains;
+    let t1 = Dcache_util.Clock.now_ns () in
+    Atomic.set stop true;
+    List.iter Domain.join readers;
+    let secs = Int64.to_float (Int64.sub t1 t0) /. 1e9 in
+    let ops_s = float_of_int (writers * ops_per_writer) /. secs in
+    let reader_ns = (fst reader_results.(0) +. fst reader_results.(1)) /. 2.0 in
+    let reader_words = (snd reader_results.(0) +. snd reader_results.(1)) /. 2.0 in
+    let sharded_ops =
+      counter env "sharded_create" + counter env "sharded_rename"
+      + counter env "sharded_unlink"
+    in
+    (ops_s, reader_ns, reader_words, sharded_ops)
+  in
+  let writer_counts = [ 1; 2; 4; 8 ] in
+  row "%-8s %8s %14s %12s %12s %13s\n" "mode" "writers" "churn ops/s" "reader ns"
+    "reader wds" "sharded ops";
+  let measure ~stripes label =
+    List.map
+      (fun writers ->
+        let ops_s, rd_ns, rd_words, sharded = run ~stripes ~writers in
+        row "%-8s %8d %14.0f %12.1f %12.2f %13d\n" label writers ops_s rd_ns rd_words
+          sharded;
+        (writers, ops_s, rd_ns, rd_words, sharded))
+      writer_counts
+  in
+  let sharded = measure ~stripes:Config.optimized.Config.dcache_stripes "sharded" in
+  let global = measure ~stripes:0 "global" in
+  let find n l = List.find (fun (w, _, _, _, _) -> w = n) l in
+  let (_, s8, _, _, _) = find 8 sharded and (_, g8, _, _, _) = find 8 global in
+  let ratio8 = if g8 > 0.0 then s8 /. g8 else 0.0 in
+  row "8 writers: sharded/global throughput %.2fx (acceptance bound: 2.5x)\n" ratio8;
+  if ratio8 < 2.5 then row "  WARNING: sharded churn below the 2.5x bound\n";
+  let json =
+    let entries label l =
+      List.map
+        (fun (w, ops_s, rd_ns, rd_words, sharded_ops) ->
+          Printf.sprintf
+            "    {\"mode\": \"%s\", \"writers\": %d, \"churn_ops_per_s\": %.0f, \
+             \"reader_warm_ns\": %.2f, \"reader_warm_words\": %.3f, \
+             \"sharded_ops\": %d}"
+            label w ops_s rd_ns rd_words sharded_ops)
+        l
+    in
+    Printf.sprintf
+      "{\n  \"experiment\": \"churn\",\n  \"mode\": \"%s\",\n  \"stripes\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"ops_per_writer\": %d,\n  \"runs\": [\n%s\n  ],\n\
+      \  \"throughput_ratio_8_writers\": %.3f\n}\n"
+      (if !quick then "quick" else "full")
+      Config.optimized.Config.dcache_stripes cores ops_per_writer
+      (String.concat ",\n" (entries "sharded" sharded @ entries "global" global))
+      ratio8
+  in
+  let oc = open_out "BENCH_churn.json" in
+  output_string oc json;
+  close_out oc;
+  row "wrote BENCH_churn.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1565,7 +1732,7 @@ let experiments =
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("tab1", tab1); ("tab2", tab2);
     ("tab3", tab3); ("tab4", tab4); ("ablation", ablation); ("bechamel", bechamel);
     ("alloc", alloc); ("faults", faults); ("trace", trace); ("scale", scale_bench);
-    ("deepmiss", deepmiss);
+    ("deepmiss", deepmiss); ("churn", churn);
   ]
 
 let () =

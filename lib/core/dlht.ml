@@ -1,6 +1,7 @@
 open Dcache_vfs.Types
 module Signature = Dcache_sig.Signature
 module Trace = Dcache_util.Trace
+module Locktab = Dcache_util.Locktab
 
 (* Buckets are intrusive singly-headed doubly-linked chains threaded through
    the dentries themselves ([d_dlht_next] / [d_dlht_prev]): insert and remove
@@ -27,14 +28,27 @@ module Trace = Dcache_util.Trace
    with [migrate_quantum] >= 1 a resize always completes before the next
    one can start — [old] is None again by then, which [maybe_grow] requires.
 
-   Lockless readers: all mutation (including migration) runs under the
-   dcache write lock, which brackets the dcache-wide write sequence.  An
-   optimistic probe that overlaps any write section fails its seqcount
-   validation and retries under the read lock, so probes never need the
-   old/new split to be atomic — they only need racy chain walks to be
-   crash-free (single-field reads of immediate ints and pointers) and
-   finite, which the scan fuel guarantees even across transiently
-   inconsistent splices. *)
+   Lockless readers: exclusive mutation (resize migration, scrub, legacy
+   write sections) runs under the dcache write lock, which brackets the
+   dcache-wide write sequence; sharded mutation splices under per-stripe
+   locks whose seqcounts the reader records before walking the chain.  An
+   optimistic probe that overlaps either kind of write section fails its
+   validation and retries, so probes never need the old/new split to be
+   atomic — they only need racy chain walks to be crash-free (single-field
+   reads of immediate ints and pointers) and finite, which the scan fuel
+   guarantees even across transiently inconsistent splices.
+
+   --- stripe locks ---
+
+   With [stripes] attached, every splice ([insert]/[remove]) runs under
+   the stripe for the signature's 22-bit bucket index masked to the stripe
+   count.  The stripe count never exceeds the initial bucket count and
+   tables only grow, so the stripe mask is a submask of every table mask:
+   one signature maps to the same stripe in both tables, a whole bucket
+   lives inside one stripe, and a bucket's migration re-splice stays
+   within its own stripe.  Inline migration/growth is deferred in sharded
+   mode — a sharded section must not touch buckets outside its stripe —
+   and runs via [housekeep] from the exclusive write sections instead. *)
 
 type table = { buckets : dentry option array; mask : int }
 
@@ -44,10 +58,11 @@ type t = {
   mutable migrate_idx : int;  (** next [old] bucket to migrate *)
   grow_load : int;  (** entries per bucket before doubling; 0 = fixed size *)
   mutable resize_count : int;
-  mutable sigless_scans : int;
+  sigless_scans : int Atomic.t;
       (** times [remove] had to fall back to a whole-table identity scan *)
   ns : namespace;
-  mutable count : int;
+  count : int Atomic.t;
+  stripes : Locktab.t option;  (** sharded-mutation stripe locks; None = legacy *)
 }
 
 type ns_ext += Dlht_ext of t
@@ -74,7 +89,7 @@ let of_namespace_opt ns =
 let of_namespace_exn ns =
   match ns.ns_ext with Some (Dlht_ext t) -> t | Some _ | None -> raise Not_found
 
-let of_namespace ~buckets ~grow_load ns =
+let of_namespace ?(stripes = 0) ~buckets ~grow_load ns =
   match ns.ns_ext with
   | Some (Dlht_ext t) -> t
   | Some _ | None ->
@@ -87,19 +102,26 @@ let of_namespace ~buckets ~grow_load ns =
         migrate_idx = 0;
         grow_load;
         resize_count = 0;
-        sigless_scans = 0;
+        sigless_scans = Atomic.make 0;
         ns;
-        count = 0;
+        count = Atomic.make 0;
+        stripes =
+          (* Clamp to the initial bucket count so the stripe mask stays a
+             submask of every (only ever growing) table mask. *)
+          (if stripes > 0 then Some (Locktab.create (Stdlib.min stripes buckets))
+           else None);
       }
     in
     ns.ns_ext <- Some (Dlht_ext t);
     t
 
+let locktab t = t.stripes
+
 let bucket_in tbl signature = Signature.bucket signature land tbl.mask
 
 let resizing t = t.old <> None
 let resizes t = t.resize_count
-let sigless_scans t = t.sigless_scans
+let sigless_scans t = Atomic.get t.sigless_scans
 
 (* Splice [d] in as the head of [tbl]'s bucket for [signature]. *)
 let splice tbl d signature =
@@ -135,7 +157,7 @@ let migrate_some t n =
             d.d_dlht_next <- None;
             d.d_dlht_prev <- None;
             d.d_dlht_ns <- None;
-            t.count <- t.count - 1;
+            Atomic.decr t.count;
             Trace.bump_cause Trace.cause_quarantined;
             Trace.stamp Trace.ev_quarantine d.d_id);
           drain next
@@ -157,7 +179,9 @@ let maybe_grow t =
   | Some _ -> ()
   | None ->
     let buckets = Array.length t.tbl.buckets in
-    if t.grow_load > 0 && buckets < max_buckets && t.count > buckets * t.grow_load
+    if
+      t.grow_load > 0 && buckets < max_buckets
+      && Atomic.get t.count > buckets * t.grow_load
     then begin
       t.old <- Some t.tbl;
       t.migrate_idx <- 0;
@@ -196,7 +220,7 @@ let clear_head t d next =
    broken, and make the degradation loud: it is an O(buckets) scan on what
    should be an O(1) splice. *)
 let scan_out_head t d next =
-  t.sigless_scans <- t.sigless_scans + 1;
+  Atomic.incr t.sigless_scans;
   Trace.stamp Trace.ev_dlht_sigless_scan d.d_id;
   let clear_in tbl =
     let n = Array.length tbl.buckets in
@@ -215,8 +239,7 @@ let scan_out_head t d next =
   if not (clear_in t.tbl) then
     match t.old with Some old -> ignore (clear_in old) | None -> ()
 
-let remove_from t d =
-  migrate_some t migrate_quantum;
+let remove_splice t d =
   let next = d.d_dlht_next in
   let prev = d.d_dlht_prev in
   (match prev with
@@ -228,7 +251,24 @@ let remove_from t d =
   (match next with Some n -> n.d_dlht_prev <- prev | None -> ());
   d.d_dlht_next <- None;
   d.d_dlht_prev <- None;
-  t.count <- t.count - 1
+  Atomic.decr t.count
+
+let remove_from t d =
+  match t.stripes with
+  | None ->
+    migrate_some t migrate_quantum;
+    remove_splice t d
+  | Some tab -> (
+    match d.d_sig with
+    | Some signature ->
+      let i = Locktab.index tab (Signature.bucket signature) in
+      Locktab.with_lock tab i (fun () -> remove_splice t d)
+    | None ->
+      (* Chained with no signature only happens when the detach ordering is
+         broken, which only exclusive (write-locked) callers can do — the
+         whole-table identity scan below is not stripe-safe anyway, so run
+         it unlocked exactly as the legacy path would. *)
+      remove_splice t d)
 
 let remove d =
   match d.d_dlht_ns with
@@ -240,12 +280,31 @@ let remove d =
 
 let insert t ns d signature =
   remove d;
-  migrate_some t migrate_quantum;
-  splice t.tbl d signature;
-  t.count <- t.count + 1;
-  d.d_dlht_ns <- Some ns;
-  maybe_grow t;
+  (match t.stripes with
+  | None ->
+    migrate_some t migrate_quantum;
+    splice t.tbl d signature;
+    Atomic.incr t.count;
+    d.d_dlht_ns <- Some ns;
+    maybe_grow t
+  | Some tab ->
+    (* [t.tbl] is stable here even though we only hold a stripe: it is
+       only swapped by [maybe_grow], which runs under the dcache write
+       lock, and every sharded section holds the read side. *)
+    let i = Locktab.index tab (Signature.bucket signature) in
+    Locktab.with_lock tab i (fun () ->
+        splice t.tbl d signature;
+        Atomic.incr t.count;
+        d.d_dlht_ns <- Some ns));
   Trace.stamp Trace.ev_dlht_insert d.d_id
+
+(* Sharded-mode replacement for the migration/growth work that [insert] and
+   [remove] no longer do inline (a sharded section must not touch buckets
+   outside its own stripe).  Called from exclusive write sections — the
+   fastpath's slowpath populate — which excludes every sharded section. *)
+let housekeep t =
+  migrate_some t migrate_quantum;
+  maybe_grow t
 
 (* Both probes return the chain cell that already holds the match ([Some d as
    cell]) instead of rebuilding it, so a hit allocates nothing.  The chain
@@ -297,7 +356,7 @@ let find_buf t ~key b =
     | Some old ->
       scan_chain_buf key b old.buckets.(Signature.buf_bucket b land old.mask) scan_fuel)
 
-let population t = t.count
+let population t = Atomic.get t.count
 
 type occupancy = {
   occ_entries : int;
@@ -377,8 +436,9 @@ let self_check t =
       | Some d -> note "old bucket %d: %s left behind the migration cursor" i d.d_name
       | None -> ()
     done);
-  if !entries <> t.count then
-    note "population: counted %d chained entries but count = %d" !entries t.count;
+  if !entries <> Atomic.get t.count then
+    note "population: counted %d chained entries but count = %d" !entries
+      (Atomic.get t.count);
   List.rev !problems
 
 (* --- scrub ---
@@ -415,7 +475,7 @@ let unchain t tbl idx d =
   d.d_dlht_next <- None;
   d.d_dlht_prev <- None;
   d.d_dlht_ns <- None;
-  t.count <- t.count - 1
+  Atomic.decr t.count
 
 let scrub t =
   let problems = ref [] in

@@ -19,21 +19,36 @@
     [grow_load] the bucket array doubles, and subsequent mutations migrate a
     few pre-resize buckets each by re-splicing their intrusive chains — no
     stop-the-world rehash.  Probes check the current table, then the
-    pre-resize one while it drains.  All mutation (migration included) runs
-    under the dcache write lock; lockless fastpath probes are validated
-    against the dcache write sequence by the caller. *)
+    pre-resize one while it drains.  Exclusive mutation (migration, scrub)
+    runs under the dcache write lock; with [stripes] attached, plain
+    insert/remove splices instead run under a per-stripe lock so multiple
+    writer domains can publish concurrently.  Lockless fastpath probes are
+    validated against the dcache write sequence — plus the probed stripe's
+    seqcount when sharded — by the caller. *)
 
 open Dcache_vfs.Types
 module Signature = Dcache_sig.Signature
+module Locktab = Dcache_util.Locktab
 
 type t
 
-val of_namespace : buckets:int -> grow_load:int -> namespace -> t
+val of_namespace : ?stripes:int -> buckets:int -> grow_load:int -> namespace -> t
 (** The namespace's table, created on first use (stored in [ns_ext]).
     [grow_load] is the entries-per-bucket threshold past which the table
-    doubles; 0 keeps it fixed-size.
+    doubles; 0 keeps it fixed-size.  [stripes] (default 0 = none) attaches
+    a sharded-mutation lock table, clamped to [buckets] so the stripe mask
+    stays a submask of every table mask: a signature maps to the same
+    stripe in the current and pre-resize tables, and one bucket never
+    spans stripes.
     @raise Invalid_argument if [buckets] is not a positive power of two
     (the bucket index is computed by masking the signature's low bits). *)
+
+val locktab : t -> Locktab.t option
+(** The table's stripe locks, when sharded.  Readers index it with
+    [Locktab.index tab (Signature.bucket s)] (or [Signature.buf_bucket])
+    and record [Locktab.seq] snapshots before walking the chain; sharded
+    writers must take the stripe around {!insert}/{!remove} — which they
+    do internally — and nothing else. *)
 
 val of_namespace_opt : namespace -> t option
 (** The namespace's table if one has been created; never creates. *)
@@ -46,8 +61,16 @@ val of_namespace_exn : namespace -> t
 val insert : t -> namespace -> dentry -> Signature.t -> unit
 (** Publish [dentry] under [signature]; removes any previous membership
     (other signature or other namespace) first and records the membership
-    on the dentry.  Advances any in-flight incremental resize and may start
-    one. *)
+    on the dentry.  Unsharded, advances any in-flight incremental resize
+    and may start one; sharded, splices under the signature's stripe and
+    defers migration/growth to {!housekeep}. *)
+
+val housekeep : t -> unit
+(** Advance any in-flight incremental resize by one quantum and start one
+    if the load factor calls for it.  The sharded-mode home for the
+    migration/growth work {!insert}/{!remove} no longer do inline (a
+    sharded section must stay within its own stripe).  Call under the
+    dcache write lock. *)
 
 val find : t -> key:Signature.key -> Signature.t -> dentry option
 (** Probe; compares signatures per the key's configured width.  A hit

@@ -13,6 +13,8 @@ module Seqcount = Dcache_util.Seqcount
 module Trace = Dcache_util.Trace
 module Clock = Dcache_util.Clock
 
+module Locktab = Dcache_util.Locktab
+
 type t = {
   dcache : Dcache.t;
   key : Signature.key;
@@ -20,19 +22,24 @@ type t = {
   (* Preallocated [Some max] for [Pcc.of_cred]: passing [~max_entries:n] to
      an optional parameter would box a fresh [Some] on every probe. *)
   pcc_max : int option;
+  (* The dcache's sharded-mutation stripe table, resolved once: lockless
+     probes record the stripes their dentry reads depend on (None when
+     unsharded — recording is then a dead branch). *)
+  dtab : Locktab.t option;
   (* Counter cells resolved once at creation: the probe bumps statistics
-     with a single store instead of a per-lookup hash-table lookup.  Cells
-     survive [Kernel.reset_stats] (Counter.reset zeroes in place). *)
-  c_hit : int ref;
-  c_fallback : int ref;
-  c_neg : int ref;
-  c_dotdot : int ref;
-  c_refwalk : int ref;
-  c_lockless_retry : int ref;
-  c_locked_probe : int ref;
-  c_prefix_resume : int ref;
-  c_prefix_negfail : int ref;
-  c_prefix_stale : int ref;
+     with a per-domain atomic store instead of a per-lookup map lookup.
+     Cells survive [Kernel.reset_stats] (Counter.reset zeroes in place). *)
+  c_hit : Counter.cell;
+  c_fallback : Counter.cell;
+  c_neg : Counter.cell;
+  c_dotdot : Counter.cell;
+  c_refwalk : Counter.cell;
+  c_lockless_retry : Counter.cell;
+  c_locked_probe : Counter.cell;
+  c_prefix_resume : Counter.cell;
+  c_prefix_negfail : Counter.cell;
+  c_prefix_stale : Counter.cell;
+  c_negfail_promoted : Counter.cell;
 }
 
 let create dcache =
@@ -47,6 +54,7 @@ let create dcache =
       key;
       simulate_pcc_miss = false;
       pcc_max = Some config.Config.pcc_max_entries;
+      dtab = Dcache.stripes dcache;
       c_hit = Counter.cell counters "fastpath_hit";
       c_fallback = Counter.cell counters "fastpath_fallback";
       c_neg = Counter.cell counters "fastpath_negative_hit";
@@ -57,6 +65,7 @@ let create dcache =
       c_prefix_resume = Counter.cell counters "fastpath_prefix_resume";
       c_prefix_negfail = Counter.cell counters "fastpath_prefix_negfail";
       c_prefix_stale = Counter.cell counters "fastpath_prefix_stale";
+      c_negfail_promoted = Counter.cell counters "fastpath_negfail_promoted";
     }
   in
   (Dcache.hooks dcache).on_shootdown <- Dlht.remove;
@@ -121,8 +130,11 @@ let validate t pcc literal real =
 
 let dlht_of t ctx =
   let cfg = config t in
-  Dlht.of_namespace ~buckets:cfg.Config.dlht_buckets ~grow_load:cfg.Config.dlht_grow_load
-    ctx.Walk.ns
+  (* The DLHT gets stripes exactly when the dcache did: both tables are
+     mutated by the same sharded sections. *)
+  let stripes = match t.dtab with Some _ -> cfg.Config.dcache_stripes | None -> 0 in
+  Dlht.of_namespace ~stripes ~buckets:cfg.Config.dlht_buckets
+    ~grow_load:cfg.Config.dlht_grow_load ctx.Walk.ns
 
 let pcc_of t ctx =
   let cfg = config t in
@@ -141,10 +153,6 @@ let pcc_of t ctx =
    hash states are consumed but never computed ([hstate_of]): a state
    derived from a concurrently-mutated ancestor chain could be garbage, and
    caching garbage would outlive the retry. *)
-
-let[@inline] commit_check t vsnap =
-  if vsnap >= 0 && not (Seqcount.read_validate (Dcache.write_seq t.dcache) vsnap) then
-    raise Seq_retry
 
 let dlht_for t ctx vsnap =
   if vsnap < 0 then dlht_of t ctx
@@ -168,6 +176,133 @@ let hstate_of t vsnap (r : path_ref) =
     match r.dentry.d_hstate with Some state -> state | None -> raise Seq_retry
   end
 
+(* --- per-domain probe scratch --- *)
+
+type scratch = {
+  ms : Signature.mstate;
+  sbuf : Signature.buf;
+  (* Prefix-resume state (§3.5).  [snaps] records a hash-state snapshot at
+     every component boundary the probe feeds — six int stores per
+     component, preallocated once per domain, so the warm hit stays
+     allocation-free.  On a miss the snapshots are re-finalized into
+     [pbuf] ([sbuf] still holds the full-path digest) for the
+     deepest-first ancestor scan.  The three mutable fields carry the
+     probe's verdict to the write-locked fallback: which path the
+     snapshots describe (physical identity — never read as a string), the
+     global invalidation counter observed before any cached state was
+     consumed, and the deepest viable ancestor slot (-1: none). *)
+  snaps : Signature.snaps;
+  pbuf : Signature.buf;
+  mutable snap_path : string;
+  mutable snap_inval : int;
+  mutable resume_slot : int;
+  (* Errno carried by a [Neg_fail] verdict — stashed here so the exception
+     itself can stay constant (raising allocates nothing: the fast-fail may
+     fire on every probe of a repeatedly missed name). *)
+  mutable neg_errno : Errno.t;
+  (* Stripe validation (sharded mode).  A lockless probe records every
+     stripe seqcount its dentry-field and chain reads depend on — the DLHT
+     stripe of each walked bucket, the dcache stripe of each trusted
+     dentry's parent, the own-id stripe of each directory whose
+     completeness answers for an absent child — and the commit check
+     revalidates them all.  Preallocated; the dummy seqcount is never read
+     (slots are written before [stripe_n] admits them). *)
+  mutable stripe_n : int;
+  stripe_seqs : Seqcount.t array;
+  stripe_snaps : int array;
+  (* Deep-negative promotion (§5.2): the DIR_COMPLETE fast-fail verdict's
+     deciding directory and the absent next component's span, stashed so
+     the miss handler can publish a negative dentry for it afterwards. *)
+  mutable promote_dir : dentry option;
+  mutable promote_pos : int;
+  mutable promote_len : int;
+}
+
+(* Per-domain because fig8-style benchmarks probe concurrently from several
+   domains under the read lock. *)
+let stripe_cap = 4096
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        ms = Signature.mstate ();
+        sbuf = Signature.buf ();
+        snaps = Signature.snaps ~slots:((Path.max_path / 2) + 2);
+        pbuf = Signature.buf ();
+        snap_path = "";
+        snap_inval = -1;
+        resume_slot = -1;
+        neg_errno = Errno.ENOENT;
+        stripe_n = 0;
+        stripe_seqs = Array.make stripe_cap (Seqcount.create ());
+        stripe_snaps = Array.make stripe_cap 0;
+        promote_dir = None;
+        promote_pos = 0;
+        promote_len = 0;
+      })
+
+(* --- stripe recording (sharded mode) ---
+
+   Unsharded, every helper below is a dead [None] branch — the legacy
+   lockless probe is unchanged to the instruction.  Sharded, the probe
+   records each stripe seqcount before performing the reads that stripe
+   guards; [commit_check] then proves the whole read set raced no sharded
+   writer, exactly as the dcache-wide write sequence proves it raced no
+   exclusive one. *)
+
+(* An odd snapshot means a mutation is in flight on that stripe right now:
+   fail fast instead of walking suspect chains.  Overflow (an absurdly deep
+   path) degrades to a retry that ends in the authoritative fallback. *)
+let[@inline] record_seq sc q =
+  let n = sc.stripe_n in
+  if n >= stripe_cap then raise_notrace Seq_retry;
+  let snap = Seqcount.read_begin q in
+  if snap land 1 <> 0 then raise_notrace Seq_retry;
+  sc.stripe_seqs.(n) <- q;
+  sc.stripe_snaps.(n) <- snap;
+  sc.stripe_n <- n + 1
+
+(* The stripe guarding [d]'s own fields (state, seq, alias, target sig):
+   its parent directory's stripe — every sharded mutation of a child runs
+   under [index tab parent.d_id].  The racy [d_parent] read is safe: a
+   racing rename holds {e both} parents' stripes, so whichever parent the
+   reader observes, that stripe's seq is bumped by the move.  Roots have
+   no parent and are never mutated by sharded sections. *)
+let[@inline] record_dentry t sc (d : dentry) =
+  match t.dtab with
+  | None -> ()
+  | Some tab -> (
+    match d.d_parent with
+    | None -> ()
+    | Some p -> record_seq sc (Locktab.seq tab (Locktab.index tab p.d_id)))
+
+(* The stripe guarding directory [d]'s children — its own id's stripe:
+   DIR_COMPLETE and child-presence answers are stable only against it. *)
+let[@inline] record_dir t sc (d : dentry) =
+  match t.dtab with
+  | None -> ()
+  | Some tab -> record_seq sc (Locktab.seq tab (Locktab.index tab d.d_id))
+
+(* The DLHT stripe guarding the bucket about to be walked. *)
+let[@inline] record_chain sc dlht bucket =
+  match Dlht.locktab dlht with
+  | None -> ()
+  | Some tab -> record_seq sc (Locktab.seq tab (Locktab.index tab bucket))
+
+(* Top-level recursion, not a closure over [sc] — the commit check runs on
+   the zero-allocation warm path. *)
+let rec stripes_ok_from seqs snaps n i =
+  i >= n
+  || (Seqcount.read_validate seqs.(i) snaps.(i) && stripes_ok_from seqs snaps n (i + 1))
+
+let[@inline] stripes_ok sc = stripes_ok_from sc.stripe_seqs sc.stripe_snaps sc.stripe_n 0
+
+let[@inline] commit_check t sc vsnap =
+  if
+    vsnap >= 0
+    && not (Seqcount.read_validate (Dcache.write_seq t.dcache) vsnap && stripes_ok sc)
+  then raise Seq_retry
+
 (* A trailing symlink is followed by one DLHT probe per hop on its cached
    target-path signature (§4.2): replacing any intermediate link refreshes
    that link's own dentry, so the chain can never serve a stale endpoint.
@@ -176,9 +311,10 @@ let hstate_of t vsnap (r : path_ref) =
 
    Top-level (not a closure inside the probe): the warm path calls this once
    per lookup and must not allocate an environment for it. *)
-let rec chase t dlht pcc ~follow_last ~at_ns_root d limit =
+let rec chase t dlht pcc sc ~follow_last ~at_ns_root d limit =
   if limit = 0 then raise Fall_back
   else begin
+    record_dentry t sc d;
     let is_symlink =
       match d.d_state with
       | Positive inode -> File_kind.equal (Vfs.Inode.kind inode) File_kind.Symlink
@@ -188,22 +324,28 @@ let rec chase t dlht pcc ~follow_last ~at_ns_root d limit =
     if is_symlink && follow_last then begin
       match d.d_alias with
       | Some real when not (real == d) ->
+        record_dentry t sc real;
         if not (pcc_valid t pcc real) then raise Fall_back;
-        chase t dlht pcc ~follow_last ~at_ns_root real (limit - 1)
+        chase t dlht pcc sc ~follow_last ~at_ns_root real (limit - 1)
       | Some _ | None -> (
         if not at_ns_root then raise Fall_back;
         match d.d_target_sig with
         | None -> raise Fall_back
         | Some target_sig -> (
+          record_chain sc dlht (Signature.bucket target_sig);
           match Dlht.find dlht ~key:t.key target_sig with
           | None -> raise Fall_back
           | Some next ->
-            validate t pcc next (real_of next);
-            chase t dlht pcc ~follow_last ~at_ns_root next (limit - 1)))
+            let real = real_of next in
+            record_dentry t sc next;
+            if not (real == next) then record_dentry t sc real;
+            validate t pcc next real;
+            chase t dlht pcc sc ~follow_last ~at_ns_root next (limit - 1)))
     end
     else begin
       match d.d_alias with
       | Some real ->
+        record_dentry t sc real;
         if not (pcc_valid t pcc real) then raise Fall_back;
         real
       | None -> d
@@ -276,7 +418,7 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
               (* Linux semantics: an extra fastpath lookup of the prefix to
                  preserve permission checks, then resume from the parent's
                  state (§4.2). *)
-              incr t.c_dotdot;
+              Counter.bump t.c_dotdot;
               let prefix = probe_prefix t dlht pcc state in
               let up = fast_dotdot ctx prefix in
               ensure_hstate t up)
@@ -298,16 +440,18 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
       let at_root = at_ns_root ctx in
       match literal.d_state with
       | Negative errno ->
-        incr t.c_neg;
+        Counter.bump t.c_neg;
         Trace.stamp Trace.ev_fast_neg 0;
         Error errno
       | Positive _ | Partial _ -> (
+        let sc = Domain.DLS.get scratch_key in
         let final =
-          chase t dlht pcc ~follow_last:flags.Walk.follow_last ~at_ns_root:at_root literal 8
+          chase t dlht pcc sc ~follow_last:flags.Walk.follow_last ~at_ns_root:at_root
+            literal 8
         in
         match final.d_state with
         | Negative errno ->
-          incr t.c_neg;
+          Counter.bump t.c_neg;
           Trace.stamp Trace.ev_fast_neg 0;
           Error errno
         | Partial _ -> raise Fall_back
@@ -329,45 +473,6 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
    state — no [Path.split] list, no intermediate state records, no closures.
    A warm DLHT hit on a plain path performs zero minor-heap allocation
    (asserted by test and measured by the [alloc] benchmark). *)
-
-type scratch = {
-  ms : Signature.mstate;
-  sbuf : Signature.buf;
-  (* Prefix-resume state (§3.5).  [snaps] records a hash-state snapshot at
-     every component boundary the probe feeds — six int stores per
-     component, preallocated once per domain, so the warm hit stays
-     allocation-free.  On a miss the snapshots are re-finalized into
-     [pbuf] ([sbuf] still holds the full-path digest) for the
-     deepest-first ancestor scan.  The three mutable fields carry the
-     probe's verdict to the write-locked fallback: which path the
-     snapshots describe (physical identity — never read as a string), the
-     global invalidation counter observed before any cached state was
-     consumed, and the deepest viable ancestor slot (-1: none). *)
-  snaps : Signature.snaps;
-  pbuf : Signature.buf;
-  mutable snap_path : string;
-  mutable snap_inval : int;
-  mutable resume_slot : int;
-  (* Errno carried by a [Neg_fail] verdict — stashed here so the exception
-     itself can stay constant (raising allocates nothing: the fast-fail may
-     fire on every probe of a repeatedly missed name). *)
-  mutable neg_errno : Errno.t;
-}
-
-(* Per-domain because fig8-style benchmarks probe concurrently from several
-   domains under the read lock. *)
-let scratch_key =
-  Domain.DLS.new_key (fun () ->
-      {
-        ms = Signature.mstate ();
-        sbuf = Signature.buf ();
-        snaps = Signature.snaps ~slots:((Path.max_path / 2) + 2);
-        pbuf = Signature.buf ();
-        snap_path = "";
-        snap_inval = -1;
-        resume_slot = -1;
-        neg_errno = Errno.ENOENT;
-      })
 
 (* Raw-string mirror of [Path.split]'s validation, so the scanner never
    discovers a limit violation halfway through a probe: 0 ok, 1 empty path
@@ -395,10 +500,13 @@ let validate_raw path =
    zero-allocation guarantee (they were never constant-time either). *)
 let probe_prefix_buf t dlht pcc sc =
   Signature.finalize_into t.key sc.ms sc.sbuf;
+  record_chain sc dlht (Signature.buf_bucket sc.sbuf);
   match Dlht.find_buf dlht ~key:t.key sc.sbuf with
   | None -> raise Fall_back
   | Some literal ->
     let real = real_of literal in
+    record_dentry t sc literal;
+    if not (real == literal) then record_dentry t sc real;
     validate t pcc literal real;
     if not (dentry_is_dir real) then raise Fall_back;
     (match real.d_mnt with Some mnt -> { mnt; dentry = real } | None -> raise Fall_back)
@@ -467,17 +575,20 @@ let rec prefix_scan t dlht pcc sc path ~vsnap k =
   if k >= 0 then begin
     let sn = sc.snaps in
     Signature.finalize_snap_into t.key sn k sc.pbuf;
+    record_chain sc dlht (Signature.buf_bucket sc.pbuf);
     match Dlht.find_buf dlht ~key:t.key sc.pbuf with
     | None -> prefix_scan t dlht pcc sc path ~vsnap (k - 1)
     | Some literal ->
       let real = real_of literal in
+      record_dentry t sc literal;
+      if not (real == literal) then record_dentry t sc real;
       if not (pcc_probe t pcc literal && ((real == literal) || pcc_probe t pcc real))
       then prefix_scan t dlht pcc sc path ~vsnap (k - 1)
       else begin
         match literal.d_state with
         | Negative errno ->
-          commit_check t vsnap;
-          incr t.c_prefix_negfail;
+          commit_check t sc vsnap;
+          Counter.bump t.c_prefix_negfail;
           Trace.stamp Trace.ev_prefix_negfail (k + 1);
           sc.neg_errno <- errno;
           raise_notrace Neg_fail
@@ -485,15 +596,29 @@ let rec prefix_scan t dlht pcc sc path ~vsnap k =
           if dentry_is_dir real && (match real.d_mnt with Some _ -> true | None -> false)
           then begin
             (if Dcache.is_complete t.dcache real then begin
+               (* Completeness and child-presence are guarded by the
+                  directory's own-id stripe, not its parent's. *)
+               record_dir t sc real;
                let span = next_component_span path (Signature.snaps_cursor sn k) in
                if span >= 0 then begin
                  let pos = span lsr 13 in
                  let len = (span land 0x1fff) - pos in
                  if not (Dcache.contains_child t.dcache real path ~pos ~len) then begin
-                   commit_check t vsnap;
-                   incr t.c_prefix_negfail;
+                   commit_check t sc vsnap;
+                   Counter.bump t.c_prefix_negfail;
                    Trace.stamp Trace.ev_prefix_negfail (k + 1);
                    sc.neg_errno <- Errno.ENOENT;
+                   (* §5.2 promotion: remember the deciding directory and
+                      the absent component so the miss handler can publish
+                      a deep negative dentry for it (the one allocation —
+                      the [Some] — happens only on a promotable verdict;
+                      once promoted, later probes are warm negative hits
+                      and never reach this point). *)
+                   if (config t).Config.deep_negative then begin
+                     sc.promote_dir <- Some real;
+                     sc.promote_pos <- pos;
+                     sc.promote_len <- len
+                   end;
                    raise_notrace Neg_fail
                  end
                end
@@ -525,7 +650,7 @@ let rec scan_and_hash t ctx dlht pcc sc path pos vsnap =
   if rc = Signature.scan_done then ()
   else if rc = Signature.scan_toolong then raise Fall_back (* pre-validated; defensive *)
   else begin
-    incr t.c_dotdot;
+    Counter.bump t.c_dotdot;
     let prefix = probe_prefix_buf t dlht pcc sc in
     let up = fast_dotdot ctx prefix in
     Signature.mstate_resume sc.ms (hstate_of t vsnap up);
@@ -551,6 +676,8 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
   sc.snap_path <- path;
   sc.snap_inval <- Dcache.invalidation_counter t.dcache;
   sc.resume_slot <- -1;
+  sc.stripe_n <- 0;
+  sc.promote_dir <- None;
   Signature.snaps_reset sc.snaps;
   Signature.mstate_resume sc.ms (hstate_of t vsnap base);
   Phases.record_span Phases.Init t0;
@@ -559,11 +686,12 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
   Signature.finalize_into t.key sc.ms sc.sbuf;
   Phases.record_span Phases.Scan_hash t1;
   let t2 = Phases.stamp () in
+  record_chain sc dlht (Signature.buf_bucket sc.sbuf);
   let literal =
     match Dlht.find_buf dlht ~key:t.key sc.sbuf with
     | Some d -> d
     | None ->
-      commit_check t vsnap;
+      commit_check t sc vsnap;
       Trace.bump_cause Trace.cause_cold;
       (* Genuine miss: scan the boundary snapshots for the longest cached
          ancestor — fast-fail from the prefix or mark the resume point —
@@ -573,6 +701,8 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
   Phases.record_span Phases.Table_lookup t2;
   let t3 = Phases.stamp () in
   let shallow_real = real_of literal in
+  record_dentry t sc literal;
+  if not (shallow_real == literal) then record_dentry t sc shallow_real;
   validate t pcc literal shallow_real;
   Phases.record_span Phases.Permission t3;
   let t4 = Phases.stamp () in
@@ -580,31 +710,32 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
   let result =
     match literal.d_state with
     | Negative errno ->
-      commit_check t vsnap;
-      incr t.c_neg;
+      commit_check t sc vsnap;
+      Counter.bump t.c_neg;
       Trace.stamp Trace.ev_fast_neg 0;
       Errno.to_error errno
     | Positive _ | Partial _ -> (
       let final =
-        chase t dlht pcc ~follow_last:flags.Walk.follow_last ~at_ns_root:at_root literal 8
+        chase t dlht pcc sc ~follow_last:flags.Walk.follow_last ~at_ns_root:at_root
+          literal 8
       in
       match final.d_state with
       | Negative errno ->
-        commit_check t vsnap;
-        incr t.c_neg;
+        commit_check t sc vsnap;
+        Counter.bump t.c_neg;
         Trace.stamp Trace.ev_fast_neg 0;
         Errno.to_error errno
       | Partial _ -> raise Fall_back
       | Positive _ ->
         if (flags.Walk.must_dir || trailing_slash) && not (dentry_is_dir final) then begin
-          commit_check t vsnap;
+          commit_check t sc vsnap;
           Errno.to_error Errno.ENOTDIR
         end
         else begin
           match final.d_mnt with
           | None -> raise Fall_back
           | Some mnt ->
-            commit_check t vsnap;
+            commit_check t sc vsnap;
             final.d_last_used <- Dcache.new_tick t.dcache;
             within mnt final
         end)
@@ -714,7 +845,58 @@ let populate t ctx ~visited ~absolute ~start =
         if allow_pcc && not t.simulate_pcc_miss then Pcc.insert pcc d
         end)
       visited;
-    Counter.add (counters t) "fastpath_populated" (List.length visited)
+    Counter.add (counters t) "fastpath_populated" (List.length visited);
+    (* Sharded mode defers DLHT migration/growth out of the per-splice path
+       (a stripe section must stay within its stripe); this write-locked
+       populate is where the table catches up. *)
+    if Dcache.sharded t.dcache then Dlht.housekeep dlht
+
+(* Publish the deep negative dentry a DIR_COMPLETE fast-fail verdict
+   promised (§5.2): the fast-fail answered ENOENT from the completeness of
+   a cached directory, so the absent child's name can be cached as a
+   negative dentry — and signed into the DLHT — turning every later lookup
+   of that path into a warm negative hit instead of a prefix scan.  The
+   verdict was an unlocked snapshot; everything it relied on is
+   re-established under the write lock before anything is published (a
+   complete directory with no cached child of the name definitively has no
+   such child, §5.1).  Never called with a lock held. *)
+let promote_negfail t ctx sc path =
+  match sc.promote_dir with
+  | None -> ()
+  | Some dir ->
+    sc.promote_dir <- None;
+    let pos = sc.promote_pos and len = sc.promote_len in
+    if sc.snap_path == path && pos >= 0 && len > 0 && pos + len <= String.length path
+    then begin
+      let name = String.sub path pos len in
+      Dcache.with_write t.dcache (fun () ->
+          if
+            dir.d_hashed && dentry_is_dir dir
+            && Dcache.is_complete t.dcache dir
+            && Dcache.lookup t.dcache dir name = None
+          then begin
+            match Dcache.add_child t.dcache dir name (Negative Errno.ENOENT) with
+            | Error _ -> ()
+            | Ok child -> (
+              Counter.bump t.c_negfail_promoted;
+              (* Sign and publish for direct lookup when the parent's own
+                 canonical state is available; otherwise the plain negative
+                 dentry still serves walks and later fast-fails. *)
+              match (dir.d_hstate, dir.d_mnt) with
+              | Some state, Some mnt ->
+                let st =
+                  Signature.feed_string t.key (Signature.feed_char t.key state '/') name
+                in
+                let s = Signature.finalize t.key st in
+                child.d_hstate <- Some st;
+                child.d_sig <- Some s;
+                child.d_mnt <- Some mnt;
+                (match Dlht.of_namespace_opt ctx.Walk.ns with
+                | Some dlht -> Dlht.insert dlht ctx.Walk.ns child s
+                | None -> ())
+              | _ -> ())
+          end)
+    end
 
 (* --- the public lookup --- *)
 
@@ -737,7 +919,7 @@ let resume_plan t ctx sc path =
      || not (sc.snap_path == path)
   then None
   else if Dcache.invalidation_counter t.dcache <> sc.snap_inval then begin
-    incr t.c_prefix_stale;
+    Counter.bump t.c_prefix_stale;
     None
   end
   else begin
@@ -747,7 +929,7 @@ let resume_plan t ctx sc path =
     let pcc = pcc_of t ctx in
     match Dlht.find_buf dlht ~key:t.key sc.pbuf with
     | None ->
-      incr t.c_prefix_stale;
+      Counter.bump t.c_prefix_stale;
       None
     | Some literal -> (
       let real = real_of literal in
@@ -757,13 +939,13 @@ let resume_plan t ctx sc path =
           && ((real == literal) || pcc_valid t pcc real)
           && dentry_is_dir real)
       then begin
-        incr t.c_prefix_stale;
+        Counter.bump t.c_prefix_stale;
         None
       end
       else begin
         match real.d_mnt with
         | None ->
-          incr t.c_prefix_stale;
+          Counter.bump t.c_prefix_stale;
           None
         | Some mnt ->
           let ancestor = Vfs.Mount.traverse_mounts { mnt; dentry = real } in
@@ -781,7 +963,7 @@ let resume_plan t ctx sc path =
    coarse write lock the counter check never fires, but it documents (and
    preserves) the protocol. *)
 let fallback t ctx ~flags ~absolute ~start ?sc path ~within =
-  incr t.c_fallback;
+  Counter.bump t.c_fallback;
   Trace.stamp Trace.ev_fallback 0;
   Dcache.with_write t.dcache (fun () ->
       let plan = match sc with Some sc -> resume_plan t ctx sc path | None -> None in
@@ -789,7 +971,7 @@ let fallback t ctx ~flags ~absolute ~start ?sc path ~within =
       let result, pop_start, pop_absolute =
         match plan with
         | Some (ancestor, depth, suffix) ->
-          incr t.c_prefix_resume;
+          Counter.bump t.c_prefix_resume;
           Trace.stamp Trace.ev_prefix_resume depth;
           Trace.record_resume_depth depth;
           (* The resumed walk still collects, so the suffix prefixes are
@@ -828,13 +1010,13 @@ let fallback t ctx ~flags ~absolute ~start ?sc path ~within =
    closure in [lookup_into_raw]): the warm path must not allocate an
    environment for a function it calls only on retry. *)
 let probe_locked t ctx ~start ~flags sc path ~within =
-  incr t.c_locked_probe;
+  Counter.bump t.c_locked_probe;
   let lock = Dcache.lock t.dcache in
   Rwlock.read_lock lock;
   match probe_into t ctx ~start ~flags sc path ~within ~vsnap:(-1) with
   | result ->
     Rwlock.read_unlock lock;
-    incr t.c_hit;
+    Counter.bump t.c_hit;
     Trace.stamp Trace.ev_fast_hit 0;
     result
   | exception Fall_back ->
@@ -843,8 +1025,9 @@ let probe_locked t ctx ~start ~flags sc path ~within =
       ~sc path ~within
   | exception Neg_fail ->
     (* Prefix fast-fail (§3.5): answered from a cached ancestor, no walk,
-       no write lock. *)
+       no write lock (promotion, if any, takes it after the unlock). *)
     Rwlock.read_unlock lock;
+    promote_negfail t ctx sc path;
     Errno.to_error sc.neg_errno
   | exception e ->
     Rwlock.read_unlock lock;
@@ -853,11 +1036,63 @@ let probe_locked t ctx ~start ~flags sc path ~within =
 (* Attribute a lockless retry: if the namespace's DLHT is mid-resize, the
    write section we raced was (at least plausibly) the migration. *)
 let note_lockless_retry t ctx =
-  incr t.c_lockless_retry;
+  Counter.bump t.c_lockless_retry;
   Trace.stamp Trace.ev_lockless_retry 0;
   match Dlht.of_namespace_opt ctx.Walk.ns with
   | Some dlht when Dlht.resizing dlht -> Trace.bump_cause Trace.cause_resize_retry
   | Some _ | None -> Trace.bump_cause Trace.cause_seqcount_retry
+
+(* --- sharded-mode retry discipline ---
+
+   Sharded writers hold the {e read} side of the dcache lock, so tier 2's
+   read-locked re-probe would exclude nothing: a probe that raced a stripe
+   write under the read lock would race it again.  Instead the optimistic
+   probe itself is retried a bounded number of times — a raced stripe
+   section is a few dozen instructions, so the race is gone almost
+   immediately — and only then does the lookup escalate to the
+   write-locked slowpath, which excludes sharded sections wholesale. *)
+let max_sharded_attempts = 8
+
+let rec probe_sharded t ctx ~start ~flags sc path ~within ~attempt =
+  let seq = Dcache.write_seq t.dcache in
+  let snap = Seqcount.read_begin seq in
+  if snap land 1 <> 0 then retry_sharded t ctx ~start ~flags sc path ~within ~attempt
+  else begin
+    match probe_into t ctx ~start ~flags sc path ~within ~vsnap:snap with
+    | result ->
+      Counter.bump t.c_hit;
+      Trace.stamp Trace.ev_fast_hit 0;
+      result
+    | exception Neg_fail ->
+      promote_negfail t ctx sc path;
+      Errno.to_error sc.neg_errno
+    | exception Seq_retry ->
+      note_lockless_retry t ctx;
+      retry_sharded t ctx ~start ~flags sc path ~within ~attempt
+    | exception Fall_back ->
+      if Seqcount.read_validate seq snap && stripes_ok sc then
+        fallback t { ctx with Walk.cwd = start } ~flags ~absolute:(Path.is_absolute path)
+          ~start ~sc path ~within
+      else begin
+        note_lockless_retry t ctx;
+        retry_sharded t ctx ~start ~flags sc path ~within ~attempt
+      end
+  end
+
+and retry_sharded t ctx ~start ~flags sc path ~within ~attempt =
+  if attempt + 1 >= max_sharded_attempts then begin
+    (* Retries exhausted (writer storm on these stripes): resolve
+       authoritatively under the write lock.  The scratch resume state is
+       re-validated there before use, so passing it is safe even after a
+       raced probe. *)
+    Counter.bump t.c_locked_probe;
+    fallback t { ctx with Walk.cwd = start } ~flags ~absolute:(Path.is_absolute path)
+      ~start ~sc path ~within
+  end
+  else begin
+    Domain.cpu_relax ();
+    probe_sharded t ctx ~start ~flags sc path ~within ~attempt:(attempt + 1)
+  end
 
 (* [within] runs on the resolved (mount, dentry) while the lookup is still
    protected (lockless-validated or read-locked on a fastpath hit, write
@@ -883,7 +1118,7 @@ let lookup_into_raw t ctx ?start ?(flags = Walk.default_flags) path ~within =
     with
     | result -> result
     | exception Walk.Need_refwalk ->
-      incr t.c_refwalk;
+      Counter.bump t.c_refwalk;
       Trace.bump_cause Trace.cause_seqcount_retry;
       Trace.stamp Trace.ev_refwalk 0;
       Dcache.with_write t.dcache (fun () ->
@@ -899,11 +1134,11 @@ let lookup_into_raw t ctx ?start ?(flags = Walk.default_flags) path ~within =
       Dcache.with_read t.dcache (fun () ->
           match probe t ctx ~start ~flags path with
           | Ok r ->
-            incr t.c_hit;
+            Counter.bump t.c_hit;
             Trace.stamp Trace.ev_fast_hit 0;
             Some (within r.mnt r.dentry)
           | Error e ->
-            incr t.c_hit;
+            Counter.bump t.c_hit;
             Trace.stamp Trace.ev_fast_hit 0;
             Some (Error e)
           | exception Fall_back -> None
@@ -926,33 +1161,42 @@ let lookup_into_raw t ctx ?start ?(flags = Walk.default_flags) path ~within =
          3. on a genuine miss, the slowpath fallback under the write lock.
          A lockless [Fall_back] is only believed — i.e. only triggers the
          expensive slowpath — if the probe's reads were valid; otherwise it
-         is retried locked first. *)
+         is retried locked first.
+
+         Sharded mode swaps tier 2 for bounded optimistic retries: the
+         read lock no longer excludes (sharded) writers, so re-probing
+         under it proves nothing — see [probe_sharded]. *)
       let sc = Domain.DLS.get scratch_key in
-      let seq = Dcache.write_seq t.dcache in
-      let snap = Seqcount.read_begin seq in
-      if snap land 1 <> 0 then probe_locked t ctx ~start ~flags sc path ~within
-      else begin
-        match probe_into t ctx ~start ~flags sc path ~within ~vsnap:snap with
-        | result ->
-          incr t.c_hit;
-          Trace.stamp Trace.ev_fast_hit 0;
-          result
-        | exception Seq_retry ->
-          note_lockless_retry t ctx;
-          probe_locked t ctx ~start ~flags sc path ~within
-        | exception Neg_fail ->
-          (* Prefix fast-fail (§3.5): the verdict passed its seqcount
-             validation inside the probe, so it is as good as a hit —
-             answered without a lock or a walk. *)
-          Errno.to_error sc.neg_errno
-        | exception Fall_back ->
-          if Seqcount.read_validate seq snap then
-            fallback t { ctx with Walk.cwd = start } ~flags ~absolute ~start ~sc path ~within
-          else begin
+      match t.dtab with
+      | Some _ -> probe_sharded t ctx ~start ~flags sc path ~within ~attempt:0
+      | None -> (
+        let seq = Dcache.write_seq t.dcache in
+        let snap = Seqcount.read_begin seq in
+        if snap land 1 <> 0 then probe_locked t ctx ~start ~flags sc path ~within
+        else begin
+          match probe_into t ctx ~start ~flags sc path ~within ~vsnap:snap with
+          | result ->
+            Counter.bump t.c_hit;
+            Trace.stamp Trace.ev_fast_hit 0;
+            result
+          | exception Seq_retry ->
             note_lockless_retry t ctx;
             probe_locked t ctx ~start ~flags sc path ~within
-          end
-      end)
+          | exception Neg_fail ->
+            (* Prefix fast-fail (§3.5): the verdict passed its seqcount
+               validation inside the probe, so it is as good as a hit —
+               answered without a lock or a walk. *)
+            promote_negfail t ctx sc path;
+            Errno.to_error sc.neg_errno
+          | exception Fall_back ->
+            if Seqcount.read_validate seq snap then
+              fallback t { ctx with Walk.cwd = start } ~flags ~absolute ~start ~sc path
+                ~within
+            else begin
+              note_lockless_retry t ctx;
+              probe_locked t ctx ~start ~flags sc path ~within
+            end
+        end))
   end
 
 (* Latency attribution (Trace timing mode): every public lookup is timed
@@ -967,7 +1211,7 @@ let lookup_into_raw t ctx ?start ?(flags = Walk.default_flags) path ~within =
 let lookup_into t ctx ?start ?flags path ~within =
   if not !Trace.timing then lookup_into_raw t ctx ?start ?flags path ~within
   else begin
-    let fallbacks_before = !(t.c_fallback) in
+    let fallbacks_before = Counter.cell_value t.c_fallback in
     let t0 = Clock.monotonic_ns () in
     let result = lookup_into_raw t ctx ?start ?flags path ~within in
     let dt = Clock.monotonic_ns () - t0 in
@@ -977,7 +1221,7 @@ let lookup_into t ctx ?start ?flags path ~within =
       | Error _ -> Trace.cls_negative
       | Ok _ ->
         if not (config t).Config.fastpath then Trace.cls_slowpath
-        else if !(t.c_fallback) > fallbacks_before then Trace.cls_fallback
+        else if Counter.cell_value t.c_fallback > fallbacks_before then Trace.cls_fallback
         else Trace.cls_fast
     in
     Trace.record_latency cls dt;

@@ -14,12 +14,24 @@ type inode = {
   mutable uid : int;
   mutable gid : int;
   mutable nlink : int;
-  mutable pins : int;  (* VFS references: open files keep orphans alive *)
+  pins : int Atomic.t;  (* VFS references: open files keep orphans alive;
+                           pinned on the lockless open tier *)
   mutable label : string option;
   node : node;
 }
 
-type state = { inodes : (int, inode) Hashtbl.t; mutable next_ino : int }
+(* The inode store is indexed by inode number in a slot array so reads are
+   lock-free: getattr/read/write run on the lockless fastpath tier, and
+   sharded mutation sections on different stripes allocate and drop inodes
+   concurrently.  Slots are atomic cells; the array only grows, under
+   [grow_mu], and the new array shares the old cells (references are
+   copied, not values), so a domain still holding the pre-grow array
+   reads and writes the very same cells. *)
+type state = {
+  slots : inode option Atomic.t array Atomic.t;
+  grow_mu : Mutex.t;
+  next_ino : int Atomic.t;
+}
 
 let kind_of_node = function
   | Dir _ -> File_kind.Directory
@@ -46,9 +58,17 @@ let attr_of inode =
   }
 
 let get state ino =
-  match Hashtbl.find_opt state.inodes ino with
-  | Some inode -> Ok inode
-  | None -> Error Errno.EIO
+  let a = Atomic.get state.slots in
+  if ino >= 0 && ino < Array.length a then begin
+    match Atomic.get (Array.unsafe_get a ino) with
+    | Some inode -> Ok inode
+    | None -> Error Errno.EIO
+  end
+  else Error Errno.EIO
+
+let forget state ino =
+  let a = Atomic.get state.slots in
+  if ino >= 0 && ino < Array.length a then Atomic.set (Array.unsafe_get a ino) None
 
 let get_dir state ino =
   let* inode = get state ino in
@@ -57,11 +77,25 @@ let get_dir state ino =
   | File _ | Symlink _ -> Error Errno.ENOTDIR
 
 let alloc state node ~mode ~uid ~gid =
-  let ino = state.next_ino in
-  state.next_ino <- ino + 1;
+  Mutex.lock state.grow_mu;
+  let ino = Atomic.fetch_and_add state.next_ino 1 in
+  let a = Atomic.get state.slots in
+  let a =
+    if ino >= Array.length a then begin
+      let bigger =
+        Array.init
+          (max (2 * Array.length a) (ino + 1))
+          (fun i -> if i < Array.length a then a.(i) else Atomic.make None)
+      in
+      Atomic.set state.slots bigger;
+      bigger
+    end
+    else a
+  in
   let nlink = match node with Dir _ -> 2 | File _ | Symlink _ -> 1 in
-  let inode = { ino; mode; uid; gid; nlink; pins = 0; label = None; node } in
-  Hashtbl.add state.inodes ino inode;
+  let inode = { ino; mode; uid; gid; nlink; pins = Atomic.make 0; label = None; node } in
+  Atomic.set a.(ino) (Some inode);
+  Mutex.unlock state.grow_mu;
   inode
 
 let max_name_len = 255
@@ -69,7 +103,13 @@ let max_name_len = 255
 let check_name name k = if String.length name > max_name_len then Error Errno.ENAMETOOLONG else k ()
 
 let create () =
-  let state = { inodes = Hashtbl.create 1024; next_ino = 1 } in
+  let state =
+    {
+      slots = Atomic.make (Array.init 1024 (fun _ -> Atomic.make None));
+      grow_mu = Mutex.create ();
+      next_ino = Atomic.make 1;
+    }
+  in
   let root = alloc state (Dir (Hashtbl.create 16)) ~mode:Mode.default_dir ~uid:0 ~gid:0 in
   let lookup dir name =
     check_name name @@ fun () ->
@@ -102,9 +142,9 @@ let create () =
     let entries =
       Hashtbl.fold
         (fun name ino acc ->
-          match Hashtbl.find_opt state.inodes ino with
-          | Some inode -> { name; ino; kind = kind_of_node inode.node } :: acc
-          | None -> acc)
+          match get state ino with
+          | Ok inode -> { name; ino; kind = kind_of_node inode.node } :: acc
+          | Error _ -> acc)
         children []
     in
     Ok (List.sort (fun a b -> compare a.name b.name) entries)
@@ -146,14 +186,18 @@ let create () =
   in
   let drop_link state inode =
     inode.nlink <- inode.nlink - 1;
-    if inode.nlink = 0 && inode.pins = 0 then Hashtbl.remove state.inodes inode.ino
+    if inode.nlink = 0 && Atomic.get inode.pins = 0 then forget state inode.ino
   in
-  let pin_inode ino = match get state ino with Ok i -> i.pins <- i.pins + 1 | Error _ -> () in
+  let pin_inode ino = match get state ino with Ok i -> Atomic.incr i.pins | Error _ -> () in
   let unpin_inode ino =
     match get state ino with
     | Ok i ->
-      i.pins <- max 0 (i.pins - 1);
-      if i.pins = 0 && i.nlink = 0 then Hashtbl.remove state.inodes ino
+      (* Clamp at zero: unbalanced unpins must not let pins go negative. *)
+      let rec dec () =
+        let p = Atomic.get i.pins in
+        if p > 0 && not (Atomic.compare_and_set i.pins p (p - 1)) then dec () else max 0 (p - 1)
+      in
+      if dec () = 0 && i.nlink = 0 then forget state ino
     | Error _ -> ()
   in
   let unlink dir name =
@@ -183,7 +227,7 @@ let create () =
           Hashtbl.remove children name;
           parent.nlink <- parent.nlink - 1;
           inode.nlink <- 0;
-          if inode.pins = 0 then Hashtbl.remove state.inodes ino;
+          if Atomic.get inode.pins = 0 then forget state ino;
           Ok ()
         end)
   in
@@ -207,7 +251,7 @@ let create () =
             else begin
               Hashtbl.remove new_children new_name;
               new_parent.nlink <- new_parent.nlink - 1;
-              Hashtbl.remove state.inodes dst_ino;
+              forget state dst_ino;
               Ok ()
             end
           | Dir _, (File _ | Symlink _) -> Error Errno.ENOTDIR

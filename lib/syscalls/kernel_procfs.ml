@@ -62,6 +62,15 @@ let render_summary kernel () =
     occupancy;
   Buffer.contents buf
 
+(* Per-stripe acquisition/contention figures for the sharded mutation
+   path.  The header lines ([stripes N], [acquired], [contended]) give the
+   aggregate; the per-stripe tail shows skew, which is the thing to watch
+   when churn concentrates in few directories. *)
+let render_stripes kernel () =
+  match Dcache.stripes (Kernel.dcache kernel) with
+  | None -> "stripes 0\n"
+  | Some tab -> Dcache_util.Locktab.to_string tab
+
 let render_config kernel () =
   let c = Kernel.config kernel in
   String.concat "\n"
@@ -82,6 +91,7 @@ let render_config kernel () =
       Printf.sprintf "aggressive_negative %b" c.Config.aggressive_negative;
       Printf.sprintf "deep_negative %b" c.Config.deep_negative;
       Printf.sprintf "dcache_buckets %d" c.Config.dcache_buckets;
+      Printf.sprintf "dcache_stripes %d" c.Config.dcache_stripes;
       Printf.sprintf "max_dentries %d" c.Config.max_dentries;
       "";
     ]
@@ -138,6 +148,7 @@ let make ?faults ?netfs kernel =
   ok (Pseudofs.add_file p "/dcache/stats" ~content:(render_stats kernel));
   ok (Pseudofs.add_file p "/dcache/summary" ~content:(render_summary kernel));
   ok (Pseudofs.add_file p "/dcache/config" ~content:(render_config kernel));
+  ok (Pseudofs.add_file p "/dcache/stripes" ~content:(render_stripes kernel));
   ok (Pseudofs.add_file p "/dcache/histograms" ~content:render_histograms);
   ok (Pseudofs.add_file p "/dcache/causes" ~content:render_causes);
   ok (Pseudofs.add_file p "/dcache/trace" ~content:render_trace);

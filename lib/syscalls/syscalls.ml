@@ -11,6 +11,9 @@ module Cred = Dcache_cred.Cred
 module Fastpath = Dcache_core.Fastpath
 module Fs = Dcache_fs.Fs_intf
 module Counter = Dcache_util.Stats.Counter
+module Rwlock = Dcache_util.Rwlock
+module Locktab = Dcache_util.Locktab
+module Dlist = Dcache_util.Dlist
 
 type 'a r = ('a, Errno.t) result
 
@@ -215,6 +218,309 @@ let finish_open proc flags (ref_ : path_ref) =
   in
   Ok fd.Proc.fd_num
 
+(* --- the sharded mutation path ---
+
+   With [dcache_stripes > 0] (and the fastpath on, Linux dot-dot mode) the
+   three churn-critical mutations — regular-file create, unlink and rename —
+   run under the dcache lock's {e read} side plus the parent directory's
+   stripe(s) instead of the exclusive write lock, so writer domains mutating
+   different directories proceed concurrently.  Anything off the happy path
+   (uncached parents or children, [Partial] dentries, directories, extra
+   hard links, mountpoints, deep-negative subtrees, cross-sb renames) falls
+   back to the classic write-locked implementation: [Legacy] means "take
+   the big lock", never "fail".
+
+   Lock order inside a sharded section: rwlock read side, then the parent
+   directory stripe(s) — two at once only through [Locktab.lock2]'s index
+   ordering — then leaf locks (the DLHT stripe inside [Dlht] splices,
+   [lru_mu], [icache_mu]).  Eviction cannot run here (the clock walk
+   crosses stripes), so capacity enforcement is deferred to
+   [Dcache.reclaim_overflow] after every lock is dropped. *)
+
+type 'a attempt = Done of 'a r | Legacy
+
+(* Split [path] into (dirname, basename) when the final component is a
+   plain name.  [None] dirname means the walk start itself (cwd / dirfd).
+   Trailing slashes, ".", ".." and empty basenames are Legacy cases. *)
+let split_basename path =
+  let n = String.length path in
+  if n = 0 || path.[n - 1] = '/' then None
+  else begin
+    match String.rindex_opt path '/' with
+    | None -> if path = "." || path = ".." then None else Some (None, path)
+    | Some i ->
+      let base = String.sub path (i + 1) (n - i - 1) in
+      if base = "." || base = ".." then None
+      else Some (Some (String.sub path 0 (if i = 0 then 1 else i)), base)
+  end
+
+(* Resolve the containing directory with no lock held — warm parents
+   resolve locklessly through the fastpath; cold ones take the ordinary
+   locked fallback inside [Fastpath.lookup].  The result is re-validated
+   under the parent's stripe before anything trusts it. *)
+let resolve_dir ?start proc dirname =
+  let ctx = Proc.walk_ctx proc in
+  let ctx = match start with Some s -> { ctx with Walk.cwd = s } | None -> ctx in
+  match dirname with
+  | None -> Some ctx.Walk.cwd
+  | Some dir -> (
+    match
+      (Fastpath.lookup (Kernel.fastpath proc.Proc.kernel) ctx
+         ~flags:(lookup_flags ~must_dir:true ()) dir)
+        .Walk.outcome
+    with
+    | Ok ref_ -> Some ref_
+    | Error _ -> None)
+
+(* Parent validity under its stripe: still cached (roots are never hashed)
+   and still a positive directory.  A [Partial] parent would need a
+   promoting mutation guarded by the {e grandparent}'s stripe — Legacy. *)
+let dir_valid (pref : path_ref) =
+  let d = pref.dentry in
+  (d.d_hashed || d.d_parent = None)
+  &&
+  match d.d_state with
+  | Positive inode -> Inode.is_dir inode
+  | Partial _ | Negative _ -> false
+
+let dir_inode_exn (pref : path_ref) =
+  match pref.dentry.d_state with Positive i -> i | _ -> assert false
+
+let writable_dir proc (pref : path_ref) =
+  if pref.mnt.mnt_readonly then Error Errno.EROFS
+  else
+    permission proc (dir_inode_exn pref) (Access.union Access.may_write Access.may_exec)
+
+let sharded_create ?start ~mode proc path flags : int attempt =
+  let d = dcache proc in
+  match Dcache.stripes d with
+  | None -> Legacy
+  | Some tab -> (
+    match split_basename path with
+    | None -> Legacy
+    | Some (dirname, name) -> (
+      match resolve_dir ?start proc dirname with
+      | None -> Legacy
+      | Some pref ->
+        let lock = Dcache.lock d in
+        Rwlock.read_lock lock;
+        let si = Locktab.index tab pref.dentry.d_id in
+        Locktab.lock tab si;
+        let finish r =
+          Locktab.unlock tab si;
+          Rwlock.read_unlock lock;
+          (match r with
+          | Done _ ->
+            note_lookup proc path;
+            Dcache.reclaim_overflow d
+          | Legacy -> ());
+          r
+        in
+        if not (dir_valid pref) then finish Legacy
+        else begin
+          let parent = pref.dentry in
+          let existing = Dcache.lookup d parent name in
+          match existing with
+          | Some child when dentry_is_positive child ->
+            if flag_mem Proc.O_EXCL flags then finish (Done (Error Errno.EEXIST))
+            else finish Legacy (* plain open of an existing file *)
+          | Some child when not (dentry_is_negative child) -> finish Legacy
+          | Some child when not (Dlist.is_empty child.d_children) ->
+            (* deep negatives below the name: pruning crosses stripes *)
+            finish Legacy
+          | None when not (Dcache.is_complete d parent) ->
+            (* an uncached name may still exist on the fs: only a complete
+               directory's absence verdict is authoritative (§5.1) *)
+            finish Legacy
+          | existing -> (
+            match writable_dir proc pref with
+            | Error e -> finish (Done (Error e))
+            | Ok () -> (
+              let dir_inode = dir_inode_exn pref in
+              match
+                parent.d_sb.sb_fs.Fs.create (Inode.ino dir_inode) name
+                  File_kind.Regular mode ~uid:(Cred.uid proc.Proc.cred)
+                  ~gid:(Cred.gid proc.Proc.cred)
+              with
+              | Error e -> finish (Done (Error e))
+              | Ok attr ->
+                count proc "files_created";
+                count proc "sharded_create";
+                (* The absence verdict that authorized this create came from
+                   directory completeness (§5.1) — count it like the walk's
+                   complete-dir miss would have been. *)
+                if existing = None then count proc "complete_dir_negative";
+                let inode = Dcache.iget parent.d_sb attr in
+                Dcache.bump_dir_gen parent;
+                let child =
+                  match existing with
+                  | Some child ->
+                    (* negative promotion in place: the name keeps its
+                       signature and DLHT entry, so the fastpath serves the
+                       new positive result immediately (§5.2) *)
+                    child.d_state <- Positive inode;
+                    child.d_target_sig <- None;
+                    child
+                  | None -> (
+                    match Dcache.add_child d parent name (Positive inode) with
+                    | Ok child -> child
+                    | Error _ -> assert false)
+                in
+                finish (Done (finish_open proc flags { pref with dentry = child }))))
+        end))
+
+let sharded_unlink ?start proc path : unit attempt =
+  let d = dcache proc in
+  match Dcache.stripes d with
+  | None -> Legacy
+  | Some tab -> (
+    match split_basename path with
+    | None -> Legacy
+    | Some (dirname, name) -> (
+      match resolve_dir ?start proc dirname with
+      | None -> Legacy
+      | Some pref ->
+        let lock = Dcache.lock d in
+        Rwlock.read_lock lock;
+        let si = Locktab.index tab pref.dentry.d_id in
+        Locktab.lock tab si;
+        let finish r =
+          Locktab.unlock tab si;
+          Rwlock.read_unlock lock;
+          (match r with
+          | Done _ ->
+            note_lookup proc path;
+            Dcache.reclaim_overflow d
+          | Legacy -> ());
+          r
+        in
+        if not (dir_valid pref) then finish Legacy
+        else begin
+          match Dcache.lookup d pref.dentry name with
+          | None -> finish Legacy (* uncached: the fill needs the slowpath *)
+          | Some child -> (
+            match child.d_state with
+            | Negative e -> finish (Done (Error e))
+            | Partial _ -> finish Legacy
+            | Positive child_inode ->
+              if dentry_is_dir child then finish (Done (Error Errno.EISDIR))
+              else if
+                (not (Dlist.is_empty child.d_children))
+                || Mount.is_mountpoint proc.Proc.ns pref.mnt child
+                || (Inode.attr child_inode).Attr.nlink <> 1
+                (* extra hard links: the shared inode's nlink is mutated
+                   from other parents' stripes — Legacy serializes *)
+              then finish Legacy
+              else begin
+                match writable_dir proc pref with
+                | Error e -> finish (Done (Error e))
+                | Ok () -> (
+                  match
+                    pref.dentry.d_sb.sb_fs.Fs.unlink
+                      (Inode.ino (dir_inode_exn pref)) name
+                  with
+                  | Error e -> finish (Done (Error e))
+                  | Ok () ->
+                    count proc "sharded_unlink";
+                    Dcache.bump_dir_gen pref.dentry;
+                    Inode.bump_nlink child_inode (-1);
+                    if (Inode.attr child_inode).Attr.nlink <= 0 then
+                      Dcache.iforget child.d_sb (Inode.ino child_inode);
+                    Dcache.note_unlinked d child;
+                    finish (Done (Ok ())))
+              end)
+        end))
+
+let sharded_rename proc old_path new_path : unit attempt =
+  let d = dcache proc in
+  match Dcache.stripes d with
+  | None -> Legacy
+  | Some tab -> (
+    match (split_basename old_path, split_basename new_path) with
+    | Some (old_dir, old_name), Some (new_dir, new_name) -> (
+      match (resolve_dir proc old_dir, resolve_dir proc new_dir) with
+      | Some po, Some pn when po.dentry.d_sb == pn.dentry.d_sb ->
+        let lock = Dcache.lock d in
+        Rwlock.read_lock lock;
+        let si = Locktab.index tab po.dentry.d_id in
+        let sj = Locktab.index tab pn.dentry.d_id in
+        (* both parents' stripes, in index order — the cross-rename
+           deadlock case (A→B in one domain, B→A in another) serializes
+           on whichever stripe sorts first *)
+        Locktab.lock2 tab si sj;
+        let finish r =
+          Locktab.unlock2 tab si sj;
+          Rwlock.read_unlock lock;
+          (match r with
+          | Done _ ->
+            note_lookup proc old_path;
+            note_lookup proc new_path;
+            Dcache.reclaim_overflow d
+          | Legacy -> ());
+          r
+        in
+        if not (dir_valid po && dir_valid pn) then finish Legacy
+        else begin
+          match Dcache.lookup d po.dentry old_name with
+          | None -> finish Legacy
+          | Some src -> (
+            match src.d_state with
+            | Negative _ -> finish (Done (Error Errno.ENOENT))
+            | Partial _ -> finish Legacy
+            | Positive src_inode ->
+              if
+                Inode.is_dir src_inode
+                || (not (Dlist.is_empty src.d_children))
+                || Mount.is_mountpoint proc.Proc.ns po.mnt src
+              then finish Legacy
+              else begin
+                match (writable_dir proc po, writable_dir proc pn) with
+                | Error e, _ | _, Error e -> finish (Done (Error e))
+                | Ok (), Ok () -> (
+                  let target = Dcache.lookup d pn.dentry new_name in
+                  match target with
+                  | Some tgt when tgt == src ->
+                    finish (Done (Ok ())) (* rename onto itself: no-op *)
+                  | Some tgt
+                    when dentry_is_positive tgt
+                         || (not (dentry_is_negative tgt))
+                         || not (Dlist.is_empty tgt.d_children) ->
+                    (* displaced positive/partial targets carry nlink and
+                       inode-cache bookkeeping — Legacy *)
+                    finish Legacy
+                  | _ -> (
+                    let rename_lock = Dcache.rename_lock d in
+                    Dcache_util.Seqcount.write_begin rename_lock;
+                    ignore (Dcache.invalidate_structure d src);
+                    let result =
+                      src.d_sb.sb_fs.Fs.rename
+                        (Inode.ino (dir_inode_exn po)) old_name
+                        (Inode.ino (dir_inode_exn pn)) new_name
+                    in
+                    match result with
+                    | Error e ->
+                      Dcache_util.Seqcount.write_end rename_lock;
+                      finish (Done (Error e))
+                    | Ok () ->
+                      count proc "sharded_rename";
+                      Dcache.bump_dir_gen po.dentry;
+                      Dcache.bump_dir_gen pn.dentry;
+                      (match target with
+                      | Some tgt -> Dcache.unhash d tgt
+                      | None -> ());
+                      Dcache.d_move d src ~new_parent:pn.dentry ~new_name;
+                      (* Keep the old name cached as a negative (§5.2). *)
+                      if (kconfig proc).Config.aggressive_negative then
+                        ignore
+                          (Dcache.add_child d po.dentry old_name
+                             (Negative Errno.ENOENT));
+                      Dcache_util.Seqcount.write_end rename_lock;
+                      finish (Done (Ok ()))))
+              end)
+        end
+      | _ -> Legacy)
+    | _ -> Legacy)
+
 let rec do_open ?(mode = Mode.default_file) ?start proc path flags =
   let follow = not (flag_mem Proc.O_NOFOLLOW flags) in
   if not (flag_mem Proc.O_CREAT flags) then
@@ -222,6 +528,9 @@ let rec do_open ?(mode = Mode.default_file) ?start proc path flags =
       ~flags:(lookup_flags ~follow ~must_dir:(flag_mem Proc.O_DIRECTORY flags) ())
       ~within:(finish_open proc flags)
   else begin
+    match sharded_create ?start ~mode proc path flags with
+    | Done r -> r
+    | Legacy ->
     let result =
       with_write proc (fun () ->
           let* p = resolve_parent_locked proc path in
@@ -495,6 +804,9 @@ let check_not_mountpoint proc (p : Walk.parent_result) child =
 let unlink proc path =
   Systime.timed Systime.Unlink (fun () ->
       count proc "sys_unlink";
+      match sharded_unlink proc path with
+      | Done r -> r
+      | Legacy ->
       with_write proc (fun () ->
           let* p = resolve_parent_locked proc path in
           match p.Walk.child with
@@ -557,6 +869,9 @@ let rec is_ancestor ~(of_ : dentry) candidate =
 
 let rename proc old_path new_path =
   count proc "sys_rename";
+  match sharded_rename proc old_path new_path with
+  | Done r -> r
+  | Legacy ->
   with_write proc (fun () ->
       let d = dcache proc in
       let* po = resolve_parent_locked proc old_path in
@@ -882,6 +1197,9 @@ let mkdirat ?mode proc dirfd path =
 let unlinkat proc dirfd path =
   count proc "sys_unlinkat";
   with_dirfd proc dirfd (fun start ->
+      match sharded_unlink ~start proc path with
+      | Done r -> r
+      | Legacy ->
       with_write proc (fun () ->
           let* p = resolve_parent_locked ~start proc path in
           match p.Walk.child with

@@ -15,10 +15,15 @@ val write_unlock : t -> unit
 val with_read : t -> (unit -> 'a) -> 'a
 val with_write : t -> (unit -> 'a) -> 'a
 
+val write_held : t -> bool
+(** True while a writer holds the lock.  Stable when asked from inside
+    one's own critical section; elsewhere just a snapshot. *)
+
 val acquisition_counts : unit -> int * int
-(** [(reads, writes)] acquired since the last reset, across {e all} locks.
-    The counters are plain unsynchronized increments: exact on a single
-    domain, approximate under parallelism.  Test oracle for the lockless
-    fastpath's "zero rwlock acquisitions" guarantee. *)
+(** [(reads, writes)] acquired by the {e calling domain} since its last
+    reset, across all locks.  Per-domain (DLS), so a reader domain's count
+    stays exact while other domains hammer the same locks.  Test oracle
+    for the lockless fastpath's "zero rwlock acquisitions" guarantee. *)
 
 val reset_acquisition_counts : unit -> unit
+(** Reset the calling domain's counts. *)

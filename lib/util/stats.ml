@@ -205,28 +205,62 @@ module Lhist = struct
 end
 
 module Counter = struct
-  type t = (string, int ref) Hashtbl.t
+  (* Multi-writer-safe counter sets.  A cell is a small array of atomic
+     slots indexed by [domain id mod slots]: a bump is one uncontended
+     fetch-and-add on (usually) the caller's own slot, so concurrent
+     domains never lose counts — the slot is atomic even when two domain
+     ids collide on it — and a single-domain test still reads exact
+     figures.  The bump allocates nothing, which keeps cached cells legal
+     inside the zero-allocation warm fastpath.
 
-  let create () : t = Hashtbl.create 32
+     The key → cell map is an immutable [Map] behind an [Atomic]: lookups
+     are lock-free over a persistent snapshot, and the rare first-use
+     insertion CAS-loops.  Cells are never removed, so a cell cached at
+     create time stays valid forever; [reset] zeroes slots in place. *)
 
-  let cell t key =
-    match Hashtbl.find_opt t key with
-    | Some r -> r
+  let slots = 8
+  let slot_mask = slots - 1
+
+  type cell = int Atomic.t array
+
+  module M = Map.Make (String)
+
+  type t = cell M.t Atomic.t
+
+  let create () : t = Atomic.make M.empty
+
+  let rec cell (t : t) key =
+    let m = Atomic.get t in
+    match M.find_opt key m with
+    | Some c -> c
     | None ->
-      let r = ref 0 in
-      Hashtbl.add t key r;
-      r
+      let c = Array.init slots (fun _ -> Atomic.make 0) in
+      if Atomic.compare_and_set t m (M.add key c m) then c else cell t key
 
-  let incr t key = Stdlib.incr (cell t key)
-  let add t key n = cell t key := !(cell t key) + n
-  let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+  let[@inline] bump (c : cell) = Atomic.incr c.((Domain.self () :> int) land slot_mask)
 
-  (* Zero in place rather than [Hashtbl.reset]: hot paths hold on to cells
-     obtained from [cell] so each increment is a single store with no table
-     lookup, and those cells must survive a stats reset. *)
-  let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+  let[@inline] bump_by (c : cell) n =
+    ignore (Atomic.fetch_and_add c.((Domain.self () :> int) land slot_mask) n)
 
+  let cell_value (c : cell) =
+    let sum = ref 0 in
+    for i = 0 to slots - 1 do
+      sum := !sum + Atomic.get c.(i)
+    done;
+    !sum
+
+  let incr t key = bump (cell t key)
+  let add t key n = bump_by (cell t key) n
+
+  let get t key =
+    match M.find_opt key (Atomic.get t) with Some c -> cell_value c | None -> 0
+
+  (* Zero in place: hot paths hold on to cells obtained from [cell], and
+     those cells must survive a stats reset. *)
+  let reset t = M.iter (fun _ c -> Array.iter (fun a -> Atomic.set a 0) c) (Atomic.get t)
+
+  (* [M.fold] visits keys in increasing order; the cons builds descending,
+     so reverse to keep the documented sorted-by-key contract. *)
   let to_assoc t =
-    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    List.rev (M.fold (fun k c acc -> (k, cell_value c) :: acc) (Atomic.get t) [])
 end

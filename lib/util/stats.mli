@@ -71,16 +71,27 @@ module Lhist : sig
   (** One-line [n … min … p50 … p90 … p99 … max … mean …] rendering. *)
 end
 
-(** Online counter sets, used by the kernel instrumentation. *)
+(** Online counter sets, used by the kernel instrumentation.  Safe under
+    concurrent domains: each cell is a small array of atomic slots indexed
+    by domain id, so bumps are never lost and (mostly) uncontended. *)
 module Counter : sig
   type t
+  type cell
 
   val create : unit -> t
 
-  val cell : t -> string -> int ref
+  val cell : t -> string -> cell
   (** The counter's underlying cell, created on first use.  Hot paths cache
-      the cell once and bump it with [Stdlib.incr] — one store, no hashing,
-      no allocation.  Cells stay live across {!reset}. *)
+      the cell once and {!bump} it — one atomic fetch-and-add on the
+      calling domain's slot, no hashing, no allocation.  Cells stay live
+      across {!reset}. *)
+
+  val bump : cell -> unit
+  (** Count one on the calling domain's slot.  Allocation-free. *)
+
+  val bump_by : cell -> int -> unit
+  val cell_value : cell -> int
+  (** Sum over all domain slots. *)
 
   val incr : t -> string -> unit
   val add : t -> string -> int -> unit

@@ -49,7 +49,8 @@ let ev_lockless_retry = 20
 let ev_dlht_sigless_scan = 21
 let ev_prefix_resume = 22
 let ev_prefix_negfail = 23
-let n_events = 24
+let ev_stripe_contended = 24
+let n_events = 25
 
 let event_names =
   [|
@@ -77,6 +78,7 @@ let event_names =
     "dlht_sigless_scan";
     "prefix_resume";
     "prefix_negfail";
+    "stripe_contended";
   |]
 
 let event_name ev = if ev >= 0 && ev < n_events then event_names.(ev) else "unknown"
@@ -91,7 +93,13 @@ let ts_buf = ref (Array.make default_capacity 0)
 let ev_buf = ref (Array.make default_capacity 0)
 let arg_buf = ref (Array.make default_capacity 0)
 let mask = ref (default_capacity - 1)
-let seq = ref 0
+
+(* The ring cursor is atomic: sharded writers stamp from many domains at
+   once, and a fetch-and-add hands each stamp its own slot so concurrent
+   stamps never collapse into one.  The slot stores themselves stay plain —
+   two stamps racing a full ring apart could tear a slot, which trace
+   consumers already tolerate (the ring is diagnostic, not a statistic). *)
+let seq = Atomic.make 0
 
 let capacity () = Array.length !ev_buf
 
@@ -102,25 +110,24 @@ let configure ~capacity =
   ev_buf := Array.make capacity 0;
   arg_buf := Array.make capacity 0;
   mask := capacity - 1;
-  seq := 0
+  Atomic.set seq 0
 
 let[@inline] stamp ev arg =
   if !armed then begin
-    let s = !seq in
+    let s = Atomic.fetch_and_add seq 1 in
     let i = s land !mask in
     (!ts_buf).(i) <- (if !real_clock then Clock.monotonic_ns () else s);
     (!ev_buf).(i) <- ev;
-    (!arg_buf).(i) <- arg;
-    seq := s + 1
+    (!arg_buf).(i) <- arg
   end
 
-let recorded () = !seq
-let dropped () = Stdlib.max 0 (!seq - capacity ())
+let recorded () = Atomic.get seq
+let dropped () = Stdlib.max 0 (Atomic.get seq - capacity ())
 
 (* Oldest-first over whatever the ring still holds; [f seq ts ev arg]. *)
 let iter_events f =
   let cap = capacity () in
-  let total = !seq in
+  let total = Atomic.get seq in
   let count = Stdlib.min total cap in
   let start = total - count in
   for k = 0 to count - 1 do
@@ -150,16 +157,19 @@ let cause_names =
     "seqcount_retry_resize";
   |]
 
-let causes = Array.make n_causes 0
+(* Atomic: cause bumps come from miss/invalidation paths that run
+   concurrently on sharded writer domains. *)
+let causes = Array.init n_causes (fun _ -> Atomic.make 0)
 
-let[@inline] bump_cause c = causes.(c) <- causes.(c) + 1
-let cause_count c = causes.(c)
+let[@inline] bump_cause c = Atomic.incr causes.(c)
+let cause_count c = Atomic.get causes.(c)
 let cause_name c = cause_names.(c)
 
 let causes_to_string () =
   let buf = Buffer.create 128 in
   for c = 0 to n_causes - 1 do
-    Buffer.add_string buf (Printf.sprintf "%s %d\n" cause_names.(c) causes.(c))
+    Buffer.add_string buf
+      (Printf.sprintf "%s %d\n" cause_names.(c) (Atomic.get causes.(c)))
   done;
   Buffer.contents buf
 
@@ -206,8 +216,8 @@ let disarm () =
   timing := false
 
 let reset () =
-  seq := 0;
-  Array.fill causes 0 n_causes 0;
+  Atomic.set seq 0;
+  Array.iter (fun c -> Atomic.set c 0) causes;
   Array.iter Stats.Lhist.reset lat;
   Stats.Lhist.reset resume_depth
 

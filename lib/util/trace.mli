@@ -121,6 +121,10 @@ val ev_prefix_negfail : int
     the next component — with no write lock and no walk; arg = depth of
     the deciding ancestor. *)
 
+val ev_stripe_contended : int
+(** A sharded mutation found its stripe mutex already held and had to
+    block; arg = stripe index.  Stamped by {!Locktab.lock}. *)
+
 val n_events : int
 val event_name : int -> string
 

@@ -41,6 +41,10 @@ type t = {
   dcache_buckets : int;  (** primary hash table buckets (Linux default 262144) *)
   max_dentries : int;  (** dcache capacity before LRU eviction *)
   hash_seed : int;  (** boot-time signature key seed *)
+  dcache_stripes : int;
+      (** stripes in the sharded mutation path's lock table (power of two);
+          0 funnels every mutation through the single global write lock
+          (the pre-sharding behaviour, kept as the scaling baseline) *)
 }
 
 let baseline =
@@ -61,6 +65,7 @@ let baseline =
     dcache_buckets = 1 lsl 18;
     max_dentries = 1 lsl 20;
     hash_seed = 0x5eed;
+    dcache_stripes = 0;
   }
 
 let optimized =
@@ -72,4 +77,5 @@ let optimized =
     dir_completeness = true;
     aggressive_negative = true;
     deep_negative = true;
+    dcache_stripes = 128;
   }

@@ -3,6 +3,7 @@ open Types
 module Dlist = Dcache_util.Dlist
 module Rwlock = Dcache_util.Rwlock
 module Seqcount = Dcache_util.Seqcount
+module Locktab = Dcache_util.Locktab
 module Counter = Dcache_util.Stats.Counter
 module Trace = Dcache_util.Trace
 module Fs_intf = Dcache_fs.Fs_intf
@@ -11,19 +12,38 @@ type hooks = { mutable on_shootdown : dentry -> unit }
 
 type t = {
   config : Config.t;
-  buckets : dentry list array;
-  mutable count : int;
+  buckets : dentry list Atomic.t array;
+      (** primary hash table.  Each bucket holds an immutable list updated
+          by CAS, so two sharded writers whose parents collide on a bucket
+          never lose each other's splice, and lockless readers scan a
+          consistent snapshot of the chain. *)
+  count : int Atomic.t;
   clock : dentry Dlist.t;  (** reclaim list; front = recently inserted *)
-  mutable tick : int;
+  lru_mu : Mutex.t;
+      (** serializes reclaim-list splices reachable from sharded mutation
+          sections ([alloc_child]/[detach]); the clock is one global
+          intrusive list, so stripe locks cannot protect it.  Bulk clock
+          work (eviction, purge, scrub) runs only under the exclusive
+          write lock and needs no extra serialization. *)
+  tick : int Atomic.t;
   lock : Rwlock.t;
   rename_lock : Seqcount.t;
   write_seq : Seqcount.t;
       (** dcache-wide write sequence for the lockless fastpath (§3.2):
-          every write section ([with_write]) bumps it, so an optimistic
-          reader that snapshots it even and revalidates it unchanged has
-          provably raced no mutation — DLHT splices and resize migration
-          included, since all of them run under the write lock. *)
-  mutable invalidation : int;
+          every exclusive write section ([with_write]) bumps it, so an
+          optimistic reader that snapshots it even and revalidates it
+          unchanged has provably raced no exclusive mutation — DLHT resize
+          migration included.  Sharded mutations do NOT bump it: they bump
+          the stripe seqcounts the reader records per probed dentry
+          instead (the per-entry half of the validation protocol). *)
+  invalidation : int Atomic.t;
+  stripes : Locktab.t option;
+      (** the sharded mutation path's lock table, keyed by parent-directory
+          identity: stripe [parent.d_id land mask] serializes all mutation
+          of that directory's children (their state/name/seq, the parent's
+          child list, its DIR_COMPLETE flag and dir generation).  [None]
+          when [dcache_stripes = 0] or the fastpath is off — every
+          mutation then funnels through [with_write] as before. *)
   hooks : hooks;
   counters : Counter.t;
 }
@@ -39,14 +59,25 @@ let next_seq = Atomic.make 1
 let create config =
   {
     config;
-    buckets = Array.make config.Config.dcache_buckets [];
-    count = 0;
+    buckets = Array.init config.Config.dcache_buckets (fun _ -> Atomic.make []);
+    count = Atomic.make 0;
     clock = Dlist.create ();
-    tick = 0;
+    lru_mu = Mutex.create ();
+    tick = Atomic.make 0;
     lock = Rwlock.create ();
     rename_lock = Seqcount.create ();
     write_seq = Seqcount.create ();
-    invalidation = 0;
+    invalidation = Atomic.make 0;
+    stripes =
+      (* Lexical dot-dot keeps the list-based probe, which runs under the
+         read lock with no stripe validation — sharding would let writers
+         race it, so only the (default) Linux mode gets stripes. *)
+      (if
+         config.Config.fastpath
+         && config.Config.dcache_stripes > 0
+         && config.Config.dotdot = Config.Dotdot_linux
+       then Some (Locktab.create config.Config.dcache_stripes)
+       else None);
     hooks = { on_shootdown = (fun _ -> ()) };
     counters = Counter.create ();
   }
@@ -57,11 +88,15 @@ let counters t = t.counters
 let lock t = t.lock
 let rename_lock t = t.rename_lock
 let write_seq t = t.write_seq
+let stripes t = t.stripes
+let sharded t = t.stripes <> None
 let with_read t f = Rwlock.with_read t.lock f
 
 (* The write sequence is bumped strictly inside the write lock, so it is
    never incremented concurrently and readers see it odd exactly while a
-   write section is open. *)
+   write section is open.  Sharded mutation sections hold the lock's READ
+   side: they exclude [with_write] (and are excluded by it) but run
+   concurrently with each other, serialized per-stripe. *)
 let with_write t f =
   Rwlock.write_lock t.lock;
   Seqcount.write_begin t.write_seq;
@@ -74,8 +109,8 @@ let with_write t f =
     Seqcount.write_end t.write_seq;
     Rwlock.write_unlock t.lock;
     raise e
-let invalidation_counter t = t.invalidation
-let dentry_count t = t.count
+let invalidation_counter t = Atomic.get t.invalidation
+let dentry_count t = Atomic.get t.count
 
 (* Occupancy histogram of the primary hash table (paper §6.5): index i =
    buckets holding i entries; the last slot aggregates longer chains. *)
@@ -83,16 +118,12 @@ let bucket_occupancy t =
   let hist = Array.make 5 0 in
   Array.iter
     (fun bucket ->
-      let len = min (List.length bucket) (Array.length hist - 1) in
+      let len = min (List.length (Atomic.get bucket)) (Array.length hist - 1) in
       hist.(len) <- hist.(len) + 1)
     t.buckets;
   hist
 
-let new_tick t =
-  (* Racy increment: ticks only feed the reclaim heuristic. *)
-  let tick = t.tick + 1 in
-  t.tick <- tick;
-  tick
+let new_tick t = Atomic.fetch_and_add t.tick 1 + 1
 
 (* FNV-1a over the name, mixed with the parent identity — the same shape as
    Linux's (parent pointer, name) hash (§2.2, Fig. 4). *)
@@ -105,19 +136,34 @@ let name_hash parent_id name =
 
 let bucket_index t parent_id name = name_hash parent_id name land (Array.length t.buckets - 1)
 
-(* --- inode cache --- *)
+(* --- inode cache ---
+
+   The icache Hashtbl is touched from sharded mutation sections (a created
+   file's iget, an unlinked file's iforget) on different stripes at once, so
+   a leaf mutex serializes it.  Module-level because superblocks don't carry
+   one; the critical section is a single table operation. *)
+
+let icache_mu = Mutex.create ()
 
 let iget sb (attr : Attr.t) =
-  match Hashtbl.find_opt sb.sb_icache attr.ino with
-  | Some inode -> inode
-  | None ->
-    let inode = Inode.make ~fs:sb.sb_fs attr in
-    Hashtbl.add sb.sb_icache attr.ino inode;
-    inode
+  Mutex.lock icache_mu;
+  let inode =
+    match Hashtbl.find_opt sb.sb_icache attr.ino with
+    | Some inode -> inode
+    | None ->
+      let inode = Inode.make ~fs:sb.sb_fs attr in
+      Hashtbl.add sb.sb_icache attr.ino inode;
+      inode
+  in
+  Mutex.unlock icache_mu;
+  inode
 
 (* Forget a dead inode so a recycled inode number cannot resurrect stale
    attributes (the iput-side eviction of Linux's inode cache). *)
-let iforget sb ino = Hashtbl.remove sb.sb_icache ino
+let iforget sb ino =
+  Mutex.lock icache_mu;
+  Hashtbl.remove sb.sb_icache ino;
+  Mutex.unlock icache_mu
 
 let make_superblock fs =
   match fs.Fs_intf.getattr fs.Fs_intf.root_ino with
@@ -176,9 +222,9 @@ let lookup t parent name =
       then Some d
       else scan rest
   in
-  match scan t.buckets.(idx) with
+  match scan (Atomic.get t.buckets.(idx)) with
   | Some d ->
-    d.d_last_used <- t.tick;
+    d.d_last_used <- Atomic.get t.tick;
     Counter.incr t.counters "dcache_hit";
     Some d
   | None -> None
@@ -216,18 +262,32 @@ let rec child_scan parent path pos len = function
 
 let contains_child t parent path ~pos ~len =
   let idx = name_hash_sub parent.d_id path ~pos ~len land (Array.length t.buckets - 1) in
-  child_scan parent path pos len t.buckets.(idx)
+  child_scan parent path pos len (Atomic.get t.buckets.(idx))
+
+(* Bucket splices are CAS loops over the immutable chain: two sharded
+   writers whose (distinct, separately-striped) parents collide on a
+   bucket retry instead of losing each other's update.  Within one stripe
+   splices are already serialized, so the loop terminates after at most a
+   handful of cross-stripe collisions. *)
+let rec bucket_cons slot d =
+  let cur = Atomic.get slot in
+  if not (Atomic.compare_and_set slot cur (d :: cur)) then bucket_cons slot d
+
+let rec bucket_excise slot d =
+  let cur = Atomic.get slot in
+  let next = List.filter (fun other -> not (other == d)) cur in
+  if not (Atomic.compare_and_set slot cur next) then bucket_excise slot d
 
 let hash_insert t d =
   let parent_id = match d.d_parent with Some p -> p.d_id | None -> 0 in
   let idx = bucket_index t parent_id d.d_name in
-  t.buckets.(idx) <- d :: t.buckets.(idx);
+  bucket_cons t.buckets.(idx) d;
   d.d_hashed <- true
 
 let hash_remove t d =
   let parent_id = match d.d_parent with Some p -> p.d_id | None -> 0 in
   let idx = bucket_index t parent_id d.d_name in
-  t.buckets.(idx) <- List.filter (fun other -> not (other == d)) t.buckets.(idx);
+  bucket_excise t.buckets.(idx) d;
   d.d_hashed <- false
 
 let iter_children d f = List.iter f (Dlist.to_list d.d_children)
@@ -242,6 +302,18 @@ let iter_children d f = List.iter f (Dlist.to_list d.d_children)
 (* [reclaim] distinguishes space reclamation (which breaks the parent's
    DIR_COMPLETE invariant) from coherent removal tracking an fs mutation,
    which preserves completeness (§5.1). *)
+let clock_remove t d =
+  Mutex.lock t.lru_mu;
+  (match d.d_lru with Some node -> Dlist.remove t.clock node | None -> ());
+  d.d_lru <- None;
+  Mutex.unlock t.lru_mu
+
+let clock_push_front t d node =
+  Mutex.lock t.lru_mu;
+  Dlist.push_front t.clock node;
+  d.d_lru <- Some node;
+  Mutex.unlock t.lru_mu
+
 let detach ?(reclaim = true) t d =
   hash_remove t d;
   (match (d.d_parent, d.d_sibling) with
@@ -253,18 +325,20 @@ let detach ?(reclaim = true) t d =
     end
   | _ -> ());
   d.d_sibling <- None;
-  (match d.d_lru with Some node -> Dlist.remove t.clock node | None -> ());
-  d.d_lru <- None;
+  clock_remove t d;
   t.hooks.on_shootdown d;
   d.d_sig <- None;
   d.d_hstate <- None;
   d.d_alias <- None;
   d.d_target_sig <- None;
-  t.count <- t.count - 1
+  ignore (Atomic.fetch_and_add t.count (-1))
 
 let evictable d =
   Atomic.get d.d_refcount = 0 && Dlist.is_empty d.d_children && d.d_parent <> None
 
+(* Eviction and purge run only under the exclusive write lock (never from
+   a sharded section), so their clock traversal needs no [lru_mu] — the
+   [detach] they call still takes it, uncontended. *)
 let evict_some t want =
   let evicted = ref 0 in
   (* Enough attempts that every entry can consume its second chance and
@@ -281,7 +355,8 @@ let evict_some t want =
         Dlist.push_front t.clock node;
         d.d_lru <- Some node
       end
-      else if d.d_last_used > t.tick - (t.config.Config.max_dentries / 4) then begin
+      else if d.d_last_used > Atomic.get t.tick - (t.config.Config.max_dentries / 4)
+      then begin
         (* Second chance for recently used entries. *)
         d.d_last_used <- d.d_last_used - (t.config.Config.max_dentries / 2);
         Dlist.push_front t.clock node;
@@ -321,8 +396,18 @@ let purge t =
   sweep ()
 
 let maybe_reclaim t =
-  if t.count > t.config.Config.max_dentries then
-    ignore (evict_some t (t.count - t.config.Config.max_dentries))
+  let count = Atomic.get t.count in
+  if count > t.config.Config.max_dentries then
+    ignore (evict_some t (count - t.config.Config.max_dentries))
+
+(* Capacity enforcement for the sharded path.  A sharded section cannot
+   evict (the clock walk touches dentries on arbitrary stripes), so
+   [alloc_child] defers reclaim there; callers invoke this after dropping
+   all their locks, and it upgrades to the exclusive write lock only when
+   the cache actually overflowed. *)
+let reclaim_overflow t =
+  if Atomic.get t.count > t.config.Config.max_dentries then
+    with_write t (fun () -> maybe_reclaim t)
 
 (* --- allocation --- *)
 
@@ -339,7 +424,7 @@ let alloc_child t parent name state =
       d_lru = None;
       d_refcount = Atomic.make 0;
       d_hashed = false;
-      d_last_used = t.tick;
+      d_last_used = Atomic.get t.tick;
       d_complete = false;
       d_dir_gen = 0;
       d_seq = Atomic.fetch_and_add next_seq 1;
@@ -356,12 +441,12 @@ let alloc_child t parent name state =
   let sibling = Dlist.node d in
   Dlist.push_back parent.d_children sibling;
   d.d_sibling <- Some sibling;
-  let lru = Dlist.node d in
-  Dlist.push_front t.clock lru;
-  d.d_lru <- Some lru;
+  clock_push_front t d (Dlist.node d);
   hash_insert t d;
-  t.count <- t.count + 1;
-  maybe_reclaim t;
+  ignore (Atomic.fetch_and_add t.count 1);
+  (* Inline reclaim needs the exclusive lock; a sharded section (read side
+     held) defers it to the caller's post-section [reclaim_overflow]. *)
+  if t.stripes = None || Rwlock.write_held t.lock then maybe_reclaim t;
   d
 
 let add_child t parent name state =
@@ -427,7 +512,7 @@ let invalidate_permissions t dir =
             incr visited;
             bump_seq d;
             Trace.bump_cause Trace.cause_inval_chmod));
-    t.invalidation <- t.invalidation + 1;
+    Atomic.incr t.invalidation;
     Trace.stamp Trace.ev_inval_chmod !visited;
     Counter.add t.counters "invalidate_permission_dentries" !visited;
     !visited
@@ -448,7 +533,7 @@ let invalidate_structure t dentry =
         incr visited;
         shootdown t d;
         Trace.bump_cause Trace.cause_inval_rename);
-    t.invalidation <- t.invalidation + 1;
+    Atomic.incr t.invalidation;
     Trace.stamp Trace.ev_inval_rename !visited;
     Counter.add t.counters "invalidate_structure_dentries" !visited;
     !visited
@@ -545,12 +630,15 @@ let self_check t =
       | Some real when real == d -> problem "dentry %d aliases itself" d.d_id
       | _ -> ()))
     t.clock;
-  if !seen <> t.count then
-    problem "reclaim list holds %d dentries but count is %d" !seen t.count;
-  let in_buckets = Array.fold_left (fun acc bucket -> acc + List.length bucket) 0 t.buckets in
+  let count = Atomic.get t.count in
+  if !seen <> count then
+    problem "reclaim list holds %d dentries but count is %d" !seen count;
+  let in_buckets =
+    Array.fold_left (fun acc bucket -> acc + List.length (Atomic.get bucket)) 0 t.buckets
+  in
   (* roots are unhashed and not counted; every counted dentry is hashed *)
-  if in_buckets <> t.count then
-    problem "hash table holds %d entries but count is %d" in_buckets t.count;
+  if in_buckets <> count then
+    problem "hash table holds %d entries but count is %d" in_buckets count;
   List.rev !problems
 
 (* --- scrub ---

@@ -30,6 +30,19 @@ val counters : t -> Dcache_util.Stats.Counter.t
 val lock : t -> Dcache_util.Rwlock.t
 val rename_lock : t -> Dcache_util.Seqcount.t
 
+val stripes : t -> Dcache_util.Locktab.t option
+(** The sharded mutation path's lock table ([dcache_stripes > 0] and
+    fastpath on), keyed by parent-directory identity: stripe
+    [Locktab.index tab parent.d_id] serializes every mutation of that
+    directory's children — their state/name/seq transitions, the parent's
+    child list, DIR_COMPLETE flag and dir generation.  Lockless readers
+    record the stripe seqcounts their probe depends on and revalidate them
+    at commit time.  Sharded sections hold the {!lock} read side, so
+    {!with_write} still excludes them wholesale. *)
+
+val sharded : t -> bool
+(** [stripes t <> None]. *)
+
 val write_seq : t -> Dcache_util.Seqcount.t
 (** Dcache-wide write sequence: bumped around every {!with_write} section
     (all mutation — dcache structure, DLHT splices, incremental resize —
@@ -146,6 +159,12 @@ val purge : t -> unit
 val evict_some : t -> int -> int
 (** [evict_some t n] tries to reclaim up to [n] dentries; returns the number
     evicted.  Also invoked automatically when over capacity. *)
+
+val reclaim_overflow : t -> unit
+(** Deferred capacity enforcement for the sharded mutation path: sharded
+    sections cannot evict (the clock walk crosses stripes), so callers
+    invoke this {e after} dropping every lock; it takes {!with_write} only
+    when the cache actually overflowed. *)
 
 val iter_children : dentry -> (dentry -> unit) -> unit
 (** Snapshot iteration over cached children. *)

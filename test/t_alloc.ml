@@ -202,12 +202,13 @@ let test_prefix_resume_scratch_reuse () =
     true (per_op < 3000.0)
 
 let test_prefix_negfail_zero_alloc () =
-  (* A DIR_COMPLETE fast-fail populates no negative dentry, so a repeatedly
-     probed absent name takes the verdict path on *every* lookup — it must
-     obey the same zero-allocation discipline as a warm hit (top-level scan
-     recursion, constant verdict exception, in-place substring child
-     probe). *)
-  let kernel, p = ram_kernel ~config:Config.optimized () in
+  (* With deep negatives off, a DIR_COMPLETE fast-fail populates no
+     negative dentry, so a repeatedly probed absent name takes the verdict
+     path on *every* lookup — it must obey the same zero-allocation
+     discipline as a warm hit (top-level scan recursion, constant verdict
+     exception, in-place substring child probe). *)
+  let config = { Config.optimized with Config.deep_negative = false } in
+  let kernel, p = ram_kernel ~config () in
   get "tree" (S.mkdir_p p "/a/b/c");
   get "file" (S.write_file p "/a/b/c/target" "payload");
   ignore (get "readdir" (S.readdir_path p "/a/b/c"));
@@ -227,6 +228,37 @@ let test_prefix_negfail_zero_alloc () =
   Alcotest.(check (float 0.0)) "zero minor-heap words over prefix fast-fails" 0.0 words;
   Alcotest.(check (pair int int)) "zero rwlock acquisitions over prefix fast-fails" (0, 0)
     locks
+
+let test_negfail_promotion_zero_alloc () =
+  (* With deep negatives on (the optimized default), the first
+     DIR_COMPLETE fast-fail *promotes*: the absent name is published as a
+     signed negative dentry, so every later probe is a warm negative hit —
+     still zero words, zero locks, but no prefix scan at all. *)
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "tree" (S.mkdir_p p "/a/b/c");
+  get "file" (S.write_file p "/a/b/c/target" "payload");
+  ignore (get "readdir" (S.readdir_path p "/a/b/c"));
+  let fp = Kernel.fastpath kernel in
+  let ctx = Proc.walk_ctx p in
+  probe_enoent fp ctx "/a/b/c/ghost";
+  Alcotest.(check bool) "first fast-fail promoted a negative dentry" true
+    (counter kernel "fastpath_negfail_promoted" >= 1);
+  probe_enoent fp ctx "/a/b/c/ghost";
+  let neg0 = counter kernel "fastpath_negative_hit" in
+  let negfail0 = counter kernel "fastpath_prefix_negfail" in
+  let iters = 10_000 in
+  Rwlock.reset_acquisition_counts ();
+  let words =
+    measure_minor_words iters (fun () -> probe_enoent fp ctx "/a/b/c/ghost")
+  in
+  let locks = Rwlock.acquisition_counts () in
+  Alcotest.(check int) "every probe was a warm negative hit" (iters + 2)
+    (counter kernel "fastpath_negative_hit" - neg0);
+  Alcotest.(check int) "no further prefix fast-fails" 0
+    (counter kernel "fastpath_prefix_negfail" - negfail0);
+  Alcotest.(check (float 0.0)) "zero minor-heap words over promoted negatives" 0.0 words;
+  Alcotest.(check (pair int int)) "zero rwlock acquisitions over promoted negatives"
+    (0, 0) locks
 
 (* --- in-place hasher vs. the pure split-based hasher --- *)
 
@@ -545,6 +577,8 @@ let suite =
       test_prefix_resume_scratch_reuse;
     Alcotest.test_case "prefix negative fast-fail allocates zero minor words" `Quick
       test_prefix_negfail_zero_alloc;
+    Alcotest.test_case "promoted deep negative stays zero-alloc warm" `Quick
+      test_negfail_promotion_zero_alloc;
     Alcotest.test_case "in-place hasher matches split+feed_string" `Quick
       test_inplace_hasher_equivalence;
     Alcotest.test_case "in-place hasher resumes from cached state" `Quick

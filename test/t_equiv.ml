@@ -350,6 +350,34 @@ let revocation_test =
             Alcotest.failf "expected EACCES, got %s" (Errno.to_string e)))
         [ Config.baseline; Config.optimized ])
 
+(* Deep-negative promotion (§5.2): once a DIR_COMPLETE fast-fail verdict is
+   promoted to a real negative dentry, repeated probes of the same absent
+   name are plain fastpath negative hits — and the application-visible
+   behaviour stays exactly the baseline's ENOENT, including after the name
+   is finally created. *)
+let negfail_promotion_test =
+  Alcotest.test_case "complete-dir fast-fail promotes to a negative dentry" `Quick
+    (fun () ->
+      let ops =
+        [ Mkdir "/pd"; Create ("/pd/real", "x"); Readdir "/pd" ]
+        @ List.concat_map
+            (fun _ -> [ Stat "/pd/ghost"; Read "/pd/ghost"; Access "/pd/ghost" ])
+            (List.init 6 (fun i -> i))
+        @ [ Create ("/pd/ghost", "now"); Stat "/pd/ghost"; Read "/pd/ghost" ]
+      in
+      let base, _ = run_trace_counting Config.baseline ops in
+      let opt, kernel = run_trace_counting Config.optimized ops in
+      List.iteri
+        (fun i (a, b) ->
+          if a <> b then
+            Alcotest.failf "op %d (%s):\n  baseline: %s\n  optimized: %s" i
+              (pp_op (List.nth ops i)) a b)
+        (List.combine base opt);
+      Alcotest.(check bool) "fast-fail verdict was promoted" true
+        (counter kernel "fastpath_negfail_promoted" > 0);
+      Alcotest.(check bool) "later probes were warm negative hits" true
+        (counter kernel "fastpath_negative_hit" > 0))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest (equivalence_test "optimized" Config.optimized);
@@ -371,6 +399,7 @@ let suite =
     prefix_resume_churn_test 1337;
     prefix_resume_churn_test 9001;
     revocation_test;
+    negfail_promotion_test;
     QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [baseline]" Config.baseline);
     QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [optimized]" Config.optimized);
     QCheck_alcotest.to_alcotest

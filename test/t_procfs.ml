@@ -457,6 +457,87 @@ let test_chrome_dump_is_valid_json () =
       Alcotest.(check bool) "contains stamped events" true
         (contains_substring js "\"name\":\"fastpath_hit\""))
 
+(* --- sharded mutation path observability (§3.6) ---
+
+   Drive churn that stays on the sharded path (create over a cached
+   negative, rename to a vacated name, unlink), then read the lock table
+   back through /proc/dcache/stripes and cross-check it against the
+   Locktab directly.  /proc reads never take stripes (lookups are
+   lockless, populate runs write-locked), so the figures are exact. *)
+
+let test_stripes_surface () =
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "mkdir /proc" (S.mkdir_p p "/proc");
+  get "mount proc" (S.mount_fs p (Kernel_procfs.make kernel) "/proc");
+  get "tree" (S.mkdir_p p "/sh");
+  let f i = Printf.sprintf "/sh/f%d" i in
+  let g i = Printf.sprintf "/sh/g%d" i in
+  for i = 0 to 19 do
+    get "seed" (S.write_file p (f i) "x")
+  done;
+  for i = 0 to 19 do
+    get "vacate" (S.unlink p (f i))
+  done;
+  for i = 0 to 19 do
+    get "sharded create" (S.write_file p (f i) "x")
+  done;
+  for i = 0 to 19 do
+    get "sharded rename" (S.rename p (f i) (g i))
+  done;
+  for i = 0 to 19 do
+    get "sharded unlink" (S.unlink p (g i))
+  done;
+  let body = read p "/proc/dcache/stripes" in
+  let kv = kv_lines body in
+  Alcotest.(check int) "stripe count matches config" 128
+    (assoc_or_fail "stripes" "stripes" kv);
+  let acquired = assoc_or_fail "stripes" "acquired" kv in
+  let contended = assoc_or_fail "stripes" "contended" kv in
+  Alcotest.(check bool) "the churn acquired stripes" true (acquired > 0);
+  let per_stripe =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "stripe"; i; a; c ] ->
+          Some (int_of_string i, int_of_string a, int_of_string c)
+        | _ -> None)
+      (lines body)
+  in
+  Alcotest.(check int) "one line per stripe" 128 (List.length per_stripe);
+  let sum_a = List.fold_left (fun s (_, a, _) -> s + a) 0 per_stripe in
+  let sum_c = List.fold_left (fun s (_, _, c) -> s + c) 0 per_stripe in
+  Alcotest.(check int) "per-stripe acquisitions sum to the header" acquired sum_a;
+  Alcotest.(check int) "per-stripe contentions sum to the header" contended sum_c;
+  (match Dcache_vfs.Dcache.stripes (Kernel.dcache kernel) with
+  | None -> Alcotest.fail "sharded config lost its lock table"
+  | Some tab ->
+    let a_now, c_now = Dcache_util.Locktab.totals tab in
+    Alcotest.(check int) "acquisitions agree with the table" a_now acquired;
+    Alcotest.(check int) "contentions agree with the table" c_now contended);
+  (* The sharded syscall counters surface in stats too. *)
+  let stats = kv_lines (read p "/proc/dcache/stats") in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " surfaced") true (assoc_or_fail "stats" k stats > 0))
+    [ "sharded_create"; "sharded_rename"; "sharded_unlink" ];
+  Alcotest.(check bool) "config reports the stripe count" true
+    (contains_substring (read p "/proc/dcache/config") "dcache_stripes 128");
+  Alcotest.(check bool) "stripe contention trace event registered" true
+    (List.mem "stripe_contended" (List.init Trace.n_events Trace.event_name));
+  (* The unsharded fallback renders an honest placeholder. *)
+  let _kernel0, p0 =
+    ram_kernel ~config:{ Config.optimized with Config.dcache_stripes = 0 } ()
+  in
+  get "mkdir /proc" (S.mkdir_p p0 "/proc");
+  (match Dcache_vfs.Dcache.stripes (Kernel.dcache _kernel0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "dcache_stripes=0 built a lock table");
+  get "mount proc" (S.mount_fs p0 (Kernel_procfs.make _kernel0) "/proc");
+  Alcotest.(check string) "stripes file says 0" "stripes 0\n"
+    (read p0 "/proc/dcache/stripes");
+  Alcotest.(check bool) "config reports stripes off" true
+    (contains_substring (read p0 "/proc/dcache/config") "dcache_stripes 0")
+
 let test_procfs_without_attachments () =
   (* The optional subsystems default off; the files still exist and say so
      (and old Kernel_procfs.make callers keep working). *)
@@ -484,4 +565,5 @@ let suite =
       test_chrome_dump_is_valid_json;
     Alcotest.test_case "procfs without faults/netfs attachments" `Quick
       test_procfs_without_attachments;
+    Alcotest.test_case "stripe lock table via /proc" `Quick test_stripes_surface;
   ]
