@@ -1376,10 +1376,12 @@ let scale_bench () =
       | _ -> 1.0
     in
     Printf.sprintf
-      "{\n  \"experiment\": \"scale\",\n  \"mode\": \"%s\",\n  \"initial_buckets\": 256,\n\
+      "{\n  \"experiment\": \"scale\",\n  \"mode\": \"%s\",\n  \"host_cores\": %d,\n\
+      \  \"initial_buckets\": 256,\n\
       \  \"grow_load\": %d,\n  \"samples_per_size\": %d,\n  \"sizes\": [\n%s\n  ],\n\
       \  \"ns_ratio_largest_over_smallest\": %.3f\n}\n"
       (if !quick then "quick" else "full")
+      (Domain.recommended_domain_count ())
       Config.optimized.Config.dlht_grow_load samples
       (String.concat ",\n" entries)
       ratio
@@ -1544,9 +1546,11 @@ let deepmiss () =
         results
     in
     Printf.sprintf
-      "{\n  \"experiment\": \"deepmiss\",\n  \"mode\": \"%s\",\n  \"leaves\": %d,\n\
+      "{\n  \"experiment\": \"deepmiss\",\n  \"mode\": \"%s\",\n  \"host_cores\": %d,\n\
+      \  \"leaves\": %d,\n\
       \  \"depths\": [\n%s\n  ]\n}\n"
       (if !quick then "quick" else "full")
+      (Domain.recommended_domain_count ())
       leaves
       (String.concat ",\n" entries)
   in
@@ -1723,6 +1727,298 @@ let churn () =
   row "wrote BENCH_churn.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Coherence: N stateful clients under a churn writer — leases (§3.7)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Three phases.  (1) Warm live-lease hits on stable files: the lease gate
+   sits on the lockless commit path, so ns/op and words/op must be within
+   noise of the local-fs scale bench — and the RPC count stays zero.
+   (2) A churn-mix window: a writer client rewrites/replaces files while
+   readers stat a hot/churn mix; p50 absorbs the live-lease hits, p99 the
+   lease fallbacks, break-driven evictions and revalidation round trips.
+   (3) A fault-storm staleness audit at a short ttl: drops, partitions and
+   crash/restarts, every successful reader stat checked against the
+   backing store's ground truth — zero positives older than ttl + skew. *)
+
+let coherence () =
+  header
+    "Coherence - stateful clients under a churn writer (leases, §3.7).\n\
+     Live-lease warm hits must stay lockless/allocation-free; the\n\
+     staleness audit must find zero positives older than ttl + skew.";
+  let module Netfs = Dcache_fs.Netfs in
+  let module Fault = Dcache_util.Fault in
+  let module Vclock = Dcache_util.Vclock in
+  let module Attr = Dcache_types.Attr in
+  let kcounter kernel key =
+    try List.assoc key (Kernel.stats_snapshot kernel) with Not_found -> 0
+  in
+  let cores = Domain.recommended_domain_count () in
+  let n_clients = 4 in
+  let churn_files = 32 in
+  let warm_iters = if !quick then 20_000 else 100_000 in
+  let warm_samples_n = if !quick then 20_000 else 50_000 in
+  let churn_rounds = if !quick then 300 else 1_500 in
+  row "host cores: %d, clients: %d\n" cores n_clients;
+
+  (* --- fault-free server with the canonical lease figures --- *)
+  let clock = Vclock.create () in
+  let backing = Dcache_fs.Ramfs.create () in
+  let server = Netfs.server ~rpc_latency_ns:120_000 ~clock backing in
+  let mk_client () =
+    let c, fs = Netfs.connect_fs server in
+    let kernel = Kernel.create ~config:Config.optimized ~root_fs:fs () in
+    (c, kernel, Proc.spawn kernel)
+  in
+  let readers = Array.init n_clients (fun _ -> mk_client ()) in
+  let _, _, wp = mk_client () in
+  ok "tree" (S.mkdir_p wp "/export/hot");
+  ok "tree" (S.mkdir_p wp "/export/churn");
+  let hot = Array.init 8 (fun i -> Printf.sprintf "/export/hot/s%d" i) in
+  Array.iter (fun f -> ok "hot file" (S.write_file wp f "S")) hot;
+  let churn_path i = Printf.sprintf "/export/churn/c%d" (i mod churn_files) in
+  for i = 0 to churn_files - 1 do
+    ok "churn file" (S.write_file wp (churn_path i) "v0")
+  done;
+  (* ino -> path map for precise per-client break deliveries, refreshed
+     from the backing store after each writer op. *)
+  let ino_path = Hashtbl.create 64 in
+  let churn_dir_ino =
+    let export =
+      ok "lookup export"
+        (backing.Dcache_fs.Fs_intf.lookup backing.Dcache_fs.Fs_intf.root_ino "export")
+    in
+    (ok "lookup churn" (backing.Dcache_fs.Fs_intf.lookup export.Attr.ino "churn")).Attr.ino
+  in
+  let refresh_ino_map () =
+    Hashtbl.reset ino_path;
+    for i = 0 to churn_files - 1 do
+      match backing.Dcache_fs.Fs_intf.lookup churn_dir_ino (Printf.sprintf "c%d" i) with
+      | Ok a -> Hashtbl.replace ino_path a.Attr.ino (churn_path i)
+      | Error _ -> ()
+    done
+  in
+  refresh_ino_map ();
+  Array.iter
+    (fun (c, _, p) ->
+      Netfs.set_invalidate c (fun ino ->
+          match Hashtbl.find_opt ino_path ino with
+          | Some path -> ignore (S.invalidate_path p path)
+          | None -> ());
+      Array.iter (fun f -> ignore (ok "warm hot" (S.stat p f))) hot;
+      for i = 0 to churn_files - 1 do
+        ignore (ok "warm churn" (S.stat p (churn_path i)))
+      done)
+    readers;
+
+  (* --- phase 1: warm live-lease hits --- *)
+  let _, k0, p0 = readers.(0) in
+  let fp = Kernel.fastpath k0 in
+  let ctx = Proc.walk_ctx p0 in
+  let i = ref 0 in
+  let probe () =
+    ignore
+      (Dcache_core.Fastpath.lookup_into fp ctx hot.(!i land 7) ~within:alloc_within);
+    incr i
+  in
+  probe ();
+  Netfs.reset_rpc_count server;
+  let warm_words = Stats.minor_words_per_op ~iters:warm_iters probe in
+  let warm_mean = latency_ns ~iters:warm_iters probe in
+  let samples = Array.make warm_samples_n 0.0 in
+  for s = 0 to warm_samples_n - 1 do
+    let t0 = Dcache_util.Clock.now_ns () in
+    probe ();
+    let t1 = Dcache_util.Clock.now_ns () in
+    samples.(s) <- Int64.to_float (Int64.sub t1 t0)
+  done;
+  let warm_p50 = Stats.percentile samples 50.0 in
+  let warm_p99 = Stats.percentile samples 99.0 in
+  let warm_rpcs = Netfs.rpc_count server in
+  (* Same-run control: the identical probe over a local ramfs (no lease
+     gate).  The gate's cost is the ratio against this, free of cross-run
+     machine noise. *)
+  let control_mean =
+    let kernel = Kernel.create ~config:Config.optimized ~root_fs:(Dcache_fs.Ramfs.create ()) () in
+    let p = Proc.spawn kernel in
+    ok "control tree" (S.mkdir_p p "/export/hot");
+    Array.iter (fun f -> ok "control file" (S.write_file p f "S")) hot;
+    Array.iter (fun f -> ignore (ok "control warm" (S.stat p f))) hot;
+    let fp = Kernel.fastpath kernel in
+    let ctx = Proc.walk_ctx p in
+    let j = ref 0 in
+    latency_ns ~iters:warm_iters (fun () ->
+        ignore
+          (Dcache_core.Fastpath.lookup_into fp ctx hot.(!j land 7) ~within:alloc_within);
+        incr j)
+  in
+  row
+    "warm live-lease hit: mean %.1f ns (local control %.1f ns), p50 %.0f ns, p99 %.0f \
+     ns, %.2f words/op, %d RPCs\n"
+    warm_mean control_mean warm_p50 warm_p99 warm_words warm_rpcs;
+  if warm_words > 0.0 then row "  WARNING: live-lease warm hit allocated\n";
+  if warm_rpcs > 0 then row "  WARNING: live-lease warm hit generated RPCs\n";
+
+  (* --- phase 2: churn mix --- *)
+  let fallbacks0 =
+    Array.fold_left (fun acc (_, k, _) -> acc + kcounter k "fastpath_lease_fallback") 0 readers
+  in
+  let cb0 =
+    Array.fold_left (fun acc (_, k, _) -> acc + kcounter k "sharded_cb_invalidate") 0 readers
+  in
+  let mix = Array.make (churn_rounds * n_clients * 2) 0.0 in
+  let mi = ref 0 in
+  let wseed = ref 12345 in
+  let wnext bound =
+    wseed := ((!wseed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !wseed mod bound
+  in
+  for round = 0 to churn_rounds - 1 do
+    (* the churn writer: rewrite in place, or replace (unlink + recreate) *)
+    let f = churn_path (wnext churn_files) in
+    (match wnext 3 with
+    | 0 -> ok "rewrite" (S.write_file wp f (String.make (1 + wnext 64) 'w'))
+    | 1 ->
+      ignore (S.unlink wp f);
+      ok "recreate" (S.write_file wp f "r")
+    | _ -> ok "touch" (S.write_file wp f "t"));
+    refresh_ino_map ();
+    Array.iter
+      (fun (_, _, p) ->
+        let time_stat path =
+          let t0 = Dcache_util.Clock.now_ns () in
+          ignore (S.stat p path);
+          let t1 = Dcache_util.Clock.now_ns () in
+          mix.(!mi) <- Int64.to_float (Int64.sub t1 t0);
+          incr mi
+        in
+        time_stat hot.(round land 7);
+        time_stat (churn_path (round + wnext churn_files)))
+      readers
+  done;
+  let mix_p50 = Stats.percentile mix 50.0 in
+  let mix_p99 = Stats.percentile mix 99.0 in
+  let fallbacks =
+    Array.fold_left (fun acc (_, k, _) -> acc + kcounter k "fastpath_lease_fallback") 0 readers
+    - fallbacks0
+  in
+  let cb_invalidates =
+    Array.fold_left (fun acc (_, k, _) -> acc + kcounter k "sharded_cb_invalidate") 0 readers
+    - cb0
+  in
+  let breaks =
+    List.fold_left
+      (fun acc c -> acc + (Netfs.lease_stats server c).Netfs.ls_breaks)
+      0 (Netfs.clients server)
+  in
+  row "churn mix (%d rounds x %d clients): p50 %.0f ns, p99 %.0f ns\n" churn_rounds
+    n_clients mix_p50 mix_p99;
+  row "  lease fallbacks %d, breaks delivered %d, sharded cb evictions %d\n" fallbacks
+    breaks cb_invalidates;
+
+  (* --- phase 3: fault-storm staleness audit (short ttl) --- *)
+  let ttl = 2_000_000 and skew = 200_000 in
+  let audit_steps = if !quick then 600 else 3_000 in
+  let aclock = Vclock.create () in
+  let abacking = Dcache_fs.Ramfs.create () in
+  let inj = Fault.create ~seed:1 () in
+  let aserver =
+    Netfs.server ~rpc_latency_ns:1000 ~faults:inj ~lease_ttl_ns:ttl
+      ~grace_ns:(ttl + skew) ~skew_ns:skew ~clock:aclock abacking
+  in
+  let _, rfs = Netfs.connect_fs aserver in
+  let rk = Kernel.create ~config:Config.optimized ~root_fs:rfs () in
+  let rp = Proc.spawn rk in
+  let _, wfs = Netfs.connect_fs aserver in
+  let wk = Kernel.create ~config:Config.optimized ~root_fs:wfs () in
+  let awp = Proc.spawn wk in
+  ok "audit tree" (S.mkdir_p awp "/export");
+  let apaths = Array.init 6 (fun i -> Printf.sprintf "/export/f%d" i) in
+  let adir =
+    (ok "audit dir"
+       (abacking.Dcache_fs.Fs_intf.lookup abacking.Dcache_fs.Fs_intf.root_ino "export"))
+      .Attr.ino
+  in
+  let truth = Array.map (fun _ -> (false, -1, -1)) apaths in
+  let t_change = Array.map (fun _ -> 0L) apaths in
+  let probe_truth () =
+    Array.iteri
+      (fun i _ ->
+        let now_state =
+          match abacking.Dcache_fs.Fs_intf.lookup adir (Printf.sprintf "f%d" i) with
+          | Ok a -> (true, a.Attr.ino, a.Attr.size)
+          | Error _ -> (false, -1, -1)
+        in
+        if now_state <> truth.(i) then begin
+          truth.(i) <- now_state;
+          t_change.(i) <- Vclock.elapsed_ns aclock
+        end)
+      apaths
+  in
+  probe_truth ();
+  Fault.arm (Fault.site inj "netfs.drop") (Fault.Probability 0.15);
+  Fault.arm (Fault.site inj "netfs.partition") (Fault.Probability 0.1);
+  let bound = Int64.of_int (ttl + skew) in
+  let audited = ref 0 and violations = ref 0 in
+  let aprng = Prng.create 99 in
+  for step = 1 to audit_steps do
+    if step mod 100 = 0 then Fault.arm (Fault.site inj "netfs.crash") (Fault.Nth 1);
+    let wi = Prng.int aprng (Array.length apaths) in
+    (match Prng.int aprng 4 with
+    | 0 -> ignore (S.write_file awp apaths.(wi) (String.make (1 + Prng.int aprng 32) 'w'))
+    | 1 -> ignore (S.unlink awp apaths.(wi))
+    | 2 -> ignore (S.write_file awp apaths.(wi) "fresh")
+    | _ -> ());
+    probe_truth ();
+    Vclock.charge aclock (Int64.of_int (Prng.int aprng 400_000));
+    let ri = Prng.int aprng (Array.length apaths) in
+    let t_before = Vclock.elapsed_ns aclock in
+    match S.stat rp apaths.(ri) with
+    | Ok attr ->
+      incr audited;
+      let present, tino, tsize = truth.(ri) in
+      let age = Int64.sub t_before t_change.(ri) in
+      if
+        Int64.compare age bound > 0
+        && ((not present) || tino <> attr.Attr.ino || tsize <> attr.Attr.size)
+      then incr violations
+    | Error _ -> ()
+  done;
+  let ast = Netfs.rpc_stats aserver in
+  row
+    "staleness audit: %d steps, %d positives audited, %d violations (bound %Ld ns)\n"
+    audit_steps !audited !violations bound;
+  row "  storm: %d crashes, %d partitions, %d drops, %d giveups\n" ast.Netfs.rs_crashes
+    ast.Netfs.rs_partitions ast.Netfs.rs_drops ast.Netfs.rs_giveups;
+  if !violations > 0 then row "  WARNING: staleness bound violated\n";
+
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"coherence\",\n  \"mode\": \"%s\",\n  \"host_cores\": %d,\n\
+      \  \"clients\": %d,\n  \"rpc_latency_ns\": 120000,\n  \"lease_ttl_ns\": %d,\n\
+      \  \"lease_skew_ns\": %d,\n  \"grace_ns\": %d,\n\
+      \  \"warm_live_lease\": {\"ns_mean\": %.2f, \"local_control_ns_mean\": %.2f, \
+       \"ns_p50\": %.1f, \"ns_p99\": %.1f, \"words_per_op\": %.3f, \"rpcs\": %d},\n\
+      \  \"churn_mix\": {\"rounds\": %d, \"ns_p50\": %.1f, \"ns_p99\": %.1f, \
+       \"lease_fallbacks\": %d, \"breaks_delivered\": %d, \"sharded_cb_invalidates\": %d},\n\
+      \  \"staleness_audit\": {\"seed\": 1, \"steps\": %d, \"audited_positives\": %d, \
+       \"violations\": %d, \"bound_ns\": %Ld, \"crashes\": %d, \"partitions\": %d, \
+       \"drops\": %d, \"giveups\": %d}\n}\n"
+      (if !quick then "quick" else "full")
+      cores n_clients
+      (Netfs.lease_ttl_ns server)
+      (Netfs.lease_skew_ns server)
+      (Netfs.grace_ns server) warm_mean control_mean warm_p50 warm_p99 warm_words
+      warm_rpcs
+      churn_rounds mix_p50 mix_p99 fallbacks breaks cb_invalidates audit_steps !audited
+      !violations bound ast.Netfs.rs_crashes ast.Netfs.rs_partitions ast.Netfs.rs_drops
+      ast.Netfs.rs_giveups
+  in
+  let oc = open_out "BENCH_coherence.json" in
+  output_string oc json;
+  close_out oc;
+  row "wrote BENCH_coherence.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1732,7 +2028,7 @@ let experiments =
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("tab1", tab1); ("tab2", tab2);
     ("tab3", tab3); ("tab4", tab4); ("ablation", ablation); ("bechamel", bechamel);
     ("alloc", alloc); ("faults", faults); ("trace", trace); ("scale", scale_bench);
-    ("deepmiss", deepmiss); ("churn", churn);
+    ("deepmiss", deepmiss); ("churn", churn); ("coherence", coherence);
   ]
 
 let () =

@@ -40,6 +40,7 @@ type t = {
   c_prefix_negfail : Counter.cell;
   c_prefix_stale : Counter.cell;
   c_negfail_promoted : Counter.cell;
+  c_lease_fallback : Counter.cell;
 }
 
 let create dcache =
@@ -66,6 +67,7 @@ let create dcache =
       c_prefix_negfail = Counter.cell counters "fastpath_prefix_negfail";
       c_prefix_stale = Counter.cell counters "fastpath_prefix_stale";
       c_negfail_promoted = Counter.cell counters "fastpath_negfail_promoted";
+      c_lease_fallback = Counter.cell counters "fastpath_lease_fallback";
     }
   in
   (Dcache.hooks dcache).on_shootdown <- Dlht.remove;
@@ -127,6 +129,65 @@ let pcc_valid t pcc d =
 let validate t pcc literal real =
   if not (pcc_valid t pcc literal) then raise Fall_back;
   if (not (real == literal)) && not (pcc_valid t pcc real) then raise Fall_back
+
+(* --- the lease gate (§3.7) ---
+
+   On a leased (stateful network) file system a cached verdict may be
+   served locklessly only while this client holds a live lease on the
+   inode that decides it: the final inode (and its containing directory)
+   for a positive hit, the containing directory for a cached absence.  A
+   dead or missing lease forces the write-locked fallback, whose walk
+   revalidates at the server and re-earns the lease — the middle rung of
+   the degradation ladder.  [lease_check] is supplied by the netfs client
+   and is allocation-free (Hashtbl.find on an int + integer compares), so
+   a live-lease warm hit keeps the 0-words/0-locks guarantee.  Local file
+   systems carry no [lease_check] and skip all of this on one load. *)
+
+let[@inline] dentry_leased live d =
+  match d.d_state with
+  | Positive inode -> live (Vfs.Inode.ino inode)
+  | Partial { p_ino; _ } -> live p_ino
+  | Negative _ -> false
+
+(* A positive verdict for [final]: its own lease and (when it has a cached
+   parent) the containing directory's lease must both be live — the parent
+   lease is what makes the name binding trustworthy, AFS-callback style. *)
+let gate_positive t final =
+  match final.d_sb.sb_fs.Dcache_fs.Fs_intf.lease_check with
+  | None -> ()
+  | Some live ->
+    if
+      (not (dentry_leased live final))
+      || (match final.d_parent with
+         | None -> false (* the fs root: no containing directory to lease *)
+         | Some parent -> not (dentry_leased live parent))
+    then begin
+      Counter.bump t.c_lease_fallback;
+      raise Fall_back
+    end
+
+(* A cached absence in some directory is only as fresh as that directory's
+   lease.  [true] = the verdict is blocked (caller falls back or skips the
+   candidate); negatives under an unleased or non-positive parent never
+   fast-fail. *)
+let lease_blocks_negative t d =
+  match d.d_sb.sb_fs.Dcache_fs.Fs_intf.lease_check with
+  | None -> false
+  | Some live ->
+    let blocked =
+      match d.d_parent with None -> true | Some parent -> not (dentry_leased live parent)
+    in
+    if blocked then Counter.bump t.c_lease_fallback;
+    blocked
+
+(* A DIR_COMPLETE absence verdict is decided by directory [dir] itself. *)
+let lease_blocks_dir t dir =
+  match dir.d_sb.sb_fs.Dcache_fs.Fs_intf.lease_check with
+  | None -> false
+  | Some live ->
+    let blocked = not (dentry_leased live dir) in
+    if blocked then Counter.bump t.c_lease_fallback;
+    blocked
 
 let dlht_of t ctx =
   let cfg = config t in
@@ -586,6 +647,11 @@ let rec prefix_scan t dlht pcc sc path ~vsnap k =
       then prefix_scan t dlht pcc sc path ~vsnap (k - 1)
       else begin
         match literal.d_state with
+        | Negative _ when lease_blocks_negative t literal ->
+          (* The deciding directory's lease is dead: this cached absence
+             cannot fast-fail the path.  A shallower (leased) ancestor may
+             still resume or decide it. *)
+          prefix_scan t dlht pcc sc path ~vsnap (k - 1)
         | Negative errno ->
           commit_check t sc vsnap;
           Counter.bump t.c_prefix_negfail;
@@ -595,7 +661,11 @@ let rec prefix_scan t dlht pcc sc path ~vsnap k =
         | Positive _ | Partial _ ->
           if dentry_is_dir real && (match real.d_mnt with Some _ -> true | None -> false)
           then begin
-            (if Dcache.is_complete t.dcache real then begin
+            (* A DIR_COMPLETE absence verdict needs the directory's own
+               lease live (§3.7); a dead lease only forfeits the fast-fail
+               — the directory still serves as a resume candidate, since
+               the resumed walk revalidates at the server. *)
+            (if Dcache.is_complete t.dcache real && not (lease_blocks_dir t real) then begin
                (* Completeness and child-presence are guarded by the
                   directory's own-id stripe, not its parent's. *)
                record_dir t sc real;
@@ -710,6 +780,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
   let result =
     match literal.d_state with
     | Negative errno ->
+      if lease_blocks_negative t literal then raise Fall_back;
       commit_check t sc vsnap;
       Counter.bump t.c_neg;
       Trace.stamp Trace.ev_fast_neg 0;
@@ -721,6 +792,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
       in
       match final.d_state with
       | Negative errno ->
+        if lease_blocks_negative t final then raise Fall_back;
         commit_check t sc vsnap;
         Counter.bump t.c_neg;
         Trace.stamp Trace.ev_fast_neg 0;
@@ -728,6 +800,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
       | Partial _ -> raise Fall_back
       | Positive _ ->
         if (flags.Walk.must_dir || trailing_slash) && not (dentry_is_dir final) then begin
+          gate_positive t final;
           commit_check t sc vsnap;
           Errno.to_error Errno.ENOTDIR
         end
@@ -735,6 +808,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
           match final.d_mnt with
           | None -> raise Fall_back
           | Some mnt ->
+            gate_positive t final;
             commit_check t sc vsnap;
             final.d_last_used <- Dcache.new_tick t.dcache;
             within mnt final
@@ -801,8 +875,15 @@ let populate t ctx ~visited ~absolute ~start =
         let d = r.dentry in
         (* Dentries of a revalidating (stateless network) file system can
            never be trusted without a server round trip, so they are not
-           published for direct lookup at all (§4.3). *)
-        if d.d_sb.sb_fs.Dcache_fs.Fs_intf.revalidate <> None then ()
+           published for direct lookup at all (§4.3).  A {e leased}
+           (stateful) file system also revalidates — but only as its
+           lease-recovery path: its dentries are published, and the probe's
+           lease gate decides per hit whether the lockless verdict stands
+           (§3.7). *)
+        if
+          d.d_sb.sb_fs.Dcache_fs.Fs_intf.revalidate <> None
+          && d.d_sb.sb_fs.Dcache_fs.Fs_intf.lease_check = None
+        then ()
         else begin
         (* Mount aliases (§4.3): a dentry is indexed under one path at a
            time; reaching it under a different mount re-signatures it and

@@ -824,6 +824,7 @@ let make_fs st =
     pin_inode;
     unpin_inode;
     revalidate = None;
+    lease_check = None;
   }
 
 (* Storage faults surface as [Errno.Error] exceptions raised inside the

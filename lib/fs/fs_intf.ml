@@ -72,6 +72,18 @@ type t = {
           forces the walk back to component-at-a-time RPCs and nullifies
           the direct-lookup fastpath.  [Some check]: the walk calls [check
           ino] on every cached hit; [Ok false] means the entry is stale. *)
+  lease_check : (int -> bool) option;
+      (** [None] for local file systems.  A leased (stateful network) file
+          system supplies [Some live]: [live ino] answers — locally,
+          without an RPC, and without allocating — whether this client
+          still holds a live server-granted lease on [ino].  The
+          direct-lookup fastpath may serve a cached verdict locklessly
+          only when the deciding inode's lease is live; a dead lease
+          forces the slowpath, whose per-component [revalidate] re-earns
+          the lease at the server.  A file system advertising
+          [lease_check] keeps its dentries published for direct lookup
+          even though it also advertises [revalidate] (the revalidation is
+          the lease-recovery path, not a per-hit tax). *)
 }
 
 let ( let* ) = Result.bind

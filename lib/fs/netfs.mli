@@ -1,4 +1,4 @@
-(** Simulated network file system client/server (paper §4.3).
+(** Simulated network file system client/server (paper §4.3, leases §3.7).
 
     A server wraps any local {!Fs_intf.t}; clients forward every operation
     as an RPC, charging round-trip latency to the shared virtual clock.
@@ -9,19 +9,28 @@
       client advertises a [revalidate] hook, which the VFS walk calls on
       every cached hit — re-introducing one RPC per component and, exactly
       as the paper observes, nullifying the direct-lookup fastpath (which
-      refuses to bypass a revalidating file system).
+      refuses to publish a revalidating file system's dentries).
 
-    - {!Stateful} (AFS / NFSv4.1 callbacks): the server promises to notify
-      the client when cached state goes stale, so cached dentries are
-      trusted and the fastpath applies unchanged.  External (server-side)
-      mutations are delivered as callbacks; in this simulation the test or
-      benchmark triggers them explicitly with {!break_callback} after
-      mutating the server fs out-of-band.
+    - {!Stateful} (AFS / NFSv4.1 delegations): every RPC that returns an
+      inode's attributes also grants the client a {e lease} on that inode —
+      a promise, expiring after [lease_ttl_ns] of virtual time, that the
+      server will break (with an invalidation callback) before letting the
+      inode change.  The direct-lookup fastpath serves a warm hit
+      locklessly only while the deciding inode's lease is live
+      ({!Fs_intf.t.lease_check}); a dead lease forces the slowpath, whose
+      [revalidate] re-earns the lease in one getattr round trip.
 
-    Consistency model: all mutations by this client go through the client
-    (and are therefore coherent); out-of-band server mutations are visible
-    to a [Stateless] client on its next revalidation, and to a [Stateful]
-    client once the callback fires. *)
+    Failure semantics (§3.7): leases make the degradation ladder honest.
+    Under a {e partition} the client keeps serving still-live leases
+    locklessly, degrades to revalidate-per-lookup with retry/backoff as
+    they expire, and only then surfaces [EIO] (never cached as absence).
+    A server {e crash/restart} voids the grant book and bumps the epoch:
+    duplicate-reply-cache entries and client lease tables from the old
+    epoch are fenced, and mutations stall for a grace period covering
+    [lease_ttl + skew] — so a lease the dead server forgot how to break
+    expires before any post-crash mutation can land.  A stale positive can
+    therefore be served for at most [lease_ttl + skew] virtual ns after
+    the mutation, under any schedule of drops, partitions and crashes. *)
 
 type protocol = Stateless | Stateful
 
@@ -31,15 +40,28 @@ val server :
   ?rpc_latency_ns:int ->
   ?faults:Dcache_util.Fault.t ->
   ?delay_ns:int ->
+  ?lease_ttl_ns:int ->
+  ?grace_ns:int ->
+  ?skew_ns:int ->
   clock:Dcache_util.Vclock.t ->
   Fs_intf.t ->
   server
 (** [rpc_latency_ns] defaults to 120_000 (a 120 µs LAN round trip).
 
-    [faults] attaches the link to a fault injector with two sites:
-    ["netfs.drop"] loses one request/reply exchange (the client observes a
-    timeout and retransmits, see {!retry_policy}), ["netfs.delay"] adds
-    [delay_ns] (default 2 ms) to an otherwise successful round trip. *)
+    [faults] attaches the link to a fault injector with four sites:
+    ["netfs.drop"] loses one request/reply exchange the lossy-link way (an
+    idempotent request vanishes; a mutating one executes and loses its
+    reply), ["netfs.delay"] adds [delay_ns] (default 2 ms) to a successful
+    round trip, ["netfs.partition"] swallows the exchange before the
+    server sees it (no execution, either class — and lease-break
+    deliveries crossing it are lost too), ["netfs.crash"] restarts the
+    server mid-exchange (epoch bump, grants voided, grace opens).
+
+    Lease knobs default to the canonical figures in {!Dcache_vfs.Config}:
+    50 ms ttl, 52 ms grace, 2 ms skew (all virtual).
+    @raise Invalid_argument if [grace_ns < lease_ttl_ns + skew_ns] — the
+    crash-recovery staleness argument needs grace to outlive every
+    forgotten lease. *)
 
 val rpc_count : server -> int
 (** Total RPCs served, including retransmissions (for tests and
@@ -63,31 +85,100 @@ type rpc_stats = {
   mutable rs_retries : int;  (** client retransmissions *)
   mutable rs_giveups : int;  (** logical ops failed [EIO] after max retries *)
   mutable rs_drc_hits : int;  (** duplicates answered from the reply cache *)
+  mutable rs_partitions : int;  (** exchanges swallowed by a partition *)
+  mutable rs_crashes : int;  (** server crash/restart events *)
+  mutable rs_fenced : int;  (** stale-epoch DRC replies discarded *)
 }
 
 val rpc_stats : server -> rpc_stats
 val reset_rpc_stats : server -> unit
 
+val fault_sites : server -> Dcache_util.Fault.site list
+(** The server's registered fault sites (drop, delay, partition, crash) in
+    that order; empty when no injector is attached.  For observability
+    surfaces that enumerate per-site arrivals exactly. *)
+
+(** {1 Clients} *)
+
+type client
+(** One client's connection state: its lease table, the server epoch it
+    last observed, and its invalidation hook. *)
+
+val connect : ?protocol:protocol -> server -> client
+(** Register a new client (default {!Stateful}). *)
+
 val client : protocol:protocol -> ?retry:retry_policy -> server -> Fs_intf.t
-(** Every lost exchange costs the client its full [timeout_ns] on the
+(** [connect] + {!fs} in one step — the historical constructor, for callers
+    that never need the client handle.
+
+    Every lost exchange costs the client its full [timeout_ns] on the
     virtual clock plus an exponentially backed-off pause before the resend.
-    Retransmission is idempotency-aware: mutating requests that executed
-    but lost their reply are answered from a duplicate-reply cache instead
-    of re-executing (so a retried [create] does not return [EEXIST] and a
-    retried [rename] cannot apply twice).  After [max_retries] resends the
-    operation fails with [Error EIO] — which the VFS above treats as
-    "unknown", never caching it as absence. *)
+    Retransmission is idempotency-aware and epoch-fenced: mutating requests
+    that executed but lost their reply are answered from a duplicate-reply
+    cache instead of re-executing, unless the entry predates a server
+    crash, in which case it is fenced and the op re-executes under the new
+    epoch.  After [max_retries] resends the operation fails with
+    [Error EIO] — which the VFS above treats as "unknown", never caching
+    it as absence. *)
+
+val connect_fs :
+  ?protocol:protocol -> ?retry:retry_policy -> server -> client * Fs_intf.t
+(** [connect] + {!fs}, returning both the handle (for {!set_invalidate},
+    {!lease_stats}) and the mountable file system. *)
+
+val set_invalidate : client -> (int -> unit) -> unit
+(** Wire the per-client invalidation hook: called with the inode number
+    each time the server breaks one of this client's leases (and the
+    delivery survives any partition).  The kernel integration points this
+    at its dcache eviction. *)
+
+val client_id : client -> int
+val client_epoch : client -> int
+(** The server epoch this client last observed; lags {!epoch} until its
+    next completed exchange. *)
+
+type lease_stats = {
+  ls_grants : int;  (** leases granted (or refreshed) to this client *)
+  ls_gate_live : int;  (** lockless gate consults answered "live" *)
+  ls_gate_expired : int;  (** gate consults that found the lease expired *)
+  ls_gate_miss : int;  (** gate consults with no lease on the books *)
+  ls_breaks : int;  (** invalidations delivered to this client *)
+  ls_fences : int;  (** lease-table flushes on an observed epoch change *)
+  ls_live : int;  (** leases currently live (gauge) *)
+}
+
+val lease_stats : server -> client -> lease_stats
+
+val clients : server -> client list
+(** Registration order. *)
+
+(** {1 Server state} *)
+
+val epoch : server -> int
+(** Bumped by every crash/restart; 0 at birth. *)
+
+val in_grace : server -> bool
+val lease_ttl_ns : server -> int
+val lease_skew_ns : server -> int
+val grace_ns : server -> int
+
+val grant_count : server -> int
+(** Grants currently on the server's books (gauge), across all clients. *)
 
 val bump_generation : server -> int -> unit
-(** Mark inode [ino] changed on the server out-of-band: a [Stateless]
-    client's next revalidation of it fails, forcing a re-lookup. *)
+(** Mark inode [ino] changed on the server out-of-band {e without}
+    breaking leases: a client's next revalidation of it fails.  Prefer
+    {!break_callback} for lease-coherent external mutations. *)
 
 type callback = { mutable on_break : int -> unit }
 
 val callbacks : server -> callback
-(** The server-to-client callback channel; a [Stateful] integration points
-    [on_break] at its cache-invalidation routine. *)
+(** The legacy server-wide callback channel, fired after the per-client
+    lease breaks; integrations predating per-client handles point
+    [on_break] at their cache invalidation. *)
 
 val break_callback : server -> int -> unit
-(** Fire the staleness callback for inode [ino] (also bumps its
-    generation). *)
+(** An external (server-side) mutation of inode [ino]: bumps its
+    generation, breaks every client's lease on it (deliveries may be lost
+    across a live partition — the ttl bounds that window), then fires the
+    legacy [on_break] channel. *)

@@ -102,6 +102,7 @@ let make_fs t =
     pin_inode = (fun _ -> ());
     unpin_inode = (fun _ -> ());
     revalidate = None;
+    lease_check = None;
   }
 
 let create () =

@@ -335,4 +335,5 @@ let create () =
     pin_inode;
     unpin_inode;
     revalidate = None;
+    lease_check = None;
   }

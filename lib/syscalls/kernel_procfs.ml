@@ -123,21 +123,62 @@ let render_faults faults () =
       sites;
     Buffer.contents buf
 
+(* [netfs/rpc] enumerates the server's figures exactly — including the
+   zero-traffic case (a server with no RPCs yet renders all-zero lines, not
+   the "no … attached" placeholder reserved for a genuinely absent server)
+   and the per-site fault arrival/injection tallies, so a fault-schedule
+   run can be audited from /proc alone. *)
 let render_netfs_rpc netfs () =
   match netfs with
   | None -> "no netfs server attached\n"
   | Some srv ->
     let s = Netfs.rpc_stats srv in
-    String.concat "\n"
-      [
-        Printf.sprintf "rpcs %d" (Netfs.rpc_count srv);
-        Printf.sprintf "drops %d" s.Netfs.rs_drops;
-        Printf.sprintf "delays %d" s.Netfs.rs_delays;
-        Printf.sprintf "retries %d" s.Netfs.rs_retries;
-        Printf.sprintf "giveups %d" s.Netfs.rs_giveups;
-        Printf.sprintf "drc_hits %d" s.Netfs.rs_drc_hits;
-        "";
-      ]
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf "rpcs %d\n" (Netfs.rpc_count srv);
+    Printf.bprintf buf "drops %d\n" s.Netfs.rs_drops;
+    Printf.bprintf buf "delays %d\n" s.Netfs.rs_delays;
+    Printf.bprintf buf "retries %d\n" s.Netfs.rs_retries;
+    Printf.bprintf buf "giveups %d\n" s.Netfs.rs_giveups;
+    Printf.bprintf buf "drc_hits %d\n" s.Netfs.rs_drc_hits;
+    Printf.bprintf buf "partitions %d\n" s.Netfs.rs_partitions;
+    Printf.bprintf buf "crashes %d\n" s.Netfs.rs_crashes;
+    Printf.bprintf buf "fenced %d\n" s.Netfs.rs_fenced;
+    let sites = Netfs.fault_sites srv in
+    Printf.bprintf buf "fault_sites %d\n" (List.length sites);
+    List.iter
+      (fun site ->
+        Printf.bprintf buf "site %s arrivals %d injected %d\n" (Fault.name site)
+          (Fault.arrivals site) (Fault.injected site))
+      sites;
+    Buffer.contents buf
+
+(* [netfs/leases] is the lease book (§3.7): server-side epoch/grace/grant
+   gauges plus one line per registered client with its grant, gate and
+   break tallies. *)
+let render_netfs_leases netfs () =
+  match netfs with
+  | None -> "no netfs server attached\n"
+  | Some srv ->
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf "epoch %d\n" (Netfs.epoch srv);
+    Printf.bprintf buf "in_grace %d\n" (if Netfs.in_grace srv then 1 else 0);
+    Printf.bprintf buf "lease_ttl_ns %d\n" (Netfs.lease_ttl_ns srv);
+    Printf.bprintf buf "lease_skew_ns %d\n" (Netfs.lease_skew_ns srv);
+    Printf.bprintf buf "grace_ns %d\n" (Netfs.grace_ns srv);
+    Printf.bprintf buf "grants %d\n" (Netfs.grant_count srv);
+    let clients = Netfs.clients srv in
+    Printf.bprintf buf "clients %d\n" (List.length clients);
+    List.iter
+      (fun c ->
+        let ls = Netfs.lease_stats srv c in
+        Printf.bprintf buf
+          "client %d epoch %d granted %d live %d gate_live %d gate_expired %d \
+           gate_miss %d breaks %d fences %d\n"
+          (Netfs.client_id c) (Netfs.client_epoch c) ls.Netfs.ls_grants
+          ls.Netfs.ls_live ls.Netfs.ls_gate_live ls.Netfs.ls_gate_expired
+          ls.Netfs.ls_gate_miss ls.Netfs.ls_breaks ls.Netfs.ls_fences)
+      clients;
+    Buffer.contents buf
 
 let ok = function Ok v -> v | Error _ -> assert false
 
@@ -155,4 +196,5 @@ let make ?faults ?netfs kernel =
   ok (Pseudofs.add_file p "/faults" ~content:(render_faults faults));
   ok (Pseudofs.add_dir p "/netfs");
   ok (Pseudofs.add_file p "/netfs/rpc" ~content:(render_netfs_rpc netfs));
+  ok (Pseudofs.add_file p "/netfs/leases" ~content:(render_netfs_leases netfs));
   Pseudofs.fs p

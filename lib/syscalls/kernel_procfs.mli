@@ -11,7 +11,13 @@
     - [dcache/causes]     — cause-attributed miss/invalidation counters
     - [dcache/trace]      — event-ring status plus the newest events
     - [faults]            — fault-injector sites: schedule/arrivals/injected
-    - [netfs/rpc]         — netfs RPC totals: drops/retries/giveups/DRC
+    - [netfs/rpc]         — netfs RPC totals (drops/retries/giveups/DRC/
+                            partitions/crashes/fenced) plus exact per-site
+                            fault arrival/injection tallies; a server with
+                            zero traffic renders all-zero figures, never
+                            the absent-server placeholder
+    - [netfs/leases]      — the lease book (§3.7): epoch, grace, grant
+                            gauges, and per-client grant/gate/break lines
     - [version]           — build banner
 
     [faults]/[netfs] attach the corresponding subsystems; without them the

@@ -14,6 +14,7 @@ module Counter = Dcache_util.Stats.Counter
 module Rwlock = Dcache_util.Rwlock
 module Locktab = Dcache_util.Locktab
 module Dlist = Dcache_util.Dlist
+module Fault = Dcache_util.Fault
 
 type 'a r = ('a, Errno.t) result
 
@@ -239,6 +240,36 @@ let finish_open proc flags (ref_ : path_ref) =
 
 type 'a attempt = Done of 'a r | Legacy
 
+(* Crash-fault coverage for the stripe-locked sections: a [Fault.crash_point]
+   sits between each stripe's seqcount bump (inside [Locktab.lock]) and the
+   dcache splice.  A firing site raises {!Fault.Crash} out of the section;
+   the handlers below release the stripe(s) and the read lock on the way out
+   — a leaked stripe would leave its seqcount odd, wedging every later
+   lockless probe that records it and deadlocking [Kernel.scrub]'s
+   [with_write].  Sites default to [Off]; [install_crash_sites] registers
+   them on a caller-owned injector. *)
+type crash_sites = {
+  cs_create : Fault.site;
+  cs_unlink : Fault.site;
+  cs_rename : Fault.site;
+  cs_invalidate : Fault.site;
+}
+
+let crash_sites : crash_sites option ref = ref None
+
+let install_crash_sites inj =
+  crash_sites :=
+    Some
+      {
+        cs_create = Fault.site inj "syscalls.sharded_create";
+        cs_unlink = Fault.site inj "syscalls.sharded_unlink";
+        cs_rename = Fault.site inj "syscalls.sharded_rename";
+        cs_invalidate = Fault.site inj "syscalls.sharded_invalidate";
+      }
+
+let clear_crash_sites () = crash_sites := None
+let[@inline] crash_point pick = match !crash_sites with None -> () | Some cs -> Fault.crash_point (pick cs)
+
 (* Split [path] into (dirname, basename) when the final component is a
    plain name.  [None] dirname means the walk start itself (cwd / dirfd).
    Trailing slashes, ".", ".." and empty basenames are Legacy cases. *)
@@ -316,6 +347,15 @@ let sharded_create ?start ~mode proc path flags : int attempt =
           | Legacy -> ());
           r
         in
+        (* The injected crash fires between the stripe seqcount bump (in
+           [Locktab.lock] above) and the splice: release the section's locks
+           before letting it propagate, exactly as a kernel oops handler
+           unwinds held spinlocks. *)
+        (try crash_point (fun cs -> cs.cs_create)
+         with e ->
+           Locktab.unlock tab si;
+           Rwlock.read_unlock lock;
+           raise e);
         if not (dir_valid pref) then finish Legacy
         else begin
           let parent = pref.dentry in
@@ -394,6 +434,11 @@ let sharded_unlink ?start proc path : unit attempt =
           | Legacy -> ());
           r
         in
+        (try crash_point (fun cs -> cs.cs_unlink)
+         with e ->
+           Locktab.unlock tab si;
+           Rwlock.read_unlock lock;
+           raise e);
         if not (dir_valid pref) then finish Legacy
         else begin
           match Dcache.lookup d pref.dentry name with
@@ -459,6 +504,11 @@ let sharded_rename proc old_path new_path : unit attempt =
           | Legacy -> ());
           r
         in
+        (try crash_point (fun cs -> cs.cs_rename)
+         with e ->
+           Locktab.unlock2 tab si sj;
+           Rwlock.read_unlock lock;
+           raise e);
         if not (dir_valid po && dir_valid pn) then finish Legacy
         else begin
           match Dcache.lookup d po.dentry old_name with
@@ -520,6 +570,81 @@ let sharded_rename proc old_path new_path : unit attempt =
         end
       | _ -> Legacy)
     | _ -> Legacy)
+
+(* Callback invalidation through the parent stripe (§3.7): a netfs lease
+   break evicts one cached name, and funnelling every break through the
+   global write lock would reserialize exactly the workload the stripes
+   exist for.  The target's direct children are guarded by its {e own-id}
+   stripe, so the section needs parent + target stripes.  The target's id
+   is only learnable under the parent stripe, and parent-then-child
+   acquisition would invert [Locktab.lock2]'s index ordering — so the
+   target is peeked under the parent stripe alone, both stripes are then
+   taken in order, and the peek is re-validated before anything trusts it.
+   Subtrees deeper than one level (grandchildren live under {e their}
+   parents' stripes), mountpoints, and every other off-happy-path shape
+   fall back to the write-locked implementation. *)
+let sharded_invalidate proc path : unit attempt =
+  let d = dcache proc in
+  match Dcache.stripes d with
+  | None -> Legacy
+  | Some tab -> (
+    match split_basename path with
+    | None -> Legacy
+    | Some (dirname, name) -> (
+      match resolve_dir proc dirname with
+      | None -> Legacy
+      | Some pref ->
+        let lock = Dcache.lock d in
+        Rwlock.read_lock lock;
+        let si = Locktab.index tab pref.dentry.d_id in
+        Locktab.lock tab si;
+        let peek =
+          if dir_valid pref then Dcache.lookup d pref.dentry name else None
+        in
+        Locktab.unlock tab si;
+        (match peek with
+        | None ->
+          Rwlock.read_unlock lock;
+          Legacy
+        | Some child0 ->
+          let sj = Locktab.index tab child0.d_id in
+          Locktab.lock2 tab si sj;
+          let finish r =
+            Locktab.unlock2 tab si sj;
+            Rwlock.read_unlock lock;
+            (match r with
+            | Done _ ->
+              note_lookup proc path;
+              Dcache.reclaim_overflow d
+            | Legacy -> ());
+            r
+          in
+          (try crash_point (fun cs -> cs.cs_invalidate)
+           with e ->
+             Locktab.unlock2 tab si sj;
+             Rwlock.read_unlock lock;
+             raise e);
+          if not (dir_valid pref) then finish Legacy
+          else begin
+            match Dcache.lookup d pref.dentry name with
+            | Some child when child == child0 -> (
+              match child.d_state with
+              | Negative e -> finish (Done (Error e))
+              | Partial _ -> finish Legacy
+              | Positive _ ->
+                let deep = ref false in
+                Dcache.iter_children child (fun gc ->
+                    if not (Dlist.is_empty gc.d_children) then deep := true);
+                if !deep || Mount.is_mountpoint proc.Proc.ns pref.mnt child then
+                  finish Legacy
+                else begin
+                  ignore (Dcache.invalidate_structure d child);
+                  Dcache.unhash ~reclaim:true d child;
+                  count proc "sharded_cb_invalidate";
+                  finish (Done (Ok ()))
+                end)
+            | Some _ | None -> finish Legacy (* raced: re-resolve under the big lock *)
+          end)))
 
 let rec do_open ?(mode = Mode.default_file) ?start proc path flags =
   let follow = not (flag_mem Proc.O_NOFOLLOW flags) in
@@ -1287,11 +1412,14 @@ let getcwd proc =
 
 let invalidate_path proc path =
   count proc "sys_invalidate_path";
-  with_write proc (fun () ->
-      let* ref_ = resolve_locked ~flags:(lookup_flags ~follow:false ()) proc path in
-      Dcache.invalidate_structure (dcache proc) ref_.dentry |> ignore;
-      Dcache.unhash ~reclaim:true (dcache proc) ref_.dentry;
-      Ok ())
+  match sharded_invalidate proc path with
+  | Done r -> r
+  | Legacy ->
+    with_write proc (fun () ->
+        let* ref_ = resolve_locked ~flags:(lookup_flags ~follow:false ()) proc path in
+        Dcache.invalidate_structure (dcache proc) ref_.dentry |> ignore;
+        Dcache.unhash ~reclaim:true (dcache proc) ref_.dentry;
+        Ok ())
 
 (* --- convenience wrappers --- *)
 

@@ -94,8 +94,28 @@ val getcwd : Proc.t -> string r
 val invalidate_path : Proc.t -> string -> unit r
 (** Evict a path's cached dentry subtree (without touching the file
     system).  This is the client half of a stateful network file system's
-    staleness callback (paper §4.3): wire it to
-    {!Dcache_fs.Netfs.callbacks}. *)
+    staleness callback (paper §4.3, §3.7): wire it to
+    {!Dcache_fs.Netfs.callbacks} or a per-client
+    {!Dcache_fs.Netfs.set_invalidate} hook.  With [dcache_stripes > 0] a
+    shallow target is evicted under the parent + target stripe locks
+    (counted as [sharded_cb_invalidate]) instead of the global write
+    lock, so invalidation storms scale like the mutations that cause
+    them. *)
+
+(** {1 Crash-fault coverage (stripe-locked sections)} *)
+
+val install_crash_sites : Dcache_util.Fault.t -> unit
+(** Register crash points inside the sharded mutation sections —
+    ["syscalls.sharded_create"], ["syscalls.sharded_unlink"],
+    ["syscalls.sharded_rename"], ["syscalls.sharded_invalidate"] — on the
+    given injector.  Each fires between the stripe seqcount bump and the
+    dcache splice and raises {!Dcache_util.Fault.Crash} out of the
+    syscall; the section releases its stripe(s) and the read lock on the
+    way out, so a subsequent {!Kernel.scrub} fully repairs the cache.
+    Sites are module-global (the sections are hot paths and carry no
+    injector plumbing); {!clear_crash_sites} detaches them. *)
+
+val clear_crash_sites : unit -> unit
 
 (** {1 Convenience} *)
 

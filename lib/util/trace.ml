@@ -50,7 +50,13 @@ let ev_dlht_sigless_scan = 21
 let ev_prefix_resume = 22
 let ev_prefix_negfail = 23
 let ev_stripe_contended = 24
-let n_events = 25
+let ev_lease_grant = 25
+let ev_lease_expire = 26
+let ev_lease_break = 27
+let ev_lease_fence = 28
+let ev_rpc_partition = 29
+let ev_netfs_crash = 30
+let n_events = 31
 
 let event_names =
   [|
@@ -79,6 +85,12 @@ let event_names =
     "prefix_resume";
     "prefix_negfail";
     "stripe_contended";
+    "lease_grant";
+    "lease_expire";
+    "lease_break";
+    "lease_fence";
+    "rpc_partition";
+    "netfs_crash";
   |]
 
 let event_name ev = if ev >= 0 && ev < n_events then event_names.(ev) else "unknown"
@@ -195,6 +207,14 @@ let[@inline] record_latency c ns = Stats.Lhist.record lat.(c) ns
 let resume_depth = Stats.Lhist.create ()
 let[@inline] record_resume_depth depth = Stats.Lhist.record resume_depth depth
 
+(* Lease-age histogram (§3.7): how far into its ttl each lease was when the
+   client consulted it at the lockless gate — ages in virtual ns, recorded
+   on both verdicts (a live gate records the age served, an expired gate
+   the overshoot clamped to the recordable range).  Same preallocated log2
+   store as the latency classes, so the gate stays allocation-free. *)
+let lease_age = Stats.Lhist.create ()
+let[@inline] record_lease_age age = Stats.Lhist.record lease_age age
+
 let histograms_to_string () =
   let buf = Buffer.create 512 in
   for c = 0 to n_classes - 1 do
@@ -203,6 +223,8 @@ let histograms_to_string () =
   done;
   Buffer.add_string buf
     (Printf.sprintf "class resume_depth %s\n" (Stats.Lhist.to_string resume_depth));
+  Buffer.add_string buf
+    (Printf.sprintf "class lease_age %s\n" (Stats.Lhist.to_string lease_age));
   Buffer.contents buf
 
 (* --- arming / reset --- *)
@@ -219,7 +241,8 @@ let reset () =
   Atomic.set seq 0;
   Array.iter (fun c -> Atomic.set c 0) causes;
   Array.iter Stats.Lhist.reset lat;
-  Stats.Lhist.reset resume_depth
+  Stats.Lhist.reset resume_depth;
+  Stats.Lhist.reset lease_age
 
 (* --- rendering --- *)
 

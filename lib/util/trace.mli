@@ -125,6 +125,31 @@ val ev_stripe_contended : int
 (** A sharded mutation found its stripe mutex already held and had to
     block; arg = stripe index.  Stamped by {!Locktab.lock}. *)
 
+val ev_lease_grant : int
+(** The netfs server granted (or refreshed) a per-inode lease to a client;
+    arg = inode number. *)
+
+val ev_lease_expire : int
+(** A client's lockless lease gate found the lease past its expiry and
+    forced a revalidating fallback; arg = inode number. *)
+
+val ev_lease_break : int
+(** The server broke a granted lease because the inode was mutated; arg =
+    inode number.  One stamp per (inode, holder) delivery attempt. *)
+
+val ev_lease_fence : int
+(** Epoch fencing: a duplicate-reply-cache entry or a client lease table
+    from a pre-crash server epoch was discarded instead of trusted; arg =
+    the stale epoch. *)
+
+val ev_rpc_partition : int
+(** The network partition fault site swallowed an exchange (request lost
+    before execution, regardless of idempotency); arg = attempt number. *)
+
+val ev_netfs_crash : int
+(** The netfs server crash site fired: epoch bumped, all grants voided,
+    grace period opened; arg = the new epoch. *)
+
 val n_events : int
 val event_name : int -> string
 
@@ -193,4 +218,13 @@ val resume_depth : Stats.Lhist.t
     reset by {!reset} alongside the latency histograms. *)
 
 val record_resume_depth : int -> unit
+(** Allocation-free histogram store. *)
+
+(** {2 Lease-age histogram (§3.7)} *)
+
+val lease_age : Stats.Lhist.t
+(** Virtual-ns age of each lease when the client's lockless gate consulted
+    it (live and expired verdicts both record); reset by {!reset}. *)
+
+val record_lease_age : int -> unit
 (** Allocation-free histogram store. *)

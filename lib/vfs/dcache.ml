@@ -149,7 +149,11 @@ let iget sb (attr : Attr.t) =
   Mutex.lock icache_mu;
   let inode =
     match Hashtbl.find_opt sb.sb_icache attr.ino with
-    | Some inode -> inode
+    | Some inode ->
+      (* The caller just heard [attr] from the file system; adopt it, or a
+         refill after a remote mutation would serve the stale snapshot. *)
+      Inode.adopt_attr inode attr;
+      inode
     | None ->
       let inode = Inode.make ~fs:sb.sb_fs attr in
       Hashtbl.add sb.sb_icache attr.ino inode;

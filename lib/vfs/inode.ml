@@ -14,6 +14,14 @@ let attr t = t.attr
 let kind t = t.attr.Attr.kind
 let is_dir t = File_kind.equal (kind t) File_kind.Directory
 
+let adopt_attr t (attr : Attr.t) =
+  if t.attr <> attr then begin
+    t.attr <- attr;
+    (* The file changed under the same inode number; a cached symlink
+       target can no longer be trusted either. *)
+    t.link_cache <- None
+  end
+
 let refresh t =
   match t.fs.Dcache_fs.Fs_intf.getattr t.ino with
   | Ok attr ->

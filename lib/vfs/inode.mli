@@ -16,6 +16,14 @@ val attr : t -> Dcache_types.Attr.t
 val kind : t -> Dcache_types.File_kind.t
 val is_dir : t -> bool
 
+val adopt_attr : t -> Dcache_types.Attr.t -> unit
+(** Replace the cached attributes with ones the caller just heard from the
+    file system (a lookup or getattr result).  Used by the inode cache when
+    a refill re-finds an existing inode: without it a network file system's
+    post-invalidation refill would resurrect the pre-mutation attribute
+    snapshot.  A changed attribute record also voids the cached symlink
+    target. *)
+
 val refresh : t -> (unit, Dcache_types.Errno.t) result
 (** Re-read attributes from the low-level file system. *)
 

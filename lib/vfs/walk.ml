@@ -123,6 +123,12 @@ let revalidate_hit mode t child =
       | Ok false | Error _ ->
         if mode = Rcu then raise Need_refwalk;
         Counter.incr (Dcache.counters t) "netfs_stale_dentry";
+        (* A stale child proves the parent's cached listing diverged from
+           the server; its completeness claim cannot survive, or the refill
+           below would be answered ENOENT from the cache itself. *)
+        (match child.d_parent with
+        | Some parent -> Dcache.clear_complete parent
+        | None -> ());
         Dcache.unhash t child;
         false))
 

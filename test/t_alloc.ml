@@ -72,6 +72,41 @@ let test_warm_hit_zero_alloc () =
   Alcotest.(check (pair int int)) "zero rwlock acquisitions over 10k warm hits" (0, 0)
     (reads, writes)
 
+let test_warm_lease_hit_zero_alloc () =
+  (* The lease gate sits on the lockless commit path (§3.7): a warm hit on
+     a stateful network mount consults the client's lease table for the
+     final inode and its parent directory.  That consult must cost nothing
+     — no RPC, no lock, no minor-heap word — or the fastpath's case for
+     trusting the cache collapses. *)
+  let module Netfs = Dcache_fs.Netfs in
+  let module Vclock = Dcache_util.Vclock in
+  let clock = Vclock.create () in
+  let backing = Dcache_fs.Ramfs.create () in
+  let server = Netfs.server ~rpc_latency_ns:1000 ~clock backing in
+  let kernel =
+    Kernel.create ~config:Config.optimized
+      ~root_fs:(Netfs.client ~protocol:Netfs.Stateful server)
+      ()
+  in
+  let p = Proc.spawn kernel in
+  get "tree" (S.mkdir_p p "/a/b/c");
+  get "file" (S.write_file p "/a/b/c/target" "payload");
+  let fp = Kernel.fastpath kernel in
+  let ctx = Proc.walk_ctx p in
+  probe_ok fp ctx "/a/b/c/target";
+  let h0 = counter kernel "fastpath_hit" in
+  let iters = 10_000 in
+  Netfs.reset_rpc_count server;
+  Rwlock.reset_acquisition_counts ();
+  let words = measure_minor_words iters (fun () -> probe_ok fp ctx "/a/b/c/target") in
+  let locks = Rwlock.acquisition_counts () in
+  Alcotest.(check int) "all probes were fastpath hits" (iters + 2)
+    (counter kernel "fastpath_hit" - h0);
+  Alcotest.(check int) "zero RPCs over 10k live-lease hits" 0 (Netfs.rpc_count server);
+  Alcotest.(check (float 0.0)) "zero minor-heap words over 10k live-lease hits" 0.0 words;
+  Alcotest.(check (pair int int)) "zero rwlock acquisitions over 10k live-lease hits"
+    (0, 0) locks
+
 let test_warm_negative_hit_zero_alloc () =
   let kernel, p = ram_kernel ~config:Config.optimized () in
   get "tree" (S.mkdir_p p "/a/b");
@@ -565,6 +600,8 @@ let suite =
   [
     Alcotest.test_case "warm fastpath hit allocates zero minor words" `Quick
       test_warm_hit_zero_alloc;
+    Alcotest.test_case "warm live-lease hit allocates zero minor words" `Quick
+      test_warm_lease_hit_zero_alloc;
     Alcotest.test_case "warm negative hit allocates zero minor words" `Quick
       test_warm_negative_hit_zero_alloc;
     Alcotest.test_case "armed trace ring stamp allocates zero minor words" `Quick

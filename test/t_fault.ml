@@ -457,6 +457,77 @@ let test_disabled_hooks_keep_fastpath_allocation_free () =
   let words = measure_minor_words 10_000 fire in
   Alcotest.(check (float 0.0)) "disarmed fire allocates nothing" 0.0 words
 
+(* --- crash points inside the stripe-locked mutation sections ---
+
+   The sharded mutation paths (PR 6) bump the parent stripe's seqcount,
+   splice, then bump again; a crash raised between the bump and the splice
+   is the worst interleaving — the property is that the section releases
+   its stripe(s) and the read lock on the way out, so the very next
+   operation neither deadlocks nor observes a wedged odd seqcount, and
+   [Kernel.scrub] + [Dcache.self_check] find nothing to repair.  A leaked
+   lock fails this test by hanging it; a torn splice fails the
+   self-check. *)
+
+let crash_site_names =
+  [|
+    "syscalls.sharded_create";
+    "syscalls.sharded_unlink";
+    "syscalls.sharded_rename";
+    "syscalls.sharded_invalidate";
+  |]
+
+let run_stripe_crash_schedule s =
+  let inj = Fault.create ~seed:s () in
+  S.install_crash_sites inj;
+  Fun.protect ~finally:S.clear_crash_sites (fun () ->
+      let prng = Prng.create ((s * 31) + 5) in
+      let kernel, p = ram_kernel ~config:Config.optimized () in
+      get "tree" (S.mkdir_p p "/w/x");
+      get "tree2" (S.mkdir_p p "/w/y");
+      for i = 0 to 5 do
+        get "seed file" (S.write_file p (Printf.sprintf "/w/x/f%d" i) "v")
+      done;
+      ignore (S.stat p "/w/x/f0");
+      let crashes = ref 0 in
+      for round = 1 to 24 do
+        (* Pick the op and arm its own section's crash point, so every
+           round actually reaches an armed site. *)
+        let oi = Prng.int prng (Array.length crash_site_names) in
+        let site = Fault.site inj crash_site_names.(oi) in
+        Fault.arm site (Fault.Nth 1);
+        let op () =
+          match oi with
+          | 0 -> ignore (S.write_file p (Printf.sprintf "/w/x/n%d" round) "x")
+          | 1 -> ignore (S.unlink p (Printf.sprintf "/w/x/f%d" (Prng.int prng 6)))
+          | 2 ->
+            ignore
+              (S.rename p
+                 (Printf.sprintf "/w/x/f%d" (Prng.int prng 6))
+                 (Printf.sprintf "/w/y/r%d" round))
+          | _ -> ignore (S.invalidate_path p "/w/x")
+        in
+        (try op () with Fault.Crash _ -> incr crashes);
+        Fault.disarm site;
+        (* The oops left no lock held and nothing scrub can't repair. *)
+        ignore (Kernel.scrub kernel);
+        Alcotest.(check (list string))
+          (Printf.sprintf "seed %d round %d: dcache clean after crash+scrub" s round)
+          []
+          (Dcache.self_check (Kernel.dcache kernel));
+        (* And the kernel keeps working: a lookup plus both flavours of
+           sharded mutation would hang on a leaked stripe or read lock. *)
+        ignore (S.stat p "/w/x/f0");
+        get "post-crash create" (S.write_file p (Printf.sprintf "/w/x/post%d" round) "y");
+        get "post-crash unlink" (S.unlink p (Printf.sprintf "/w/x/post%d" round))
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: crash points actually fired (%d)" s !crashes)
+        true
+        (!crashes >= 12))
+
+let test_stripe_crash_points_scrub_repairs () =
+  List.iter run_stripe_crash_schedule [ 1; 1337; 9001 ]
+
 let suite =
   [
     Alcotest.test_case "fault schedules are deterministic" `Quick test_schedules;
@@ -482,4 +553,6 @@ let suite =
       test_dcache_scrub_quarantines;
     Alcotest.test_case "disabled fault hooks keep the fastpath allocation-free" `Quick
       test_disabled_hooks_keep_fastpath_allocation_free;
+    Alcotest.test_case "stripe crash points: scrub repairs, locks released" `Quick
+      test_stripe_crash_points_scrub_repairs;
   ]

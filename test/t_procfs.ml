@@ -335,7 +335,59 @@ let test_proc_observability_surface () =
       Alcotest.(check bool) "traffic flowed" true
         (assoc_or_fail "rpc" "rpcs" rpc > 0);
       Alcotest.(check bool) "the drop cost a retry" true
-        (s.Netfs.rs_drops >= 1 && s.Netfs.rs_retries >= 1))
+        (s.Netfs.rs_drops >= 1 && s.Netfs.rs_retries >= 1);
+      Alcotest.(check int) "partitions" s.Netfs.rs_partitions
+        (assoc_or_fail "rpc" "partitions" rpc);
+      Alcotest.(check int) "crashes" s.Netfs.rs_crashes
+        (assoc_or_fail "rpc" "crashes" rpc);
+      Alcotest.(check int) "fenced" s.Netfs.rs_fenced (assoc_or_fail "rpc" "fenced" rpc);
+      (* The per-site fault tallies enumerate the server's link exactly. *)
+      let rpc_body = read p "/proc/netfs/rpc" in
+      let netfs_sites = Netfs.fault_sites server in
+      Alcotest.(check int) "four link sites" 4 (List.length netfs_sites);
+      Alcotest.(check int) "fault_sites count" (List.length netfs_sites)
+        (assoc_or_fail "rpc" "fault_sites" rpc);
+      List.iter
+        (fun site ->
+          Alcotest.(check bool)
+            ("per-site line for " ^ Fault.name site)
+            true
+            (contains_substring rpc_body
+               (Printf.sprintf "site %s arrivals %d injected %d" (Fault.name site)
+                  (Fault.arrivals site) (Fault.injected site))))
+        netfs_sites;
+
+      (* /proc/netfs/leases: the lease book (§3.7), figures exact. *)
+      let leases_body = read p "/proc/netfs/leases" in
+      let leases = kv_lines leases_body in
+      Alcotest.(check int) "epoch" (Netfs.epoch server)
+        (assoc_or_fail "leases" "epoch" leases);
+      Alcotest.(check int) "ttl" (Netfs.lease_ttl_ns server)
+        (assoc_or_fail "leases" "lease_ttl_ns" leases);
+      Alcotest.(check int) "skew" (Netfs.lease_skew_ns server)
+        (assoc_or_fail "leases" "lease_skew_ns" leases);
+      Alcotest.(check int) "grace" (Netfs.grace_ns server)
+        (assoc_or_fail "leases" "grace_ns" leases);
+      Alcotest.(check int) "grant gauge" (Netfs.grant_count server)
+        (assoc_or_fail "leases" "grants" leases);
+      Alcotest.(check int) "client count" (List.length (Netfs.clients server))
+        (assoc_or_fail "leases" "clients" leases);
+      Alcotest.(check bool) "stateful traffic earned leases" true
+        (assoc_or_fail "leases" "grants" leases > 0);
+      List.iter
+        (fun c ->
+          let ls = Netfs.lease_stats server c in
+          Alcotest.(check bool)
+            (Printf.sprintf "client %d lease line" (Netfs.client_id c))
+            true
+            (contains_substring leases_body
+               (Printf.sprintf
+                  "client %d epoch %d granted %d live %d gate_live %d gate_expired %d \
+                   gate_miss %d breaks %d fences %d"
+                  (Netfs.client_id c) (Netfs.client_epoch c) ls.Netfs.ls_grants
+                  ls.Netfs.ls_live ls.Netfs.ls_gate_live ls.Netfs.ls_gate_expired
+                  ls.Netfs.ls_gate_miss ls.Netfs.ls_breaks ls.Netfs.ls_fences)))
+        (Netfs.clients server))
 
 (* --- prefix-resume observability (§3.5) ---
 
@@ -548,12 +600,40 @@ let test_procfs_without_attachments () =
     (contains_substring (read p "/proc/faults") "no injector attached");
   Alcotest.(check bool) "netfs placeholder" true
     (contains_substring (read p "/proc/netfs/rpc") "no netfs server attached");
+  Alcotest.(check bool) "leases placeholder" true
+    (contains_substring (read p "/proc/netfs/leases") "no netfs server attached");
   (* Disarmed tracing still renders a complete, parseable surface. *)
   let hist = read p "/proc/dcache/histograms" in
   Alcotest.(check bool) "histogram lines render disarmed" true
     (hist_line hist "slowpath" <> "");
   Alcotest.(check bool) "trace header renders disarmed" true
     (contains_substring (read p "/proc/dcache/trace") "armed false")
+
+let test_procfs_zero_traffic_netfs () =
+  (* A server that exists but has served nothing renders all-zero figures —
+     the "no … attached" placeholder is reserved for a genuinely absent
+     server, so monitoring can tell "idle" from "not wired up". *)
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  let vclock = Vclock.create () in
+  let server = Netfs.server ~clock:vclock (Dcache_fs.Ramfs.create ()) in
+  get "mkdir /proc" (S.mkdir_p p "/proc");
+  get "mount proc" (S.mount_fs p (Kernel_procfs.make ~netfs:server kernel) "/proc");
+  let body = read p "/proc/netfs/rpc" in
+  Alcotest.(check bool) "no placeholder for an attached, idle server" false
+    (contains_substring body "no netfs server attached");
+  let rpc = kv_lines body in
+  List.iter
+    (fun k -> Alcotest.(check int) ("zero " ^ k) 0 (assoc_or_fail "rpc" k rpc))
+    [
+      "rpcs"; "drops"; "delays"; "retries"; "giveups"; "drc_hits"; "partitions";
+      "crashes"; "fenced";
+    ];
+  (* No injector on the link: the site list renders empty, not omitted. *)
+  Alcotest.(check int) "fault_sites 0" 0 (assoc_or_fail "rpc" "fault_sites" rpc);
+  let leases = kv_lines (read p "/proc/netfs/leases") in
+  Alcotest.(check int) "epoch 0" 0 (assoc_or_fail "leases" "epoch" leases);
+  Alcotest.(check int) "no grants" 0 (assoc_or_fail "leases" "grants" leases);
+  Alcotest.(check int) "no clients" 0 (assoc_or_fail "leases" "clients" leases)
 
 let suite =
   [
@@ -565,5 +645,7 @@ let suite =
       test_chrome_dump_is_valid_json;
     Alcotest.test_case "procfs without faults/netfs attachments" `Quick
       test_procfs_without_attachments;
+    Alcotest.test_case "attached idle netfs renders zero figures" `Quick
+      test_procfs_zero_traffic_netfs;
     Alcotest.test_case "stripe lock table via /proc" `Quick test_stripes_surface;
   ]
