@@ -1,0 +1,27 @@
+(* Shared emitter for the BENCH_*.json evidence files.  Every experiment
+   writes the same envelope — experiment id, quick/full mode, host core
+   count — followed by its own figures.  Values arrive pre-rendered as
+   JSON fragments, so arrays and nested objects keep whatever layout the
+   experiment chose; the envelope is the only thing this module owns. *)
+
+let json_string s = Printf.sprintf "%S" s
+
+(* [write ~experiment figures] renders the envelope plus [figures] (an
+   ordered [(name, json_fragment)] list) into BENCH_<experiment>.json and
+   reports the write on stdout like every other bench row. *)
+let write ~experiment figures =
+  let fields =
+    [
+      ("experiment", json_string experiment);
+      ("mode", json_string (if !Bu.quick then "quick" else "full"));
+      ("host_cores", string_of_int (Domain.recommended_domain_count ()));
+    ]
+    @ figures
+  in
+  let render (k, v) = Printf.sprintf "  %S: %s" k v in
+  let json = "{\n" ^ String.concat ",\n" (List.map render fields) ^ "\n}\n" in
+  let file = "BENCH_" ^ experiment ^ ".json" in
+  let oc = open_out file in
+  output_string oc json;
+  close_out oc;
+  Bu.row "wrote %s\n" file

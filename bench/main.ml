@@ -1358,38 +1358,30 @@ let scale_bench () =
     row "ns/op at %d is %.2fx ns/op at %d (acceptance bound: 1.5x)\n" n1 (ns1 /. ns0) n0
   | _ -> ());
   (* Machine-readable evidence for CI / the paper repo. *)
-  let json =
-    let entries =
-      List.map
-        (fun (n, ns, words, buckets, longest, mean, resizes, population) ->
-          Printf.sprintf
-            "    {\"dentries\": %d, \"ns_per_op\": %.2f, \"words_per_op\": %.3f, \
-             \"buckets\": %d, \"longest_chain\": %d, \"mean_chain\": %.3f, \
-             \"resizes\": %d, \"population\": %d}"
-            n ns words buckets longest mean resizes population)
-        results
-    in
-    let ratio =
-      match (results, List.rev results) with
-      | (_, ns0, _, _, _, _, _, _) :: _, (_, ns1, _, _, _, _, _, _) :: _ when ns0 > 0.0 ->
-        ns1 /. ns0
-      | _ -> 1.0
-    in
-    Printf.sprintf
-      "{\n  \"experiment\": \"scale\",\n  \"mode\": \"%s\",\n  \"host_cores\": %d,\n\
-      \  \"initial_buckets\": 256,\n\
-      \  \"grow_load\": %d,\n  \"samples_per_size\": %d,\n  \"sizes\": [\n%s\n  ],\n\
-      \  \"ns_ratio_largest_over_smallest\": %.3f\n}\n"
-      (if !quick then "quick" else "full")
-      (Domain.recommended_domain_count ())
-      Config.optimized.Config.dlht_grow_load samples
-      (String.concat ",\n" entries)
-      ratio
+  let entries =
+    List.map
+      (fun (n, ns, words, buckets, longest, mean, resizes, population) ->
+        Printf.sprintf
+          "    {\"dentries\": %d, \"ns_per_op\": %.2f, \"words_per_op\": %.3f, \
+           \"buckets\": %d, \"longest_chain\": %d, \"mean_chain\": %.3f, \
+           \"resizes\": %d, \"population\": %d}"
+          n ns words buckets longest mean resizes population)
+      results
   in
-  let oc = open_out "BENCH_scale.json" in
-  output_string oc json;
-  close_out oc;
-  row "wrote BENCH_scale.json\n"
+  let ratio =
+    match (results, List.rev results) with
+    | (_, ns0, _, _, _, _, _, _) :: _, (_, ns1, _, _, _, _, _, _) :: _ when ns0 > 0.0 ->
+      ns1 /. ns0
+    | _ -> 1.0
+  in
+  Bench_report.write ~experiment:"scale"
+    [
+      ("initial_buckets", "256");
+      ("grow_load", string_of_int Config.optimized.Config.dlht_grow_load);
+      ("samples_per_size", string_of_int samples);
+      ("sizes", "[\n" ^ String.concat ",\n" entries ^ "\n  ]");
+      ("ns_ratio_largest_over_smallest", Printf.sprintf "%.3f" ratio);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Deepmiss: cold misses on deep paths — prefix-resumed slowpath (§3.5) *)
@@ -1526,7 +1518,7 @@ let deepmiss () =
         if r_negfails = 0 then row "  WARNING: no negative fast-fails recorded\n"
       end)
     results;
-  let json =
+  let figures =
     let entries =
       List.map
         (fun (depth, (r_ns, r_comps, r_resumes, r_cold, r_neg, r_negfails, r_wns, r_wwords),
@@ -1545,19 +1537,12 @@ let deepmiss () =
             (if f_ns > 0.0 then r_ns /. f_ns else 1.0))
         results
     in
-    Printf.sprintf
-      "{\n  \"experiment\": \"deepmiss\",\n  \"mode\": \"%s\",\n  \"host_cores\": %d,\n\
-      \  \"leaves\": %d,\n\
-      \  \"depths\": [\n%s\n  ]\n}\n"
-      (if !quick then "quick" else "full")
-      (Domain.recommended_domain_count ())
-      leaves
-      (String.concat ",\n" entries)
+    [
+      ("leaves", string_of_int leaves);
+      ("depths", "[\n" ^ String.concat ",\n" entries ^ "\n  ]");
+    ]
   in
-  let oc = open_out "BENCH_deepmiss.json" in
-  output_string oc json;
-  close_out oc;
-  row "wrote BENCH_deepmiss.json\n"
+  Bench_report.write ~experiment:"deepmiss" figures
 
 (* ------------------------------------------------------------------ *)
 (* Churn: multi-writer mutation throughput — sharded path (§3.6)       *)
@@ -1700,7 +1685,7 @@ let churn () =
   let ratio8 = if g8 > 0.0 then s8 /. g8 else 0.0 in
   row "8 writers: sharded/global throughput %.2fx (acceptance bound: 2.5x)\n" ratio8;
   if ratio8 < 2.5 then row "  WARNING: sharded churn below the 2.5x bound\n";
-  let json =
+  let figures =
     let entries label l =
       List.map
         (fun (w, ops_s, rd_ns, rd_words, sharded_ops) ->
@@ -1711,20 +1696,17 @@ let churn () =
             label w ops_s rd_ns rd_words sharded_ops)
         l
     in
-    Printf.sprintf
-      "{\n  \"experiment\": \"churn\",\n  \"mode\": \"%s\",\n  \"stripes\": %d,\n\
-      \  \"host_cores\": %d,\n\
-      \  \"ops_per_writer\": %d,\n  \"runs\": [\n%s\n  ],\n\
-      \  \"throughput_ratio_8_writers\": %.3f\n}\n"
-      (if !quick then "quick" else "full")
-      Config.optimized.Config.dcache_stripes cores ops_per_writer
-      (String.concat ",\n" (entries "sharded" sharded @ entries "global" global))
-      ratio8
+    [
+      ("stripes", string_of_int Config.optimized.Config.dcache_stripes);
+      ("ops_per_writer", string_of_int ops_per_writer);
+      ( "runs",
+        "[\n"
+        ^ String.concat ",\n" (entries "sharded" sharded @ entries "global" global)
+        ^ "\n  ]" );
+      ("throughput_ratio_8_writers", Printf.sprintf "%.3f" ratio8);
+    ]
   in
-  let oc = open_out "BENCH_churn.json" in
-  output_string oc json;
-  close_out oc;
-  row "wrote BENCH_churn.json\n"
+  Bench_report.write ~experiment:"churn" figures
 
 (* ------------------------------------------------------------------ *)
 (* Coherence: N stateful clients under a churn writer — leases (§3.7)  *)
@@ -1915,6 +1897,35 @@ let coherence () =
   row "  lease fallbacks %d, breaks delivered %d, sharded cb evictions %d\n" fallbacks
     breaks cb_invalidates;
 
+  (* --- chrome-trace capture (§3.8): one traced break window ---
+
+     The writer rewrites a hot file with the profiler armed.  Hot inos are
+     not in the readers' invalidate map, so their dentries stay warm and
+     the re-stat is rejected by the lease gate itself — the gate miss
+     consumes the recorded breaker span and stamps the cross-client link,
+     which [dump_chrome] renders as a connected flow.  The dump is the CI
+     artifact. *)
+  let module Uprof = Dcache_util.Profiler in
+  Utrace.reset ();
+  Uprof.reset ();
+  Utrace.armed := true;
+  Uprof.arm ();
+  ok "traced break write" (S.write_file wp hot.(0) "traced");
+  Array.iter (fun (_, _, p) -> ignore (S.stat p hot.(0))) readers;
+  Utrace.armed := false;
+  Uprof.disarm ();
+  let links = ref 0 in
+  Utrace.iter_events (fun _ _ ev _ _ -> if ev = Utrace.ev_span_link then incr links);
+  let dump = Utrace.dump_chrome () in
+  let oc = open_out "BENCH_coherence_trace.json" in
+  output_string oc dump;
+  close_out oc;
+  row "wrote BENCH_coherence_trace.json (%d bytes, %d events, %d cross-client flows)\n"
+    (String.length dump) (min (Utrace.recorded ()) (Utrace.capacity ())) !links;
+  if !links = 0 then row "  WARNING: no cross-client span links captured\n";
+  Utrace.reset ();
+  Uprof.reset ();
+
   (* --- phase 3: fault-storm staleness audit (short ttl) --- *)
   let ttl = 2_000_000 and skew = 200_000 in
   let audit_steps = if !quick then 600 else 3_000 in
@@ -1991,32 +2002,189 @@ let coherence () =
     ast.Netfs.rs_partitions ast.Netfs.rs_drops ast.Netfs.rs_giveups;
   if !violations > 0 then row "  WARNING: staleness bound violated\n";
 
-  let json =
-    Printf.sprintf
-      "{\n  \"experiment\": \"coherence\",\n  \"mode\": \"%s\",\n  \"host_cores\": %d,\n\
-      \  \"clients\": %d,\n  \"rpc_latency_ns\": 120000,\n  \"lease_ttl_ns\": %d,\n\
-      \  \"lease_skew_ns\": %d,\n  \"grace_ns\": %d,\n\
-      \  \"warm_live_lease\": {\"ns_mean\": %.2f, \"local_control_ns_mean\": %.2f, \
-       \"ns_p50\": %.1f, \"ns_p99\": %.1f, \"words_per_op\": %.3f, \"rpcs\": %d},\n\
-      \  \"churn_mix\": {\"rounds\": %d, \"ns_p50\": %.1f, \"ns_p99\": %.1f, \
-       \"lease_fallbacks\": %d, \"breaks_delivered\": %d, \"sharded_cb_invalidates\": %d},\n\
-      \  \"staleness_audit\": {\"seed\": 1, \"steps\": %d, \"audited_positives\": %d, \
-       \"violations\": %d, \"bound_ns\": %Ld, \"crashes\": %d, \"partitions\": %d, \
-       \"drops\": %d, \"giveups\": %d}\n}\n"
-      (if !quick then "quick" else "full")
-      cores n_clients
-      (Netfs.lease_ttl_ns server)
-      (Netfs.lease_skew_ns server)
-      (Netfs.grace_ns server) warm_mean control_mean warm_p50 warm_p99 warm_words
-      warm_rpcs
-      churn_rounds mix_p50 mix_p99 fallbacks breaks cb_invalidates audit_steps !audited
-      !violations bound ast.Netfs.rs_crashes ast.Netfs.rs_partitions ast.Netfs.rs_drops
-      ast.Netfs.rs_giveups
+  let figures =
+    [
+      ("clients", string_of_int n_clients);
+      ("rpc_latency_ns", "120000");
+      ("lease_ttl_ns", string_of_int (Netfs.lease_ttl_ns server));
+      ("lease_skew_ns", string_of_int (Netfs.lease_skew_ns server));
+      ("grace_ns", string_of_int (Netfs.grace_ns server));
+      ( "warm_live_lease",
+        Printf.sprintf
+          "{\"ns_mean\": %.2f, \"local_control_ns_mean\": %.2f, \"ns_p50\": %.1f, \
+           \"ns_p99\": %.1f, \"words_per_op\": %.3f, \"rpcs\": %d}"
+          warm_mean control_mean warm_p50 warm_p99 warm_words warm_rpcs );
+      ( "churn_mix",
+        Printf.sprintf
+          "{\"rounds\": %d, \"ns_p50\": %.1f, \"ns_p99\": %.1f, \"lease_fallbacks\": %d, \
+           \"breaks_delivered\": %d, \"sharded_cb_invalidates\": %d}"
+          churn_rounds mix_p50 mix_p99 fallbacks breaks cb_invalidates );
+      ( "staleness_audit",
+        Printf.sprintf
+          "{\"seed\": 1, \"steps\": %d, \"audited_positives\": %d, \"violations\": %d, \
+           \"bound_ns\": %Ld, \"crashes\": %d, \"partitions\": %d, \"drops\": %d, \
+           \"giveups\": %d}"
+          audit_steps !audited !violations bound ast.Netfs.rs_crashes
+          ast.Netfs.rs_partitions ast.Netfs.rs_drops ast.Netfs.rs_giveups );
+    ]
   in
-  let oc = open_out "BENCH_coherence.json" in
-  output_string oc json;
-  close_out oc;
-  row "wrote BENCH_coherence.json\n"
+  Bench_report.write ~experiment:"coherence" figures
+
+(* ------------------------------------------------------------------ *)
+(* Profile: §3.8 profiler overhead — armed vs disarmed warm hits       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements, each disarmed then armed (ring + profiler; timing
+   stays off — clock reads are a separate, costed switch):
+
+   - the raw warm fastpath probe, which pays the sketch update and the
+     ring stamp when armed, and must keep its zero-allocation discipline;
+   - the full stat syscall, which additionally mints a span per entry.
+
+   The acceptance bound: armed costs within 10% of disarmed. *)
+
+let profile () =
+  header
+    "Profile - request-scoped spans + per-directory sketch (§3.8).\n\
+     Armed (ring + profiler, no timing) vs disarmed; the armed warm hit\n\
+     must stay allocation-free and within 10% of the disarmed cost.";
+  let module Uprof = Dcache_util.Profiler in
+  let iters = if !quick then 50_000 else 200_000 in
+  let words_iters = if !quick then 20_000 else 100_000 in
+  let env = W.Env.ram Config.optimized in
+  let p = env.W.Env.proc in
+  let n_dirs = 8 in
+  (* Representative depth (8 components, like the lmbench-style warm probe)
+     and grouped by directory: consecutive probes stay in one directory for
+     a few operations, the skew every real lookup trace shows (and what the
+     sketch's last-slot memo is built for). *)
+  let paths =
+    Array.init
+      (n_dirs * 4)
+      (fun i -> Printf.sprintf "/prof/a/b/c/d/e/d%d/f%d" (i / 4) (i mod 4))
+  in
+  for d = 0 to n_dirs - 1 do
+    ok "dir" (S.mkdir_p p (Printf.sprintf "/prof/a/b/c/d/e/d%d" d))
+  done;
+  Array.iter (fun f -> ok "file" (S.write_file p f "x")) paths;
+  Array.iter (fun f -> ignore (ok "warm" (S.stat p f))) paths;
+  let fp = Kernel.fastpath env.W.Env.kernel in
+  let ctx = Proc.walk_ctx env.W.Env.proc in
+  let i = ref 0 in
+  let probe () =
+    ignore
+      (Dcache_core.Fastpath.lookup_into fp ctx paths.(!i land 31) ~within:alloc_within);
+    incr i
+  in
+  let j = ref 0 in
+  let syscall () =
+    ignore (S.stat p paths.(!j land 31));
+    incr j
+  in
+  Utrace.reset ();
+  Uprof.reset ();
+  Utrace.disarm ();
+  probe ();
+  syscall ();
+  (* The host is noisy enough that a disarmed block followed by an armed
+     block measures clock drift, not overhead.  Instead: many back-to-back
+     disarmed/armed pairs, median of the per-pair ratios — drift hits both
+     halves of a pair equally and cancels. *)
+  let rounds = 5 * repeats () in
+  let time f n =
+    f ();
+    let t0 = Dcache_util.Clock.now_ns () in
+    for _ = 1 to n do
+      f ()
+    done;
+    let t1 = Dcache_util.Clock.now_ns () in
+    Int64.to_float (Int64.sub t1 t0) /. float_of_int n
+  in
+  let paired f =
+    let dis = Array.make rounds 0.0 and arm = Array.make rounds 0.0 in
+    let ratio = Array.make rounds 0.0 in
+    let half armed_half =
+      Utrace.armed := armed_half;
+      if armed_half then Uprof.arm () else Uprof.disarm ();
+      time f iters
+    in
+    for r = 0 to rounds - 1 do
+      (* Alternate which half runs first: clock-frequency ramps within a
+         pair would otherwise always tax the same side. *)
+      if r land 1 = 0 then begin
+        dis.(r) <- half false;
+        arm.(r) <- half true
+      end
+      else begin
+        arm.(r) <- half true;
+        dis.(r) <- half false
+      end;
+      ratio.(r) <- (if dis.(r) > 0.0 then arm.(r) /. dis.(r) else 1.0)
+    done;
+    Utrace.armed := false;
+    Uprof.disarm ();
+    (Stats.median dis, Stats.median arm, (Stats.median ratio -. 1.0) *. 100.0)
+  in
+  let probe_dis_ns, probe_arm_ns, probe_pct = paired probe in
+  let stat_dis_ns, stat_arm_ns, stat_pct = paired syscall in
+  (* Raw per-hook costs, armed: what one stamp / one sketch update / one
+     span mint actually spend. *)
+  Utrace.armed := true;
+  Uprof.arm ();
+  let raw_stamp = latency_ns ~iters (fun () -> Utrace.stamp Utrace.ev_fast_hit 7) in
+  let raw_record = latency_ns ~iters (fun () -> Uprof.hh_record 5 "d" Uprof.m_hit) in
+  let raw_mint = latency_ns ~iters (fun () -> ignore (Uprof.span_enter ())) in
+  Utrace.armed := false;
+  Uprof.disarm ();
+  row "raw armed costs: stamp %.1f ns, hh_record %.1f ns, span_enter %.1f ns\n"
+    raw_stamp raw_record raw_mint;
+  let probe_dis_words = Stats.minor_words_per_op ~iters:words_iters probe in
+  Utrace.armed := true;
+  Uprof.arm ();
+  let probe_arm_words = Stats.minor_words_per_op ~iters:words_iters probe in
+  Utrace.armed := false;
+  Uprof.disarm ();
+  row "%-34s %9.1f ns disarmed %9.1f ns armed %+7.1f%%\n" "warm fastpath probe" probe_dis_ns
+    probe_arm_ns probe_pct;
+  row "%-34s %9.2f w  disarmed %9.2f w  armed\n" "  words/op" probe_dis_words
+    probe_arm_words;
+  row "%-34s %9.1f ns disarmed %9.1f ns armed %+7.1f%%\n" "stat syscall (span minted)"
+    stat_dis_ns stat_arm_ns stat_pct;
+  if probe_arm_words > 0.0 then row "  WARNING: armed warm probe allocated\n";
+  if probe_pct > 10.0 || stat_pct > 10.0 then
+    row "  WARNING: armed overhead above the 10%% bound\n";
+  let slots = Uprof.hot () in
+  subheader "per-directory sketch after the armed window";
+  print_string (Uprof.hot_to_string ());
+  let top_json =
+    slots
+    |> List.filteri (fun k _ -> k < n_dirs)
+    |> List.map (fun s ->
+           Printf.sprintf
+             "    {\"dir\": %d, \"label\": %S, \"total\": %d, \"err\": %d, \"hit\": %d}"
+             s.Uprof.h_key s.Uprof.h_label s.Uprof.h_total s.Uprof.h_err
+             s.Uprof.h_metrics.(Uprof.m_hit))
+    |> String.concat ",\n"
+  in
+  let figures =
+    [
+      ("iters", string_of_int iters);
+      ("overhead_bound_pct", "10.0");
+      ( "warm_probe",
+        Printf.sprintf
+          "{\"disarmed_ns\": %.2f, \"armed_ns\": %.2f, \"overhead_pct\": %.2f, \
+           \"disarmed_words\": %.3f, \"armed_words\": %.3f}"
+          probe_dis_ns probe_arm_ns probe_pct probe_dis_words probe_arm_words );
+      ( "stat_syscall",
+        Printf.sprintf "{\"disarmed_ns\": %.2f, \"armed_ns\": %.2f, \"overhead_pct\": %.2f}"
+          stat_dis_ns stat_arm_ns stat_pct );
+      ("ring_recorded", string_of_int (Utrace.recorded ()));
+      ("sketch_top", "[\n" ^ top_json ^ "\n  ]");
+    ]
+  in
+  Utrace.reset ();
+  Uprof.reset ();
+  Bench_report.write ~experiment:"profile" figures
 
 (* ------------------------------------------------------------------ *)
 (* driver                                                              *)
@@ -2029,6 +2197,7 @@ let experiments =
     ("tab3", tab3); ("tab4", tab4); ("ablation", ablation); ("bechamel", bechamel);
     ("alloc", alloc); ("faults", faults); ("trace", trace); ("scale", scale_bench);
     ("deepmiss", deepmiss); ("churn", churn); ("coherence", coherence);
+    ("profile", profile);
   ]
 
 let () =

@@ -11,6 +11,7 @@ module Counter = Dcache_util.Stats.Counter
 module Rwlock = Dcache_util.Rwlock
 module Seqcount = Dcache_util.Seqcount
 module Trace = Dcache_util.Trace
+module Profiler = Dcache_util.Profiler
 module Clock = Dcache_util.Clock
 
 module Locktab = Dcache_util.Locktab
@@ -149,6 +150,17 @@ let[@inline] dentry_leased live d =
   | Partial { p_ino; _ } -> live p_ino
   | Negative _ -> false
 
+(* §3.8 cache-efficacy attribution: charge [metric] to the directory that
+   decided the verdict on [d] — its parent, or [d] itself at an fs root.
+   Armed-only (the armed check skips even the parent match disarmed);
+   [hh_record] is int/pointer stores into preallocated sketch slots, so
+   the zero-allocation warm hit can stay profiled. *)
+let[@inline] note_dir metric d =
+  if !Profiler.armed then
+    match d.d_parent with
+    | Some p -> Profiler.hh_record p.d_id p.d_name metric
+    | None -> Profiler.hh_record d.d_id d.d_name metric
+
 (* A positive verdict for [final]: its own lease and (when it has a cached
    parent) the containing directory's lease must both be live — the parent
    lease is what makes the name binding trustworthy, AFS-callback style. *)
@@ -163,6 +175,7 @@ let gate_positive t final =
          | Some parent -> not (dentry_leased live parent))
     then begin
       Counter.bump t.c_lease_fallback;
+      note_dir Profiler.m_lease final;
       raise Fall_back
     end
 
@@ -177,7 +190,10 @@ let lease_blocks_negative t d =
     let blocked =
       match d.d_parent with None -> true | Some parent -> not (dentry_leased live parent)
     in
-    if blocked then Counter.bump t.c_lease_fallback;
+    if blocked then begin
+      Counter.bump t.c_lease_fallback;
+      note_dir Profiler.m_lease d
+    end;
     blocked
 
 (* A DIR_COMPLETE absence verdict is decided by directory [dir] itself. *)
@@ -186,7 +202,10 @@ let lease_blocks_dir t dir =
   | None -> false
   | Some live ->
     let blocked = not (dentry_leased live dir) in
-    if blocked then Counter.bump t.c_lease_fallback;
+    if blocked then begin
+      Counter.bump t.c_lease_fallback;
+      if !Profiler.armed then Profiler.hh_record dir.d_id dir.d_name Profiler.m_lease
+    end;
     blocked
 
 let dlht_of t ctx =
@@ -277,6 +296,12 @@ type scratch = {
   mutable promote_dir : dentry option;
   mutable promote_pos : int;
   mutable promote_len : int;
+  (* §3.8 retry attribution: the deciding directory of the most recent
+     probe's verdict (set armed-only when the literal is found), so
+     [note_lockless_retry] can charge the seqcount retry to the directory
+     whose chain the raced writer touched.  -1: no candidate. *)
+  mutable hh_id : int;
+  mutable hh_name : string;
 }
 
 (* Per-domain because fig8-style benchmarks probe concurrently from several
@@ -300,6 +325,8 @@ let scratch_key =
         promote_dir = None;
         promote_pos = 0;
         promote_len = 0;
+        hh_id = -1;
+        hh_name = "";
       })
 
 (* --- stripe recording (sharded mode) ---
@@ -656,6 +683,7 @@ let rec prefix_scan t dlht pcc sc path ~vsnap k =
           commit_check t sc vsnap;
           Counter.bump t.c_prefix_negfail;
           Trace.stamp Trace.ev_prefix_negfail (k + 1);
+          note_dir Profiler.m_neg literal;
           sc.neg_errno <- errno;
           raise_notrace Neg_fail
         | Positive _ | Partial _ ->
@@ -677,6 +705,8 @@ let rec prefix_scan t dlht pcc sc path ~vsnap k =
                    commit_check t sc vsnap;
                    Counter.bump t.c_prefix_negfail;
                    Trace.stamp Trace.ev_prefix_negfail (k + 1);
+                   if !Profiler.armed then
+                     Profiler.hh_record real.d_id real.d_name Profiler.m_neg;
                    sc.neg_errno <- Errno.ENOENT;
                    (* §5.2 promotion: remember the deciding directory and
                       the absent component so the miss handler can publish
@@ -748,6 +778,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
   sc.resume_slot <- -1;
   sc.stripe_n <- 0;
   sc.promote_dir <- None;
+  sc.hh_id <- -1;
   Signature.snaps_reset sc.snaps;
   Signature.mstate_resume sc.ms (hstate_of t vsnap base);
   Phases.record_span Phases.Init t0;
@@ -773,6 +804,18 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
   let shallow_real = real_of literal in
   record_dentry t sc literal;
   if not (shallow_real == literal) then record_dentry t sc shallow_real;
+  (* Stash the verdict's deciding directory for retry attribution (§3.8):
+     a seqcount retry aborts the probe before any per-directory metric is
+     charged, so the retry handler needs the candidate remembered here. *)
+  if !Profiler.armed then begin
+    match literal.d_parent with
+    | Some p ->
+      sc.hh_id <- p.d_id;
+      sc.hh_name <- p.d_name
+    | None ->
+      sc.hh_id <- literal.d_id;
+      sc.hh_name <- literal.d_name
+  end;
   validate t pcc literal shallow_real;
   Phases.record_span Phases.Permission t3;
   let t4 = Phases.stamp () in
@@ -784,6 +827,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
       commit_check t sc vsnap;
       Counter.bump t.c_neg;
       Trace.stamp Trace.ev_fast_neg 0;
+      note_dir Profiler.m_neg literal;
       Errno.to_error errno
     | Positive _ | Partial _ -> (
       let final =
@@ -796,6 +840,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
         commit_check t sc vsnap;
         Counter.bump t.c_neg;
         Trace.stamp Trace.ev_fast_neg 0;
+        note_dir Profiler.m_neg final;
         Errno.to_error errno
       | Partial _ -> raise Fall_back
       | Positive _ ->
@@ -811,6 +856,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
             gate_positive t final;
             commit_check t sc vsnap;
             final.d_last_used <- Dcache.new_tick t.dcache;
+            note_dir Profiler.m_hit final;
             within mnt final
         end)
   in
@@ -1115,10 +1161,14 @@ let probe_locked t ctx ~start ~flags sc path ~within =
     raise e
 
 (* Attribute a lockless retry: if the namespace's DLHT is mid-resize, the
-   write section we raced was (at least plausibly) the migration. *)
-let note_lockless_retry t ctx =
+   write section we raced was (at least plausibly) the migration.  §3.8:
+   also charge the retry to the raced probe's deciding directory when the
+   probe got far enough to stash one. *)
+let note_lockless_retry t ctx sc =
   Counter.bump t.c_lockless_retry;
   Trace.stamp Trace.ev_lockless_retry 0;
+  if !Profiler.armed && sc.hh_id >= 0 then
+    Profiler.hh_record sc.hh_id sc.hh_name Profiler.m_retry;
   match Dlht.of_namespace_opt ctx.Walk.ns with
   | Some dlht when Dlht.resizing dlht -> Trace.bump_cause Trace.cause_resize_retry
   | Some _ | None -> Trace.bump_cause Trace.cause_seqcount_retry
@@ -1148,14 +1198,14 @@ let rec probe_sharded t ctx ~start ~flags sc path ~within ~attempt =
       promote_negfail t ctx sc path;
       Errno.to_error sc.neg_errno
     | exception Seq_retry ->
-      note_lockless_retry t ctx;
+      note_lockless_retry t ctx sc;
       retry_sharded t ctx ~start ~flags sc path ~within ~attempt
     | exception Fall_back ->
       if Seqcount.read_validate seq snap && stripes_ok sc then
         fallback t { ctx with Walk.cwd = start } ~flags ~absolute:(Path.is_absolute path)
           ~start ~sc path ~within
       else begin
-        note_lockless_retry t ctx;
+        note_lockless_retry t ctx sc;
         retry_sharded t ctx ~start ~flags sc path ~within ~attempt
       end
   end
@@ -1261,7 +1311,7 @@ let lookup_into_raw t ctx ?start ?(flags = Walk.default_flags) path ~within =
             Trace.stamp Trace.ev_fast_hit 0;
             result
           | exception Seq_retry ->
-            note_lockless_retry t ctx;
+            note_lockless_retry t ctx sc;
             probe_locked t ctx ~start ~flags sc path ~within
           | exception Neg_fail ->
             (* Prefix fast-fail (§3.5): the verdict passed its seqcount
@@ -1274,7 +1324,7 @@ let lookup_into_raw t ctx ?start ?(flags = Walk.default_flags) path ~within =
               fallback t { ctx with Walk.cwd = start } ~flags ~absolute ~start ~sc path
                 ~within
             else begin
-              note_lockless_retry t ctx;
+              note_lockless_retry t ctx sc;
               probe_locked t ctx ~start ~flags sc path ~within
             end
         end))

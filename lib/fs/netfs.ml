@@ -3,6 +3,7 @@ open Fs_intf
 module Fault = Dcache_util.Fault
 module Vclock = Dcache_util.Vclock
 module Trace = Dcache_util.Trace
+module Profiler = Dcache_util.Profiler
 
 type protocol = Stateless | Stateful
 
@@ -49,6 +50,10 @@ type client = {
   mutable c_epoch_seen : int;
   c_leases : (int, int) Hashtbl.t;
   c_seen : (int, int) Hashtbl.t;  (* inode -> generation last observed *)
+  (* §3.8 causal tracing: inode -> span of the remote request whose
+     mutation broke our lease on it, recorded at delivery and consumed by
+     the lease gate's miss branch to stamp the cross-client link. *)
+  c_break_spans : (int, int) Hashtbl.t;
   mutable c_on_invalidate : int -> unit;
   (* per-client lease statistics; mutable ints so the gate stays 0-alloc *)
   mutable c_grants : int;
@@ -218,6 +223,13 @@ let break_leases t ~except ino =
               (fun c ->
                 if c.c_id = cid then begin
                   Hashtbl.remove c.c_leases ino;
+                  (* §3.8: remember which request broke us {e before}
+                     delivering the invalidation — the callback re-enters
+                     the holder's kernel and may replace the domain's
+                     current span.  The holder's next gate miss on [ino]
+                     consumes this and stamps the cross-client link. *)
+                  if !Profiler.armed then
+                    Hashtbl.replace c.c_break_spans ino (Profiler.current ());
                   c.c_breaks <- c.c_breaks + 1;
                   c.c_on_invalidate ino
                 end)
@@ -284,16 +296,26 @@ let default_retry =
    [max_retries] resends the op fails with [EIO] — the cache above must
    treat that as "unknown", never as "absent". *)
 let rpc t policy ~idempotent f =
+  (* §3.8: the wire message carries the issuing request's span, and the
+     server-side execution runs under it — so client RPC and server work
+     (including the lease breaks a mutation triggers) share one lane in
+     the trace.  Captured once here: a DRC-fenced re-execution on a later
+     attempt still belongs to the original request. *)
+  let wire_span = Profiler.current () in
   let execute () =
-    if not idempotent then begin
-      let now = now_ns t in
-      if now < t.grace_until then
-        Vclock.charge t.clock (Int64.of_int (t.grace_until - now))
-    end;
-    (t.epoch, f t.backing)
+    let run () =
+      if not idempotent then begin
+        let now = now_ns t in
+        if now < t.grace_until then
+          Vclock.charge t.clock (Int64.of_int (t.grace_until - now))
+      end;
+      (t.epoch, f t.backing)
+    in
+    if wire_span = 0 then run () else Profiler.with_span wire_span run
   in
   let rec go attempt ~reply =
     t.rpcs <- t.rpcs + 1;
+    Trace.stamp Trace.ev_rpc_send attempt;
     let crashed = match t.faults with Some fl -> Fault.fire fl.crash | None -> false in
     if crashed then restart t;
     let partitioned =
@@ -367,6 +389,7 @@ let connect ?(protocol = Stateful) server =
       c_epoch_seen = server.epoch;
       c_leases = Hashtbl.create 256;
       c_seen = Hashtbl.create 256;
+      c_break_spans = Hashtbl.create 16;
       c_on_invalidate = (fun _ -> ());
       c_grants = 0;
       c_gate_live = 0;
@@ -381,6 +404,20 @@ let connect ?(protocol = Stateful) server =
   c
 
 let set_invalidate c hook = c.c_on_invalidate <- hook
+
+(* §3.8: the victim end of the cross-client causal edge.  A gate miss on
+   an inode whose lease a remote mutation broke consumes the recorded
+   breaker span and stamps the link (arg = breaker).  Int-key
+   Hashtbl.find/remove allocate nothing, and the miss branch has already
+   left the warm path. *)
+let note_break_span c ino =
+  if !Profiler.armed then begin
+    match Hashtbl.find c.c_break_spans ino with
+    | breaker ->
+      Hashtbl.remove c.c_break_spans ino;
+      Trace.stamp Trace.ev_span_link breaker
+    | exception Not_found -> ()
+  end
 let client_id c = c.c_id
 let client_epoch c = c.c_epoch_seen
 
@@ -495,6 +532,7 @@ let fs server c retry =
       end
     | exception Not_found ->
       c.c_gate_miss <- c.c_gate_miss + 1;
+      note_break_span c ino;
       false
   in
   {

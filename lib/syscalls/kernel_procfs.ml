@@ -4,6 +4,7 @@ module Config = Dcache_vfs.Config
 module Dcache = Dcache_vfs.Dcache
 module Fault = Dcache_util.Fault
 module Trace = Dcache_util.Trace
+module Profiler = Dcache_util.Profiler
 
 (* DLHT load figures (init namespace) appended to dcache/stats.  These are
    gauges, not monotonic counters — population and chain lengths go up and
@@ -107,6 +108,10 @@ let render_histograms () = Trace.histograms_to_string ()
 let render_causes () = Trace.causes_to_string ()
 let render_trace () = Trace.ring_to_string ()
 
+(* [dcache/hot] is the per-directory cache-efficacy sketch (§3.8): top-K
+   heavy hitters with their exact-count error bounds. *)
+let render_hot () = Profiler.hot_to_string ()
+
 let render_faults faults () =
   match faults with
   | None -> "no injector attached\n"
@@ -193,6 +198,7 @@ let make ?faults ?netfs kernel =
   ok (Pseudofs.add_file p "/dcache/histograms" ~content:render_histograms);
   ok (Pseudofs.add_file p "/dcache/causes" ~content:render_causes);
   ok (Pseudofs.add_file p "/dcache/trace" ~content:render_trace);
+  ok (Pseudofs.add_file p "/dcache/hot" ~content:render_hot);
   ok (Pseudofs.add_file p "/faults" ~content:(render_faults faults));
   ok (Pseudofs.add_dir p "/netfs");
   ok (Pseudofs.add_file p "/netfs/rpc" ~content:(render_netfs_rpc netfs));

@@ -15,6 +15,8 @@ module Rwlock = Dcache_util.Rwlock
 module Locktab = Dcache_util.Locktab
 module Dlist = Dcache_util.Dlist
 module Fault = Dcache_util.Fault
+module Trace = Dcache_util.Trace
+module Profiler = Dcache_util.Profiler
 
 type 'a r = ('a, Errno.t) result
 
@@ -23,6 +25,15 @@ let counters proc = Kernel.counters proc.Proc.kernel
 let dcache proc = Kernel.dcache proc.Proc.kernel
 let kconfig proc = Kernel.config proc.Proc.kernel
 let count proc name = Counter.incr (counters proc) name
+
+(* Syscall entry: bump the per-kernel counter and mint a request-scoped
+   span (§3.8).  The span id installs as this domain's current span and
+   rides every subsequent Trace stamp, netfs RPC and lease-break
+   notification until the next syscall entry on the domain.  Disarmed,
+   [span_enter] is a load-and-branch returning 0 and nothing is stamped. *)
+let sys proc name =
+  count proc name;
+  if Profiler.span_enter () <> 0 then Trace.stamp Trace.ev_syscall 0
 
 (* Per-lookup path statistics (reported in the paper's Table 1). *)
 let note_lookup proc path =
@@ -140,34 +151,34 @@ let do_stat ?(follow = true) ?start proc path =
 
 let stat proc path =
   Systime.timed Systime.Access_stat (fun () ->
-      count proc "sys_stat";
+      sys proc "sys_stat";
       do_stat proc path)
 
 let lstat proc path =
   Systime.timed Systime.Access_stat (fun () ->
-      count proc "sys_lstat";
+      sys proc "sys_lstat";
       do_stat ~follow:false proc path)
 
 let fstatat proc dirfd path ?(follow = true) () =
   Systime.timed Systime.Access_stat (fun () ->
-      count proc "sys_fstatat";
+      sys proc "sys_fstatat";
       let* fd = Proc.find_fd proc dirfd in
       do_stat ~follow ~start:fd.Proc.fd_ref proc path)
 
 let fstat proc fdnum =
-  count proc "sys_fstat";
+  sys proc "sys_fstat";
   let* fd = Proc.find_fd proc fdnum in
   Ok (Inode.attr fd.Proc.fd_inode)
 
 let access proc path mask =
   Systime.timed Systime.Access_stat (fun () ->
-      count proc "sys_access";
+      sys proc "sys_access";
       resolve_with proc path ~within:(fun ref_ ->
           let* inode = positive_inode ref_.dentry in
           permission proc inode mask))
 
 let readlink proc path =
-  count proc "sys_readlink";
+  sys proc "sys_readlink";
   let* ref_ = resolve ~flags:(lookup_flags ~follow:false ()) proc path in
   let* inode = positive_inode ref_.dentry in
   if File_kind.equal (Inode.kind inode) File_kind.Symlink then Inode.symlink_target inode
@@ -694,17 +705,17 @@ let rec do_open ?(mode = Mode.default_file) ?start proc path flags =
 
 let openf ?mode proc path flags =
   Systime.timed Systime.Open (fun () ->
-      count proc "sys_open";
+      sys proc "sys_open";
       do_open ?mode proc path flags)
 
 let openat ?mode proc dirfd path flags =
   Systime.timed Systime.Open (fun () ->
-      count proc "sys_openat";
+      sys proc "sys_openat";
       let* fd = Proc.find_fd proc dirfd in
       do_open ?mode ~start:fd.Proc.fd_ref proc path flags)
 
 let close proc fdnum =
-  count proc "sys_close";
+  sys proc "sys_close";
   let* fd = Proc.remove_fd proc fdnum in
   Dcache.dput fd.Proc.fd_ref.dentry;
   let inode = fd.Proc.fd_inode in
@@ -712,7 +723,7 @@ let close proc fdnum =
   Ok ()
 
 let read proc fdnum len =
-  count proc "sys_read";
+  sys proc "sys_read";
   let* fd = Proc.find_fd proc fdnum in
   if not fd.Proc.fd_readable then Error Errno.EBADF
   else begin
@@ -723,7 +734,7 @@ let read proc fdnum len =
   end
 
 let pread proc fdnum ~off ~len =
-  count proc "sys_pread";
+  sys proc "sys_pread";
   let* fd = Proc.find_fd proc fdnum in
   if not fd.Proc.fd_readable then Error Errno.EBADF
   else begin
@@ -741,7 +752,7 @@ let do_write (fd : Proc.fd) ~off data =
   end
 
 let write proc fdnum data =
-  count proc "sys_write";
+  sys proc "sys_write";
   let* fd = Proc.find_fd proc fdnum in
   let off =
     if fd.Proc.fd_append then (Inode.attr fd.Proc.fd_inode).Attr.size else fd.Proc.fd_pos
@@ -751,7 +762,7 @@ let write proc fdnum data =
   Ok written
 
 let pwrite proc fdnum ~off data =
-  count proc "sys_pwrite";
+  sys proc "sys_pwrite";
   let* fd = Proc.find_fd proc fdnum in
   do_write fd ~off data
 
@@ -766,7 +777,7 @@ let dirent_of_child d =
     Some { Fs.name = d.d_name; ino = attr.Attr.ino; kind = attr.Attr.kind }
 
 let getdents proc fdnum want =
-  count proc "sys_getdents";
+  sys proc "sys_getdents";
   let* fd = Proc.find_fd proc fdnum in
   if not (Inode.is_dir fd.Proc.fd_inode) then Error Errno.ENOTDIR
   else begin
@@ -864,7 +875,7 @@ let getdents proc fdnum want =
   end
 
 let lseek proc fdnum off =
-  count proc "sys_lseek";
+  sys proc "sys_lseek";
   let* fd = Proc.find_fd proc fdnum in
   if off < 0 then Error Errno.EINVAL
   else begin
@@ -886,7 +897,7 @@ let lseek proc fdnum off =
   end
 
 let truncate proc path size =
-  count proc "sys_truncate";
+  sys proc "sys_truncate";
   if size < 0 then Error Errno.EINVAL
   else
     resolve_with proc path ~within:(fun ref_ ->
@@ -902,7 +913,7 @@ let truncate proc path size =
 (* --- namespace mutations --- *)
 
 let mkdir ?(mode = Mode.default_dir) proc path =
-  count proc "sys_mkdir";
+  sys proc "sys_mkdir";
   with_write proc (fun () ->
       let* p = resolve_parent_locked proc path in
       match p.Walk.child with
@@ -928,7 +939,7 @@ let check_not_mountpoint proc (p : Walk.parent_result) child =
 
 let unlink proc path =
   Systime.timed Systime.Unlink (fun () ->
-      count proc "sys_unlink";
+      sys proc "sys_unlink";
       match sharded_unlink proc path with
       | Done r -> r
       | Legacy ->
@@ -960,7 +971,7 @@ let unlink proc path =
               end)))
 
 let rmdir proc path =
-  count proc "sys_rmdir";
+  sys proc "sys_rmdir";
   with_write proc (fun () ->
       let* p = resolve_parent_locked proc path in
       match p.Walk.child with
@@ -993,7 +1004,7 @@ let rec is_ancestor ~(of_ : dentry) candidate =
   || (match of_.d_parent with Some parent -> is_ancestor ~of_:parent candidate | None -> false)
 
 let rename proc old_path new_path =
-  count proc "sys_rename";
+  sys proc "sys_rename";
   match sharded_rename proc old_path new_path with
   | Done r -> r
   | Legacy ->
@@ -1090,7 +1101,7 @@ let rename proc old_path new_path =
         end)
 
 let link proc old_path new_path =
-  count proc "sys_link";
+  sys proc "sys_link";
   with_write proc (fun () ->
       let* old_ref = resolve_locked ~flags:(lookup_flags ~follow:false ()) proc old_path in
       let* old_inode = positive_inode old_ref.dentry in
@@ -1116,7 +1127,7 @@ let link proc old_path new_path =
       end)
 
 let symlink proc ~target path =
-  count proc "sys_symlink";
+  sys proc "sys_symlink";
   with_write proc (fun () ->
       let* p = resolve_parent_locked proc path in
       match p.Walk.child with
@@ -1133,7 +1144,7 @@ let symlink proc ~target path =
         Ok ())
 
 let mkstemp ?prng ?(prefix = "tmp") proc dir =
-  count proc "sys_mkstemp";
+  sys proc "sys_mkstemp";
   let prng =
     match prng with Some p -> p | None -> Dcache_util.Prng.create (Hashtbl.hash dir)
   in
@@ -1177,23 +1188,23 @@ let setattr_path proc path ~privileged changes =
 
 let chmod proc path mode =
   Systime.timed Systime.Chmod_chown (fun () ->
-      count proc "sys_chmod";
+      sys proc "sys_chmod";
       setattr_path proc path ~privileged:false { Fs.no_setattr with Fs.set_mode = Some mode })
 
 let chown proc path ~uid ~gid =
   Systime.timed Systime.Chmod_chown (fun () ->
-      count proc "sys_chown";
+      sys proc "sys_chown";
       setattr_path proc path ~privileged:true
         { Fs.no_setattr with Fs.set_uid = Some uid; set_gid = Some gid })
 
 let set_label proc path label =
-  count proc "sys_set_label";
+  sys proc "sys_set_label";
   setattr_path proc path ~privileged:true { Fs.no_setattr with Fs.set_label = Some label }
 
 (* --- process state --- *)
 
 let chdir proc path =
-  count proc "sys_chdir";
+  sys proc "sys_chdir";
   resolve_with proc path ~flags:(lookup_flags ~must_dir:true ()) ~within:(fun ref_ ->
       let* inode = positive_inode ref_.dentry in
       let* () = permission proc inode Access.may_exec in
@@ -1204,7 +1215,7 @@ let chdir proc path =
          proc.Proc.cwd <- ref_)
 
 let fchdir proc fdnum =
-  count proc "sys_fchdir";
+  sys proc "sys_fchdir";
   let* fd = Proc.find_fd proc fdnum in
   if not (Inode.is_dir fd.Proc.fd_inode) then Error Errno.ENOTDIR
   else begin
@@ -1215,7 +1226,7 @@ let fchdir proc fdnum =
   end
 
 let chroot proc path =
-  count proc "sys_chroot";
+  sys proc "sys_chroot";
   if Cred.uid proc.Proc.cred <> 0 then Error Errno.EPERM
   else
     resolve_with proc path ~flags:(lookup_flags ~must_dir:true ()) ~within:(fun ref_ ->
@@ -1230,7 +1241,7 @@ let chroot proc path =
 (* --- mounts --- *)
 
 let mount_fs ?(readonly = false) ?(nosuid = false) proc fs path =
-  count proc "sys_mount";
+  sys proc "sys_mount";
   if Cred.uid proc.Proc.cred <> 0 then Error Errno.EPERM
   else begin
     with_write proc (fun () ->
@@ -1245,7 +1256,7 @@ let mount_fs ?(readonly = false) ?(nosuid = false) proc fs path =
   end
 
 let bind_mount ?(readonly = false) proc ~src ~dst =
-  count proc "sys_mount";
+  sys proc "sys_mount";
   if Cred.uid proc.Proc.cred <> 0 then Error Errno.EPERM
   else begin
     with_write proc (fun () ->
@@ -1260,7 +1271,7 @@ let bind_mount ?(readonly = false) proc ~src ~dst =
   end
 
 let umount proc path =
-  count proc "sys_umount";
+  sys proc "sys_umount";
   if Cred.uid proc.Proc.cred <> 0 then Error Errno.EPERM
   else begin
     with_write proc (fun () ->
@@ -1277,7 +1288,7 @@ let umount proc path =
   end
 
 let unshare_mount_ns proc =
-  count proc "sys_unshare";
+  sys proc "sys_unshare";
   Dcache.with_write (dcache proc) (fun () ->
       let ns = Mount.clone_namespace proc.Proc.ns in
       proc.Proc.ns <- ns;
@@ -1298,7 +1309,7 @@ let with_dirfd proc dirfd k =
   else k fd.Proc.fd_ref
 
 let mkdirat ?mode proc dirfd path =
-  count proc "sys_mkdirat";
+  sys proc "sys_mkdirat";
   with_dirfd proc dirfd (fun start ->
       with_write proc (fun () ->
           let* p = resolve_parent_locked ~start proc path in
@@ -1320,7 +1331,7 @@ let mkdirat ?mode proc dirfd path =
             Ok ()))
 
 let unlinkat proc dirfd path =
-  count proc "sys_unlinkat";
+  sys proc "sys_unlinkat";
   with_dirfd proc dirfd (fun start ->
       match sharded_unlink ~start proc path with
       | Done r -> r
@@ -1353,7 +1364,7 @@ let unlinkat proc dirfd path =
               end)))
 
 let symlinkat proc ~target dirfd path =
-  count proc "sys_symlinkat";
+  sys proc "sys_symlinkat";
   with_dirfd proc dirfd (fun start ->
       with_write proc (fun () ->
           let* p = resolve_parent_locked ~start proc path in
@@ -1372,7 +1383,7 @@ let symlinkat proc ~target dirfd path =
             Ok ()))
 
 let readlinkat proc dirfd path =
-  count proc "sys_readlinkat";
+  sys proc "sys_readlinkat";
   with_dirfd proc dirfd (fun start ->
       let* ref_ = resolve ~start ~flags:(lookup_flags ~follow:false ()) proc path in
       let* inode = positive_inode ref_.dentry in
@@ -1381,14 +1392,14 @@ let readlinkat proc dirfd path =
 
 let faccessat proc dirfd path mask =
   Systime.timed Systime.Access_stat (fun () ->
-      count proc "sys_faccessat";
+      sys proc "sys_faccessat";
       with_dirfd proc dirfd (fun start ->
           resolve_with ~start proc path ~within:(fun ref_ ->
               let* inode = positive_inode ref_.dentry in
               permission proc inode mask)))
 
 let getcwd proc =
-  count proc "sys_getcwd";
+  sys proc "sys_getcwd";
   let root = proc.Proc.root in
   let cwd = proc.Proc.cwd in
   if cwd.dentry.d_parent <> None && not cwd.dentry.d_hashed then
@@ -1411,7 +1422,7 @@ let getcwd proc =
   end
 
 let invalidate_path proc path =
-  count proc "sys_invalidate_path";
+  sys proc "sys_invalidate_path";
   match sharded_invalidate proc path with
   | Done r -> r
   | Legacy ->

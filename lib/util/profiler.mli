@@ -1,0 +1,115 @@
+(** Request-scoped causal profiling (§3.8).
+
+    Three preallocated, disarmed-by-default facilities sharing the Trace
+    ring's overhead discipline (disarmed: one load-and-branch; armed:
+    int/pointer stores only, zero minor-heap words):
+
+    - {b span ids} minted per syscall from per-domain blocks, threaded
+      through the fastpath, the netfs wire format and lease-break
+      delivery so cross-client causality renders as one connected trace;
+    - a {b space-saving top-K sketch} attributing cache efficacy (hits,
+      misses, negatives, retries, lease fallbacks, invalidations) to
+      individual directories with exact-count error bounds;
+    - {b sliding-window histograms}: two epoch-rotated banks of log2
+      histograms for per-class latency trends.
+
+    Global state, like {!Trace}; call {!reset} between experiments. *)
+
+val armed : bool ref
+(** Master switch for span minting, sketch recording and window
+    recording.  Prefer {!arm}/{!disarm}; exposed for armed-path tests. *)
+
+val arm : unit -> unit
+val disarm : unit -> unit
+
+val reset : unit -> unit
+(** Clear the sketch, both window banks and the calling domain's current
+    span.  Does not change {!armed}. *)
+
+(** {1 Request-scoped spans} *)
+
+val span_enter : unit -> int
+(** Mint a fresh span id and install it as the calling domain's current
+    span.  Returns 0 when disarmed.  Zero-allocation. *)
+
+val current : unit -> int
+(** The calling domain's current span id; 0 = no span. *)
+
+val set_current : int -> unit
+(** Install [id] as the calling domain's current span (trace replay /
+    tests; integration points use {!span_enter} and {!with_span}). *)
+
+val with_span : int -> (unit -> 'a) -> 'a
+(** Run under span [id], restoring the caller's span afterwards — the
+    server side of a wire message carrying the client's span.  Allocates
+    (closure); RPC-path only, never on the warm hit. *)
+
+(** {1 Per-directory cache efficacy (space-saving top-K)} *)
+
+val hh_k : int
+(** Number of sketch slots. *)
+
+(** Metric column indices within a slot. *)
+
+val m_hit : int
+val m_miss : int
+val m_neg : int
+val m_retry : int
+val m_lease : int
+val m_inval : int
+val n_metrics : int
+
+val metric_names : string array
+
+val hh_record : int -> string -> int -> unit
+(** [hh_record key label metric] attributes one event of [metric] to
+    directory [key] (label kept by pointer for rendering).  Space-saving
+    update: monitored keys increment; unmonitored keys evict the minimum
+    slot and inherit its total as their error bound.  Zero-allocation;
+    no-op when disarmed. *)
+
+type hot_slot = {
+  h_key : int;
+  h_label : string;
+  h_total : int;  (** estimated count; >= true count *)
+  h_err : int;  (** overcount bound: true count >= h_total - h_err *)
+  h_metrics : int array;  (** indexed by [m_hit] … [m_inval] *)
+}
+
+val hot : unit -> hot_slot list
+(** Resident slots, sorted by estimated total descending.  While fewer
+    than {!hh_k} distinct keys have been recorded, every [h_err] is 0 and
+    counts are exact. *)
+
+val hot_to_string : unit -> string
+(** Render for [/proc/dcache/hot]: header lines
+    [armed]/[k]/[recorded]/[evictions], then one
+    [dir <key> <label> total <t> err <e> hit <n> … inval <n>] line per
+    slot in {!hot} order. *)
+
+(** {1 Sliding-window histograms} *)
+
+val n_windows : int
+(** Number of class slots per bank; {!Trace} maps its latency classes
+    onto them. *)
+
+val record_window : int -> int -> unit
+(** [record_window cls v] records [v] into class [cls] of the current
+    bank.  Zero-allocation; no-op when disarmed or [cls] out of range. *)
+
+val window_cur : int -> Stats.Lhist.t
+(** Histogram collecting the epoch in progress. *)
+
+val window_prev : int -> Stats.Lhist.t
+(** Histogram of the last completed epoch. *)
+
+val window_epoch : unit -> int
+(** Number of completed rotations. *)
+
+val rotate : unit -> unit
+(** Flip banks: current becomes previous, the new current is reset. *)
+
+val tick : epoch_ns:int -> int -> unit
+(** [tick ~epoch_ns now] rotates when [now] (virtual or monotonic ns —
+    the caller owns the clock) has passed the current epoch's end.  The
+    first tick only anchors the epoch origin. *)

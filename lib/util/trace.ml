@@ -2,10 +2,11 @@
 
    Three always-compiled-in, disarmed-by-default facilities:
 
-   - an event ring: three parallel preallocated int arrays (timestamp,
-     event id, argument) behind a power-of-two mask.  An armed [stamp] is
-     four int stores and an increment — no allocation, so the ring can stay
-     armed across a zero-allocation fastpath run.  Disarmed it is a single
+   - an event ring: one preallocated int array, four interleaved words per
+     entry (timestamp, event id, argument, span) behind a power-of-two
+     mask.  An armed [stamp] is four adjacent int stores and an increment —
+     no allocation, so the ring can stay armed across a zero-allocation
+     fastpath run.  Disarmed it is a single
      load-and-branch.  Timestamps are the stamp's own sequence number by
      default (a total order is what trace analysis needs); flipping
      [real_clock] stamps [Clock.monotonic_ns] instead, which buys real
@@ -56,7 +57,10 @@ let ev_lease_break = 27
 let ev_lease_fence = 28
 let ev_rpc_partition = 29
 let ev_netfs_crash = 30
-let n_events = 31
+let ev_syscall = 31
+let ev_rpc_send = 32
+let ev_span_link = 33
+let n_events = 34
 
 let event_names =
   [|
@@ -91,6 +95,9 @@ let event_names =
     "lease_fence";
     "rpc_partition";
     "netfs_crash";
+    "syscall";
+    "rpc_send";
+    "span_link";
   |]
 
 let event_name ev = if ev >= 0 && ev < n_events then event_names.(ev) else "unknown"
@@ -98,12 +105,17 @@ let event_name ev = if ev >= 0 && ev < n_events then event_names.(ev) else "unkn
 (* --- the event ring --- *)
 
 let default_capacity = 8192
+
+(* One flat array, four words per entry (ts, ev, arg, span interleaved):
+   an armed stamp's four stores land on one or two adjacent cache lines
+   instead of four distinct lines in four parallel arrays — on a ring this
+   size the lanes never stay resident, so the layout is most of the armed
+   stamp's cost. *)
+let ring_stride = 4
 let armed = ref false
 let real_clock = ref false
 let timing = ref false
-let ts_buf = ref (Array.make default_capacity 0)
-let ev_buf = ref (Array.make default_capacity 0)
-let arg_buf = ref (Array.make default_capacity 0)
+let ring_buf = ref (Array.make (default_capacity * ring_stride) 0)
 let mask = ref (default_capacity - 1)
 
 (* The ring cursor is atomic: sharded writers stamp from many domains at
@@ -113,38 +125,43 @@ let mask = ref (default_capacity - 1)
    consumers already tolerate (the ring is diagnostic, not a statistic). *)
 let seq = Atomic.make 0
 
-let capacity () = Array.length !ev_buf
+let capacity () = Array.length !ring_buf / ring_stride
 
 let configure ~capacity =
   if capacity <= 0 || capacity land (capacity - 1) <> 0 then
     invalid_arg "Trace.configure: capacity must be a positive power of two";
-  ts_buf := Array.make capacity 0;
-  ev_buf := Array.make capacity 0;
-  arg_buf := Array.make capacity 0;
+  ring_buf := Array.make (capacity * ring_stride) 0;
   mask := capacity - 1;
   Atomic.set seq 0
 
+(* The entry base is masked by the array's own length (capacity and stride
+   are both powers of two, so entry count = length lsr 2): no bounds-check
+   branch, yet memory-safe even if a racing [configure] swaps the buffer
+   mid-stamp. *)
 let[@inline] stamp ev arg =
   if !armed then begin
     let s = Atomic.fetch_and_add seq 1 in
-    let i = s land !mask in
-    (!ts_buf).(i) <- (if !real_clock then Clock.monotonic_ns () else s);
-    (!ev_buf).(i) <- ev;
-    (!arg_buf).(i) <- arg
+    let a = !ring_buf in
+    let base = (s land ((Array.length a lsr 2) - 1)) * ring_stride in
+    Array.unsafe_set a base (if !real_clock then Clock.monotonic_ns () else s);
+    Array.unsafe_set a (base + 1) ev;
+    Array.unsafe_set a (base + 2) arg;
+    Array.unsafe_set a (base + 3) (Profiler.current ())
   end
 
 let recorded () = Atomic.get seq
 let dropped () = Stdlib.max 0 (Atomic.get seq - capacity ())
 
-(* Oldest-first over whatever the ring still holds; [f seq ts ev arg]. *)
+(* Oldest-first over whatever the ring still holds; [f seq ts ev arg span]. *)
 let iter_events f =
   let cap = capacity () in
   let total = Atomic.get seq in
   let count = Stdlib.min total cap in
   let start = total - count in
+  let a = !ring_buf in
   for k = 0 to count - 1 do
-    let i = (start + k) land !mask in
-    f (start + k) (!ts_buf).(i) (!ev_buf).(i) (!arg_buf).(i)
+    let base = ((start + k) land !mask) * ring_stride in
+    f (start + k) a.(base) a.(base + 1) a.(base + 2) a.(base + 3)
   done
 
 (* --- cause-attributed counters --- *)
@@ -199,7 +216,14 @@ let class_name c = class_names.(c)
 
 let lat = Array.init n_classes (fun _ -> Stats.Lhist.create ())
 let latency c = lat.(c)
-let[@inline] record_latency c ns = Stats.Lhist.record lat.(c) ns
+
+(* Also feeds the profiler's sliding window for the class: the cumulative
+   histogram answers "since reset", the window answers "lately" (§3.8).
+   Both stores are preallocated; the window store is a no-op unless the
+   profiler is armed. *)
+let[@inline] record_latency c ns =
+  Stats.Lhist.record lat.(c) ns;
+  Profiler.record_window c ns
 
 (* Resume-depth histogram (§3.5): how many already-cached components each
    prefix-resumed miss skipped.  Not a latency class — depths, not ns — but
@@ -225,6 +249,17 @@ let histograms_to_string () =
     (Printf.sprintf "class resume_depth %s\n" (Stats.Lhist.to_string resume_depth));
   Buffer.add_string buf
     (Printf.sprintf "class lease_age %s\n" (Stats.Lhist.to_string lease_age));
+  (* Sliding windows (§3.8): the epoch in progress and the last completed
+     one, per class — same line grammar with a [window cur|prev] prefix. *)
+  Buffer.add_string buf (Printf.sprintf "window_epoch %d\n" (Profiler.window_epoch ()));
+  for c = 0 to n_classes - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "window cur %s %s\n" class_names.(c)
+         (Stats.Lhist.to_string (Profiler.window_cur c)));
+    Buffer.add_string buf
+      (Printf.sprintf "window prev %s %s\n" class_names.(c)
+         (Stats.Lhist.to_string (Profiler.window_prev c)))
+  done;
   Buffer.contents buf
 
 (* --- arming / reset --- *)
@@ -257,10 +292,11 @@ let ring_to_string ?(limit = 64) () =
   let total = recorded () in
   let skip = Stdlib.max 0 (Stdlib.min total (capacity ()) - limit) in
   let shown = ref 0 in
-  iter_events (fun s ts ev arg ->
+  iter_events (fun s ts ev arg span ->
       incr shown;
       if !shown > skip then
-        Printf.bprintf buf "%d %d %s %d\n" s ts (event_name ev) arg);
+        if span = 0 then Printf.bprintf buf "%d %d %s %d\n" s ts (event_name ev) arg
+        else Printf.bprintf buf "%d %d %s %d span=%d\n" s ts (event_name ev) arg span);
   Buffer.contents buf
 
 (* Chrome trace_event JSON (the "JSON Array Format" with a traceEvents
@@ -268,15 +304,58 @@ let ring_to_string ?(limit = 64) () =
    becomes a global instant event; [ts] is the raw stamp (sequence number,
    or ns when [real_clock] was set — the viewer's timescale label reads µs
    either way, which only affects the axis captions).  Event names are
-   drawn from [event_names] and contain no characters needing escapes. *)
+   drawn from [event_names] and contain no characters needing escapes.
+
+   Span-aware additions (§3.8): each distinct nonzero span among the
+   retained events gets an async "b"/"e" bracket spanning its first and
+   last stamp, so a request reads as one lane; each [ev_span_link] stamp
+   (arg = the causing span, e.g. the mutator whose lease break forced this
+   client's fallback) gets a flow "s"/"f" pair from the causing span's
+   last retained event to the link — the cross-client causal edge. *)
 let dump_chrome () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   let first = ref true in
-  iter_events (fun s ts ev arg ->
-      if !first then first := false else Buffer.add_char buf ',';
+  let sep () = if !first then first := false else Buffer.add_char buf ',' in
+  (* Span extents among retained events: span -> (first_ts, last_ts).
+     Render path — allocation is fine here. *)
+  let extents = Hashtbl.create 64 in
+  let order = ref [] in
+  iter_events (fun _s ts _ev _arg span ->
+      if span <> 0 then
+        match Hashtbl.find_opt extents span with
+        | None ->
+            Hashtbl.add extents span (ts, ts);
+            order := span :: !order
+        | Some (t0, _) -> Hashtbl.replace extents span (t0, ts));
+  iter_events (fun s ts ev arg span ->
+      sep ();
       Printf.bprintf buf
-        "{\"name\":\"%s\",\"cat\":\"dcache\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":1,\"ts\":%d,\"args\":{\"seq\":%d,\"arg\":%d}}"
-        (event_name ev) ts s arg);
+        "{\"name\":\"%s\",\"cat\":\"dcache\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":1,\"ts\":%d,\"args\":{\"seq\":%d,\"arg\":%d,\"span\":%d}}"
+        (event_name ev) ts s arg span;
+      if ev = ev_span_link && arg <> 0 then
+        match Hashtbl.find_opt extents arg with
+        | None -> ()  (* causing span's events already overwritten *)
+        | Some (_, last) ->
+            sep ();
+            Printf.bprintf buf
+              "{\"name\":\"cause\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":%d,\"pid\":1,\"tid\":1,\"ts\":%d}"
+              arg last;
+            sep ();
+            Printf.bprintf buf
+              "{\"name\":\"cause\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"pid\":1,\"tid\":1,\"ts\":%d}"
+              arg ts);
+  List.iter
+    (fun span ->
+      let t0, t1 = Hashtbl.find extents span in
+      sep ();
+      Printf.bprintf buf
+        "{\"name\":\"span\",\"cat\":\"span\",\"ph\":\"b\",\"id\":%d,\"pid\":1,\"tid\":1,\"ts\":%d}"
+        span t0;
+      sep ();
+      Printf.bprintf buf
+        "{\"name\":\"span\",\"cat\":\"span\",\"ph\":\"e\",\"id\":%d,\"pid\":1,\"tid\":1,\"ts\":%d}"
+        span t1)
+    (List.rev !order);
   Buffer.add_string buf "]}";
   Buffer.contents buf

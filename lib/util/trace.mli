@@ -62,17 +62,22 @@ val recorded : unit -> int
 val dropped : unit -> int
 (** Stamps the ring has overwritten: [max 0 (recorded - capacity)]. *)
 
-val iter_events : (int -> int -> int -> int -> unit) -> unit
-(** [iter_events f] calls [f seq ts ev arg] oldest-first over the retained
-    events. *)
+val iter_events : (int -> int -> int -> int -> int -> unit) -> unit
+(** [iter_events f] calls [f seq ts ev arg span] oldest-first over the
+    retained events ([span] is the recording request's {!Profiler} span
+    id, 0 when none). *)
 
 val ring_to_string : ?limit:int -> unit -> string
 (** Header ([armed]/[timing]/[capacity]/[recorded]/[dropped]) plus the
-    newest [limit] (default 64) events, one [seq ts name arg] per line. *)
+    newest [limit] (default 64) events, one [seq ts name arg] per line
+    (with a [span=N] suffix when the event carries a span). *)
 
 val dump_chrome : unit -> string
-(** The retained ring as Chrome [trace_event] JSON (instant events),
-    loadable in chrome://tracing / Perfetto. *)
+(** The retained ring as Chrome [trace_event] JSON, loadable in
+    chrome://tracing / Perfetto: one instant per ring entry (span id in
+    [args]), an async "b"/"e" bracket per distinct span, and a flow
+    "s"/"f" pair per {!ev_span_link} connecting the causing span's lane to
+    the link — cross-client lease-break causality reads as one flow. *)
 
 (** {2 Event ids} *)
 
@@ -150,6 +155,20 @@ val ev_netfs_crash : int
 (** The netfs server crash site fired: epoch bumped, all grants voided,
     grace period opened; arg = the new epoch. *)
 
+val ev_syscall : int
+(** A syscall entry minted a fresh {!Profiler} span (stamped only when the
+    profiler is armed; the span id rides the stamp's span lane). *)
+
+val ev_rpc_send : int
+(** A netfs RPC attempt left the client carrying the current span in the
+    wire message; arg = attempt number. *)
+
+val ev_span_link : int
+(** Cross-request causal edge: this request's miss/fallback was caused by
+    another request (arg = the causing span id) — e.g. a lease-gate miss
+    on an inode whose lease a remote client's mutation broke.
+    [dump_chrome] renders each link as a flow event pair. *)
+
 val n_events : int
 val event_name : int -> string
 
@@ -205,11 +224,15 @@ val class_name : int -> string
 
 val latency : int -> Stats.Lhist.t
 val record_latency : int -> int -> unit
-(** [record_latency cls ns]: allocation-free histogram store. *)
+(** [record_latency cls ns]: allocation-free histogram store.  Also feeds
+    the class's {!Profiler} sliding window (no-op unless the profiler is
+    armed). *)
 
 val histograms_to_string : unit -> string
 (** One [class name n … p50 … p90 … p99 … max … mean …] line per latency
-    class, plus the [resume_depth] histogram in the same format. *)
+    class, plus the [resume_depth] histogram in the same format, plus the
+    profiler's sliding windows ([window_epoch N] then
+    [window cur|prev name …] lines). *)
 
 (** {2 Resume-depth histogram (§3.5)} *)
 

@@ -6,6 +6,7 @@ module Seqcount = Dcache_util.Seqcount
 module Locktab = Dcache_util.Locktab
 module Counter = Dcache_util.Stats.Counter
 module Trace = Dcache_util.Trace
+module Profiler = Dcache_util.Profiler
 module Fs_intf = Dcache_fs.Fs_intf
 
 type hooks = { mutable on_shootdown : dentry -> unit }
@@ -471,6 +472,10 @@ let should_cache_negatives t sb =
 
 let fill t parent name =
   Counter.incr t.counters "dcache_miss";
+  (* §3.8: misses are attributed here, directory-precise and config-
+     agnostic (every kernel flavor funnels cold lookups through fill),
+     rather than in the fastpath fallback, which would double count. *)
+  if !Profiler.armed then Profiler.hh_record parent.d_id parent.d_name Profiler.m_miss;
   let sb = parent.d_sb in
   match dentry_inode parent with
   | None -> Error Errno.ENOENT
@@ -518,6 +523,7 @@ let invalidate_permissions t dir =
             Trace.bump_cause Trace.cause_inval_chmod));
     Atomic.incr t.invalidation;
     Trace.stamp Trace.ev_inval_chmod !visited;
+    if !Profiler.armed then Profiler.hh_record dir.d_id dir.d_name Profiler.m_inval;
     Counter.add t.counters "invalidate_permission_dentries" !visited;
     !visited
   end
@@ -539,6 +545,13 @@ let invalidate_structure t dentry =
         Trace.bump_cause Trace.cause_inval_rename);
     Atomic.incr t.invalidation;
     Trace.stamp Trace.ev_inval_rename !visited;
+    (* Attributed to the containing directory (the shot-down subtree's
+       parent), matching how hits and misses are charged; a rootless
+       dentry charges itself. *)
+    (if !Profiler.armed then
+       match dentry.d_parent with
+       | Some p -> Profiler.hh_record p.d_id p.d_name Profiler.m_inval
+       | None -> Profiler.hh_record dentry.d_id dentry.d_name Profiler.m_inval);
     Counter.add t.counters "invalidate_structure_dentries" !visited;
     !visited
   end

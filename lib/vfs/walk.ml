@@ -3,6 +3,7 @@ open Types
 module Lsm = Dcache_cred.Lsm
 module Counter = Dcache_util.Stats.Counter
 module Trace = Dcache_util.Trace
+module Profiler = Dcache_util.Profiler
 
 type ctx = {
   cred : Dcache_cred.Cred.t;
@@ -147,6 +148,8 @@ let step mode t (cur : path_ref) name =
          answer is still correct. *)
       Counter.incr (Dcache.counters t) "complete_dir_negative";
       Trace.stamp Trace.ev_complete_neg 0;
+      if !Profiler.armed then
+        Profiler.hh_record cur.dentry.d_id cur.dentry.d_name Profiler.m_neg;
       if mode = Rcu then None
       else begin
         match Dcache.add_child t cur.dentry name (Negative Errno.ENOENT) with

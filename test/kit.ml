@@ -83,3 +83,105 @@ let contains_substring haystack needle =
   let n = String.length haystack and m = String.length needle in
   let rec at i = i + m <= n && (String.sub haystack i m = needle || at (i + 1)) in
   m = 0 || at 0
+
+(* --- a minimal JSON recognizer (no JSON library in the image) ---
+
+   Hand-rolled recursive descent over the grammar; accepts exactly one
+   JSON value spanning the whole string.  Shared by t_procfs and t_trace
+   to validate Trace.dump_chrome output. *)
+
+exception Bad_json
+
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c = if peek () = c then incr pos else raise Bad_json in
+  let literal w = String.iter expect w in
+  let string_ () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then raise Bad_json
+      else begin
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          pos := !pos + 2;
+          go ()
+        | _ ->
+          incr pos;
+          go ()
+      end
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    if peek () = '-' then incr pos;
+    while
+      match peek () with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then raise Bad_json
+  in
+  let rec value () =
+    ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> string_ ()
+    | 't' -> literal "true"
+    | 'f' -> literal "false"
+    | 'n' -> literal "null"
+    | _ -> number ()
+  and obj () =
+    expect '{';
+    ws ();
+    if peek () = '}' then incr pos
+    else begin
+      let rec members () =
+        ws ();
+        string_ ();
+        ws ();
+        expect ':';
+        value ();
+        ws ();
+        if peek () = ',' then begin
+          incr pos;
+          members ()
+        end
+        else expect '}'
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    ws ();
+    if peek () = ']' then incr pos
+    else begin
+      let rec elems () =
+        value ();
+        ws ();
+        if peek () = ',' then begin
+          incr pos;
+          elems ()
+        end
+        else expect ']'
+      in
+      elems ()
+    end
+  in
+  match
+    value ();
+    ws ()
+  with
+  | () -> !pos = n
+  | exception Bad_json -> false

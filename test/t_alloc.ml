@@ -173,6 +173,84 @@ let test_warm_hit_armed_ring_zero_alloc () =
       Alcotest.(check (float 0.0)) "warm hit with armed ring allocates zero words" 0.0
         words)
 
+(* --- §3.8 profiler allocation discipline ---
+
+   The profiler hooks ride the same probe sites as the ring stamps and
+   owe the same debt: disarmed, one load-and-branch; armed, int/pointer
+   stores into preallocated arrays.  Span minting is an increment off a
+   per-domain block (the block refill is one Atomic.fetch_and_add, still
+   no allocation), and a sketch update never leaves its parallel int
+   arrays. *)
+
+module Profiler = Dcache_util.Profiler
+
+let test_profiler_hooks_zero_alloc () =
+  Profiler.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Profiler.disarm ();
+      Profiler.reset ())
+    (fun () ->
+      let iters = 10_000 in
+      let hooks () =
+        ignore (Profiler.span_enter ());
+        Profiler.hh_record 7 "dir" Profiler.m_hit
+      in
+      let words = measure_minor_words iters hooks in
+      Alcotest.(check (float 0.0)) "disarmed hooks allocate zero words" 0.0 words;
+      Alcotest.(check int) "disarmed hooks record nothing" 0
+        (List.length (Profiler.hot ()));
+      Profiler.arm ();
+      let words = measure_minor_words iters hooks in
+      Alcotest.(check bool) "spans were minted" true (Profiler.current () <> 0);
+      (match Profiler.hot () with
+      | [ s ] ->
+        Alcotest.(check bool) "sketch counted every armed call" true
+          (s.Profiler.h_metrics.(Profiler.m_hit) >= iters)
+      | slots -> Alcotest.failf "expected one resident slot, got %d" (List.length slots));
+      Alcotest.(check (float 0.0)) "armed hooks allocate zero words" 0.0 words)
+
+let test_warm_hit_armed_profiler_zero_alloc () =
+  (* The acceptance bar for §3.8: a warm fastpath hit with the profiler
+     (and the ring) armed keeps the full zero-words, zero-locks
+     discipline while the sketch attributes every hit to the parent
+     directory. *)
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "tree" (S.mkdir_p p "/a/b/c");
+  get "file" (S.write_file p "/a/b/c/target" "payload");
+  let fp = Kernel.fastpath kernel in
+  let ctx = Proc.walk_ctx p in
+  probe_ok fp ctx "/a/b/c/target";
+  Trace.reset ();
+  Profiler.reset ();
+  Trace.armed := true;
+  Profiler.arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.armed := false;
+      Profiler.disarm ();
+      Trace.reset ();
+      Profiler.reset ())
+    (fun () ->
+      let iters = 10_000 in
+      Rwlock.reset_acquisition_counts ();
+      let words =
+        measure_minor_words iters (fun () -> probe_ok fp ctx "/a/b/c/target")
+      in
+      let locks = Rwlock.acquisition_counts () in
+      let hits =
+        List.fold_left
+          (fun acc s ->
+            if s.Profiler.h_label = "c" then acc + s.Profiler.h_metrics.(Profiler.m_hit)
+            else acc)
+          0 (Profiler.hot ())
+      in
+      Alcotest.(check bool) "sketch charged the parent directory" true (hits >= iters);
+      Alcotest.(check (float 0.0)) "warm hit with armed profiler allocates zero words"
+        0.0 words;
+      Alcotest.(check (pair int int))
+        "zero rwlock acquisitions with armed profiler" (0, 0) locks)
+
 (* --- prefix-resume snapshot discipline (§3.5) --- *)
 
 let test_snapshot_recording_zero_alloc () =
@@ -608,6 +686,10 @@ let suite =
       test_armed_ring_stamp_zero_alloc;
     Alcotest.test_case "warm hit with armed ring allocates zero minor words" `Quick
       test_warm_hit_armed_ring_zero_alloc;
+    Alcotest.test_case "profiler hooks allocate zero minor words (armed and disarmed)"
+      `Quick test_profiler_hooks_zero_alloc;
+    Alcotest.test_case "warm hit with armed profiler stays zero-alloc, zero-lock" `Quick
+      test_warm_hit_armed_profiler_zero_alloc;
     Alcotest.test_case "snapshot recording allocates zero minor words" `Quick
       test_snapshot_recording_zero_alloc;
     Alcotest.test_case "prefix-resumed miss reuses snapshot scratch" `Quick

@@ -378,6 +378,62 @@ let negfail_promotion_test =
       Alcotest.(check bool) "later probes were warm negative hits" true
         (counter kernel "fastpath_negative_hit" > 0))
 
+(* --- profiling transparency (§3.8) ---
+
+   Arming the profiler (spans minted per syscall, sketch updates on every
+   verdict, span-carrying ring stamps) must be invisible to applications:
+   the same deterministic deep-churn trace, run disarmed and armed on the
+   optimized kernel, must produce identical observations — and the armed
+   run must actually have profiled something, else the test is vacuous. *)
+
+let run_trace_armed config ops =
+  let module Trace = Dcache_util.Trace in
+  let module Profiler = Dcache_util.Profiler in
+  Trace.reset ();
+  Profiler.reset ();
+  Trace.armed := true;
+  Profiler.arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.armed := false;
+      Profiler.disarm ();
+      Trace.reset ();
+      Profiler.reset ())
+    (fun () ->
+      let observations = run_trace config ops in
+      (observations, List.length (Profiler.hot ()), Trace.recorded ()))
+
+let profiling_transparency_test seed =
+  Alcotest.test_case
+    (Printf.sprintf "armed profiling is invisible to applications [seed %d]" seed)
+    `Quick
+    (fun () ->
+      let ops = deep_churn_ops seed in
+      let plain = run_trace Config.optimized ops in
+      let armed, hot_slots, stamps = run_trace_armed Config.optimized ops in
+      let rec first_diff i ops_left = function
+        | [], [] -> ()
+        | a :: rest_a, b :: rest_b ->
+          let op, ops_rest =
+            match ops_left with o :: r -> (pp_op o, r) | [] -> ("?", [])
+          in
+          if a <> b then
+            Alcotest.failf "op %d (%s):\n  disarmed: %s\n  armed: %s" i op a b
+          else first_diff (i + 1) ops_rest (rest_a, rest_b)
+        | _ -> Alcotest.fail "trace length mismatch"
+      in
+      first_diff 0 ops (plain, armed);
+      Alcotest.(check bool) "the sketch saw the workload" true (hot_slots > 0);
+      Alcotest.(check bool) "the ring saw the workload" true (stamps > 0))
+
+let profiling_transparency_property =
+  QCheck.Test.make ~name:"armed profiling never changes syscall results" ~count:75
+    ops_arbitrary
+    (fun ops ->
+      let plain = run_trace Config.optimized ops in
+      let armed, _, _ = run_trace_armed Config.optimized ops in
+      plain = armed)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest (equivalence_test "optimized" Config.optimized);
@@ -400,6 +456,10 @@ let suite =
     prefix_resume_churn_test 9001;
     revocation_test;
     negfail_promotion_test;
+    profiling_transparency_test 1;
+    profiling_transparency_test 1337;
+    profiling_transparency_test 9001;
+    QCheck_alcotest.to_alcotest profiling_transparency_property;
     QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [baseline]" Config.baseline);
     QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [optimized]" Config.optimized);
     QCheck_alcotest.to_alcotest

@@ -56,103 +56,7 @@ let hist_field line key =
   in
   go (String.split_on_char ' ' line)
 
-(* --- a minimal JSON recognizer (no JSON library in the image) --- *)
-
-exception Bad_json
-
-let json_valid s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then s.[!pos] else '\000' in
-  let ws () =
-    while
-      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      incr pos
-    done
-  in
-  let expect c = if peek () = c then incr pos else raise Bad_json in
-  let literal w = String.iter expect w in
-  let string_ () =
-    expect '"';
-    let rec go () =
-      if !pos >= n then raise Bad_json
-      else begin
-        match s.[!pos] with
-        | '"' -> incr pos
-        | '\\' ->
-          pos := !pos + 2;
-          go ()
-        | _ ->
-          incr pos;
-          go ()
-      end
-    in
-    go ()
-  in
-  let number () =
-    let start = !pos in
-    if peek () = '-' then incr pos;
-    while
-      match peek () with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
-    do
-      incr pos
-    done;
-    if !pos = start then raise Bad_json
-  in
-  let rec value () =
-    ws ();
-    match peek () with
-    | '{' -> obj ()
-    | '[' -> arr ()
-    | '"' -> string_ ()
-    | 't' -> literal "true"
-    | 'f' -> literal "false"
-    | 'n' -> literal "null"
-    | _ -> number ()
-  and obj () =
-    expect '{';
-    ws ();
-    if peek () = '}' then incr pos
-    else begin
-      let rec members () =
-        ws ();
-        string_ ();
-        ws ();
-        expect ':';
-        value ();
-        ws ();
-        if peek () = ',' then begin
-          incr pos;
-          members ()
-        end
-        else expect '}'
-      in
-      members ()
-    end
-  and arr () =
-    expect '[';
-    ws ();
-    if peek () = ']' then incr pos
-    else begin
-      let rec elems () =
-        value ();
-        ws ();
-        if peek () = ',' then begin
-          incr pos;
-          elems ()
-        end
-        else expect ']'
-      in
-      elems ()
-    end
-  in
-  match
-    value ();
-    ws ()
-  with
-  | () -> !pos = n
-  | exception Bad_json -> false
+(* JSON validation lives in Kit ([Kit.json_valid]), shared with t_trace. *)
 
 let read p path = get ("read " ^ path) (S.read_file p path)
 
@@ -590,6 +494,114 @@ let test_stripes_surface () =
   Alcotest.(check bool) "config reports stripes off" true
     (contains_substring (read p0 "/proc/dcache/config") "dcache_stripes 0")
 
+(* --- per-directory cache efficacy via /proc/dcache/hot (§3.8) ---
+
+   Drive a directed, fully warmed workload with the profiler armed while
+   the test brute-force counts every hit and negative hit per directory,
+   then read the sketch back and require exact agreement.  Exactness is
+   the §3.8 bound at work: far fewer than K distinct directories are
+   touched, so no slot is ever evicted and every error bound is 0.  The
+   procfs reads themselves record hits too — against /proc directories,
+   whose labels are disjoint from the driven ones, so the assertion set
+   is restricted to the labels the test drove. *)
+
+let test_hot_surface () =
+  let module Profiler = Dcache_util.Profiler in
+  Trace.reset ();
+  Profiler.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Profiler.disarm ();
+      Profiler.reset ();
+      Trace.reset ())
+    (fun () ->
+      let kernel, p = ram_kernel ~config:Config.optimized () in
+      get "mkdir /proc" (S.mkdir_p p "/proc");
+      get "mount proc" (S.mount_fs p (Kernel_procfs.make kernel) "/proc");
+      let ndirs = 4 in
+      let dir i = Printf.sprintf "/hotdir%d" i in
+      let file i j = Printf.sprintf "/hotdir%d/f%d" i j in
+      for i = 0 to ndirs - 1 do
+        get "mkdir" (S.mkdir_p p (dir i));
+        for j = 0 to 2 do
+          get "seed" (S.write_file p (file i j) "x")
+        done
+      done;
+      (* Warm everything — positives and one cached absence per directory —
+         so the armed phase below is all warm verdicts, making the
+         brute-force count exact by construction. *)
+      for i = 0 to ndirs - 1 do
+        for j = 0 to 2 do
+          ignore (get "warm" (S.stat p (file i j)))
+        done;
+        expect_err Errno.ENOENT "warm negative" (S.stat p (dir i ^ "/missing"));
+        expect_err Errno.ENOENT "warm negative" (S.stat p (dir i ^ "/missing"))
+      done;
+      Profiler.arm ();
+      let expected_hit = Array.make ndirs 0 in
+      let expected_neg = Array.make ndirs 0 in
+      for i = 0 to ndirs - 1 do
+        (* Skewed per-directory traffic so the sort order is nontrivial. *)
+        for _ = 1 to 4 + (3 * i) do
+          let j = i mod 3 in
+          ignore (get "hit" (S.stat p (file i j)));
+          expected_hit.(i) <- expected_hit.(i) + 1
+        done;
+        for _ = 1 to 2 + i do
+          expect_err Errno.ENOENT "neg hit" (S.stat p (dir i ^ "/missing"));
+          expected_neg.(i) <- expected_neg.(i) + 1
+        done
+      done;
+      Profiler.disarm ();
+      let body = read p "/proc/dcache/hot" in
+      Alcotest.(check int) "no evictions: under K distinct directories" 0
+        (assoc_or_fail "hot" "evictions" (kv_lines body));
+      let slots =
+        List.filter_map
+          (fun line ->
+            match String.split_on_char ' ' line with
+            | "dir" :: _key :: label :: "total" :: t :: "err" :: e :: "hit" :: h
+              :: "miss" :: m :: "neg" :: ng :: "retry" :: _ :: "lease" :: _
+              :: "inval" :: iv :: [] ->
+              Some
+                ( label,
+                  ( int_of_string t,
+                    int_of_string e,
+                    int_of_string h,
+                    int_of_string m,
+                    int_of_string ng,
+                    int_of_string iv ) )
+            | _ -> None)
+          (lines body)
+      in
+      Alcotest.(check bool) "sketch rendered some slots" true (slots <> []);
+      for i = 0 to ndirs - 1 do
+        let label = Printf.sprintf "hotdir%d" i in
+        match List.assoc_opt label slots with
+        | None -> Alcotest.failf "driven directory %s missing from /dcache/hot" label
+        | Some (total, err, hit, miss, neg, inval) ->
+          Alcotest.(check int) (label ^ " exact: err 0") 0 err;
+          Alcotest.(check int) (label ^ " hits") expected_hit.(i) hit;
+          Alcotest.(check int) (label ^ " negative hits") expected_neg.(i) neg;
+          Alcotest.(check int) (label ^ " no misses while warm") 0 miss;
+          Alcotest.(check int) (label ^ " no invalidations") 0 inval;
+          Alcotest.(check int)
+            (label ^ " total = sum of metrics")
+            (expected_hit.(i) + expected_neg.(i))
+            total
+      done;
+      (* Descending order among the driven labels (strictly increasing
+         traffic by construction). *)
+      let driven =
+        List.filter (fun (l, _) -> String.length l >= 6 && String.sub l 0 6 = "hotdir") slots
+      in
+      let totals = List.map (fun (_, (t, _, _, _, _, _)) -> t) driven in
+      let rec descending = function
+        | a :: (b :: _ as rest) -> a >= b && descending rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "slots sorted by total descending" true (descending totals))
+
 let test_procfs_without_attachments () =
   (* The optional subsystems default off; the files still exist and say so
      (and old Kernel_procfs.make callers keep working). *)
@@ -648,4 +660,6 @@ let suite =
     Alcotest.test_case "attached idle netfs renders zero figures" `Quick
       test_procfs_zero_traffic_netfs;
     Alcotest.test_case "stripe lock table via /proc" `Quick test_stripes_surface;
+    Alcotest.test_case "per-directory sketch via /proc/dcache/hot is exact" `Quick
+      test_hot_surface;
   ]

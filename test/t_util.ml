@@ -207,7 +207,7 @@ let test_trace_ring_wraparound () =
       Alcotest.(check int) "recorded counts every stamp" 12 (Trace.recorded ());
       Alcotest.(check int) "overwritten stamps reported" 4 (Trace.dropped ());
       let seen = ref [] in
-      Trace.iter_events (fun s ts ev arg -> seen := (s, ts, ev, arg) :: !seen);
+      Trace.iter_events (fun s ts ev arg _span -> seen := (s, ts, ev, arg) :: !seen);
       let seen = List.rev !seen in
       Alcotest.(check int) "ring retains capacity events" 8 (List.length seen);
       List.iteri

@@ -11,6 +11,7 @@ let () =
       ("alloc", T_alloc.suite);
       ("syscalls", T_syscalls.suite @ T_syscalls.at_family_suite @ T_syscalls.procfs_suite);
       ("procfs", T_procfs.suite);
+      ("trace", T_trace.suite);
       ("netfs", T_netfs.suite);
       ("fault", T_fault.suite);
       ("dlfs", T_dlfs.suite);
