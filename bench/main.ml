@@ -1705,6 +1705,15 @@ let churn () =
         ^ "\n  ]" );
       ("throughput_ratio_8_writers", Printf.sprintf "%.3f" ratio8);
     ]
+    @
+    if cores = 1 then
+      [
+        ( "host_caveat",
+          "\"single-core host: writer domains timeshare, so the 8-writer \
+           ratio measures lock discipline (convoy avoidance), not parallel \
+           scaling; the >= 2.5x bound presumes a multicore host\"" );
+      ]
+    else []
   in
   Bench_report.write ~experiment:"churn" figures
 
@@ -2187,6 +2196,219 @@ let profile () =
   Bench_report.write ~experiment:"profile" figures
 
 (* ------------------------------------------------------------------ *)
+(* Batch: vectored submission/completion front-end (§3.9)              *)
+(* ------------------------------------------------------------------ *)
+
+module Batch = Dcache_syscalls.Batch
+
+(* Warm all-hit submissions against sequential stat over the same working
+   set; a deep-miss group against N sequential misses (stripe and
+   component accounting); open-loop Poisson sojourn percentiles per batch
+   size over the webserver and maildir path populations. *)
+let batch_bench () =
+  header
+    "Batch - vectored submission/completion (§3.9).  One seqcount window,\n\
+     one span mint and one counter set amortized across a run of fastpath\n\
+     probes; misses deferred, sorted, resolved under a single write-lock\n\
+     acquisition with grouped sibling walks and stripe-free DLHT inserts.";
+  let sizes = [ 1; 8; 32; 128 ] in
+  let files = 128 in
+  let env = W.Env.ram Config.optimized in
+  let p = env.W.Env.proc in
+  let dir = "/www" in
+  W.Webserver.setup p ~dir ~files;
+  let paths =
+    Array.init files (fun i -> Printf.sprintf "%s/doc%05d.html" dir (i + 1))
+  in
+  Array.iter (fun path -> ignore (ok "warm" (S.stat p path))) paths;
+
+  subheader "warm all-hit throughput - sequential stat vs batched submit";
+  let iters = if !quick then 20_000 else 100_000 in
+  row "%-8s %12s %12s %9s %11s %13s\n" "batch" "seq ns/op" "batch ns/op" "speedup"
+    "words/op" "windows/subm";
+  let throughput =
+    List.map
+      (fun size ->
+        (* both sides loop over the same [size]-path working set *)
+        let idx = ref 0 in
+        let seq_op () =
+          ignore (S.stat p paths.(!idx));
+          idx := (!idx + 1) mod size
+        in
+        seq_op ();
+        let seq_ns = latency_ns ~iters:(max 1000 (iters / 4)) seq_op in
+        let ring = Batch.create ~cap:size p in
+        for k = 0 to size - 1 do
+          ignore (Batch.push_stat ring paths.(k))
+        done;
+        let submit () = Batch.submit ring in
+        submit ();
+        let submits = max 64 (iters / size) in
+        let batch_ns = latency_ns ~iters:submits submit /. float_of_int size in
+        let words =
+          Stats.minor_words_per_op ~iters:submits submit /. float_of_int size
+        in
+        let s0, _, w0 = Dcache_util.Profiler.batch_stats () in
+        for _ = 1 to 100 do
+          submit ()
+        done;
+        let s1, _, w1 = Dcache_util.Profiler.batch_stats () in
+        let windows_per_submit =
+          float_of_int (w1 - w0) /. float_of_int (max 1 (s1 - s0))
+        in
+        let speedup = seq_ns /. batch_ns in
+        row "%-8d %12.1f %12.1f %8.2fx %11.3f %13.2f\n" size seq_ns batch_ns speedup
+          words windows_per_submit;
+        (size, seq_ns, batch_ns, speedup, words, windows_per_submit))
+      sizes
+  in
+  List.iter
+    (fun (size, _, _, speedup, words, _) ->
+      if size >= 32 && speedup < 1.3 then
+        row "  WARNING: batch %d speedup %.2fx below the 1.30x bound\n" size speedup;
+      if size >= 32 && words > 0.005 then
+        row "  WARNING: batch %d warm path allocates %.3f words/op\n" size words)
+    throughput;
+
+  subheader "deep-miss group - one write-locked phase vs N sequential misses";
+  let depth = 8 in
+  let misses = if !quick then 32 else 64 in
+  let deep = "/" ^ String.concat "/" (List.init depth (Printf.sprintf "m%02d")) in
+  ok "chain" (S.mkdir_p p deep);
+  let leaves = Array.init misses (fun i -> Printf.sprintf "%s/leaf%03d" deep i) in
+  Array.iter (fun leaf -> ok "leaf" (S.write_file p leaf "x")) leaves;
+  let stripe_acquired () =
+    let dc =
+      match Dcache_vfs.Dcache.stripes (Kernel.dcache env.W.Env.kernel) with
+      | Some tab -> fst (Dcache_util.Locktab.totals tab)
+      | None -> 0
+    in
+    let dl =
+      match Dcache_core.Dlht.of_namespace_opt (Kernel.init_ns env.W.Env.kernel) with
+      | Some t -> (
+        match Dcache_core.Dlht.locktab t with
+        | Some tab -> fst (Dcache_util.Locktab.totals tab)
+        | None -> 0)
+      | None -> 0
+    in
+    dc + dl
+  in
+  let rwlocks () =
+    let r, w = Dcache_util.Rwlock.acquisition_counts () in
+    r + w
+  in
+  let miss_pass run =
+    W.Env.drop_caches env;
+    ignore (ok "warm chain" (S.stat p deep));
+    let a0 = stripe_acquired () in
+    let c0 = counter env "walk_components" in
+    let l0 = rwlocks () in
+    run ();
+    let per x = float_of_int x /. float_of_int misses in
+    (per (stripe_acquired () - a0), per (counter env "walk_components" - c0),
+     per (rwlocks () - l0))
+  in
+  let seq_stripes, seq_comps, seq_locks =
+    miss_pass (fun () ->
+        Array.iter (fun leaf -> ignore (ok "miss" (S.stat p leaf))) leaves)
+  in
+  let miss_ring = Batch.create ~cap:misses p in
+  let bat_stripes, bat_comps, bat_locks =
+    miss_pass (fun () ->
+        Batch.reset miss_ring;
+        Array.iter (fun leaf -> ignore (Batch.push_stat miss_ring leaf)) leaves;
+        Batch.submit miss_ring;
+        for k = 0 to misses - 1 do
+          if not (Batch.ok miss_ring k) then failwith "batch: deep miss failed"
+        done)
+  in
+  row "%-12s %12s %14s %12s\n" "" "stripes/op" "components/op" "rwlocks/op";
+  row "%-12s %12.3f %14.3f %12.3f\n" "sequential" seq_stripes seq_comps seq_locks;
+  row "%-12s %12.3f %14.3f %12.3f\n" "batched" bat_stripes bat_comps bat_locks;
+  if bat_stripes >= seq_stripes then
+    row "  WARNING: batched misses took %.3f stripes/op (sequential %.3f)\n"
+      bat_stripes seq_stripes;
+  if bat_comps >= seq_comps then
+    row "  WARNING: batched misses walked %.3f components/op (sequential %.3f)\n"
+      bat_comps seq_comps;
+
+  subheader "open-loop Poisson arrivals - per-op sojourn p50/p99 (virtual ns)";
+  let mbox =
+    W.Maildir.setup p ~root:"/mail" ~messages:(if !quick then 64 else 128) ~seed:7
+  in
+  ignore (W.Maildir.run_ops p mbox ~ops:5 ~seed:1);
+  let mail_paths =
+    ok "mail readdir" (S.readdir_path p "/mail/cur")
+    |> List.map (fun (e : Dcache_fs.Fs_intf.dirent) ->
+           "/mail/cur/" ^ e.Dcache_fs.Fs_intf.name)
+    |> Array.of_list
+  in
+  Array.iter (fun path -> ignore (ok "warm mail" (S.stat p path))) mail_paths;
+  let batches = if !quick then 200 else 800 in
+  let rate = 500_000.0 in
+  row "%-12s %6s %8s %12s %12s %12s\n" "workload" "batch" "ops" "p50 ns" "p99 ns"
+    "mean ns";
+  let open_loop =
+    List.concat_map
+      (fun (wl, wl_paths) ->
+        List.map
+          (fun size ->
+            let n = Array.length wl_paths in
+            let fill ring i = ignore (Batch.push_stat ring wl_paths.(i mod n)) in
+            let ol =
+              W.Runner.run_open_loop
+                ~label:(Printf.sprintf "%s b=%d" wl size)
+                ~seed:(size + 17) env ~rate_per_s:rate ~batch:size ~batches ~fill ()
+            in
+            row "%-12s %6d %8d %12d %12d %12.0f\n" wl size ol.W.Runner.ol_ops
+              ol.W.Runner.ol_p50_ns ol.W.Runner.ol_p99_ns ol.W.Runner.ol_mean_ns;
+            (wl, ol))
+          sizes)
+      [ ("webserver", paths); ("maildir", mail_paths) ]
+  in
+  let figures =
+    [
+      ("files", string_of_int files);
+      ( "throughput",
+        "[\n"
+        ^ String.concat ",\n"
+            (List.map
+               (fun (size, seq_ns, batch_ns, speedup, words, wps) ->
+                 Printf.sprintf
+                   "    {\"batch\": %d, \"seq_ns_per_op\": %.2f, \
+                    \"batch_ns_per_op\": %.2f, \"speedup\": %.3f, \
+                    \"words_per_op\": %.3f, \"windows_per_submit\": %.3f}"
+                   size seq_ns batch_ns speedup words wps)
+               throughput)
+        ^ "\n  ]" );
+      ( "deep_miss",
+        Printf.sprintf
+          "{\"depth\": %d, \"misses\": %d,\n\
+          \    \"sequential\": {\"stripes_per_op\": %.3f, \"components_per_op\": \
+           %.3f, \"rwlocks_per_op\": %.3f},\n\
+          \    \"batched\": {\"stripes_per_op\": %.3f, \"components_per_op\": \
+           %.3f, \"rwlocks_per_op\": %.3f}}"
+          depth misses seq_stripes seq_comps seq_locks bat_stripes bat_comps
+          bat_locks );
+      ( "open_loop",
+        "[\n"
+        ^ String.concat ",\n"
+            (List.map
+               (fun (wl, (ol : W.Runner.open_loop)) ->
+                 Printf.sprintf
+                   "    {\"workload\": %S, \"batch\": %d, \"rate_per_s\": %.0f, \
+                    \"ops\": %d, \"p50_ns\": %d, \"p99_ns\": %d, \"mean_ns\": \
+                    %.1f}"
+                   wl ol.W.Runner.ol_batch ol.W.Runner.ol_rate_per_s
+                   ol.W.Runner.ol_ops ol.W.Runner.ol_p50_ns ol.W.Runner.ol_p99_ns
+                   ol.W.Runner.ol_mean_ns)
+               open_loop)
+        ^ "\n  ]" );
+    ]
+  in
+  Bench_report.write ~experiment:"batch" figures
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2197,7 +2419,7 @@ let experiments =
     ("tab3", tab3); ("tab4", tab4); ("ablation", ablation); ("bechamel", bechamel);
     ("alloc", alloc); ("faults", faults); ("trace", trace); ("scale", scale_bench);
     ("deepmiss", deepmiss); ("churn", churn); ("coherence", coherence);
-    ("profile", profile);
+    ("profile", profile); ("batch", batch_bench);
   ]
 
 let () =

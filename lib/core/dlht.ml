@@ -298,6 +298,34 @@ let insert t ns d signature =
         d.d_dlht_ns <- Some ns));
   Trace.stamp Trace.ev_dlht_insert d.d_id
 
+(* Exclusive-section variants (§3.9).  The caller holds the dcache write
+   lock, which excludes every sharded section (they all hold the read
+   side), and lockless probes validate against the global write sequence
+   — which the exclusive section bumps — so the per-bucket stripe locks
+   add nothing here.  The batched slowpath populates a whole group of
+   misses through these, taking zero DLHT stripe acquisitions where the
+   sequential fallback pays one [Locktab.with_lock] per splice. *)
+let remove_exclusive d =
+  match d.d_dlht_ns with
+  | None -> ()
+  | Some ns ->
+    (match ns.ns_ext with Some (Dlht_ext t) -> remove_splice t d | Some _ | None -> ());
+    d.d_dlht_ns <- None;
+    Trace.stamp Trace.ev_dlht_remove d.d_id
+
+let insert_exclusive t ns d signature =
+  remove_exclusive d;
+  (match t.stripes with
+  | None -> migrate_some t migrate_quantum
+  | Some _ -> ());
+  splice t.tbl d signature;
+  Atomic.incr t.count;
+  d.d_dlht_ns <- Some ns;
+  (match t.stripes with
+  | None -> maybe_grow t
+  | Some _ -> () (* migration/growth deferred to [housekeep] *));
+  Trace.stamp Trace.ev_dlht_insert d.d_id
+
 (* Sharded-mode replacement for the migration/growth work that [insert] and
    [remove] no longer do inline (a sharded section must not touch buckets
    outside its own stripe).  Called from exclusive write sections — the

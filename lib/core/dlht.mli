@@ -65,6 +65,16 @@ val insert : t -> namespace -> dentry -> Signature.t -> unit
     and may start one; sharded, splices under the signature's stripe and
     defers migration/growth to {!housekeep}. *)
 
+val insert_exclusive : t -> namespace -> dentry -> Signature.t -> unit
+(** {!insert} from an exclusive (dcache write-locked) section, skipping
+    the per-bucket stripe lock: the write lock excludes every sharded
+    section, and lockless probes validate against the global write
+    sequence the exclusive section bumps, so the stripe adds nothing.
+    The batched slowpath (§3.9) publishes a whole group of misses
+    through this — zero stripe acquisitions where sequential fallbacks
+    pay one per splice.  Sharded-mode migration/growth is deferred to
+    {!housekeep}, exactly as with sharded {!insert}. *)
+
 val housekeep : t -> unit
 (** Advance any in-flight incremental resize by one quantum and start one
     if the load factor calls for it.  The sharded-mode home for the

@@ -902,7 +902,7 @@ let target_signature t (r : path_ref) d inode =
         Some (Signature.finalize t.key state)
       end)
 
-let populate t ctx ~visited ~absolute ~start =
+let populate ?(exclusive = false) t ctx ~visited ~absolute ~start =
   match visited with
   | [] -> ()
   | _ :: _ ->
@@ -967,8 +967,14 @@ let populate t ctx ~visited ~absolute ~start =
           when File_kind.equal (Vfs.Inode.kind inode) File_kind.Symlink ->
           d.d_target_sig <- target_signature t r d inode
         | _ -> ());
-        if not (d.d_dlht_ns == Some ns && d.d_sig = Some signature) then
-          Dlht.insert dlht ns d signature;
+        if not (d.d_dlht_ns == Some ns && d.d_sig = Some signature) then begin
+          (* §3.9: a batched (grouped) populate runs under the exclusive
+             write lock and skips the per-splice stripe lock — the lock
+             already excludes every sharded section, and lockless probes
+             validate the global write sequence it bumps. *)
+          if exclusive then Dlht.insert_exclusive dlht ns d signature
+          else Dlht.insert dlht ns d signature
+        end;
         if allow_pcc && not t.simulate_pcc_miss then Pcc.insert pcc d
         end)
       visited;
@@ -987,7 +993,38 @@ let populate t ctx ~visited ~absolute ~start =
    re-established under the write lock before anything is published (a
    complete directory with no cached child of the name definitively has no
    such child, §5.1).  Never called with a lock held. *)
-let promote_negfail t ctx sc path =
+let promote_negfail_in t ctx dir name =
+  if
+    dir.d_hashed && dentry_is_dir dir
+    && Dcache.is_complete t.dcache dir
+    && Dcache.lookup t.dcache dir name = None
+  then begin
+    match Dcache.add_child t.dcache dir name (Negative Errno.ENOENT) with
+    | Error _ -> ()
+    | Ok child -> (
+      Counter.bump t.c_negfail_promoted;
+      (* Sign and publish for direct lookup when the parent's own
+         canonical state is available; otherwise the plain negative
+         dentry still serves walks and later fast-fails. *)
+      match (dir.d_hstate, dir.d_mnt) with
+      | Some state, Some mnt ->
+        let st =
+          Signature.feed_string t.key (Signature.feed_char t.key state '/') name
+        in
+        let s = Signature.finalize t.key st in
+        child.d_hstate <- Some st;
+        child.d_sig <- Some s;
+        child.d_mnt <- Some mnt;
+        (match Dlht.of_namespace_opt ctx.Walk.ns with
+        | Some dlht -> Dlht.insert dlht ctx.Walk.ns child s
+        | None -> ())
+      | _ -> ())
+  end
+
+(* [locked]: the caller (a batched phase-2 section, §3.9) already holds
+   the write lock; otherwise it is taken here, per the historical
+   contract above. *)
+let promote_negfail_at t ctx sc path ~locked =
   match sc.promote_dir with
   | None -> ()
   | Some dir ->
@@ -996,34 +1033,11 @@ let promote_negfail t ctx sc path =
     if sc.snap_path == path && pos >= 0 && len > 0 && pos + len <= String.length path
     then begin
       let name = String.sub path pos len in
-      Dcache.with_write t.dcache (fun () ->
-          if
-            dir.d_hashed && dentry_is_dir dir
-            && Dcache.is_complete t.dcache dir
-            && Dcache.lookup t.dcache dir name = None
-          then begin
-            match Dcache.add_child t.dcache dir name (Negative Errno.ENOENT) with
-            | Error _ -> ()
-            | Ok child -> (
-              Counter.bump t.c_negfail_promoted;
-              (* Sign and publish for direct lookup when the parent's own
-                 canonical state is available; otherwise the plain negative
-                 dentry still serves walks and later fast-fails. *)
-              match (dir.d_hstate, dir.d_mnt) with
-              | Some state, Some mnt ->
-                let st =
-                  Signature.feed_string t.key (Signature.feed_char t.key state '/') name
-                in
-                let s = Signature.finalize t.key st in
-                child.d_hstate <- Some st;
-                child.d_sig <- Some s;
-                child.d_mnt <- Some mnt;
-                (match Dlht.of_namespace_opt ctx.Walk.ns with
-                | Some dlht -> Dlht.insert dlht ctx.Walk.ns child s
-                | None -> ())
-              | _ -> ())
-          end)
+      if locked then promote_negfail_in t ctx dir name
+      else Dcache.with_write t.dcache (fun () -> promote_negfail_in t ctx dir name)
     end
+
+let promote_negfail t ctx sc path = promote_negfail_at t ctx sc path ~locked:false
 
 (* --- the public lookup --- *)
 
@@ -1089,47 +1103,108 @@ let resume_plan t ctx sc path =
    results may only repopulate if no shootdown ran concurrently; under the
    coarse write lock the counter check never fires, but it documents (and
    preserves) the protocol. *)
+(* The write-locked body, shared by the sequential [fallback] below and
+   the batched phase-2 group loop (§3.9).  [exclusive] threads to
+   {!populate}: a batched caller publishes through the stripe-free DLHT
+   insert, since its write lock covers the whole group. *)
+let fallback_walk t ctx ~flags ~absolute ~start ~plan ~exclusive path ~within =
+  let invalidation_before = Dcache.invalidation_counter t.dcache in
+  let result, pop_start, pop_absolute =
+    match plan with
+    | Some (ancestor, depth, suffix) ->
+      Counter.bump t.c_prefix_resume;
+      Trace.stamp Trace.ev_prefix_resume depth;
+      Trace.record_resume_depth depth;
+      (* The resumed walk still collects, so the suffix prefixes are
+         published and the next miss lands one component deeper. *)
+      let r =
+        Walk.resolve_resumed t.dcache ctx
+          ~flags:{ flags with Walk.collect = true }
+          ~start_at:ancestor suffix
+      in
+      (r, ancestor, false)
+    | None ->
+      let r =
+        Walk.resolve_in_mode Walk.Ref t.dcache ctx
+          ~flags:{ flags with Walk.collect = true }
+          path
+      in
+      (r, start, absolute)
+  in
+  (* §3.2 extended to I/O failures: a walk that died on a transient
+     EIO says nothing trustworthy about the tree — the visited prefix
+     may describe state the device no longer backs — so publish
+     nothing and let a later, healthy walk repopulate. *)
+  (match result.Walk.outcome with
+  | Error Errno.EIO -> Counter.incr (Dcache.counters t.dcache) "fastpath_eio_no_populate"
+  | Ok _ | Error _ ->
+    if Dcache.invalidation_counter t.dcache = invalidation_before then
+      populate ~exclusive t ctx ~visited:result.Walk.visited ~absolute:pop_absolute
+        ~start:pop_start);
+  match result.Walk.outcome with
+  | Ok r -> within r.mnt r.dentry
+  | Error e -> Error e
+
 let fallback t ctx ~flags ~absolute ~start ?sc path ~within =
   Counter.bump t.c_fallback;
   Trace.stamp Trace.ev_fallback 0;
   Dcache.with_write t.dcache (fun () ->
       let plan = match sc with Some sc -> resume_plan t ctx sc path | None -> None in
+      fallback_walk t ctx ~flags ~absolute ~start ~plan ~exclusive:false path ~within)
+
+(* One deferred miss of a batched submission, under the write lock the
+   whole group shares (§3.9).  Beyond [fallback_walk] it adds the grouped
+   shortcut: when the resume candidate's uncached suffix is a single
+   plain component — the dominant shape once the group's first miss has
+   walked and populated the shared prefix — the full resumed walk
+   collapses to {!Walk.resume_sibling}: one permission check and one
+   probe-or-fill, no [walk_internal], no per-component accounting.  The
+   single-component test requires the span to end exactly at the suffix
+   end, so shapes like "leaf/." (which constrain the leaf's kind) still
+   take the full walk. *)
+let fallback_grouped t ctx ~flags ~absolute ~start ~sc path ~within =
+  let plan = resume_plan t ctx sc path in
+  match plan with
+  | Some (ancestor, depth, suffix)
+    when (not flags.Walk.must_dir) && not (Path.has_trailing_slash path) -> (
+    let span = next_component_span suffix 0 in
+    if span < 0 || span land 0x1fff <> String.length suffix then
+      fallback_walk t ctx ~flags ~absolute ~start ~plan ~exclusive:true path ~within
+    else begin
+      let pos = span lsr 13 in
+      let name = String.sub suffix pos ((span land 0x1fff) - pos) in
       let invalidation_before = Dcache.invalidation_counter t.dcache in
-      let result, pop_start, pop_absolute =
-        match plan with
-        | Some (ancestor, depth, suffix) ->
-          Counter.bump t.c_prefix_resume;
-          Trace.stamp Trace.ev_prefix_resume depth;
-          Trace.record_resume_depth depth;
-          (* The resumed walk still collects, so the suffix prefixes are
-             published and the next miss lands one component deeper. *)
-          let r =
-            Walk.resolve_resumed t.dcache ctx
-              ~flags:{ flags with Walk.collect = true }
-              ~start_at:ancestor suffix
-          in
-          (r, ancestor, false)
-        | None ->
-          let r =
-            Walk.resolve_in_mode Walk.Ref t.dcache ctx
-              ~flags:{ flags with Walk.collect = true }
-              path
-          in
-          (r, start, absolute)
-      in
-      (* §3.2 extended to I/O failures: a walk that died on a transient
-         EIO says nothing trustworthy about the tree — the visited prefix
-         may describe state the device no longer backs — so publish
-         nothing and let a later, healthy walk repopulate. *)
-      (match result.Walk.outcome with
-      | Error Errno.EIO -> Counter.incr (Dcache.counters t.dcache) "fastpath_eio_no_populate"
-      | Ok _ | Error _ ->
+      match
+        Walk.resume_sibling t.dcache ctx ~start_at:ancestor
+          ~follow:flags.Walk.follow_last name
+      with
+      | `Bail ->
+        (* Trailing symlink to follow: splicing is the walk's business. *)
+        fallback_walk t ctx ~flags ~absolute ~start ~plan ~exclusive:true path ~within
+      | `Err e ->
+        Counter.bump t.c_prefix_resume;
+        Trace.stamp Trace.ev_prefix_resume depth;
+        Trace.record_resume_depth depth;
+        Error e
+      | `Neg (child, errno) ->
+        Counter.bump t.c_prefix_resume;
+        Trace.stamp Trace.ev_prefix_resume depth;
+        Trace.record_resume_depth depth;
         if Dcache.invalidation_counter t.dcache = invalidation_before then
-          populate t ctx ~visited:result.Walk.visited ~absolute:pop_absolute
-            ~start:pop_start);
-      match result.Walk.outcome with
-      | Ok r -> within r.mnt r.dentry
-      | Error e -> Error e)
+          populate ~exclusive:true t ctx
+            ~visited:[ { ancestor with dentry = child } ]
+            ~absolute:false ~start:ancestor;
+        Error errno
+      | `Child cref ->
+        Counter.bump t.c_prefix_resume;
+        Trace.stamp Trace.ev_prefix_resume depth;
+        Trace.record_resume_depth depth;
+        if Dcache.invalidation_counter t.dcache = invalidation_before then
+          populate ~exclusive:true t ctx ~visited:[ cref ] ~absolute:false
+            ~start:ancestor;
+        within cref.mnt cref.dentry
+    end)
+  | plan -> fallback_walk t ctx ~flags ~absolute ~start ~plan ~exclusive:true path ~within
 
 (* Second tier of the retry discipline: the optimistic probe failed its
    seqcount validation, so probe again under the read lock, where writers
@@ -1367,3 +1442,197 @@ let lookup t ctx ?start ?flags path =
   match lookup_into t ctx ?start ?flags path ~within:(fun mnt dentry -> Ok { mnt; dentry }) with
   | Ok r -> { Walk.outcome = Ok r; visited = []; absolute }
   | Error e -> { Walk.outcome = Error e; visited = []; absolute }
+
+(* --- vectored probes (§3.9) ---
+
+   Phase 1 runs every queued op through the lockless probe under ONE
+   shared validation window: a single [Seqcount.read_begin] snapshot
+   serves the whole run, and each op's commit check validates that shared
+   snapshot plus its own recorded stripes.  This is strictly stronger
+   than the sequential per-op window — the shared snapshot is older than
+   any per-op one would be — so every interleaving accepted here would
+   also be accepted by the same ops issued back to back.  A mid-batch
+   seqcount bump splits the batch ("fastpath_batch_split"): the op
+   re-snapshots and the run continues under the new window, bounded by
+   [max_sharded_attempts] consecutive splits per op before the op is
+   deferred to phase 2 (writer storm: resolve authoritatively).  Misses
+   never walk in phase 1; they collect into [deferred].
+
+   The loop state (windows opened, deferred count, split spins) threads
+   through top-level recursions and returns packed as
+   [(windows lsl 20) lor ndef] — not a tuple, not refs: phase 1 is part
+   of the zero-allocation warm path, asserted per batch by [t_alloc]. *)
+
+let rec batch_run t ctx sc path flags prepare within complete deferred n i ndef windows
+    spins =
+  if i >= n then (windows lsl 20) lor ndef
+  else begin
+    let seq = Dcache.write_seq t.dcache in
+    let snap = Seqcount.read_begin seq in
+    if snap land 1 <> 0 then begin
+      (* A writer is mid-section right now; brief by construction. *)
+      if spins + 1 >= max_sharded_attempts then begin
+        deferred.(ndef) <- i;
+        batch_run t ctx sc path flags prepare within complete deferred n (i + 1) (ndef + 1)
+          windows 0
+      end
+      else begin
+        Domain.cpu_relax ();
+        batch_run t ctx sc path flags prepare within complete deferred n i ndef windows
+          (spins + 1)
+      end
+    end
+    else
+      batch_window t ctx sc path flags prepare within complete deferred n i ndef
+        (windows + 1) spins seq snap
+  end
+
+and batch_window t ctx sc path flags prepare within complete deferred n i ndef windows
+    spins seq snap =
+  if i >= n then (windows lsl 20) lor ndef
+  else begin
+    prepare i;
+    let p = path i in
+    let vr = validate_raw p in
+    if vr = 1 then begin
+      complete i (Errno.to_error Errno.ENOENT);
+      batch_window t ctx sc path flags prepare within complete deferred n (i + 1) ndef
+        windows 0 seq snap
+    end
+    else if vr = 2 then begin
+      complete i (Errno.to_error Errno.ENAMETOOLONG);
+      batch_window t ctx sc path flags prepare within complete deferred n (i + 1) ndef
+        windows 0 seq snap
+    end
+    else begin
+      match probe_into t ctx ~start:ctx.Walk.cwd ~flags:(flags i) sc p ~within ~vsnap:snap with
+      | r ->
+        Counter.bump t.c_hit;
+        Trace.stamp Trace.ev_fast_hit 0;
+        complete i r;
+        batch_window t ctx sc path flags prepare within complete deferred n (i + 1) ndef
+          windows 0 seq snap
+      | exception Neg_fail ->
+        (* A promotable verdict takes the write lock to publish the deep
+           negative, which bumps the sequence this window snapshotted:
+           reopen the window (not counted as a split — self-inflicted). *)
+        let reopen = match sc.promote_dir with Some _ -> true | None -> false in
+        promote_negfail t ctx sc p;
+        complete i (Errno.to_error sc.neg_errno);
+        if reopen then
+          batch_run t ctx sc path flags prepare within complete deferred n (i + 1) ndef
+            windows 0
+        else
+          batch_window t ctx sc path flags prepare within complete deferred n (i + 1) ndef
+            windows 0 seq snap
+      | exception Seq_retry ->
+        batch_split t ctx sc path flags prepare within complete deferred n i ndef windows
+          spins
+      | exception Fall_back ->
+        if Seqcount.read_validate seq snap && stripes_ok sc then begin
+          (* A believed miss: defer, keep the window — the probe mutated
+             nothing, and later ops validate against the same snapshot. *)
+          deferred.(ndef) <- i;
+          batch_window t ctx sc path flags prepare within complete deferred n (i + 1)
+            (ndef + 1) windows 0 seq snap
+        end
+        else
+          batch_split t ctx sc path flags prepare within complete deferred n i ndef
+            windows spins
+    end
+  end
+
+and batch_split t ctx sc path flags prepare within complete deferred n i ndef windows
+    spins =
+  note_lockless_retry t ctx sc;
+  Counter.incr (counters t) "fastpath_batch_split";
+  Trace.stamp Trace.ev_batch_split i;
+  if spins + 1 >= max_sharded_attempts then begin
+    deferred.(ndef) <- i;
+    batch_run t ctx sc path flags prepare within complete deferred n (i + 1) (ndef + 1)
+      windows 0
+  end
+  else begin
+    Domain.cpu_relax ();
+    batch_run t ctx sc path flags prepare within complete deferred n i ndef windows
+      (spins + 1)
+  end
+
+(* Phase 2: the deferred misses, sorted by path so ops sharing ancestors
+   run adjacently — the group's first miss walks (and populates) the
+   shared prefix, the rest resume from it, most via the single-step
+   {!fallback_grouped} shortcut — under ONE write-lock acquisition and
+   with stripe-free (exclusive) DLHT populates for the whole group.
+   Misses allocate anyway (walks build lists); no packing games here. *)
+let batch_slowpath t ctx sc path flags prepare within complete deferred ndef =
+  (* Insertion sort of the index slice: batches are small, and adjacency
+     by path prefix is all the grouping needs. *)
+  for k = 1 to ndef - 1 do
+    let v = deferred.(k) in
+    let pv = path v in
+    let j = ref (k - 1) in
+    while !j >= 0 && String.compare (path deferred.(!j)) pv > 0 do
+      deferred.(!j + 1) <- deferred.(!j);
+      decr j
+    done;
+    deferred.(!j + 1) <- v
+  done;
+  Counter.add (counters t) "fastpath_batch_deferred" ndef;
+  Dcache.with_write t.dcache (fun () ->
+      for k = 0 to ndef - 1 do
+        let i = deferred.(k) in
+        prepare i;
+        let p = path i in
+        let fl = flags i in
+        let r =
+          match probe_into t ctx ~start:ctx.Walk.cwd ~flags:fl sc p ~within ~vsnap:(-1) with
+          | r ->
+            (* An earlier miss in the group already populated this path. *)
+            Counter.bump t.c_hit;
+            Trace.stamp Trace.ev_fast_hit 0;
+            r
+          | exception Neg_fail ->
+            promote_negfail_at t ctx sc p ~locked:true;
+            Errno.to_error sc.neg_errno
+          | exception Fall_back ->
+            Counter.bump t.c_fallback;
+            Trace.stamp Trace.ev_fallback 0;
+            fallback_grouped t ctx ~flags:fl ~absolute:(Path.is_absolute p)
+              ~start:ctx.Walk.cwd ~sc p ~within
+          | exception Seq_retry ->
+            (* Stripe-recording overflow on an absurdly deep path (no
+               concurrent stripe section can be live under the write
+               lock): resolve by walking, as the sequential tiers
+               ultimately would. *)
+            Counter.bump t.c_fallback;
+            Trace.stamp Trace.ev_fallback 0;
+            fallback_grouped t ctx ~flags:fl ~absolute:(Path.is_absolute p)
+              ~start:ctx.Walk.cwd ~sc p ~within
+        in
+        complete i r
+      done)
+
+(* The public batched entry (§3.9).  [path]/[flags]/[prepare]/[complete]
+   are indexed accessors the caller allocates once per ring — not per
+   submit — and [deferred] is caller-owned scratch of length >= [n]; ops
+   resolve relative to the context's cwd, like the sequential default.
+   Baseline and lexical configurations degrade to per-op sequential
+   lookups so the API is uniformly available.  Reports span/window
+   amortization to {!Profiler.note_batch}. *)
+let probe_batch t ctx ~n ~path ~flags ~prepare ~within ~complete ~deferred =
+  let cfg = config t in
+  if (not cfg.Config.fastpath) || cfg.Config.dotdot = Config.Dotdot_lexical then begin
+    for i = 0 to n - 1 do
+      prepare i;
+      complete i (lookup_into_raw t ctx ~flags:(flags i) (path i) ~within)
+    done;
+    Profiler.note_batch ~ops:n ~windows:n
+  end
+  else begin
+    let sc = Domain.DLS.get scratch_key in
+    let packed = batch_run t ctx sc path flags prepare within complete deferred n 0 0 0 0 in
+    let windows = packed lsr 20 in
+    let ndef = packed land 0xfffff in
+    if ndef > 0 then batch_slowpath t ctx sc path flags prepare within complete deferred ndef;
+    Profiler.note_batch ~ops:n ~windows
+  end

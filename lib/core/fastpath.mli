@@ -76,11 +76,51 @@ val lookup_into :
     before any concurrent mutation — the same contract an open racing an
     unlink already has. *)
 
-val populate : t -> Walk.ctx -> visited:path_ref list -> absolute:bool -> start:path_ref -> unit
+val probe_batch :
+  t ->
+  Walk.ctx ->
+  n:int ->
+  path:(int -> string) ->
+  flags:(int -> Walk.flags) ->
+  prepare:(int -> unit) ->
+  within:(mount -> dentry -> ('a, Dcache_types.Errno.t) result) ->
+  complete:(int -> ('a, Dcache_types.Errno.t) result -> unit) ->
+  deferred:int array ->
+  unit
+(** Vectored probe (§3.9): resolve ops [0..n-1] with amortized
+    validation.  The accessors ([path i], [flags i]) and the sinks
+    ([prepare i] before op [i] touches shared scratch, [complete i r]
+    with its result) must be allocated once per ring by the caller — the
+    warm all-hit batch performs zero minor-heap allocation end to end.
+    [deferred] is caller-owned scratch of length >= [n].
+
+    Phase 1 probes every op locklessly under one shared seqcount window
+    (re-snapshotting on a mid-batch bump — a "batch split"); each op's
+    commit check validates the shared snapshot plus its own recorded
+    stripes, which is strictly stronger than the sequential per-op
+    window, so batched results always match the same ops issued
+    sequentially at the same point.  Misses defer to phase 2: sorted by
+    path, resolved under a single write-lock acquisition, with runs of
+    single-component siblings resolved by one probe-or-fill each
+    ({!Walk.resume_sibling}) and all publication through the stripe-free
+    exclusive DLHT insert.  Ops resolve relative to the context's cwd.
+    On baseline/lexical configurations degrades to per-op sequential
+    lookups. *)
+
+val populate :
+  ?exclusive:bool ->
+  t ->
+  Walk.ctx ->
+  visited:path_ref list ->
+  absolute:bool ->
+  start:path_ref ->
+  unit
 (** Publish a collected slowpath chain into the DLHT and PCC.  Must be
     called with the write side held; respects the global invalidation
     counter protocol (§3.2) and the directory-reference gating rule for
-    relative walks. *)
+    relative walks.  [exclusive] (default false) publishes through
+    {!Dlht.insert_exclusive} — valid only under the write lock, used by
+    batched group populates (§3.9) to skip per-splice stripe locks. *)
 
 val ensure_hstate : t -> path_ref -> Dcache_sig.Signature.state
 (** Resumable hash state of a location's canonical path, computing and

@@ -29,9 +29,16 @@ let dac_permission cred (attr : Attr.t) mask =
     class_bits land mask = mask
   end
 
+(* Top-level recursion instead of [List.for_all (fun h -> ...)]: the closure
+   capturing cred/attr/mask costs 6 minor words per call, and this sits on
+   zero-allocation paths (batched access probes, walk exec checks). *)
+let rec all_permit modules cred attr mask =
+  match modules with
+  | [] -> true
+  | h :: tl -> h.inode_permission cred attr mask && all_permit tl cred attr mask
+
 let permission registry cred attr mask =
-  dac_permission cred attr mask
-  && List.for_all (fun h -> h.inode_permission cred attr mask) registry.modules
+  dac_permission cred attr mask && all_permit registry.modules cred attr mask
 
 let counting hooks =
   let calls = ref 0 in

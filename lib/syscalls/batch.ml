@@ -1,0 +1,217 @@
+(** Vectored submission/completion front-end (§3.9).
+
+    A preallocated SQ/CQ ring pair over a process: callers enqueue up to
+    [cap] metadata probes (stat / lstat / access), call {!submit}, and read
+    completions back out of the CQ arrays.  Everything on the warm path —
+    the per-op closures, the walk context, the result slots — is allocated
+    once at {!create}; a warm all-hit submit performs {e zero} minor-heap
+    allocation and zero rwlock acquisitions, and shares one seqcount
+    validation window, one span mint and one lease-gate consult across the
+    whole run (see {!Dcache_core.Fastpath.probe_batch}). *)
+
+open Dcache_types
+open Dcache_vfs.Types
+module Walk = Dcache_vfs.Walk
+module Dcache = Dcache_vfs.Dcache
+module Inode = Dcache_vfs.Inode
+module Lsm = Dcache_cred.Lsm
+module Fastpath = Dcache_core.Fastpath
+module Counter = Dcache_util.Stats.Counter
+module Trace = Dcache_util.Trace
+module Profiler = Dcache_util.Profiler
+
+(* SQ op codes (int, not a variant: the SQ is a struct-of-arrays and an
+   immediate opcode keeps pushes store-only). *)
+let op_stat = 0
+let op_lstat = 1
+let op_access = 2
+
+type state = {
+  proc : Proc.t;
+  cap : int;
+  (* submission ring: struct of arrays, filled by the push_* calls *)
+  sq_op : int array;
+  sq_path : string array;
+  sq_mask : Access.t array;
+  mutable sq_n : int;
+  (* cursor: index of the op the fastpath is currently probing; [prepare]
+     advances it so the shared [within] closure knows which op it serves *)
+  mutable cur : int;
+  (* completion ring *)
+  cq_ok : bool array;
+  cq_err : Errno.t array;
+  cq_attr : Attr.t array;
+  (* phase-2 scratch for {!Fastpath.probe_batch} *)
+  deferred : int array;
+  (* cached walk context, revalidated by physical equality each submit *)
+  mutable ctx : Walk.ctx;
+  (* counter cells cached at create: the name-based lookups allocate an
+     option per call, and submit must stay word-free *)
+  c_submit : Counter.cell;
+  c_ops : Counter.cell;
+  c_lookup : Counter.cell;
+}
+
+type t = {
+  s : state;
+  (* the five hooks handed to [probe_batch], allocated once here so a warm
+     submit closes over nothing *)
+  path_of : int -> string;
+  flags_of : int -> Walk.flags;
+  prepare : int -> unit;
+  within : mount -> dentry -> (unit, Errno.t) result;
+  complete : int -> (unit, Errno.t) result -> unit;
+}
+
+let ok_unit : (unit, Errno.t) result = Ok ()
+let nofollow_flags = { Walk.follow_last = false; must_dir = false; collect = false }
+
+(* Mirror of [Syscalls.do_stat]'s result match: positive → attr, anything
+   still cached short of positive → ENOENT.  No promotion — exactly what
+   the sequential stat does. *)
+let stat_within s mnt dentry =
+  ignore (mnt : mount);
+  match dentry.d_state with
+  | Positive inode ->
+    s.cq_attr.(s.cur) <- Inode.attr inode;
+    ok_unit
+  | Partial _ | Negative _ -> Errno.to_error Errno.ENOENT
+
+(* Mirror of [Syscalls.access]'s within: positive_inode (promoting a
+   partial, as the sequential path does) then the LSM permission stack.
+   The promotion branch allocates, but is unreachable on a warm all-hit
+   batch — warm dentries are positive. *)
+let access_within s mnt dentry =
+  ignore (mnt : mount);
+  let check inode =
+    let reg = Kernel.registry s.proc.Proc.kernel in
+    if Lsm.permission reg s.proc.Proc.cred (Inode.attr inode) s.sq_mask.(s.cur) then begin
+      s.cq_attr.(s.cur) <- Inode.attr inode;
+      ok_unit
+    end
+    else Errno.to_error Errno.EACCES
+  in
+  match dentry.d_state with
+  | Positive inode -> check inode
+  | Partial _ -> (
+    match Dcache.promote dentry with
+    | Ok inode -> check inode
+    | Error e -> Errno.to_error e)
+  | Negative e -> Errno.to_error e
+
+let create ?(cap = 128) proc =
+  if cap <= 0 then invalid_arg "Batch.create: cap must be positive";
+  let filler_attr =
+    match (Kernel.root proc.Proc.kernel).dentry.d_state with
+    | Positive inode -> Inode.attr inode
+    | Partial _ | Negative _ -> assert false
+  in
+  let cs = Kernel.counters proc.Proc.kernel in
+  let s =
+    {
+      proc;
+      cap;
+      sq_op = Array.make cap op_stat;
+      sq_path = Array.make cap "";
+      sq_mask = Array.make cap Access.may_read;
+      sq_n = 0;
+      cur = 0;
+      cq_ok = Array.make cap false;
+      cq_err = Array.make cap Errno.ENOENT;
+      cq_attr = Array.make cap filler_attr;
+      deferred = Array.make cap 0;
+      ctx = Proc.walk_ctx proc;
+      c_submit = Counter.cell cs "batch_submit";
+      c_ops = Counter.cell cs "batch_ops";
+      c_lookup = Counter.cell cs "path_lookup";
+    }
+  in
+  {
+    s;
+    path_of = (fun i -> s.sq_path.(i));
+    flags_of =
+      (fun i -> if s.sq_op.(i) = op_lstat then nofollow_flags else Walk.default_flags);
+    prepare = (fun i -> s.cur <- i);
+    within =
+      (fun mnt dentry ->
+        if s.sq_op.(s.cur) = op_access then access_within s mnt dentry
+        else stat_within s mnt dentry);
+    complete =
+      (fun i r ->
+        match r with
+        | Ok () -> s.cq_ok.(i) <- true
+        | Error e ->
+          s.cq_ok.(i) <- false;
+          s.cq_err.(i) <- e);
+  }
+
+let capacity t = t.s.cap
+let length t = t.s.sq_n
+let reset t = t.s.sq_n <- 0
+
+let push t op path mask =
+  let s = t.s in
+  if s.sq_n >= s.cap then -1
+  else begin
+    let slot = s.sq_n in
+    s.sq_op.(slot) <- op;
+    s.sq_path.(slot) <- path;
+    s.sq_mask.(slot) <- mask;
+    s.sq_n <- slot + 1;
+    slot
+  end
+
+let push_stat t path = push t op_stat path Access.may_read
+let push_lstat t path = push t op_lstat path Access.may_read
+let push_access t path mask = push t op_access path mask
+
+(* The cached context goes stale when the process changes credentials,
+   chroots, chdirs or switches namespace — all rare next to submits, all
+   observable by physical equality on the record fields (Proc mutators
+   replace, never mutate in place). *)
+let ctx_fresh s =
+  let c = s.ctx in
+  c.Walk.cred == s.proc.Proc.cred
+  && c.Walk.root == s.proc.Proc.root
+  && c.Walk.cwd == s.proc.Proc.cwd
+  && c.Walk.ns == s.proc.Proc.ns
+
+let submit t =
+  let s = t.s in
+  let n = s.sq_n in
+  if n > 0 then begin
+    Counter.bump s.c_submit;
+    Counter.bump_by s.c_ops n;
+    (* One lookup count per op keeps the Table-1 style per-lookup stats
+       comparable with the sequential front-end; the per-path byte and
+       component tallies are skipped — they would cost a string scan per
+       op on the zero-allocation path. *)
+    Counter.bump_by s.c_lookup n;
+    (* One span mint for the whole submission (§3.8): every op's stamps
+       ride the same request-scoped span. *)
+    if Profiler.span_enter () <> 0 then Trace.stamp Trace.ev_batch_submit n;
+    if not (ctx_fresh s) then s.ctx <- Proc.walk_ctx s.proc;
+    Fastpath.probe_batch
+      (Kernel.fastpath s.proc.Proc.kernel)
+      s.ctx ~n ~path:t.path_of ~flags:t.flags_of ~prepare:t.prepare ~within:t.within
+      ~complete:t.complete ~deferred:s.deferred
+  end
+
+let submitted t i =
+  if i < 0 || i >= t.s.sq_n then invalid_arg "Batch: slot out of range"
+
+let ok t i =
+  submitted t i;
+  t.s.cq_ok.(i)
+
+let errno t i =
+  submitted t i;
+  t.s.cq_err.(i)
+
+let attr t i =
+  submitted t i;
+  t.s.cq_attr.(i)
+
+let result t i =
+  submitted t i;
+  if t.s.cq_ok.(i) then Ok t.s.cq_attr.(i) else Error t.s.cq_err.(i)

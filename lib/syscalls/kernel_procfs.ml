@@ -112,6 +112,31 @@ let render_trace () = Trace.ring_to_string ()
    heavy hitters with their exact-count error bounds. *)
 let render_hot () = Profiler.hot_to_string ()
 
+(* [dcache/batch] is the vectored front-end's scoreboard (§3.9): ring
+   traffic, how many validation windows the submissions actually paid for
+   (windows/submit ≈ 1 is the amortization working), splits and phase-2
+   deferrals, and the grouped-slowpath / sharded-mutation counters that
+   distinguish the batched paths from their sequential equivalents. *)
+let render_batch kernel () =
+  let submits, ops, windows = Profiler.batch_stats () in
+  let c name =
+    Dcache_util.Stats.Counter.get (Kernel.counters kernel) name
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "batch_submits %d" submits;
+      Printf.sprintf "batch_ops %d" ops;
+      Printf.sprintf "batch_windows %d" windows;
+      Printf.sprintf "batch_windows_per_submit %.2f"
+        (float_of_int windows /. float_of_int (max 1 submits));
+      Printf.sprintf "batch_splits %d" (c "fastpath_batch_split");
+      Printf.sprintf "batch_deferred %d" (c "fastpath_batch_deferred");
+      Printf.sprintf "walk_resumed_sibling %d" (c "walk_resumed_sibling");
+      Printf.sprintf "sharded_mkdir %d" (c "sharded_mkdir");
+      Printf.sprintf "sharded_rmdir %d" (c "sharded_rmdir");
+      "";
+    ]
+
 let render_faults faults () =
   match faults with
   | None -> "no injector attached\n"
@@ -199,6 +224,7 @@ let make ?faults ?netfs kernel =
   ok (Pseudofs.add_file p "/dcache/causes" ~content:render_causes);
   ok (Pseudofs.add_file p "/dcache/trace" ~content:render_trace);
   ok (Pseudofs.add_file p "/dcache/hot" ~content:render_hot);
+  ok (Pseudofs.add_file p "/dcache/batch" ~content:(render_batch kernel));
   ok (Pseudofs.add_file p "/faults" ~content:(render_faults faults));
   ok (Pseudofs.add_dir p "/netfs");
   ok (Pseudofs.add_file p "/netfs/rpc" ~content:(render_netfs_rpc netfs));

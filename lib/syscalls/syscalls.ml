@@ -17,6 +17,7 @@ module Dlist = Dcache_util.Dlist
 module Fault = Dcache_util.Fault
 module Trace = Dcache_util.Trace
 module Profiler = Dcache_util.Profiler
+module Batch = Batch
 
 type 'a r = ('a, Errno.t) result
 
@@ -264,6 +265,8 @@ type crash_sites = {
   cs_unlink : Fault.site;
   cs_rename : Fault.site;
   cs_invalidate : Fault.site;
+  cs_mkdir : Fault.site;
+  cs_rmdir : Fault.site;
 }
 
 let crash_sites : crash_sites option ref = ref None
@@ -276,6 +279,8 @@ let install_crash_sites inj =
         cs_unlink = Fault.site inj "syscalls.sharded_unlink";
         cs_rename = Fault.site inj "syscalls.sharded_rename";
         cs_invalidate = Fault.site inj "syscalls.sharded_invalidate";
+        cs_mkdir = Fault.site inj "syscalls.sharded_mkdir";
+        cs_rmdir = Fault.site inj "syscalls.sharded_rmdir";
       }
 
 let clear_crash_sites () = crash_sites := None
@@ -657,6 +662,175 @@ let sharded_invalidate proc path : unit attempt =
             | Some _ | None -> finish Legacy (* raced: re-resolve under the big lock *)
           end)))
 
+(* mkdir through the parent stripe, modeled on [sharded_create]: every
+   verdict the section relies on — the child's cached state, the parent's
+   completeness — is recorded against the parent's own-id stripe by
+   concurrent lockless probes, so holding that one stripe suffices.  A new
+   directory is empty, so a promoted negative keeps its deep-negative
+   children valid (§5.2), same as [instantiate]. *)
+let sharded_mkdir ?start ~mode proc path : unit attempt =
+  let d = dcache proc in
+  match Dcache.stripes d with
+  | None -> Legacy
+  | Some tab -> (
+    match split_basename path with
+    | None -> Legacy
+    | Some (dirname, name) -> (
+      match resolve_dir ?start proc dirname with
+      | None -> Legacy
+      | Some pref ->
+        let lock = Dcache.lock d in
+        Rwlock.read_lock lock;
+        let si = Locktab.index tab pref.dentry.d_id in
+        Locktab.lock tab si;
+        let finish r =
+          Locktab.unlock tab si;
+          Rwlock.read_unlock lock;
+          (match r with
+          | Done _ ->
+            note_lookup proc path;
+            Dcache.reclaim_overflow d
+          | Legacy -> ());
+          r
+        in
+        (try crash_point (fun cs -> cs.cs_mkdir)
+         with e ->
+           Locktab.unlock tab si;
+           Rwlock.read_unlock lock;
+           raise e);
+        if not (dir_valid pref) then finish Legacy
+        else begin
+          let parent = pref.dentry in
+          let existing = Dcache.lookup d parent name in
+          match existing with
+          | Some child when dentry_is_positive child ->
+            finish (Done (Error Errno.EEXIST))
+          | Some child when not (dentry_is_negative child) -> finish Legacy
+          | None when not (Dcache.is_complete d parent) ->
+            (* only a complete directory's absence verdict is authoritative
+               (§5.1): an uncached name may still exist on the fs *)
+            finish Legacy
+          | existing -> (
+            match writable_dir proc pref with
+            | Error e -> finish (Done (Error e))
+            | Ok () -> (
+              let dir_inode = dir_inode_exn pref in
+              match
+                parent.d_sb.sb_fs.Fs.create (Inode.ino dir_inode) name
+                  File_kind.Directory mode ~uid:(Cred.uid proc.Proc.cred)
+                  ~gid:(Cred.gid proc.Proc.cred)
+              with
+              | Error e -> finish (Done (Error e))
+              | Ok attr ->
+                count proc "sharded_mkdir";
+                if existing = None then count proc "complete_dir_negative";
+                Inode.bump_nlink dir_inode 1;
+                let inode = Dcache.iget parent.d_sb attr in
+                Dcache.bump_dir_gen parent;
+                let child =
+                  match existing with
+                  | Some child ->
+                    child.d_state <- Positive inode;
+                    child.d_target_sig <- None;
+                    child
+                  | None -> (
+                    match Dcache.add_child d parent name (Positive inode) with
+                    | Ok child -> child
+                    | Error _ -> assert false)
+                in
+                (* A brand-new directory's (empty) listing is fully cached
+                   (§5.1). *)
+                Dcache.set_complete d child;
+                finish (Done (Ok ()))))
+        end))
+
+(* rmdir through parent + target stripes, with [sharded_invalidate]'s
+   peek-then-lock2 shape: the target's direct children (cached names inside
+   the removed directory) are guarded by its own-id stripe, and the id is
+   only learnable under the parent stripe, so the target is peeked, both
+   stripes are taken in index order, and the peek is re-validated.
+   Grandchildren with children of their own, mountpoints and partial
+   dentries fall back to the write-locked implementation. *)
+let sharded_rmdir proc path : unit attempt =
+  let d = dcache proc in
+  match Dcache.stripes d with
+  | None -> Legacy
+  | Some tab -> (
+    match split_basename path with
+    | None -> Legacy
+    | Some (dirname, name) -> (
+      match resolve_dir proc dirname with
+      | None -> Legacy
+      | Some pref ->
+        let lock = Dcache.lock d in
+        Rwlock.read_lock lock;
+        let si = Locktab.index tab pref.dentry.d_id in
+        Locktab.lock tab si;
+        let peek =
+          if dir_valid pref then Dcache.lookup d pref.dentry name else None
+        in
+        Locktab.unlock tab si;
+        (match peek with
+        | None ->
+          Rwlock.read_unlock lock;
+          Legacy (* uncached: the fill needs the slowpath *)
+        | Some child0 ->
+          let sj = Locktab.index tab child0.d_id in
+          Locktab.lock2 tab si sj;
+          let finish r =
+            Locktab.unlock2 tab si sj;
+            Rwlock.read_unlock lock;
+            (match r with
+            | Done _ ->
+              note_lookup proc path;
+              Dcache.reclaim_overflow d
+            | Legacy -> ());
+            r
+          in
+          (try crash_point (fun cs -> cs.cs_rmdir)
+           with e ->
+             Locktab.unlock2 tab si sj;
+             Rwlock.read_unlock lock;
+             raise e);
+          if not (dir_valid pref) then finish Legacy
+          else begin
+            match Dcache.lookup d pref.dentry name with
+            | Some child when child == child0 -> (
+              match child.d_state with
+              | Negative e -> finish (Done (Error e))
+              | Partial _ -> finish Legacy
+              | Positive child_inode ->
+                if not (Inode.is_dir child_inode) then
+                  finish (Done (Error Errno.ENOTDIR))
+                else if Mount.is_mountpoint proc.Proc.ns pref.mnt child then
+                  finish Legacy (* the sequential path reports EBUSY *)
+                else begin
+                  let deep = ref false in
+                  Dcache.iter_children child (fun gc ->
+                      if not (Dlist.is_empty gc.d_children) then deep := true);
+                  if !deep then finish Legacy
+                  else begin
+                    match writable_dir proc pref with
+                    | Error e -> finish (Done (Error e))
+                    | Ok () -> (
+                      match
+                        pref.dentry.d_sb.sb_fs.Fs.rmdir
+                          (Inode.ino (dir_inode_exn pref)) name
+                      with
+                      | Error e -> finish (Done (Error e))
+                      | Ok () ->
+                        count proc "sharded_rmdir";
+                        Dcache.bump_dir_gen pref.dentry;
+                        Inode.bump_nlink (dir_inode_exn pref) (-1);
+                        Dcache.iforget child.d_sb (Inode.ino child_inode);
+                        Dcache.invalidate_structure d child |> ignore;
+                        Dcache.note_unlinked d child;
+                        finish (Done (Ok ())))
+                  end
+                end)
+            | Some _ | None -> finish Legacy (* raced: re-resolve under the big lock *)
+          end)))
+
 let rec do_open ?(mode = Mode.default_file) ?start proc path flags =
   let follow = not (flag_mem Proc.O_NOFOLLOW flags) in
   if not (flag_mem Proc.O_CREAT flags) then
@@ -914,6 +1088,9 @@ let truncate proc path size =
 
 let mkdir ?(mode = Mode.default_dir) proc path =
   sys proc "sys_mkdir";
+  match sharded_mkdir ~mode proc path with
+  | Done r -> r
+  | Legacy ->
   with_write proc (fun () ->
       let* p = resolve_parent_locked proc path in
       match p.Walk.child with
@@ -972,6 +1149,9 @@ let unlink proc path =
 
 let rmdir proc path =
   sys proc "sys_rmdir";
+  match sharded_rmdir proc path with
+  | Done r -> r
+  | Legacy ->
   with_write proc (fun () ->
       let* p = resolve_parent_locked proc path in
       match p.Walk.child with
@@ -1311,6 +1491,11 @@ let with_dirfd proc dirfd k =
 let mkdirat ?mode proc dirfd path =
   sys proc "sys_mkdirat";
   with_dirfd proc dirfd (fun start ->
+      match
+        sharded_mkdir ~start ~mode:(Option.value mode ~default:Mode.default_dir) proc path
+      with
+      | Done r -> r
+      | Legacy ->
       with_write proc (fun () ->
           let* p = resolve_parent_locked ~start proc path in
           match p.Walk.child with

@@ -11,6 +11,11 @@
 
 type 'a r = ('a, Dcache_types.Errno.t) result
 
+module Batch = Batch
+(** Vectored submission/completion rings (§3.9): enqueue stat / lstat /
+    access probes, {!Batch.submit} them in one amortized-validation run,
+    read completions from the CQ. *)
+
 (** {1 Metadata} *)
 
 val stat : Proc.t -> string -> Dcache_types.Attr.t r
@@ -107,7 +112,8 @@ val invalidate_path : Proc.t -> string -> unit r
 val install_crash_sites : Dcache_util.Fault.t -> unit
 (** Register crash points inside the sharded mutation sections —
     ["syscalls.sharded_create"], ["syscalls.sharded_unlink"],
-    ["syscalls.sharded_rename"], ["syscalls.sharded_invalidate"] — on the
+    ["syscalls.sharded_rename"], ["syscalls.sharded_invalidate"],
+    ["syscalls.sharded_mkdir"], ["syscalls.sharded_rmdir"] — on the
     given injector.  Each fires between the stripe seqcount bump and the
     dcache splice and raises {!Dcache_util.Fault.Crash} out of the
     syscall; the section releases its stripe(s) and the read lock on the

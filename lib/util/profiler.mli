@@ -44,6 +44,20 @@ val with_span : int -> (unit -> 'a) -> 'a
     server side of a wire message carrying the client's span.  Allocates
     (closure); RPC-path only, never on the warm hit. *)
 
+(** {1 Batch span accounting (§3.9)} *)
+
+val note_batch : ops:int -> windows:int -> unit
+(** Record one vectored submission: [ops] queued ops shared one span and
+    opened [windows] validation windows (1 + mid-batch splits).  Always
+    on — one submit-granularity bump, never per op, zero-allocation. *)
+
+val batch_stats : unit -> int * int * int
+(** [(submits, ops, windows)] since the last {!reset}: total batch
+    submissions, total ops carried by them, and total validation windows
+    opened.  [windows /. submits] near 1.0 means validation was shared
+    across whole batches; [ops /. submits] is the span amortization
+    factor. *)
+
 (** {1 Per-directory cache efficacy (space-saving top-K)} *)
 
 val hh_k : int

@@ -60,7 +60,9 @@ let ev_netfs_crash = 30
 let ev_syscall = 31
 let ev_rpc_send = 32
 let ev_span_link = 33
-let n_events = 34
+let ev_batch_submit = 34
+let ev_batch_split = 35
+let n_events = 36
 
 let event_names =
   [|
@@ -98,6 +100,8 @@ let event_names =
     "syscall";
     "rpc_send";
     "span_link";
+    "batch_submit";
+    "batch_split";
   |]
 
 let event_name ev = if ev >= 0 && ev < n_events then event_names.(ev) else "unknown"

@@ -169,6 +169,16 @@ val ev_span_link : int
     on an inode whose lease a remote client's mutation broke.
     [dump_chrome] renders each link as a flow event pair. *)
 
+val ev_batch_submit : int
+(** A vectored submission (§3.9) minted its shared span: one stamp per
+    {!Batch.submit} rather than one per op; arg = the number of queued
+    ops the span covers. *)
+
+val ev_batch_split : int
+(** A batched lockless run observed a seqcount bump (or recorded-stripe
+    motion) mid-window and had to re-snapshot before continuing; arg =
+    the submission-queue index the split occurred at. *)
+
 val n_events : int
 val event_name : int -> string
 

@@ -66,6 +66,26 @@ val resolve_resumed :
     [absolute] is [false] regardless of the suffix text, so population
     applies the directory-reference rule against [start_at]. *)
 
+val resume_sibling :
+  Dcache.t ->
+  ctx ->
+  start_at:path_ref ->
+  follow:bool ->
+  string ->
+  [ `Child of path_ref  (** positive hit/fill, mount-traversed *)
+  | `Neg of dentry * Dcache_types.Errno.t
+    (** negative child (cached or freshly filled), for DLHT publication *)
+  | `Err of Dcache_types.Errno.t  (** definitive failure, nothing to publish *)
+  | `Bail  (** off the happy path (trailing symlink to follow): use
+               {!resolve_resumed} *) ]
+(** Grouped resumed walk (§3.9): resolve a {e single} plain final
+    component under [start_at] with one permission check and one dcache
+    probe-or-fill, skipping [walk_internal] entirely — the batched
+    slowpath uses it for runs of misses sharing an already-walked parent.
+    [follow] is the caller's [follow_last]; a symlink result bails rather
+    than splicing.  Same locking contract as {!resolve_resumed}.  Bumps
+    "walk_resumed_sibling" instead of "walk_slowpath"/"walk_components". *)
+
 exception Need_refwalk
 (** Raised (only) from [resolve_in_mode Rcu] when the walk cannot proceed
     without mutating the cache. *)

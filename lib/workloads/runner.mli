@@ -15,6 +15,37 @@ type result = {
 val run : ?label:string -> Env.t -> (unit -> unit) -> result
 (** Reset measurement state, run the workload, and collect the result. *)
 
+type open_loop = {
+  ol_label : string;
+  ol_batch : int;  (** ops per submission *)
+  ol_rate_per_s : float;  (** offered Poisson arrival rate *)
+  ol_ops : int;  (** total ops completed *)
+  ol_busy_ns : int64;  (** summed service time (wall + charged device ns) *)
+  ol_span_ns : int64;  (** virtual makespan: last completion or arrival *)
+  ol_p50_ns : int;  (** median per-op sojourn (completion - arrival) *)
+  ol_p99_ns : int;
+  ol_mean_ns : float;
+}
+
+val run_open_loop :
+  ?label:string ->
+  ?seed:int ->
+  Env.t ->
+  rate_per_s:float ->
+  batch:int ->
+  batches:int ->
+  fill:(Dcache_syscalls.Batch.t -> int -> unit) ->
+  unit ->
+  open_loop
+(** Open-loop vectored driver (§3.9): ops arrive on the virtual clock as a
+    Poisson process at [rate_per_s] — arrivals never wait for service, so
+    queueing shows up in the sojourn percentiles.  Every [batch] arrivals,
+    [fill ring i] (with [i] the global op index) pushes one op per call
+    into the preallocated ring, which is then submitted; service time is
+    measured wall time plus simulated device time charged during the
+    submit.  Sojourns land in a PR-3 latency histogram ({!Dcache_util.Stats.Lhist});
+    the result carries its p50/p99/mean. *)
+
 val seconds : result -> float
 val gain : baseline:result -> result -> float
 (** Relative improvement of [result] over [baseline] in percent (positive =

@@ -674,10 +674,64 @@ let test_dlht_sigless_scan_recovery () =
   Alcotest.(check int) "republished" pop (Dlht.population dlht);
   check_healthy "after republication" dlht
 
+let test_warm_batch_zero_alloc () =
+  (* The vectored front-end's whole pitch (§3.9) is amortization on top of
+     the warm fastpath, so it inherits the same discipline: a warm all-hit
+     submit — one shared validation window over N probes — must allocate
+     zero minor-heap words and take zero rwlocks, per submit, not just
+     per op. *)
+  let module Batch = Dcache_syscalls.Batch in
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "tree" (S.mkdir_p p "/a/b/c");
+  let n = 32 in
+  let paths =
+    Array.init n (fun i -> Printf.sprintf "/a/b/c/t%02d" i)
+  in
+  Array.iter (fun path -> get "file" (S.write_file p path "payload")) paths;
+  let ring = Batch.create ~cap:n p in
+  Array.iteri
+    (fun i path ->
+      let slot =
+        match i mod 3 with
+        | 0 -> Batch.push_stat ring path
+        | 1 -> Batch.push_lstat ring path
+        | _ -> Batch.push_access ring path Access.may_read
+      in
+      Alcotest.(check int) "slot" i slot)
+    paths;
+  (* One cold submit warms every dentry into the DLHT; the SQ persists
+     across submits (only [reset] clears it), so the measured loop re-runs
+     the identical batch. *)
+  Batch.submit ring;
+  for i = 0 to n - 1 do
+    Alcotest.(check bool) (Printf.sprintf "slot %d ok" i) true (Batch.ok ring i)
+  done;
+  let submits0 = counter kernel "batch_submit" in
+  let h0 = counter kernel "fastpath_hit" in
+  let iters = 1_000 in
+  Rwlock.reset_acquisition_counts ();
+  let words = measure_minor_words iters (fun () -> Batch.submit ring) in
+  let reads, writes = Rwlock.acquisition_counts () in
+  Alcotest.(check int) "every submit ran" (iters + 2)
+    (counter kernel "batch_submit" - submits0);
+  Alcotest.(check int) "every probe was a fastpath hit"
+    ((iters + 2) * n)
+    (counter kernel "fastpath_hit" - h0);
+  Alcotest.(check (float 0.0))
+    (Printf.sprintf "zero minor-heap words over %d warm %d-op submits" iters n)
+    0.0 words;
+  Alcotest.(check (pair int int)) "zero rwlock acquisitions across all submits" (0, 0)
+    (reads, writes);
+  for i = 0 to n - 1 do
+    Alcotest.(check bool) (Printf.sprintf "slot %d still ok" i) true (Batch.ok ring i)
+  done
+
 let suite =
   [
     Alcotest.test_case "warm fastpath hit allocates zero minor words" `Quick
       test_warm_hit_zero_alloc;
+    Alcotest.test_case "warm all-hit batch submit allocates zero minor words" `Quick
+      test_warm_batch_zero_alloc;
     Alcotest.test_case "warm live-lease hit allocates zero minor words" `Quick
       test_warm_lease_hit_zero_alloc;
     Alcotest.test_case "warm negative hit allocates zero minor words" `Quick

@@ -434,6 +434,169 @@ let profiling_transparency_property =
       let armed, _, _ = run_trace_armed Config.optimized ops in
       plain = armed)
 
+(* --- batched submission equivalence (§3.9) ---
+
+   A batch of N mixed probes (stat / lstat / access) drained through the
+   vectored SQ/CQ front-end must return exactly the results of the same
+   ops issued sequentially at the same point — under rename / chmod /
+   unlink / create churn between rounds, in both orders (batch first, so
+   its grouped phase-2 populates are observed by the sequential pass, and
+   sequential first, so the batch runs all-warm). *)
+
+module Batch = Dcache_syscalls.Batch
+
+type probe = PStat of string | PLstat of string | PAccess of string
+
+let pp_probe = function
+  | PStat p -> "bstat " ^ p
+  | PLstat p -> "blstat " ^ p
+  | PAccess p -> "baccess " ^ p
+
+let probe_sequential p = function
+  | PStat path -> obs "stat" (Result.map obs_of_attr (S.stat p path))
+  | PLstat path -> obs "lstat" (Result.map obs_of_attr (S.lstat p path))
+  | PAccess path ->
+    obs "access" (Result.map (fun () -> "") (S.access p path Access.may_read))
+
+let probe_push ring = function
+  | PStat path -> ignore (Batch.push_stat ring path)
+  | PLstat path -> ignore (Batch.push_lstat ring path)
+  | PAccess path -> ignore (Batch.push_access ring path Access.may_read)
+
+let probe_obs ring k pr =
+  let name = match pr with PStat _ -> "stat" | PLstat _ -> "lstat" | PAccess _ -> "access" in
+  if Batch.ok ring k then
+    let body = match pr with PAccess _ -> "" | _ -> obs_of_attr (Batch.attr ring k) in
+    name ^ ":ok:" ^ body
+  else name ^ ":" ^ Errno.to_string (Batch.errno ring k)
+
+let batch_equiv_churn_test seed =
+  Alcotest.test_case
+    (Printf.sprintf "batched == sequential under churn [seed %d]" seed) `Quick
+    (fun () ->
+      let rng = Random.State.make [| seed |] in
+      let fs = Dcache_fs.Ramfs.create () in
+      let kernel = Kernel.create ~config:Config.optimized ~root_fs:fs () in
+      let p = Proc.spawn kernel in
+      let dirs = [| "/ba"; "/bb"; "/bc" |] in
+      let req what = function
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "%s: %s" what (Errno.to_string e)
+      in
+      Array.iter (fun d -> req "mkdir" (S.mkdir p d)) dirs;
+      Array.iter
+        (fun d ->
+          for i = 0 to 11 do
+            req "file" (S.write_file p (Printf.sprintf "%s/f%d" d i) "x")
+          done)
+        dirs;
+      req "symlink" (S.symlink p ~target:"/ba/f0" "/ba/ln");
+      let n = 32 in
+      let ring = Batch.create ~cap:n p in
+      let random_path () =
+        let d = dirs.(Random.State.int rng 3) in
+        match Random.State.int rng 5 with
+        | 0 -> d
+        | 1 | 2 -> Printf.sprintf "%s/f%d" d (Random.State.int rng 14)
+        | 3 -> Printf.sprintf "%s/nope%d" d (Random.State.int rng 4)
+        | _ -> "/ba/ln"
+      in
+      let random_probe () =
+        let path = random_path () in
+        match Random.State.int rng 3 with
+        | 0 -> PStat path
+        | 1 -> PLstat path
+        | _ -> PAccess path
+      in
+      for round = 0 to 19 do
+        (match Random.State.int rng 4 with
+        | 0 ->
+          let d = dirs.(Random.State.int rng 3) in
+          let i = Random.State.int rng 14 in
+          ignore (S.rename p (Printf.sprintf "%s/f%d" d i) (Printf.sprintf "%s/g%d" d i))
+        | 1 ->
+          ignore
+            (S.chmod p
+               dirs.(Random.State.int rng 3)
+               [| 0o755; 0o700; 0o500 |].(Random.State.int rng 3))
+        | 2 ->
+          ignore
+            (S.unlink p
+               (Printf.sprintf "%s/f%d" dirs.(Random.State.int rng 3)
+                  (Random.State.int rng 14)))
+        | _ ->
+          ignore
+            (S.write_file p
+               (Printf.sprintf "%s/f%d" dirs.(Random.State.int rng 3)
+                  (Random.State.int rng 14))
+               "y"));
+        let probes = Array.init n (fun _ -> random_probe ()) in
+        Batch.reset ring;
+        Array.iter (probe_push ring) probes;
+        let batch_first = round land 1 = 0 in
+        let batched, sequential =
+          if batch_first then begin
+            Batch.submit ring;
+            let b = Array.mapi (fun k pr -> probe_obs ring k pr) probes in
+            (b, Array.map (probe_sequential p) probes)
+          end
+          else begin
+            let s = Array.map (probe_sequential p) probes in
+            Batch.submit ring;
+            (Array.mapi (fun k pr -> probe_obs ring k pr) probes, s)
+          end
+        in
+        Array.iteri
+          (fun k pr ->
+            if batched.(k) <> sequential.(k) then
+              Alcotest.failf "round %d probe %d (%s, %s):\n  batched: %s\n  sequential: %s"
+                round k (pp_probe pr)
+                (if batch_first then "batch first" else "sequential first")
+                batched.(k) sequential.(k))
+          probes
+      done;
+      Alcotest.(check bool) "batch submissions recorded" true
+        (counter kernel "batch_submit" > 0);
+      Alcotest.(check bool) "misses deferred to phase 2" true
+        (counter kernel "fastpath_batch_deferred" > 0))
+
+let probe_gen =
+  QCheck.Gen.(
+    let* path = path_gen in
+    let* k = int_range 0 2 in
+    return (match k with 0 -> PStat path | 1 -> PLstat path | _ -> PAccess path))
+
+let batch_property =
+  QCheck.Test.make ~name:"batched probes match sequential probes after any trace"
+    ~count:100
+    (QCheck.make
+       ~print:(fun (ops, probes) ->
+         String.concat "; " (List.map pp_op ops)
+         ^ " | "
+         ^ String.concat "; " (List.map pp_probe probes))
+       QCheck.Gen.(
+         pair (list_size (int_range 1 40) op_gen) (list_size (int_range 1 40) probe_gen)))
+    (fun (ops, probes) ->
+      let fs = Dcache_fs.Ramfs.create () in
+      let kernel = Kernel.create ~config:Config.optimized ~root_fs:fs () in
+      let root_p = Proc.spawn kernel in
+      let user_p = Proc.spawn ~cred:(Cred.make ~uid:1000 ~gid:1000 ()) kernel in
+      ignore (List.map (fun op -> run_op root_p user_p op) ops);
+      let probes = Array.of_list probes in
+      let ring = Batch.create ~cap:(Array.length probes) root_p in
+      Array.iter (probe_push ring) probes;
+      Batch.submit ring;
+      let batched = Array.mapi (fun k pr -> probe_obs ring k pr) probes in
+      let sequential = Array.map (probe_sequential root_p) probes in
+      if batched <> sequential then begin
+        let k = ref 0 in
+        Array.iteri (fun i (b : string) -> if b <> sequential.(i) && !k = 0 then k := i + 1) batched;
+        let i = max 0 (!k - 1) in
+        QCheck.Test.fail_reportf "probe %d (%s):\n  batched: %s\n  sequential: %s" i
+          (pp_probe probes.(i)) batched.(i) sequential.(i)
+      end;
+      true)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest (equivalence_test "optimized" Config.optimized);
@@ -460,6 +623,10 @@ let suite =
     profiling_transparency_test 1337;
     profiling_transparency_test 9001;
     QCheck_alcotest.to_alcotest profiling_transparency_property;
+    batch_equiv_churn_test 1;
+    batch_equiv_churn_test 1337;
+    batch_equiv_churn_test 9001;
+    QCheck_alcotest.to_alcotest batch_property;
     QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [baseline]" Config.baseline);
     QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [optimized]" Config.optimized);
     QCheck_alcotest.to_alcotest

@@ -647,6 +647,49 @@ let test_procfs_zero_traffic_netfs () =
   Alcotest.(check int) "no grants" 0 (assoc_or_fail "leases" "grants" leases);
   Alcotest.(check int) "no clients" 0 (assoc_or_fail "leases" "clients" leases)
 
+let test_batch_surface () =
+  (* /proc/dcache/batch renders the §3.9 amortization figures: submit and
+     window totals from the profiler's always-on atomics plus the
+     miss-deferral and sharded mkdir/rmdir counters.  Drive a known
+     mixture and require exact agreement. *)
+  let module Profiler = Dcache_util.Profiler in
+  let module Batch = Dcache_syscalls.Batch in
+  Profiler.reset ();
+  Fun.protect ~finally:Profiler.reset (fun () ->
+      let kernel, p = ram_kernel ~config:Config.optimized () in
+      get "mkdir /proc" (S.mkdir_p p "/proc");
+      get "mount proc" (S.mount_fs p (Kernel_procfs.make kernel) "/proc");
+      (* A cached negative for the name keeps mkdir on the sharded path
+         (the stripe promotes it in place; a cold name falls back to the
+         legacy global-lock path). *)
+      expect_err Errno.ENOENT "seed negative" (S.stat p "/bdir");
+      get "mkdir" (S.mkdir p "/bdir");
+      expect_err Errno.ENOENT "seed negative" (S.stat p "/bgone");
+      get "rmdir victim" (S.mkdir p "/bgone");
+      get "rmdir" (S.rmdir p "/bgone");
+      for i = 0 to 7 do
+        get "seed" (S.write_file p (Printf.sprintf "/bdir/f%d" i) "x")
+      done;
+      let ring = Batch.create ~cap:8 p in
+      for i = 0 to 7 do
+        ignore (Batch.push_stat ring (Printf.sprintf "/bdir/f%d" i))
+      done;
+      (* First submit: all 8 probes miss the DLHT and are deferred to the
+         grouped slowpath; the next two run warm under one window each. *)
+      Batch.submit ring;
+      Batch.submit ring;
+      Batch.submit ring;
+      let body = kv_lines (read p "/proc/dcache/batch") in
+      let field = assoc_or_fail "batch" in
+      Alcotest.(check int) "submits" 3 (field "batch_submits" body);
+      Alcotest.(check int) "ops" 24 (field "batch_ops" body);
+      Alcotest.(check int) "deferred: the cold submit's 8 misses" 8
+        (field "batch_deferred" body);
+      Alcotest.(check bool) "windows cover at least one per submit" true
+        (field "batch_windows" body >= 3);
+      Alcotest.(check int) "sharded mkdir count" 2 (field "sharded_mkdir" body);
+      Alcotest.(check int) "sharded rmdir count" 1 (field "sharded_rmdir" body))
+
 let suite =
   [
     Alcotest.test_case "scripted workload: full /proc surface read-back" `Quick
@@ -662,4 +705,6 @@ let suite =
     Alcotest.test_case "stripe lock table via /proc" `Quick test_stripes_surface;
     Alcotest.test_case "per-directory sketch via /proc/dcache/hot is exact" `Quick
       test_hot_surface;
+    Alcotest.test_case "vectored-submission figures via /proc/dcache/batch" `Quick
+      test_batch_surface;
   ]
