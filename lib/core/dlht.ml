@@ -60,6 +60,9 @@ type t = {
   mutable resize_count : int;
   sigless_scans : int Atomic.t;
       (** times [remove] had to fall back to a whole-table identity scan *)
+  stripe_migrations : int Atomic.t;
+      (** old-table buckets drained by sharded sections under their own
+          stripe (resize settling off the global write lock) *)
   ns : namespace;
   count : int Atomic.t;
   stripes : Locktab.t option;  (** sharded-mutation stripe locks; None = legacy *)
@@ -103,6 +106,7 @@ let of_namespace ?(stripes = 0) ~buckets ~grow_load ns =
         grow_load;
         resize_count = 0;
         sigless_scans = Atomic.make 0;
+        stripe_migrations = Atomic.make 0;
         ns;
         count = Atomic.make 0;
         stripes =
@@ -122,6 +126,7 @@ let bucket_in tbl signature = Signature.bucket signature land tbl.mask
 let resizing t = t.old <> None
 let resizes t = t.resize_count
 let sigless_scans t = Atomic.get t.sigless_scans
+let stripe_migrations t = Atomic.get t.stripe_migrations
 
 (* Splice [d] in as the head of [tbl]'s bucket for [signature]. *)
 let splice tbl d signature =
@@ -133,6 +138,32 @@ let splice tbl d signature =
   (match head with Some h -> h.d_dlht_prev <- cell | None -> ());
   tbl.buckets.(idx) <- cell
 
+(* Re-splice one old bucket's chain into the current table and empty it.
+   The chain's entries all share the bucket index, so in sharded mode the
+   whole drain stays inside the bucket's stripe. *)
+let drain_bucket t old i =
+  let rec drain cell =
+    match cell with
+    | None -> ()
+    | Some d ->
+      let next = d.d_dlht_next in
+      (match d.d_sig with
+      | Some signature -> splice t.tbl d signature
+      | None ->
+        (* Chained with no signature: cannot be re-placed, and a probe
+           could never have matched it anyway.  Quarantine, as scrub
+           would. *)
+        d.d_dlht_next <- None;
+        d.d_dlht_prev <- None;
+        d.d_dlht_ns <- None;
+        Atomic.decr t.count;
+        Trace.bump_cause Trace.cause_quarantined;
+        Trace.stamp Trace.ev_quarantine d.d_id);
+      drain next
+  in
+  drain old.buckets.(i);
+  old.buckets.(i) <- None
+
 (* Migrate up to [n] old buckets into the current table.  Caller holds the
    dcache write lock (like every mutator here). *)
 let migrate_some t n =
@@ -143,27 +174,7 @@ let migrate_some t n =
     let stop = Stdlib.min total (t.migrate_idx + n) in
     let i = ref t.migrate_idx in
     while !i < stop do
-      let rec drain cell =
-        match cell with
-        | None -> ()
-        | Some d ->
-          let next = d.d_dlht_next in
-          (match d.d_sig with
-          | Some signature -> splice t.tbl d signature
-          | None ->
-            (* Chained with no signature: cannot be re-placed, and a probe
-               could never have matched it anyway.  Quarantine, as scrub
-               would. *)
-            d.d_dlht_next <- None;
-            d.d_dlht_prev <- None;
-            d.d_dlht_ns <- None;
-            Atomic.decr t.count;
-            Trace.bump_cause Trace.cause_quarantined;
-            Trace.stamp Trace.ev_quarantine d.d_id);
-          drain next
-      in
-      drain old.buckets.(!i);
-      old.buckets.(!i) <- None;
+      drain_bucket t old !i;
       incr i
     done;
     t.migrate_idx <- stop;
@@ -171,6 +182,25 @@ let migrate_some t n =
       t.old <- None;
       Trace.stamp Trace.ev_dlht_resize_end (Array.length t.tbl.buckets)
     end
+
+(* Resize settling on the stripe table: a sharded splice already holds the
+   stripe covering [signature]'s bucket in {e both} tables (the stripe mask
+   is a submask of every table mask), so it drains the signature's old
+   bucket in passing — migration proceeds under stripe locks instead of
+   waiting for an exclusive section.  The cursor sweep in [migrate_some]
+   later finds these buckets empty; the [old <- None] completion and the
+   table swap themselves remain exclusive ([housekeep]), and that residue
+   is what /proc/dcache/stripes' global-acquisition counter tracks. *)
+let settle_in_stripe t signature =
+  match t.old with
+  | None -> ()
+  | Some old -> (
+    let i = bucket_in old signature in
+    match old.buckets.(i) with
+    | None -> ()
+    | Some _ ->
+      drain_bucket t old i;
+      Atomic.incr t.stripe_migrations)
 
 let settle t = migrate_some t max_int
 
@@ -262,7 +292,9 @@ let remove_from t d =
     match d.d_sig with
     | Some signature ->
       let i = Locktab.index tab (Signature.bucket signature) in
-      Locktab.with_lock tab i (fun () -> remove_splice t d)
+      Locktab.with_lock tab i (fun () ->
+          settle_in_stripe t signature;
+          remove_splice t d)
     | None ->
       (* Chained with no signature only happens when the detach ordering is
          broken, which only exclusive (write-locked) callers can do — the
@@ -293,6 +325,7 @@ let insert t ns d signature =
        lock, and every sharded section holds the read side. *)
     let i = Locktab.index tab (Signature.bucket signature) in
     Locktab.with_lock tab i (fun () ->
+        settle_in_stripe t signature;
         splice t.tbl d signature;
         Atomic.incr t.count;
         d.d_dlht_ns <- Some ns));

@@ -109,6 +109,12 @@ val resizes : t -> int
 val sigless_scans : t -> int
 (** Times {!remove} fell back to the defensive whole-table scan. *)
 
+val stripe_migrations : t -> int
+(** Old-table buckets drained by sharded sections under their own stripe
+    (resize settling off the global write lock): each sharded splice drains
+    its signature's pre-resize bucket in passing, which the stripe-submask
+    invariant keeps inside the already-held stripe. *)
+
 val settle : t -> unit
 (** Complete any in-flight migration now.  Call under the dcache write
     lock; tests and benchmarks use it for deterministic occupancy. *)

@@ -528,6 +528,7 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
       let at_root = at_ns_root ctx in
       match literal.d_state with
       | Negative errno ->
+        if not (Dcache.negative_current literal) then raise Fall_back;
         Counter.bump t.c_neg;
         Trace.stamp Trace.ev_fast_neg 0;
         Error errno
@@ -539,6 +540,7 @@ let probe t ctx ~(start : path_ref) ~(flags : Walk.flags) path =
         in
         match final.d_state with
         | Negative errno ->
+          if not (Dcache.negative_current final) then raise Fall_back;
           Counter.bump t.c_neg;
           Trace.stamp Trace.ev_fast_neg 0;
           Error errno
@@ -678,6 +680,10 @@ let rec prefix_scan t dlht pcc sc path ~vsnap k =
           (* The deciding directory's lease is dead: this cached absence
              cannot fast-fail the path.  A shallower (leased) ancestor may
              still resume or decide it. *)
+          prefix_scan t dlht pcc sc path ~vsnap (k - 1)
+        | Negative _ when not (Dcache.negative_current literal) ->
+          (* A per-mount negative flush outdated this verdict (int compare,
+             allocation-free); skip it like any other unusable candidate. *)
           prefix_scan t dlht pcc sc path ~vsnap (k - 1)
         | Negative errno ->
           commit_check t sc vsnap;
@@ -824,6 +830,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
     match literal.d_state with
     | Negative errno ->
       if lease_blocks_negative t literal then raise Fall_back;
+      if not (Dcache.negative_current literal) then raise Fall_back;
       commit_check t sc vsnap;
       Counter.bump t.c_neg;
       Trace.stamp Trace.ev_fast_neg 0;
@@ -837,6 +844,7 @@ let probe_into t ctx ~(start : path_ref) ~(flags : Walk.flags) sc path ~within ~
       match final.d_state with
       | Negative errno ->
         if lease_blocks_negative t final then raise Fall_back;
+        if not (Dcache.negative_current final) then raise Fall_back;
         commit_check t sc vsnap;
         Counter.bump t.c_neg;
         Trace.stamp Trace.ev_fast_neg 0;

@@ -70,7 +70,46 @@ let render_summary kernel () =
 let render_stripes kernel () =
   match Dcache.stripes (Kernel.dcache kernel) with
   | None -> "stripes 0\n"
-  | Some tab -> Dcache_util.Locktab.to_string tab
+  | Some tab ->
+    (* Residual global-write figures ride the sharded report: every
+       [with_write] is a full-stop for the stripes, so the ratio of
+       [global_write_acquired] to stripe acquisitions says how much of
+       the mutation load still funnels through the big lock.
+       [dlht_stripe_migrations] counts pre-resize buckets the sharded
+       sections drained under their own stripe instead of waiting for a
+       write-locked housekeeping pass. *)
+    let globals =
+      Dcache_util.Stats.Counter.get (Kernel.counters kernel)
+        "global_write_acquired"
+    in
+    let migrations =
+      match Dcache_core.Dlht.of_namespace_opt (Kernel.init_ns kernel) with
+      | None -> 0
+      | Some t -> Dcache_core.Dlht.stripe_migrations t
+    in
+    Dcache_util.Locktab.to_string tab
+    ^ Printf.sprintf "global_write_acquired %d\n" globals
+    ^ Printf.sprintf "dlht_stripe_migrations %d\n" migrations
+
+(* [dcache/neglists] is the negative-dentry book (§6.3): the per-stripe
+   bound, eviction and invalidation tallies, and one occupancy line per
+   stripe list so a create-storm's negative footprint can be audited from
+   /proc alone. *)
+let render_neglists kernel () =
+  let d = Kernel.dcache kernel in
+  let c name = Dcache_util.Stats.Counter.get (Kernel.counters kernel) name in
+  let occ = Dcache.neg_occupancy d in
+  let total = Array.fold_left ( + ) 0 occ in
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "neg_list_cap %d\n" (Dcache.neg_list_cap d);
+  Printf.bprintf buf "neg_lists %d\n" (Array.length occ);
+  Printf.bprintf buf "neg_cached %d\n" total;
+  Printf.bprintf buf "neg_evicted %d\n" (c "neg_evicted");
+  Printf.bprintf buf "neg_gen_invalidations %d\n" (c "neg_gen_invalidations");
+  Printf.bprintf buf "walk_stale_negative %d\n" (c "walk_stale_negative");
+  Printf.bprintf buf "create_neg_shortcut %d\n" (c "create_neg_shortcut");
+  Array.iteri (fun i n -> Printf.bprintf buf "neglist %d occupancy %d\n" i n) occ;
+  Buffer.contents buf
 
 let render_config kernel () =
   let c = Kernel.config kernel in
@@ -93,6 +132,7 @@ let render_config kernel () =
       Printf.sprintf "deep_negative %b" c.Config.deep_negative;
       Printf.sprintf "dcache_buckets %d" c.Config.dcache_buckets;
       Printf.sprintf "dcache_stripes %d" c.Config.dcache_stripes;
+      Printf.sprintf "neg_list_cap %d" c.Config.neg_list_cap;
       Printf.sprintf "max_dentries %d" c.Config.max_dentries;
       "";
     ]
@@ -220,6 +260,7 @@ let make ?faults ?netfs kernel =
   ok (Pseudofs.add_file p "/dcache/summary" ~content:(render_summary kernel));
   ok (Pseudofs.add_file p "/dcache/config" ~content:(render_config kernel));
   ok (Pseudofs.add_file p "/dcache/stripes" ~content:(render_stripes kernel));
+  ok (Pseudofs.add_file p "/dcache/neglists" ~content:(render_neglists kernel));
   ok (Pseudofs.add_file p "/dcache/histograms" ~content:render_histograms);
   ok (Pseudofs.add_file p "/dcache/causes" ~content:render_causes);
   ok (Pseudofs.add_file p "/dcache/trace" ~content:render_trace);

@@ -22,6 +22,18 @@ type dir_stream = {
       (** the directory's mutation generation when [entries] was captured *)
 }
 
+(* Preallocated per-process dirent result buffer (§5.1): the cache-fed
+   readdir stores each entry as three parallel-array writes (name pointer,
+   ino, kind), so a warm DIR_COMPLETE listing allocates nothing after the
+   first fill.  Growth doubles outside the warm path; contents are valid
+   until the next scratch-filling call on the same process. *)
+type dirent_scratch = {
+  mutable ds_names : string array;
+  mutable ds_inos : int array;
+  mutable ds_kinds : Dcache_types.File_kind.t array;
+  mutable ds_n : int;
+}
+
 type fd = {
   fd_num : int;
   fd_ref : path_ref;
@@ -41,7 +53,52 @@ type t = {
   mutable ns : namespace;
   fds : (int, fd) Hashtbl.t;
   mutable next_fd : int;
+  dirents : dirent_scratch;
+  (* counter cells resolved at spawn/fork: name-keyed bumps allocate an
+     option per call, and the scratch readdir's warm path must stay
+     word-free *)
+  c_scratch_warm : Dcache_util.Stats.Counter.cell;
+  c_scratch_sys : Dcache_util.Stats.Counter.cell;
 }
+
+let scratch_initial = 64
+
+let make_scratch () =
+  {
+    ds_names = Array.make scratch_initial "";
+    ds_inos = Array.make scratch_initial 0;
+    ds_kinds = Array.make scratch_initial Dcache_types.File_kind.Regular;
+    ds_n = 0;
+  }
+
+let scratch_cap ds = Array.length ds.ds_names
+
+(* Double the scratch to hold at least [want] entries.  Never called on the
+   warm path: the lockless listing bails to the locked fill on overflow,
+   and the locked fill grows before copying. *)
+let scratch_grow ds want =
+  let cap = scratch_cap ds in
+  if want > cap then begin
+    let cap' = ref (cap * 2) in
+    while !cap' < want do
+      cap' := !cap' * 2
+    done;
+    let names = Array.make !cap' "" in
+    let inos = Array.make !cap' 0 in
+    let kinds = Array.make !cap' Dcache_types.File_kind.Regular in
+    Array.blit ds.ds_names 0 names 0 ds.ds_n;
+    Array.blit ds.ds_inos 0 inos 0 ds.ds_n;
+    Array.blit ds.ds_kinds 0 kinds 0 ds.ds_n;
+    ds.ds_names <- names;
+    ds.ds_inos <- inos;
+    ds.ds_kinds <- kinds
+  end
+
+(* One entry, three stores — the warm readdir's only writes. *)
+let[@inline] scratch_set ds i name ino kind =
+  Array.unsafe_set ds.ds_names i name;
+  Array.unsafe_set ds.ds_inos i ino;
+  Array.unsafe_set ds.ds_kinds i kind
 
 (* One default root credential per kernel would need a kernel slot; a global
    per-process-spawn credential would defeat PCC sharing.  Share one default
@@ -54,6 +111,7 @@ let spawn ?cred kernel =
   Dcache.dget root.dentry;
   Dcache.dget root.dentry;
   (* two pins: one for root, one for cwd *)
+  let cs = Kernel.counters kernel in
   {
     kernel;
     cred;
@@ -62,11 +120,15 @@ let spawn ?cred kernel =
     ns = Kernel.init_ns kernel;
     fds = Hashtbl.create 16;
     next_fd = 3;
+    dirents = make_scratch ();
+    c_scratch_warm = Dcache_util.Stats.Counter.cell cs "readdir_scratch_warm";
+    c_scratch_sys = Dcache_util.Stats.Counter.cell cs "sys_readdir_fill";
   }
 
 let fork t =
   Dcache.dget t.root.dentry;
   Dcache.dget t.cwd.dentry;
+  let cs = Kernel.counters t.kernel in
   {
     kernel = t.kernel;
     cred = t.cred;
@@ -75,6 +137,9 @@ let fork t =
     ns = t.ns;
     fds = Hashtbl.create 16;
     next_fd = 3;
+    dirents = make_scratch ();
+    c_scratch_warm = Dcache_util.Stats.Counter.cell cs "readdir_scratch_warm";
+    c_scratch_sys = Dcache_util.Stats.Counter.cell cs "sys_readdir_fill";
   }
 
 let walk_ctx t =
@@ -102,6 +167,10 @@ let find_fd t num =
   match Hashtbl.find_opt t.fds num with
   | Some fd -> Ok fd
   | None -> Error Dcache_types.Errno.EBADF
+
+(* Allocation-free variant for the scratch readdir's warm path: [find_fd]
+   boxes a result per call.  @raise Not_found on a bad descriptor. *)
+let find_fd_exn t num = Hashtbl.find t.fds num
 
 let remove_fd t num =
   match Hashtbl.find_opt t.fds num with

@@ -26,6 +26,18 @@ type dir_stream = {
       (** the directory's mutation generation when [entries] was captured *)
 }
 
+(** Preallocated per-process dirent result buffer (§5.1): the cache-fed
+    readdir stores each entry as three parallel-array writes (name, ino,
+    kind), so a warm DIR_COMPLETE listing allocates nothing after the
+    first fill.  [ds_n] entries are valid until the next scratch-filling
+    call on the same process. *)
+type dirent_scratch = {
+  mutable ds_names : string array;
+  mutable ds_inos : int array;
+  mutable ds_kinds : Dcache_types.File_kind.t array;
+  mutable ds_n : int;
+}
+
 type fd = {
   fd_num : int;
   fd_ref : path_ref;
@@ -45,7 +57,25 @@ type t = {
   mutable ns : namespace;
   fds : (int, fd) Hashtbl.t;
   mutable next_fd : int;
+  dirents : dirent_scratch;
+  c_scratch_warm : Dcache_util.Stats.Counter.cell;
+      (** ["readdir_scratch_warm"], resolved at spawn: name-keyed bumps
+          allocate, and the warm readdir must stay word-free *)
+  c_scratch_sys : Dcache_util.Stats.Counter.cell;  (** ["sys_readdir_fill"] *)
 }
+
+val scratch_cap : dirent_scratch -> int
+(** Current capacity (slots) of the scratch arrays. *)
+
+val scratch_grow : dirent_scratch -> int -> unit
+(** Ensure capacity for at least the given number of entries (doubling).
+    Allocates; never called on the warm path — the lockless listing bails
+    to the locked fill on overflow, and the locked fill grows first. *)
+
+val scratch_set : dirent_scratch -> int -> string -> int -> Dcache_types.File_kind.t -> unit
+(** [scratch_set ds i name ino kind] stores entry [i] — three unchecked
+    array stores, the warm readdir's only writes.  [i] must be below
+    {!scratch_cap}. *)
 
 val spawn : ?cred:Dcache_cred.Cred.t -> Kernel.t -> t
 (** A fresh process at the kernel's root with the given credentials
@@ -65,4 +95,10 @@ val set_cred : t -> (Dcache_cred.Cred.Builder.t -> unit) -> unit
 
 val install_fd : t -> fd:(int -> fd) -> fd
 val find_fd : t -> int -> (fd, Dcache_types.Errno.t) result
+
+val find_fd_exn : t -> int -> fd
+(** Allocation-free variant of {!find_fd} for the scratch readdir's warm
+    path ([find_fd] boxes a result per call).
+    @raise Not_found on a bad descriptor. *)
+
 val remove_fd : t -> int -> (fd, Dcache_types.Errno.t) result

@@ -1,0 +1,279 @@
+(** Cache-fed readdir into the per-process dirent scratch (§5.1).
+
+    A DIR_COMPLETE directory's cached children {e are} its listing, so a
+    warm readdir needs no backend call, no locks and no allocation: the
+    warm path snapshots the dcache-wide write sequence, the directory's
+    own-id stripe seqcount and the directory generation ([d_dir_gen]),
+    walks the intrusive child list storing each entry as three parallel
+    array writes into the process's preallocated {!Proc.dirent_scratch},
+    then revalidates all three snapshots.  Any overlapping write section,
+    any sharded mutation of this directory, and any readdir-visible change
+    each bump one of the three counters, so a validated walk is a
+    consistent point-in-time listing — the same §3.4 discipline the
+    lockless lookup fastpath commits under.
+
+    The cold path runs under the directory's own-id stripe (or the write
+    lock when unsharded): it grows the scratch as needed, serves a
+    complete directory from its cached children, and otherwise lists the
+    backend and {e promotes} the result — caching unlisted names as
+    [Partial] children and setting DIR_COMPLETE — so the next call is
+    warm.  Promotion under the parent stripe rather than the global write
+    lock is the point: concurrent listings of different directories
+    proceed in parallel with each other and with sharded creates.
+
+    This lives outside [Syscalls] because both the sequential front-end
+    ([Syscalls.readdir_fill]) and the vectored ring ([Batch.push_readdir])
+    share it, and [Batch] is linked before [Syscalls]. *)
+
+open Dcache_types
+open Dcache_vfs.Types
+module Dcache = Dcache_vfs.Dcache
+module Inode = Dcache_vfs.Inode
+module Config = Dcache_vfs.Config
+module Fs = Dcache_fs.Fs_intf
+module Counter = Dcache_util.Stats.Counter
+module Rwlock = Dcache_util.Rwlock
+module Locktab = Dcache_util.Locktab
+module Dlist = Dcache_util.Dlist
+module Seqcount = Dcache_util.Seqcount
+module Fault = Dcache_util.Fault
+
+let dcache proc = Kernel.dcache proc.Proc.kernel
+let kconfig proc = Kernel.config proc.Proc.kernel
+let count proc name = Counter.incr (Kernel.counters proc.Proc.kernel) name
+
+exception Readdir_errno of Errno.t
+(** Error escape for {!fill}: boxing a [result] would put two words on the
+    otherwise allocation-free warm path.  Raised cold, caught by thin
+    wrappers. *)
+
+(* Raised (constant, no allocation) when the optimistic walk would outgrow
+   the scratch: growth allocates, so the locked path grows instead. *)
+exception Scratch_overflow
+
+(* Crash-fault site for the stripe-locked promotion section, registered by
+   [Syscalls.install_crash_sites] under "syscalls.sharded_readdir" so it
+   rides the same injector as the other sharded sections. *)
+let crash_site : Fault.site option ref = ref None
+let set_crash_site s = crash_site := Some s
+let clear_crash_site () = crash_site := None
+
+let[@inline] crash_point () =
+  match !crash_site with None -> () | Some s -> Fault.crash_point s
+
+(* Run [f] under whatever guards this directory's children, completeness
+   bit and generation: the directory's own-id stripe (plus the rwlock read
+   side) when sharded, the write lock otherwise.  Already write-locked
+   callers — the batch slowpath phase runs its hooks under one
+   [Dcache.with_write] — get [f] inline: the write lock excludes every
+   stripe section wholesale. *)
+let with_dir_stripe proc dir f =
+  let d = dcache proc in
+  let lock = Dcache.lock d in
+  if Rwlock.write_held lock then f ()
+  else begin
+    match Dcache.stripes d with
+    | Some tab ->
+      Rwlock.read_lock lock;
+      let si = Locktab.index tab dir.d_id in
+      Locktab.lock tab si;
+      (* Same unwind discipline as the sharded mutation sections: a leaked
+         stripe leaves its seqcount odd and wedges every later probe. *)
+      (try crash_point ()
+       with e ->
+         Locktab.unlock tab si;
+         Rwlock.read_unlock lock;
+         raise e);
+      let r =
+        try f ()
+        with e ->
+          Locktab.unlock tab si;
+          Rwlock.read_unlock lock;
+          raise e
+      in
+      Locktab.unlock tab si;
+      Rwlock.read_unlock lock;
+      r
+    | None -> Dcache.with_write d f
+  end
+
+(* One intrusive pass over [dir]'s cached children into [ds] starting at
+   slot [i]; returns the end slot.  Negative children are skipped — they
+   are cached absence, not entries.  Everything here is field reads and
+   [Array.unsafe_set] stores: the walk allocates nothing.  A torn list
+   (concurrent splice) can only cut the walk short or revisit nodes; the
+   [cap] check bounds it either way, and the caller's seqcount validation
+   rejects whatever a race produced. *)
+let rec scratch_walk ds cap node i =
+  match node with
+  | None -> i
+  | Some n ->
+    let child = Dlist.value n in
+    let next = Dlist.next n in
+    (match child.d_state with
+    | Negative _ -> scratch_walk ds cap next i
+    | Partial { p_ino; p_kind } ->
+      if i >= cap then raise Scratch_overflow;
+      Proc.scratch_set ds i child.d_name p_ino p_kind;
+      scratch_walk ds cap next (i + 1)
+    | Positive inode ->
+      if i >= cap then raise Scratch_overflow;
+      let attr = Inode.attr inode in
+      Proc.scratch_set ds i child.d_name attr.Dcache_types.Attr.ino
+        attr.Dcache_types.Attr.kind;
+      scratch_walk ds cap next (i + 1))
+
+(* One optimistic fill attempt.  Returns the end slot on success, [-1] on
+   validation failure (retryable), [-2] on scratch overflow (the locked
+   path must grow first). *)
+let scratch_attempt d tab dir ds ~base =
+  let ws = Dcache.write_seq d in
+  let si = Locktab.index tab dir.d_id in
+  let sq = Locktab.seq tab si in
+  let vsnap = Seqcount.read_begin ws in
+  let ssnap = Seqcount.read_begin sq in
+  if vsnap land 1 <> 0 || ssnap land 1 <> 0 then -1
+  else begin
+    let gen = dir.d_dir_gen in
+    if not dir.d_complete then -1
+    else begin
+      match
+        scratch_walk ds (Proc.scratch_cap ds) (Dlist.peek_front dir.d_children)
+          base
+      with
+      | exception Scratch_overflow -> -2
+      | n ->
+        (* Validation order matters: the walk's loads must all precede the
+           re-reads.  Any concurrent write section (vsnap), any sharded
+           mutation of this directory (ssnap) or any readdir-visible
+           change (gen, completeness) invalidates the attempt. *)
+        if
+          Seqcount.read_validate ws vsnap
+          && Seqcount.read_validate sq ssnap
+          && dir.d_dir_gen = gen && dir.d_complete
+        then n
+        else -1
+    end
+  end
+
+let scratch_retries = 4
+
+let rec scratch_tries d tab dir ds ~base tries =
+  if tries = 0 then -1
+  else begin
+    match scratch_attempt d tab dir ds ~base with
+    | -1 -> scratch_tries d tab dir ds ~base (tries - 1)
+    | n -> n (* end slot, or -2: retrying an overflow cannot help *)
+  end
+
+(* Locked fills: growth allowed, so these serve listings of any size. *)
+
+let scratch_fill_children proc dir ~base =
+  let ds = proc.Proc.dirents in
+  Proc.scratch_grow ds (base + Dlist.length dir.d_children);
+  let n = ref base in
+  Dcache.iter_children dir (fun child ->
+      match child.d_state with
+      | Negative _ -> ()
+      | Partial { p_ino; p_kind } ->
+        Proc.scratch_set ds !n child.d_name p_ino p_kind;
+        incr n
+      | Positive inode ->
+        let attr = Inode.attr inode in
+        Proc.scratch_set ds !n child.d_name attr.Dcache_types.Attr.ino
+          attr.Dcache_types.Attr.kind;
+        incr n);
+  !n
+
+let scratch_fill_listing proc (listing : Fs.dirent list) ~base =
+  let ds = proc.Proc.dirents in
+  Proc.scratch_grow ds (base + List.length listing);
+  List.fold_left
+    (fun i (e : Fs.dirent) ->
+      Proc.scratch_set ds i e.Fs.name e.Fs.ino e.Fs.kind;
+      i + 1)
+    base listing
+
+(* Promote a backend listing into the dcache (§5.1): cache unlisted names
+   as [Partial] children, and mark the directory DIR_COMPLETE unless a
+   cached negative contradicts the listing (the conflict resolves through
+   the coherence machinery, not here).  Returns whether the directory was
+   marked complete.  Caller holds the directory's own-id stripe or the
+   write lock and has revalidated the directory under it. *)
+let promote_listing_locked proc dir (entries : Fs.dirent array) =
+  let d = dcache proc in
+  let safe = ref true in
+  Array.iter
+    (fun (entry : Fs.dirent) ->
+      match Dcache.lookup d dir entry.Fs.name with
+      | Some child -> if dentry_is_negative child then safe := false
+      | None ->
+        ignore
+          (Dcache.add_child d dir entry.Fs.name
+             (Partial { p_ino = entry.Fs.ino; p_kind = entry.Fs.kind })))
+    entries;
+  if !safe then begin
+    Dcache.set_complete d dir;
+    count proc "readdir_promoted"
+  end;
+  !safe
+
+(* A directory is fit to serve/promote if it is still hashed (roots have
+   no parent and are never hashed). *)
+let dir_live dir = dir.d_parent = None || dir.d_hashed
+
+let fill_locked proc inode dir ~base =
+  let d = dcache proc in
+  let r =
+    with_dir_stripe proc dir (fun () ->
+        if not (dir_live dir) then Error Errno.ENOENT
+        else if Dcache.is_complete d dir then begin
+          count proc "readdir_scratch_fill";
+          count proc "readdir_from_cache";
+          Ok (scratch_fill_children proc dir ~base)
+        end
+        else begin
+          count proc "readdir_from_fs";
+          match (Inode.fs inode).Fs.readdir (Inode.ino inode) with
+          | Error e -> Error e
+          | Ok listing ->
+            let complete =
+              (kconfig proc).Config.dir_completeness
+              && promote_listing_locked proc dir (Array.of_list listing)
+            in
+            count proc "readdir_scratch_fill";
+            if complete then Ok (scratch_fill_children proc dir ~base)
+            else Ok (scratch_fill_listing proc listing ~base)
+        end)
+  in
+  Dcache.reclaim_overflow d;
+  r
+
+(** Fill [proc]'s dirent scratch with the listing of the open directory
+    [dir] (inode [inode]) starting at slot [base]; returns the end slot
+    and sets [ds_n] to it.  Entries are readable through
+    [proc.Proc.dirents] until the next scratch-filling call on the same
+    process.  Raises {!Readdir_errno} on backend failure.  The warm path
+    (sharded config, completeness on, DIR_COMPLETE directory) is lockless
+    and allocation-free. *)
+let fill proc inode dir ~base =
+  let d = dcache proc in
+  let ds = proc.Proc.dirents in
+  let n =
+    match Dcache.stripes d with
+    | Some tab when (kconfig proc).Config.dir_completeness ->
+      scratch_tries d tab dir ds ~base scratch_retries
+    | _ -> -1
+  in
+  if n >= 0 then begin
+    ds.Proc.ds_n <- n;
+    Counter.bump proc.Proc.c_scratch_warm;
+    n
+  end
+  else begin
+    match fill_locked proc inode dir ~base with
+    | Ok n ->
+      ds.Proc.ds_n <- n;
+      n
+    | Error e -> raise (Readdir_errno e)
+  end

@@ -128,6 +128,7 @@ let instantiate proc (p : Walk.parent_result) (attr : Attr.t) =
   | Some child when dentry_is_negative child ->
     if not (File_kind.equal attr.Attr.kind File_kind.Directory) then
       Dcache.prune_children d child;
+    Dcache.neg_forget d child;
     child.d_state <- Positive inode;
     child.d_target_sig <- None;
     child
@@ -281,9 +282,14 @@ let install_crash_sites inj =
         cs_invalidate = Fault.site inj "syscalls.sharded_invalidate";
         cs_mkdir = Fault.site inj "syscalls.sharded_mkdir";
         cs_rmdir = Fault.site inj "syscalls.sharded_rmdir";
-      }
+      };
+  (* The stripe-locked readdir promotion lives in [Readdir] (it is shared
+     with the batch front-end); its site rides the same injector. *)
+  Readdir.set_crash_site (Fault.site inj "syscalls.sharded_readdir")
 
-let clear_crash_sites () = crash_sites := None
+let clear_crash_sites () =
+  crash_sites := None;
+  Readdir.clear_crash_site ()
 let[@inline] crash_point pick = match !crash_sites with None -> () | Some cs -> Fault.crash_point (pick cs)
 
 (* Split [path] into (dirname, basename) when the final component is a
@@ -337,6 +343,14 @@ let writable_dir proc (pref : path_ref) =
   if pref.mnt.mnt_readonly then Error Errno.EROFS
   else
     permission proc (dir_inode_exn pref) (Access.union Access.may_write Access.may_exec)
+
+(* Backend entry mutations change the parent directory's own attributes
+   (size at minimum; each backend accounts differently), so the cached
+   snapshot must be re-read or a later eviction-and-refetch would observe
+   a different answer than the warm cache.  The mutation itself already
+   succeeded, so a failed re-read is ignored rather than surfaced. *)
+let refresh_dir_attr dir_inode =
+  ignore (Inode.refresh dir_inode : (unit, Errno.t) result)
 
 let sharded_create ?start ~mode proc path flags : int attempt =
   let d = dcache proc in
@@ -400,8 +414,13 @@ let sharded_create ?start ~mode proc path flags : int attempt =
               with
               | Error e -> finish (Done (Error e))
               | Ok attr ->
+                refresh_dir_attr dir_inode;
                 count proc "files_created";
                 count proc "sharded_create";
+                (* Either verdict — a cached negative or a complete parent's
+                   authoritative absence — let this create skip the backend
+                   existence probe entirely (§5). *)
+                count proc "create_neg_shortcut";
                 (* The absence verdict that authorized this create came from
                    directory completeness (§5.1) — count it like the walk's
                    complete-dir miss would have been. *)
@@ -414,6 +433,7 @@ let sharded_create ?start ~mode proc path flags : int attempt =
                     (* negative promotion in place: the name keeps its
                        signature and DLHT entry, so the fastpath serves the
                        new positive result immediately (§5.2) *)
+                    Dcache.neg_forget d child;
                     child.d_state <- Positive inode;
                     child.d_target_sig <- None;
                     child
@@ -482,6 +502,7 @@ let sharded_unlink ?start proc path : unit attempt =
                   with
                   | Error e -> finish (Done (Error e))
                   | Ok () ->
+                    refresh_dir_attr (dir_inode_exn pref);
                     count proc "sharded_unlink";
                     Dcache.bump_dir_gen pref.dentry;
                     Inode.bump_nlink child_inode (-1);
@@ -568,6 +589,9 @@ let sharded_rename proc old_path new_path : unit attempt =
                       Dcache_util.Seqcount.write_end rename_lock;
                       finish (Done (Error e))
                     | Ok () ->
+                      refresh_dir_attr (dir_inode_exn po);
+                      if not (po.dentry == pn.dentry) then
+                        refresh_dir_attr (dir_inode_exn pn);
                       count proc "sharded_rename";
                       Dcache.bump_dir_gen po.dentry;
                       Dcache.bump_dir_gen pn.dentry;
@@ -723,13 +747,16 @@ let sharded_mkdir ?start ~mode proc path : unit attempt =
               | Error e -> finish (Done (Error e))
               | Ok attr ->
                 count proc "sharded_mkdir";
+                count proc "create_neg_shortcut";
                 if existing = None then count proc "complete_dir_negative";
                 Inode.bump_nlink dir_inode 1;
+                refresh_dir_attr dir_inode;
                 let inode = Dcache.iget parent.d_sb attr in
                 Dcache.bump_dir_gen parent;
                 let child =
                   match existing with
                   | Some child ->
+                    Dcache.neg_forget d child;
                     child.d_state <- Positive inode;
                     child.d_target_sig <- None;
                     child
@@ -822,6 +849,7 @@ let sharded_rmdir proc path : unit attempt =
                         count proc "sharded_rmdir";
                         Dcache.bump_dir_gen pref.dentry;
                         Inode.bump_nlink (dir_inode_exn pref) (-1);
+                        refresh_dir_attr (dir_inode_exn pref);
                         Dcache.iforget child.d_sb (Inode.ino child_inode);
                         Dcache.invalidate_structure d child |> ignore;
                         Dcache.note_unlinked d child;
@@ -865,6 +893,7 @@ let rec do_open ?(mode = Mode.default_file) ?start proc path flags =
                    File_kind.Regular mode ~uid:(Cred.uid proc.Proc.cred)
                    ~gid:(Cred.gid proc.Proc.cred))
             in
+            refresh_dir_attr dir_inode;
             count proc "files_created";
             let child = instantiate proc p attr in
             Result.map
@@ -950,103 +979,162 @@ let dirent_of_child d =
     let attr = Inode.attr inode in
     Some { Fs.name = d.d_name; ino = attr.Attr.ino; kind = attr.Attr.kind }
 
+let dummy_dirent = { Fs.name = ""; ino = 0; kind = File_kind.Regular }
+
+(* Single-traversal snapshot of a complete directory's cached listing:
+   size the array from the child-list length and fill it in one pass.
+   (This path used to build a list, reverse it and convert to an array —
+   three traversals per listing.)  Caller holds the directory's stripe or
+   the write lock. *)
+let listing_of_children dir =
+  let buf = Array.make (Dlist.length dir.d_children) dummy_dirent in
+  let n = ref 0 in
+  Dcache.iter_children dir (fun child ->
+      match dirent_of_child child with
+      | Some entry ->
+        buf.(!n) <- entry;
+        incr n
+      | None -> ());
+  if !n = Array.length buf then buf else Array.sub buf 0 !n
+
+let dir_stream_of (fd : Proc.fd) =
+  match fd.Proc.fd_dir with
+  | Some s -> s
+  | None ->
+    let s =
+      { Proc.entries = None; index = 0; eligible = true; from_cache = false;
+        snapshot_gen = 0 }
+    in
+    fd.Proc.fd_dir <- Some s;
+    s
+
+(* Deferred completeness promotion for a drained [getdents] stream: the
+   eligibility checks at the call site ran unlocked, so the generation is
+   revalidated under the directory's own-id stripe before the listing is
+   cached (§5.1).  Never the global write lock on sharded configurations. *)
+let promote_listing proc dir entries snapshot_gen =
+  Readdir.with_dir_stripe proc dir (fun () ->
+      if Readdir.dir_live dir && dir.d_dir_gen = snapshot_gen then
+        ignore (Readdir.promote_listing_locked proc dir entries));
+  Dcache.reclaim_overflow (dcache proc)
+
+(* Solaris-style DNLC mode: a separate listing cache that serves repeated
+   readdirs but feeds nothing back into the dcache.  A baseline model —
+   kept under the write lock as before. *)
+let getdents_dnlc proc (fd : Proc.fd) want =
+  with_write proc (fun () ->
+      let dir = fd.Proc.fd_ref.dentry in
+      let stream = dir_stream_of fd in
+      let dnlc = Kernel.dnlc proc.Proc.kernel in
+      let* entries =
+        match stream.Proc.entries with
+        | Some entries -> Ok entries
+        | None ->
+          stream.Proc.snapshot_gen <- dir.d_dir_gen;
+          let* entries =
+            match Hashtbl.find_opt dnlc dir.d_id with
+            | Some (gen, entries) when gen = dir.d_dir_gen ->
+              count proc "readdir_from_dnlc";
+              stream.Proc.from_cache <- true;
+              Ok entries
+            | _ ->
+              count proc "readdir_from_fs";
+              stream.Proc.from_cache <- false;
+              let inode = fd.Proc.fd_inode in
+              let* listing = (Inode.fs inode).Fs.readdir (Inode.ino inode) in
+              Ok (Array.of_list listing)
+          in
+          stream.Proc.entries <- Some entries;
+          Ok entries
+      in
+      let n = Array.length entries in
+      let take = max 0 (min want (n - stream.Proc.index)) in
+      let chunk = Array.to_list (Array.sub entries stream.Proc.index take) in
+      stream.Proc.index <- stream.Proc.index + take;
+      (if
+         stream.Proc.index >= n && stream.Proc.eligible
+         && (not stream.Proc.from_cache)
+         && dir.d_dir_gen = stream.Proc.snapshot_gen
+       then Hashtbl.replace dnlc dir.d_id (stream.Proc.snapshot_gen, entries));
+      Ok chunk)
+
 let getdents proc fdnum want =
   sys proc "sys_getdents";
   let* fd = Proc.find_fd proc fdnum in
   if not (Inode.is_dir fd.Proc.fd_inode) then Error Errno.ENOTDIR
+  else if (kconfig proc).Config.dnlc_style_completeness then
+    getdents_dnlc proc fd want
   else begin
-    with_write proc (fun () ->
-        let d = dcache proc in
-        let dir = fd.Proc.fd_ref.dentry in
-        let stream =
-          match fd.Proc.fd_dir with
-          | Some s -> s
-          | None ->
-            let s =
-              { Proc.entries = None; index = 0; eligible = true; from_cache = false;
-                snapshot_gen = 0 }
-            in
-            fd.Proc.fd_dir <- Some s;
-            s
+    let d = dcache proc in
+    let dir = fd.Proc.fd_ref.dentry in
+    let stream = dir_stream_of fd in
+    let* entries =
+      match stream.Proc.entries with
+      | Some entries -> Ok entries
+      | None ->
+        (* Capture the generation with the snapshot: completion later is
+           only valid if no mutation happened since this point. *)
+        stream.Proc.snapshot_gen <- dir.d_dir_gen;
+        let cached =
+          (* A complete directory's cached children are the listing;
+             snapshot them under its own-id stripe, not the global write
+             lock, so concurrent listings of different directories don't
+             serialize (§5.1). *)
+          Readdir.with_dir_stripe proc dir (fun () ->
+              if Dcache.is_complete d dir then Some (listing_of_children dir)
+              else None)
         in
-        let dnlc = Kernel.dnlc proc.Proc.kernel in
-        let dnlc_mode = (kconfig proc).Config.dnlc_style_completeness in
         let* entries =
-          match stream.Proc.entries with
-          | Some entries -> Ok entries
-          | None ->
-            (* Capture the generation with the snapshot: completion later is
-               only valid if no mutation happened since this point. *)
-            stream.Proc.snapshot_gen <- dir.d_dir_gen;
-            let* entries =
-              if dnlc_mode then begin
-                (* Solaris-style separate listing cache: serves repeated
-                   readdirs, but feeds nothing back into the dcache. *)
-                match Hashtbl.find_opt dnlc dir.d_id with
-                | Some (gen, entries) when gen = dir.d_dir_gen ->
-                  count proc "readdir_from_dnlc";
-                  stream.Proc.from_cache <- true;
-                  Ok entries
-                | _ ->
-                  count proc "readdir_from_fs";
-                  stream.Proc.from_cache <- false;
-                  let inode = fd.Proc.fd_inode in
-                  let* listing = (Inode.fs inode).Fs.readdir (Inode.ino inode) in
-                  Ok (Array.of_list listing)
-              end
-              else if Dcache.is_complete d dir then begin
-                count proc "readdir_from_cache";
-                stream.Proc.from_cache <- true;
-                let acc = ref [] in
-                Dcache.iter_children dir (fun child ->
-                    match dirent_of_child child with
-                    | Some entry -> acc := entry :: !acc
-                    | None -> ());
-                Ok (Array.of_list (List.rev !acc))
-              end
-              else begin
-                count proc "readdir_from_fs";
-                stream.Proc.from_cache <- false;
-                let inode = fd.Proc.fd_inode in
-                let* listing = (Inode.fs inode).Fs.readdir (Inode.ino inode) in
-                Ok (Array.of_list listing)
-              end
-            in
-            stream.Proc.entries <- Some entries;
+          match cached with
+          | Some entries ->
+            count proc "readdir_from_cache";
+            stream.Proc.from_cache <- true;
             Ok entries
+          | None ->
+            count proc "readdir_from_fs";
+            stream.Proc.from_cache <- false;
+            let inode = fd.Proc.fd_inode in
+            let* listing = (Inode.fs inode).Fs.readdir (Inode.ino inode) in
+            Ok (Array.of_list listing)
         in
-        let n = Array.length entries in
-        let take = max 0 (min want (n - stream.Proc.index)) in
-        let chunk = Array.to_list (Array.sub entries stream.Proc.index take) in
-        stream.Proc.index <- stream.Proc.index + take;
-        (if
-           dnlc_mode && stream.Proc.index >= n && stream.Proc.eligible
-           && (not stream.Proc.from_cache)
-           && dir.d_dir_gen = stream.Proc.snapshot_gen
-         then Hashtbl.replace dnlc dir.d_id (stream.Proc.snapshot_gen, entries));
-        (* Sequence completed without a seek, from the fs, and the directory
-           did not change under us: cache the children and mark complete. *)
-        (if
-           stream.Proc.index >= n && stream.Proc.eligible
-           && (not stream.Proc.from_cache)
-           && (kconfig proc).Config.dir_completeness
-           && (not dnlc_mode)
-           && dir.d_dir_gen = stream.Proc.snapshot_gen
-         then begin
-           let safe = ref true in
-           Array.iter
-             (fun (entry : Fs.dirent) ->
-               match Dcache.lookup d dir entry.Fs.name with
-               | Some child -> if dentry_is_negative child then safe := false
-               | None ->
-                 ignore
-                   (Dcache.add_child d dir entry.Fs.name
-                      (Partial { p_ino = entry.Fs.ino; p_kind = entry.Fs.kind })))
-             entries;
-           if !safe then Dcache.set_complete d dir
-         end);
-        Ok chunk)
+        stream.Proc.entries <- Some entries;
+        Ok entries
+    in
+    let n = Array.length entries in
+    let take = max 0 (min want (n - stream.Proc.index)) in
+    let chunk = Array.to_list (Array.sub entries stream.Proc.index take) in
+    stream.Proc.index <- stream.Proc.index + take;
+    (* Sequence completed without a seek, from the fs, and the directory
+       did not change under us: cache the children and mark complete. *)
+    (if
+       stream.Proc.index >= n && stream.Proc.eligible
+       && (not stream.Proc.from_cache)
+       && (kconfig proc).Config.dir_completeness
+       && dir.d_dir_gen = stream.Proc.snapshot_gen
+     then promote_listing proc dir entries stream.Proc.snapshot_gen);
+    Ok chunk
   end
+
+(* --- scratch readdir (§5.1): whole listings, zero words warm --- *)
+
+exception Readdir_errno = Readdir.Readdir_errno
+
+(** Fill the per-process dirent scratch with the full listing of the open
+    directory [fdnum]; returns the entry count.  Entries are readable
+    through [proc.Proc.dirents] (parallel name/ino/kind arrays) until the
+    next scratch-filling call on the same process.  A warm call — sharded
+    configuration, DIR_COMPLETE directory — is lockless and performs zero
+    minor-heap allocation; see {!Readdir}.  @raise Readdir_errno instead
+    of boxing a [result] (two words) on that path. *)
+let readdir_fill proc fdnum =
+  Counter.bump proc.Proc.c_scratch_sys;
+  if Profiler.span_enter () <> 0 then Trace.stamp Trace.ev_syscall 0;
+  let fd =
+    try Proc.find_fd_exn proc fdnum
+    with Not_found -> raise (Readdir_errno Errno.EBADF)
+  in
+  if not (Inode.is_dir fd.Proc.fd_inode) then raise (Readdir_errno Errno.ENOTDIR);
+  Readdir.fill proc fd.Proc.fd_inode fd.Proc.fd_ref.dentry ~base:0
 
 let lseek proc fdnum off =
   sys proc "sys_lseek";
@@ -1105,6 +1193,7 @@ let mkdir ?(mode = Mode.default_dir) proc path =
                ~gid:(Cred.gid proc.Proc.cred))
         in
         Inode.bump_nlink dir_inode 1;
+        refresh_dir_attr dir_inode;
         let child = instantiate proc p attr in
         (* A brand-new directory's (empty) listing is fully cached (§5.1). *)
         Dcache.set_complete (dcache proc) child;
@@ -1139,6 +1228,7 @@ let unlink proc path =
                     (p.Walk.parent.dentry.d_sb.sb_fs.Fs.unlink (Inode.ino dir_inode)
                        p.Walk.last)
                 in
+                refresh_dir_attr dir_inode;
                 Dcache.bump_dir_gen p.Walk.parent.dentry;
                 Inode.bump_nlink child_inode (-1);
                 if (Inode.attr child_inode).Attr.nlink <= 0 then
@@ -1171,6 +1261,7 @@ let rmdir proc path =
             in
             Dcache.bump_dir_gen p.Walk.parent.dentry;
             Inode.bump_nlink dir_inode (-1);
+            refresh_dir_attr dir_inode;
             (match dentry_inode child with
             | Some child_inode -> Dcache.iforget child.d_sb (Inode.ino child_inode)
             | None -> ());
@@ -1269,6 +1360,9 @@ let rename proc old_path new_path =
                   Inode.bump_nlink old_dir (-1);
                   Inode.bump_nlink new_dir 1
                 end;
+                refresh_dir_attr old_dir;
+                if not (po.Walk.parent.dentry == pn.Walk.parent.dentry) then
+                  refresh_dir_attr new_dir;
                 (* Keep the old name cached as a negative dentry (§5.2). *)
                 if (kconfig proc).Config.aggressive_negative then
                   ignore
@@ -1300,6 +1394,7 @@ let link proc old_path new_path =
                 (p.Walk.parent.dentry.d_sb.sb_fs.Fs.link (Inode.ino dir_inode) p.Walk.last
                    (Inode.ino old_inode))
             in
+            refresh_dir_attr dir_inode;
             Inode.bump_nlink old_inode 1;
             ignore (instantiate proc p { attr with Attr.nlink = (Inode.attr old_inode).Attr.nlink });
             Ok ()
@@ -1320,6 +1415,7 @@ let symlink proc ~target path =
             (p.Walk.parent.dentry.d_sb.sb_fs.Fs.symlink (Inode.ino dir_inode) p.Walk.last
                ~target ~uid:(Cred.uid proc.Proc.cred) ~gid:(Cred.gid proc.Proc.cred))
         in
+        refresh_dir_attr dir_inode;
         ignore (instantiate proc p attr);
         Ok ())
 
@@ -1511,6 +1607,7 @@ let mkdirat ?mode proc dirfd path =
                    ~uid:(Cred.uid proc.Proc.cred) ~gid:(Cred.gid proc.Proc.cred))
             in
             Inode.bump_nlink dir_inode 1;
+            refresh_dir_attr dir_inode;
             let child = instantiate proc p attr in
             Dcache.set_complete (dcache proc) child;
             Ok ()))
@@ -1540,6 +1637,7 @@ let unlinkat proc dirfd path =
                     (p.Walk.parent.dentry.d_sb.sb_fs.Fs.unlink (Inode.ino dir_inode)
                        p.Walk.last)
                 in
+                refresh_dir_attr dir_inode;
                 Dcache.bump_dir_gen p.Walk.parent.dentry;
                 Inode.bump_nlink child_inode (-1);
                 if (Inode.attr child_inode).Attr.nlink <= 0 then
@@ -1564,6 +1662,7 @@ let symlinkat proc ~target dirfd path =
                    p.Walk.last ~target ~uid:(Cred.uid proc.Proc.cred)
                    ~gid:(Cred.gid proc.Proc.cred))
             in
+            refresh_dir_attr dir_inode;
             ignore (instantiate proc p attr);
             Ok ()))
 
@@ -1605,6 +1704,17 @@ let getcwd proc =
     let* comps = build cwd [] in
     Ok ("/" ^ String.concat "/" comps)
   end
+
+(* Per-mount negative invalidation (§6.3, DragonFly-style): bump the
+   superblock's negative generation so every cached negative on it lazily
+   reads as a miss.  One integer store — no lock, no cache walk, and in
+   particular not the global write lock a subtree invalidation would
+   take. *)
+let invalidate_negatives proc path =
+  sys proc "sys_invalidate_negatives";
+  let* ref_ = resolve proc path in
+  Dcache.invalidate_negatives (dcache proc) ref_.dentry.d_sb;
+  Ok ()
 
 let invalidate_path proc path =
   sys proc "sys_invalidate_path";

@@ -43,7 +43,27 @@ val lseek : Proc.t -> int -> int -> int r
 
 val getdents : Proc.t -> int -> int -> Dcache_fs.Fs_intf.dirent list r
 (** Up to [count] entries; [\[\]] means end of directory.  Served from the
-    directory cache when the directory is complete (§5.1). *)
+    directory cache when the directory is complete (§5.1); a drained
+    backend listing is promoted into the cache (children populated,
+    DIR_COMPLETE set) under the directory's own-id stripe rather than the
+    global write lock on sharded configurations. *)
+
+exception Readdir_errno of Dcache_types.Errno.t
+(** Error escape for {!readdir_fill} (a [result] would box two words on
+    its allocation-free warm path). *)
+
+val readdir_fill : Proc.t -> int -> int
+(** Fill the per-process dirent scratch ([Proc.dirents]) with the {e
+    full} listing of the open directory fd; returns the entry count.
+    Entries are readable through the scratch's parallel name/ino/kind
+    arrays until the next scratch-filling call on the same process.  On a
+    sharded configuration with directory completeness, a warm call — the
+    directory is DIR_COMPLETE and no mutation races — is lockless,
+    validated by the dcache write sequence, the directory's own-id stripe
+    seqcount and [d_dir_gen], and performs zero minor-heap allocation
+    after the scratch's first growth.  A cold call fills under the
+    directory's stripe and promotes the backend listing so the next call
+    is warm.  @raise Readdir_errno on failure. *)
 
 val truncate : Proc.t -> string -> int -> unit r
 
@@ -106,6 +126,12 @@ val invalidate_path : Proc.t -> string -> unit r
     (counted as [sharded_cb_invalidate]) instead of the global write
     lock, so invalidation storms scale like the mutations that cause
     them. *)
+
+val invalidate_negatives : Proc.t -> string -> unit r
+(** Per-mount negative invalidation (§6.3, DragonFly-style): bump the
+    negative generation of the superblock the path resolves on, so every
+    cached negative dentry on it lazily reads as a miss at its next use.
+    One integer store — no lock and no cache walk. *)
 
 (** {1 Crash-fault coverage (stripe-locked sections)} *)
 

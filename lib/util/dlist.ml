@@ -65,6 +65,11 @@ let pop_back t =
 let peek_back t = t.last
 let peek_front t = t.first
 
+(* Returns the stored option field, not a fresh [Some]: node-by-node
+   traversal via [peek_front]/[next] allocates nothing, which the lockless
+   cache-fed readdir path depends on. *)
+let next n = n.next
+
 let move_to_front t n =
   (match n.owner with None -> () | Some _ -> remove t n);
   push_front t n

@@ -31,6 +31,12 @@ val pop_back : 'a t -> 'a node option
 val peek_back : 'a t -> 'a node option
 val peek_front : 'a t -> 'a node option
 
+val next : 'a node -> 'a node option
+(** [next n] is the node after [n] on its list.  Returns the node's stored
+    successor field (no fresh [Some]), so a [peek_front]/[next] walk is
+    allocation-free — the lockless readdir path iterates children this
+    way. *)
+
 val move_to_front : 'a t -> 'a node -> unit
 (** [move_to_front t n] relinks [n] at the head (inserting if detached). *)
 

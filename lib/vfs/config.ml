@@ -37,6 +37,12 @@ type t = {
           see no benefit.  Mutually exclusive with [dir_completeness]. *)
   aggressive_negative : bool;  (** negatives on rename/unlink + pseudo-fs (§5.2) *)
   deep_negative : bool;  (** deep ENOENT/ENOTDIR dentries (§5.2) *)
+  neg_list_cap : int;
+      (** per-stripe negative-dentry LRU list capacity (§6.3 decay/shrink
+          study): a create/stat storm of unique absent names evicts the
+          oldest negative on its own stripe once the stripe's list exceeds
+          this bound, so negatives can neither grow the cache without limit
+          nor serialize eviction on a global lock; 0 disables the bound *)
   (* substrate sizing *)
   dcache_buckets : int;  (** primary hash table buckets (Linux default 262144) *)
   max_dentries : int;  (** dcache capacity before LRU eviction *)
@@ -78,6 +84,7 @@ let baseline =
     dnlc_style_completeness = false;
     aggressive_negative = false;
     deep_negative = false;
+    neg_list_cap = 4096;
     dcache_buckets = 1 lsl 18;
     max_dentries = 1 lsl 20;
     hash_seed = 0x5eed;

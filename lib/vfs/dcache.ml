@@ -45,6 +45,14 @@ type t = {
           child list, its DIR_COMPLETE flag and dir generation).  [None]
           when [dcache_stripes = 0] or the fastpath is off — every
           mutation then funnels through [with_write] as before. *)
+  neg_lists : dentry Dlist.t array;
+      (** per-stripe negative-dentry LRU lists (§6.3, DragonFly-style):
+          slot [i] tracks every cached negative whose parent hashes to
+          stripe [i], most recently created first.  A list is mutated only
+          under its stripe's lock (or under the exclusive write lock, which
+          excludes every sharded section), so a create/stat storm of unique
+          names bounds and evicts negatives without a global lock.  One
+          slot when unsharded — everything is then under the write lock. *)
   hooks : hooks;
   counters : Counter.t;
 }
@@ -58,6 +66,11 @@ let next_sb_id = Atomic.make 1
 let next_seq = Atomic.make 1
 
 let create config =
+  let sharded =
+    config.Config.fastpath
+    && config.Config.dcache_stripes > 0
+    && config.Config.dotdot = Config.Dotdot_linux
+  in
   {
     config;
     buckets = Array.init config.Config.dcache_buckets (fun _ -> Atomic.make []);
@@ -73,12 +86,11 @@ let create config =
       (* Lexical dot-dot keeps the list-based probe, which runs under the
          read lock with no stripe validation — sharding would let writers
          race it, so only the (default) Linux mode gets stripes. *)
-      (if
-         config.Config.fastpath
-         && config.Config.dcache_stripes > 0
-         && config.Config.dotdot = Config.Dotdot_linux
-       then Some (Locktab.create config.Config.dcache_stripes)
-       else None);
+      (if sharded then Some (Locktab.create config.Config.dcache_stripes) else None);
+    neg_lists =
+      Array.init
+        (if sharded then config.Config.dcache_stripes else 1)
+        (fun _ -> Dlist.create ());
     hooks = { on_shootdown = (fun _ -> ()) };
     counters = Counter.create ();
   }
@@ -100,6 +112,11 @@ let with_read t f = Rwlock.with_read t.lock f
    concurrently with each other, serialized per-stripe. *)
 let with_write t f =
   Rwlock.write_lock t.lock;
+  (* Residual-global accounting: with stripes on, every mutation that still
+     funnels through the exclusive lock (Legacy bailouts, eviction, DLHT
+     grow, subtree invalidation too wide to stripe) shows up here, surfaced
+     in /proc/dcache/stripes so the sharding follow-ons can be tracked. *)
+  Counter.incr t.counters "global_write_acquired";
   Seqcount.write_begin t.write_seq;
   match f () with
   | result ->
@@ -180,6 +197,7 @@ let make_superblock fs =
         sb_fs = fs;
         sb_icache = Hashtbl.create 256;
         sb_root = None;
+        sb_neg_gen = 0;
       }
     in
     let inode = iget sb attr in
@@ -193,6 +211,8 @@ let make_superblock fs =
         d_children = Dlist.create ();
         d_sibling = None;
         d_lru = None;
+        d_neg = None;
+        d_neg_gen = 0;
         d_refcount = Atomic.make 1;
         d_hashed = false;
         d_last_used = 0;
@@ -297,6 +317,31 @@ let hash_remove t d =
 
 let iter_children d f = List.iter f (Dlist.to_list d.d_children)
 
+(* --- per-stripe negative-dentry lists (§6.3) ---
+
+   Every cached negative is tracked on the list of its parent's stripe, so
+   the lock already held by whatever created it (the parent's stripe in a
+   sharded section, the exclusive write lock otherwise) also covers the
+   list splice and any eviction it triggers: victims on the same list have
+   parents on the same stripe by construction. *)
+
+let neg_index t parent =
+  match t.stripes with Some tab -> Locktab.index tab parent.d_id | None -> 0
+
+let neg_list_of t d =
+  match d.d_parent with
+  | None -> t.neg_lists.(0) (* roots are never negative *)
+  | Some parent -> t.neg_lists.(neg_index t parent)
+
+(* Drop [d] from its stripe's negative list (promotion to positive, or any
+   removal from the cache).  Callers hold the lock that covers [d]. *)
+let neg_forget t d =
+  match d.d_neg with
+  | None -> ()
+  | Some node ->
+    Dlist.remove (neg_list_of t d) node;
+    d.d_neg <- None
+
 (* --- eviction ---
 
    Clock-with-pins: dentries are evicted from the back of the reclaim list;
@@ -320,6 +365,7 @@ let clock_push_front t d node =
   Mutex.unlock t.lru_mu
 
 let detach ?(reclaim = true) t d =
+  neg_forget t d;
   hash_remove t d;
   (match (d.d_parent, d.d_sibling) with
   | Some parent, Some node ->
@@ -340,6 +386,67 @@ let detach ?(reclaim = true) t d =
 
 let evictable d =
   Atomic.get d.d_refcount = 0 && Dlist.is_empty d.d_children && d.d_parent <> None
+
+(* Bounded negative caching (§6.3): shrink [list] to [cap] by evicting from
+   the back (the oldest negatives).  Entries that turned positive in place
+   (alias retargeting) or are somehow pinned just lose their tracking node —
+   the pop still shrinks the list, so the loop terminates.  Eviction is a
+   coherent removal ([reclaim:false]): a negative is not a real child, so
+   the parent's DIR_COMPLETE claim survives it. *)
+let rec neg_shrink t list cap =
+  if Dlist.length list > cap then begin
+    match Dlist.pop_back list with
+    | None -> ()
+    | Some node ->
+      let victim = Dlist.value node in
+      victim.d_neg <- None;
+      if dentry_is_negative victim && evictable victim && victim.d_hashed then begin
+        detach ~reclaim:false t victim;
+        Counter.incr t.counters "neg_evicted"
+      end;
+      neg_shrink t list cap
+  end
+
+(* Track a dentry that just became negative: stamp the per-mount generation
+   it was earned under, splice it onto its stripe's list, and enforce the
+   bound.  Caller holds the parent's stripe or the write lock. *)
+let neg_note_created t d =
+  d.d_neg_gen <- d.d_sb.sb_neg_gen;
+  let cap = t.config.Config.neg_list_cap in
+  if cap > 0 then begin
+    let list = neg_list_of t d in
+    (match d.d_neg with
+    | Some _ -> ()
+    | None ->
+      let node = Dlist.node d in
+      Dlist.push_front list node;
+      d.d_neg <- Some node);
+    neg_shrink t list cap
+  end
+
+(* --- per-mount generation invalidation (DragonFly-style) ---
+
+   Bumping the superblock's generation lazily invalidates every cached
+   negative on it: verdict sites compare the dentry's stamped generation
+   (one int compare, allocation-free) and treat a mismatch as a miss; the
+   stale dentry itself is dropped by the next write-locked walk that trips
+   over it. *)
+
+(* Public alias: in-place transitions *to* negative outside this module
+   (alias retargeting in the walk) must join the tracking list too. *)
+let neg_track = neg_note_created
+
+let negative_current d =
+  match d.d_state with
+  | Negative _ -> d.d_neg_gen = d.d_sb.sb_neg_gen
+  | Positive _ | Partial _ -> true
+
+let invalidate_negatives t sb =
+  sb.sb_neg_gen <- sb.sb_neg_gen + 1;
+  Counter.incr t.counters "neg_gen_invalidations"
+
+let neg_list_cap t = t.config.Config.neg_list_cap
+let neg_occupancy t = Array.map Dlist.length t.neg_lists
 
 (* Eviction and purge run only under the exclusive write lock (never from
    a sharded section), so their clock traversal needs no [lru_mu] — the
@@ -427,6 +534,8 @@ let alloc_child t parent name state =
       d_children = Dlist.create ();
       d_sibling = None;
       d_lru = None;
+      d_neg = None;
+      d_neg_gen = 0;
       d_refcount = Atomic.make 0;
       d_hashed = false;
       d_last_used = Atomic.get t.tick;
@@ -448,6 +557,7 @@ let alloc_child t parent name state =
   d.d_sibling <- Some sibling;
   clock_push_front t d (Dlist.node d);
   hash_insert t d;
+  (match state with Negative _ -> neg_note_created t d | Positive _ | Partial _ -> ());
   ignore (Atomic.fetch_and_add t.count 1);
   (* Inline reclaim needs the exclusive lock; a sharded section (read side
      held) defers it to the caller's post-section [reclaim_overflow]. *)
@@ -576,6 +686,7 @@ let make_negative t d errno =
   d.d_complete <- false;
   d.d_alias <- None;
   d.d_target_sig <- None;
+  neg_note_created t d;
   Counter.incr t.counters "negative_created"
 
 let note_unlinked t d =

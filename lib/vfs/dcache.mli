@@ -134,6 +134,38 @@ val bump_dir_gen : dentry -> unit
 (** Note a directory-content mutation; invalidates in-flight readdir
     completion sequences (§5.1). *)
 
+(** {1 Per-stripe negative-dentry lists (§6.3)} *)
+
+val neg_track : t -> dentry -> unit
+(** Track a dentry that just turned negative in place (outside the dcache's
+    own transitions, e.g. alias retargeting): stamps the current negative
+    generation, splices it onto its stripe's list, and enforces
+    [neg_list_cap].  Caller holds the parent's stripe or the write lock. *)
+
+val neg_forget : t -> dentry -> unit
+(** Drop a dentry from its stripe's negative list — call when promoting a
+    cached negative to positive in place (a create over a negative).  The
+    caller holds the parent's stripe or the write lock, exactly as for the
+    state transition itself.  No-op for untracked dentries. *)
+
+val negative_current : dentry -> bool
+(** Is this dentry's verdict still current against its superblock's
+    negative generation?  Always true for positive/partial dentries; for a
+    negative, one int compare (allocation-free, safe on the lockless tier).
+    A stale negative must be treated as a miss. *)
+
+val invalidate_negatives : t -> superblock -> unit
+(** Bump the superblock's negative generation (per-mount invalidation,
+    DragonFly-style): every cached negative on it lazily becomes a miss at
+    its next use, without walking the cache. *)
+
+val neg_list_cap : t -> int
+(** The configured per-stripe bound ([Config.neg_list_cap]). *)
+
+val neg_occupancy : t -> int array
+(** Current length of each stripe's negative list (one slot when
+    unsharded).  Diagnostics (procfs/bench); allocates. *)
+
 val prune_children : t -> dentry -> unit
 (** Drop all cached children (recursively) but keep the dentry itself —
     e.g. deep negative children after a non-directory is created over a

@@ -34,6 +34,14 @@ type dentry = {
   d_children : dentry Dlist.t;
   mutable d_sibling : dentry Dlist.node option;  (** node in parent's children *)
   mutable d_lru : dentry Dlist.node option;  (** node in the dcache clock list *)
+  mutable d_neg : dentry Dlist.node option;
+      (** node in the per-stripe negative-dentry LRU list (§6.3); [Some] only
+          while [d_state] is [Negative] *)
+  mutable d_neg_gen : int;
+      (** [sb_neg_gen] snapshot taken when this dentry turned negative; a
+          mismatch means a per-mount negative flush has run since and the
+          verdict must be re-earned (DragonFly-style generation
+          invalidation) *)
   d_refcount : int Atomic.t;  (** pins: open files, cwd/root, mountpoints *)
   mutable d_hashed : bool;  (** present in the primary hash table *)
   mutable d_last_used : int;  (** lazy-LRU tick; racy update is benign *)
@@ -66,6 +74,10 @@ and superblock = {
   sb_fs : Dcache_fs.Fs_intf.t;
   sb_icache : (int, Inode.t) Hashtbl.t;
   mutable sb_root : dentry option;
+  mutable sb_neg_gen : int;
+      (** per-mount negative-dentry generation (one superblock = one mount
+          here): bumping it lazily invalidates every cached negative on this
+          superblock without walking them *)
 }
 
 and mount = {

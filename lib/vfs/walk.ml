@@ -136,6 +136,20 @@ let revalidate_hit mode t child =
 (* The dcache probe + miss fill for one component. *)
 let step mode t (cur : path_ref) name =
   let cached = Phases.timed Phases.Table_lookup (fun () -> Dcache.lookup t cur.dentry name) in
+  (* Per-mount negative invalidation: a negative earned under an older
+     generation is a miss, and a Ref walk drops it so the refill below can
+     re-earn the verdict (Rcu leaves the cleanup to the next Ref walk —
+     treating the hit as a miss is already correct). *)
+  let cached =
+    match cached with
+    | Some child when dentry_is_negative child && not (Dcache.negative_current child) ->
+      if mode = Ref then begin
+        Counter.incr (Dcache.counters t) "walk_stale_negative";
+        Dcache.unhash t child
+      end;
+      None
+    | c -> c
+  in
   match cached with
   | Some child when revalidate_hit mode t child ->
     if dentry_is_negative child then Counter.incr (Dcache.counters t) "walk_negative_hit";
@@ -201,9 +215,12 @@ let get_or_make_alias mode t alias_parent name real =
   | Some a ->
     if not (match a.d_alias with Some target -> target == real | None -> false) then begin
       if mode = Rcu then raise Need_refwalk;
+      if dentry_is_negative a && not (dentry_is_negative real) then Dcache.neg_forget t a;
+      let track = dentry_is_negative real && not (dentry_is_negative a) in
       a.d_alias <- Some real;
       a.d_state <- real.d_state;
       a.d_target_sig <- None;
+      if track then Dcache.neg_track t a;
       Dcache.invalidate_structure t a |> ignore
     end;
     Some a

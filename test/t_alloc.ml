@@ -726,10 +726,124 @@ let test_warm_batch_zero_alloc () =
     Alcotest.(check bool) (Printf.sprintf "slot %d still ok" i) true (Batch.ok ring i)
   done
 
+(* --- §5.1 cache-fed readdir allocation discipline ---
+
+   The whole-listing scratch fill is the dirent analogue of the warm hit:
+   after the first (cold, promoting, scratch-growing) call, every repeat
+   on an unchanged DIR_COMPLETE directory must be a lockless seqcount-
+   validated walk — zero minor-heap words, zero rwlock acquisitions, no
+   stripe mutexes (asserted via the rwlock counts: the stripe sections all
+   nest inside the read lock, so zero reads implies zero stripes). *)
+
+let n_listing = 64
+
+let test_warm_readdir_fill_zero_alloc () =
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "dir" (S.mkdir_p p "/ls");
+  for i = 0 to n_listing - 1 do
+    get "seed" (S.write_file p (Printf.sprintf "/ls/f%02d" i) "x")
+  done;
+  let fd = get "open" (S.openf p "/ls" [ Proc.O_RDONLY; Proc.O_DIRECTORY ]) in
+  (* Cold fill: promotes the backend listing, marks DIR_COMPLETE, grows
+     the scratch.  Everything after must be warm. *)
+  let n = S.readdir_fill p fd in
+  Alcotest.(check int) "cold fill sees every entry" n_listing n;
+  let warm0 = counter kernel "readdir_scratch_warm" in
+  let iters = 10_000 in
+  Rwlock.reset_acquisition_counts ();
+  let words =
+    measure_minor_words iters (fun () ->
+        if S.readdir_fill p fd <> n_listing then Alcotest.fail "short warm listing")
+  in
+  let locks = Rwlock.acquisition_counts () in
+  Alcotest.(check int) "every fill took the lockless path" (iters + 2)
+    (counter kernel "readdir_scratch_warm" - warm0);
+  Alcotest.(check (float 0.0))
+    (Printf.sprintf "zero minor-heap words over %d warm %d-entry listings" iters n_listing)
+    0.0 words;
+  Alcotest.(check (pair int int)) "zero rwlock acquisitions over warm listings" (0, 0)
+    locks;
+  (* A mutation devalidates exactly once: the next fill goes cold (stripe
+     locked, re-promoted), the one after is warm again. *)
+  get "churn" (S.write_file p "/ls/new" "y");
+  Alcotest.(check int) "post-churn fill sees the new entry" (n_listing + 1)
+    (S.readdir_fill p fd);
+  let warm1 = counter kernel "readdir_scratch_warm" in
+  Alcotest.(check int) "re-warmed" (n_listing + 1) (S.readdir_fill p fd);
+  Alcotest.(check int) "second post-churn fill is warm again" 1
+    (counter kernel "readdir_scratch_warm" - warm1)
+
+let test_negative_list_eviction_bounded () =
+  (* §6.3: negative dentries live on per-stripe bounded LRU lists.  A
+     stat storm of absent names far beyond the cap must evict (counted),
+     keep every list at or under the cap, and never disturb cache
+     structure. *)
+  let cap = 8 in
+  let config = { Config.optimized with Config.neg_list_cap = cap } in
+  let kernel, p = ram_kernel ~config () in
+  let d = Kernel.dcache kernel in
+  get "dirs" (S.mkdir_p p "/neg/a");
+  get "dirs" (S.mkdir_p p "/neg/b");
+  let storm = 40 * cap in
+  for i = 0 to storm - 1 do
+    let parent = if i land 1 = 0 then "a" else "b" in
+    expect_err Errno.ENOENT "absent"
+      (S.stat p (Printf.sprintf "/neg/%s/ghost%d" parent i))
+  done;
+  let occ = Dcache.neg_occupancy d in
+  Array.iteri
+    (fun i n ->
+      if n > cap then
+        Alcotest.failf "neg list %d holds %d entries over the cap %d" i n cap)
+    occ;
+  Alcotest.(check bool) "the storm forced evictions" true
+    (counter kernel "neg_evicted" > 0);
+  Alcotest.(check bool) "some negatives stayed resident" true
+    (Array.fold_left ( + ) 0 occ > 0);
+  (match Dcache.self_check d with
+  | [] -> ()
+  | problems -> Alcotest.failf "invariants violated:\n%s" (String.concat "\n" problems));
+  (* Eviction preserves DIR_COMPLETE (detach without reclaim): a completed
+     directory hit by the storm still serves absent names by verdict. *)
+  ignore (get "complete" (S.readdir_path p "/neg/a"));
+  for i = 0 to 4 * cap do
+    expect_err Errno.ENOENT "post-complete absent"
+      (S.stat p (Printf.sprintf "/neg/a/more%d" i))
+  done;
+  Alcotest.(check bool) "lists still bounded after the second storm" true
+    (Array.for_all (fun n -> n <= cap) (Dcache.neg_occupancy d));
+  (* Per-mount generation invalidation: one store devalues every cached
+     negative; the names still read as absent (via the backend), and the
+     stale entries are unhashed lazily as they are touched. *)
+  get "invalidate" (S.invalidate_negatives p "/");
+  Alcotest.(check bool) "generation bump counted" true
+    (counter kernel "neg_gen_invalidations" > 0);
+  (* ghost319 is the newest /neg/b negative, so the LRU still holds it and
+     the walk must trip over its stale generation (ghost1 would long since
+     have been evicted). *)
+  expect_err Errno.ENOENT "still absent after invalidation"
+    (S.stat p (Printf.sprintf "/neg/b/ghost%d" (storm - 1)));
+  Alcotest.(check bool) "stale negatives were detected" true
+    (counter kernel "walk_stale_negative" > 0);
+  (* cap 0 disables tracking entirely: no list ever grows. *)
+  let kernel0, p0 =
+    ram_kernel ~config:{ Config.optimized with Config.neg_list_cap = 0 } ()
+  in
+  get "dir" (S.mkdir_p p0 "/z");
+  for i = 0 to 99 do
+    expect_err Errno.ENOENT "absent" (S.stat p0 (Printf.sprintf "/z/no%d" i))
+  done;
+  Alcotest.(check int) "cap 0 tracks nothing" 0
+    (Array.fold_left ( + ) 0 (Dcache.neg_occupancy (Kernel.dcache kernel0)))
+
 let suite =
   [
     Alcotest.test_case "warm fastpath hit allocates zero minor words" `Quick
       test_warm_hit_zero_alloc;
+    Alcotest.test_case "warm DIR_COMPLETE readdir fill allocates zero minor words" `Quick
+      test_warm_readdir_fill_zero_alloc;
+    Alcotest.test_case "negative lists stay bounded under a stat storm" `Quick
+      test_negative_list_eviction_bounded;
     Alcotest.test_case "warm all-hit batch submit allocates zero minor words" `Quick
       test_warm_batch_zero_alloc;
     Alcotest.test_case "warm live-lease hit allocates zero minor words" `Quick

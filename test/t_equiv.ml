@@ -597,6 +597,192 @@ let batch_property =
       end;
       true)
 
+(* --- cache-fed readdir equivalence (§5.1) ---
+
+   The promoted DIR_COMPLETE listing, the lockless scratch fill and the
+   batched readdir all claim to return exactly what the backend holds.
+   Check all four views of every directory against the file system's own
+   [readdir] — the ground truth the cache is supposed to mirror — under
+   create / unlink / rename churn, and require the optimized run to have
+   actually served listings warm (else the test is vacuous). *)
+
+let norm_dirent name ino kind =
+  Printf.sprintf "%s/%d/%c" name ino (File_kind.to_char kind)
+
+let norm_listing l = String.concat "," (List.sort compare l)
+
+(* Ground truth straight from the backend, bypassing every cache layer. *)
+let backend_listing fs p path =
+  match S.stat p path with
+  | Error e -> Alcotest.failf "backend stat %s: %s" path (Errno.to_string e)
+  | Ok a -> (
+    match fs.Dcache_fs.Fs_intf.readdir a.Attr.ino with
+    | Error e -> Alcotest.failf "backend readdir %s: %s" path (Errno.to_string e)
+    | Ok entries ->
+      norm_listing
+        (List.map
+           (fun e ->
+             norm_dirent e.Dcache_fs.Fs_intf.name e.Dcache_fs.Fs_intf.ino
+               e.Dcache_fs.Fs_intf.kind)
+           entries))
+
+let getdents_listing p path =
+  match S.readdir_path p path with
+  | Error e -> Alcotest.failf "readdir_path %s: %s" path (Errno.to_string e)
+  | Ok entries ->
+    norm_listing
+      (List.map
+         (fun e ->
+           norm_dirent e.Dcache_fs.Fs_intf.name e.Dcache_fs.Fs_intf.ino
+             e.Dcache_fs.Fs_intf.kind)
+         entries)
+
+(* The scratch fill: open, fill the per-process dirent arrays, read them
+   back out. *)
+let scratch_listing p path =
+  match S.openf p path [ Proc.O_RDONLY; Proc.O_DIRECTORY ] with
+  | Error e -> Alcotest.failf "open %s: %s" path (Errno.to_string e)
+  | Ok fd ->
+    let r =
+      match S.readdir_fill p fd with
+      | n ->
+        let ds = p.Proc.dirents in
+        let rec go i acc =
+          if i >= n then acc
+          else
+            go (i + 1)
+              (norm_dirent ds.Proc.ds_names.(i) ds.Proc.ds_inos.(i) ds.Proc.ds_kinds.(i)
+              :: acc)
+        in
+        norm_listing (go 0 [])
+      | exception S.Readdir_errno e ->
+        Alcotest.failf "readdir_fill %s: %s" path (Errno.to_string e)
+    in
+    ignore (S.close p fd);
+    r
+
+let batch_listing ring k =
+  if not (Batch.ok ring k) then
+    Alcotest.failf "batch readdir slot %d: %s" k (Errno.to_string (Batch.errno ring k));
+  norm_listing
+    (List.init (Batch.dir_len ring k) (fun j ->
+         norm_dirent (Batch.dir_name ring k j) (Batch.dir_ino ring k j)
+           (Batch.dir_kind ring k j)))
+
+let readdir_equiv_churn_test seed =
+  Alcotest.test_case
+    (Printf.sprintf "cache-fed readdir == backend listing under churn [seed %d]" seed)
+    `Quick
+    (fun () ->
+      let rng = Random.State.make [| seed |] in
+      let fs = Dcache_fs.Ramfs.create () in
+      let kernel = Kernel.create ~config:Config.optimized ~root_fs:fs () in
+      let p = Proc.spawn kernel in
+      let dirs = [| "/ra"; "/rb"; "/rc" |] in
+      let req what = function
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "%s: %s" what (Errno.to_string e)
+      in
+      Array.iter (fun d -> req "mkdir" (S.mkdir p d)) dirs;
+      Array.iter
+        (fun d ->
+          for i = 0 to 7 do
+            req "seed" (S.write_file p (Printf.sprintf "%s/f%d" d i) "x")
+          done)
+        dirs;
+      let ring = Batch.create ~cap:(Array.length dirs) p in
+      for round = 0 to 39 do
+        (* Halfway through, drop the whole cache: mkdir-born directories are
+           complete from birth, so without this the fs-fed promotion path
+           (readdir_from_fs -> promote) would never run. *)
+        if round = 20 then Kernel.drop_caches kernel;
+        (* One mutation per round; renames move entries across directories
+           too, so both sides' generations churn. *)
+        let d = dirs.(Random.State.int rng 3) in
+        let d' = dirs.(Random.State.int rng 3) in
+        let i = Random.State.int rng 12 in
+        (match Random.State.int rng 5 with
+        | 0 -> ignore (S.write_file p (Printf.sprintf "%s/f%d" d i) "y")
+        | 1 -> ignore (S.unlink p (Printf.sprintf "%s/f%d" d i))
+        | 2 ->
+          ignore (S.rename p (Printf.sprintf "%s/f%d" d i) (Printf.sprintf "%s/g%d" d' i))
+        | 3 -> ignore (S.mkdir p (Printf.sprintf "%s/sub%d" d (i land 3)))
+        | _ ->
+          (* create over a (possibly) cached negative: the shortcut path *)
+          ignore (S.write_file p (Printf.sprintf "%s/n%d" d i) "z"));
+        Array.iter
+          (fun dir ->
+            let truth = backend_listing fs p dir in
+            Alcotest.(check string)
+              (Printf.sprintf "round %d: getdents of %s" round dir)
+              truth (getdents_listing p dir);
+            Alcotest.(check string)
+              (Printf.sprintf "round %d: scratch fill of %s" round dir)
+              truth (scratch_listing p dir);
+            (* twice: the second fill is the warm lockless path *)
+            Alcotest.(check string)
+              (Printf.sprintf "round %d: warm scratch fill of %s" round dir)
+              truth (scratch_listing p dir))
+          dirs;
+        Batch.reset ring;
+        Array.iter (fun dir -> ignore (Batch.push_readdir ring dir)) dirs;
+        Batch.submit ring;
+        Array.iteri
+          (fun k dir ->
+            Alcotest.(check string)
+              (Printf.sprintf "round %d: batched readdir of %s" round dir)
+              (backend_listing fs p dir) (batch_listing ring k))
+          dirs
+      done;
+      Alcotest.(check bool) "listings were promoted into the cache" true
+        (counter kernel "readdir_promoted" > 0);
+      Alcotest.(check bool) "warm fills took the lockless path" true
+        (counter kernel "readdir_scratch_warm" > 0);
+      Alcotest.(check bool) "cache served listings" true
+        (counter kernel "readdir_from_cache" > 0);
+      match Dcache_vfs.Dcache.self_check (Kernel.dcache kernel) with
+      | [] -> ()
+      | problems ->
+        Alcotest.failf "invariants violated:\n%s" (String.concat "\n" problems))
+
+let rec op_paths = function
+  | AsUser op -> op_paths op
+  | Mkdir p | Unlink p | Rmdir p | Stat p | Lstat p | Read p | Readdir p | Chdir p
+  | Access p ->
+    [ p ]
+  | Create (p, _) | Chmod (p, _) | Truncate (p, _) -> [ p ]
+  | Rename (a, b) | Link (a, b) -> [ a; b ]
+  | Symlink (_, p) -> [ p ]
+  | Getcwd -> []
+
+let readdir_equiv_property =
+  QCheck.Test.make ~name:"cache-fed readdir matches the backend after any trace"
+    ~count:100 ops_arbitrary
+    (fun ops ->
+      let fs = Dcache_fs.Ramfs.create () in
+      let kernel = Kernel.create ~config:Config.optimized ~root_fs:fs () in
+      let root_p = Proc.spawn kernel in
+      let user_p = Proc.spawn ~cred:(Cred.make ~uid:1000 ~gid:1000 ()) kernel in
+      ignore (List.map (fun op -> run_op root_p user_p op) ops);
+      (* Reset any chdir the trace performed so relative candidate paths
+         resolve consistently across the three views. *)
+      (match S.chdir root_p "/" with Ok () -> () | Error _ -> ());
+      List.iter
+        (fun path ->
+          match S.stat root_p path with
+          | Ok a when a.Attr.kind = File_kind.Directory ->
+            let truth = backend_listing fs root_p path in
+            let g = getdents_listing root_p path in
+            let s1 = scratch_listing root_p path in
+            let s2 = scratch_listing root_p path in
+            if g <> truth || s1 <> truth || s2 <> truth then
+              QCheck.Test.fail_reportf
+                "dir %s:\n  backend:  %s\n  getdents: %s\n  scratch:  %s\n  warm:     %s"
+                path truth g s1 s2
+          | _ -> ())
+        ("/" :: List.concat_map op_paths ops);
+      true)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest (equivalence_test "optimized" Config.optimized);
@@ -627,6 +813,10 @@ let suite =
     batch_equiv_churn_test 1337;
     batch_equiv_churn_test 9001;
     QCheck_alcotest.to_alcotest batch_property;
+    readdir_equiv_churn_test 1;
+    readdir_equiv_churn_test 1337;
+    readdir_equiv_churn_test 9001;
+    QCheck_alcotest.to_alcotest readdir_equiv_property;
     QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [baseline]" Config.baseline);
     QCheck_alcotest.to_alcotest (invariants_test "dcache invariants [optimized]" Config.optimized);
     QCheck_alcotest.to_alcotest

@@ -464,6 +464,20 @@ let test_stripes_surface () =
   let sum_c = List.fold_left (fun s (_, _, c) -> s + c) 0 per_stripe in
   Alcotest.(check int) "per-stripe acquisitions sum to the header" acquired sum_a;
   Alcotest.(check int) "per-stripe contentions sum to the header" contended sum_c;
+  (* Residual global-write accounting rides the sharded report: the figure
+     must parse and agree with the counter (a /proc read never takes the
+     write lock, so it is exact at the moment of the read). *)
+  let globals = assoc_or_fail "stripes" "global_write_acquired" kv in
+  Alcotest.(check int) "global_write_acquired agrees with the counter"
+    (Kit.counter kernel "global_write_acquired")
+    globals;
+  let migrations = assoc_or_fail "stripes" "dlht_stripe_migrations" kv in
+  (match Dcache_core.Dlht.of_namespace_opt (Kernel.init_ns kernel) with
+  | None -> Alcotest.fail "optimized config lost its DLHT"
+  | Some t ->
+    Alcotest.(check int) "dlht_stripe_migrations agrees with the table"
+      (Dcache_core.Dlht.stripe_migrations t)
+      migrations);
   (match Dcache_vfs.Dcache.stripes (Kernel.dcache kernel) with
   | None -> Alcotest.fail "sharded config lost its lock table"
   | Some tab ->
@@ -493,6 +507,74 @@ let test_stripes_surface () =
     (read p0 "/proc/dcache/stripes");
   Alcotest.(check bool) "config reports stripes off" true
     (contains_substring (read p0 "/proc/dcache/config") "dcache_stripes 0")
+
+(* --- per-stripe negative lists via /proc/dcache/neglists (§6.3) ---
+
+   Drive a stat storm of absent names (filling the lists), a create over a
+   cached negative (the shortcut) and a per-mount generation invalidation,
+   then read the book back: the cap, the list count, internally consistent
+   occupancy lines, and the eviction/invalidation/shortcut counters. *)
+
+let test_neglists_surface () =
+  let kernel, p = ram_kernel ~config:Config.optimized () in
+  get "mkdir /proc" (S.mkdir_p p "/proc");
+  get "mount proc" (S.mount_fs p (Kernel_procfs.make kernel) "/proc");
+  get "dir" (S.mkdir_p p "/nl");
+  for i = 0 to 29 do
+    expect_err Errno.ENOENT "absent" (S.stat p (Printf.sprintf "/nl/ghost%d" i))
+  done;
+  get "create over a cached negative" (S.write_file p "/nl/ghost0" "x");
+  get "invalidate" (S.invalidate_negatives p "/nl");
+  let body = read p "/proc/dcache/neglists" in
+  let kv = kv_lines body in
+  Alcotest.(check int) "cap matches config"
+    (Kernel.config kernel).Config.neg_list_cap
+    (assoc_or_fail "neglists" "neg_list_cap" kv);
+  let occ = Dcache_vfs.Dcache.neg_occupancy (Kernel.dcache kernel) in
+  let nlists = assoc_or_fail "neglists" "neg_lists" kv in
+  Alcotest.(check int) "list count" (Array.length occ) nlists;
+  let per_list =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "neglist"; i; "occupancy"; n ] -> Some (int_of_string i, int_of_string n)
+        | _ -> None)
+      (lines body)
+  in
+  Alcotest.(check int) "one occupancy line per list" nlists (List.length per_list);
+  let total = assoc_or_fail "neglists" "neg_cached" kv in
+  Alcotest.(check int) "occupancy lines sum to the total" total
+    (List.fold_left (fun s (_, n) -> s + n) 0 per_list);
+  Alcotest.(check bool) "the storm left cached negatives" true (total > 0);
+  List.iter
+    (fun (_, n) ->
+      Alcotest.(check bool) "every list within the cap" true
+        (n <= (Kernel.config kernel).Config.neg_list_cap))
+    per_list;
+  Alcotest.(check bool) "generation invalidation surfaced" true
+    (assoc_or_fail "neglists" "neg_gen_invalidations" kv >= 1);
+  Alcotest.(check bool) "create shortcut surfaced" true
+    (assoc_or_fail "neglists" "create_neg_shortcut" kv >= 1);
+  Alcotest.(check int) "eviction figure agrees with the counter"
+    (counter kernel "neg_evicted")
+    (assoc_or_fail "neglists" "neg_evicted" kv);
+  Alcotest.(check bool) "config reports the cap" true
+    (contains_substring
+       (read p "/proc/dcache/config")
+       (Printf.sprintf "neg_list_cap %d" (Kernel.config kernel).Config.neg_list_cap));
+  (* The unsharded fallback keeps one list (index 0) and still renders. *)
+  let kernel0, p0 =
+    ram_kernel ~config:{ Config.optimized with Config.dcache_stripes = 0 } ()
+  in
+  get "mkdir /proc" (S.mkdir_p p0 "/proc");
+  get "mount proc" (S.mount_fs p0 (Kernel_procfs.make kernel0) "/proc");
+  get "dir" (S.mkdir_p p0 "/nl");
+  expect_err Errno.ENOENT "absent" (S.stat p0 "/nl/gone");
+  let kv0 = kv_lines (read p0 "/proc/dcache/neglists") in
+  Alcotest.(check int) "unsharded: one list" 1
+    (assoc_or_fail "neglists" "neg_lists" kv0);
+  Alcotest.(check bool) "unsharded: negative tracked" true
+    (assoc_or_fail "neglists" "neg_cached" kv0 >= 1)
 
 (* --- per-directory cache efficacy via /proc/dcache/hot (§3.8) ---
 
@@ -703,6 +785,8 @@ let suite =
     Alcotest.test_case "attached idle netfs renders zero figures" `Quick
       test_procfs_zero_traffic_netfs;
     Alcotest.test_case "stripe lock table via /proc" `Quick test_stripes_surface;
+    Alcotest.test_case "per-stripe negative lists via /proc/dcache/neglists" `Quick
+      test_neglists_surface;
     Alcotest.test_case "per-directory sketch via /proc/dcache/hot is exact" `Quick
       test_hot_surface;
     Alcotest.test_case "vectored-submission figures via /proc/dcache/batch" `Quick
